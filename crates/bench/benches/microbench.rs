@@ -1,0 +1,152 @@
+//! Criterion micro-benchmarks for the core components of Mahif-rs.
+//!
+//! These complement the `figures` binary (which regenerates the paper's
+//! end-to-end figures) with component-level measurements: reenactment query
+//! construction and evaluation, data-slicing push-down, program slicing
+//! (symbolic execution + solver), MILP compilation, delta computation and the
+//! end-to-end methods at a small fixed scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mahif::{EngineConfig, Method};
+use mahif_bench::run_cell;
+use mahif_history::HistoricalWhatIf;
+use mahif_query::evaluate;
+use mahif_reenact::reenact_history;
+use mahif_slicing::{data_slicing_conditions, program_slice, ProgramSlicingConfig};
+use mahif_solver::compile_to_milp;
+use mahif_workload::{Dataset, DatasetKind, WorkloadSpec};
+
+const ROWS: usize = 500;
+const UPDATES: usize = 20;
+
+fn setup() -> (Dataset, mahif_workload::GeneratedWorkload) {
+    let dataset = Dataset::generate(DatasetKind::Taxi, ROWS, 7);
+    let workload = WorkloadSpec::default()
+        .with_updates(UPDATES)
+        .generate(&dataset);
+    (dataset, workload)
+}
+
+fn bench_reenactment(c: &mut Criterion) {
+    let (dataset, workload) = setup();
+    let relation = dataset.kind.relation();
+    let schema = dataset.relation().schema.clone();
+
+    c.bench_function("reenactment/build_query", |b| {
+        b.iter(|| reenact_history(&workload.history, relation, &schema))
+    });
+
+    let query = reenact_history(&workload.history, relation, &schema);
+    c.bench_function("reenactment/evaluate_query", |b| {
+        b.iter(|| evaluate(&query, &dataset.database).unwrap())
+    });
+
+    c.bench_function("reenactment/direct_history_execution", |b| {
+        b.iter(|| workload.history.execute(&dataset.database).unwrap())
+    });
+}
+
+fn bench_slicing(c: &mut Criterion) {
+    let (dataset, workload) = setup();
+    let query = HistoricalWhatIf::new(
+        workload.history.clone(),
+        dataset.database.clone(),
+        workload.modifications.clone(),
+    );
+    let normalized = query.normalize().unwrap();
+
+    c.bench_function("slicing/data_slicing_conditions", |b| {
+        b.iter(|| {
+            data_slicing_conditions(
+                &normalized.original,
+                &normalized.modified,
+                &normalized.modified_positions,
+            )
+            .unwrap()
+        })
+    });
+
+    c.bench_function("slicing/program_slice_dependency", |b| {
+        b.iter(|| {
+            program_slice(
+                &normalized.original,
+                &normalized.modified,
+                &normalized.modified_positions,
+                &query.database,
+                &ProgramSlicingConfig::default(),
+            )
+            .unwrap()
+        })
+    });
+}
+
+fn bench_solver(c: &mut Criterion) {
+    use mahif_expr::builder::*;
+    // The running-example dependency condition (Example 9) as a
+    // representative solver input.
+    let fee1 = ite(ge(var("p"), lit(50)), lit(0), var("f"));
+    let cond = and(
+        ge(var("p"), lit(50)),
+        and(
+            and(eq(var("c"), slit("UK")), le(var("p"), lit(100))),
+            ge(fee1, lit(0)),
+        ),
+    );
+    c.bench_function("solver/compile_to_milp", |b| {
+        b.iter(|| compile_to_milp(&cond, 1_000_000))
+    });
+
+    use mahif_solver::{Domain, SatProblem, Solver};
+    let problem = SatProblem::new(
+        vec![
+            ("p".to_string(), Domain::IntRange(0, 10_000)),
+            ("f".to_string(), Domain::IntRange(0, 100)),
+            (
+                "c".to_string(),
+                Domain::StrChoices(vec!["UK".into(), "US".into()]),
+            ),
+        ],
+        cond.clone(),
+    );
+    let solver = Solver::new();
+    c.bench_function("solver/check_sat", |b| b.iter(|| solver.check(&problem)));
+}
+
+fn bench_delta(c: &mut Criterion) {
+    let (dataset, workload) = setup();
+    let original = workload.history.execute(&dataset.database).unwrap();
+    let modified = workload
+        .modifications
+        .apply(&workload.history)
+        .unwrap()
+        .execute(&dataset.database)
+        .unwrap();
+    c.bench_function("delta/database_delta", |b| {
+        b.iter(|| mahif_history::DatabaseDelta::compute(&original, &modified))
+    });
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let dataset = Dataset::generate(DatasetKind::Taxi, ROWS, 7);
+    let spec = WorkloadSpec::default().with_updates(UPDATES);
+    let engine = EngineConfig::default();
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    for method in Method::all() {
+        group.bench_function(method.label(), |b| {
+            b.iter(|| run_cell(&dataset, &spec, method, &engine))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_reenactment,
+    bench_slicing,
+    bench_solver,
+    bench_delta,
+    bench_end_to_end
+);
+criterion_main!(benches);

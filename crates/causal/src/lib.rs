@@ -1,0 +1,27 @@
+//! # mahif-causal
+//!
+//! Causal dependency rules for historical what-if queries.
+//!
+//! The paper leaves "augmenting a user's HWQ based on dependencies between
+//! updates" to future work, with the motivating example: *"if we delete a
+//! statement that inserted a customer, then this customer could have never
+//! submitted any orders — all insert statements corresponding to orders by
+//! this customer should be removed too"*. This crate implements that
+//! extension for the common foreign-key-shaped case:
+//!
+//! * a [`CascadeRule`] declares that inserts into a child relation reference
+//!   a key of a parent relation;
+//! * [`augment`] inspects a what-if query's modifications, determines which
+//!   parent inserts the hypothetical history no longer performs, and extends
+//!   the modification set so that the dependent child inserts are removed as
+//!   well (transitively across rules);
+//! * [`plan`] returns the analysis without building the modification set,
+//!   for reporting.
+//!
+//! Cascaded removals are expressed as replacements of the affected insert
+//! statements with no-ops, so they never shift the positions the user's own
+//! modifications refer to.
+
+pub mod policy;
+
+pub use policy::{augment, plan, CascadePlan, CascadeRule, DependencyPolicy, RemovedParent};

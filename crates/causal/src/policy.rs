@@ -1,0 +1,414 @@
+//! Cascade rules and the modification-augmentation algorithm.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mahif_expr::Value;
+use mahif_history::{History, HistoryError, Modification, ModificationSet, Statement};
+use mahif_storage::Database;
+
+/// A foreign-key-shaped dependency between insert statements: tuples inserted
+/// into `child_relation` reference (via `child_fk`) the `parent_key` of a
+/// tuple inserted into `parent_relation`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CascadeRule {
+    /// The referenced relation (e.g. `Customer`).
+    pub parent_relation: String,
+    /// The referenced key attribute (e.g. `CID`).
+    pub parent_key: String,
+    /// The referencing relation (e.g. `Order`).
+    pub child_relation: String,
+    /// The referencing attribute (e.g. `CustomerID`).
+    pub child_fk: String,
+}
+
+impl CascadeRule {
+    /// Creates a rule `child_relation.child_fk → parent_relation.parent_key`.
+    pub fn new(
+        parent_relation: impl Into<String>,
+        parent_key: impl Into<String>,
+        child_relation: impl Into<String>,
+        child_fk: impl Into<String>,
+    ) -> Self {
+        CascadeRule {
+            parent_relation: parent_relation.into(),
+            parent_key: parent_key.into(),
+            child_relation: child_relation.into(),
+            child_fk: child_fk.into(),
+        }
+    }
+}
+
+impl fmt::Display for CascadeRule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}.{} -> {}.{}",
+            self.child_relation, self.child_fk, self.parent_relation, self.parent_key
+        )
+    }
+}
+
+/// A set of cascade rules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DependencyPolicy {
+    /// The rules; order is irrelevant (the analysis iterates to a fixpoint).
+    pub rules: Vec<CascadeRule>,
+}
+
+impl DependencyPolicy {
+    /// Creates a policy from rules.
+    pub fn new(rules: Vec<CascadeRule>) -> Self {
+        DependencyPolicy { rules }
+    }
+
+    /// Adds a rule.
+    pub fn with_rule(mut self, rule: CascadeRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+}
+
+/// A parent tuple whose insert the hypothetical history no longer performs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovedParent {
+    /// The parent relation.
+    pub relation: String,
+    /// The removed key value.
+    pub key: Value,
+    /// Position of the removed insert in the original history.
+    pub position: usize,
+}
+
+/// The result of the cascade analysis.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CascadePlan {
+    /// Parent inserts the modifications remove (directly or transitively).
+    pub removed_parents: Vec<RemovedParent>,
+    /// Positions (in the original history) of child inserts that must be
+    /// removed in addition to the user's modifications.
+    pub cascaded_positions: Vec<usize>,
+}
+
+impl CascadePlan {
+    /// True when no cascading is necessary.
+    pub fn is_empty(&self) -> bool {
+        self.cascaded_positions.is_empty()
+    }
+}
+
+impl fmt::Display for CascadePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cascade plan: {} removed parent insert(s), {} cascaded child insert(s)",
+            self.removed_parents.len(),
+            self.cascaded_positions.len()
+        )?;
+        for p in &self.removed_parents {
+            writeln!(f, "  removed {}[{}] (statement {})", p.relation, p.key, p.position)?;
+        }
+        for pos in &self.cascaded_positions {
+            writeln!(f, "  also remove statement {pos}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Value of attribute `attr` of the tuple inserted by statement `stmt`
+/// (which must be an `INSERT ... VALUES` into a relation whose schema is in
+/// `db`); `None` when the statement is not such an insert or the attribute is
+/// unknown.
+fn inserted_value(db: &Database, stmt: &Statement, attr: &str) -> Option<Value> {
+    let Statement::InsertValues { relation, tuple } = stmt else {
+        return None;
+    };
+    let schema = &db.relation(relation).ok()?.schema;
+    let idx = schema.index_of(attr)?;
+    tuple.value(idx).cloned()
+}
+
+/// Computes which parent inserts are removed by `modifications` and which
+/// child inserts must cascade, iterating the rules to a fixpoint so that
+/// chains (`order_items → orders → customers`) are followed.
+pub fn plan(
+    history: &History,
+    modifications: &ModificationSet,
+    db: &Database,
+    policy: &DependencyPolicy,
+) -> Result<CascadePlan, HistoryError> {
+    let modified_history = modifications.apply(history)?;
+
+    // An insert of the original history is "removed" when no statement of
+    // the modified history inserts the same tuple into the same relation.
+    let still_inserted = |stmt: &Statement| -> bool {
+        modified_history
+            .statements()
+            .iter()
+            .any(|other| other == stmt)
+    };
+
+    let mut removed_parents: Vec<RemovedParent> = Vec::new();
+    let mut cascaded: BTreeSet<usize> = BTreeSet::new();
+
+    // Seed: parent inserts dropped directly by the user's modifications.
+    for rule in &policy.rules {
+        for (pos, stmt) in history.statements().iter().enumerate() {
+            if stmt.relation() != rule.parent_relation {
+                continue;
+            }
+            if let Some(key) = inserted_value(db, stmt, &rule.parent_key) {
+                if !still_inserted(stmt)
+                    && !removed_parents
+                        .iter()
+                        .any(|r| r.position == pos && r.relation == rule.parent_relation)
+                {
+                    removed_parents.push(RemovedParent {
+                        relation: rule.parent_relation.clone(),
+                        key,
+                        position: pos,
+                    });
+                }
+            }
+        }
+    }
+
+    // Fixpoint: cascade child inserts, which may in turn be parents of other
+    // rules.
+    loop {
+        let mut changed = false;
+        for rule in &policy.rules {
+            let removed_keys: Vec<Value> = removed_parents
+                .iter()
+                .filter(|r| r.relation == rule.parent_relation)
+                .map(|r| r.key.clone())
+                .collect();
+            if removed_keys.is_empty() {
+                continue;
+            }
+            for (pos, stmt) in history.statements().iter().enumerate() {
+                if stmt.relation() != rule.child_relation || cascaded.contains(&pos) {
+                    continue;
+                }
+                let Some(fk) = inserted_value(db, stmt, &rule.child_fk) else {
+                    continue;
+                };
+                if !removed_keys.contains(&fk) || !still_inserted(stmt) {
+                    continue;
+                }
+                cascaded.insert(pos);
+                changed = true;
+                // The cascaded child may itself be a parent of another rule.
+                for other in &policy.rules {
+                    if other.parent_relation == rule.child_relation {
+                        if let Some(key) = inserted_value(db, stmt, &other.parent_key) {
+                            if !removed_parents
+                                .iter()
+                                .any(|r| r.position == pos && r.relation == other.parent_relation)
+                            {
+                                removed_parents.push(RemovedParent {
+                                    relation: other.parent_relation.clone(),
+                                    key,
+                                    position: pos,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    Ok(CascadePlan {
+        removed_parents,
+        cascaded_positions: cascaded.into_iter().collect(),
+    })
+}
+
+/// Augments `modifications` with the cascaded removals required by `policy`.
+///
+/// Cascaded removals are expressed as replacements of the affected insert
+/// statements with no-ops and are placed *before* the user's own
+/// modifications: replacements never shift statement positions, so the
+/// positions the user's modifications refer to stay valid, while the user's
+/// inserting/deleting modifications would shift the positions of anything
+/// appended after them.
+pub fn augment(
+    history: &History,
+    modifications: &ModificationSet,
+    db: &Database,
+    policy: &DependencyPolicy,
+) -> Result<(ModificationSet, CascadePlan), HistoryError> {
+    let cascade = plan(history, modifications, db, policy)?;
+    let mut all: Vec<Modification> = Vec::new();
+    for &pos in &cascade.cascaded_positions {
+        let relation = history.statement(pos)?.relation().to_string();
+        all.push(Modification::replace(pos, Statement::no_op(relation)));
+    }
+    all.extend(modifications.modifications().iter().cloned());
+    Ok((ModificationSet::new(all), cascade))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_expr::Expr;
+    use mahif_history::{HistoricalWhatIf, SetClause};
+    use mahif_storage::{Attribute, Schema, Tuple};
+
+    /// A small customer/order/order-item database plus a history that inserts
+    /// two customers, three orders and two order items, then applies a fee
+    /// update.
+    fn setup() -> (Database, History) {
+        let mut db = Database::new();
+        db.create_relation(Schema::shared(
+            "Customer",
+            vec![Attribute::int("CID"), Attribute::str("Name")],
+        ))
+        .unwrap();
+        db.create_relation(Schema::shared(
+            "Order",
+            vec![
+                Attribute::int("OID"),
+                Attribute::int("CustomerID"),
+                Attribute::int("Total"),
+            ],
+        ))
+        .unwrap();
+        db.create_relation(Schema::shared(
+            "OrderItem",
+            vec![Attribute::int("IID"), Attribute::int("OrderID")],
+        ))
+        .unwrap();
+
+        let history = History::new(vec![
+            Statement::insert_values(
+                "Customer",
+                Tuple::new(vec![Value::int(1), Value::str("Ada")]),
+            ),
+            Statement::insert_values(
+                "Customer",
+                Tuple::new(vec![Value::int(2), Value::str("Bob")]),
+            ),
+            Statement::insert_values(
+                "Order",
+                Tuple::new(vec![Value::int(10), Value::int(1), Value::int(100)]),
+            ),
+            Statement::insert_values(
+                "Order",
+                Tuple::new(vec![Value::int(11), Value::int(1), Value::int(50)]),
+            ),
+            Statement::insert_values(
+                "Order",
+                Tuple::new(vec![Value::int(12), Value::int(2), Value::int(70)]),
+            ),
+            Statement::insert_values("OrderItem", Tuple::new(vec![Value::int(100), Value::int(10)])),
+            Statement::insert_values("OrderItem", Tuple::new(vec![Value::int(101), Value::int(12)])),
+            Statement::update(
+                "Order",
+                SetClause::single("Total", add(attr("Total"), lit(5))),
+                Expr::true_(),
+            ),
+        ]);
+        (db, history)
+    }
+
+    fn policy() -> DependencyPolicy {
+        DependencyPolicy::default()
+            .with_rule(CascadeRule::new("Customer", "CID", "Order", "CustomerID"))
+            .with_rule(CascadeRule::new("Order", "OID", "OrderItem", "OrderID"))
+    }
+
+    #[test]
+    fn deleting_a_customer_cascades_to_orders_and_items() {
+        let (db, history) = setup();
+        // "What if customer Ada had never signed up?"
+        let mods = ModificationSet::new(vec![Modification::delete(0)]);
+        let (augmented, plan) = augment(&history, &mods, &db, &policy()).unwrap();
+        // Ada's two orders (positions 2, 3) and the item of order 10
+        // (position 5) must be removed too.
+        assert_eq!(plan.cascaded_positions, vec![2, 3, 5]);
+        assert_eq!(plan.removed_parents.len(), 3); // Ada + her two orders
+        assert_eq!(augmented.len(), 1 + 3);
+        assert!(plan.to_string().contains("cascade plan"));
+
+        // The augmented hypothetical state contains no trace of Ada: only
+        // Bob, his order 12 and its item 101 remain.
+        let q = HistoricalWhatIf::new(history.clone(), db.clone(), augmented);
+        let delta = q.answer_by_direct_execution().unwrap();
+        let hypothetical = q.modifications.apply(&history).unwrap().execute(&db).unwrap();
+        let customers = hypothetical.relation("Customer").unwrap();
+        assert_eq!(customers.len(), 1);
+        assert_eq!(customers.tuples[0].value(0), Some(&Value::int(2)));
+        let orders = hypothetical.relation("Order").unwrap();
+        assert_eq!(orders.len(), 1);
+        assert_eq!(orders.tuples[0].value(0), Some(&Value::int(12)));
+        let items = hypothetical.relation("OrderItem").unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items.tuples[0].value(0), Some(&Value::int(101)));
+        // The delta covers all three relations.
+        assert_eq!(delta.relations.len(), 3);
+    }
+
+    #[test]
+    fn unrelated_modifications_cascade_nothing() {
+        let (db, history) = setup();
+        // Changing the fee update does not remove any insert.
+        let mods = ModificationSet::single_replace(
+            7,
+            Statement::update(
+                "Order",
+                SetClause::single("Total", add(attr("Total"), lit(9))),
+                Expr::true_(),
+            ),
+        );
+        let (augmented, plan) = augment(&history, &mods, &db, &policy()).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(augmented.len(), 1);
+    }
+
+    #[test]
+    fn replacing_a_customer_insert_with_a_different_customer_cascades() {
+        let (db, history) = setup();
+        // Ada is replaced by Carol: Ada's orders must go, Bob's stay.
+        let mods = ModificationSet::single_replace(
+            0,
+            Statement::insert_values(
+                "Customer",
+                Tuple::new(vec![Value::int(3), Value::str("Carol")]),
+            ),
+        );
+        let (_, plan) = augment(&history, &mods, &db, &policy()).unwrap();
+        assert_eq!(plan.cascaded_positions, vec![2, 3, 5]);
+        assert!(plan
+            .removed_parents
+            .iter()
+            .any(|r| r.relation == "Customer" && r.key == Value::int(1)));
+        assert!(!plan
+            .removed_parents
+            .iter()
+            .any(|r| r.relation == "Customer" && r.key == Value::int(2)));
+    }
+
+    #[test]
+    fn deleting_an_order_cascades_only_its_items() {
+        let (db, history) = setup();
+        let mods = ModificationSet::new(vec![Modification::delete(4)]); // order 12
+        let (_, plan) = augment(&history, &mods, &db, &policy()).unwrap();
+        assert_eq!(plan.cascaded_positions, vec![6]);
+        assert_eq!(plan.removed_parents.len(), 1);
+        assert_eq!(plan.removed_parents[0].key, Value::int(12));
+    }
+
+    #[test]
+    fn policy_and_rule_display() {
+        let rule = CascadeRule::new("Customer", "CID", "Order", "CustomerID");
+        assert_eq!(rule.to_string(), "Order.CustomerID -> Customer.CID");
+        let p = DependencyPolicy::new(vec![rule.clone()]);
+        assert_eq!(p.rules.len(), 1);
+    }
+}

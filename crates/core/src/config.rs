@@ -1,0 +1,98 @@
+//! Execution methods and engine configuration.
+
+use mahif_solver::SearchConfig;
+use mahif_symbolic::CompressionConfig;
+
+/// The execution strategies compared in the paper's evaluation (Section 13.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// `N`: the naïve algorithm — copy the pre-history state, execute the
+    /// modified history, diff against the current state.
+    Naive,
+    /// `R`: reenactment only.
+    Reenact,
+    /// `R+DS`: reenactment with data slicing.
+    ReenactDs,
+    /// `R+PS`: reenactment with program slicing.
+    ReenactPs,
+    /// `R+PS+DS`: reenactment with both optimizations (Algorithm 2).
+    ReenactPsDs,
+}
+
+impl Method {
+    /// All methods, in the order used by the benchmark harness.
+    pub fn all() -> [Method; 5] {
+        [
+            Method::Naive,
+            Method::Reenact,
+            Method::ReenactDs,
+            Method::ReenactPs,
+            Method::ReenactPsDs,
+        ]
+    }
+
+    /// Short label used in reports (matches the paper's figures).
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Naive => "N",
+            Method::Reenact => "R",
+            Method::ReenactDs => "R+DS",
+            Method::ReenactPs => "R+PS",
+            Method::ReenactPsDs => "R+PS+DS",
+        }
+    }
+
+    /// Whether this method applies data slicing.
+    pub fn uses_data_slicing(&self) -> bool {
+        matches!(self, Method::ReenactDs | Method::ReenactPsDs)
+    }
+
+    /// Whether this method applies program slicing.
+    pub fn uses_program_slicing(&self) -> bool {
+        matches!(self, Method::ReenactPs | Method::ReenactPsDs)
+    }
+}
+
+/// Tunables of the reenactment-based engine.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfig {
+    /// Database compression used by program slicing (Section 8.3.1).
+    pub compression: CompressionConfig,
+    /// Solver resource limits.
+    pub solver: SearchConfig,
+    /// Use the general greedy slicer (Section 8.3.3) instead of the
+    /// optimized dependency test (Section 9).
+    pub use_greedy_slicer: bool,
+    /// Disable the insert-split optimization of Section 10 (inserts are then
+    /// reenacted inline as unions inside the reenactment query).
+    pub disable_insert_split: bool,
+    /// Do not add the compressed-database constraint Φ_D to the slicing
+    /// condition (ablation).
+    pub skip_compression_constraint: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_flags() {
+        assert_eq!(Method::Naive.label(), "N");
+        assert_eq!(Method::ReenactPsDs.label(), "R+PS+DS");
+        assert!(Method::ReenactPsDs.uses_data_slicing());
+        assert!(Method::ReenactPsDs.uses_program_slicing());
+        assert!(!Method::Reenact.uses_data_slicing());
+        assert!(Method::ReenactDs.uses_data_slicing());
+        assert!(!Method::ReenactDs.uses_program_slicing());
+        assert!(Method::ReenactPs.uses_program_slicing());
+        assert_eq!(Method::all().len(), 5);
+    }
+
+    #[test]
+    fn default_config() {
+        let c = EngineConfig::default();
+        assert!(!c.use_greedy_slicer);
+        assert!(!c.disable_insert_split);
+        assert!(!c.skip_compression_constraint);
+    }
+}

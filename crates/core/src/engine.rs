@@ -1,0 +1,494 @@
+//! The reenactment-based execution engine (Algorithm 2) and the dispatch to
+//! the naïve baseline (Algorithm 1).
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use mahif_expr::Expr;
+use mahif_history::{naive_what_if, DatabaseDelta, HistoricalWhatIf, History, RelationDelta};
+use mahif_query::{evaluate, filter_relation};
+use mahif_reenact::split::{split_reenactment, SplitReenactment};
+use mahif_slicing::{
+    apply_data_slicing, data_slicing_conditions, greedy_slice, program_slice,
+    DataSlicingConditions, GreedyConfig, ProgramSliceResult, ProgramSlicingConfig,
+};
+use mahif_storage::{Database, Relation, VersionedDatabase};
+
+use crate::config::{EngineConfig, Method};
+use crate::error::MahifError;
+use crate::stats::{EngineStats, PhaseTimings, WhatIfAnswer};
+
+/// Answers a historical what-if query with the given method.
+///
+/// `versioned` must be the version chain obtained by executing
+/// `query.history` over `query.database` (the middleware maintains it);
+/// `current_state` is its newest version `H(D)`.
+pub fn answer_what_if(
+    query: &HistoricalWhatIf,
+    versioned: &VersionedDatabase,
+    current_state: &Database,
+    method: Method,
+    config: &EngineConfig,
+) -> Result<WhatIfAnswer, MahifError> {
+    match method {
+        Method::Naive => answer_naive(query, current_state),
+        _ => answer_reenactment(query, versioned, method, config),
+    }
+}
+
+fn answer_naive(
+    query: &HistoricalWhatIf,
+    current_state: &Database,
+) -> Result<WhatIfAnswer, MahifError> {
+    let result = naive_what_if(query, current_state)?;
+    let stats = EngineStats {
+        statements_total: query.history.len(),
+        statements_reenacted: query.history.len(),
+        solver_calls: 0,
+        input_tuples: query.database.total_tuples(),
+        total_tuples: query.database.total_tuples(),
+    };
+    Ok(WhatIfAnswer {
+        delta: result.delta,
+        timings: PhaseTimings {
+            copy: result.breakdown.creation,
+            execution: result.breakdown.execution,
+            delta: result.breakdown.delta,
+            ..Default::default()
+        },
+        stats,
+    })
+}
+
+fn answer_reenactment(
+    query: &HistoricalWhatIf,
+    versioned: &VersionedDatabase,
+    method: Method,
+    config: &EngineConfig,
+) -> Result<WhatIfAnswer, MahifError> {
+    let mut timings = PhaseTimings::default();
+    let mut stats = EngineStats::default();
+
+    // Normalize the modifications into two equal-length histories related by
+    // replacements only (Section 3 / Section 6).
+    let normalized = query.normalize()?;
+    stats.statements_total = normalized.original.len();
+    if normalized.modified_positions.is_empty() {
+        return Ok(WhatIfAnswer {
+            delta: DatabaseDelta::default(),
+            timings,
+            stats,
+        });
+    }
+    // Phase 1: program slicing.
+    let slice: ProgramSliceResult = if method.uses_program_slicing() {
+        let start = Instant::now();
+        let result = if config.use_greedy_slicer {
+            greedy_slice(
+                &normalized.original,
+                &normalized.modified,
+                &normalized.modified_positions,
+                versioned.initial(),
+                &GreedyConfig {
+                    compression: config.compression.clone(),
+                    solver: config.solver.clone(),
+                },
+            )?
+        } else {
+            program_slice(
+                &normalized.original,
+                &normalized.modified,
+                &normalized.modified_positions,
+                versioned.initial(),
+                &ProgramSlicingConfig {
+                    compression: config.compression.clone(),
+                    solver: config.solver.clone(),
+                    skip_compression_constraint: config.skip_compression_constraint,
+                },
+            )?
+        };
+        timings.program_slicing = start.elapsed();
+        result
+    } else {
+        ProgramSliceResult::keep_all(normalized.original.len())
+    };
+    stats.solver_calls = slice.solver_calls;
+    stats.statements_reenacted = slice.kept_positions.len();
+
+    // The reenactment base is the time-travel state `D` before the history.
+    // Program slicing (both the dependency test and the greedy ζ check)
+    // certifies that the sliced histories produce the same delta as the full
+    // histories *over this state*, so no later snapshot is needed.
+    let base_db = versioned.initial();
+
+    let sliced_original = normalized.original.restrict(&slice.kept_positions);
+    let sliced_modified = normalized.modified.restrict(&slice.kept_positions);
+    // Positions of the modified statements within the restricted histories.
+    let restricted_positions: Vec<usize> = normalized
+        .modified_positions
+        .iter()
+        .filter_map(|p| slice.kept_positions.iter().position(|k| k == p))
+        .collect();
+
+    // Phase 2: data slicing.
+    let conditions: DataSlicingConditions = if method.uses_data_slicing() {
+        let start = Instant::now();
+        let c = data_slicing_conditions(&sliced_original, &sliced_modified, &restricted_positions)?;
+        timings.data_slicing = start.elapsed();
+        c
+    } else {
+        DataSlicingConditions::default()
+    };
+
+    // Phase 3: reenactment of both histories per relation.
+    let start = Instant::now();
+    let mut relations: BTreeSet<String> = BTreeSet::new();
+    for stmt in sliced_original
+        .statements()
+        .iter()
+        .chain(sliced_modified.statements())
+    {
+        relations.insert(stmt.relation().to_string());
+    }
+    // The unsliced histories: insert branches must reenact the *full*
+    // history following each insert over the inserted tuples (Section 10) —
+    // program slicing only applies to stored tuples.
+    let original_tail = &normalized.original;
+    let modified_tail = &normalized.modified;
+    let mut original_results: Vec<(String, Relation)> = Vec::new();
+    let mut modified_results: Vec<(String, Relation)> = Vec::new();
+    for relation in &relations {
+        let schema = base_db.relation(relation)?.schema.clone();
+        let original_result = reenact_side(
+            &sliced_original,
+            original_tail,
+            relation,
+            &schema,
+            &conditions.original_for(relation),
+            base_db,
+            config,
+        )?;
+        let modified_result = reenact_side(
+            &sliced_modified,
+            modified_tail,
+            relation,
+            &schema,
+            &conditions.modified_for(relation),
+            base_db,
+            config,
+        )?;
+        original_results.push((relation.clone(), original_result));
+        modified_results.push((relation.clone(), modified_result));
+    }
+    timings.execution = start.elapsed();
+
+    // Phase 4: delta.
+    let start = Instant::now();
+    let mut deltas = Vec::new();
+    for ((relation, left), (_, right)) in original_results.iter().zip(modified_results.iter()) {
+        let delta = RelationDelta::compute(relation, left, right);
+        if !delta.is_empty() {
+            deltas.push(delta);
+        }
+    }
+    timings.delta = start.elapsed();
+
+    // Input-size statistics (outside the timed phases).
+    for relation in &relations {
+        let rel = base_db.relation(relation)?;
+        stats.total_tuples += rel.len();
+        let cond_o = conditions.original_for(relation);
+        let cond_m = conditions.modified_for(relation);
+        stats.input_tuples += count_matching(rel, &cond_o)?.max(count_matching(rel, &cond_m)?);
+    }
+
+    Ok(WhatIfAnswer {
+        delta: DatabaseDelta { relations: deltas },
+        timings,
+        stats,
+    })
+}
+
+fn count_matching(rel: &Relation, cond: &Expr) -> Result<usize, MahifError> {
+    if cond.is_true() {
+        return Ok(rel.len());
+    }
+    if cond.is_false() {
+        return Ok(0);
+    }
+    Ok(filter_relation(rel, cond)?.len())
+}
+
+/// Reenacts one history over one relation, applying the data-slicing
+/// condition and, unless disabled, the insert-split of Section 10 (the
+/// no-insert branch reenacts the *sliced* history over the filtered stored
+/// relation, the insert branches reenact the *unsliced* suffix over each
+/// insert's own small input, and the results are unioned).
+#[allow(clippy::too_many_arguments)]
+fn reenact_side(
+    sliced: &History,
+    full_tail: &History,
+    relation: &str,
+    schema: &mahif_storage::SchemaRef,
+    condition: &Expr,
+    base_db: &Database,
+    config: &EngineConfig,
+) -> Result<Relation, MahifError> {
+    let has_inserts = full_tail.statements().iter().any(|s| {
+        s.relation() == relation
+            && matches!(
+                s,
+                mahif_history::Statement::InsertValues { .. }
+                    | mahif_history::Statement::InsertQuery { .. }
+            )
+    });
+    if !has_inserts {
+        let query = apply_data_slicing(sliced, relation, schema, condition);
+        return Ok(evaluate(&query, base_db)?);
+    }
+    if config.disable_insert_split {
+        // Without the split, inserted tuples flow through the inline unions of
+        // the reenactment query, so statements excluded by program slicing
+        // would silently not be applied to them. Reenacting the full suffix
+        // keeps the ablation correct (and shows what the split buys).
+        let query = apply_data_slicing(full_tail, relation, schema, condition);
+        return Ok(evaluate(&query, base_db)?);
+    }
+    // Insert split: reenact the sliced updates/deletes over the filtered
+    // scan, and each insert's contribution under the full suffix, then union.
+    let SplitReenactment {
+        no_insert_query, ..
+    } = split_reenactment(sliced, relation, schema);
+    let SplitReenactment {
+        insert_branches, ..
+    } = split_reenactment(full_tail, relation, schema);
+    let filtered = if condition.is_true() {
+        no_insert_query
+    } else {
+        inject_filter(no_insert_query, relation, condition)
+    };
+    let mut result = evaluate(&filtered, base_db)?;
+    for branch in insert_branches {
+        let branch_result = evaluate(&branch, base_db)?;
+        result = result.union_all(&branch_result)?;
+    }
+    Ok(result)
+}
+
+/// Replaces the single base scan of `relation` in a no-insert reenactment
+/// query with a filtered scan.
+fn inject_filter(query: mahif_query::Query, relation: &str, condition: &Expr) -> mahif_query::Query {
+    use mahif_query::Query;
+    match query {
+        Query::Scan { relation: r } if r == relation => Query::select(
+            condition.clone(),
+            Query::Scan { relation: r },
+        ),
+        Query::Select { cond, input } => Query::Select {
+            cond,
+            input: Box::new(inject_filter(*input, relation, condition)),
+        },
+        Query::Project { items, input } => Query::Project {
+            items,
+            input: Box::new(inject_filter(*input, relation, condition)),
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_expr::Value;
+    use mahif_history::statement::{
+        running_example_database, running_example_history, running_example_u1_prime,
+    };
+    use mahif_history::{Modification, ModificationSet, SetClause, Statement};
+    use mahif_storage::Tuple;
+
+    fn setup(
+        modifications: ModificationSet,
+    ) -> (HistoricalWhatIf, VersionedDatabase, Database) {
+        let db = running_example_database();
+        let history = History::new(running_example_history());
+        let versioned = history.execute_versioned(&db).unwrap();
+        let current = versioned.current().clone();
+        (
+            HistoricalWhatIf::new(history, db, modifications),
+            versioned,
+            current,
+        )
+    }
+
+    fn all_methods_agree(modifications: ModificationSet) {
+        let (query, versioned, current) = setup(modifications);
+        let reference = query.answer_by_direct_execution().unwrap();
+        for method in Method::all() {
+            let answer = answer_what_if(
+                &query,
+                &versioned,
+                &current,
+                method,
+                &EngineConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(
+                answer.delta,
+                reference,
+                "method {} disagrees with direct execution",
+                method.label()
+            );
+        }
+    }
+
+    #[test]
+    fn all_methods_running_example() {
+        all_methods_agree(ModificationSet::single_replace(0, running_example_u1_prime()));
+    }
+
+    #[test]
+    fn all_methods_statement_deletion() {
+        all_methods_agree(ModificationSet::new(vec![Modification::delete(1)]));
+    }
+
+    #[test]
+    fn all_methods_statement_insertion() {
+        let extra = Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", add(attr("ShippingFee"), lit(1))),
+            eq(attr("Country"), slit("US")),
+        );
+        all_methods_agree(ModificationSet::new(vec![Modification::insert(3, extra)]));
+    }
+
+    #[test]
+    fn all_methods_multiple_modifications() {
+        let u3_prime = Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", sub(attr("ShippingFee"), lit(2))),
+            and(le(attr("Price"), lit(40)), ge(attr("ShippingFee"), lit(10))),
+        );
+        all_methods_agree(ModificationSet::new(vec![
+            Modification::replace(0, running_example_u1_prime()),
+            Modification::replace(2, u3_prime),
+        ]));
+    }
+
+    #[test]
+    fn all_methods_with_inserts_in_history() {
+        // Extend the history with an insert and a delete, then modify u1.
+        let db = running_example_database();
+        let mut statements = running_example_history();
+        statements.push(Statement::insert_values(
+            "Order",
+            Tuple::new(vec![
+                Value::int(15),
+                Value::str("Eve"),
+                Value::str("UK"),
+                Value::int(55),
+                Value::int(7),
+            ]),
+        ));
+        statements.push(Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(1)),
+            ge(attr("Price"), lit(52)),
+        ));
+        let history = History::new(statements);
+        let versioned = history.execute_versioned(&db).unwrap();
+        let current = versioned.current().clone();
+        let query = HistoricalWhatIf::new(
+            history,
+            db,
+            ModificationSet::single_replace(0, running_example_u1_prime()),
+        );
+        let reference = query.answer_by_direct_execution().unwrap();
+        for method in Method::all() {
+            for disable_split in [false, true] {
+                let config = EngineConfig {
+                    disable_insert_split: disable_split,
+                    ..Default::default()
+                };
+                let answer =
+                    answer_what_if(&query, &versioned, &current, method, &config).unwrap();
+                assert_eq!(
+                    answer.delta,
+                    reference,
+                    "method {} (split disabled: {disable_split}) disagrees",
+                    method.label()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_slicer_configuration() {
+        let (query, versioned, current) =
+            setup(ModificationSet::single_replace(0, running_example_u1_prime()));
+        let reference = query.answer_by_direct_execution().unwrap();
+        let config = EngineConfig {
+            use_greedy_slicer: true,
+            ..Default::default()
+        };
+        let answer = answer_what_if(
+            &query,
+            &versioned,
+            &current,
+            Method::ReenactPsDs,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(answer.delta, reference);
+        assert!(answer.stats.solver_calls > 0);
+    }
+
+    #[test]
+    fn stats_reflect_slicing() {
+        let (query, versioned, current) =
+            setup(ModificationSet::single_replace(0, running_example_u1_prime()));
+        let answer = answer_what_if(
+            &query,
+            &versioned,
+            &current,
+            Method::ReenactPsDs,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        // u3 is excluded by program slicing, the data slice keeps 2 of 4
+        // tuples.
+        assert_eq!(answer.stats.statements_total, 3);
+        assert_eq!(answer.stats.statements_reenacted, 2);
+        assert_eq!(answer.stats.total_tuples, 4);
+        assert_eq!(answer.stats.input_tuples, 2);
+        assert!(answer.timings.program_slicing > std::time::Duration::ZERO);
+        // Reenactment-only has no slicing cost and full input.
+        let plain = answer_what_if(
+            &query,
+            &versioned,
+            &current,
+            Method::Reenact,
+            &EngineConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(plain.stats.statements_reenacted, 3);
+        assert_eq!(plain.stats.input_tuples, 4);
+        assert_eq!(plain.stats.solver_calls, 0);
+    }
+
+    #[test]
+    fn empty_modifications_give_empty_answer() {
+        let (query, versioned, current) = setup(ModificationSet::default());
+        for method in Method::all() {
+            let answer = answer_what_if(
+                &query,
+                &versioned,
+                &current,
+                method,
+                &EngineConfig::default(),
+            )
+            .unwrap();
+            assert!(answer.delta.is_empty(), "method {}", method.label());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Engine errors.
+
+use std::fmt;
+
+use mahif_history::HistoryError;
+use mahif_query::QueryError;
+use mahif_slicing::SlicingError;
+use mahif_storage::StorageError;
+
+/// Errors raised by the Mahif middleware.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MahifError {
+    /// Underlying history error.
+    History(HistoryError),
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying query error.
+    Query(QueryError),
+    /// Underlying slicing error.
+    Slicing(SlicingError),
+    /// A what-if script passed to [`crate::Mahif::what_if_sql`] did not
+    /// parse.
+    InvalidWhatIfScript(String),
+}
+
+impl fmt::Display for MahifError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MahifError::History(e) => write!(f, "history error: {e}"),
+            MahifError::Storage(e) => write!(f, "storage error: {e}"),
+            MahifError::Query(e) => write!(f, "query error: {e}"),
+            MahifError::Slicing(e) => write!(f, "slicing error: {e}"),
+            MahifError::InvalidWhatIfScript(e) => write!(f, "invalid what-if script: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MahifError {}
+
+impl From<HistoryError> for MahifError {
+    fn from(e: HistoryError) -> Self {
+        MahifError::History(e)
+    }
+}
+
+impl From<StorageError> for MahifError {
+    fn from(e: StorageError) -> Self {
+        MahifError::Storage(e)
+    }
+}
+
+impl From<QueryError> for MahifError {
+    fn from(e: QueryError) -> Self {
+        MahifError::Query(e)
+    }
+}
+
+impl From<SlicingError> for MahifError {
+    fn from(e: SlicingError) -> Self {
+        MahifError::Slicing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: MahifError = StorageError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        let e: MahifError = SlicingError::HistoriesNotAligned {
+            original: 1,
+            modified: 2,
+        }
+        .into();
+        assert!(e.to_string().contains("not aligned"));
+    }
+}

@@ -1,0 +1,61 @@
+//! # mahif
+//!
+//! The Mahif middleware: efficient answering of **historical what-if
+//! queries** (HWQs) over an in-memory transactional database, reproducing
+//! *"Efficient Answering of Historical What-if Queries"* (SIGMOD 2022).
+//!
+//! A historical what-if query asks how the current database state would
+//! differ if the transactional history had been different — e.g. *"how would
+//! revenue be affected if we had charged an additional $6 for shipping?"*.
+//! Formally it is a triple `(H, D, M)`: the history, the database state
+//! before the history, and a set of modifications (replace / insert / delete
+//! statements); the answer is the symmetric difference
+//! `Δ(H(D), H[M](D))`.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use mahif::{Mahif, Method};
+//! use mahif_history::statement::{
+//!     running_example_database, running_example_history, running_example_u1_prime,
+//! };
+//! use mahif_history::{History, ModificationSet};
+//!
+//! // Register the running-example database and shipping-fee history.
+//! let mahif = Mahif::new(
+//!     running_example_database(),
+//!     History::new(running_example_history()),
+//! )
+//! .unwrap();
+//!
+//! // "What if the free-shipping threshold had been $60 instead of $50?"
+//! let modifications = ModificationSet::single_replace(0, running_example_u1_prime());
+//! let answer = mahif.what_if(&modifications, Method::ReenactPsDs).unwrap();
+//!
+//! // Alex's order (ID 12) would pay $10 instead of $5.
+//! assert_eq!(answer.delta.len(), 2);
+//! ```
+//!
+//! ## Execution methods
+//!
+//! | method | description |
+//! |---|---|
+//! | [`Method::Naive`] | Algorithm 1: copy the pre-history state, run `H[M]`, diff against the current state |
+//! | [`Method::Reenact`] | reenact both histories as queries over the time-travel state and diff (Section 5) |
+//! | [`Method::ReenactDs`] | reenactment + data slicing (Section 6) |
+//! | [`Method::ReenactPs`] | reenactment + program slicing (Sections 7–9) |
+//! | [`Method::ReenactPsDs`] | reenactment + both optimizations (Algorithm 2, the Mahif default) |
+
+pub mod config;
+pub mod engine;
+pub mod error;
+pub mod impact;
+pub mod mahif;
+pub mod stats;
+
+pub use config::{EngineConfig, Method};
+pub use engine::answer_what_if;
+pub use error::MahifError;
+pub use impact::{impact_of, GroupImpact, ImpactReport, ImpactSpec};
+pub use mahif::Mahif;
+pub use stats::{EngineStats, PhaseTimings, WhatIfAnswer};

@@ -1,0 +1,173 @@
+//! The Mahif middleware façade.
+
+use mahif_history::{HistoricalWhatIf, History, ModificationSet};
+use mahif_storage::{Database, VersionedDatabase};
+
+use crate::config::{EngineConfig, Method};
+use crate::engine::answer_what_if;
+use crate::error::MahifError;
+use crate::stats::WhatIfAnswer;
+
+/// The Mahif middleware: owns the transactional history of a database, keeps
+/// the version chain needed for time travel, and answers historical what-if
+/// queries against it.
+#[derive(Debug, Clone)]
+pub struct Mahif {
+    history: History,
+    versioned: VersionedDatabase,
+}
+
+impl Mahif {
+    /// Registers a database and the transactional history that was executed
+    /// over it. The history is executed once to materialize the version
+    /// chain (the deployment equivalent is a DBMS with time travel plus the
+    /// statement log).
+    pub fn new(initial: Database, history: History) -> Result<Self, MahifError> {
+        let versioned = history.execute_versioned(&initial)?;
+        Ok(Mahif { history, versioned })
+    }
+
+    /// The registered history.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The current database state `H(D)`.
+    pub fn current_state(&self) -> &Database {
+        self.versioned.current()
+    }
+
+    /// The initial database state `D` (before the history).
+    pub fn initial_state(&self) -> &Database {
+        self.versioned.initial()
+    }
+
+    /// The full version chain (time travel).
+    pub fn versions(&self) -> &VersionedDatabase {
+        &self.versioned
+    }
+
+    /// Answers the historical what-if query defined by `modifications` using
+    /// `method` with the default engine configuration.
+    pub fn what_if(
+        &self,
+        modifications: &ModificationSet,
+        method: Method,
+    ) -> Result<WhatIfAnswer, MahifError> {
+        self.what_if_configured(modifications, method, &EngineConfig::default())
+    }
+
+    /// Answers a historical what-if query given as a *what-if script* in SQL
+    /// text (see [`mahif_sqlparse::parse_whatif`]), e.g.
+    /// `"REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60"`.
+    pub fn what_if_sql(
+        &self,
+        script: &str,
+        method: Method,
+    ) -> Result<WhatIfAnswer, MahifError> {
+        let modifications = mahif_sqlparse::parse_whatif(script)
+            .map_err(|e| MahifError::InvalidWhatIfScript(e.to_string()))?;
+        self.what_if(&modifications, method)
+    }
+
+    /// Answers the historical what-if query and immediately reduces its
+    /// delta to an aggregate impact report (with the metric baseline taken
+    /// from the current database state), answering questions of the form
+    /// *"how would revenue be affected if ..."* in one call.
+    pub fn what_if_impact(
+        &self,
+        modifications: &ModificationSet,
+        method: Method,
+        spec: &crate::impact::ImpactSpec,
+    ) -> Result<(WhatIfAnswer, crate::impact::ImpactReport), MahifError> {
+        let answer = self.what_if(modifications, method)?;
+        let report = answer
+            .impact(spec)?
+            .with_baseline(self.current_state(), spec)?;
+        Ok((answer, report))
+    }
+
+    /// Answers the historical what-if query with an explicit engine
+    /// configuration (solver limits, compression, ablation switches).
+    pub fn what_if_configured(
+        &self,
+        modifications: &ModificationSet,
+        method: Method,
+        config: &EngineConfig,
+    ) -> Result<WhatIfAnswer, MahifError> {
+        let query = HistoricalWhatIf::new(
+            self.history.clone(),
+            self.versioned.initial().clone(),
+            modifications.clone(),
+        );
+        answer_what_if(
+            &query,
+            &self.versioned,
+            self.versioned.current(),
+            method,
+            config,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_history::statement::{
+        running_example_database, running_example_history, running_example_u1_prime,
+    };
+    use mahif_history::ModificationSet;
+
+    fn mahif() -> Mahif {
+        Mahif::new(
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn registration_materializes_versions() {
+        let m = mahif();
+        assert_eq!(m.history().len(), 3);
+        assert_eq!(m.versions().version_count(), 4);
+        assert_eq!(m.initial_state().total_tuples(), 4);
+        // Figure 3: current state has Jack's fee waived.
+        let fee: i64 = m
+            .current_state()
+            .relation("Order")
+            .unwrap()
+            .tuples[2]
+            .value(4)
+            .unwrap()
+            .as_int()
+            .unwrap();
+        assert_eq!(fee, 0);
+    }
+
+    #[test]
+    fn what_if_all_methods_agree() {
+        let m = mahif();
+        let mods = ModificationSet::single_replace(0, running_example_u1_prime());
+        let reference = m.what_if(&mods, Method::Naive).unwrap();
+        assert_eq!(reference.delta.len(), 2);
+        for method in Method::all() {
+            let answer = m.what_if(&mods, method).unwrap();
+            assert_eq!(answer.delta, reference.delta, "method {}", method.label());
+        }
+    }
+
+    #[test]
+    fn configured_what_if() {
+        let m = mahif();
+        let mods = ModificationSet::single_replace(0, running_example_u1_prime());
+        let config = EngineConfig {
+            use_greedy_slicer: true,
+            ..Default::default()
+        };
+        let answer = m
+            .what_if_configured(&mods, Method::ReenactPsDs, &config)
+            .unwrap();
+        assert_eq!(answer.delta.len(), 2);
+    }
+}

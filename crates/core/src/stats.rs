@@ -1,0 +1,139 @@
+//! Answer, phase timings and statistics reported by the engine.
+
+use std::fmt;
+use std::time::Duration;
+
+use mahif_history::DatabaseDelta;
+
+/// Wall-clock time per engine phase. The `PS` / `Exe` columns of Figure 16
+/// and the `Creation` / `Exe` / `Delta` series of Figure 15 are produced
+/// from these numbers.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimings {
+    /// Copying the pre-history state (naïve method only).
+    pub copy: Duration,
+    /// Program slicing (symbolic execution + solver).
+    pub program_slicing: Duration,
+    /// Deriving and pushing down data-slicing conditions.
+    pub data_slicing: Duration,
+    /// Building and evaluating the (reenactment) queries, or executing the
+    /// modified history for the naïve method.
+    pub execution: Duration,
+    /// Computing the delta.
+    pub delta: Duration,
+}
+
+impl PhaseTimings {
+    /// Total runtime.
+    pub fn total(&self) -> Duration {
+        self.copy + self.program_slicing + self.data_slicing + self.execution + self.delta
+    }
+}
+
+impl fmt::Display for PhaseTimings {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "copy={:?} ps={:?} ds={:?} exe={:?} delta={:?} total={:?}",
+            self.copy,
+            self.program_slicing,
+            self.data_slicing,
+            self.execution,
+            self.delta,
+            self.total()
+        )
+    }
+}
+
+/// Statistics about the work the engine performed.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Number of statements in the (normalized) histories.
+    pub statements_total: usize,
+    /// Number of statements actually reenacted (after program slicing).
+    pub statements_reenacted: usize,
+    /// Number of satisfiability checks issued by program slicing.
+    pub solver_calls: usize,
+    /// Number of tuples read from the time-travel state as reenactment
+    /// input (after data slicing).
+    pub input_tuples: usize,
+    /// Number of tuples in the unsliced reenactment input (for comparison).
+    pub total_tuples: usize,
+}
+
+impl EngineStats {
+    /// Fraction of statements excluded by program slicing.
+    pub fn statements_excluded_ratio(&self) -> f64 {
+        if self.statements_total == 0 {
+            0.0
+        } else {
+            1.0 - self.statements_reenacted as f64 / self.statements_total as f64
+        }
+    }
+
+    /// Fraction of input tuples filtered out by data slicing.
+    pub fn tuples_filtered_ratio(&self) -> f64 {
+        if self.total_tuples == 0 {
+            0.0
+        } else {
+            1.0 - self.input_tuples as f64 / self.total_tuples as f64
+        }
+    }
+}
+
+/// The answer of a historical what-if query plus how it was obtained.
+#[derive(Debug, Clone)]
+pub struct WhatIfAnswer {
+    /// The symmetric difference `Δ(H(D), H[M](D))`.
+    pub delta: DatabaseDelta,
+    /// Per-phase timings.
+    pub timings: PhaseTimings,
+    /// Work statistics.
+    pub stats: EngineStats,
+}
+
+impl fmt::Display for WhatIfAnswer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.delta)?;
+        writeln!(
+            f,
+            "({} of {} statements reenacted, {} of {} input tuples, {})",
+            self.stats.statements_reenacted,
+            self.stats.statements_total,
+            self.stats.input_tuples,
+            self.stats.total_tuples,
+            self.timings
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_ratios() {
+        let t = PhaseTimings {
+            copy: Duration::from_millis(1),
+            program_slicing: Duration::from_millis(2),
+            data_slicing: Duration::from_millis(3),
+            execution: Duration::from_millis(4),
+            delta: Duration::from_millis(5),
+        };
+        assert_eq!(t.total(), Duration::from_millis(15));
+        assert!(t.to_string().contains("total"));
+
+        let s = EngineStats {
+            statements_total: 10,
+            statements_reenacted: 4,
+            solver_calls: 9,
+            input_tuples: 25,
+            total_tuples: 100,
+        };
+        assert!((s.statements_excluded_ratio() - 0.6).abs() < 1e-9);
+        assert!((s.tuples_filtered_ratio() - 0.75).abs() < 1e-9);
+        let empty = EngineStats::default();
+        assert_eq!(empty.statements_excluded_ratio(), 0.0);
+        assert_eq!(empty.tuples_filtered_ratio(), 0.0);
+    }
+}

@@ -1,0 +1,218 @@
+//! Convenience constructors for building expressions concisely.
+//!
+//! These helpers are used pervasively in tests, examples and the workload
+//! generators, e.g. the running example's update `u2`:
+//!
+//! ```
+//! use mahif_expr::builder::*;
+//! let cond = and(eq(attr("Country"), slit("UK")), le(attr("Price"), lit(100)));
+//! let new_fee = add(attr("ShippingFee"), lit(5));
+//! assert!(cond.is_boolean());
+//! assert_eq!(new_fee.attrs().len(), 1);
+//! ```
+
+use std::sync::Arc;
+
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::value::Value;
+
+/// Attribute reference.
+pub fn attr(name: impl Into<String>) -> Expr {
+    Expr::Attr(name.into())
+}
+
+/// Symbolic variable reference (VC-tables, Section 8).
+pub fn var(name: impl Into<String>) -> Expr {
+    Expr::Var(name.into())
+}
+
+/// Integer literal.
+pub fn lit(v: i64) -> Expr {
+    Expr::Const(Value::Int(v))
+}
+
+/// String literal.
+pub fn slit(v: impl AsRef<str>) -> Expr {
+    Expr::Const(Value::str(v))
+}
+
+/// Arbitrary constant.
+pub fn cst(v: Value) -> Expr {
+    Expr::Const(v)
+}
+
+/// NULL literal.
+pub fn null() -> Expr {
+    Expr::Const(Value::Null)
+}
+
+fn arith(op: ArithOp, l: Expr, r: Expr) -> Expr {
+    Expr::Arith {
+        op,
+        left: Arc::new(l),
+        right: Arc::new(r),
+    }
+}
+
+/// `l + r`
+pub fn add(l: Expr, r: Expr) -> Expr {
+    arith(ArithOp::Add, l, r)
+}
+
+/// `l - r`
+pub fn sub(l: Expr, r: Expr) -> Expr {
+    arith(ArithOp::Sub, l, r)
+}
+
+/// `l * r`
+pub fn mul(l: Expr, r: Expr) -> Expr {
+    arith(ArithOp::Mul, l, r)
+}
+
+/// `l / r`
+pub fn div(l: Expr, r: Expr) -> Expr {
+    arith(ArithOp::Div, l, r)
+}
+
+fn cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+    Expr::Cmp {
+        op,
+        left: Arc::new(l),
+        right: Arc::new(r),
+    }
+}
+
+/// `l = r`
+pub fn eq(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Eq, l, r)
+}
+
+/// `l <> r`
+pub fn neq(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Neq, l, r)
+}
+
+/// `l < r`
+pub fn lt(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Lt, l, r)
+}
+
+/// `l <= r`
+pub fn le(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Le, l, r)
+}
+
+/// `l > r`
+pub fn gt(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Gt, l, r)
+}
+
+/// `l >= r`
+pub fn ge(l: Expr, r: Expr) -> Expr {
+    cmp(CmpOp::Ge, l, r)
+}
+
+/// `l AND r`
+pub fn and(l: Expr, r: Expr) -> Expr {
+    Expr::And(Arc::new(l), Arc::new(r))
+}
+
+/// `l OR r`
+pub fn or(l: Expr, r: Expr) -> Expr {
+    Expr::Or(Arc::new(l), Arc::new(r))
+}
+
+/// `NOT e`
+pub fn not(e: Expr) -> Expr {
+    Expr::Not(Arc::new(e))
+}
+
+/// `e IS NULL`
+pub fn is_null(e: Expr) -> Expr {
+    Expr::IsNull(Arc::new(e))
+}
+
+/// `IF cond THEN then_branch ELSE else_branch`
+pub fn ite(cond: Expr, then_branch: Expr, else_branch: Expr) -> Expr {
+    Expr::IfThenElse {
+        cond: Arc::new(cond),
+        then_branch: Arc::new(then_branch),
+        else_branch: Arc::new(else_branch),
+    }
+}
+
+/// Conjunction of an arbitrary number of conditions; returns `true` when the
+/// iterator is empty.
+pub fn conjunction(items: impl IntoIterator<Item = Expr>) -> Expr {
+    let mut iter = items.into_iter();
+    match iter.next() {
+        None => Expr::true_(),
+        Some(first) => iter.fold(first, and),
+    }
+}
+
+/// Disjunction of an arbitrary number of conditions; returns `false` when the
+/// iterator is empty.
+pub fn disjunction(items: impl IntoIterator<Item = Expr>) -> Expr {
+    let mut iter = items.into_iter();
+    match iter.next() {
+        None => Expr::false_(),
+        Some(first) => iter.fold(first, or),
+    }
+}
+
+/// `lo <= e AND e <= hi` — range constraint used by the database compression
+/// of Section 8.3.1.
+pub fn between(e: Expr, lo: i64, hi: i64) -> Expr {
+    and(ge(e.clone(), lit(lo)), le(e, lit(hi)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_produce_expected_shapes() {
+        assert!(matches!(add(lit(1), lit(2)), Expr::Arith { op: ArithOp::Add, .. }));
+        assert!(matches!(sub(lit(1), lit(2)), Expr::Arith { op: ArithOp::Sub, .. }));
+        assert!(matches!(mul(lit(1), lit(2)), Expr::Arith { op: ArithOp::Mul, .. }));
+        assert!(matches!(div(lit(1), lit(2)), Expr::Arith { op: ArithOp::Div, .. }));
+        assert!(matches!(eq(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Eq, .. }));
+        assert!(matches!(neq(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Neq, .. }));
+        assert!(matches!(lt(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Lt, .. }));
+        assert!(matches!(le(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Le, .. }));
+        assert!(matches!(gt(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Gt, .. }));
+        assert!(matches!(ge(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Ge, .. }));
+        assert!(matches!(and(Expr::true_(), Expr::false_()), Expr::And(..)));
+        assert!(matches!(or(Expr::true_(), Expr::false_()), Expr::Or(..)));
+        assert!(matches!(not(Expr::true_()), Expr::Not(..)));
+        assert!(matches!(is_null(attr("A")), Expr::IsNull(..)));
+        assert!(matches!(null(), Expr::Const(Value::Null)));
+    }
+
+    #[test]
+    fn conjunction_of_empty_is_true() {
+        assert!(conjunction(Vec::new()).is_true());
+        assert!(disjunction(Vec::new()).is_false());
+    }
+
+    #[test]
+    fn conjunction_of_many() {
+        let c = conjunction(vec![
+            ge(attr("A"), lit(1)),
+            le(attr("A"), lit(5)),
+            eq(attr("B"), lit(2)),
+        ]);
+        assert_eq!(c.attrs().len(), 2);
+        // Nested And structure.
+        assert!(matches!(c, Expr::And(..)));
+    }
+
+    #[test]
+    fn between_builds_range() {
+        let c = between(attr("Price"), 20, 50);
+        let s = c.to_string();
+        assert!(s.contains(">= 20"));
+        assert!(s.contains("<= 50"));
+    }
+}

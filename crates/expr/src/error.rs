@@ -1,0 +1,65 @@
+//! Errors raised while evaluating or manipulating expressions.
+
+use std::fmt;
+
+use crate::value::Value;
+
+/// Error type for expression evaluation and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprError {
+    /// An attribute referenced by the expression is not bound.
+    UnboundAttribute(String),
+    /// A symbolic variable was encountered where a concrete value was needed.
+    UnboundVariable(String),
+    /// An operator was applied to values of incompatible types.
+    TypeMismatch {
+        /// Operator description, e.g. `"+"` or `"AND"`.
+        op: String,
+        /// Left operand.
+        left: Value,
+        /// Right operand.
+        right: Value,
+    },
+    /// Division by zero.
+    DivisionByZero,
+    /// Integer overflow during arithmetic.
+    Overflow,
+    /// A condition was expected but a non-boolean expression was supplied.
+    NotACondition(String),
+}
+
+impl fmt::Display for ExprError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprError::UnboundAttribute(a) => write!(f, "unbound attribute `{a}`"),
+            ExprError::UnboundVariable(v) => write!(f, "unbound symbolic variable `{v}`"),
+            ExprError::TypeMismatch { op, left, right } => {
+                write!(f, "type mismatch applying `{op}` to {left} and {right}")
+            }
+            ExprError::DivisionByZero => write!(f, "division by zero"),
+            ExprError::Overflow => write!(f, "integer overflow"),
+            ExprError::NotACondition(e) => write!(f, "expression `{e}` is not a condition"),
+        }
+    }
+}
+
+impl std::error::Error for ExprError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ExprError::UnboundAttribute("x".into())
+            .to_string()
+            .contains("unbound attribute"));
+        assert!(ExprError::DivisionByZero.to_string().contains("division"));
+        let e = ExprError::TypeMismatch {
+            op: "+".into(),
+            left: Value::int(1),
+            right: Value::str("a"),
+        };
+        assert!(e.to_string().contains("type mismatch"));
+    }
+}

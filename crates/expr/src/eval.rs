@@ -1,0 +1,420 @@
+//! Evaluation of expressions against attribute bindings.
+//!
+//! Evaluation follows SQL three-valued semantics: arithmetic and comparisons
+//! involving NULL yield NULL, `AND`/`OR` use Kleene logic, and a condition
+//! used to filter tuples (e.g. the `θ` of an update) accepts a tuple only if
+//! it evaluates to `true` (NULL counts as not satisfied) — see
+//! [`eval_condition`].
+
+use std::collections::HashMap;
+
+use crate::error::ExprError;
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::value::Value;
+
+/// A source of attribute and variable values for evaluation.
+pub trait Bindings {
+    /// Value of attribute `name`, or `None` if unbound.
+    fn attr(&self, name: &str) -> Option<Value>;
+
+    /// Value of symbolic variable `name`, or `None` if unbound.
+    fn var(&self, _name: &str) -> Option<Value> {
+        None
+    }
+}
+
+/// Simple map-backed [`Bindings`] implementation used by tests and by the
+/// solver's model verification step.
+#[derive(Debug, Default, Clone)]
+pub struct MapBindings {
+    attrs: HashMap<String, Value>,
+    vars: HashMap<String, Value>,
+}
+
+impl MapBindings {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds (or overwrites) an attribute binding.
+    pub fn with_attr(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.attrs.insert(name.into(), value.into());
+        self
+    }
+
+    /// Adds (or overwrites) a symbolic variable binding.
+    pub fn with_var(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.vars.insert(name.into(), value.into());
+        self
+    }
+
+    /// Inserts an attribute binding in place.
+    pub fn set_attr(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.attrs.insert(name.into(), value.into());
+    }
+
+    /// Inserts a symbolic variable binding in place.
+    pub fn set_var(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.vars.insert(name.into(), value.into());
+    }
+}
+
+impl Bindings for MapBindings {
+    fn attr(&self, name: &str) -> Option<Value> {
+        self.attrs.get(name).cloned()
+    }
+
+    fn var(&self, name: &str) -> Option<Value> {
+        self.vars.get(name).cloned()
+    }
+}
+
+/// Evaluates an expression to a [`Value`].
+pub fn eval_expr(expr: &Expr, bindings: &dyn Bindings) -> Result<Value, ExprError> {
+    match expr {
+        Expr::Attr(name) => bindings
+            .attr(name)
+            .ok_or_else(|| ExprError::UnboundAttribute(name.clone())),
+        Expr::Var(name) => bindings
+            .var(name)
+            .ok_or_else(|| ExprError::UnboundVariable(name.clone())),
+        Expr::Const(v) => Ok(v.clone()),
+        Expr::Arith { op, left, right } => {
+            let l = eval_expr(left, bindings)?;
+            let r = eval_expr(right, bindings)?;
+            eval_arith(*op, l, r)
+        }
+        Expr::Cmp { op, left, right } => {
+            let l = eval_expr(left, bindings)?;
+            let r = eval_expr(right, bindings)?;
+            Ok(eval_cmp(*op, &l, &r))
+        }
+        Expr::And(l, r) => {
+            let lv = eval_expr(l, bindings)?;
+            let rv = eval_expr(r, bindings)?;
+            eval_and(lv, rv)
+        }
+        Expr::Or(l, r) => {
+            let lv = eval_expr(l, bindings)?;
+            let rv = eval_expr(r, bindings)?;
+            eval_or(lv, rv)
+        }
+        Expr::Not(e) => {
+            let v = eval_expr(e, bindings)?;
+            match v {
+                Value::Bool(b) => Ok(Value::Bool(!b)),
+                Value::Null => Ok(Value::Null),
+                other => Err(ExprError::TypeMismatch {
+                    op: "NOT".into(),
+                    left: other,
+                    right: Value::Null,
+                }),
+            }
+        }
+        Expr::IsNull(e) => {
+            let v = eval_expr(e, bindings)?;
+            Ok(Value::Bool(v.is_null()))
+        }
+        Expr::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let c = eval_expr(cond, bindings)?;
+            // NULL conditions take the else branch, matching SQL CASE WHEN.
+            if c.as_bool().unwrap_or(false) {
+                eval_expr(then_branch, bindings)
+            } else {
+                eval_expr(else_branch, bindings)
+            }
+        }
+    }
+}
+
+/// Evaluates a condition, mapping NULL (unknown) to `false`. This is the
+/// semantics used when a condition filters tuples (update/delete `θ`,
+/// selections, data-slicing conditions).
+pub fn eval_condition(expr: &Expr, bindings: &dyn Bindings) -> Result<bool, ExprError> {
+    let v = eval_expr(expr, bindings)?;
+    match v {
+        Value::Bool(b) => Ok(b),
+        Value::Null => Ok(false),
+        other => Err(ExprError::NotACondition(other.to_string())),
+    }
+}
+
+fn eval_arith(op: ArithOp, l: Value, r: Value) -> Result<Value, ExprError> {
+    if l.is_null() || r.is_null() {
+        return Ok(Value::Null);
+    }
+    match (&l, &r) {
+        (Value::Int(a), Value::Int(b)) => {
+            let res = match op {
+                ArithOp::Add => a.checked_add(*b),
+                ArithOp::Sub => a.checked_sub(*b),
+                ArithOp::Mul => a.checked_mul(*b),
+                ArithOp::Div => {
+                    if *b == 0 {
+                        return Err(ExprError::DivisionByZero);
+                    }
+                    a.checked_div(*b)
+                }
+            };
+            res.map(Value::Int).ok_or(ExprError::Overflow)
+        }
+        _ => Err(ExprError::TypeMismatch {
+            op: op.symbol().to_string(),
+            left: l,
+            right: r,
+        }),
+    }
+}
+
+fn eval_cmp(op: CmpOp, l: &Value, r: &Value) -> Value {
+    match l.sql_cmp(r) {
+        None => Value::Null,
+        Some(ord) => {
+            let b = match op {
+                CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                CmpOp::Neq => ord != std::cmp::Ordering::Equal,
+                CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                CmpOp::Ge => ord != std::cmp::Ordering::Less,
+            };
+            Value::Bool(b)
+        }
+    }
+}
+
+/// Kleene three-valued AND.
+fn eval_and(l: Value, r: Value) -> Result<Value, ExprError> {
+    match (to_tristate("AND", &l)?, to_tristate("AND", &r)?) {
+        (Some(false), _) | (_, Some(false)) => Ok(Value::Bool(false)),
+        (Some(true), Some(true)) => Ok(Value::Bool(true)),
+        _ => Ok(Value::Null),
+    }
+}
+
+/// Kleene three-valued OR.
+fn eval_or(l: Value, r: Value) -> Result<Value, ExprError> {
+    match (to_tristate("OR", &l)?, to_tristate("OR", &r)?) {
+        (Some(true), _) | (_, Some(true)) => Ok(Value::Bool(true)),
+        (Some(false), Some(false)) => Ok(Value::Bool(false)),
+        _ => Ok(Value::Null),
+    }
+}
+
+fn to_tristate(op: &str, v: &Value) -> Result<Option<bool>, ExprError> {
+    match v {
+        Value::Bool(b) => Ok(Some(*b)),
+        Value::Null => Ok(None),
+        other => Err(ExprError::TypeMismatch {
+            op: op.to_string(),
+            left: other.clone(),
+            right: Value::Null,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    fn b() -> MapBindings {
+        MapBindings::new()
+            .with_attr("Price", 50)
+            .with_attr("ShippingFee", 5)
+            .with_attr("Country", "UK")
+    }
+
+    #[test]
+    fn eval_attr_and_const() {
+        assert_eq!(eval_expr(&attr("Price"), &b()).unwrap(), Value::int(50));
+        assert_eq!(eval_expr(&lit(7), &b()).unwrap(), Value::int(7));
+        assert_eq!(eval_expr(&slit("UK"), &b()).unwrap(), Value::str("UK"));
+    }
+
+    #[test]
+    fn unbound_attr_errors() {
+        assert_eq!(
+            eval_expr(&attr("Missing"), &b()),
+            Err(ExprError::UnboundAttribute("Missing".into()))
+        );
+        assert_eq!(
+            eval_expr(&var("x"), &b()),
+            Err(ExprError::UnboundVariable("x".into()))
+        );
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(
+            eval_expr(&add(attr("Price"), lit(5)), &b()).unwrap(),
+            Value::int(55)
+        );
+        assert_eq!(
+            eval_expr(&sub(attr("Price"), lit(5)), &b()).unwrap(),
+            Value::int(45)
+        );
+        assert_eq!(
+            eval_expr(&mul(attr("Price"), lit(2)), &b()).unwrap(),
+            Value::int(100)
+        );
+        assert_eq!(
+            eval_expr(&div(attr("Price"), lit(2)), &b()).unwrap(),
+            Value::int(25)
+        );
+    }
+
+    #[test]
+    fn division_by_zero() {
+        assert_eq!(
+            eval_expr(&div(lit(1), lit(0)), &b()),
+            Err(ExprError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn overflow_detected() {
+        assert_eq!(
+            eval_expr(&add(lit(i64::MAX), lit(1)), &b()),
+            Err(ExprError::Overflow)
+        );
+    }
+
+    #[test]
+    fn arithmetic_with_null_is_null() {
+        assert_eq!(eval_expr(&add(null(), lit(1)), &b()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn arithmetic_type_mismatch() {
+        assert!(matches!(
+            eval_expr(&add(slit("a"), lit(1)), &b()),
+            Err(ExprError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn comparisons() {
+        let bind = b();
+        assert_eq!(
+            eval_expr(&ge(attr("Price"), lit(50)), &bind).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_expr(&gt(attr("Price"), lit(50)), &bind).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            eval_expr(&eq(attr("Country"), slit("UK")), &bind).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_expr(&neq(attr("Country"), slit("US")), &bind).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_expr(&lt(lit(1), lit(2)), &bind).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_expr(&le(lit(2), lit(2)), &bind).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn comparison_with_null_is_null() {
+        assert_eq!(eval_expr(&eq(null(), lit(1)), &b()).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn kleene_logic() {
+        let bind = b();
+        // false AND NULL = false
+        assert_eq!(
+            eval_expr(&and(Expr::false_(), eq(null(), lit(1))), &bind).unwrap(),
+            Value::Bool(false)
+        );
+        // true AND NULL = NULL
+        assert_eq!(
+            eval_expr(&and(Expr::true_(), eq(null(), lit(1))), &bind).unwrap(),
+            Value::Null
+        );
+        // true OR NULL = true
+        assert_eq!(
+            eval_expr(&or(Expr::true_(), eq(null(), lit(1))), &bind).unwrap(),
+            Value::Bool(true)
+        );
+        // false OR NULL = NULL
+        assert_eq!(
+            eval_expr(&or(Expr::false_(), eq(null(), lit(1))), &bind).unwrap(),
+            Value::Null
+        );
+        // NOT NULL = NULL
+        assert_eq!(
+            eval_expr(&not(eq(null(), lit(1))), &bind).unwrap(),
+            Value::Null
+        );
+    }
+
+    #[test]
+    fn is_null_test() {
+        assert_eq!(
+            eval_expr(&is_null(null()), &b()).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_expr(&is_null(lit(1)), &b()).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn if_then_else_running_example() {
+        // u1 from the paper: if Price >= 50 then 0 else ShippingFee
+        let e = ite(ge(attr("Price"), lit(50)), lit(0), attr("ShippingFee"));
+        assert_eq!(eval_expr(&e, &b()).unwrap(), Value::int(0));
+        let cheap = MapBindings::new()
+            .with_attr("Price", 20)
+            .with_attr("ShippingFee", 5);
+        assert_eq!(eval_expr(&e, &cheap).unwrap(), Value::int(5));
+    }
+
+    #[test]
+    fn ite_null_condition_takes_else() {
+        let e = ite(eq(null(), lit(1)), lit(1), lit(2));
+        assert_eq!(eval_expr(&e, &b()).unwrap(), Value::int(2));
+    }
+
+    #[test]
+    fn eval_condition_null_is_false() {
+        assert!(!eval_condition(&eq(null(), lit(1)), &b()).unwrap());
+        assert!(eval_condition(&ge(attr("Price"), lit(10)), &b()).unwrap());
+        assert!(matches!(
+            eval_condition(&lit(5), &b()),
+            Err(ExprError::NotACondition(_))
+        ));
+    }
+
+    #[test]
+    fn var_bindings() {
+        let bind = MapBindings::new().with_var("x_Price", 60);
+        assert_eq!(
+            eval_expr(&ge(var("x_Price"), lit(50)), &bind).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn not_on_non_boolean_errors() {
+        assert!(matches!(
+            eval_expr(&not(lit(3)), &b()),
+            Err(ExprError::TypeMismatch { .. })
+        ));
+    }
+}

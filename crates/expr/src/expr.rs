@@ -1,0 +1,427 @@
+//! The expression / condition AST (Figure 7 of the paper).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::value::Value;
+
+/// Shared reference to an expression node. Expressions produced by the
+/// data-slicing push-down and by symbolic execution share large sub-trees, so
+/// children are reference counted.
+pub type ExprRef = Arc<Expr>;
+
+/// Arithmetic operators of the expression grammar `e {+,-,×,÷} e`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArithOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Integer division.
+    Div,
+}
+
+impl ArithOp {
+    /// Symbol used when pretty printing.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            ArithOp::Add => "+",
+            ArithOp::Sub => "-",
+            ArithOp::Mul => "*",
+            ArithOp::Div => "/",
+        }
+    }
+
+    /// Commutative operators (`+`, `×`) per the equivalence rules of Figure 8.
+    pub fn is_commutative(self) -> bool {
+        matches!(self, ArithOp::Add | ArithOp::Mul)
+    }
+}
+
+/// Comparison operators of the condition grammar `e {=,≠,<,≤,>,≥} e`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equality.
+    Eq,
+    /// Inequality.
+    Neq,
+    /// Strictly less.
+    Lt,
+    /// Less or equal.
+    Le,
+    /// Strictly greater.
+    Gt,
+    /// Greater or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Symbol used when pretty printing.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Neq => "<>",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+
+    /// The comparison with both operands swapped (`a < b` ⇔ `b > a`).
+    pub fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logically negated comparison (`¬(a < b)` ⇔ `a ≥ b`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Neq,
+            CmpOp::Neq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+}
+
+/// A scalar expression `e` or condition `φ` (Figure 7).
+///
+/// Conditions are expressions that evaluate to a boolean; the two classes are
+/// merged into one enum because `if φ then e else e` embeds conditions inside
+/// scalar expressions and the data-slicing push-down substitutes scalar
+/// expressions into conditions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Expr {
+    /// Reference to an attribute of the current tuple (the `v` of the
+    /// grammar when evaluated against a tuple).
+    Attr(String),
+    /// Reference to a symbolic variable of a VC-table (Section 8).
+    Var(String),
+    /// Constant value `c`.
+    Const(Value),
+    /// Arithmetic `e ⋄ e`.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        left: ExprRef,
+        /// Right operand.
+        right: ExprRef,
+    },
+    /// Comparison `e ⋄ e`, evaluates to a boolean.
+    Cmp {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        left: ExprRef,
+        /// Right operand.
+        right: ExprRef,
+    },
+    /// Conjunction `φ ∧ φ`.
+    And(ExprRef, ExprRef),
+    /// Disjunction `φ ∨ φ`.
+    Or(ExprRef, ExprRef),
+    /// Negation `¬φ`.
+    Not(ExprRef),
+    /// NULL test `e isnull`.
+    IsNull(ExprRef),
+    /// Conditional expression `if φ then e else e`.
+    IfThenElse {
+        /// Condition.
+        cond: ExprRef,
+        /// Value when the condition holds.
+        then_branch: ExprRef,
+        /// Value when the condition does not hold.
+        else_branch: ExprRef,
+    },
+}
+
+impl Expr {
+    /// Constant `true`.
+    pub fn true_() -> Expr {
+        Expr::Const(Value::Bool(true))
+    }
+
+    /// Constant `false`.
+    pub fn false_() -> Expr {
+        Expr::Const(Value::Bool(false))
+    }
+
+    /// Is this expression the constant `true`?
+    pub fn is_true(&self) -> bool {
+        matches!(self, Expr::Const(Value::Bool(true)))
+    }
+
+    /// Is this expression the constant `false`?
+    pub fn is_false(&self) -> bool {
+        matches!(self, Expr::Const(Value::Bool(false)))
+    }
+
+    /// Syntactic check: does this expression belong to the condition class
+    /// `φ` of the grammar (i.e. is it boolean-valued by construction)?
+    pub fn is_boolean(&self) -> bool {
+        match self {
+            Expr::Cmp { .. }
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(..)
+            | Expr::IsNull(..) => true,
+            Expr::Const(Value::Bool(_)) => true,
+            Expr::IfThenElse {
+                then_branch,
+                else_branch,
+                ..
+            } => then_branch.is_boolean() && else_branch.is_boolean(),
+            _ => false,
+        }
+    }
+
+    /// Collects the names of all attributes referenced by this expression.
+    pub fn attrs(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_attrs(&mut out);
+        out
+    }
+
+    fn collect_attrs(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Attr(a) => {
+                out.insert(a.clone());
+            }
+            Expr::Var(_) | Expr::Const(_) => {}
+            Expr::Arith { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                left.collect_attrs(out);
+                right.collect_attrs(out);
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_attrs(out);
+                r.collect_attrs(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.collect_attrs(out),
+            Expr::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                cond.collect_attrs(out);
+                then_branch.collect_attrs(out);
+                else_branch.collect_attrs(out);
+            }
+        }
+    }
+
+    /// Collects the names of all symbolic variables referenced by this
+    /// expression.
+    pub fn vars(&self) -> BTreeSet<String> {
+        let mut out = BTreeSet::new();
+        self.collect_vars(&mut out);
+        out
+    }
+
+    fn collect_vars(&self, out: &mut BTreeSet<String>) {
+        match self {
+            Expr::Var(v) => {
+                out.insert(v.clone());
+            }
+            Expr::Attr(_) | Expr::Const(_) => {}
+            Expr::Arith { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                left.collect_vars(out);
+                right.collect_vars(out);
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                l.collect_vars(out);
+                r.collect_vars(out);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => e.collect_vars(out),
+            Expr::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                cond.collect_vars(out);
+                then_branch.collect_vars(out);
+                else_branch.collect_vars(out);
+            }
+        }
+    }
+
+    /// Number of AST nodes; used by tests and by the benchmark harness to
+    /// report the size of pushed-down slicing conditions.
+    pub fn size(&self) -> usize {
+        match self {
+            Expr::Attr(_) | Expr::Var(_) | Expr::Const(_) => 1,
+            Expr::Arith { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                1 + left.size() + right.size()
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => 1 + l.size() + r.size(),
+            Expr::Not(e) | Expr::IsNull(e) => 1 + e.size(),
+            Expr::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => 1 + cond.size() + then_branch.size() + else_branch.size(),
+        }
+    }
+
+    /// Maximum nesting depth of the expression tree.
+    pub fn depth(&self) -> usize {
+        match self {
+            Expr::Attr(_) | Expr::Var(_) | Expr::Const(_) => 1,
+            Expr::Arith { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                1 + left.depth().max(right.depth())
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => 1 + l.depth().max(r.depth()),
+            Expr::Not(e) | Expr::IsNull(e) => 1 + e.depth(),
+            Expr::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => 1 + cond.depth().max(then_branch.depth()).max(else_branch.depth()),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Attr(a) => write!(f, "{a}"),
+            Expr::Var(v) => write!(f, "${v}"),
+            Expr::Const(c) => write!(f, "{c}"),
+            Expr::Arith { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::Cmp { op, left, right } => {
+                write!(f, "({left} {} {right})", op.symbol())
+            }
+            Expr::And(l, r) => write!(f, "({l} AND {r})"),
+            Expr::Or(l, r) => write!(f, "({l} OR {r})"),
+            Expr::Not(e) => write!(f, "(NOT {e})"),
+            Expr::IsNull(e) => write!(f, "({e} IS NULL)"),
+            Expr::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => write!(f, "(IF {cond} THEN {then_branch} ELSE {else_branch})"),
+        }
+    }
+}
+
+impl From<Value> for Expr {
+    fn from(v: Value) -> Self {
+        Expr::Const(v)
+    }
+}
+
+impl From<i64> for Expr {
+    fn from(v: i64) -> Self {
+        Expr::Const(Value::Int(v))
+    }
+}
+
+impl From<bool> for Expr {
+    fn from(v: bool) -> Self {
+        Expr::Const(Value::Bool(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+
+    #[test]
+    fn cmp_op_negation_and_flip() {
+        assert_eq!(CmpOp::Lt.negated(), CmpOp::Ge);
+        assert_eq!(CmpOp::Le.negated(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.negated(), CmpOp::Neq);
+        assert_eq!(CmpOp::Lt.flipped(), CmpOp::Gt);
+        assert_eq!(CmpOp::Eq.flipped(), CmpOp::Eq);
+    }
+
+    #[test]
+    fn arith_op_properties() {
+        assert!(ArithOp::Add.is_commutative());
+        assert!(ArithOp::Mul.is_commutative());
+        assert!(!ArithOp::Sub.is_commutative());
+        assert_eq!(ArithOp::Div.symbol(), "/");
+    }
+
+    #[test]
+    fn boolean_classification() {
+        let c = ge(attr("Price"), lit(50));
+        assert!(c.is_boolean());
+        assert!(!attr("Price").is_boolean());
+        assert!(Expr::true_().is_boolean());
+        assert!(!lit(3).is_boolean());
+        // if-then-else is boolean iff both branches are
+        let ite = ite(c.clone(), Expr::true_(), Expr::false_());
+        assert!(ite.is_boolean());
+        let ite2 = crate::builder::ite(c, lit(1), lit(0));
+        assert!(!ite2.is_boolean());
+    }
+
+    #[test]
+    fn attr_and_var_collection() {
+        let e = and(
+            ge(attr("Price"), lit(50)),
+            eq(var("x_Country"), attr("Country")),
+        );
+        let attrs: Vec<_> = e.attrs().into_iter().collect();
+        assert_eq!(attrs, vec!["Country".to_string(), "Price".to_string()]);
+        let vars: Vec<_> = e.vars().into_iter().collect();
+        assert_eq!(vars, vec!["x_Country".to_string()]);
+    }
+
+    #[test]
+    fn size_and_depth() {
+        let e = add(attr("A"), lit(1));
+        assert_eq!(e.size(), 3);
+        assert_eq!(e.depth(), 2);
+        let nested = ite(ge(attr("A"), lit(0)), add(attr("A"), lit(1)), attr("A"));
+        assert_eq!(nested.size(), 3 + 3 + 1 + 1);
+        assert!(nested.depth() >= 3);
+    }
+
+    #[test]
+    fn display_round() {
+        let e = ite(
+            and(eq(attr("Country"), slit("UK")), le(attr("Price"), lit(100))),
+            add(attr("Fee"), lit(5)),
+            attr("Fee"),
+        );
+        let s = e.to_string();
+        assert!(s.contains("IF"));
+        assert!(s.contains("Country"));
+        assert!(s.contains("'UK'"));
+        assert!(s.contains("Fee + 5") || s.contains("(Fee + 5)"));
+    }
+
+    #[test]
+    fn true_false_helpers() {
+        assert!(Expr::true_().is_true());
+        assert!(!Expr::true_().is_false());
+        assert!(Expr::false_().is_false());
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Expr::from(3i64), Expr::Const(Value::Int(3)));
+        assert_eq!(Expr::from(true), Expr::Const(Value::Bool(true)));
+        assert_eq!(
+            Expr::from(Value::str("a")),
+            Expr::Const(Value::str("a"))
+        );
+    }
+}

@@ -1,0 +1,42 @@
+//! # mahif-expr
+//!
+//! The scalar expression and condition language used throughout Mahif-rs.
+//!
+//! This crate implements the grammar of Figure 7 of *"Efficient Answering of
+//! Historical What-if Queries"* (SIGMOD 2022):
+//!
+//! ```text
+//! e := v | c | e {+,-,×,÷} e | if φ then e else e
+//! φ := e {=,≠,<,≤,>,≥} e | φ {∧,∨} φ | e isnull | ¬φ | true | false
+//! ```
+//!
+//! Expressions reference attributes of a tuple (`Expr::Attr`) or symbolic
+//! variables (`Expr::Var`, used by the VC-table symbolic execution in
+//! `mahif-symbolic`). Both scalar expressions `e` and conditions `φ` are
+//! represented by the single [`Expr`] enum; [`Expr::is_boolean`] distinguishes
+//! the two syntactic classes.
+//!
+//! The crate provides
+//! * [`Value`] / [`DataType`] — the universal value domain,
+//! * evaluation against attribute bindings ([`eval::eval_expr`]),
+//! * substitution `e[e' ← e'']` used by the data-slicing push-down
+//!   ([`subst`]),
+//! * simplification / constant folding ([`simplify`]),
+//! * a small builder DSL ([`builder`]) and pretty printing.
+
+pub mod builder;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod simplify;
+pub mod subst;
+pub mod types;
+pub mod value;
+
+pub use error::ExprError;
+pub use eval::{eval_condition, eval_expr, Bindings, MapBindings};
+pub use expr::{ArithOp, CmpOp, Expr, ExprRef};
+pub use simplify::simplify;
+pub use subst::{substitute_attrs, substitute_vars, SubstMap};
+pub use types::DataType;
+pub use value::Value;

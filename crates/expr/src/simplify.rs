@@ -1,0 +1,344 @@
+//! Expression simplification.
+//!
+//! The data-slicing push-down (Section 6) and symbolic execution
+//! (Section 8.2) produce deeply nested conditional expressions. Constant
+//! folding and boolean simplification keep them small; the paper notes that
+//! the compressed-database constraints and local conditions are simplified
+//! "by evaluating constant subexpressions in symbolic expressions".
+//!
+//! Simplification is purely equivalence-preserving (under the evaluation
+//! semantics of [`crate::eval`]) and is exercised by property tests that
+//! compare evaluation results before and after simplification.
+
+use std::sync::Arc;
+
+use crate::expr::{ArithOp, CmpOp, Expr};
+use crate::value::Value;
+
+/// Simplifies an expression by bottom-up constant folding and boolean
+/// identities.
+pub fn simplify(expr: &Expr) -> Expr {
+    match expr {
+        Expr::Attr(_) | Expr::Var(_) | Expr::Const(_) => expr.clone(),
+        Expr::Arith { op, left, right } => {
+            let l = simplify(left);
+            let r = simplify(right);
+            simplify_arith(*op, l, r)
+        }
+        Expr::Cmp { op, left, right } => {
+            let l = simplify(left);
+            let r = simplify(right);
+            simplify_cmp(*op, l, r)
+        }
+        Expr::And(l, r) => {
+            let l = simplify(l);
+            let r = simplify(r);
+            simplify_and(l, r)
+        }
+        Expr::Or(l, r) => {
+            let l = simplify(l);
+            let r = simplify(r);
+            simplify_or(l, r)
+        }
+        Expr::Not(e) => {
+            let inner = simplify(e);
+            simplify_not(inner)
+        }
+        Expr::IsNull(e) => {
+            let inner = simplify(e);
+            match &inner {
+                Expr::Const(Value::Null) => Expr::true_(),
+                Expr::Const(_) => Expr::false_(),
+                _ => Expr::IsNull(Arc::new(inner)),
+            }
+        }
+        Expr::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            let c = simplify(cond);
+            let t = simplify(then_branch);
+            let e = simplify(else_branch);
+            if c.is_true() {
+                t
+            } else if c.is_false() {
+                e
+            } else if t == e {
+                // Both branches identical: condition is irrelevant (it cannot
+                // fail at runtime since conditions never error).
+                t
+            } else {
+                Expr::IfThenElse {
+                    cond: Arc::new(c),
+                    then_branch: Arc::new(t),
+                    else_branch: Arc::new(e),
+                }
+            }
+        }
+    }
+}
+
+fn simplify_arith(op: ArithOp, l: Expr, r: Expr) -> Expr {
+    // Constant folding on integer operands (never fold division by zero or
+    // overflow — leave those to runtime evaluation).
+    if let (Expr::Const(Value::Int(a)), Expr::Const(Value::Int(b))) = (&l, &r) {
+        let folded = match op {
+            ArithOp::Add => a.checked_add(*b),
+            ArithOp::Sub => a.checked_sub(*b),
+            ArithOp::Mul => a.checked_mul(*b),
+            ArithOp::Div => {
+                if *b == 0 {
+                    None
+                } else {
+                    a.checked_div(*b)
+                }
+            }
+        };
+        if let Some(v) = folded {
+            return Expr::Const(Value::Int(v));
+        }
+    }
+    // NULL propagation.
+    if matches!(l, Expr::Const(Value::Null)) || matches!(r, Expr::Const(Value::Null)) {
+        return Expr::Const(Value::Null);
+    }
+    // Identity elements.
+    match (op, &l, &r) {
+        (ArithOp::Add, Expr::Const(Value::Int(0)), _) => return r,
+        (ArithOp::Add, _, Expr::Const(Value::Int(0)))
+        | (ArithOp::Sub, _, Expr::Const(Value::Int(0))) => return l,
+        (ArithOp::Mul, Expr::Const(Value::Int(1)), _) => return r,
+        (ArithOp::Mul, _, Expr::Const(Value::Int(1)))
+        | (ArithOp::Div, _, Expr::Const(Value::Int(1))) => return l,
+        _ => {}
+    }
+    Expr::Arith {
+        op,
+        left: Arc::new(l),
+        right: Arc::new(r),
+    }
+}
+
+fn simplify_cmp(op: CmpOp, l: Expr, r: Expr) -> Expr {
+    if let (Expr::Const(a), Expr::Const(b)) = (&l, &r) {
+        if a.is_null() || b.is_null() {
+            return Expr::Const(Value::Null);
+        }
+        if let Some(ord) = a.sql_cmp(b) {
+            let v = match op {
+                CmpOp::Eq => ord == std::cmp::Ordering::Equal,
+                CmpOp::Neq => ord != std::cmp::Ordering::Equal,
+                CmpOp::Lt => ord == std::cmp::Ordering::Less,
+                CmpOp::Le => ord != std::cmp::Ordering::Greater,
+                CmpOp::Gt => ord == std::cmp::Ordering::Greater,
+                CmpOp::Ge => ord != std::cmp::Ordering::Less,
+            };
+            return Expr::Const(Value::Bool(v));
+        }
+    }
+    // x = x, x <= x, x >= x are true for non-null x; we only apply this to
+    // attribute/variable leaves where the operand is evaluated once.
+    if l == r && matches!(l, Expr::Attr(_) | Expr::Var(_)) {
+        match op {
+            CmpOp::Eq | CmpOp::Le | CmpOp::Ge => { /* true unless NULL */ }
+            CmpOp::Neq | CmpOp::Lt | CmpOp::Gt => { /* false unless NULL */ }
+        }
+        // NULL-safety: A = A is NULL when A is NULL, so we cannot rewrite to
+        // a constant without knowing nullability. Keep as-is.
+    }
+    Expr::Cmp {
+        op,
+        left: Arc::new(l),
+        right: Arc::new(r),
+    }
+}
+
+fn simplify_and(l: Expr, r: Expr) -> Expr {
+    if l.is_false() || r.is_false() {
+        return Expr::false_();
+    }
+    if l.is_true() {
+        return r;
+    }
+    if r.is_true() {
+        return l;
+    }
+    if l == r {
+        return l;
+    }
+    Expr::And(Arc::new(l), Arc::new(r))
+}
+
+fn simplify_or(l: Expr, r: Expr) -> Expr {
+    if l.is_true() || r.is_true() {
+        return Expr::true_();
+    }
+    if l.is_false() {
+        return r;
+    }
+    if r.is_false() {
+        return l;
+    }
+    if l == r {
+        return l;
+    }
+    Expr::Or(Arc::new(l), Arc::new(r))
+}
+
+fn simplify_not(e: Expr) -> Expr {
+    match e {
+        Expr::Const(Value::Bool(b)) => Expr::Const(Value::Bool(!b)),
+        Expr::Const(Value::Null) => Expr::Const(Value::Null),
+        Expr::Not(inner) => {
+            // ¬¬φ ≡ φ only under two-valued logic; with NULLs `NOT NOT x`
+            // still yields NULL exactly when x is NULL, and the same boolean
+            // otherwise, so the rewrite is safe.
+            inner.as_ref().clone()
+        }
+        Expr::Cmp { op, left, right } => Expr::Cmp {
+            // ¬(a < b) ≡ a ≥ b is only valid when neither side is NULL; for
+            // filtering semantics (NULL ⇒ excluded either way) the rewrite
+            // preserves the set of accepted tuples, but not the three-valued
+            // result. We keep the rewrite because every consumer in this
+            // code base uses filtering semantics (`eval_condition`).
+            op: op.negated(),
+            left,
+            right,
+        },
+        other => Expr::Not(Arc::new(other)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::eval::{eval_condition, eval_expr, MapBindings};
+
+    #[test]
+    fn constant_folding_arith() {
+        assert_eq!(simplify(&add(lit(2), lit(3))), lit(5));
+        assert_eq!(simplify(&mul(lit(4), lit(5))), lit(20));
+        assert_eq!(simplify(&sub(lit(4), lit(5))), lit(-1));
+        assert_eq!(simplify(&div(lit(9), lit(3))), lit(3));
+        // Division by zero is not folded.
+        assert!(matches!(simplify(&div(lit(9), lit(0))), Expr::Arith { .. }));
+    }
+
+    #[test]
+    fn identity_elements() {
+        assert_eq!(simplify(&add(attr("A"), lit(0))), attr("A"));
+        assert_eq!(simplify(&add(lit(0), attr("A"))), attr("A"));
+        assert_eq!(simplify(&mul(attr("A"), lit(1))), attr("A"));
+        assert_eq!(simplify(&sub(attr("A"), lit(0))), attr("A"));
+        assert_eq!(simplify(&div(attr("A"), lit(1))), attr("A"));
+    }
+
+    #[test]
+    fn constant_folding_cmp() {
+        assert!(simplify(&ge(lit(50), lit(40))).is_true());
+        assert!(simplify(&lt(lit(50), lit(40))).is_false());
+        assert!(simplify(&eq(slit("UK"), slit("UK"))).is_true());
+        assert!(simplify(&neq(slit("UK"), slit("US"))).is_true());
+    }
+
+    #[test]
+    fn boolean_identities() {
+        let c = ge(attr("P"), lit(50));
+        assert_eq!(simplify(&and(Expr::true_(), c.clone())), c);
+        assert_eq!(simplify(&and(c.clone(), Expr::true_())), c);
+        assert!(simplify(&and(Expr::false_(), c.clone())).is_false());
+        assert_eq!(simplify(&or(Expr::false_(), c.clone())), c);
+        assert!(simplify(&or(Expr::true_(), c.clone())).is_true());
+        assert_eq!(simplify(&and(c.clone(), c.clone())), c);
+        assert_eq!(simplify(&or(c.clone(), c.clone())), c);
+    }
+
+    #[test]
+    fn not_simplification() {
+        assert!(simplify(&not(Expr::false_())).is_true());
+        assert!(simplify(&not(Expr::true_())).is_false());
+        let c = ge(attr("P"), lit(50));
+        assert_eq!(simplify(&not(not(c.clone()))), c);
+        // ¬(P >= 50) becomes P < 50
+        assert_eq!(simplify(&not(c)), lt(attr("P"), lit(50)));
+    }
+
+    #[test]
+    fn ite_simplification() {
+        assert_eq!(
+            simplify(&ite(Expr::true_(), lit(1), lit(2))),
+            lit(1)
+        );
+        assert_eq!(
+            simplify(&ite(Expr::false_(), lit(1), lit(2))),
+            lit(2)
+        );
+        // Same branches collapse.
+        assert_eq!(
+            simplify(&ite(ge(attr("A"), lit(0)), attr("B"), attr("B"))),
+            attr("B")
+        );
+        // Condition folds and selects a branch.
+        assert_eq!(
+            simplify(&ite(ge(lit(60), lit(50)), lit(0), attr("F"))),
+            lit(0)
+        );
+    }
+
+    #[test]
+    fn is_null_folding() {
+        assert!(simplify(&is_null(null())).is_true());
+        assert!(simplify(&is_null(lit(3))).is_false());
+        assert!(matches!(simplify(&is_null(attr("A"))), Expr::IsNull(_)));
+    }
+
+    #[test]
+    fn nested_running_example_condition() {
+        // Data-slicing condition of Example 4 with concrete price folded in:
+        // (P <= 40 AND F'' >= 10), F'' = if C=UK and P<=100 then F'+5 else F',
+        // F' = if P >= 50 then 0 else F. With P and C constant the whole
+        // thing folds to a condition over F only.
+        let fp = ite(ge(lit(20), lit(50)), lit(0), attr("F"));
+        let fpp = ite(
+            and(eq(slit("UK"), slit("UK")), le(lit(20), lit(100))),
+            add(fp.clone(), lit(5)),
+            fp,
+        );
+        let cond = and(le(lit(20), lit(40)), ge(fpp, lit(10)));
+        let s = simplify(&cond);
+        assert_eq!(s, ge(add(attr("F"), lit(5)), lit(10)));
+    }
+
+    #[test]
+    fn simplify_preserves_filtering_semantics_samples() {
+        // Hand-picked sample points; the broad check lives in the proptest
+        // suite of this crate.
+        let exprs = vec![
+            and(ge(attr("A"), lit(3)), not(lt(attr("A"), lit(3)))),
+            or(not(not(ge(attr("A"), lit(0)))), eq(attr("B"), lit(1))),
+            ite(ge(attr("A"), lit(0)), add(attr("A"), lit(0)), mul(attr("A"), lit(1))),
+        ];
+        for e in exprs {
+            let s = simplify(&e);
+            for a in -3..=3 {
+                for bval in -1..=2 {
+                    let bind = MapBindings::new().with_attr("A", a).with_attr("B", bval);
+                    if e.is_boolean() {
+                        assert_eq!(
+                            eval_condition(&e, &bind).unwrap(),
+                            eval_condition(&s, &bind).unwrap(),
+                            "expr {e} vs {s} at A={a}, B={bval}"
+                        );
+                    } else {
+                        assert_eq!(
+                            eval_expr(&e, &bind).unwrap(),
+                            eval_expr(&s, &bind).unwrap()
+                        );
+                    }
+                }
+            }
+        }
+    }
+}

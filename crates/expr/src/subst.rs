@@ -1,0 +1,185 @@
+//! Substitution `e[e' ← e'']` (Section 2 of the paper).
+//!
+//! Two substitution forms are needed:
+//!
+//! * [`substitute_attrs`] replaces attribute references by expressions. This
+//!   implements the `θ[ Ā ← ē ]` step of the data-slicing push-down
+//!   (Section 6): to push a condition through an update `U_{Set,θ}`, every
+//!   attribute `A_i` is replaced by `if θ then Set(A_i) else A_i`.
+//! * [`substitute_vars`] replaces symbolic variables by expressions, used by
+//!   the VC-table machinery and by the solver when eliminating the
+//!   intermediate `x_{A,i}` variables.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crate::expr::{Expr, ExprRef};
+
+/// A mapping from names (attributes or variables) to replacement expressions.
+pub type SubstMap = HashMap<String, Expr>;
+
+/// Replaces every attribute reference `A` for which `map` contains an entry
+/// with the mapped expression. Attributes without an entry are left
+/// unchanged.
+pub fn substitute_attrs(expr: &Expr, map: &SubstMap) -> Expr {
+    rewrite(expr, &|e| match e {
+        Expr::Attr(name) => map.get(name).cloned(),
+        _ => None,
+    })
+}
+
+/// Replaces every symbolic variable reference with the mapped expression.
+pub fn substitute_vars(expr: &Expr, map: &SubstMap) -> Expr {
+    rewrite(expr, &|e| match e {
+        Expr::Var(name) => map.get(name).cloned(),
+        _ => None,
+    })
+}
+
+/// Generic bottom-up rewrite: `leaf` may replace a node (typically a leaf);
+/// when it returns `None`, children are rewritten recursively.
+pub fn rewrite(expr: &Expr, leaf: &dyn Fn(&Expr) -> Option<Expr>) -> Expr {
+    if let Some(replacement) = leaf(expr) {
+        return replacement;
+    }
+    match expr {
+        Expr::Attr(_) | Expr::Var(_) | Expr::Const(_) => expr.clone(),
+        Expr::Arith { op, left, right } => Expr::Arith {
+            op: *op,
+            left: rw(left, leaf),
+            right: rw(right, leaf),
+        },
+        Expr::Cmp { op, left, right } => Expr::Cmp {
+            op: *op,
+            left: rw(left, leaf),
+            right: rw(right, leaf),
+        },
+        Expr::And(l, r) => Expr::And(rw(l, leaf), rw(r, leaf)),
+        Expr::Or(l, r) => Expr::Or(rw(l, leaf), rw(r, leaf)),
+        Expr::Not(e) => Expr::Not(rw(e, leaf)),
+        Expr::IsNull(e) => Expr::IsNull(rw(e, leaf)),
+        Expr::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => Expr::IfThenElse {
+            cond: rw(cond, leaf),
+            then_branch: rw(then_branch, leaf),
+            else_branch: rw(else_branch, leaf),
+        },
+    }
+}
+
+fn rw(e: &ExprRef, leaf: &dyn Fn(&Expr) -> Option<Expr>) -> ExprRef {
+    Arc::new(rewrite(e, leaf))
+}
+
+/// Renames attribute references according to `renaming` (old name → new
+/// name). Used when pushing conditions through unions where the two sides
+/// have different schemas (`θ[Sch(Q1) ← Sch(Q2)]`, Section 6).
+pub fn rename_attrs(expr: &Expr, renaming: &HashMap<String, String>) -> Expr {
+    rewrite(expr, &|e| match e {
+        Expr::Attr(name) => renaming.get(name).map(|n| Expr::Attr(n.clone())),
+        _ => None,
+    })
+}
+
+/// Replaces attribute references by same-named symbolic variables with the
+/// given prefix, e.g. `Price` → `$<prefix>Price`. Used when instantiating the
+/// single-tuple symbolic instance D0 of Section 8.3.
+pub fn attrs_to_vars(expr: &Expr, prefix: &str) -> Expr {
+    rewrite(expr, &|e| match e {
+        Expr::Attr(name) => Some(Expr::Var(format!("{prefix}{name}"))),
+        _ => None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::*;
+    use crate::eval::{eval_expr, MapBindings};
+    use crate::value::Value;
+
+    #[test]
+    fn substitute_single_attr() {
+        // Push A < 4 through u1 = U_{A←3, C=5}: A := if C = 5 then 3 else A
+        // (example from Section 6 of the paper).
+        let cond = lt(attr("A"), lit(4));
+        let mut map = SubstMap::new();
+        map.insert("A".to_string(), ite(eq(attr("C"), lit(5)), lit(3), attr("A")));
+        let pushed = substitute_attrs(&cond, &map);
+        // When C = 5, A is set to 3 regardless of the original A, so the
+        // pushed-down condition must hold for any A.
+        let bind = MapBindings::new().with_attr("A", 100).with_attr("C", 5);
+        assert_eq!(eval_expr(&pushed, &bind).unwrap(), Value::Bool(true));
+        let bind2 = MapBindings::new().with_attr("A", 100).with_attr("C", 0);
+        assert_eq!(eval_expr(&pushed, &bind2).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn substitute_leaves_unmapped_attrs() {
+        let cond = and(lt(attr("A"), lit(4)), eq(attr("B"), lit(1)));
+        let mut map = SubstMap::new();
+        map.insert("A".to_string(), lit(0));
+        let out = substitute_attrs(&cond, &map);
+        assert!(out.attrs().contains("B"));
+        assert!(!out.attrs().contains("A"));
+    }
+
+    #[test]
+    fn substitute_vars_only_touches_vars() {
+        let e = add(var("x"), attr("x"));
+        let mut map = SubstMap::new();
+        map.insert("x".to_string(), lit(7));
+        let out = substitute_vars(&e, &map);
+        // The Var leaf becomes 7, the Attr leaf stays.
+        let bind = MapBindings::new().with_attr("x", 1);
+        assert_eq!(eval_expr(&out, &bind).unwrap(), Value::int(8));
+    }
+
+    #[test]
+    fn rename_attrs_simple() {
+        let e = eq(attr("A"), attr("B"));
+        let mut renaming = HashMap::new();
+        renaming.insert("A".to_string(), "X".to_string());
+        let out = rename_attrs(&e, &renaming);
+        assert!(out.attrs().contains("X"));
+        assert!(out.attrs().contains("B"));
+        assert!(!out.attrs().contains("A"));
+    }
+
+    #[test]
+    fn attrs_to_vars_prefixes() {
+        let e = ge(attr("Price"), lit(50));
+        let out = attrs_to_vars(&e, "x_");
+        assert!(out.vars().contains("x_Price"));
+        assert!(out.attrs().is_empty());
+    }
+
+    #[test]
+    fn substitution_is_recursive_through_ite() {
+        let e = ite(ge(attr("F"), lit(10)), sub(attr("F"), lit(2)), attr("F"));
+        let mut map = SubstMap::new();
+        map.insert(
+            "F".to_string(),
+            ite(ge(attr("P"), lit(50)), lit(0), attr("F")),
+        );
+        let out = substitute_attrs(&e, &map);
+        // All three F occurrences were substituted: evaluating with P=60
+        // forces the inner fee to 0, so the outer condition F>=10 is false
+        // and the result is 0.
+        let bind = MapBindings::new().with_attr("P", 60).with_attr("F", 20);
+        assert_eq!(eval_expr(&out, &bind).unwrap(), Value::int(0));
+        // With P=20, fee stays 20, outer condition true, result 18.
+        let bind2 = MapBindings::new().with_attr("P", 20).with_attr("F", 20);
+        assert_eq!(eval_expr(&out, &bind2).unwrap(), Value::int(18));
+    }
+
+    #[test]
+    fn empty_map_is_identity() {
+        let e = and(ge(attr("A"), lit(1)), eq(attr("B"), slit("x")));
+        assert_eq!(substitute_attrs(&e, &SubstMap::new()), e);
+        assert_eq!(substitute_vars(&e, &SubstMap::new()), e);
+    }
+}

@@ -1,0 +1,59 @@
+//! Attribute data types.
+
+use std::fmt;
+
+/// The data type of an attribute or expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit signed integer.
+    Int,
+    /// String / categorical.
+    Str,
+    /// Boolean.
+    Bool,
+}
+
+impl DataType {
+    /// Returns true when values of this type support arithmetic.
+    pub fn is_numeric(self) -> bool {
+        matches!(self, DataType::Int)
+    }
+
+    /// Returns true when values of this type have a meaningful order
+    /// for range compression (Section 8.3.1 of the paper). Strings are
+    /// treated as unordered categorical values there.
+    pub fn is_ordered(self) -> bool {
+        matches!(self, DataType::Int)
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Str => write!(f, "TEXT"),
+            DataType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_and_ordered() {
+        assert!(DataType::Int.is_numeric());
+        assert!(!DataType::Str.is_numeric());
+        assert!(DataType::Int.is_ordered());
+        assert!(!DataType::Str.is_ordered());
+        assert!(!DataType::Bool.is_ordered());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DataType::Int.to_string(), "INT");
+        assert_eq!(DataType::Str.to_string(), "TEXT");
+        assert_eq!(DataType::Bool.to_string(), "BOOL");
+    }
+}

@@ -1,0 +1,225 @@
+//! The universal value domain `D` of the paper (Section 2).
+//!
+//! Attribute values are 64-bit integers, strings, booleans or NULL. The
+//! evaluation section of the paper only exercises integer and categorical
+//! (string) attributes; booleans appear as the result of evaluating
+//! conditions.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit signed integer. Monetary values are represented as integer
+    /// cents/dollars which keeps the MILP encoding of Section 11 exact.
+    Int(i64),
+    /// Interned string (categorical attributes such as `Country`).
+    Str(Arc<str>),
+    /// Boolean (result of conditions).
+    Bool(bool),
+    /// SQL NULL.
+    Null,
+}
+
+impl Value {
+    /// Builds a string value.
+    pub fn str(s: impl AsRef<str>) -> Self {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Builds an integer value.
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+
+    /// Returns `true` if this value is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer payload, if any.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// Returns the boolean payload, if any.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The runtime type of this value, or `None` for NULL (which is untyped).
+    pub fn data_type(&self) -> Option<crate::DataType> {
+        match self {
+            Value::Int(_) => Some(crate::DataType::Int),
+            Value::Str(_) => Some(crate::DataType::Str),
+            Value::Bool(_) => Some(crate::DataType::Bool),
+            Value::Null => None,
+        }
+    }
+
+    /// Three-valued SQL comparison: returns `None` when either side is NULL,
+    /// otherwise the ordering. Comparing values of different types orders by
+    /// the type tag which gives a deterministic (if arbitrary) total order;
+    /// well-typed programs never rely on cross-type comparisons.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            (Value::Bool(a), Value::Bool(b)) => Some(a.cmp(b)),
+            (a, b) => Some(type_rank(a).cmp(&type_rank(b))),
+        }
+    }
+
+    /// Total order used for deterministic sorting of tuples in deltas and
+    /// test output. NULL sorts first.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Null, _) => Ordering::Less,
+            (_, Value::Null) => Ordering::Greater,
+            _ => self
+                .sql_cmp(other)
+                .expect("non-null values always compare"),
+        }
+    }
+}
+
+fn type_rank(v: &Value) -> u8 {
+    match v {
+        Value::Null => 0,
+        Value::Bool(_) => 1,
+        Value::Int(_) => 2,
+        Value::Str(_) => 3,
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        let v = Value::int(42);
+        assert_eq!(v.as_int(), Some(42));
+        assert_eq!(v.data_type(), Some(crate::DataType::Int));
+        assert!(!v.is_null());
+    }
+
+    #[test]
+    fn str_roundtrip() {
+        let v = Value::str("UK");
+        assert_eq!(v.as_str(), Some("UK"));
+        assert_eq!(v.data_type(), Some(crate::DataType::Str));
+    }
+
+    #[test]
+    fn null_is_untyped() {
+        assert_eq!(Value::Null.data_type(), None);
+        assert!(Value::Null.is_null());
+    }
+
+    #[test]
+    fn sql_cmp_null_is_unknown() {
+        assert_eq!(Value::Null.sql_cmp(&Value::int(1)), None);
+        assert_eq!(Value::int(1).sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn sql_cmp_ints() {
+        assert_eq!(Value::int(1).sql_cmp(&Value::int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::int(2).sql_cmp(&Value::int(2)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn sql_cmp_strings() {
+        assert_eq!(
+            Value::str("UK").sql_cmp(&Value::str("US")),
+            Some(Ordering::Less)
+        );
+    }
+
+    #[test]
+    fn total_cmp_null_first() {
+        assert_eq!(Value::Null.total_cmp(&Value::int(0)), Ordering::Less);
+        assert_eq!(Value::int(0).total_cmp(&Value::Null), Ordering::Greater);
+        assert_eq!(Value::Null.total_cmp(&Value::Null), Ordering::Equal);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::int(5).to_string(), "5");
+        assert_eq!(Value::str("x").to_string(), "'x'");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+        assert_eq!(Value::Null.to_string(), "NULL");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(3i64), Value::Int(3));
+        assert_eq!(Value::from(3i32), Value::Int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from("a"), Value::str("a"));
+        assert_eq!(Value::from("a".to_string()), Value::str("a"));
+    }
+}

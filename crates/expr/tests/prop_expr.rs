@@ -1,0 +1,125 @@
+//! Property-based tests for the expression language: simplification and
+//! substitution must preserve evaluation semantics.
+
+use proptest::prelude::*;
+
+use mahif_expr::builder::*;
+use mahif_expr::{eval_condition, eval_expr, simplify, Expr, MapBindings, Value};
+
+/// Strategy producing random scalar expressions over attributes A, B, C.
+fn arb_scalar(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(lit),
+        Just(attr("A")),
+        Just(attr("B")),
+        Just(attr("C")),
+    ];
+    leaf.prop_recursive(depth, 64, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| add(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| sub(a, b)),
+            (arb_cond_from(inner.clone()), inner.clone(), inner.clone())
+                .prop_map(|(c, t, e)| ite(c, t, e)),
+        ]
+    })
+    .boxed()
+}
+
+/// Strategy producing random conditions built from the given scalar strategy.
+fn arb_cond_from(scalar: impl Strategy<Value = Expr> + Clone + 'static) -> BoxedStrategy<Expr> {
+    let atom = prop_oneof![
+        (scalar.clone(), scalar.clone()).prop_map(|(a, b)| ge(a, b)),
+        (scalar.clone(), scalar.clone()).prop_map(|(a, b)| lt(a, b)),
+        (scalar.clone(), scalar.clone()).prop_map(|(a, b)| eq(a, b)),
+        Just(Expr::true_()),
+        Just(Expr::false_()),
+    ];
+    atom.prop_recursive(3, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| and(a, b)),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| or(a, b)),
+            inner.clone().prop_map(not),
+        ]
+    })
+    .boxed()
+}
+
+fn arb_cond() -> BoxedStrategy<Expr> {
+    arb_cond_from(arb_scalar(2))
+}
+
+fn bindings(a: i64, b: i64, c: i64) -> MapBindings {
+    MapBindings::new()
+        .with_attr("A", a)
+        .with_attr("B", b)
+        .with_attr("C", c)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Simplifying a scalar expression never changes its value (when neither
+    /// the original nor the simplified form hits a runtime error such as
+    /// overflow or division by zero).
+    #[test]
+    fn simplify_preserves_scalar_value(e in arb_scalar(3), a in -20i64..20, b in -20i64..20, c in -20i64..20) {
+        let s = simplify(&e);
+        let bind = bindings(a, b, c);
+        if let (Ok(v1), Ok(v2)) = (eval_expr(&e, &bind), eval_expr(&s, &bind)) {
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    /// Simplifying a condition never changes which tuples it accepts.
+    #[test]
+    fn simplify_preserves_condition(e in arb_cond(), a in -20i64..20, b in -20i64..20, c in -20i64..20) {
+        let s = simplify(&e);
+        let bind = bindings(a, b, c);
+        if let (Ok(v1), Ok(v2)) = (eval_condition(&e, &bind), eval_condition(&s, &bind)) {
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    /// Simplification is idempotent: simplify(simplify(e)) == simplify(e).
+    #[test]
+    fn simplify_idempotent(e in arb_cond()) {
+        let once = simplify(&e);
+        let twice = simplify(&once);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Substituting attributes with their bound constant values and then
+    /// evaluating with empty bindings equals direct evaluation.
+    #[test]
+    fn substitution_agrees_with_binding(e in arb_scalar(3), a in -20i64..20, b in -20i64..20, c in -20i64..20) {
+        use mahif_expr::substitute_attrs;
+        let mut map = mahif_expr::SubstMap::new();
+        map.insert("A".to_string(), lit(a));
+        map.insert("B".to_string(), lit(b));
+        map.insert("C".to_string(), lit(c));
+        let substituted = substitute_attrs(&e, &map);
+        let bind = bindings(a, b, c);
+        let empty = MapBindings::new();
+        if let (Ok(v1), Ok(v2)) = (eval_expr(&e, &bind), eval_expr(&substituted, &empty)) {
+            prop_assert_eq!(v1, v2);
+        }
+    }
+
+    /// `Expr::size` and `Expr::depth` are consistent: depth <= size.
+    #[test]
+    fn depth_le_size(e in arb_cond()) {
+        prop_assert!(e.depth() <= e.size());
+    }
+
+    /// `not` flips condition outcomes under filtering semantics when the
+    /// condition does not involve NULL (our generators never produce NULL).
+    #[test]
+    fn not_flips(e in arb_cond(), a in -20i64..20, b in -20i64..20, c in -20i64..20) {
+        let bind = bindings(a, b, c);
+        if let (Ok(v), Ok(nv)) = (eval_expr(&e, &bind), eval_expr(&not(e.clone()), &bind)) {
+            if let (Value::Bool(v), Value::Bool(nv)) = (v, nv) {
+                prop_assert_eq!(v, !nv);
+            }
+        }
+    }
+}

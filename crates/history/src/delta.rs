@@ -1,0 +1,300 @@
+//! Database deltas: the symmetric difference `Δ(D, D')` with `+`/`−`
+//! annotations (Section 3).
+
+use std::fmt;
+
+use mahif_storage::{Database, Relation, SchemaRef, Tuple};
+
+/// Whether a delta tuple appears only in the second database (`+`) or only in
+/// the first (`−`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Annotation {
+    /// Tuple present in `D'` but not `D` (new under the hypothetical
+    /// history).
+    Plus,
+    /// Tuple present in `D` but not `D'` (removed under the hypothetical
+    /// history).
+    Minus,
+}
+
+impl fmt::Display for Annotation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Annotation::Plus => write!(f, "+"),
+            Annotation::Minus => write!(f, "-"),
+        }
+    }
+}
+
+/// A single annotated tuple of a delta.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaTuple {
+    /// `+` or `−`.
+    pub annotation: Annotation,
+    /// The tuple.
+    pub tuple: Tuple,
+}
+
+/// The delta of one relation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RelationDelta {
+    /// Relation name.
+    pub relation: String,
+    /// Relation schema.
+    pub schema: SchemaRef,
+    /// Annotated tuples, sorted deterministically.
+    pub tuples: Vec<DeltaTuple>,
+}
+
+impl RelationDelta {
+    /// Computes `Δ(left, right)` for a single relation:
+    /// `{+t | t ∉ left ∧ t ∈ right} ∪ {−t | t ∈ left ∧ t ∉ right}`.
+    pub fn compute(relation: &str, left: &Relation, right: &Relation) -> RelationDelta {
+        let minus = left.set_difference(right);
+        let plus = right.set_difference(left);
+        let mut tuples: Vec<DeltaTuple> = Vec::with_capacity(minus.len() + plus.len());
+        for t in minus.iter() {
+            tuples.push(DeltaTuple {
+                annotation: Annotation::Minus,
+                tuple: t.clone(),
+            });
+        }
+        for t in plus.iter() {
+            tuples.push(DeltaTuple {
+                annotation: Annotation::Plus,
+                tuple: t.clone(),
+            });
+        }
+        tuples.sort_by(|a, b| {
+            a.tuple
+                .total_cmp(&b.tuple)
+                .then_with(|| annotation_rank(a.annotation).cmp(&annotation_rank(b.annotation)))
+        });
+        RelationDelta {
+            relation: relation.to_string(),
+            schema: left.schema.clone(),
+            tuples,
+        }
+    }
+
+    /// Number of annotated tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the delta is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples annotated `+`.
+    pub fn plus_tuples(&self) -> Vec<&Tuple> {
+        self.tuples
+            .iter()
+            .filter(|t| t.annotation == Annotation::Plus)
+            .map(|t| &t.tuple)
+            .collect()
+    }
+
+    /// The tuples annotated `−`.
+    pub fn minus_tuples(&self) -> Vec<&Tuple> {
+        self.tuples
+            .iter()
+            .filter(|t| t.annotation == Annotation::Minus)
+            .map(|t| &t.tuple)
+            .collect()
+    }
+}
+
+fn annotation_rank(a: Annotation) -> u8 {
+    match a {
+        Annotation::Minus => 0,
+        Annotation::Plus => 1,
+    }
+}
+
+/// The delta of an entire database: one [`RelationDelta`] per relation that
+/// differs.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DatabaseDelta {
+    /// Per-relation deltas (only non-empty ones are stored), sorted by
+    /// relation name.
+    pub relations: Vec<RelationDelta>,
+}
+
+impl DatabaseDelta {
+    /// Computes `Δ(left, right)` over all relations present in either
+    /// database. Relations missing from one side are treated as empty.
+    pub fn compute(left: &Database, right: &Database) -> DatabaseDelta {
+        let mut names: Vec<String> = left.relation_names();
+        for n in right.relation_names() {
+            if !names.contains(&n) {
+                names.push(n);
+            }
+        }
+        names.sort();
+        let mut relations = Vec::new();
+        for name in names {
+            let delta = match (left.relation(&name), right.relation(&name)) {
+                (Ok(l), Ok(r)) => RelationDelta::compute(&name, l, r),
+                (Ok(l), Err(_)) => {
+                    RelationDelta::compute(&name, l, &Relation::empty(l.schema.clone()))
+                }
+                (Err(_), Ok(r)) => {
+                    RelationDelta::compute(&name, &Relation::empty(r.schema.clone()), r)
+                }
+                (Err(_), Err(_)) => continue,
+            };
+            if !delta.is_empty() {
+                relations.push(delta);
+            }
+        }
+        DatabaseDelta { relations }
+    }
+
+    /// Computes the delta restricted to the given relations.
+    pub fn compute_for_relations(
+        left: &Database,
+        right: &Database,
+        relations: &[String],
+    ) -> DatabaseDelta {
+        let mut out = Vec::new();
+        for name in relations {
+            if let (Ok(l), Ok(r)) = (left.relation(name), right.relation(name)) {
+                let delta = RelationDelta::compute(name, l, r);
+                if !delta.is_empty() {
+                    out.push(delta);
+                }
+            }
+        }
+        out.sort_by(|a, b| a.relation.cmp(&b.relation));
+        DatabaseDelta { relations: out }
+    }
+
+    /// Total number of annotated tuples across all relations.
+    pub fn len(&self) -> usize {
+        self.relations.iter().map(|r| r.len()).sum()
+    }
+
+    /// True when no relation differs.
+    pub fn is_empty(&self) -> bool {
+        self.relations.is_empty()
+    }
+
+    /// The delta of a specific relation, if it differs.
+    pub fn relation(&self, name: &str) -> Option<&RelationDelta> {
+        self.relations.iter().find(|r| r.relation == name)
+    }
+}
+
+impl fmt::Display for DatabaseDelta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return writeln!(f, "Δ = ∅");
+        }
+        for rel in &self.relations {
+            writeln!(f, "Δ[{}]:", rel.relation)?;
+            for t in &rel.tuples {
+                writeln!(f, "  {}{}", t.annotation, t.tuple)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::History;
+    use crate::modification::ModificationSet;
+    use crate::statement::{
+        running_example_database, running_example_history, running_example_u1_prime,
+    };
+    use mahif_expr::Value;
+
+    #[test]
+    fn delta_of_identical_databases_is_empty() {
+        let db = running_example_database();
+        let d = DatabaseDelta::compute(&db, &db);
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+        assert!(d.to_string().contains("∅"));
+    }
+
+    #[test]
+    fn running_example_delta_matches_example_2() {
+        // Δ(H(D), H[M](D)) = {−o6, +o6'}: Alex's order with fee 5 removed,
+        // fee 10 added.
+        let db = running_example_database();
+        let h = History::new(running_example_history());
+        let m = ModificationSet::single_replace(0, running_example_u1_prime());
+        let hd = h.execute(&db).unwrap();
+        let hmd = m.apply(&h).unwrap().execute(&db).unwrap();
+        let delta = DatabaseDelta::compute(&hd, &hmd);
+        assert_eq!(delta.len(), 2);
+        let order_delta = delta.relation("Order").unwrap();
+        let minus = order_delta.minus_tuples();
+        let plus = order_delta.plus_tuples();
+        assert_eq!(minus.len(), 1);
+        assert_eq!(plus.len(), 1);
+        assert_eq!(minus[0].value(0), Some(&Value::int(12)));
+        assert_eq!(minus[0].value(4), Some(&Value::int(5)));
+        assert_eq!(plus[0].value(0), Some(&Value::int(12)));
+        assert_eq!(plus[0].value(4), Some(&Value::int(10)));
+    }
+
+    #[test]
+    fn delta_display_contains_annotations() {
+        let db = running_example_database();
+        let h = History::new(running_example_history());
+        let m = ModificationSet::single_replace(0, running_example_u1_prime());
+        let hd = h.execute(&db).unwrap();
+        let hmd = m.apply(&h).unwrap().execute(&db).unwrap();
+        let delta = DatabaseDelta::compute(&hd, &hmd);
+        let s = delta.to_string();
+        assert!(s.contains("Δ[Order]"));
+        assert!(s.contains("+"));
+        assert!(s.contains("-"));
+    }
+
+    #[test]
+    fn compute_for_relations_filters() {
+        let db = running_example_database();
+        let h = History::new(running_example_history());
+        let m = ModificationSet::single_replace(0, running_example_u1_prime());
+        let hd = h.execute(&db).unwrap();
+        let hmd = m.apply(&h).unwrap().execute(&db).unwrap();
+        let delta =
+            DatabaseDelta::compute_for_relations(&hd, &hmd, &["Order".to_string()]);
+        assert_eq!(delta.len(), 2);
+        let none = DatabaseDelta::compute_for_relations(&hd, &hmd, &["Other".to_string()]);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn delta_is_symmetric_up_to_annotation_swap() {
+        let db = running_example_database();
+        let h = History::new(running_example_history());
+        let m = ModificationSet::single_replace(0, running_example_u1_prime());
+        let hd = h.execute(&db).unwrap();
+        let hmd = m.apply(&h).unwrap().execute(&db).unwrap();
+        let d1 = DatabaseDelta::compute(&hd, &hmd);
+        let d2 = DatabaseDelta::compute(&hmd, &hd);
+        assert_eq!(d1.len(), d2.len());
+        let r1 = d1.relation("Order").unwrap();
+        let r2 = d2.relation("Order").unwrap();
+        assert_eq!(r1.plus_tuples().len(), r2.minus_tuples().len());
+        assert_eq!(r1.minus_tuples().len(), r2.plus_tuples().len());
+    }
+
+    #[test]
+    fn missing_relation_treated_as_empty() {
+        let db = running_example_database();
+        let empty = mahif_storage::Database::new();
+        let d = DatabaseDelta::compute(&db, &empty);
+        assert_eq!(d.len(), 4);
+        assert!(d.relation("Order").unwrap().plus_tuples().is_empty());
+        let d2 = DatabaseDelta::compute(&empty, &db);
+        assert_eq!(d2.relation("Order").unwrap().plus_tuples().len(), 4);
+    }
+}

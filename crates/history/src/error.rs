@@ -1,0 +1,102 @@
+//! Errors for history construction and execution.
+
+use std::fmt;
+
+use mahif_expr::ExprError;
+use mahif_query::QueryError;
+use mahif_storage::StorageError;
+
+/// Errors raised while building or executing histories and what-if queries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HistoryError {
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying expression error.
+    Expr(ExprError),
+    /// Underlying query error.
+    Query(QueryError),
+    /// A modification references a statement position outside the history.
+    PositionOutOfBounds {
+        /// Referenced position (0-based).
+        position: usize,
+        /// History length.
+        length: usize,
+    },
+    /// A replacement statement targets a different relation than the
+    /// statement it replaces (the engine rewrites such modifications into a
+    /// delete + insert before this point; reaching here is a usage error).
+    RelationMismatch {
+        /// Relation of the original statement.
+        original: String,
+        /// Relation of the replacement statement.
+        replacement: String,
+    },
+    /// The operation requires a tuple-independent statement (Definition 1)
+    /// but the statement is an `INSERT ... SELECT`.
+    NotTupleIndependent(String),
+}
+
+impl fmt::Display for HistoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HistoryError::Storage(e) => write!(f, "storage error: {e}"),
+            HistoryError::Expr(e) => write!(f, "expression error: {e}"),
+            HistoryError::Query(e) => write!(f, "query error: {e}"),
+            HistoryError::PositionOutOfBounds { position, length } => write!(
+                f,
+                "statement position {position} out of bounds for history of length {length}"
+            ),
+            HistoryError::RelationMismatch {
+                original,
+                replacement,
+            } => write!(
+                f,
+                "replacement statement targets `{replacement}` but the original targets `{original}`"
+            ),
+            HistoryError::NotTupleIndependent(s) => {
+                write!(f, "statement `{s}` is not tuple independent")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HistoryError {}
+
+impl From<StorageError> for HistoryError {
+    fn from(e: StorageError) -> Self {
+        HistoryError::Storage(e)
+    }
+}
+
+impl From<ExprError> for HistoryError {
+    fn from(e: ExprError) -> Self {
+        HistoryError::Expr(e)
+    }
+}
+
+impl From<QueryError> for HistoryError {
+    fn from(e: QueryError) -> Self {
+        HistoryError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: HistoryError = StorageError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        let e: HistoryError = ExprError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+        let e = HistoryError::PositionOutOfBounds {
+            position: 7,
+            length: 3,
+        };
+        assert!(e.to_string().contains("7"));
+        assert!(HistoryError::NotTupleIndependent("INSERT".into())
+            .to_string()
+            .contains("tuple independent"));
+    }
+}

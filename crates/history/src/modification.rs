@@ -1,0 +1,446 @@
+//! Hypothetical modifications to a history (Section 3) and the construction
+//! of the modified history `H[M]`.
+
+use std::fmt;
+
+use crate::error::HistoryError;
+use crate::history::History;
+use crate::statement::Statement;
+
+/// A single modification `m` of a history.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Modification {
+    /// `u_i ← u'`: replace the statement at 0-based `position` with `new`.
+    Replace {
+        /// Position of the replaced statement.
+        position: usize,
+        /// Replacement statement.
+        new: Statement,
+    },
+    /// `ins_i(u)`: insert `new` at 0-based `position` (statements at or after
+    /// that position shift right).
+    Insert {
+        /// Insertion position.
+        position: usize,
+        /// Inserted statement.
+        new: Statement,
+    },
+    /// `del(i)`: delete the statement at 0-based `position`.
+    Delete {
+        /// Position of the deleted statement.
+        position: usize,
+    },
+}
+
+impl Modification {
+    /// Replacement constructor.
+    pub fn replace(position: usize, new: Statement) -> Self {
+        Modification::Replace { position, new }
+    }
+
+    /// Insertion constructor.
+    pub fn insert(position: usize, new: Statement) -> Self {
+        Modification::Insert { position, new }
+    }
+
+    /// Deletion constructor.
+    pub fn delete(position: usize) -> Self {
+        Modification::Delete { position }
+    }
+
+    /// Position in the original history this modification refers to.
+    pub fn position(&self) -> usize {
+        match self {
+            Modification::Replace { position, .. }
+            | Modification::Insert { position, .. }
+            | Modification::Delete { position } => *position,
+        }
+    }
+}
+
+impl fmt::Display for Modification {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Modification::Replace { position, new } => {
+                write!(f, "u{} ← {}", position + 1, new)
+            }
+            Modification::Insert { position, new } => write!(f, "ins_{}({})", position + 1, new),
+            Modification::Delete { position } => write!(f, "del({})", position + 1),
+        }
+    }
+}
+
+/// An ordered sequence of modifications `M`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ModificationSet {
+    modifications: Vec<Modification>,
+}
+
+impl ModificationSet {
+    /// Creates a modification set.
+    pub fn new(modifications: Vec<Modification>) -> Self {
+        ModificationSet { modifications }
+    }
+
+    /// A single replacement `u_i ← u'`.
+    pub fn single_replace(position: usize, new: Statement) -> Self {
+        ModificationSet::new(vec![Modification::replace(position, new)])
+    }
+
+    /// The modifications.
+    pub fn modifications(&self) -> &[Modification] {
+        &self.modifications
+    }
+
+    /// Number of modifications.
+    pub fn len(&self) -> usize {
+        self.modifications.len()
+    }
+
+    /// True when there are no modifications.
+    pub fn is_empty(&self) -> bool {
+        self.modifications.is_empty()
+    }
+
+    /// Applies the modifications to `history`, producing `H[M]`.
+    ///
+    /// Modifications are applied in order; positions of later modifications
+    /// refer to the history as already modified by earlier ones (matching the
+    /// paper's sequential semantics for `M`).
+    pub fn apply(&self, history: &History) -> Result<History, HistoryError> {
+        let mut statements: Vec<Statement> = history.statements().to_vec();
+        for m in &self.modifications {
+            match m {
+                Modification::Replace { position, new } => {
+                    if *position >= statements.len() {
+                        return Err(HistoryError::PositionOutOfBounds {
+                            position: *position,
+                            length: statements.len(),
+                        });
+                    }
+                    statements[*position] = new.clone();
+                }
+                Modification::Insert { position, new } => {
+                    if *position > statements.len() {
+                        return Err(HistoryError::PositionOutOfBounds {
+                            position: *position,
+                            length: statements.len(),
+                        });
+                    }
+                    statements.insert(*position, new.clone());
+                }
+                Modification::Delete { position } => {
+                    if *position >= statements.len() {
+                        return Err(HistoryError::PositionOutOfBounds {
+                            position: *position,
+                            length: statements.len(),
+                        });
+                    }
+                    statements.remove(*position);
+                }
+            }
+        }
+        Ok(History::new(statements))
+    }
+
+    /// Normalizes the modification set against `history` into a pair of
+    /// equal-length histories related purely by *replacements* (Section 6).
+    ///
+    /// The modified history `H[M]` is first materialized with [`Self::apply`]
+    /// (the paper's sequential semantics, which is also what direct execution
+    /// uses), and the two statement sequences are then aligned with a
+    /// longest-common-subsequence diff. Statements missing on one side are
+    /// padded with no-ops; an unmatched original statement and an unmatched
+    /// new statement of the same kind over the same relation are paired into
+    /// a single replacement position. Computing the alignment from the final
+    /// `H[M]` (rather than re-interpreting the modification positions one by
+    /// one) guarantees that the normalized modified history is semantically
+    /// identical to `H[M]` even when modifications insert, delete or shift
+    /// positions that later modifications refer to.
+    ///
+    /// Returns the padded original history, the padded modified history and
+    /// the positions (0-based, valid in both padded histories) at which the
+    /// two differ.
+    pub fn normalize(
+        &self,
+        history: &History,
+    ) -> Result<(History, History, Vec<usize>), HistoryError> {
+        let target = self.apply(history)?;
+        let a = history.statements();
+        let b = target.statements();
+
+        // Longest-common-subsequence table over statement equality.
+        let n = a.len();
+        let m = b.len();
+        let mut lcs = vec![vec![0usize; m + 1]; n + 1];
+        for i in (0..n).rev() {
+            for j in (0..m).rev() {
+                lcs[i][j] = if a[i] == b[j] {
+                    lcs[i + 1][j + 1] + 1
+                } else {
+                    lcs[i + 1][j].max(lcs[i][j + 1])
+                };
+            }
+        }
+
+        let mut original: Vec<Statement> = Vec::with_capacity(n.max(m));
+        let mut modified: Vec<Statement> = Vec::with_capacity(n.max(m));
+        let mut pending_removed: Vec<Statement> = Vec::new();
+        let mut pending_added: Vec<Statement> = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < n || j < m {
+            if i < n && j < m && a[i] == b[j] {
+                flush_pending(
+                    &mut original,
+                    &mut modified,
+                    std::mem::take(&mut pending_removed),
+                    std::mem::take(&mut pending_added),
+                );
+                original.push(a[i].clone());
+                modified.push(b[j].clone());
+                i += 1;
+                j += 1;
+            } else if j < m && (i == n || lcs[i][j + 1] >= lcs[i + 1][j]) {
+                pending_added.push(b[j].clone());
+                j += 1;
+            } else {
+                pending_removed.push(a[i].clone());
+                i += 1;
+            }
+        }
+        flush_pending(
+            &mut original,
+            &mut modified,
+            std::mem::take(&mut pending_removed),
+            std::mem::take(&mut pending_added),
+        );
+
+        debug_assert_eq!(original.len(), modified.len());
+        let differing: Vec<usize> = original
+            .iter()
+            .zip(modified.iter())
+            .enumerate()
+            .filter(|(_, (a, b))| a != b)
+            .map(|(i, _)| i)
+            .collect();
+        Ok((History::new(original), History::new(modified), differing))
+    }
+}
+
+/// Emits one run of unmatched statements from the diff: removed statements
+/// are paired with added statements of the same kind over the same relation
+/// (becoming replacements at a single padded position); everything left over
+/// is padded with a no-op on the other side.
+fn flush_pending(
+    original: &mut Vec<Statement>,
+    modified: &mut Vec<Statement>,
+    removed: Vec<Statement>,
+    added: Vec<Statement>,
+) {
+    let mut used = vec![false; added.len()];
+    for old in removed {
+        let paired = added
+            .iter()
+            .enumerate()
+            .find(|(k, new)| {
+                !used[*k] && same_kind(&old, new) && old.relation() == new.relation()
+            })
+            .map(|(k, _)| k);
+        match paired {
+            Some(k) => {
+                used[k] = true;
+                original.push(old);
+                modified.push(added[k].clone());
+            }
+            None => {
+                modified.push(Statement::no_op(old.relation()));
+                original.push(old);
+            }
+        }
+    }
+    for (k, new) in added.into_iter().enumerate() {
+        if !used[k] {
+            original.push(Statement::no_op(new.relation()));
+            modified.push(new);
+        }
+    }
+}
+
+fn same_kind(a: &Statement, b: &Statement) -> bool {
+    matches!(
+        (a, b),
+        (Statement::Update { .. }, Statement::Update { .. })
+            | (Statement::Delete { .. }, Statement::Delete { .. })
+            | (Statement::InsertValues { .. }, Statement::InsertValues { .. })
+            | (Statement::InsertQuery { .. }, Statement::InsertQuery { .. })
+    )
+}
+
+impl fmt::Display for ModificationSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "M = (")?;
+        for (i, m) in self.modifications.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{m}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statement::{
+        running_example_database, running_example_history, running_example_u1_prime, SetClause,
+    };
+    use mahif_expr::builder::*;
+    use mahif_expr::Expr;
+
+    fn h() -> History {
+        History::new(running_example_history())
+    }
+
+    #[test]
+    fn replace_builds_modified_history() {
+        let m = ModificationSet::single_replace(0, running_example_u1_prime());
+        let hm = m.apply(&h()).unwrap();
+        assert_eq!(hm.len(), 3);
+        assert_eq!(hm.statements()[0], running_example_u1_prime());
+        assert_eq!(hm.statements()[1], h().statements()[1]);
+    }
+
+    #[test]
+    fn paper_example_replace_and_delete() {
+        // H = u1,u2,u3 and M = (u1 ← u1', del(3)) gives H[M] = u1', u2.
+        let m = ModificationSet::new(vec![
+            Modification::replace(0, running_example_u1_prime()),
+            Modification::delete(2),
+        ]);
+        let hm = m.apply(&h()).unwrap();
+        assert_eq!(hm.len(), 2);
+        assert_eq!(hm.statements()[0], running_example_u1_prime());
+        assert_eq!(hm.statements()[1], h().statements()[1]);
+    }
+
+    #[test]
+    fn insert_shifts_statements() {
+        let extra = Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(1)),
+            Expr::true_(),
+        );
+        let m = ModificationSet::new(vec![Modification::insert(1, extra.clone())]);
+        let hm = m.apply(&h()).unwrap();
+        assert_eq!(hm.len(), 4);
+        assert_eq!(hm.statements()[1], extra);
+        assert_eq!(hm.statements()[2], h().statements()[1]);
+    }
+
+    #[test]
+    fn out_of_bounds_errors() {
+        assert!(ModificationSet::new(vec![Modification::replace(
+            9,
+            running_example_u1_prime()
+        )])
+        .apply(&h())
+        .is_err());
+        assert!(ModificationSet::new(vec![Modification::delete(9)])
+            .apply(&h())
+            .is_err());
+        assert!(ModificationSet::new(vec![Modification::insert(
+            9,
+            running_example_u1_prime()
+        )])
+        .apply(&h())
+        .is_err());
+    }
+
+    #[test]
+    fn normalize_replacement_same_type() {
+        let m = ModificationSet::single_replace(0, running_example_u1_prime());
+        let (orig, modif, diff) = m.normalize(&h()).unwrap();
+        assert_eq!(orig.len(), 3);
+        assert_eq!(modif.len(), 3);
+        assert_eq!(diff, vec![0]);
+        assert_eq!(orig.statements()[0], h().statements()[0]);
+        assert_eq!(modif.statements()[0], running_example_u1_prime());
+    }
+
+    #[test]
+    fn normalize_delete_uses_noop() {
+        let m = ModificationSet::new(vec![Modification::delete(1)]);
+        let (orig, modif, diff) = m.normalize(&h()).unwrap();
+        assert_eq!(orig.len(), 3);
+        assert_eq!(modif.len(), 3);
+        assert_eq!(diff, vec![1]);
+        assert!(modif.statements()[1].is_no_op());
+        // Executing the normalized modified history equals executing H[M].
+        let db = running_example_database();
+        let direct = m.apply(&h()).unwrap().execute(&db).unwrap();
+        let normalized = modif.execute(&db).unwrap();
+        assert!(direct.set_eq(&normalized));
+    }
+
+    #[test]
+    fn normalize_insert_pads_original() {
+        let extra = Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", add(attr("ShippingFee"), lit(1))),
+            Expr::true_(),
+        );
+        let m = ModificationSet::new(vec![Modification::insert(1, extra.clone())]);
+        let (orig, modif, diff) = m.normalize(&h()).unwrap();
+        assert_eq!(orig.len(), 4);
+        assert_eq!(modif.len(), 4);
+        assert_eq!(diff, vec![1]);
+        assert!(orig.statements()[1].is_no_op());
+        assert_eq!(modif.statements()[1], extra);
+        // Padding does not change the semantics of the original history.
+        let db = running_example_database();
+        assert!(orig
+            .execute(&db)
+            .unwrap()
+            .set_eq(&h().execute(&db).unwrap()));
+        // And the normalized modified history equals H[M].
+        let direct = m.apply(&h()).unwrap().execute(&db).unwrap();
+        assert!(modif.execute(&db).unwrap().set_eq(&direct));
+    }
+
+    #[test]
+    fn normalize_cross_type_replacement() {
+        // Replace update u2 with a delete: rewritten as u2 ← noop plus an
+        // inserted delete.
+        let del = Statement::delete("Order", ge(attr("Price"), lit(100)));
+        let m = ModificationSet::single_replace(1, del.clone());
+        let (orig, modif, diff) = m.normalize(&h()).unwrap();
+        assert_eq!(orig.len(), 4);
+        assert_eq!(modif.len(), 4);
+        assert_eq!(diff.len(), 2);
+        // Semantics preserved.
+        let db = running_example_database();
+        let direct = m.apply(&h()).unwrap().execute(&db).unwrap();
+        assert!(modif.execute(&db).unwrap().set_eq(&direct));
+        assert!(orig
+            .execute(&db)
+            .unwrap()
+            .set_eq(&h().execute(&db).unwrap()));
+    }
+
+    #[test]
+    fn display_forms() {
+        let m = ModificationSet::new(vec![
+            Modification::replace(0, running_example_u1_prime()),
+            Modification::delete(2),
+            Modification::insert(1, Statement::no_op("Order")),
+        ]);
+        let s = m.to_string();
+        assert!(s.contains("u1 ←"));
+        assert!(s.contains("del(3)"));
+        assert!(s.contains("ins_2"));
+        assert_eq!(m.modifications()[0].position(), 0);
+        assert!(!m.is_empty());
+        assert_eq!(m.len(), 3);
+    }
+}

@@ -1,0 +1,65 @@
+//! Provenance-layer errors.
+
+use std::fmt;
+
+use mahif_history::HistoryError;
+use mahif_query::QueryError;
+use mahif_storage::StorageError;
+
+/// Errors raised while tracing histories or explaining deltas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProvenanceError {
+    /// Underlying history error.
+    History(HistoryError),
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying query error (evaluating an `INSERT ... SELECT` source).
+    Query(QueryError),
+}
+
+impl fmt::Display for ProvenanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProvenanceError::History(e) => write!(f, "history error: {e}"),
+            ProvenanceError::Storage(e) => write!(f, "storage error: {e}"),
+            ProvenanceError::Query(e) => write!(f, "query error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ProvenanceError {}
+
+impl From<HistoryError> for ProvenanceError {
+    fn from(e: HistoryError) -> Self {
+        ProvenanceError::History(e)
+    }
+}
+
+impl From<StorageError> for ProvenanceError {
+    fn from(e: StorageError) -> Self {
+        ProvenanceError::Storage(e)
+    }
+}
+
+impl From<QueryError> for ProvenanceError {
+    fn from(e: QueryError) -> Self {
+        ProvenanceError::Query(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: ProvenanceError = StorageError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        let e: ProvenanceError = HistoryError::PositionOutOfBounds {
+            position: 9,
+            length: 1,
+        }
+        .into();
+        assert!(e.to_string().contains("history error"));
+    }
+}

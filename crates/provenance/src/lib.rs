@@ -1,0 +1,28 @@
+//! # mahif-provenance
+//!
+//! Lineage tracking for transactional histories and *explanations* of
+//! historical what-if answers.
+//!
+//! Reenactment was originally developed to capture the provenance of
+//! transactional workloads (the MV-semiring line of work the paper builds
+//! on). This crate provides the tuple-level counterpart for Mahif-rs:
+//!
+//! * [`trace_history`] replays a history tuple-at-a-time and records, for
+//!   every tuple of a relation, which statements affected it, where it was
+//!   inserted (if it was), where it was deleted (if it was), and its final
+//!   value — its *lineage*;
+//! * [`explain_answer`] takes the delta of a historical what-if query and
+//!   maps every annotated tuple back to the input tuple it derives from, the
+//!   statements that touched it under the original and the hypothetical
+//!   history, and the first position at which the two runs diverge.
+//!
+//! Explanations answer the follow-up question every what-if result raises:
+//! *why* is this tuple different under the hypothetical history?
+
+pub mod error;
+pub mod explain;
+pub mod trace;
+
+pub use error::ProvenanceError;
+pub use explain::{explain_answer, explain_delta, DeltaExplanation};
+pub use trace::{trace_history, RelationTrace, TupleSource, TupleTrace};

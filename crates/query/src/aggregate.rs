@@ -1,0 +1,484 @@
+//! Grouped aggregation over relations and query results.
+//!
+//! The paper's motivating question — *"How would revenue be affected if we
+//! would have charged an additional $6 for shipping?"* — is an aggregate over
+//! the answer of a historical what-if query. The core reenactment/slicing
+//! machinery only needs the algebra of [`crate::Query`]; aggregation lives in
+//! this separate module because it is applied *after* the delta has been
+//! computed (by the impact-analysis layer in the `mahif` crate) or to inspect
+//! workload relations in examples and benchmarks.
+//!
+//! SQL semantics are followed: `SUM`/`MIN`/`MAX`/`AVG` ignore NULL inputs and
+//! return NULL when every input is NULL; `COUNT` counts non-NULL inputs and
+//! never returns NULL; `AVG` over the integer domain of
+//! [`mahif_expr::Value`] uses integer division (values are integer
+//! cents/dollars throughout the reproduction).
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mahif_expr::{eval_expr, Expr, Value};
+use mahif_storage::{Attribute, Database, Relation, Schema, Tuple, TupleBindings};
+
+use crate::ast::Query;
+use crate::error::QueryError;
+use crate::eval::evaluate;
+use crate::schema_infer::infer_type;
+
+/// An aggregate function.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// Number of tuples with a non-NULL argument value.
+    Count,
+    /// Sum of the non-NULL argument values.
+    Sum,
+    /// Minimum of the non-NULL argument values.
+    Min,
+    /// Maximum of the non-NULL argument values.
+    Max,
+    /// Integer average (sum / count) of the non-NULL argument values.
+    Avg,
+}
+
+impl AggFunc {
+    /// The SQL keyword for this function.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AggFunc::Count => "COUNT",
+            AggFunc::Sum => "SUM",
+            AggFunc::Min => "MIN",
+            AggFunc::Max => "MAX",
+            AggFunc::Avg => "AVG",
+        }
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.keyword())
+    }
+}
+
+/// One aggregate output column: `func(expr) AS name`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Aggregate {
+    /// The aggregate function.
+    pub func: AggFunc,
+    /// The argument expression, evaluated per input tuple.
+    pub expr: Expr,
+    /// Output column name.
+    pub name: String,
+}
+
+impl Aggregate {
+    /// Creates an aggregate column.
+    pub fn new(func: AggFunc, expr: Expr, name: impl Into<String>) -> Self {
+        Aggregate {
+            func,
+            expr,
+            name: name.into(),
+        }
+    }
+
+    /// `COUNT(*)` — counts tuples (the argument is the constant 1, which is
+    /// never NULL).
+    pub fn count_star(name: impl Into<String>) -> Self {
+        Aggregate::new(AggFunc::Count, Expr::Const(Value::Int(1)), name)
+    }
+
+    /// `SUM(attr)`.
+    pub fn sum_of(attr: impl Into<String>, name: impl Into<String>) -> Self {
+        Aggregate::new(AggFunc::Sum, Expr::Attr(attr.into()), name)
+    }
+
+    /// `AVG(attr)`.
+    pub fn avg_of(attr: impl Into<String>, name: impl Into<String>) -> Self {
+        Aggregate::new(AggFunc::Avg, Expr::Attr(attr.into()), name)
+    }
+
+    /// `MIN(attr)`.
+    pub fn min_of(attr: impl Into<String>, name: impl Into<String>) -> Self {
+        Aggregate::new(AggFunc::Min, Expr::Attr(attr.into()), name)
+    }
+
+    /// `MAX(attr)`.
+    pub fn max_of(attr: impl Into<String>, name: impl Into<String>) -> Self {
+        Aggregate::new(AggFunc::Max, Expr::Attr(attr.into()), name)
+    }
+}
+
+impl fmt::Display for Aggregate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}({}) AS {}", self.func, self.expr, self.name)
+    }
+}
+
+/// Running state of one aggregate within one group.
+#[derive(Debug, Clone, Default)]
+struct AggState {
+    count: i64,
+    sum: i64,
+    min: Option<Value>,
+    max: Option<Value>,
+}
+
+impl AggState {
+    fn absorb(&mut self, value: Value) {
+        if value.is_null() {
+            return;
+        }
+        self.count += 1;
+        if let Some(i) = value.as_int() {
+            self.sum += i;
+        }
+        match &self.min {
+            Some(m) if value.total_cmp(m).is_ge() => {}
+            _ => self.min = Some(value.clone()),
+        }
+        match &self.max {
+            Some(m) if value.total_cmp(m).is_le() => {}
+            _ => self.max = Some(value),
+        }
+    }
+
+    fn finish(&self, func: AggFunc) -> Value {
+        match func {
+            AggFunc::Count => Value::Int(self.count),
+            AggFunc::Sum => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(self.sum)
+                }
+            }
+            AggFunc::Min => self.min.clone().unwrap_or(Value::Null),
+            AggFunc::Max => self.max.clone().unwrap_or(Value::Null),
+            AggFunc::Avg => {
+                if self.count == 0 {
+                    Value::Null
+                } else {
+                    Value::Int(self.sum / self.count)
+                }
+            }
+        }
+    }
+}
+
+/// Computes grouped aggregates over a relation.
+///
+/// `group_by` names attributes of the input relation; `aggregates` are
+/// evaluated per input tuple and folded per group. The output schema is the
+/// group-by attributes (with their input types) followed by one column per
+/// aggregate. With an empty `group_by` the result has exactly one tuple, even
+/// when the input is empty (matching SQL's global aggregation).
+pub fn aggregate_relation(
+    rel: &Relation,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+) -> Result<Relation, QueryError> {
+    let schema = aggregate_schema(&rel.schema, group_by, aggregates)?;
+    let key_indices: Vec<usize> = group_by
+        .iter()
+        .map(|g| rel.schema.require_index(g))
+        .collect::<Result<_, _>>()?;
+
+    // Group keys in first-seen order so the output is deterministic for a
+    // deterministic input order; the final sort makes it deterministic
+    // regardless of input order.
+    let mut order: Vec<Vec<Value>> = Vec::new();
+    let mut groups: HashMap<Vec<Value>, Vec<AggState>> = HashMap::new();
+    for tuple in rel.iter() {
+        let key: Vec<Value> = key_indices
+            .iter()
+            .map(|i| tuple.value(*i).cloned().unwrap_or(Value::Null))
+            .collect();
+        let entry = groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            vec![AggState::default(); aggregates.len()]
+        });
+        let bind = TupleBindings::new(&rel.schema, tuple);
+        for (agg, state) in aggregates.iter().zip(entry.iter_mut()) {
+            state.absorb(eval_expr(&agg.expr, &bind)?);
+        }
+    }
+    if group_by.is_empty() && groups.is_empty() {
+        // Global aggregation over an empty input still yields one row.
+        order.push(Vec::new());
+        groups.insert(Vec::new(), vec![AggState::default(); aggregates.len()]);
+    }
+
+    let mut out = Relation::empty(schema);
+    order.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| !o.is_eq())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    for key in order {
+        let states = &groups[&key];
+        let mut values = key.clone();
+        for (agg, state) in aggregates.iter().zip(states.iter()) {
+            values.push(state.finish(agg.func));
+        }
+        out.tuples.push(Tuple::new(values));
+    }
+    Ok(out)
+}
+
+fn aggregate_schema(
+    input: &Schema,
+    group_by: &[String],
+    aggregates: &[Aggregate],
+) -> Result<mahif_storage::SchemaRef, QueryError> {
+    let mut attrs = Vec::with_capacity(group_by.len() + aggregates.len());
+    for g in group_by {
+        let a = input
+            .attribute(g)
+            .ok_or_else(|| QueryError::Storage(input.require_index(g).unwrap_err()))?;
+        attrs.push(a.clone());
+    }
+    for agg in aggregates {
+        let dtype = match agg.func {
+            AggFunc::Count | AggFunc::Sum | AggFunc::Avg => mahif_expr::DataType::Int,
+            AggFunc::Min | AggFunc::Max => infer_type(&agg.expr, input),
+        };
+        attrs.push(Attribute::new(agg.name.clone(), dtype));
+    }
+    Ok(Schema::shared(format!("agg_{}", input.relation), attrs))
+}
+
+/// An aggregation applied on top of a relational algebra query.
+///
+/// This is the `SELECT group_by, agg(...) FROM (query) GROUP BY group_by`
+/// shape used by the impact-analysis layer and the SQL front end.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggregateQuery {
+    /// The input query.
+    pub input: Query,
+    /// Group-by attribute names (of the input query's output schema).
+    pub group_by: Vec<String>,
+    /// Aggregate output columns.
+    pub aggregates: Vec<Aggregate>,
+}
+
+impl AggregateQuery {
+    /// Creates an aggregate query.
+    pub fn new(input: Query, group_by: Vec<String>, aggregates: Vec<Aggregate>) -> Self {
+        AggregateQuery {
+            input,
+            group_by,
+            aggregates,
+        }
+    }
+
+    /// Evaluates the input query over `db` and aggregates its result.
+    pub fn evaluate(&self, db: &Database) -> Result<Relation, QueryError> {
+        let input = evaluate(&self.input, db)?;
+        aggregate_relation(&input, &self.group_by, &self.aggregates)
+    }
+}
+
+impl fmt::Display for AggregateQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "γ[")?;
+        for (i, g) in self.group_by.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{g}")?;
+        }
+        if !self.group_by.is_empty() && !self.aggregates.is_empty() {
+            write!(f, "; ")?;
+        }
+        for (i, a) in self.aggregates.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, "]({})", self.input)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+
+    fn orders() -> Relation {
+        let schema = Schema::shared(
+            "Order",
+            vec![
+                Attribute::int("ID"),
+                Attribute::str("Country"),
+                Attribute::int("Price"),
+                Attribute::int("ShippingFee"),
+            ],
+        );
+        let mut rel = Relation::empty(schema);
+        rel.insert_values([Value::int(11), Value::str("UK"), Value::int(20), Value::int(5)])
+            .unwrap();
+        rel.insert_values([Value::int(12), Value::str("UK"), Value::int(50), Value::int(5)])
+            .unwrap();
+        rel.insert_values([Value::int(13), Value::str("US"), Value::int(60), Value::int(3)])
+            .unwrap();
+        rel.insert_values([Value::int(14), Value::str("US"), Value::int(30), Value::int(4)])
+            .unwrap();
+        rel
+    }
+
+    #[test]
+    fn global_sum_and_count() {
+        let out = aggregate_relation(
+            &orders(),
+            &[],
+            &[
+                Aggregate::count_star("n"),
+                Aggregate::sum_of("Price", "total_price"),
+                Aggregate::sum_of("ShippingFee", "total_fee"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        let t = &out.tuples[0];
+        assert_eq!(t.value(0), Some(&Value::int(4)));
+        assert_eq!(t.value(1), Some(&Value::int(160)));
+        assert_eq!(t.value(2), Some(&Value::int(17)));
+    }
+
+    #[test]
+    fn grouped_aggregates_sorted_by_key() {
+        let out = aggregate_relation(
+            &orders(),
+            &["Country".to_string()],
+            &[
+                Aggregate::sum_of("Price", "revenue"),
+                Aggregate::min_of("ShippingFee", "min_fee"),
+                Aggregate::max_of("ShippingFee", "max_fee"),
+                Aggregate::avg_of("Price", "avg_price"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 2);
+        // Keys sort: 'UK' < 'US'.
+        let uk = &out.tuples[0];
+        assert_eq!(uk.value(0), Some(&Value::str("UK")));
+        assert_eq!(uk.value(1), Some(&Value::int(70)));
+        assert_eq!(uk.value(2), Some(&Value::int(5)));
+        assert_eq!(uk.value(3), Some(&Value::int(5)));
+        assert_eq!(uk.value(4), Some(&Value::int(35)));
+        let us = &out.tuples[1];
+        assert_eq!(us.value(0), Some(&Value::str("US")));
+        assert_eq!(us.value(1), Some(&Value::int(90)));
+        assert_eq!(us.value(2), Some(&Value::int(3)));
+        assert_eq!(us.value(3), Some(&Value::int(4)));
+        assert_eq!(us.value(4), Some(&Value::int(45)));
+    }
+
+    #[test]
+    fn aggregate_expression_argument() {
+        // SUM(Price + ShippingFee): full amount charged per order.
+        let out = aggregate_relation(
+            &orders(),
+            &[],
+            &[Aggregate::new(
+                AggFunc::Sum,
+                add(attr("Price"), attr("ShippingFee")),
+                "charged",
+            )],
+        )
+        .unwrap();
+        assert_eq!(out.tuples[0].value(0), Some(&Value::int(177)));
+    }
+
+    #[test]
+    fn null_handling_matches_sql() {
+        let schema = Schema::shared("R", vec![Attribute::int("A")]);
+        let mut rel = Relation::empty(schema);
+        rel.insert(Tuple::new(vec![Value::Null])).unwrap();
+        rel.insert(Tuple::new(vec![Value::int(10)])).unwrap();
+        let out = aggregate_relation(
+            &rel,
+            &[],
+            &[
+                Aggregate::new(AggFunc::Count, attr("A"), "c"),
+                Aggregate::sum_of("A", "s"),
+                Aggregate::avg_of("A", "a"),
+            ],
+        )
+        .unwrap();
+        let t = &out.tuples[0];
+        assert_eq!(t.value(0), Some(&Value::int(1)));
+        assert_eq!(t.value(1), Some(&Value::int(10)));
+        assert_eq!(t.value(2), Some(&Value::int(10)));
+    }
+
+    #[test]
+    fn empty_input_global_aggregate_is_one_row_of_nulls_and_zero_count() {
+        let schema = Schema::shared("R", vec![Attribute::int("A")]);
+        let rel = Relation::empty(schema);
+        let out = aggregate_relation(
+            &rel,
+            &[],
+            &[
+                Aggregate::count_star("c"),
+                Aggregate::sum_of("A", "s"),
+                Aggregate::min_of("A", "m"),
+            ],
+        )
+        .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.tuples[0].value(0), Some(&Value::int(0)));
+        assert_eq!(out.tuples[0].value(1), Some(&Value::Null));
+        assert_eq!(out.tuples[0].value(2), Some(&Value::Null));
+    }
+
+    #[test]
+    fn empty_input_grouped_aggregate_is_empty() {
+        let schema = Schema::shared("R", vec![Attribute::int("A"), Attribute::int("B")]);
+        let rel = Relation::empty(schema);
+        let out = aggregate_relation(
+            &rel,
+            &["A".to_string()],
+            &[Aggregate::count_star("c")],
+        )
+        .unwrap();
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn unknown_group_by_attribute_is_an_error() {
+        let err = aggregate_relation(
+            &orders(),
+            &["NoSuchColumn".to_string()],
+            &[Aggregate::count_star("c")],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("NoSuchColumn") || err.to_string().contains("unknown"));
+    }
+
+    #[test]
+    fn aggregate_query_over_selection() {
+        let mut db = Database::new();
+        db.add_relation(orders()).unwrap();
+        let q = AggregateQuery::new(
+            Query::select(ge(attr("Price"), lit(50)), Query::scan("Order")),
+            vec!["Country".to_string()],
+            vec![Aggregate::count_star("n")],
+        );
+        let out = q.evaluate(&db).unwrap();
+        assert_eq!(out.len(), 2);
+        assert_eq!(out.tuples[0].value(1), Some(&Value::int(1)));
+        assert_eq!(out.tuples[1].value(1), Some(&Value::int(1)));
+        let s = q.to_string();
+        assert!(s.contains("γ"));
+        assert!(s.contains("COUNT"));
+    }
+
+    #[test]
+    fn display_of_aggregates() {
+        assert_eq!(Aggregate::sum_of("Price", "p").to_string(), "SUM(Price) AS p");
+        assert_eq!(AggFunc::Avg.to_string(), "AVG");
+    }
+}

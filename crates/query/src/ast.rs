@@ -1,0 +1,272 @@
+//! The relational algebra AST.
+
+use std::fmt;
+
+use mahif_expr::Expr;
+use mahif_storage::{SchemaRef, Tuple};
+
+/// One output column of a projection: an expression plus its output name.
+///
+/// Reenactment of an update `U_{Set,θ}` produces one [`ProjectItem`] per
+/// attribute `A_i` of the relation, with expression
+/// `if θ then e_i else A_i` (Definition 3).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProjectItem {
+    /// The expression computed for this column.
+    pub expr: Expr,
+    /// The output attribute name.
+    pub name: String,
+}
+
+impl ProjectItem {
+    /// Creates a projection item.
+    pub fn new(expr: Expr, name: impl Into<String>) -> Self {
+        ProjectItem {
+            expr,
+            name: name.into(),
+        }
+    }
+
+    /// Identity item: passes attribute `name` through unchanged.
+    pub fn identity(name: impl Into<String>) -> Self {
+        let name = name.into();
+        ProjectItem {
+            expr: Expr::Attr(name.clone()),
+            name,
+        }
+    }
+}
+
+/// A relational algebra query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    /// Scan of a stored relation by name.
+    Scan {
+        /// Relation name.
+        relation: String,
+    },
+    /// Selection `σ_cond(input)`.
+    Select {
+        /// Filter condition.
+        cond: Expr,
+        /// Input query.
+        input: Box<Query>,
+    },
+    /// Generalized projection `Π_{e1→A1,...,en→An}(input)`.
+    Project {
+        /// Output columns.
+        items: Vec<ProjectItem>,
+        /// Input query.
+        input: Box<Query>,
+    },
+    /// Bag union `left ∪ right` (schemas must be union compatible).
+    Union {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// Set difference `left − right` (distinct tuples of left not in right).
+    Difference {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+    },
+    /// Theta join `left ⋈_cond right`; output schema is the concatenation of
+    /// both input schemas (attribute names must be distinct).
+    Join {
+        /// Left input.
+        left: Box<Query>,
+        /// Right input.
+        right: Box<Query>,
+        /// Join condition over the combined schema.
+        cond: Expr,
+    },
+    /// An inline constant relation (used for the `{t}` singleton of insert
+    /// reenactment).
+    Values {
+        /// Schema of the inline relation.
+        schema: SchemaRef,
+        /// The tuples.
+        tuples: Vec<Tuple>,
+    },
+}
+
+impl Query {
+    /// Scan constructor.
+    pub fn scan(relation: impl Into<String>) -> Query {
+        Query::Scan {
+            relation: relation.into(),
+        }
+    }
+
+    /// Selection constructor.
+    pub fn select(cond: Expr, input: Query) -> Query {
+        Query::Select {
+            cond,
+            input: Box::new(input),
+        }
+    }
+
+    /// Projection constructor.
+    pub fn project(items: Vec<ProjectItem>, input: Query) -> Query {
+        Query::Project {
+            items,
+            input: Box::new(input),
+        }
+    }
+
+    /// Union constructor.
+    pub fn union(left: Query, right: Query) -> Query {
+        Query::Union {
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Difference constructor.
+    pub fn difference(left: Query, right: Query) -> Query {
+        Query::Difference {
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// Join constructor.
+    pub fn join(left: Query, right: Query, cond: Expr) -> Query {
+        Query::Join {
+            left: Box::new(left),
+            right: Box::new(right),
+            cond,
+        }
+    }
+
+    /// Inline values constructor.
+    pub fn values(schema: SchemaRef, tuples: Vec<Tuple>) -> Query {
+        Query::Values { schema, tuples }
+    }
+
+    /// Names of all stored relations referenced by this query.
+    pub fn referenced_relations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_relations(&mut out);
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    fn collect_relations(&self, out: &mut Vec<String>) {
+        match self {
+            Query::Scan { relation } => out.push(relation.clone()),
+            Query::Select { input, .. } | Query::Project { input, .. } => {
+                input.collect_relations(out)
+            }
+            Query::Union { left, right }
+            | Query::Difference { left, right }
+            | Query::Join { left, right, .. } => {
+                left.collect_relations(out);
+                right.collect_relations(out);
+            }
+            Query::Values { .. } => {}
+        }
+    }
+
+    /// Number of operators in the query tree (used to report reenactment
+    /// query sizes in the benchmark harness).
+    pub fn operator_count(&self) -> usize {
+        match self {
+            Query::Scan { .. } | Query::Values { .. } => 1,
+            Query::Select { input, .. } | Query::Project { input, .. } => {
+                1 + input.operator_count()
+            }
+            Query::Union { left, right }
+            | Query::Difference { left, right }
+            | Query::Join { left, right, .. } => 1 + left.operator_count() + right.operator_count(),
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Scan { relation } => write!(f, "{relation}"),
+            Query::Select { cond, input } => write!(f, "σ[{cond}]({input})"),
+            Query::Project { items, input } => {
+                write!(f, "Π[")?;
+                for (i, it) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{}→{}", it.expr, it.name)?;
+                }
+                write!(f, "]({input})")
+            }
+            Query::Union { left, right } => write!(f, "({left} ∪ {right})"),
+            Query::Difference { left, right } => write!(f, "({left} − {right})"),
+            Query::Join { left, right, cond } => write!(f, "({left} ⋈[{cond}] {right})"),
+            Query::Values { schema, tuples } => {
+                write!(f, "VALUES[{}]{{", schema.relation)?;
+                for (i, t) in tuples.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_storage::{Attribute, Schema};
+
+    #[test]
+    fn referenced_relations_dedup_and_sort() {
+        let q = Query::union(
+            Query::select(ge(attr("A"), lit(1)), Query::scan("R")),
+            Query::join(Query::scan("S"), Query::scan("R"), Expr_true()),
+        );
+        assert_eq!(q.referenced_relations(), vec!["R", "S"]);
+    }
+
+    fn Expr_true() -> Expr {
+        Expr::true_()
+    }
+
+    #[test]
+    fn operator_count() {
+        let q = Query::project(
+            vec![ProjectItem::identity("A")],
+            Query::select(ge(attr("A"), lit(1)), Query::scan("R")),
+        );
+        assert_eq!(q.operator_count(), 3);
+    }
+
+    #[test]
+    fn display_contains_operators() {
+        let q = Query::project(
+            vec![ProjectItem::new(add(attr("A"), lit(1)), "A")],
+            Query::scan("R"),
+        );
+        let s = q.to_string();
+        assert!(s.contains("Π"));
+        assert!(s.contains("→A"));
+        let v = Query::values(
+            Schema::shared("V", vec![Attribute::int("A")]),
+            vec![Tuple::from_iter_values([1i64])],
+        );
+        assert!(v.to_string().contains("VALUES"));
+    }
+
+    #[test]
+    fn project_item_identity() {
+        let it = ProjectItem::identity("Price");
+        assert_eq!(it.expr, attr("Price"));
+        assert_eq!(it.name, "Price");
+    }
+}

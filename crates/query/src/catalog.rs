@@ -1,0 +1,93 @@
+//! Schema catalogs: name → schema lookup used by schema inference and the
+//! condition push-down.
+
+use std::collections::BTreeMap;
+
+use mahif_storage::{Database, Schema, SchemaRef, StorageError};
+
+/// A catalog of relation schemas.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    schemas: BTreeMap<String, SchemaRef>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Builds a catalog from the relations of a database.
+    pub fn from_database(db: &Database) -> Self {
+        let mut c = Catalog::new();
+        for (name, rel) in db.iter() {
+            c.schemas.insert(name.clone(), rel.schema.clone());
+        }
+        c
+    }
+
+    /// Registers a schema.
+    pub fn register(&mut self, schema: SchemaRef) {
+        self.schemas.insert(schema.relation.clone(), schema);
+    }
+
+    /// Looks up a schema by relation name.
+    pub fn schema(&self, relation: &str) -> Result<SchemaRef, StorageError> {
+        self.schemas
+            .get(relation)
+            .cloned()
+            .ok_or_else(|| StorageError::UnknownRelation(relation.to_string()))
+    }
+
+    /// Registered relation names (sorted).
+    pub fn relation_names(&self) -> Vec<String> {
+        self.schemas.keys().cloned().collect()
+    }
+}
+
+impl From<&Database> for Catalog {
+    fn from(db: &Database) -> Self {
+        Catalog::from_database(db)
+    }
+}
+
+/// Convenience for tests: builds a catalog from `(name, int attribute names)`.
+pub fn int_catalog(relations: &[(&str, &[&str])]) -> Catalog {
+    use mahif_storage::Attribute;
+    let mut c = Catalog::new();
+    for (name, attrs) in relations {
+        let schema = Schema::shared(
+            *name,
+            attrs.iter().map(|a| Attribute::int(*a)).collect::<Vec<_>>(),
+        );
+        c.register(schema);
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::Value;
+    use mahif_storage::{Attribute, Relation};
+
+    #[test]
+    fn from_database_and_lookup() {
+        let schema = Schema::shared("R", vec![Attribute::int("A")]);
+        let mut rel = Relation::empty(schema);
+        rel.insert_values([Value::int(1)]).unwrap();
+        let mut db = Database::new();
+        db.add_relation(rel).unwrap();
+        let cat = Catalog::from_database(&db);
+        assert_eq!(cat.schema("R").unwrap().arity(), 1);
+        assert!(cat.schema("X").is_err());
+        assert_eq!(cat.relation_names(), vec!["R"]);
+    }
+
+    #[test]
+    fn int_catalog_helper() {
+        let cat = int_catalog(&[("R", &["A", "B"]), ("S", &["C"])]);
+        assert_eq!(cat.schema("R").unwrap().arity(), 2);
+        assert_eq!(cat.schema("S").unwrap().attribute_names(), vec!["C"]);
+    }
+}

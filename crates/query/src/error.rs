@@ -1,0 +1,69 @@
+//! Query-layer errors.
+
+use std::fmt;
+
+use mahif_expr::ExprError;
+use mahif_storage::StorageError;
+
+/// Errors raised during schema inference or query evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// Underlying storage error (unknown relation, arity mismatch, ...).
+    Storage(StorageError),
+    /// Underlying expression evaluation error.
+    Expr(ExprError),
+    /// Union or difference of queries with incompatible schemas.
+    NotUnionCompatible {
+        /// Left schema description.
+        left: String,
+        /// Right schema description.
+        right: String,
+    },
+    /// A join would produce duplicate attribute names.
+    AmbiguousAttribute(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::Storage(e) => write!(f, "storage error: {e}"),
+            QueryError::Expr(e) => write!(f, "expression error: {e}"),
+            QueryError::NotUnionCompatible { left, right } => {
+                write!(f, "queries are not union compatible: {left} vs {right}")
+            }
+            QueryError::AmbiguousAttribute(a) => {
+                write!(f, "ambiguous attribute `{a}` in join output")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+impl From<StorageError> for QueryError {
+    fn from(e: StorageError) -> Self {
+        QueryError::Storage(e)
+    }
+}
+
+impl From<ExprError> for QueryError {
+    fn from(e: ExprError) -> Self {
+        QueryError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: QueryError = StorageError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        let e: QueryError = ExprError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+        assert!(QueryError::AmbiguousAttribute("A".into())
+            .to_string()
+            .contains("ambiguous"));
+    }
+}

@@ -1,0 +1,139 @@
+//! Output schema inference for relational algebra queries.
+
+use mahif_expr::{DataType, Expr};
+use mahif_storage::{Attribute, Schema, SchemaRef};
+
+use crate::ast::Query;
+use crate::catalog::Catalog;
+use crate::error::QueryError;
+
+/// Infers the output schema of `query` against `catalog`.
+///
+/// The relation name of the inferred schema is a synthetic description of the
+/// top operator (for scans it is the scanned relation's name); consumers that
+/// need a specific name can rename via [`Schema::renamed`].
+pub fn infer_schema(query: &Query, catalog: &Catalog) -> Result<SchemaRef, QueryError> {
+    match query {
+        Query::Scan { relation } => Ok(catalog.schema(relation)?),
+        Query::Select { input, .. } => infer_schema(input, catalog),
+        Query::Project { items, input } => {
+            let input_schema = infer_schema(input, catalog)?;
+            let attrs = items
+                .iter()
+                .map(|it| Attribute::new(it.name.clone(), infer_type(&it.expr, &input_schema)))
+                .collect();
+            Ok(Schema::shared(input_schema.relation.clone(), attrs))
+        }
+        Query::Union { left, right } | Query::Difference { left, right } => {
+            let l = infer_schema(left, catalog)?;
+            let r = infer_schema(right, catalog)?;
+            if !l.union_compatible(&r) {
+                return Err(QueryError::NotUnionCompatible {
+                    left: l.to_string(),
+                    right: r.to_string(),
+                });
+            }
+            Ok(l)
+        }
+        Query::Join { left, right, .. } => {
+            let l = infer_schema(left, catalog)?;
+            let r = infer_schema(right, catalog)?;
+            let mut attrs = l.attributes.clone();
+            for a in &r.attributes {
+                if attrs.iter().any(|x| x.name == a.name) {
+                    return Err(QueryError::AmbiguousAttribute(a.name.clone()));
+                }
+                attrs.push(a.clone());
+            }
+            Ok(Schema::shared(
+                format!("{}_{}", l.relation, r.relation),
+                attrs,
+            ))
+        }
+        Query::Values { schema, .. } => Ok(schema.clone()),
+    }
+}
+
+/// Best-effort static type of an expression over a schema. Arithmetic yields
+/// INT; comparisons/boolean operators yield BOOL; attribute references take
+/// the schema type; anything else defaults to INT (the engine is dynamically
+/// typed, the static type is only used for schema display and union
+/// compatibility of generated queries).
+pub fn infer_type(expr: &Expr, schema: &Schema) -> DataType {
+    match expr {
+        Expr::Attr(name) => schema
+            .attribute(name)
+            .map(|a| a.dtype)
+            .unwrap_or(DataType::Int),
+        Expr::Var(_) => DataType::Int,
+        Expr::Const(v) => v.data_type().unwrap_or(DataType::Int),
+        Expr::Arith { .. } => DataType::Int,
+        Expr::Cmp { .. } | Expr::And(..) | Expr::Or(..) | Expr::Not(..) | Expr::IsNull(..) => {
+            DataType::Bool
+        }
+        Expr::IfThenElse { then_branch, .. } => infer_type(then_branch, schema),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::ProjectItem;
+    use crate::catalog::int_catalog;
+    use mahif_expr::builder::*;
+
+    #[test]
+    fn scan_and_select_schema() {
+        let cat = int_catalog(&[("R", &["A", "B"])]);
+        let q = Query::select(ge(attr("A"), lit(1)), Query::scan("R"));
+        let s = infer_schema(&q, &cat).unwrap();
+        assert_eq!(s.attribute_names(), vec!["A", "B"]);
+    }
+
+    #[test]
+    fn project_renames_and_types() {
+        let cat = int_catalog(&[("R", &["A", "B"])]);
+        let q = Query::project(
+            vec![
+                ProjectItem::new(add(attr("A"), lit(1)), "A1"),
+                ProjectItem::new(ge(attr("B"), lit(0)), "IsPos"),
+            ],
+            Query::scan("R"),
+        );
+        let s = infer_schema(&q, &cat).unwrap();
+        assert_eq!(s.attribute_names(), vec!["A1", "IsPos"]);
+        assert_eq!(s.attribute("A1").unwrap().dtype, DataType::Int);
+        assert_eq!(s.attribute("IsPos").unwrap().dtype, DataType::Bool);
+    }
+
+    #[test]
+    fn union_compatibility_enforced() {
+        let cat = int_catalog(&[("R", &["A", "B"]), ("S", &["C"])]);
+        let q = Query::union(Query::scan("R"), Query::scan("S"));
+        assert!(matches!(
+            infer_schema(&q, &cat),
+            Err(QueryError::NotUnionCompatible { .. })
+        ));
+        let ok = Query::union(Query::scan("R"), Query::scan("R"));
+        assert!(infer_schema(&ok, &cat).is_ok());
+    }
+
+    #[test]
+    fn join_concatenates_and_rejects_ambiguity() {
+        let cat = int_catalog(&[("R", &["A", "B"]), ("S", &["C", "D"]), ("T", &["A"])]);
+        let q = Query::join(Query::scan("R"), Query::scan("S"), eq(attr("A"), attr("C")));
+        let s = infer_schema(&q, &cat).unwrap();
+        assert_eq!(s.attribute_names(), vec!["A", "B", "C", "D"]);
+        let bad = Query::join(Query::scan("R"), Query::scan("T"), Expr::true_());
+        assert!(matches!(
+            infer_schema(&bad, &cat),
+            Err(QueryError::AmbiguousAttribute(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_relation_error() {
+        let cat = int_catalog(&[("R", &["A"])]);
+        assert!(infer_schema(&Query::scan("Missing"), &cat).is_err());
+    }
+}

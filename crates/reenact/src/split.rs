@@ -1,0 +1,250 @@
+//! The insert-split optimization (Section 10).
+//!
+//! Reenactment queries for histories containing inserts have unions buried
+//! inside the chain of projections/selections. Pulling the unions to the top
+//! (using `Π(Q1 ∪ Q2) ≡ Π(Q1) ∪ Π(Q2)` and `σ(Q1 ∪ Q2) ≡ σ(Q1) ∪ σ(Q2)`)
+//! splits the query into
+//!
+//! * a branch that reenacts only the updates and deletes over the stored
+//!   relation (`R_{H_noIns}`) — this is the branch program slicing and data
+//!   slicing are applied to, and
+//! * one branch per insert statement that reenacts the *suffix* of the
+//!   history following the insert over the tuples the insert contributes
+//!   (`{t}` or the insert's query `Q`).
+//!
+//! The input size of the insert branches is bounded by the number of inserted
+//! tuples, which is negligible compared to the relation size, so the paper
+//! does not attempt to slice them.
+
+use mahif_history::{History, Statement};
+use mahif_query::Query;
+use mahif_storage::{Schema, SchemaRef};
+
+use crate::builder::reenact_statement;
+
+/// The result of splitting a reenactment query at its insert statements.
+#[derive(Debug, Clone)]
+pub struct SplitReenactment {
+    /// Reenactment of the history with all inserts removed, over the stored
+    /// relation.
+    pub no_insert_query: Query,
+    /// One branch per insert: the reenactment of the statements following the
+    /// insert, applied to the insert's contributed tuples.
+    pub insert_branches: Vec<Query>,
+}
+
+impl SplitReenactment {
+    /// Total number of branches (1 + number of inserts).
+    pub fn branch_count(&self) -> usize {
+        1 + self.insert_branches.len()
+    }
+}
+
+/// Splits the reenactment of `history` for `relation` into the no-insert
+/// branch and per-insert branches.
+pub fn split_reenactment(history: &History, relation: &str, schema: &Schema) -> SplitReenactment {
+    // Branch 1: all updates/deletes on `relation`, inserts dropped.
+    let mut no_insert_query = Query::scan(relation);
+    for stmt in history.statements() {
+        if stmt.relation() != relation {
+            continue;
+        }
+        match stmt {
+            Statement::InsertValues { .. } | Statement::InsertQuery { .. } => {}
+            _ => {
+                no_insert_query = reenact_statement(stmt, relation, schema, no_insert_query);
+            }
+        }
+    }
+
+    // Per-insert branches: the insert's source, followed by the reenactment
+    // of every later statement on `relation`. For `INSERT ... SELECT`, scans
+    // of `relation` inside the source query read the state at the time of the
+    // insert, i.e. the reenactment of the preceding statements.
+    let mut insert_branches = Vec::new();
+    let statements = history.statements();
+    for (i, stmt) in statements.iter().enumerate() {
+        if stmt.relation() != relation {
+            continue;
+        }
+        let source = match stmt {
+            Statement::InsertValues { tuple, .. } => {
+                let values_schema: SchemaRef = Schema::shared(
+                    format!("{}_ins{}", schema.relation, i),
+                    schema.attributes.clone(),
+                );
+                Query::values(values_schema, vec![tuple.clone()])
+            }
+            Statement::InsertQuery { query, .. } => {
+                let prefix = History::new(statements[..i].to_vec());
+                let prefix_query = crate::builder::reenact_history(&prefix, relation, schema);
+                crate::builder::substitute_scan(query, relation, &prefix_query)
+            }
+            _ => continue,
+        };
+        let mut branch = source;
+        for later in &statements[i + 1..] {
+            if later.relation() != relation {
+                continue;
+            }
+            match later {
+                Statement::InsertValues { .. } | Statement::InsertQuery { .. } => {}
+                _ => {
+                    branch = reenact_statement(later, relation, schema, branch);
+                }
+            }
+        }
+        insert_branches.push(branch);
+    }
+
+    SplitReenactment {
+        no_insert_query,
+        insert_branches,
+    }
+}
+
+/// Recombines a split reenactment into a single query (the union of all
+/// branches). Useful for equivalence testing; the engine usually evaluates
+/// branches separately so that slicing conditions only restrict the
+/// no-insert branch.
+pub fn combine_split(split: &SplitReenactment) -> Query {
+    let mut q = split.no_insert_query.clone();
+    for b in &split.insert_branches {
+        q = Query::union(q, b.clone());
+    }
+    q
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_expr::{Expr, Value};
+    use mahif_history::statement::{running_example_database, running_example_history};
+    use mahif_history::SetClause;
+    use mahif_query::evaluate;
+    use mahif_storage::Tuple;
+
+    use crate::builder::reenact_history;
+
+    fn extended_history() -> History {
+        // u1..u3 of the running example, then an insert, a delete, an
+        // INSERT ... SELECT and a final update — the mixed workload shape of
+        // Section 13.5.
+        let mut h = History::new(running_example_history());
+        h.push(Statement::insert_values(
+            "Order",
+            Tuple::new(vec![
+                Value::int(15),
+                Value::str("Eve"),
+                Value::str("UK"),
+                Value::int(45),
+                Value::int(6),
+            ]),
+        ));
+        h.push(Statement::delete("Order", ge(attr("ShippingFee"), lit(11))));
+        h.push(Statement::insert_query(
+            "Order",
+            Query::project(
+                vec![
+                    mahif_query::ProjectItem::new(add(attr("ID"), lit(100)), "ID"),
+                    mahif_query::ProjectItem::identity("Customer"),
+                    mahif_query::ProjectItem::identity("Country"),
+                    mahif_query::ProjectItem::identity("Price"),
+                    mahif_query::ProjectItem::new(lit(1), "ShippingFee"),
+                ],
+                Query::select(eq(attr("Country"), slit("US")), Query::scan("Order")),
+            ),
+        ));
+        h.push(Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", add(attr("ShippingFee"), lit(2))),
+            le(attr("Price"), lit(50)),
+        ));
+        h
+    }
+
+    #[test]
+    fn split_has_one_branch_per_insert() {
+        let db = running_example_database();
+        let schema = db.relation("Order").unwrap().schema.clone();
+        let h = extended_history();
+        let split = split_reenactment(&h, "Order", &schema);
+        assert_eq!(split.insert_branches.len(), 2);
+        assert_eq!(split.branch_count(), 3);
+        // The no-insert branch never references a union.
+        fn has_union(q: &Query) -> bool {
+            match q {
+                Query::Union { .. } => true,
+                Query::Select { input, .. } | Query::Project { input, .. } => has_union(input),
+                Query::Difference { left, right } | Query::Join { left, right, .. } => {
+                    has_union(left) || has_union(right)
+                }
+                _ => false,
+            }
+        }
+        assert!(!has_union(&split.no_insert_query));
+    }
+
+    #[test]
+    fn combined_split_is_equivalent_to_direct_reenactment() {
+        let db = running_example_database();
+        let schema = db.relation("Order").unwrap().schema.clone();
+        let h = extended_history();
+
+        let direct = reenact_history(&h, "Order", &schema);
+        let split = split_reenactment(&h, "Order", &schema);
+        let combined = combine_split(&split);
+
+        let r1 = evaluate(&direct, &db).unwrap();
+        let r2 = evaluate(&combined, &db).unwrap();
+        assert!(r1.set_eq(&r2));
+
+        // Both equal direct history execution.
+        let executed = h.execute(&db).unwrap();
+        assert!(executed.relation("Order").unwrap().set_eq(&r1));
+    }
+
+    #[test]
+    fn split_of_insert_free_history_has_single_branch() {
+        let db = running_example_database();
+        let schema = db.relation("Order").unwrap().schema.clone();
+        let h = History::new(running_example_history());
+        let split = split_reenactment(&h, "Order", &schema);
+        assert!(split.insert_branches.is_empty());
+        let r = evaluate(&split.no_insert_query, &db).unwrap();
+        let executed = h.execute(&db).unwrap();
+        assert!(executed.relation("Order").unwrap().set_eq(&r));
+    }
+
+    #[test]
+    fn insert_branch_only_sees_inserted_tuples() {
+        // A history that inserts one tuple and then updates everything: the
+        // insert branch must return exactly one tuple (the inserted one,
+        // updated), not the whole relation.
+        let db = running_example_database();
+        let schema = db.relation("Order").unwrap().schema.clone();
+        let mut h = History::empty();
+        h.push(Statement::insert_values(
+            "Order",
+            Tuple::new(vec![
+                Value::int(99),
+                Value::str("Zoe"),
+                Value::str("UK"),
+                Value::int(10),
+                Value::int(1),
+            ]),
+        ));
+        h.push(Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", add(attr("ShippingFee"), lit(5))),
+            Expr::true_(),
+        ));
+        let split = split_reenactment(&h, "Order", &schema);
+        assert_eq!(split.insert_branches.len(), 1);
+        let branch = evaluate(&split.insert_branches[0], &db).unwrap();
+        assert_eq!(branch.len(), 1);
+        assert_eq!(branch.tuples[0].value(0), Some(&Value::int(99)));
+        assert_eq!(branch.tuples[0].value(4), Some(&Value::int(6)));
+    }
+}

@@ -1,0 +1,126 @@
+//! Deriving solver domains for the attributes of a relation.
+//!
+//! Program slicing reasons over the single-tuple symbolic instance `D0` whose
+//! variables `x_<attr>_0` range over the possible attribute values of the
+//! input relation. The compressed database constraint Φ_D (Section 8.3.1)
+//! already over-approximates the value combinations; this module additionally
+//! derives per-variable *domains* (hull ranges / categorical value sets) that
+//! the branch-and-prune solver uses as its search box.
+
+use mahif_expr::{DataType, Value};
+use mahif_solver::Domain;
+use mahif_storage::Relation;
+
+use crate::error::SlicingError;
+
+/// Default cap on the number of distinct categorical values enumerated for a
+/// string attribute's domain.
+pub const DEFAULT_MAX_CATEGORICAL: usize = 64;
+
+/// Sentinel value standing for "any string not observed in the relation".
+/// Including it keeps the domain an over-approximation even when the cap is
+/// hit.
+pub const OTHER_STRING: &str = "\u{1}other\u{1}";
+
+/// Derives a [`Domain`] for every attribute of `relation`, returned as
+/// `(variable-name, domain)` pairs where the variable name is produced by
+/// `var_name(attribute)` (typically [`mahif_symbolic::initial_var_name`]).
+pub fn domains_for_relation(
+    relation: &Relation,
+    var_name: impl Fn(&str) -> String,
+) -> Result<Vec<(String, Domain)>, SlicingError> {
+    let mut out = Vec::with_capacity(relation.schema.arity());
+    for (idx, attribute) in relation.schema.attributes.iter().enumerate() {
+        let domain = match attribute.dtype {
+            DataType::Int => {
+                let mut min = i64::MAX;
+                let mut max = i64::MIN;
+                let mut any = false;
+                for t in relation.iter() {
+                    if let Some(Value::Int(v)) = t.value(idx) {
+                        min = min.min(*v);
+                        max = max.max(*v);
+                        any = true;
+                    }
+                }
+                if any {
+                    Domain::IntRange(min, max)
+                } else {
+                    Domain::IntRange(0, 0)
+                }
+            }
+            DataType::Str => {
+                let mut values: Vec<String> = Vec::new();
+                let mut overflow = false;
+                for t in relation.iter() {
+                    if let Some(Value::Str(s)) = t.value(idx) {
+                        if !values.iter().any(|v| v == s.as_ref()) {
+                            if values.len() >= DEFAULT_MAX_CATEGORICAL {
+                                overflow = true;
+                                break;
+                            }
+                            values.push(s.as_ref().to_string());
+                        }
+                    }
+                }
+                if overflow || values.is_empty() {
+                    values.push(OTHER_STRING.to_string());
+                }
+                Domain::StrChoices(values)
+            }
+            DataType::Bool => Domain::IntChoices(vec![0, 1]),
+        };
+        out.push((var_name(&attribute.name), domain));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_history::statement::running_example_database;
+    use mahif_symbolic::initial_var_name;
+
+    #[test]
+    fn running_example_domains() {
+        let db = running_example_database();
+        let rel = db.relation("Order").unwrap();
+        let domains = domains_for_relation(rel, |a| initial_var_name(a)).unwrap();
+        assert_eq!(domains.len(), 5);
+        let price = domains
+            .iter()
+            .find(|(n, _)| n == "x_Price_0")
+            .map(|(_, d)| d.clone())
+            .unwrap();
+        assert_eq!(price, Domain::IntRange(20, 60));
+        let country = domains
+            .iter()
+            .find(|(n, _)| n == "x_Country_0")
+            .map(|(_, d)| d.clone())
+            .unwrap();
+        assert_eq!(
+            country,
+            Domain::StrChoices(vec!["UK".to_string(), "US".to_string()])
+        );
+    }
+
+    #[test]
+    fn empty_relation_gets_degenerate_domains() {
+        let db = running_example_database();
+        let schema = db.relation("Order").unwrap().schema.clone();
+        let empty = Relation::empty(schema);
+        let domains = domains_for_relation(&empty, |a| initial_var_name(a)).unwrap();
+        let price = domains
+            .iter()
+            .find(|(n, _)| n == "x_Price_0")
+            .map(|(_, d)| d.clone())
+            .unwrap();
+        assert_eq!(price, Domain::IntRange(0, 0));
+        let country = domains
+            .iter()
+            .find(|(n, _)| n == "x_Country_0")
+            .map(|(_, d)| d.clone())
+            .unwrap();
+        assert_eq!(country, Domain::StrChoices(vec![OTHER_STRING.to_string()]));
+    }
+}

@@ -1,0 +1,97 @@
+//! Slicing errors.
+
+use std::fmt;
+
+use mahif_expr::ExprError;
+use mahif_history::HistoryError;
+use mahif_query::QueryError;
+use mahif_storage::StorageError;
+use mahif_symbolic::SymbolicError;
+
+/// Errors raised by the slicing optimizations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SlicingError {
+    /// Underlying history error.
+    History(HistoryError),
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// Underlying query error.
+    Query(QueryError),
+    /// Underlying expression error.
+    Expr(ExprError),
+    /// Underlying symbolic-execution error.
+    Symbolic(SymbolicError),
+    /// The normalized histories have different lengths (internal invariant).
+    HistoriesNotAligned {
+        /// Length of the original history.
+        original: usize,
+        /// Length of the modified history.
+        modified: usize,
+    },
+}
+
+impl fmt::Display for SlicingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SlicingError::History(e) => write!(f, "history error: {e}"),
+            SlicingError::Storage(e) => write!(f, "storage error: {e}"),
+            SlicingError::Query(e) => write!(f, "query error: {e}"),
+            SlicingError::Expr(e) => write!(f, "expression error: {e}"),
+            SlicingError::Symbolic(e) => write!(f, "symbolic execution error: {e}"),
+            SlicingError::HistoriesNotAligned { original, modified } => write!(
+                f,
+                "normalized histories are not aligned ({original} vs {modified} statements)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SlicingError {}
+
+impl From<HistoryError> for SlicingError {
+    fn from(e: HistoryError) -> Self {
+        SlicingError::History(e)
+    }
+}
+
+impl From<StorageError> for SlicingError {
+    fn from(e: StorageError) -> Self {
+        SlicingError::Storage(e)
+    }
+}
+
+impl From<QueryError> for SlicingError {
+    fn from(e: QueryError) -> Self {
+        SlicingError::Query(e)
+    }
+}
+
+impl From<ExprError> for SlicingError {
+    fn from(e: ExprError) -> Self {
+        SlicingError::Expr(e)
+    }
+}
+
+impl From<SymbolicError> for SlicingError {
+    fn from(e: SymbolicError) -> Self {
+        SlicingError::Symbolic(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SlicingError = StorageError::UnknownRelation("R".into()).into();
+        assert!(e.to_string().contains("unknown relation"));
+        let e: SlicingError = ExprError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+        let e = SlicingError::HistoriesNotAligned {
+            original: 3,
+            modified: 4,
+        };
+        assert!(e.to_string().contains("not aligned"));
+    }
+}

@@ -1,0 +1,758 @@
+//! Program slicing via the dependency test of Section 9.
+//!
+//! A statement can be excluded from reenactment when its presence provably
+//! has no effect on the answer of the what-if query. Any tuple in the answer
+//! must be affected by one of the modified statements; a statement `u_i` is
+//! therefore *independent* when there is no possible input tuple (in any
+//! world of the compressed database Φ_D) that is affected both by a modified
+//! statement (in the original or the modified history) and by `u_i` (again in
+//! either history). Independence is checked by symbolically executing both
+//! histories over the single-tuple symbolic instance `D0` and asking the
+//! solver whether the conjunction of the two "affected" conditions is
+//! satisfiable.
+//!
+//! **Deviation from the paper.** Definition 7 of the paper evaluates the
+//! modified statements' conditions only over the *full*-history trajectories.
+//! That is not sufficient: removing `u_i` can change the intermediate state a
+//! *later* modified statement sees, making it fire on tuples it never touched
+//! in the full history, which then appear (incorrectly) in the sliced delta.
+//! Property-based testing surfaces such counterexamples readily (see
+//! `tests/prop_whatif.rs`). The check implemented here therefore evaluates
+//! the modified statements' conditions over both the full trajectories and
+//! the trajectories of the candidate slice with `u_i` removed, and exclusions
+//! are applied cumulatively (each check is performed against the candidate
+//! produced by the previous exclusions). The verdicts are used as follows:
+//!
+//! * `SAT`     → the statement may interact with the modification → keep it;
+//! * `UNSAT`   → provably independent → exclude it from the slice;
+//! * `UNKNOWN` → resource limit hit → keep it (conservative).
+//!
+//! Insert statements are always kept: they are excluded from symbolic
+//! reasoning by the paper (Section 8.3 / Section 10) because the insert-split
+//! optimization already reduces their cost to the number of inserted tuples.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mahif_expr::{
+    eval_condition, eval_expr, simplify, substitute_attrs, Expr, MapBindings, SubstMap,
+};
+use mahif_history::{History, Statement};
+use mahif_solver::{Domain, SatProblem, SatResult, SearchConfig, Solver};
+use mahif_storage::Database;
+use mahif_symbolic::{compress_relation, initial_var_name, CompressionConfig};
+
+use crate::domains::domains_for_relation;
+use crate::error::SlicingError;
+
+/// Configuration of program slicing.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramSlicingConfig {
+    /// How the input database is compressed into Φ_D (Section 8.3.1).
+    pub compression: CompressionConfig,
+    /// Resource limits of the satisfiability search.
+    pub solver: SearchConfig,
+    /// When `false`, the compressed-database constraint Φ_D is not added to
+    /// the dependency condition (the per-attribute domains still bound the
+    /// search); used by the ablation benchmarks.
+    pub skip_compression_constraint: bool,
+}
+
+/// Number of concrete tuples sampled per relation as cheap SAT witnesses for
+/// the dependency check. Every sampled tuple is a possible world of the
+/// compressed database (its values satisfy Φ_D by construction), so a sample
+/// that satisfies the dependency condition proves the statement dependent
+/// without invoking the solver. The cap keeps the cost of program slicing
+/// independent of the relation size, as in the paper.
+const WITNESS_SAMPLES: usize = 64;
+
+/// The result of program slicing.
+#[derive(Debug, Clone)]
+pub struct ProgramSliceResult {
+    /// Positions (0-based, in the normalized histories) of the statements
+    /// that must be reenacted — the slice `I`.
+    pub kept_positions: Vec<usize>,
+    /// Positions excluded from reenactment.
+    pub excluded_positions: Vec<usize>,
+    /// Number of satisfiability checks performed.
+    pub solver_calls: usize,
+    /// Wall-clock time spent slicing (the `PS` column of Figure 16).
+    pub duration: Duration,
+}
+
+impl ProgramSliceResult {
+    /// The trivial slice keeping every statement.
+    pub fn keep_all(len: usize) -> Self {
+        ProgramSliceResult {
+            kept_positions: (0..len).collect(),
+            excluded_positions: Vec::new(),
+            solver_calls: 0,
+            duration: Duration::default(),
+        }
+    }
+
+    /// Fraction of statements excluded.
+    pub fn exclusion_ratio(&self) -> f64 {
+        let total = self.kept_positions.len() + self.excluded_positions.len();
+        if total == 0 {
+            0.0
+        } else {
+            self.excluded_positions.len() as f64 / total as f64
+        }
+    }
+}
+
+/// Symbolic trajectory of the single input tuple of one relation through one
+/// history: the per-attribute symbolic expression *before* each statement,
+/// plus the definitions introducing the intermediate variables.
+struct Trajectory {
+    /// `states[j]` maps attribute → symbolic expression before the statement
+    /// at position `j`; `states[len]` is the final state.
+    states: Vec<BTreeMap<String, Expr>>,
+    /// Definitions `(variable, expression)` in dependency order.
+    definitions: Vec<(String, Expr)>,
+}
+
+/// Builds the symbolic trajectory of `history` over `relation`, skipping the
+/// statements at the positions in `skip` (used to model candidate slices:
+/// the skipped statements' effects are simply not applied).
+fn trajectory(
+    history: &History,
+    relation: &str,
+    skip: &BTreeSet<usize>,
+    suffix: &str,
+) -> Trajectory {
+    let mut current: BTreeMap<String, Expr> = BTreeMap::new();
+    // Attributes are discovered lazily from the statements' conditions and
+    // set clauses; initial value of attribute A is the shared variable
+    // `x_A_0`.
+    let mut states = Vec::with_capacity(history.len() + 1);
+    let mut definitions = Vec::new();
+
+    let ensure_attr = |current: &mut BTreeMap<String, Expr>, attr: &str| {
+        current
+            .entry(attr.to_string())
+            .or_insert_with(|| Expr::Var(initial_var_name(attr)));
+    };
+
+    for (j, stmt) in history.statements().iter().enumerate() {
+        states.push(current.clone());
+        if stmt.relation() != relation || skip.contains(&j) {
+            continue;
+        }
+        if let Statement::Update { set, cond, .. } = stmt {
+            for attr in cond.attrs() {
+                ensure_attr(&mut current, &attr);
+            }
+            for (attr, e) in &set.assignments {
+                ensure_attr(&mut current, attr);
+                for a in e.attrs() {
+                    ensure_attr(&mut current, &a);
+                }
+            }
+            let subst: SubstMap = current
+                .iter()
+                .map(|(a, e)| (a.clone(), e.clone()))
+                .collect();
+            let theta = substitute_attrs(cond, &subst);
+            for (attr, e) in &set.assignments {
+                let new_var = format!("x_{attr}_{}{suffix}", j + 1);
+                let new_value = substitute_attrs(e, &subst);
+                let definition = simplify(&Expr::IfThenElse {
+                    cond: Arc::new(theta.clone()),
+                    then_branch: Arc::new(new_value),
+                    else_branch: Arc::new(current[attr].clone()),
+                });
+                definitions.push((new_var.clone(), definition));
+                current.insert(attr.clone(), Expr::Var(new_var));
+            }
+        }
+        // Deletes do not change attribute values of surviving tuples and
+        // inserts never modify existing tuples; ignoring the survival
+        // condition only makes the dependency test more conservative.
+    }
+    states.push(current);
+    Trajectory {
+        states,
+        definitions,
+    }
+}
+
+/// The condition under which `statement` affects an existing input tuple
+/// whose current attribute values are given by `state`.
+fn affects_condition(statement: &Statement, state: &BTreeMap<String, Expr>) -> Expr {
+    match statement {
+        Statement::Update { cond, .. } | Statement::Delete { cond, .. } => {
+            if cond.is_false() {
+                return Expr::false_();
+            }
+            let mut subst = SubstMap::new();
+            for attr in cond.attrs() {
+                let value = state
+                    .get(&attr)
+                    .cloned()
+                    .unwrap_or_else(|| Expr::Var(initial_var_name(&attr)));
+                subst.insert(attr, value);
+            }
+            substitute_attrs(cond, &subst)
+        }
+        Statement::InsertValues { .. } | Statement::InsertQuery { .. } => Expr::false_(),
+    }
+}
+
+/// Evaluates the trajectory definitions over a concrete tuple binding and
+/// then the condition; `true` only when the condition provably holds.
+pub(crate) fn witness_satisfies(
+    condition: &Expr,
+    definitions: &[(String, Expr)],
+    witness: &MapBindings,
+) -> bool {
+    let mut bindings = witness.clone();
+    for (name, def) in definitions {
+        match eval_expr(def, &bindings) {
+            Ok(v) => bindings.set_var(name.clone(), v),
+            Err(_) => return false,
+        }
+    }
+    eval_condition(condition, &bindings).unwrap_or(false)
+}
+
+/// Evaluates `phi_d` under a solver model (an assignment to the base and
+/// derived variables); `true` only when the constraint provably holds.
+pub(crate) fn model_satisfies(phi_d: &Expr, model: &mahif_solver::Assignment) -> bool {
+    if phi_d.is_true() {
+        return true;
+    }
+    let mut bindings = MapBindings::new();
+    for (name, value) in model.iter() {
+        bindings.set_var(name.clone(), value.clone());
+    }
+    eval_condition(phi_d, &bindings).unwrap_or(false)
+}
+
+/// Builds a [`SatProblem`] with the given derived-variable definitions.
+pub(crate) fn problem_with_definitions(
+    domains: Vec<(String, Domain)>,
+    condition: Expr,
+    definitions: &[(String, Expr)],
+) -> SatProblem {
+    let mut problem = SatProblem::new(domains, condition);
+    for (name, def) in definitions {
+        problem.define(name.clone(), def.clone());
+    }
+    problem
+}
+
+/// Relations that can carry delta tuples: the relations of the modified
+/// statements, closed under `INSERT ... SELECT` data flow (if an insert query
+/// reads an affected relation, its target relation is affected too).
+fn affected_relations(
+    original: &History,
+    modified: &History,
+    positions: &[usize],
+) -> BTreeSet<String> {
+    let mut affected: BTreeSet<String> = BTreeSet::new();
+    for &p in positions {
+        if let Ok(s) = original.statement(p) {
+            affected.insert(s.relation().to_string());
+        }
+        if let Ok(s) = modified.statement(p) {
+            affected.insert(s.relation().to_string());
+        }
+    }
+    // Transitive closure over insert-select data flow.
+    loop {
+        let mut changed = false;
+        for history in [original, modified] {
+            for stmt in history.statements() {
+                if let Statement::InsertQuery { relation, query } = stmt {
+                    let reads_affected = query
+                        .referenced_relations()
+                        .iter()
+                        .any(|r| affected.contains(r));
+                    if reads_affected && affected.insert(relation.clone()) {
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    affected
+}
+
+/// Computes the program slice for normalized histories `original` /
+/// `modified` (equal length, differing at `positions`) over `database` (the
+/// time-travel state `D`). Returns the positions to keep.
+pub fn program_slice(
+    original: &History,
+    modified: &History,
+    positions: &[usize],
+    database: &Database,
+    config: &ProgramSlicingConfig,
+) -> Result<ProgramSliceResult, SlicingError> {
+    let start = Instant::now();
+    if original.len() != modified.len() {
+        return Err(SlicingError::HistoriesNotAligned {
+            original: original.len(),
+            modified: modified.len(),
+        });
+    }
+    if positions.is_empty() {
+        // Nothing was modified: the answer is empty and no statement needs to
+        // be reenacted.
+        return Ok(ProgramSliceResult {
+            kept_positions: Vec::new(),
+            excluded_positions: (0..original.len()).collect(),
+            solver_calls: 0,
+            duration: start.elapsed(),
+        });
+    }
+
+    let affected = affected_relations(original, modified, positions);
+    let modified_set: BTreeSet<usize> = positions.iter().copied().collect();
+    let solver = Solver::with_config(config.solver.clone());
+
+    // Per-relation solver inputs that do not depend on the candidate slice.
+    struct RelationContext {
+        domains: Vec<(String, Domain)>,
+        phi_d: Expr,
+        /// Sampled concrete tuples (as variable bindings of the initial
+        /// symbolic variables) used as cheap dependency witnesses.
+        witnesses: Vec<MapBindings>,
+    }
+    let mut contexts: BTreeMap<String, RelationContext> = BTreeMap::new();
+
+    let mut kept = Vec::new();
+    let mut excluded = Vec::new();
+    let mut excluded_set: BTreeSet<usize> = BTreeSet::new();
+    let mut solver_calls = 0usize;
+
+    for (i, stmt) in original.statements().iter().enumerate() {
+        if modified_set.contains(&i) {
+            kept.push(i);
+            continue;
+        }
+        // Inserts are always kept (their reenactment cost is bounded by the
+        // number of inserted tuples, Section 10).
+        if matches!(
+            stmt,
+            Statement::InsertValues { .. } | Statement::InsertQuery { .. }
+        ) {
+            kept.push(i);
+            continue;
+        }
+        let relation = stmt.relation().to_string();
+        // Statements over relations that cannot carry delta tuples are
+        // trivially independent.
+        if !affected.contains(&relation) {
+            excluded.push(i);
+            excluded_set.insert(i);
+            continue;
+        }
+        // Statements over affected relations for which no modified statement
+        // targets the same relation (only possible via insert-select data
+        // flow) are kept conservatively.
+        let relation_positions: Vec<usize> = positions
+            .iter()
+            .copied()
+            .filter(|p| {
+                original
+                    .statement(*p)
+                    .map(|s| s.relation() == relation)
+                    .unwrap_or(false)
+            })
+            .collect();
+        if relation_positions.is_empty() {
+            kept.push(i);
+            continue;
+        }
+
+        // Build (or reuse) the per-relation symbolic context.
+        if !contexts.contains_key(&relation) {
+            let rel = database.relation(&relation)?;
+            let domains = domains_for_relation(rel, initial_var_name)?;
+            let phi_d = if config.skip_compression_constraint {
+                Expr::true_()
+            } else {
+                compress_relation(rel, &config.compression)
+            };
+            // Sample up to WITNESS_SAMPLES tuples, evenly spaced over the
+            // relation, as concrete dependency witnesses.
+            let stride = (rel.len() / WITNESS_SAMPLES).max(1);
+            let witnesses = rel
+                .iter()
+                .step_by(stride)
+                .take(WITNESS_SAMPLES)
+                .map(|t| {
+                    let mut b = MapBindings::new();
+                    for (idx, a) in rel.schema.attributes.iter().enumerate() {
+                        if let Some(v) = t.value(idx) {
+                            b.set_var(initial_var_name(&a.name), v.clone());
+                        }
+                    }
+                    b
+                })
+                .collect();
+            contexts.insert(
+                relation.clone(),
+                RelationContext {
+                    domains,
+                    phi_d,
+                    witnesses,
+                },
+            );
+        }
+        let ctx = &contexts[&relation];
+
+        // Dependency condition for excluding statement `i` from the current
+        // candidate slice `S` (all positions minus the exclusions made so
+        // far): there must be *no* possible input tuple that is affected by
+        // statement `i` (in the candidate histories) and also affected by a
+        // modified statement — where the modified statements' conditions are
+        // evaluated both over the candidate histories `S` and over the
+        // candidate with `i` removed (`S' = S \ {i}`). If no such tuple
+        // exists, every tuple touched by `i` produces an empty per-tuple
+        // delta before and after the removal, so the removal preserves the
+        // answer; exclusions are applied cumulatively. (The paper's
+        // Definition 7 checks only the full-history trajectories, which
+        // property testing shows is insufficient: removing `i` can change
+        // which tuples a later modified statement fires on.)
+        let orig_cand = trajectory(original, &relation, &excluded_set, "_h");
+        let mod_cand = trajectory(modified, &relation, &excluded_set, "_m");
+        let mut skip_prime = excluded_set.clone();
+        skip_prime.insert(i);
+        let orig_sliced = trajectory(original, &relation, &skip_prime, "_sh");
+        let mod_sliced = trajectory(modified, &relation, &skip_prime, "_sm");
+
+        let affected_by_stmt = simplify(&Expr::Or(
+            Arc::new(affects_condition(stmt, &orig_cand.states[i])),
+            Arc::new(affects_condition(
+                &modified.statements()[i],
+                &mod_cand.states[i],
+            )),
+        ));
+        let affected_by_modification = simplify(&mahif_expr::builder::disjunction(
+            relation_positions.iter().flat_map(|&p| {
+                let a = &original.statements()[p];
+                let b = &modified.statements()[p];
+                vec![
+                    affects_condition(a, &orig_cand.states[p]),
+                    affects_condition(b, &mod_cand.states[p]),
+                    affects_condition(a, &orig_sliced.states[p]),
+                    affects_condition(b, &mod_sliced.states[p]),
+                ]
+            }),
+        ));
+        let core_condition = simplify(&Expr::And(
+            Arc::new(affected_by_modification),
+            Arc::new(affected_by_stmt),
+        ));
+        let definitions: Vec<(String, Expr)> = orig_cand
+            .definitions
+            .iter()
+            .chain(mod_cand.definitions.iter())
+            .chain(orig_sliced.definitions.iter())
+            .chain(mod_sliced.definitions.iter())
+            .cloned()
+            .collect();
+
+        // Stage 1: concrete witnesses. A database tuple satisfying the core
+        // dependency condition is a world of Φ_D, so the statement is
+        // provably dependent and must be kept.
+        if ctx
+            .witnesses
+            .iter()
+            .any(|w| witness_satisfies(&core_condition, &definitions, w))
+        {
+            kept.push(i);
+            continue;
+        }
+
+        // Stage 2: decide the core condition (without Φ_D). Its variables are
+        // only those mentioned by the statement conditions, which keeps the
+        // search space small. UNSAT of the core implies UNSAT of the full
+        // conjunction with Φ_D.
+        solver_calls += 1;
+        let core_problem =
+            problem_with_definitions(ctx.domains.clone(), core_condition.clone(), &definitions);
+        let core_result = solver.check(&core_problem);
+        match core_result {
+            SatResult::Unsat => {
+                excluded.push(i);
+                excluded_set.insert(i);
+                continue;
+            }
+            SatResult::Sat(ref model) => {
+                // The core witness proves dependence only if it also lies in
+                // a world of the compressed database.
+                if model_satisfies(&ctx.phi_d, model) {
+                    kept.push(i);
+                    continue;
+                }
+            }
+            SatResult::Unknown => {}
+        }
+
+        // Stage 3: full condition including Φ_D.
+        let condition = simplify(&Expr::And(
+            Arc::new(ctx.phi_d.clone()),
+            Arc::new(core_condition),
+        ));
+        let problem = problem_with_definitions(ctx.domains.clone(), condition, &definitions);
+        solver_calls += 1;
+        match solver.check(&problem) {
+            SatResult::Unsat => {
+                excluded.push(i);
+                excluded_set.insert(i);
+            }
+            SatResult::Sat(_) | SatResult::Unknown => kept.push(i),
+        }
+    }
+
+    Ok(ProgramSliceResult {
+        kept_positions: kept,
+        excluded_positions: excluded,
+        solver_calls,
+        duration: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_history::statement::{
+        running_example_database, running_example_history, running_example_u1_prime,
+    };
+    use mahif_history::{HistoricalWhatIf, ModificationSet, SetClause};
+    use mahif_query::Query;
+
+    fn bob_query() -> HistoricalWhatIf {
+        HistoricalWhatIf::new(
+            History::new(running_example_history()),
+            running_example_database(),
+            ModificationSet::single_replace(0, running_example_u1_prime()),
+        )
+    }
+
+    /// Answers the query by reenacting only the sliced statements and checks
+    /// the result against direct execution.
+    fn assert_slice_preserves_answer(query: &HistoricalWhatIf, config: &ProgramSlicingConfig) {
+        let n = query.normalize().unwrap();
+        let slice =
+            program_slice(&n.original, &n.modified, &n.modified_positions, &query.database, config)
+                .unwrap();
+        let sliced_original = n.original.restrict(&slice.kept_positions);
+        let sliced_modified = n.modified.restrict(&slice.kept_positions);
+        let left = sliced_original.execute(&query.database).unwrap();
+        let right = sliced_modified.execute(&query.database).unwrap();
+        let sliced_delta = mahif_history::DatabaseDelta::compute_for_relations(
+            &left,
+            &right,
+            &n.original.relations_accessed(),
+        );
+        let reference = query.answer_by_direct_execution().unwrap();
+        assert_eq!(
+            sliced_delta, reference,
+            "slice {:?} changed the answer",
+            slice.kept_positions
+        );
+    }
+
+    #[test]
+    fn running_example_keeps_dependent_u2() {
+        // Example 9: u2 is dependent on the modification of u1 (a UK order
+        // with price exactly 50 is affected by u1 but not u1', and by u2), so
+        // it must be kept. u3 (price <= 30 AND fee >= 10) can only apply to
+        // cheap orders whose fee reaches 10 via u2's surcharge — such tuples
+        // are not affected by u1/u1' (price < 50), so u3 is excluded.
+        let q = bob_query();
+        let n = q.normalize().unwrap();
+        let slice = program_slice(
+            &n.original,
+            &n.modified,
+            &n.modified_positions,
+            &q.database,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        assert!(slice.kept_positions.contains(&0));
+        assert!(slice.kept_positions.contains(&1));
+        assert!(slice.excluded_positions.contains(&2));
+        // u2's dependence is settled by a concrete witness tuple (Alex's
+        // order), u3's independence needs one satisfiability check.
+        assert_eq!(slice.solver_calls, 1);
+        assert!(slice.exclusion_ratio() > 0.0);
+        assert_slice_preserves_answer(&q, &ProgramSlicingConfig::default());
+    }
+
+    #[test]
+    fn independent_updates_are_excluded() {
+        // Updates over a disjoint key range are independent of the
+        // modification and must be excluded.
+        let mut statements = running_example_history();
+        statements.push(Statement::update(
+            "Order",
+            SetClause::single("Price", add(attr("Price"), lit(1))),
+            lt(attr("Price"), lit(0)), // never true for this data
+        ));
+        let q = HistoricalWhatIf::new(
+            History::new(statements),
+            running_example_database(),
+            ModificationSet::single_replace(0, running_example_u1_prime()),
+        );
+        let n = q.normalize().unwrap();
+        let slice = program_slice(
+            &n.original,
+            &n.modified,
+            &n.modified_positions,
+            &q.database,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        assert!(slice.excluded_positions.contains(&3));
+        assert_slice_preserves_answer(&q, &ProgramSlicingConfig::default());
+    }
+
+    #[test]
+    fn statements_on_unrelated_relations_are_excluded() {
+        use mahif_storage::{Attribute, Relation, Schema};
+        let mut db = running_example_database();
+        let cust_schema = Schema::shared(
+            "Customer",
+            vec![Attribute::int("CID"), Attribute::int("Credit")],
+        );
+        let mut cust = Relation::empty(cust_schema);
+        cust.insert_values([1i64, 100i64]).unwrap();
+        db.add_relation(cust).unwrap();
+
+        let mut statements = running_example_history();
+        statements.push(Statement::update(
+            "Customer",
+            SetClause::single("Credit", add(attr("Credit"), lit(10))),
+            Expr::true_(),
+        ));
+        let q = HistoricalWhatIf::new(
+            History::new(statements),
+            db,
+            ModificationSet::single_replace(0, running_example_u1_prime()),
+        );
+        let n = q.normalize().unwrap();
+        let slice = program_slice(
+            &n.original,
+            &n.modified,
+            &n.modified_positions,
+            &q.database,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        // The Customer update (position 3) cannot contribute to the Order
+        // delta.
+        assert!(slice.excluded_positions.contains(&3));
+        assert_slice_preserves_answer(&q, &ProgramSlicingConfig::default());
+    }
+
+    #[test]
+    fn insert_select_makes_target_relation_affected() {
+        use mahif_storage::{Attribute, Relation, Schema};
+        let mut db = running_example_database();
+        let arch_schema = Schema::shared(
+            "Archive",
+            vec![
+                Attribute::int("ID"),
+                Attribute::str("Customer"),
+                Attribute::str("Country"),
+                Attribute::int("Price"),
+                Attribute::int("ShippingFee"),
+            ],
+        );
+        db.add_relation(Relation::empty(arch_schema)).unwrap();
+
+        let mut statements = running_example_history();
+        // Archive expensive orders (reads Order, writes Archive).
+        statements.push(Statement::insert_query(
+            "Archive",
+            Query::select(ge(attr("Price"), lit(50)), Query::scan("Order")),
+        ));
+        // Later update on Archive — may see different data if the
+        // modification changes Order, so it must be kept.
+        statements.push(Statement::update(
+            "Archive",
+            SetClause::single("ShippingFee", lit(0)),
+            Expr::true_(),
+        ));
+        let q = HistoricalWhatIf::new(
+            History::new(statements),
+            db,
+            ModificationSet::single_replace(0, running_example_u1_prime()),
+        );
+        let n = q.normalize().unwrap();
+        let slice = program_slice(
+            &n.original,
+            &n.modified,
+            &n.modified_positions,
+            &q.database,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        // The insert-select (3) and the Archive update (4) are kept.
+        assert!(slice.kept_positions.contains(&3));
+        assert!(slice.kept_positions.contains(&4));
+    }
+
+    #[test]
+    fn empty_modifications_exclude_everything() {
+        let q = HistoricalWhatIf::new(
+            History::new(running_example_history()),
+            running_example_database(),
+            ModificationSet::default(),
+        );
+        let n = q.normalize().unwrap();
+        let slice = program_slice(
+            &n.original,
+            &n.modified,
+            &n.modified_positions,
+            &q.database,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        assert!(slice.kept_positions.is_empty());
+        assert_eq!(slice.excluded_positions.len(), 3);
+    }
+
+    #[test]
+    fn skip_compression_is_more_conservative_but_correct() {
+        let q = bob_query();
+        let config = ProgramSlicingConfig {
+            skip_compression_constraint: true,
+            ..Default::default()
+        };
+        assert_slice_preserves_answer(&q, &config);
+    }
+
+    #[test]
+    fn keep_all_constructor() {
+        let r = ProgramSliceResult::keep_all(4);
+        assert_eq!(r.kept_positions, vec![0, 1, 2, 3]);
+        assert!(r.excluded_positions.is_empty());
+        assert_eq!(r.exclusion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn misaligned_histories_error() {
+        let h = History::new(running_example_history());
+        let shorter = h.prefix(1);
+        assert!(program_slice(
+            &h,
+            &shorter,
+            &[0],
+            &running_example_database(),
+            &ProgramSlicingConfig::default()
+        )
+        .is_err());
+    }
+}

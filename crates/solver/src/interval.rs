@@ -1,0 +1,546 @@
+//! Integer interval arithmetic and abstract evaluation of expressions.
+//!
+//! The branch-and-prune solver ([`crate::search`]) evaluates the formula
+//! *abstractly* over boxes of the base-variable domains. Abstract values are
+//! integer intervals, finite string sets, three-valued booleans or NULL; the
+//! evaluation is a sound over-approximation: the set of concrete values an
+//! expression can take for any concrete point in the box is contained in the
+//! abstract value. In particular, if the abstract value of a condition is
+//! `False`, the condition is false for *every* point of the box, which is
+//! what allows pruning.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use mahif_expr::{ArithOp, CmpOp, Expr, Value};
+
+/// Three-valued boolean.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Bool3 {
+    /// Definitely true for every point of the box.
+    True,
+    /// Definitely false for every point of the box.
+    False,
+    /// Truth value varies over the box (or could not be determined).
+    Unknown,
+}
+
+impl Bool3 {
+    fn from_bool(b: bool) -> Bool3 {
+        if b {
+            Bool3::True
+        } else {
+            Bool3::False
+        }
+    }
+
+    fn and(self, other: Bool3) -> Bool3 {
+        match (self, other) {
+            (Bool3::False, _) | (_, Bool3::False) => Bool3::False,
+            (Bool3::True, Bool3::True) => Bool3::True,
+            _ => Bool3::Unknown,
+        }
+    }
+
+    fn or(self, other: Bool3) -> Bool3 {
+        match (self, other) {
+            (Bool3::True, _) | (_, Bool3::True) => Bool3::True,
+            (Bool3::False, Bool3::False) => Bool3::False,
+            _ => Bool3::Unknown,
+        }
+    }
+
+    fn not(self) -> Bool3 {
+        match self {
+            Bool3::True => Bool3::False,
+            Bool3::False => Bool3::True,
+            Bool3::Unknown => Bool3::Unknown,
+        }
+    }
+}
+
+/// A closed integer interval `[lo, hi]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IntInterval {
+    /// Lower bound (inclusive).
+    pub lo: i64,
+    /// Upper bound (inclusive).
+    pub hi: i64,
+}
+
+impl IntInterval {
+    /// Creates an interval; panics in debug builds when `lo > hi`.
+    pub fn new(lo: i64, hi: i64) -> Self {
+        debug_assert!(lo <= hi, "empty interval [{lo}, {hi}]");
+        IntInterval { lo, hi }
+    }
+
+    /// The singleton interval `[v, v]`.
+    pub fn point(v: i64) -> Self {
+        IntInterval { lo: v, hi: v }
+    }
+
+    /// True when the interval contains a single value.
+    pub fn is_point(&self) -> bool {
+        self.lo == self.hi
+    }
+
+    /// Number of integers in the interval (saturating).
+    pub fn width(&self) -> u64 {
+        (self.hi as i128 - self.lo as i128 + 1).max(0) as u64
+    }
+
+    /// Smallest interval containing both.
+    pub fn hull(&self, other: &IntInterval) -> IntInterval {
+        IntInterval {
+            lo: self.lo.min(other.lo),
+            hi: self.hi.max(other.hi),
+        }
+    }
+
+    fn add(&self, other: &IntInterval) -> IntInterval {
+        IntInterval {
+            lo: self.lo.saturating_add(other.lo),
+            hi: self.hi.saturating_add(other.hi),
+        }
+    }
+
+    fn sub(&self, other: &IntInterval) -> IntInterval {
+        IntInterval {
+            lo: self.lo.saturating_sub(other.hi),
+            hi: self.hi.saturating_sub(other.lo),
+        }
+    }
+
+    fn mul(&self, other: &IntInterval) -> IntInterval {
+        let candidates = [
+            self.lo.saturating_mul(other.lo),
+            self.lo.saturating_mul(other.hi),
+            self.hi.saturating_mul(other.lo),
+            self.hi.saturating_mul(other.hi),
+        ];
+        IntInterval {
+            lo: *candidates.iter().min().unwrap(),
+            hi: *candidates.iter().max().unwrap(),
+        }
+    }
+
+    fn div(&self, other: &IntInterval) -> Option<IntInterval> {
+        if other.lo <= 0 && other.hi >= 0 {
+            // Divisor interval contains zero: give up precision (the exact
+            // evaluation will error on actual division by zero anyway).
+            return None;
+        }
+        let candidates = [
+            self.lo / other.lo,
+            self.lo / other.hi,
+            self.hi / other.lo,
+            self.hi / other.hi,
+        ];
+        Some(IntInterval {
+            lo: *candidates.iter().min().unwrap(),
+            hi: *candidates.iter().max().unwrap(),
+        })
+    }
+
+    fn cmp(&self, op: CmpOp, other: &IntInterval) -> Bool3 {
+        match op {
+            CmpOp::Lt => {
+                if self.hi < other.lo {
+                    Bool3::True
+                } else if self.lo >= other.hi {
+                    Bool3::False
+                } else {
+                    Bool3::Unknown
+                }
+            }
+            CmpOp::Le => {
+                if self.hi <= other.lo {
+                    Bool3::True
+                } else if self.lo > other.hi {
+                    Bool3::False
+                } else {
+                    Bool3::Unknown
+                }
+            }
+            CmpOp::Gt => other.cmp(CmpOp::Lt, self),
+            CmpOp::Ge => other.cmp(CmpOp::Le, self),
+            CmpOp::Eq => {
+                if self.is_point() && other.is_point() && self.lo == other.lo {
+                    Bool3::True
+                } else if self.hi < other.lo || self.lo > other.hi {
+                    Bool3::False
+                } else {
+                    Bool3::Unknown
+                }
+            }
+            CmpOp::Neq => self.cmp(CmpOp::Eq, other).not(),
+        }
+    }
+}
+
+/// An abstract value: the over-approximated set of concrete values an
+/// expression can take over a box.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AbstractValue {
+    /// An integer interval.
+    Int(IntInterval),
+    /// A finite set of strings.
+    Str(BTreeSet<Arc<str>>),
+    /// A three-valued boolean.
+    Bool(Bool3),
+    /// Definitely NULL.
+    Null,
+    /// Anything (used when precision is lost, e.g. division by an interval
+    /// containing zero, or mixed-type joins).
+    Top,
+}
+
+impl AbstractValue {
+    /// Abstract value of a single concrete value.
+    pub fn from_value(v: &Value) -> AbstractValue {
+        match v {
+            Value::Int(i) => AbstractValue::Int(IntInterval::point(*i)),
+            Value::Str(s) => {
+                let mut set = BTreeSet::new();
+                set.insert(s.clone());
+                AbstractValue::Str(set)
+            }
+            Value::Bool(b) => AbstractValue::Bool(Bool3::from_bool(*b)),
+            Value::Null => AbstractValue::Null,
+        }
+    }
+
+    /// Least upper bound of two abstract values.
+    pub fn join(&self, other: &AbstractValue) -> AbstractValue {
+        match (self, other) {
+            (AbstractValue::Int(a), AbstractValue::Int(b)) => AbstractValue::Int(a.hull(b)),
+            (AbstractValue::Str(a), AbstractValue::Str(b)) => {
+                AbstractValue::Str(a.union(b).cloned().collect())
+            }
+            (AbstractValue::Bool(a), AbstractValue::Bool(b)) => {
+                AbstractValue::Bool(if a == b { *a } else { Bool3::Unknown })
+            }
+            (AbstractValue::Null, AbstractValue::Null) => AbstractValue::Null,
+            _ => AbstractValue::Top,
+        }
+    }
+
+    /// The three-valued boolean this value represents when used as a
+    /// condition (NULL filters like false; Top is unknown).
+    pub fn as_condition(&self) -> Bool3 {
+        match self {
+            AbstractValue::Bool(b) => *b,
+            AbstractValue::Null => Bool3::False,
+            _ => Bool3::Unknown,
+        }
+    }
+}
+
+/// An environment mapping symbolic variable names to abstract values.
+pub trait AbstractEnv {
+    /// The abstract value of variable `name`, if known.
+    fn lookup(&self, name: &str) -> Option<AbstractValue>;
+}
+
+impl AbstractEnv for std::collections::BTreeMap<String, AbstractValue> {
+    fn lookup(&self, name: &str) -> Option<AbstractValue> {
+        self.get(name).cloned()
+    }
+}
+
+/// Abstractly evaluates an expression over an environment of abstract
+/// variable values. Attribute references and unknown variables evaluate to
+/// [`AbstractValue::Top`].
+pub fn abstract_eval(expr: &Expr, env: &dyn AbstractEnv) -> AbstractValue {
+    match expr {
+        Expr::Attr(_) => AbstractValue::Top,
+        Expr::Var(name) => env.lookup(name).unwrap_or(AbstractValue::Top),
+        Expr::Const(v) => AbstractValue::from_value(v),
+        Expr::Arith { op, left, right } => {
+            let l = abstract_eval(left, env);
+            let r = abstract_eval(right, env);
+            match (l, r) {
+                (AbstractValue::Null, _) | (_, AbstractValue::Null) => AbstractValue::Null,
+                (AbstractValue::Int(a), AbstractValue::Int(b)) => match op {
+                    ArithOp::Add => AbstractValue::Int(a.add(&b)),
+                    ArithOp::Sub => AbstractValue::Int(a.sub(&b)),
+                    ArithOp::Mul => AbstractValue::Int(a.mul(&b)),
+                    ArithOp::Div => a
+                        .div(&b)
+                        .map(AbstractValue::Int)
+                        .unwrap_or(AbstractValue::Top),
+                },
+                _ => AbstractValue::Top,
+            }
+        }
+        Expr::Cmp { op, left, right } => {
+            let l = abstract_eval(left, env);
+            let r = abstract_eval(right, env);
+            AbstractValue::Bool(abstract_cmp(*op, &l, &r))
+        }
+        Expr::And(l, r) => {
+            let a = abstract_eval(l, env).as_condition();
+            let b = abstract_eval(r, env).as_condition();
+            AbstractValue::Bool(a.and(b))
+        }
+        Expr::Or(l, r) => {
+            let a = abstract_eval(l, env).as_condition();
+            let b = abstract_eval(r, env).as_condition();
+            AbstractValue::Bool(a.or(b))
+        }
+        Expr::Not(e) => AbstractValue::Bool(abstract_eval(e, env).as_condition().not()),
+        Expr::IsNull(e) => match abstract_eval(e, env) {
+            AbstractValue::Null => AbstractValue::Bool(Bool3::True),
+            AbstractValue::Top => AbstractValue::Bool(Bool3::Unknown),
+            _ => AbstractValue::Bool(Bool3::False),
+        },
+        Expr::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => match abstract_eval(cond, env).as_condition() {
+            Bool3::True => abstract_eval(then_branch, env),
+            Bool3::False => abstract_eval(else_branch, env),
+            Bool3::Unknown => {
+                let t = abstract_eval(then_branch, env);
+                let e = abstract_eval(else_branch, env);
+                t.join(&e)
+            }
+        },
+    }
+}
+
+fn abstract_cmp(op: CmpOp, l: &AbstractValue, r: &AbstractValue) -> Bool3 {
+    match (l, r) {
+        (AbstractValue::Null, _) | (_, AbstractValue::Null) => Bool3::False,
+        (AbstractValue::Int(a), AbstractValue::Int(b)) => a.cmp(op, b),
+        (AbstractValue::Str(a), AbstractValue::Str(b)) => match op {
+            CmpOp::Eq => {
+                if a.len() == 1 && b.len() == 1 && a == b {
+                    Bool3::True
+                } else if a.is_disjoint(b) {
+                    Bool3::False
+                } else {
+                    Bool3::Unknown
+                }
+            }
+            CmpOp::Neq => abstract_cmp(CmpOp::Eq, l, r).not(),
+            _ => {
+                if a.len() == 1 && b.len() == 1 {
+                    let x = a.iter().next().unwrap();
+                    let y = b.iter().next().unwrap();
+                    let ord = x.cmp(y);
+                    Bool3::from_bool(match op {
+                        CmpOp::Lt => ord.is_lt(),
+                        CmpOp::Le => ord.is_le(),
+                        CmpOp::Gt => ord.is_gt(),
+                        CmpOp::Ge => ord.is_ge(),
+                        _ => unreachable!(),
+                    })
+                } else {
+                    Bool3::Unknown
+                }
+            }
+        },
+        _ => Bool3::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use std::collections::BTreeMap;
+
+    fn env(pairs: &[(&str, AbstractValue)]) -> BTreeMap<String, AbstractValue> {
+        pairs
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    fn int_iv(lo: i64, hi: i64) -> AbstractValue {
+        AbstractValue::Int(IntInterval::new(lo, hi))
+    }
+
+    #[test]
+    fn interval_arithmetic() {
+        let a = IntInterval::new(1, 3);
+        let b = IntInterval::new(10, 20);
+        assert_eq!(a.add(&b), IntInterval::new(11, 23));
+        assert_eq!(b.sub(&a), IntInterval::new(7, 19));
+        assert_eq!(a.mul(&b), IntInterval::new(10, 60));
+        assert_eq!(b.div(&IntInterval::new(2, 2)), Some(IntInterval::new(5, 10)));
+        assert_eq!(b.div(&IntInterval::new(-1, 1)), None);
+        assert_eq!(a.hull(&b), IntInterval::new(1, 20));
+        assert_eq!(a.width(), 3);
+        assert!(IntInterval::point(7).is_point());
+    }
+
+    #[test]
+    fn interval_comparisons() {
+        let a = IntInterval::new(1, 3);
+        let b = IntInterval::new(10, 20);
+        assert_eq!(a.cmp(CmpOp::Lt, &b), Bool3::True);
+        assert_eq!(b.cmp(CmpOp::Lt, &a), Bool3::False);
+        assert_eq!(a.cmp(CmpOp::Eq, &b), Bool3::False);
+        let c = IntInterval::new(2, 12);
+        assert_eq!(a.cmp(CmpOp::Lt, &c), Bool3::Unknown);
+        assert_eq!(
+            IntInterval::point(5).cmp(CmpOp::Eq, &IntInterval::point(5)),
+            Bool3::True
+        );
+        assert_eq!(
+            IntInterval::point(5).cmp(CmpOp::Ge, &IntInterval::new(1, 4)),
+            Bool3::True
+        );
+    }
+
+    #[test]
+    fn bool3_logic() {
+        assert_eq!(Bool3::True.and(Bool3::Unknown), Bool3::Unknown);
+        assert_eq!(Bool3::False.and(Bool3::Unknown), Bool3::False);
+        assert_eq!(Bool3::True.or(Bool3::Unknown), Bool3::True);
+        assert_eq!(Bool3::False.or(Bool3::Unknown), Bool3::Unknown);
+        assert_eq!(Bool3::Unknown.not(), Bool3::Unknown);
+    }
+
+    #[test]
+    fn abstract_eval_simple_condition() {
+        // Price in [20, 50]: Price >= 60 is definitely false, Price >= 10 is
+        // definitely true, Price >= 30 is unknown.
+        let e1 = ge(var("p"), lit(60));
+        let e2 = ge(var("p"), lit(10));
+        let e3 = ge(var("p"), lit(30));
+        let env = env(&[("p", int_iv(20, 50))]);
+        assert_eq!(abstract_eval(&e1, &env).as_condition(), Bool3::False);
+        assert_eq!(abstract_eval(&e2, &env).as_condition(), Bool3::True);
+        assert_eq!(abstract_eval(&e3, &env).as_condition(), Bool3::Unknown);
+    }
+
+    #[test]
+    fn abstract_eval_ite_joins_branches() {
+        // if p >= 50 then 0 else f, with p unknown and f in [3, 5]:
+        // result is the hull [0, 5].
+        let e = ite(ge(var("p"), lit(50)), lit(0), var("f"));
+        let env = env(&[("p", int_iv(20, 60)), ("f", int_iv(3, 5))]);
+        assert_eq!(abstract_eval(&e, &env), int_iv(0, 5));
+        // With p definitely below 50 the else branch is taken exactly.
+        let env2 = env2_helper();
+        assert_eq!(abstract_eval(&e, &env2), int_iv(3, 5));
+    }
+
+    fn env2_helper() -> BTreeMap<String, AbstractValue> {
+        env(&[("p", int_iv(20, 40)), ("f", int_iv(3, 5))])
+    }
+
+    #[test]
+    fn abstract_eval_string_sets() {
+        let mut uk_us = BTreeSet::new();
+        uk_us.insert(Arc::from("UK"));
+        uk_us.insert(Arc::from("US"));
+        let env = env(&[("c", AbstractValue::Str(uk_us))]);
+        assert_eq!(
+            abstract_eval(&eq(var("c"), slit("UK")), &env).as_condition(),
+            Bool3::Unknown
+        );
+        assert_eq!(
+            abstract_eval(&eq(var("c"), slit("DE")), &env).as_condition(),
+            Bool3::False
+        );
+        let mut only_uk = BTreeSet::new();
+        only_uk.insert(Arc::from("UK"));
+        let env2 = super::tests::env(&[("c", AbstractValue::Str(only_uk))]);
+        assert_eq!(
+            abstract_eval(&eq(var("c"), slit("UK")), &env2).as_condition(),
+            Bool3::True
+        );
+        assert_eq!(
+            abstract_eval(&neq(var("c"), slit("UK")), &env2).as_condition(),
+            Bool3::False
+        );
+    }
+
+    #[test]
+    fn abstract_eval_unknown_var_is_top() {
+        let env: BTreeMap<String, AbstractValue> = BTreeMap::new();
+        assert_eq!(abstract_eval(&var("missing"), &env), AbstractValue::Top);
+        assert_eq!(
+            abstract_eval(&ge(var("missing"), lit(1)), &env).as_condition(),
+            Bool3::Unknown
+        );
+    }
+
+    #[test]
+    fn abstract_eval_is_sound_on_samples() {
+        // For every concrete point in the box, concrete evaluation must be
+        // contained in the abstract result.
+        use mahif_expr::{eval_expr, MapBindings, Value};
+        let e = ite(
+            and(eq(var("c"), slit("UK")), le(var("p"), lit(100))),
+            add(var("f"), lit(5)),
+            var("f"),
+        );
+        let mut countries = BTreeSet::new();
+        countries.insert(Arc::from("UK"));
+        countries.insert(Arc::from("US"));
+        let env = env(&[
+            ("p", int_iv(20, 60)),
+            ("f", int_iv(3, 5)),
+            ("c", AbstractValue::Str(countries)),
+        ]);
+        let abs = abstract_eval(&e, &env);
+        let AbstractValue::Int(iv) = abs else {
+            panic!("expected interval result");
+        };
+        for p in [20i64, 40, 60] {
+            for f in [3i64, 4, 5] {
+                for c in ["UK", "US"] {
+                    let b = MapBindings::new()
+                        .with_var("p", p)
+                        .with_var("f", f)
+                        .with_var("c", c);
+                    let v = eval_expr(&e, &b).unwrap();
+                    let Value::Int(v) = v else { panic!() };
+                    assert!(v >= iv.lo && v <= iv.hi, "{v} outside [{}, {}]", iv.lo, iv.hi);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn null_handling() {
+        let env: BTreeMap<String, AbstractValue> = BTreeMap::new();
+        assert_eq!(abstract_eval(&null(), &env), AbstractValue::Null);
+        assert_eq!(
+            abstract_eval(&is_null(null()), &env).as_condition(),
+            Bool3::True
+        );
+        assert_eq!(
+            abstract_eval(&eq(null(), lit(1)), &env).as_condition(),
+            Bool3::False
+        );
+        assert_eq!(
+            abstract_eval(&add(null(), lit(1)), &env),
+            AbstractValue::Null
+        );
+    }
+
+    #[test]
+    fn join_behaviour() {
+        assert_eq!(int_iv(1, 3).join(&int_iv(5, 9)), int_iv(1, 9));
+        assert_eq!(
+            AbstractValue::Bool(Bool3::True).join(&AbstractValue::Bool(Bool3::True)),
+            AbstractValue::Bool(Bool3::True)
+        );
+        assert_eq!(
+            AbstractValue::Bool(Bool3::True).join(&AbstractValue::Bool(Bool3::False)),
+            AbstractValue::Bool(Bool3::Unknown)
+        );
+        assert_eq!(
+            int_iv(1, 2).join(&AbstractValue::Null),
+            AbstractValue::Top
+        );
+    }
+}

@@ -1,0 +1,838 @@
+//! Compilation of logical conditions into MILP constraints (Section 11,
+//! Figure 13 of the paper).
+//!
+//! Every sub-expression `e'` of the input condition is assigned a program
+//! variable (an integer variable `v` for scalar sub-expressions, a binary
+//! variable `b` for boolean ones); the rules of Figure 13 emit big-M linear
+//! constraints relating the variable of an expression to the variables of its
+//! sub-expressions, and a final constraint `b_root = 1` asserts the
+//! condition. A satisfying MILP solution then corresponds exactly to a
+//! satisfying assignment of the condition's variables.
+//!
+//! The paper solves the generated program with CPLEX. This crate does not
+//! bundle a full MILP solver (the exact branch-and-prune search in
+//! [`crate::search`] is the engine's decision procedure); the compilation is
+//! provided for fidelity, for reporting program sizes in the benchmark
+//! harness, and is cross-validated in tests via [`MilpProgram::extend_assignment`]
+//! / [`MilpProgram::is_satisfied_by`]: extending any concrete assignment of
+//! the source variables yields a full assignment that satisfies every
+//! generated constraint, with the root variable equal to the condition's
+//! truth value.
+//!
+//! String-valued variables and constants are interned to integer codes before
+//! compilation, so equality comparisons on categorical attributes compile
+//! like integer equalities.
+
+use std::collections::BTreeMap;
+
+use mahif_expr::{eval_expr, ArithOp, Bindings, CmpOp, Expr, MapBindings, Value};
+
+/// Kind of a MILP variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MilpVarKind {
+    /// General integer variable.
+    Integer,
+    /// 0/1 variable.
+    Binary,
+}
+
+/// A linear expression `Σ coef_i · x_i`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinearExpr {
+    /// Coefficients by variable id.
+    pub terms: BTreeMap<usize, i64>,
+}
+
+impl LinearExpr {
+    /// The zero expression.
+    pub fn new() -> Self {
+        LinearExpr::default()
+    }
+
+    /// Adds `coef · var`.
+    pub fn add_term(mut self, var: usize, coef: i64) -> Self {
+        *self.terms.entry(var).or_insert(0) += coef;
+        self
+    }
+
+    /// Evaluates the expression under an assignment of variable ids to
+    /// integer values.
+    pub fn evaluate(&self, values: &[i64]) -> i64 {
+        self.terms
+            .iter()
+            .map(|(v, c)| c * values.get(*v).copied().unwrap_or(0))
+            .sum()
+    }
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOp {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr ≥ rhs`
+    Ge,
+    /// `expr = rhs`
+    Eq,
+}
+
+/// A linear constraint `expr ⋄ rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearConstraint {
+    /// Left-hand side.
+    pub expr: LinearExpr,
+    /// Comparison operator.
+    pub op: ConstraintOp,
+    /// Right-hand side constant.
+    pub rhs: i64,
+}
+
+impl LinearConstraint {
+    /// Checks whether an assignment satisfies this constraint.
+    pub fn is_satisfied(&self, values: &[i64]) -> bool {
+        let lhs = self.expr.evaluate(values);
+        match self.op {
+            ConstraintOp::Le => lhs <= self.rhs,
+            ConstraintOp::Ge => lhs >= self.rhs,
+            ConstraintOp::Eq => lhs == self.rhs,
+        }
+    }
+}
+
+/// A variable of the generated program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MilpVar {
+    /// Human-readable name (source variable name or synthetic `aux<N>`).
+    pub name: String,
+    /// Kind (integer or binary).
+    pub kind: MilpVarKind,
+    /// The source expression this variable stands for, used by
+    /// [`MilpProgram::extend_assignment`].
+    source: Option<Expr>,
+}
+
+/// The generated MILP program.
+#[derive(Debug, Clone, Default)]
+pub struct MilpProgram {
+    /// Variables (index = variable id).
+    pub vars: Vec<MilpVar>,
+    /// Constraints.
+    pub constraints: Vec<LinearConstraint>,
+    /// Id of the root boolean variable (constrained to 1).
+    pub root: usize,
+    /// The big-M constant used.
+    pub big_m: i64,
+    /// Interned string constants (string → integer code).
+    pub string_codes: BTreeMap<String, i64>,
+    source_vars: BTreeMap<String, usize>,
+}
+
+impl MilpProgram {
+    /// Number of variables.
+    pub fn var_count(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn constraint_count(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Integer code of a string constant (strings are interned during
+    /// compilation).
+    pub fn string_code(&self, s: &str) -> Option<i64> {
+        self.string_codes.get(s).copied()
+    }
+
+    /// Checks whether a full assignment (one value per program variable, in
+    /// id order) satisfies every constraint *except* the root assertion.
+    pub fn is_satisfied_by(&self, values: &[i64]) -> bool {
+        self.constraints
+            .iter()
+            .take(self.constraints.len().saturating_sub(1))
+            .all(|c| c.is_satisfied(values))
+    }
+
+    /// Checks whether a full assignment additionally satisfies the root
+    /// assertion `b_root = 1`.
+    pub fn asserts_condition(&self, values: &[i64]) -> bool {
+        values.get(self.root).copied() == Some(1)
+    }
+
+    /// Extends an assignment of the *source* variables (the `Expr::Var`s of
+    /// the compiled condition) to a full assignment of every program
+    /// variable by evaluating each variable's defining sub-expression.
+    /// Returns `None` when a source variable is missing or evaluation fails.
+    pub fn extend_assignment(&self, source: &dyn Bindings) -> Option<Vec<i64>> {
+        let mut values = vec![0i64; self.vars.len()];
+        // Strings not interned during compilation (they appear only in the
+        // assignment, not the condition) get fresh codes so that equality
+        // against every interned constant is false, matching the condition's
+        // semantics.
+        let mut extra_codes: BTreeMap<String, i64> = BTreeMap::new();
+        for (id, v) in self.vars.iter().enumerate() {
+            let value = match &v.source {
+                Some(expr) => {
+                    let concrete = eval_expr(expr, source).ok()?;
+                    self.value_to_int(&concrete, &mut extra_codes)?
+                }
+                None => 0,
+            };
+            values[id] = value;
+        }
+        Some(values)
+    }
+
+    fn value_to_int(&self, v: &Value, extra_codes: &mut BTreeMap<String, i64>) -> Option<i64> {
+        match v {
+            Value::Int(i) => Some(*i),
+            Value::Bool(b) => Some(if *b { 1 } else { 0 }),
+            Value::Str(s) => {
+                if let Some(code) = self.string_codes.get(s.as_ref()) {
+                    return Some(*code);
+                }
+                let next = (self.string_codes.len() + extra_codes.len()) as i64;
+                Some(*extra_codes.entry(s.as_ref().to_string()).or_insert(next))
+            }
+            Value::Null => None,
+        }
+    }
+}
+
+/// Compiles a condition into a MILP program using the rules of Figure 13.
+/// `big_m` must be larger than any integer value the condition's expressions
+/// can take (the paper uses "an integer constant that is larger than all
+/// integer values used as attribute values").
+pub fn compile_to_milp(condition: &Expr, big_m: i64) -> MilpProgram {
+    let mut compiler = Compiler {
+        program: MilpProgram {
+            big_m,
+            ..Default::default()
+        },
+    };
+    compiler.intern_strings(condition);
+    let root = compiler.compile_bool(condition);
+    compiler.program.root = root;
+    // Final assertion: b_root = 1.
+    compiler.program.constraints.push(LinearConstraint {
+        expr: LinearExpr::new().add_term(root, 1),
+        op: ConstraintOp::Eq,
+        rhs: 1,
+    });
+    compiler.program
+}
+
+struct Compiler {
+    program: MilpProgram,
+}
+
+impl Compiler {
+    fn intern_strings(&mut self, expr: &Expr) {
+        match expr {
+            Expr::Const(Value::Str(s)) => {
+                let next = self.program.string_codes.len() as i64;
+                self.program
+                    .string_codes
+                    .entry(s.as_ref().to_string())
+                    .or_insert(next);
+            }
+            Expr::Arith { left, right, .. } | Expr::Cmp { left, right, .. } => {
+                self.intern_strings(left);
+                self.intern_strings(right);
+            }
+            Expr::And(l, r) | Expr::Or(l, r) => {
+                self.intern_strings(l);
+                self.intern_strings(r);
+            }
+            Expr::Not(e) | Expr::IsNull(e) => self.intern_strings(e),
+            Expr::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                self.intern_strings(cond);
+                self.intern_strings(then_branch);
+                self.intern_strings(else_branch);
+            }
+            _ => {}
+        }
+    }
+
+    fn new_var(&mut self, name: String, kind: MilpVarKind, source: Option<Expr>) -> usize {
+        let id = self.program.vars.len();
+        self.program.vars.push(MilpVar { name, kind, source });
+        id
+    }
+
+    fn source_var(&mut self, name: &str) -> usize {
+        if let Some(id) = self.program.source_vars.get(name) {
+            return *id;
+        }
+        let id = self.new_var(
+            name.to_string(),
+            MilpVarKind::Integer,
+            Some(Expr::Var(name.to_string())),
+        );
+        self.program.source_vars.insert(name.to_string(), id);
+        id
+    }
+
+    fn constrain(&mut self, expr: LinearExpr, op: ConstraintOp, rhs: i64) {
+        self.program
+            .constraints
+            .push(LinearConstraint { expr, op, rhs });
+    }
+
+    /// Compiles a scalar (integer-valued) expression, returning its variable.
+    fn compile_int(&mut self, expr: &Expr) -> usize {
+        match expr {
+            Expr::Var(name) => self.source_var(name),
+            Expr::Attr(name) => self.source_var(name),
+            Expr::Const(v) => {
+                let value = match v {
+                    Value::Int(i) => *i,
+                    Value::Bool(b) => i64::from(*b),
+                    Value::Str(s) => self
+                        .program
+                        .string_codes
+                        .get(s.as_ref())
+                        .copied()
+                        .unwrap_or(0),
+                    Value::Null => 0,
+                };
+                let id = self.new_var(
+                    format!("const_{value}"),
+                    MilpVarKind::Integer,
+                    Some(expr.clone()),
+                );
+                self.constrain(LinearExpr::new().add_term(id, 1), ConstraintOp::Eq, value);
+                id
+            }
+            Expr::Arith { op, left, right } => {
+                let v1 = self.compile_int(left);
+                let v2 = self.compile_int(right);
+                let v = self.new_var(
+                    format!("aux{}", self.program.vars.len()),
+                    MilpVarKind::Integer,
+                    Some(expr.clone()),
+                );
+                match op {
+                    // Figure 13: e := e1 + e2 ⇒ v1 + v2 − v = 0.
+                    ArithOp::Add => self.constrain(
+                        LinearExpr::new().add_term(v1, 1).add_term(v2, 1).add_term(v, -1),
+                        ConstraintOp::Eq,
+                        0,
+                    ),
+                    ArithOp::Sub => self.constrain(
+                        LinearExpr::new().add_term(v1, 1).add_term(v2, -1).add_term(v, -1),
+                        ConstraintOp::Eq,
+                        0,
+                    ),
+                    // Multiplication and division are only linear when one
+                    // operand is constant; otherwise the defining constraint
+                    // is omitted (the variable remains free — a relaxation).
+                    ArithOp::Mul | ArithOp::Div => {
+                        if let Expr::Const(Value::Int(c)) = right.as_ref() {
+                            if *op == ArithOp::Mul {
+                                self.constrain(
+                                    LinearExpr::new().add_term(v1, *c).add_term(v, -1),
+                                    ConstraintOp::Eq,
+                                    0,
+                                );
+                            }
+                        } else if let Expr::Const(Value::Int(c)) = left.as_ref() {
+                            if *op == ArithOp::Mul {
+                                self.constrain(
+                                    LinearExpr::new().add_term(v2, *c).add_term(v, -1),
+                                    ConstraintOp::Eq,
+                                    0,
+                                );
+                            }
+                        }
+                    }
+                }
+                v
+            }
+            Expr::IfThenElse {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
+                // Figure 13: e := if e_c then e_1 else e_2 with auxiliary
+                // variables v_if and v_else.
+                let bc = self.compile_bool(cond);
+                let v1 = self.compile_int(then_branch);
+                let v2 = self.compile_int(else_branch);
+                let m = self.program.big_m;
+                let v_if = self.new_var(
+                    format!("vif{}", self.program.vars.len()),
+                    MilpVarKind::Integer,
+                    Some(Expr::IfThenElse {
+                        cond: std::sync::Arc::new((**cond).clone()),
+                        then_branch: std::sync::Arc::new((**then_branch).clone()),
+                        else_branch: std::sync::Arc::new(Expr::Const(Value::Int(0))),
+                    }),
+                );
+                let v_else = self.new_var(
+                    format!("velse{}", self.program.vars.len()),
+                    MilpVarKind::Integer,
+                    Some(Expr::IfThenElse {
+                        cond: std::sync::Arc::new((**cond).clone()),
+                        then_branch: std::sync::Arc::new(Expr::Const(Value::Int(0))),
+                        else_branch: std::sync::Arc::new((**else_branch).clone()),
+                    }),
+                );
+                let v = self.new_var(
+                    format!("aux{}", self.program.vars.len()),
+                    MilpVarKind::Integer,
+                    Some(expr.clone()),
+                );
+                // v_if + v_else − v = 0
+                self.constrain(
+                    LinearExpr::new()
+                        .add_term(v_if, 1)
+                        .add_term(v_else, 1)
+                        .add_term(v, -1),
+                    ConstraintOp::Eq,
+                    0,
+                );
+                // v_if − v1 ≤ 0
+                self.constrain(
+                    LinearExpr::new().add_term(v_if, 1).add_term(v1, -1),
+                    ConstraintOp::Le,
+                    0,
+                );
+                // v_if − v1 + M − M·b_c ≥ 0
+                self.constrain(
+                    LinearExpr::new()
+                        .add_term(v_if, 1)
+                        .add_term(v1, -1)
+                        .add_term(bc, -m),
+                    ConstraintOp::Ge,
+                    -m,
+                );
+                // v_if − M·b_c ≤ 0
+                self.constrain(
+                    LinearExpr::new().add_term(v_if, 1).add_term(bc, -m),
+                    ConstraintOp::Le,
+                    0,
+                );
+                // v_if + M·b_c ≥ 0
+                self.constrain(
+                    LinearExpr::new().add_term(v_if, 1).add_term(bc, m),
+                    ConstraintOp::Ge,
+                    0,
+                );
+                // v_else − v2 ≤ 0
+                self.constrain(
+                    LinearExpr::new().add_term(v_else, 1).add_term(v2, -1),
+                    ConstraintOp::Le,
+                    0,
+                );
+                // v_else − M + M·b_c ≤ 0
+                self.constrain(
+                    LinearExpr::new().add_term(v_else, 1).add_term(bc, m),
+                    ConstraintOp::Le,
+                    m,
+                );
+                // v_else − v2 + M·b_c ≥ 0  (wait: rule is v_else − v2 − M·b_c ≥ −M
+                //   i.e. v_else ≥ v2 − M·(1−b_c) when b_c = 0 forces equality)
+                self.constrain(
+                    LinearExpr::new()
+                        .add_term(v_else, 1)
+                        .add_term(v2, -1)
+                        .add_term(bc, m),
+                    ConstraintOp::Ge,
+                    0,
+                );
+                // v_else + M − M·b_c ≥ 0
+                self.constrain(
+                    LinearExpr::new().add_term(v_else, 1).add_term(bc, -m),
+                    ConstraintOp::Ge,
+                    -m,
+                );
+                v
+            }
+            // Boolean expressions in scalar position: reuse the binary var.
+            _ => self.compile_bool(expr),
+        }
+    }
+
+    /// Compiles a boolean expression, returning its binary variable.
+    fn compile_bool(&mut self, expr: &Expr) -> usize {
+        match expr {
+            Expr::Const(Value::Bool(v)) => {
+                let id = self.new_var(
+                    format!("bconst{}", self.program.vars.len()),
+                    MilpVarKind::Binary,
+                    Some(expr.clone()),
+                );
+                self.constrain(
+                    LinearExpr::new().add_term(id, 1),
+                    ConstraintOp::Eq,
+                    i64::from(*v),
+                );
+                id
+            }
+            Expr::Cmp { op, left, right } => {
+                let v1 = self.compile_int(left);
+                let v2 = self.compile_int(right);
+                match op {
+                    CmpOp::Lt => self.compile_lt(expr, v1, v2),
+                    CmpOp::Gt => self.compile_lt(expr, v2, v1),
+                    CmpOp::Le => self.compile_le(expr, v1, v2),
+                    CmpOp::Ge => self.compile_le(expr, v2, v1),
+                    CmpOp::Eq => {
+                        // e1 = e2 ⇔ (e1 ≤ e2) ∧ (e2 ≤ e1)
+                        let le1 = self.compile_le(
+                            &Expr::Cmp {
+                                op: CmpOp::Le,
+                                left: left.clone(),
+                                right: right.clone(),
+                            },
+                            v1,
+                            v2,
+                        );
+                        let le2 = self.compile_le(
+                            &Expr::Cmp {
+                                op: CmpOp::Ge,
+                                left: left.clone(),
+                                right: right.clone(),
+                            },
+                            v2,
+                            v1,
+                        );
+                        self.compile_and(expr, le1, le2)
+                    }
+                    CmpOp::Neq => {
+                        let eq = self.compile_bool(&Expr::Cmp {
+                            op: CmpOp::Eq,
+                            left: left.clone(),
+                            right: right.clone(),
+                        });
+                        self.compile_not(expr, eq)
+                    }
+                }
+            }
+            Expr::And(l, r) => {
+                let b1 = self.compile_bool(l);
+                let b2 = self.compile_bool(r);
+                self.compile_and(expr, b1, b2)
+            }
+            Expr::Or(l, r) => {
+                let b1 = self.compile_bool(l);
+                let b2 = self.compile_bool(r);
+                // Figure 13: b1 + b2 − 2b ≤ 0 and b1 + b2 − b ≥ 0.
+                let b = self.new_var(
+                    format!("bor{}", self.program.vars.len()),
+                    MilpVarKind::Binary,
+                    Some(expr.clone()),
+                );
+                self.constrain(
+                    LinearExpr::new().add_term(b1, 1).add_term(b2, 1).add_term(b, -2),
+                    ConstraintOp::Le,
+                    0,
+                );
+                self.constrain(
+                    LinearExpr::new().add_term(b1, 1).add_term(b2, 1).add_term(b, -1),
+                    ConstraintOp::Ge,
+                    0,
+                );
+                b
+            }
+            Expr::Not(e) => {
+                let b1 = self.compile_bool(e);
+                self.compile_not(expr, b1)
+            }
+            Expr::IsNull(_) => {
+                // The slicing formulas never contain NULL tests over symbolic
+                // data (domains are NULL-free); compile as constant false.
+                let id = self.new_var(
+                    format!("bnull{}", self.program.vars.len()),
+                    MilpVarKind::Binary,
+                    Some(Expr::Const(Value::Bool(false))),
+                );
+                self.constrain(LinearExpr::new().add_term(id, 1), ConstraintOp::Eq, 0);
+                id
+            }
+            other => {
+                // Boolean-valued if-then-else or a bare variable standing for
+                // a boolean: fall back to an integer compilation constrained
+                // to {0, 1}.
+                let v = self.compile_int(other);
+                let b = self.new_var(
+                    format!("bwrap{}", self.program.vars.len()),
+                    MilpVarKind::Binary,
+                    Some(other.clone()),
+                );
+                self.constrain(
+                    LinearExpr::new().add_term(v, 1).add_term(b, -1),
+                    ConstraintOp::Eq,
+                    0,
+                );
+                b
+            }
+        }
+    }
+
+    /// Figure 13 rule for `e1 < e2`:
+    /// `v1 − v2 + b·M ≥ 0` and `v2 − v1 + (1−b)·M > 0` (strictness via `≥ 1`
+    /// since all quantities are integers).
+    fn compile_lt(&mut self, source: &Expr, v1: usize, v2: usize) -> usize {
+        let m = self.program.big_m;
+        let b = self.new_var(
+            format!("blt{}", self.program.vars.len()),
+            MilpVarKind::Binary,
+            Some(source.clone()),
+        );
+        self.constrain(
+            LinearExpr::new().add_term(v1, 1).add_term(v2, -1).add_term(b, m),
+            ConstraintOp::Ge,
+            0,
+        );
+        self.constrain(
+            LinearExpr::new().add_term(v2, 1).add_term(v1, -1).add_term(b, -m),
+            ConstraintOp::Ge,
+            1 - m,
+        );
+        b
+    }
+
+    /// Figure 13 rule for `e1 ≤ e2`:
+    /// `v1 − v2 + b·M > 0` and `v2 − v1 + (1−b)·M ≥ 0`.
+    fn compile_le(&mut self, source: &Expr, v1: usize, v2: usize) -> usize {
+        let m = self.program.big_m;
+        let b = self.new_var(
+            format!("ble{}", self.program.vars.len()),
+            MilpVarKind::Binary,
+            Some(source.clone()),
+        );
+        self.constrain(
+            LinearExpr::new().add_term(v1, 1).add_term(v2, -1).add_term(b, m),
+            ConstraintOp::Ge,
+            1,
+        );
+        self.constrain(
+            LinearExpr::new().add_term(v2, 1).add_term(v1, -1).add_term(b, -m),
+            ConstraintOp::Ge,
+            -m,
+        );
+        b
+    }
+
+    /// Figure 13 rule for conjunction: `b1 + b2 − 2b − 1 ≤ 0` and
+    /// `b1 + b2 − 2b ≥ 0`.
+    fn compile_and(&mut self, source: &Expr, b1: usize, b2: usize) -> usize {
+        let b = self.new_var(
+            format!("band{}", self.program.vars.len()),
+            MilpVarKind::Binary,
+            Some(source.clone()),
+        );
+        self.constrain(
+            LinearExpr::new().add_term(b1, 1).add_term(b2, 1).add_term(b, -2),
+            ConstraintOp::Le,
+            1,
+        );
+        self.constrain(
+            LinearExpr::new().add_term(b1, 1).add_term(b2, 1).add_term(b, -2),
+            ConstraintOp::Ge,
+            0,
+        );
+        b
+    }
+
+    /// Figure 13 rule for negation: `b + b1 = 1`.
+    fn compile_not(&mut self, source: &Expr, b1: usize) -> usize {
+        let b = self.new_var(
+            format!("bnot{}", self.program.vars.len()),
+            MilpVarKind::Binary,
+            Some(source.clone()),
+        );
+        self.constrain(
+            LinearExpr::new().add_term(b, 1).add_term(b1, 1),
+            ConstraintOp::Eq,
+            1,
+        );
+        b
+    }
+}
+
+/// Builds a [`MapBindings`] whose variables take the given integer/string
+/// values — convenience for tests and for the benchmark harness.
+pub fn bindings_from_pairs(pairs: &[(&str, Value)]) -> MapBindings {
+    let mut b = MapBindings::new();
+    for (k, v) in pairs {
+        b.set_var((*k).to_string(), v.clone());
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_expr::eval_condition;
+
+    /// Cross-validation: for every sampled concrete assignment, the extended
+    /// assignment satisfies all defining constraints, and the root variable
+    /// equals the condition's truth value.
+    fn cross_validate(cond: &Expr, samples: &[Vec<(&str, Value)>]) {
+        let program = compile_to_milp(cond, 1_000_000);
+        for sample in samples {
+            let bindings = bindings_from_pairs(sample);
+            let extended = program
+                .extend_assignment(&bindings)
+                .expect("extension must succeed");
+            assert!(
+                program.is_satisfied_by(&extended),
+                "defining constraints violated for {sample:?} on {cond}"
+            );
+            let expected = eval_condition(cond, &bindings).unwrap();
+            assert_eq!(
+                extended[program.root] == 1,
+                expected,
+                "root mismatch for {sample:?} on {cond}"
+            );
+        }
+    }
+
+    #[test]
+    fn comparison_rules() {
+        let cond = lt(var("x"), lit(10));
+        cross_validate(
+            &cond,
+            &[
+                vec![("x", Value::int(5))],
+                vec![("x", Value::int(10))],
+                vec![("x", Value::int(15))],
+            ],
+        );
+        let cond = le(var("x"), lit(10));
+        cross_validate(
+            &cond,
+            &[
+                vec![("x", Value::int(10))],
+                vec![("x", Value::int(11))],
+                vec![("x", Value::int(-3))],
+            ],
+        );
+        let cond = ge(var("x"), lit(50));
+        cross_validate(
+            &cond,
+            &[vec![("x", Value::int(50))], vec![("x", Value::int(49))]],
+        );
+        let cond = eq(var("x"), lit(7));
+        cross_validate(
+            &cond,
+            &[vec![("x", Value::int(7))], vec![("x", Value::int(8))]],
+        );
+        let cond = neq(var("x"), lit(7));
+        cross_validate(
+            &cond,
+            &[vec![("x", Value::int(7))], vec![("x", Value::int(8))]],
+        );
+    }
+
+    #[test]
+    fn boolean_rules() {
+        let cond = and(ge(var("x"), lit(0)), le(var("x"), lit(10)));
+        cross_validate(
+            &cond,
+            &[
+                vec![("x", Value::int(5))],
+                vec![("x", Value::int(-1))],
+                vec![("x", Value::int(11))],
+            ],
+        );
+        let cond = or(lt(var("x"), lit(0)), gt(var("x"), lit(10)));
+        cross_validate(
+            &cond,
+            &[
+                vec![("x", Value::int(5))],
+                vec![("x", Value::int(-1))],
+                vec![("x", Value::int(11))],
+            ],
+        );
+        let cond = not(ge(var("x"), lit(3)));
+        cross_validate(
+            &cond,
+            &[vec![("x", Value::int(2))], vec![("x", Value::int(3))]],
+        );
+    }
+
+    #[test]
+    fn arithmetic_and_ite_rules() {
+        // The running example's nested fee computation: the condition holds
+        // exactly when the fee after u1 and u2 is at least 10.
+        let fee_after_u1 = ite(ge(var("p"), lit(50)), lit(0), var("f"));
+        let fee_after_u2 = ite(
+            and(eq(var("c"), slit("UK")), le(var("p"), lit(100))),
+            add(fee_after_u1.clone(), lit(5)),
+            fee_after_u1,
+        );
+        let cond = ge(fee_after_u2, lit(10));
+        let samples: Vec<Vec<(&str, Value)>> = vec![
+            vec![
+                ("p", Value::int(20)),
+                ("f", Value::int(5)),
+                ("c", Value::str("UK")),
+            ],
+            vec![
+                ("p", Value::int(60)),
+                ("f", Value::int(5)),
+                ("c", Value::str("UK")),
+            ],
+            vec![
+                ("p", Value::int(20)),
+                ("f", Value::int(5)),
+                ("c", Value::str("US")),
+            ],
+            vec![
+                ("p", Value::int(20)),
+                ("f", Value::int(12)),
+                ("c", Value::str("US")),
+            ],
+        ];
+        cross_validate(&cond, &samples);
+    }
+
+    #[test]
+    fn subtraction_rule() {
+        let cond = ge(sub(var("x"), lit(2)), lit(10));
+        cross_validate(
+            &cond,
+            &[vec![("x", Value::int(12))], vec![("x", Value::int(11))]],
+        );
+    }
+
+    #[test]
+    fn program_size_reporting() {
+        let cond = and(ge(var("x"), lit(0)), le(var("x"), lit(10)));
+        let program = compile_to_milp(&cond, 1_000);
+        assert!(program.var_count() >= 4);
+        assert!(program.constraint_count() >= 5);
+        assert_eq!(program.big_m, 1_000);
+    }
+
+    #[test]
+    fn string_interning() {
+        let cond = eq(var("c"), slit("UK"));
+        let program = compile_to_milp(&cond, 1_000);
+        assert!(program.string_code("UK").is_some());
+        assert!(program.string_code("FR").is_none());
+        cross_validate(
+            &cond,
+            &[
+                vec![("c", Value::str("UK"))],
+            ],
+        );
+    }
+
+    #[test]
+    fn extension_fails_on_missing_source_var() {
+        let cond = ge(var("x"), lit(0));
+        let program = compile_to_milp(&cond, 1_000);
+        let empty = MapBindings::new();
+        assert!(program.extend_assignment(&empty).is_none());
+    }
+}

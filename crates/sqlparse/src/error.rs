@@ -1,0 +1,42 @@
+//! Parse errors.
+
+use std::fmt;
+
+/// A syntax error with a human-readable message and the offending position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// Byte offset in the input (best effort).
+    pub position: usize,
+}
+
+impl ParseError {
+    /// Creates a parse error.
+    pub fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "syntax error at offset {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ParseError::new("unexpected token", 7);
+        assert!(e.to_string().contains("offset 7"));
+        assert!(e.to_string().contains("unexpected token"));
+    }
+}

@@ -1,0 +1,256 @@
+//! Tokenizer for the SQL subset.
+
+use crate::error::ParseError;
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword or identifier (identifiers keep their original case, keywords
+    /// are matched case-insensitively by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (single quotes, `''` escapes a quote).
+    Str(String),
+    /// `=`
+    Eq,
+    /// `<>` or `!=`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+}
+
+impl Token {
+    /// True when this token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+}
+
+/// Splits `input` into tokens, returning `(token, byte offset)` pairs.
+pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            c if c.is_whitespace() => i += 1,
+            '-' if i + 1 < bytes.len() && bytes[i + 1] == b'-' => {
+                // SQL line comment.
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                tokens.push((Token::LParen, i));
+                i += 1;
+            }
+            ')' => {
+                tokens.push((Token::RParen, i));
+                i += 1;
+            }
+            ',' => {
+                tokens.push((Token::Comma, i));
+                i += 1;
+            }
+            ';' => {
+                tokens.push((Token::Semicolon, i));
+                i += 1;
+            }
+            '+' => {
+                tokens.push((Token::Plus, i));
+                i += 1;
+            }
+            '-' => {
+                tokens.push((Token::Minus, i));
+                i += 1;
+            }
+            '*' => {
+                tokens.push((Token::Star, i));
+                i += 1;
+            }
+            '/' => {
+                tokens.push((Token::Slash, i));
+                i += 1;
+            }
+            '=' => {
+                tokens.push((Token::Eq, i));
+                i += 1;
+            }
+            '!' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push((Token::Neq, i));
+                    i += 2;
+                } else {
+                    return Err(ParseError::new("unexpected `!`", i));
+                }
+            }
+            '<' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push((Token::Le, i));
+                    i += 2;
+                } else if i + 1 < bytes.len() && bytes[i + 1] == b'>' {
+                    tokens.push((Token::Neq, i));
+                    i += 2;
+                } else {
+                    tokens.push((Token::Lt, i));
+                    i += 1;
+                }
+            }
+            '>' => {
+                if i + 1 < bytes.len() && bytes[i + 1] == b'=' {
+                    tokens.push((Token::Ge, i));
+                    i += 2;
+                } else {
+                    tokens.push((Token::Gt, i));
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= bytes.len() {
+                        return Err(ParseError::new("unterminated string literal", start));
+                    }
+                    if bytes[i] == b'\'' {
+                        if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                            s.push('\'');
+                            i += 2;
+                        } else {
+                            i += 1;
+                            break;
+                        }
+                    } else {
+                        s.push(bytes[i] as char);
+                        i += 1;
+                    }
+                }
+                tokens.push((Token::Str(s), start));
+            }
+            c if c.is_ascii_digit() => {
+                let start = i;
+                while i < bytes.len() && (bytes[i] as char).is_ascii_digit() {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let value: i64 = text
+                    .parse()
+                    .map_err(|_| ParseError::new(format!("invalid integer `{text}`"), start))?;
+                tokens.push((Token::Int(value), start));
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                tokens.push((Token::Ident(input[start..i].to_string()), start));
+            }
+            other => {
+                return Err(ParseError::new(format!("unexpected character `{other}`"), i));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<Token> {
+        tokenize(s).unwrap().into_iter().map(|(t, _)| t).collect()
+    }
+
+    #[test]
+    fn keywords_numbers_strings() {
+        assert_eq!(
+            toks("UPDATE Orders SET Fee = 0"),
+            vec![
+                Token::Ident("UPDATE".into()),
+                Token::Ident("Orders".into()),
+                Token::Ident("SET".into()),
+                Token::Ident("Fee".into()),
+                Token::Eq,
+                Token::Int(0)
+            ]
+        );
+        assert_eq!(
+            toks("'UK' 'O''Brien'"),
+            vec![Token::Str("UK".into()), Token::Str("O'Brien".into())]
+        );
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("<= >= <> != < > = + - * / ( ) , ;"),
+            vec![
+                Token::Le,
+                Token::Ge,
+                Token::Neq,
+                Token::Neq,
+                Token::Lt,
+                Token::Gt,
+                Token::Eq,
+                Token::Plus,
+                Token::Minus,
+                Token::Star,
+                Token::Slash,
+                Token::LParen,
+                Token::RParen,
+                Token::Comma,
+                Token::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_whitespace() {
+        assert_eq!(
+            toks("SELECT -- a comment\n 1"),
+            vec![Token::Ident("SELECT".into()), Token::Int(1)]
+        );
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("'unterminated").is_err());
+        assert!(tokenize("a ? b").is_err());
+        assert!(tokenize("a ! b").is_err());
+    }
+
+    #[test]
+    fn keyword_check_is_case_insensitive() {
+        let t = Token::Ident("where".into());
+        assert!(t.is_keyword("WHERE"));
+        assert!(!t.is_keyword("SET"));
+        assert!(!Token::Int(1).is_keyword("WHERE"));
+    }
+}

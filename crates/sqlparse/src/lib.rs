@@ -1,0 +1,32 @@
+//! # mahif-sqlparse
+//!
+//! A small, hand-written parser for the SQL subset in which transactional
+//! histories and insert queries are expressed in the paper (Figure 2 and
+//! Section 2): `UPDATE ... SET ... WHERE ...`, `DELETE FROM ... WHERE ...`,
+//! `INSERT INTO ... VALUES (...)`, `INSERT INTO ... SELECT ...` and simple
+//! `SELECT ... FROM ... WHERE ...` queries.
+//!
+//! The parser exists so that examples, tests and workloads can state
+//! histories as SQL text instead of building ASTs by hand:
+//!
+//! ```
+//! use mahif_sqlparse::parse_history;
+//!
+//! let history = parse_history(
+//!     "UPDATE Orders SET ShippingFee = 0 WHERE Price >= 50;
+//!      UPDATE Orders SET ShippingFee = ShippingFee + 5
+//!        WHERE Country = 'UK' AND Price <= 100;",
+//! )
+//! .unwrap();
+//! assert_eq!(history.len(), 2);
+//! ```
+
+pub mod error;
+pub mod lexer;
+pub mod parser;
+
+pub use error::ParseError;
+pub use lexer::{tokenize, Token};
+pub use parser::{
+    parse_condition, parse_expression, parse_history, parse_select, parse_statement, parse_whatif,
+};

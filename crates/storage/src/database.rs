@@ -1,0 +1,185 @@
+//! Database instances: named collections of relations.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::StorageError;
+use crate::relation::Relation;
+use crate::schema::SchemaRef;
+
+/// A database instance `D`: a set of named relations.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Database {
+    relations: BTreeMap<String, Relation>,
+}
+
+impl Database {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Database::default()
+    }
+
+    /// Adds a relation; errors when a relation with the same name exists.
+    pub fn add_relation(&mut self, relation: Relation) -> Result<(), StorageError> {
+        let name = relation.schema.relation.clone();
+        if self.relations.contains_key(&name) {
+            return Err(StorageError::DuplicateRelation(name));
+        }
+        self.relations.insert(name, relation);
+        Ok(())
+    }
+
+    /// Adds an empty relation with the given schema.
+    pub fn create_relation(&mut self, schema: SchemaRef) -> Result<(), StorageError> {
+        self.add_relation(Relation::empty(schema))
+    }
+
+    /// Replaces (or inserts) a relation unconditionally.
+    pub fn put_relation(&mut self, relation: Relation) {
+        self.relations
+            .insert(relation.schema.relation.clone(), relation);
+    }
+
+    /// The relation with the given name.
+    pub fn relation(&self, name: &str) -> Result<&Relation, StorageError> {
+        self.relations
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// Mutable access to a relation.
+    pub fn relation_mut(&mut self, name: &str) -> Result<&mut Relation, StorageError> {
+        self.relations
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownRelation(name.to_string()))
+    }
+
+    /// True when a relation with this name exists.
+    pub fn has_relation(&self, name: &str) -> bool {
+        self.relations.contains_key(name)
+    }
+
+    /// Names of all relations (sorted).
+    pub fn relation_names(&self) -> Vec<String> {
+        self.relations.keys().cloned().collect()
+    }
+
+    /// Number of relations.
+    pub fn relation_count(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Total number of tuples across all relations.
+    pub fn total_tuples(&self) -> usize {
+        self.relations.values().map(|r| r.len()).sum()
+    }
+
+    /// Iterator over `(name, relation)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// True when both databases contain the same relations with the same
+    /// tuple *sets* (order and duplicates ignored).
+    pub fn set_eq(&self, other: &Database) -> bool {
+        if self.relation_names() != other.relation_names() {
+            return false;
+        }
+        self.relations
+            .iter()
+            .all(|(name, rel)| other.relations.get(name).is_some_and(|o| rel.set_eq(o)))
+    }
+}
+
+impl fmt::Display for Database {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rel in self.relations.values() {
+            write!(f, "{rel}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use mahif_expr::Value;
+
+    fn db() -> Database {
+        let schema = Schema::shared(
+            "Order",
+            vec![Attribute::int("ID"), Attribute::int("Price")],
+        );
+        let mut r = Relation::empty(schema);
+        r.insert_values([Value::int(1), Value::int(20)]).unwrap();
+        r.insert_values([Value::int(2), Value::int(50)]).unwrap();
+        let mut d = Database::new();
+        d.add_relation(r).unwrap();
+        d
+    }
+
+    #[test]
+    fn add_and_get() {
+        let d = db();
+        assert!(d.has_relation("Order"));
+        assert_eq!(d.relation("Order").unwrap().len(), 2);
+        assert!(d.relation("Missing").is_err());
+        assert_eq!(d.relation_count(), 1);
+        assert_eq!(d.total_tuples(), 2);
+    }
+
+    #[test]
+    fn duplicate_relation_rejected() {
+        let mut d = db();
+        let schema = Schema::shared("Order", vec![Attribute::int("X")]);
+        assert!(matches!(
+            d.create_relation(schema),
+            Err(StorageError::DuplicateRelation(_))
+        ));
+    }
+
+    #[test]
+    fn put_relation_overwrites() {
+        let mut d = db();
+        let schema = Schema::shared("Order", vec![Attribute::int("X")]);
+        d.put_relation(Relation::empty(schema));
+        assert_eq!(d.relation("Order").unwrap().len(), 0);
+    }
+
+    #[test]
+    fn relation_mut_allows_updates() {
+        let mut d = db();
+        d.relation_mut("Order")
+            .unwrap()
+            .insert_values([Value::int(3), Value::int(30)])
+            .unwrap();
+        assert_eq!(d.relation("Order").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn set_eq_semantics() {
+        let a = db();
+        let mut b = db();
+        assert!(a.set_eq(&b));
+        b.relation_mut("Order")
+            .unwrap()
+            .insert_values([Value::int(1), Value::int(20)])
+            .unwrap();
+        // duplicate tuple does not change the set
+        assert!(a.set_eq(&b));
+        b.relation_mut("Order")
+            .unwrap()
+            .insert_values([Value::int(9), Value::int(9)])
+            .unwrap();
+        assert!(!a.set_eq(&b));
+    }
+
+    #[test]
+    fn relation_names_sorted() {
+        let mut d = db();
+        d.create_relation(Schema::shared("Customer", vec![Attribute::int("ID")]))
+            .unwrap();
+        assert_eq!(d.relation_names(), vec!["Customer", "Order"]);
+    }
+}

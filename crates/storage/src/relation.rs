@@ -1,0 +1,323 @@
+//! Bag-semantics relations.
+//!
+//! The paper's formalization uses set semantics for reenactment
+//! (Definition 3) but the definitions of statements (Equations 1–4) and the
+//! delta are phrased over sets of tuples. We store relations as bags (the
+//! order of tuples is an implementation detail) and provide both bag and set
+//! style operations; the delta computation in `mahif-history` uses the
+//! set-style operations, matching the paper.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use mahif_expr::Value;
+
+use crate::error::StorageError;
+use crate::schema::{Schema, SchemaRef};
+use crate::tuple::Tuple;
+
+/// A relation instance: a schema plus a bag of tuples.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Relation {
+    /// The relation's schema.
+    pub schema: SchemaRef,
+    /// The tuples (bag semantics; order not meaningful).
+    pub tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation with the given schema.
+    pub fn empty(schema: SchemaRef) -> Self {
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Creates a relation from a schema and tuples, validating arity.
+    pub fn new(schema: SchemaRef, tuples: Vec<Tuple>) -> Result<Self, StorageError> {
+        for t in &tuples {
+            if t.arity() != schema.arity() {
+                return Err(StorageError::ArityMismatch {
+                    relation: schema.relation.clone(),
+                    expected: schema.arity(),
+                    actual: t.arity(),
+                });
+            }
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// Number of tuples (bag cardinality).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when the relation holds no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Iterator over tuples.
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Appends a tuple, validating arity.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<(), StorageError> {
+        if tuple.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.relation.clone(),
+                expected: self.schema.arity(),
+                actual: tuple.arity(),
+            });
+        }
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Appends a tuple built from convertible values.
+    pub fn insert_values<I, V>(&mut self, values: I) -> Result<(), StorageError>
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        self.insert(Tuple::from_iter_values(values))
+    }
+
+    /// Returns the distinct tuples of this relation (set projection of the
+    /// bag), preserving first-occurrence order.
+    pub fn distinct(&self) -> Relation {
+        let mut seen: HashMap<&Tuple, ()> = HashMap::with_capacity(self.tuples.len());
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            if seen.insert(t, ()).is_none() {
+                out.push(t.clone());
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples: out,
+        }
+    }
+
+    /// Multiplicity map: tuple → number of occurrences.
+    pub fn counts(&self) -> HashMap<&Tuple, usize> {
+        let mut m: HashMap<&Tuple, usize> = HashMap::with_capacity(self.tuples.len());
+        for t in &self.tuples {
+            *m.entry(t).or_insert(0) += 1;
+        }
+        m
+    }
+
+    /// Set membership test.
+    pub fn contains(&self, tuple: &Tuple) -> bool {
+        self.tuples.iter().any(|t| t == tuple)
+    }
+
+    /// Set-semantics difference `self − other`: distinct tuples of `self`
+    /// that do not occur in `other`. This is the building block of the delta
+    /// queries of Section 4/5.2.
+    pub fn set_difference(&self, other: &Relation) -> Relation {
+        let other_set: HashMap<&Tuple, ()> = other.tuples.iter().map(|t| (t, ())).collect();
+        let mut seen: HashMap<&Tuple, ()> = HashMap::new();
+        let mut out = Vec::new();
+        for t in &self.tuples {
+            if !other_set.contains_key(t) && seen.insert(t, ()).is_none() {
+                out.push(t.clone());
+            }
+        }
+        Relation {
+            schema: self.schema.clone(),
+            tuples: out,
+        }
+    }
+
+    /// Bag union of two union-compatible relations (keeps the left schema).
+    pub fn union_all(&self, other: &Relation) -> Result<Relation, StorageError> {
+        if !self.schema.union_compatible(&other.schema) {
+            return Err(StorageError::ArityMismatch {
+                relation: self.schema.relation.clone(),
+                expected: self.schema.arity(),
+                actual: other.schema.arity(),
+            });
+        }
+        let mut tuples = self.tuples.clone();
+        tuples.extend(other.tuples.iter().cloned());
+        Ok(Relation {
+            schema: self.schema.clone(),
+            tuples,
+        })
+    }
+
+    /// Returns the tuples sorted by [`Tuple::total_cmp`]; useful for stable
+    /// comparisons in tests and reports.
+    pub fn sorted_tuples(&self) -> Vec<Tuple> {
+        let mut v = self.tuples.clone();
+        v.sort_by(|a, b| a.total_cmp(b));
+        v
+    }
+
+    /// Set equality: same distinct tuples regardless of order/multiplicity.
+    pub fn set_eq(&self, other: &Relation) -> bool {
+        let a: std::collections::HashSet<&Tuple> = self.tuples.iter().collect();
+        let b: std::collections::HashSet<&Tuple> = other.tuples.iter().collect();
+        a == b
+    }
+
+    /// Replaces the schema (e.g. renaming for the naive algorithm's copy).
+    pub fn with_schema(&self, schema: SchemaRef) -> Result<Relation, StorageError> {
+        if schema.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                relation: schema.relation.clone(),
+                expected: schema.arity(),
+                actual: self.schema.arity(),
+            });
+        }
+        Ok(Relation {
+            schema,
+            tuples: self.tuples.clone(),
+        })
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", Schema::to_string(&self.schema))?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn order_schema() -> SchemaRef {
+        Schema::shared(
+            "Order",
+            vec![
+                Attribute::int("ID"),
+                Attribute::str("Country"),
+                Attribute::int("Price"),
+            ],
+        )
+    }
+
+    fn sample() -> Relation {
+        let mut r = Relation::empty(order_schema());
+        r.insert_values([Value::int(11), Value::str("UK"), Value::int(20)])
+            .unwrap();
+        r.insert_values([Value::int(12), Value::str("UK"), Value::int(50)])
+            .unwrap();
+        r.insert_values([Value::int(13), Value::str("US"), Value::int(60)])
+            .unwrap();
+        r
+    }
+
+    #[test]
+    fn insert_and_len() {
+        let r = sample();
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+        assert!(Relation::empty(order_schema()).is_empty());
+    }
+
+    #[test]
+    fn arity_validation() {
+        let mut r = Relation::empty(order_schema());
+        let err = r.insert(Tuple::from_iter_values([Value::int(1)]));
+        assert!(matches!(err, Err(StorageError::ArityMismatch { .. })));
+        let bad = Relation::new(
+            order_schema(),
+            vec![Tuple::from_iter_values([Value::int(1)])],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn distinct_and_counts() {
+        let mut r = sample();
+        r.insert_values([Value::int(11), Value::str("UK"), Value::int(20)])
+            .unwrap();
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.distinct().len(), 3);
+        let counts = r.counts();
+        let dup = Tuple::from_iter_values([Value::int(11), Value::str("UK"), Value::int(20)]);
+        assert_eq!(counts.get(&dup), Some(&2));
+    }
+
+    #[test]
+    fn set_difference() {
+        let a = sample();
+        let mut b = sample();
+        // Remove one tuple from b.
+        b.tuples.remove(0);
+        let d = a.set_difference(&b);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d.tuples[0].value(0), Some(&Value::int(11)));
+        // difference with self is empty
+        assert!(a.set_difference(&a).is_empty());
+    }
+
+    #[test]
+    fn union_all_and_compatibility() {
+        let a = sample();
+        let b = sample();
+        let u = a.union_all(&b).unwrap();
+        assert_eq!(u.len(), 6);
+        let other = Relation::empty(Schema::shared("X", vec![Attribute::int("A")]));
+        assert!(a.union_all(&other).is_err());
+    }
+
+    #[test]
+    fn set_eq_ignores_order_and_duplicates() {
+        let a = sample();
+        let mut b = sample();
+        b.tuples.reverse();
+        b.insert_values([Value::int(13), Value::str("US"), Value::int(60)])
+            .unwrap();
+        assert!(a.set_eq(&b));
+        b.insert_values([Value::int(99), Value::str("US"), Value::int(1)])
+            .unwrap();
+        assert!(!a.set_eq(&b));
+    }
+
+    #[test]
+    fn sorted_tuples_are_stable() {
+        let mut r = sample();
+        r.tuples.reverse();
+        let sorted = r.sorted_tuples();
+        assert_eq!(sorted[0].value(0), Some(&Value::int(11)));
+        assert_eq!(sorted[2].value(0), Some(&Value::int(13)));
+    }
+
+    #[test]
+    fn with_schema_renames() {
+        let r = sample();
+        let renamed_schema = Schema::shared(
+            "Order_copy",
+            vec![
+                Attribute::int("ID"),
+                Attribute::str("Country"),
+                Attribute::int("Price"),
+            ],
+        );
+        let c = r.with_schema(renamed_schema).unwrap();
+        assert_eq!(c.schema.relation, "Order_copy");
+        assert_eq!(c.len(), 3);
+        let bad = Schema::shared("X", vec![Attribute::int("A")]);
+        assert!(r.with_schema(bad).is_err());
+    }
+
+    #[test]
+    fn display_contains_rows() {
+        let r = sample();
+        let s = r.to_string();
+        assert!(s.contains("Order("));
+        assert!(s.contains("(11, 'UK', 20)"));
+    }
+}

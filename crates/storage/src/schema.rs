@@ -1,0 +1,203 @@
+//! Relation schemas `Sch(R)`.
+
+use std::fmt;
+use std::sync::Arc;
+
+use mahif_expr::DataType;
+
+use crate::error::StorageError;
+
+/// A single attribute of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    /// Attribute name.
+    pub name: String,
+    /// Attribute type.
+    pub dtype: DataType,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Attribute {
+            name: name.into(),
+            dtype,
+        }
+    }
+
+    /// Integer attribute shorthand.
+    pub fn int(name: impl Into<String>) -> Self {
+        Attribute::new(name, DataType::Int)
+    }
+
+    /// String attribute shorthand.
+    pub fn str(name: impl Into<String>) -> Self {
+        Attribute::new(name, DataType::Str)
+    }
+}
+
+/// Shared schema handle. Relations, tuples bindings and query plans all hold
+/// a reference to the same schema allocation.
+pub type SchemaRef = Arc<Schema>;
+
+/// The schema of a relation: a relation name plus an ordered list of typed
+/// attributes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    /// Relation name.
+    pub relation: String,
+    /// Ordered attributes.
+    pub attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Creates a schema.
+    pub fn new(relation: impl Into<String>, attributes: Vec<Attribute>) -> Self {
+        Schema {
+            relation: relation.into(),
+            attributes,
+        }
+    }
+
+    /// Creates a shared schema handle.
+    pub fn shared(relation: impl Into<String>, attributes: Vec<Attribute>) -> SchemaRef {
+        Arc::new(Self::new(relation, attributes))
+    }
+
+    /// Number of attributes (the relation's arity).
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Attribute names in schema order.
+    pub fn attribute_names(&self) -> Vec<String> {
+        self.attributes.iter().map(|a| a.name.clone()).collect()
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// Index of the attribute, as a [`StorageError`] on failure.
+    pub fn require_index(&self, name: &str) -> Result<usize, StorageError> {
+        self.index_of(name)
+            .ok_or_else(|| StorageError::UnknownAttribute {
+                relation: self.relation.clone(),
+                attribute: name.to_string(),
+            })
+    }
+
+    /// The attribute with the given name.
+    pub fn attribute(&self, name: &str) -> Option<&Attribute> {
+        self.attributes.iter().find(|a| a.name == name)
+    }
+
+    /// Returns a copy of this schema under a different relation name. Used by
+    /// the naive algorithm which copies relations under fresh names to avoid
+    /// clashes (Section 4).
+    pub fn renamed(&self, new_relation: impl Into<String>) -> Schema {
+        Schema {
+            relation: new_relation.into(),
+            attributes: self.attributes.clone(),
+        }
+    }
+
+    /// True when both schemas have the same attribute list (names and types),
+    /// regardless of the relation name. Union compatibility check.
+    pub fn union_compatible(&self, other: &Schema) -> bool {
+        self.attributes.len() == other.attributes.len()
+            && self
+                .attributes
+                .iter()
+                .zip(other.attributes.iter())
+                .all(|(a, b)| a.dtype == b.dtype)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", a.name, a.dtype)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order_schema() -> Schema {
+        Schema::new(
+            "Order",
+            vec![
+                Attribute::int("ID"),
+                Attribute::str("Customer"),
+                Attribute::str("Country"),
+                Attribute::int("Price"),
+                Attribute::int("ShippingFee"),
+            ],
+        )
+    }
+
+    #[test]
+    fn arity_and_lookup() {
+        let s = order_schema();
+        assert_eq!(s.arity(), 5);
+        assert_eq!(s.index_of("Price"), Some(3));
+        assert_eq!(s.index_of("Missing"), None);
+        assert!(s.require_index("Missing").is_err());
+        assert_eq!(s.attribute("Country").unwrap().dtype, DataType::Str);
+    }
+
+    #[test]
+    fn attribute_names_order() {
+        let s = order_schema();
+        assert_eq!(
+            s.attribute_names(),
+            vec!["ID", "Customer", "Country", "Price", "ShippingFee"]
+        );
+    }
+
+    #[test]
+    fn renamed_keeps_attributes() {
+        let s = order_schema();
+        let r = s.renamed("Order_copy");
+        assert_eq!(r.relation, "Order_copy");
+        assert_eq!(r.attributes, s.attributes);
+    }
+
+    #[test]
+    fn union_compatibility() {
+        let s = order_schema();
+        let r = s.renamed("Other");
+        assert!(s.union_compatible(&r));
+        let smaller = Schema::new("X", vec![Attribute::int("A")]);
+        assert!(!s.union_compatible(&smaller));
+        let difftype = Schema::new(
+            "Y",
+            vec![
+                Attribute::str("ID"),
+                Attribute::str("Customer"),
+                Attribute::str("Country"),
+                Attribute::int("Price"),
+                Attribute::int("ShippingFee"),
+            ],
+        );
+        assert!(!s.union_compatible(&difftype));
+    }
+
+    #[test]
+    fn display_form() {
+        let s = order_schema();
+        let d = s.to_string();
+        assert!(d.starts_with("Order("));
+        assert!(d.contains("Price INT"));
+        assert!(d.contains("Country TEXT"));
+    }
+}

@@ -1,0 +1,149 @@
+//! Tuples and tuple-based expression bindings.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use mahif_expr::{Bindings, Value};
+
+use crate::schema::Schema;
+
+/// A tuple: an ordered list of values matching some schema.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    /// Attribute values in schema order.
+    pub values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Creates a tuple from anything convertible into values.
+    pub fn from_iter_values<I, V>(values: I) -> Self
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<Value>,
+    {
+        Tuple {
+            values: values.into_iter().map(Into::into).collect(),
+        }
+    }
+
+    /// Tuple arity.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at position `idx`.
+    pub fn value(&self, idx: usize) -> Option<&Value> {
+        self.values.get(idx)
+    }
+
+    /// Deterministic total order over tuples of equal arity (NULLs first),
+    /// used for stable output of deltas and test assertions.
+    pub fn total_cmp(&self, other: &Tuple) -> Ordering {
+        for (a, b) in self.values.iter().zip(other.values.iter()) {
+            let ord = a.total_cmp(b);
+            if ord != Ordering::Equal {
+                return ord;
+            }
+        }
+        self.values.len().cmp(&other.values.len())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// [`Bindings`] implementation that resolves attribute references against a
+/// tuple using a schema for name→position lookup. This is how update
+/// conditions `θ(t)` and `Set(t)` expressions are evaluated (Equations 1–4 of
+/// the paper).
+pub struct TupleBindings<'a> {
+    schema: &'a Schema,
+    tuple: &'a Tuple,
+}
+
+impl<'a> TupleBindings<'a> {
+    /// Creates bindings for `tuple` interpreted under `schema`.
+    pub fn new(schema: &'a Schema, tuple: &'a Tuple) -> Self {
+        TupleBindings { schema, tuple }
+    }
+}
+
+impl Bindings for TupleBindings<'_> {
+    fn attr(&self, name: &str) -> Option<Value> {
+        let idx = self.schema.index_of(name)?;
+        self.tuple.value(idx).cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+    use mahif_expr::builder::*;
+    use mahif_expr::eval_expr;
+
+    fn schema() -> Schema {
+        Schema::new(
+            "Order",
+            vec![
+                Attribute::int("ID"),
+                Attribute::str("Country"),
+                Attribute::int("Price"),
+            ],
+        )
+    }
+
+    #[test]
+    fn construction_and_access() {
+        let t = Tuple::from_iter_values([Value::int(11), Value::str("UK"), Value::int(20)]);
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.value(0), Some(&Value::int(11)));
+        assert_eq!(t.value(5), None);
+    }
+
+    #[test]
+    fn display() {
+        let t = Tuple::from_iter_values([Value::int(1), Value::str("UK")]);
+        assert_eq!(t.to_string(), "(1, 'UK')");
+    }
+
+    #[test]
+    fn total_cmp_is_lexicographic() {
+        let a = Tuple::from_iter_values([Value::int(1), Value::int(2)]);
+        let b = Tuple::from_iter_values([Value::int(1), Value::int(3)]);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        assert_eq!(b.total_cmp(&a), Ordering::Greater);
+        assert_eq!(a.total_cmp(&a), Ordering::Equal);
+    }
+
+    #[test]
+    fn bindings_resolve_by_name() {
+        let s = schema();
+        let t = Tuple::from_iter_values([Value::int(11), Value::str("UK"), Value::int(20)]);
+        let bind = TupleBindings::new(&s, &t);
+        assert_eq!(
+            eval_expr(&eq(attr("Country"), slit("UK")), &bind).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_expr(&add(attr("Price"), lit(5)), &bind).unwrap(),
+            Value::int(25)
+        );
+        assert!(eval_expr(&attr("Missing"), &bind).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! Lossy database compression into range constraints (Section 8.3.1).
+//!
+//! The input database is partitioned into groups (by the value of a chosen
+//! grouping attribute, merged down to a bounded number of groups). For every
+//! group, each ordered (integer) attribute contributes a range constraint
+//! `min ≤ x ≤ max` and each categorical (string) attribute contributes a
+//! membership constraint `x ∈ {v1, ..., vk}` (omitted when the group has too
+//! many distinct values — omitting constraints only makes the
+//! over-approximation coarser, never unsound). The disjunction of the group
+//! conjunctions is the compressed-database constraint `Φ_D`: every tuple of
+//! the database satisfies it.
+
+use std::collections::BTreeMap;
+
+use mahif_expr::builder::{conjunction, disjunction, eq, ge, le, var};
+use mahif_expr::{simplify, DataType, Expr, Value};
+use mahif_storage::{Database, Relation};
+
+use crate::vctable::initial_var_name;
+
+/// Configuration of the compression.
+#[derive(Debug, Clone)]
+pub struct CompressionConfig {
+    /// Attribute to group on; `None` compresses the whole relation into a
+    /// single group.
+    pub group_by: Option<String>,
+    /// Maximum number of groups; groups beyond this limit are merged (in
+    /// group-key order) so the constraint size stays bounded.
+    pub max_groups: usize,
+    /// Maximum number of distinct values for which a categorical attribute
+    /// still gets a membership constraint.
+    pub max_categorical_values: usize,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        CompressionConfig {
+            group_by: None,
+            max_groups: 8,
+            max_categorical_values: 8,
+        }
+    }
+}
+
+impl CompressionConfig {
+    /// Groups on the given attribute.
+    pub fn group_by(attr: impl Into<String>) -> Self {
+        CompressionConfig {
+            group_by: Some(attr.into()),
+            ..Default::default()
+        }
+    }
+
+    /// Sets the maximum number of groups.
+    pub fn with_max_groups(mut self, max_groups: usize) -> Self {
+        self.max_groups = max_groups.max(1);
+        self
+    }
+}
+
+/// Compresses a single relation into the constraint `Φ_D` over the initial
+/// VC-table variables `x_<attr>_0`.
+pub fn compress_relation(relation: &Relation, config: &CompressionConfig) -> Expr {
+    if relation.is_empty() {
+        // An empty relation is represented by `false`: there is no input
+        // tuple, so the single-tuple symbolic instance has no possible world
+        // corresponding to a real tuple.
+        return Expr::false_();
+    }
+    let schema = &relation.schema;
+    let group_idx = config
+        .group_by
+        .as_ref()
+        .and_then(|attr| schema.index_of(attr));
+
+    // Partition tuple indices into groups.
+    let mut groups: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+    for (i, t) in relation.iter().enumerate() {
+        let key = match group_idx {
+            Some(g) => t.value(g).map(|v| v.to_string()).unwrap_or_default(),
+            None => String::new(),
+        };
+        groups.entry(key).or_default().push(i);
+    }
+
+    // Merge down to at most `max_groups` groups.
+    let group_lists: Vec<Vec<usize>> = groups.into_values().collect();
+    let merged: Vec<Vec<usize>> = if group_lists.len() <= config.max_groups {
+        group_lists
+    } else {
+        let mut merged: Vec<Vec<usize>> = vec![Vec::new(); config.max_groups];
+        for (i, g) in group_lists.into_iter().enumerate() {
+            merged[i % config.max_groups].extend(g);
+        }
+        merged
+    };
+
+    let mut group_constraints = Vec::new();
+    for group in merged.iter().filter(|g| !g.is_empty()) {
+        let mut conjuncts = Vec::new();
+        for (idx, attribute) in schema.attributes.iter().enumerate() {
+            let variable = var(initial_var_name(&attribute.name));
+            match attribute.dtype {
+                DataType::Int => {
+                    let mut min = i64::MAX;
+                    let mut max = i64::MIN;
+                    let mut any = false;
+                    for &ti in group {
+                        if let Some(Value::Int(v)) = relation.tuples[ti].value(idx) {
+                            min = min.min(*v);
+                            max = max.max(*v);
+                            any = true;
+                        }
+                    }
+                    if any {
+                        conjuncts.push(ge(variable.clone(), Expr::Const(Value::Int(min))));
+                        conjuncts.push(le(variable, Expr::Const(Value::Int(max))));
+                    }
+                }
+                DataType::Str => {
+                    let mut values: Vec<Value> = Vec::new();
+                    for &ti in group {
+                        if let Some(v @ Value::Str(_)) = relation.tuples[ti].value(idx) {
+                            if !values.contains(v) {
+                                values.push(v.clone());
+                            }
+                        }
+                    }
+                    if !values.is_empty() && values.len() <= config.max_categorical_values {
+                        conjuncts.push(disjunction(
+                            values
+                                .into_iter()
+                                .map(|v| eq(variable.clone(), Expr::Const(v))),
+                        ));
+                    }
+                }
+                DataType::Bool => {
+                    // Booleans carry one bit; no constraint needed.
+                }
+            }
+        }
+        group_constraints.push(conjunction(conjuncts));
+    }
+    simplify(&disjunction(group_constraints))
+}
+
+/// Compresses the relation `relation_name` of a database. Convenience wrapper
+/// used by the slicing engine.
+pub fn compress_database(
+    db: &Database,
+    relation_name: &str,
+    config: &CompressionConfig,
+) -> Option<Expr> {
+    db.relation(relation_name)
+        .ok()
+        .map(|rel| compress_relation(rel, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::{eval_condition, MapBindings};
+    use mahif_history::statement::running_example_database;
+    use mahif_storage::Tuple;
+
+    fn bindings_for(t: &Tuple, rel: &Relation) -> MapBindings {
+        let mut b = MapBindings::new();
+        for (i, a) in rel.schema.attributes.iter().enumerate() {
+            b.set_var(initial_var_name(&a.name), t.value(i).unwrap().clone());
+        }
+        b
+    }
+
+    #[test]
+    fn example_7_grouping_by_country() {
+        // Compressing the running example by Country yields two groups whose
+        // price ranges match Example 7 ([20,50] for UK, [30,60] for US).
+        let db = running_example_database();
+        let rel = db.relation("Order").unwrap();
+        let phi = compress_relation(rel, &CompressionConfig::group_by("Country"));
+        let s = phi.to_string();
+        assert!(s.contains("x_Price_0"));
+        // Every database tuple satisfies Φ_D.
+        for t in rel.iter() {
+            let b = bindings_for(t, rel);
+            assert!(eval_condition(&phi, &b).unwrap(), "tuple {t} must satisfy Φ_D");
+        }
+        // A tuple far outside the ranges does not.
+        let outlier = Tuple::from_iter_values([
+            Value::int(99),
+            Value::str("Zoe"),
+            Value::str("UK"),
+            Value::int(500),
+            Value::int(50),
+        ]);
+        let b = bindings_for(&outlier, rel);
+        assert!(!eval_condition(&phi, &b).unwrap());
+    }
+
+    #[test]
+    fn single_group_compression_is_coarser_but_sound() {
+        let db = running_example_database();
+        let rel = db.relation("Order").unwrap();
+        let one_group = compress_relation(rel, &CompressionConfig::default());
+        let grouped = compress_relation(rel, &CompressionConfig::group_by("Country"));
+        for t in rel.iter() {
+            let b = bindings_for(t, rel);
+            assert!(eval_condition(&one_group, &b).unwrap());
+            assert!(eval_condition(&grouped, &b).unwrap());
+        }
+        // The grouped constraint is at least as tight: a UK order with price
+        // 60 satisfies the single-group ranges but not the UK group ranges.
+        let uk_expensive = Tuple::from_iter_values([
+            Value::int(12),
+            Value::str("Alex"),
+            Value::str("UK"),
+            Value::int(60),
+            Value::int(5),
+        ]);
+        let b = bindings_for(&uk_expensive, rel);
+        assert!(eval_condition(&one_group, &b).unwrap());
+        assert!(!eval_condition(&grouped, &b).unwrap());
+    }
+
+    #[test]
+    fn max_groups_merging_keeps_soundness() {
+        let db = running_example_database();
+        let rel = db.relation("Order").unwrap();
+        // Group by ID: 4 distinct keys merged into at most 2 groups.
+        let config = CompressionConfig::group_by("ID").with_max_groups(2);
+        let phi = compress_relation(rel, &config);
+        for t in rel.iter() {
+            let b = bindings_for(t, rel);
+            assert!(eval_condition(&phi, &b).unwrap());
+        }
+    }
+
+    #[test]
+    fn empty_relation_compresses_to_false() {
+        let db = running_example_database();
+        let schema = db.relation("Order").unwrap().schema.clone();
+        let empty = Relation::empty(schema);
+        assert!(compress_relation(&empty, &CompressionConfig::default()).is_false());
+    }
+
+    #[test]
+    fn compress_database_wrapper() {
+        let db = running_example_database();
+        assert!(compress_database(&db, "Order", &CompressionConfig::default()).is_some());
+        assert!(compress_database(&db, "Missing", &CompressionConfig::default()).is_none());
+    }
+
+    #[test]
+    fn too_many_categorical_values_are_omitted() {
+        let db = running_example_database();
+        let rel = db.relation("Order").unwrap();
+        let config = CompressionConfig {
+            group_by: None,
+            max_groups: 4,
+            max_categorical_values: 1,
+        };
+        // Customer has 4 distinct values > 1, Country has 2 > 1: both omitted,
+        // so the constraint only mentions integer attributes.
+        let phi = compress_relation(rel, &config);
+        assert!(!phi.vars().contains("x_Customer_0"));
+        assert!(!phi.vars().contains("x_Country_0"));
+        assert!(phi.vars().contains("x_Price_0"));
+    }
+}

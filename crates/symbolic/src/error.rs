@@ -1,0 +1,66 @@
+//! Errors for symbolic execution.
+
+use std::fmt;
+
+use mahif_expr::ExprError;
+
+/// Errors raised during symbolic execution of statements over VC-tables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SymbolicError {
+    /// Symbolic execution is restricted to tuple-independent statements
+    /// (updates, deletes, `INSERT ... VALUES`); `INSERT ... SELECT` is
+    /// handled by the insert-split optimization instead (Section 10).
+    UnsupportedStatement(String),
+    /// The statement targets a different relation than the VC-table.
+    RelationMismatch {
+        /// VC-table relation.
+        table: String,
+        /// Statement relation.
+        statement: String,
+    },
+    /// Expression-level error while instantiating a possible world.
+    Expr(ExprError),
+}
+
+impl fmt::Display for SymbolicError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SymbolicError::UnsupportedStatement(s) => {
+                write!(f, "statement `{s}` cannot be executed symbolically")
+            }
+            SymbolicError::RelationMismatch { table, statement } => write!(
+                f,
+                "statement over `{statement}` applied to VC-table for `{table}`"
+            ),
+            SymbolicError::Expr(e) => write!(f, "expression error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SymbolicError {}
+
+impl From<ExprError> for SymbolicError {
+    fn from(e: ExprError) -> Self {
+        SymbolicError::Expr(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert!(SymbolicError::UnsupportedStatement("INSERT".into())
+            .to_string()
+            .contains("symbolically"));
+        assert!(SymbolicError::RelationMismatch {
+            table: "R".into(),
+            statement: "S".into()
+        }
+        .to_string()
+        .contains("VC-table"));
+        let e: SymbolicError = ExprError::DivisionByZero.into();
+        assert!(e.to_string().contains("division"));
+    }
+}

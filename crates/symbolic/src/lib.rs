@@ -1,0 +1,26 @@
+//! # mahif-symbolic
+//!
+//! Symbolic execution of update statements over Virtual C-tables
+//! (Sections 8.1–8.3 of the paper).
+//!
+//! Program slicing needs to reason about the behaviour of a history on *all
+//! possible input tuples* at once. This crate provides:
+//!
+//! * [`VcTable`] / [`SymbolicTuple`] — a relation whose attribute values are
+//!   symbolic expressions over variables, each tuple guarded by a *local
+//!   condition*, the whole table guarded by a *global condition*
+//!   (Definition 5);
+//! * symbolic evaluation of updates, deletes and inserts with possible-world
+//!   semantics (Definition 6, Theorem 3), using fresh variables per update
+//!   step to avoid the exponential blow-up of naive case splitting;
+//! * [`compress`] — the lossy compression of a concrete database into
+//!   grouped range constraints `Φ_D` (Section 8.3.1), which over-approximate
+//!   the set of tuples in the database.
+
+pub mod compress;
+pub mod error;
+pub mod vctable;
+
+pub use compress::{compress_database, compress_relation, CompressionConfig};
+pub use error::SymbolicError;
+pub use vctable::{initial_var_name, step_var_name, SymbolicTuple, VcTable};

@@ -1,0 +1,497 @@
+//! Virtual C-tables and symbolic evaluation of statements (Definitions 5–6).
+
+use std::fmt;
+use std::sync::Arc;
+
+use mahif_expr::{
+    eval_condition, eval_expr, simplify, substitute_attrs, Bindings, Expr, SubstMap, Value,
+};
+use mahif_history::Statement;
+use mahif_storage::{Relation, SchemaRef, Tuple};
+
+use crate::error::SymbolicError;
+
+/// Name of the variable standing for attribute `attr` of the single input
+/// tuple of `D0` (Section 8.3): `x_<attr>_0`.
+pub fn initial_var_name(attr: &str) -> String {
+    format!("x_{attr}_0")
+}
+
+/// Name of the variable standing for attribute `attr` after the `step`-th
+/// statement of a history: `x_<attr>_<step>`. The paper writes `x_{A,i}`.
+pub fn step_var_name(attr: &str, step: usize) -> String {
+    format!("x_{attr}_{step}")
+}
+
+/// A tuple of a VC-table: symbolic values plus a local condition `φ(t)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymbolicTuple {
+    /// One symbolic expression per attribute.
+    pub values: Vec<Expr>,
+    /// The local condition governing the tuple's existence.
+    pub local_condition: Expr,
+}
+
+impl SymbolicTuple {
+    /// Creates a symbolic tuple.
+    pub fn new(values: Vec<Expr>, local_condition: Expr) -> Self {
+        SymbolicTuple {
+            values,
+            local_condition,
+        }
+    }
+
+    /// Substitution map from attribute names to this tuple's symbolic values
+    /// (`θ(t)` in the paper substitutes attribute references with the tuple's
+    /// symbolic values).
+    pub fn attr_substitution(&self, schema: &mahif_storage::Schema) -> SubstMap {
+        let mut map = SubstMap::new();
+        for (attr, value) in schema.attribute_names().into_iter().zip(&self.values) {
+            map.insert(attr, value.clone());
+        }
+        map
+    }
+}
+
+/// A VC-table: symbolic tuples, a schema and a global condition `Φ`
+/// constraining the variables (Definition 5 associates the global condition
+/// with the table for the single-relation presentation, as we do here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcTable {
+    /// The schema of the represented relation.
+    pub schema: SchemaRef,
+    /// The symbolic tuples.
+    pub tuples: Vec<SymbolicTuple>,
+    /// The global condition.
+    pub global_condition: Expr,
+    steps_applied: usize,
+    suffix: String,
+}
+
+impl VcTable {
+    /// Creates the single-tuple symbolic instance `D0` used by program
+    /// slicing: one tuple whose attribute values are fresh variables
+    /// `x_<attr>_0`, local condition `true`, global condition `true`.
+    pub fn single_tuple(schema: SchemaRef) -> VcTable {
+        Self::single_tuple_with_suffix(schema, "")
+    }
+
+    /// Like [`VcTable::single_tuple`] but appends `suffix` to every variable
+    /// generated *after* step 0. The slicing condition ζ compares the results
+    /// of four histories (H, H[M] and their slices) executed over the same
+    /// input variables; per Section 8.3.2 the intermediate variables of the
+    /// four executions must not clash, while the step-0 input variables must
+    /// be shared.
+    pub fn single_tuple_with_suffix(schema: SchemaRef, suffix: &str) -> VcTable {
+        let values = schema
+            .attribute_names()
+            .iter()
+            .map(|a| Expr::Var(initial_var_name(a)))
+            .collect();
+        VcTable {
+            schema,
+            tuples: vec![SymbolicTuple::new(values, Expr::true_())],
+            global_condition: Expr::true_(),
+            steps_applied: 0,
+            suffix: suffix.to_string(),
+        }
+    }
+
+    /// Adds a constraint to the global condition (e.g. the compressed
+    /// database constraint `Φ_D`).
+    pub fn constrain(&mut self, constraint: Expr) {
+        self.global_condition = simplify(&Expr::And(
+            Arc::new(self.global_condition.clone()),
+            Arc::new(constraint),
+        ));
+    }
+
+    /// Number of statements applied so far.
+    pub fn steps_applied(&self) -> usize {
+        self.steps_applied
+    }
+
+    /// The names of the initial (step 0) variables, in schema order.
+    pub fn initial_vars(&self) -> Vec<String> {
+        self.schema
+            .attribute_names()
+            .iter()
+            .map(|a| initial_var_name(a))
+            .collect()
+    }
+
+    /// Applies a statement symbolically (Definition 6).
+    ///
+    /// * Updates introduce a fresh variable per *modified* attribute and
+    ///   constrain it in the global condition with
+    ///   `x_{A,i} = if θ(t) then e(t) else t.A`; unmodified attributes reuse
+    ///   their previous expression (the variable-reuse optimization the paper
+    ///   describes at the end of Section 8.2).
+    /// * Deletes conjoin `¬θ(t)` to each local condition.
+    /// * `INSERT ... VALUES` adds the concrete tuple with local condition
+    ///   `true`.
+    /// * `INSERT ... SELECT` is rejected ([`SymbolicError::UnsupportedStatement`]).
+    pub fn apply_statement(&mut self, statement: &Statement) -> Result<(), SymbolicError> {
+        if statement.relation() != self.schema.relation {
+            return Err(SymbolicError::RelationMismatch {
+                table: self.schema.relation.clone(),
+                statement: statement.relation().to_string(),
+            });
+        }
+        let step = self.steps_applied + 1;
+        match statement {
+            Statement::Update { set, cond, .. } => {
+                let mut new_global = self.global_condition.clone();
+                let suffix = self.suffix.clone();
+                let fresh_var = |attr: &str| format!("{}{}", step_var_name(attr, step), suffix);
+                for tuple in &mut self.tuples {
+                    let subst = tuple.attr_substitution(&self.schema);
+                    let theta_t = substitute_attrs(cond, &subst);
+                    let mut new_values = Vec::with_capacity(tuple.values.len());
+                    for (attr, old_value) in self
+                        .schema
+                        .attribute_names()
+                        .into_iter()
+                        .zip(tuple.values.iter())
+                    {
+                        match set.expr_for(&attr) {
+                            Some(e) => {
+                                let e_t = substitute_attrs(e, &subst);
+                                let fresh = fresh_var(&attr);
+                                let definition = Expr::Cmp {
+                                    op: mahif_expr::CmpOp::Eq,
+                                    left: Arc::new(Expr::Var(fresh.clone())),
+                                    right: Arc::new(Expr::IfThenElse {
+                                        cond: Arc::new(theta_t.clone()),
+                                        then_branch: Arc::new(e_t),
+                                        else_branch: Arc::new(old_value.clone()),
+                                    }),
+                                };
+                                new_global = Expr::And(Arc::new(new_global), Arc::new(definition));
+                                new_values.push(Expr::Var(fresh));
+                            }
+                            None => new_values.push(old_value.clone()),
+                        }
+                    }
+                    tuple.values = new_values;
+                }
+                self.global_condition = simplify(&new_global);
+            }
+            Statement::Delete { cond, .. } => {
+                for tuple in &mut self.tuples {
+                    let subst = tuple.attr_substitution(&self.schema);
+                    let theta_t = substitute_attrs(cond, &subst);
+                    tuple.local_condition = simplify(&Expr::And(
+                        Arc::new(tuple.local_condition.clone()),
+                        Arc::new(Expr::Not(Arc::new(theta_t))),
+                    ));
+                }
+            }
+            Statement::InsertValues { tuple, .. } => {
+                let values = tuple
+                    .values
+                    .iter()
+                    .map(|v| Expr::Const(v.clone()))
+                    .collect();
+                self.tuples.push(SymbolicTuple::new(values, Expr::true_()));
+            }
+            Statement::InsertQuery { .. } => {
+                return Err(SymbolicError::UnsupportedStatement(statement.label()));
+            }
+        }
+        self.steps_applied = step;
+        Ok(())
+    }
+
+    /// Applies every statement of a history in order.
+    pub fn apply_history(&mut self, statements: &[Statement]) -> Result<(), SymbolicError> {
+        for s in statements {
+            self.apply_statement(s)?;
+        }
+        Ok(())
+    }
+
+    /// All symbolic variables mentioned anywhere in the table (values, local
+    /// conditions, global condition).
+    pub fn all_vars(&self) -> std::collections::BTreeSet<String> {
+        let mut out = self.global_condition.vars();
+        for t in &self.tuples {
+            out.extend(t.local_condition.vars());
+            for v in &t.values {
+                out.extend(v.vars());
+            }
+        }
+        out
+    }
+
+    /// Instantiates the possible world for a variable assignment `λ`
+    /// (Definition 5): tuples whose local condition holds are materialized by
+    /// evaluating their symbolic values. Returns `None` when the assignment
+    /// violates the global condition (the world is not part of `Mod(D)`).
+    pub fn instantiate(&self, assignment: &dyn Bindings) -> Result<Option<Relation>, SymbolicError> {
+        if !eval_condition(&self.global_condition, assignment)? {
+            return Ok(None);
+        }
+        let mut rel = Relation::empty(self.schema.clone());
+        for t in &self.tuples {
+            if eval_condition(&t.local_condition, assignment)? {
+                let mut values: Vec<Value> = Vec::with_capacity(t.values.len());
+                for e in &t.values {
+                    values.push(eval_expr(e, assignment)?);
+                }
+                rel.tuples.push(Tuple::new(values));
+            }
+        }
+        Ok(Some(rel))
+    }
+}
+
+impl fmt::Display for VcTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "VC-table {}", self.schema)?;
+        for t in &self.tuples {
+            write!(f, "  (")?;
+            for (i, v) in t.values.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ")  [{}]", t.local_condition)?;
+        }
+        writeln!(f, "Φ = {}", self.global_condition)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_expr::MapBindings;
+    use mahif_history::statement::{running_example_database, running_example_history};
+    use mahif_history::SetClause;
+    use mahif_storage::{Attribute, Schema};
+
+    fn order_vc() -> VcTable {
+        // The three attributes used by the running example's history
+        // (Example 5 of the paper).
+        let schema = Schema::shared(
+            "Order",
+            vec![
+                Attribute::str("Country"),
+                Attribute::int("Price"),
+                Attribute::int("ShippingFee"),
+            ],
+        );
+        VcTable::single_tuple(schema)
+    }
+
+    fn u1() -> Statement {
+        Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(0)),
+            ge(attr("Price"), lit(50)),
+        )
+    }
+
+    fn u2() -> Statement {
+        Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", add(attr("ShippingFee"), lit(5))),
+            and(eq(attr("Country"), slit("UK")), le(attr("Price"), lit(100))),
+        )
+    }
+
+    #[test]
+    fn single_tuple_instance_has_fresh_vars() {
+        let vc = order_vc();
+        assert_eq!(vc.tuples.len(), 1);
+        assert!(vc.global_condition.is_true());
+        assert_eq!(
+            vc.initial_vars(),
+            vec!["x_Country_0", "x_Price_0", "x_ShippingFee_0"]
+        );
+        assert_eq!(vc.tuples[0].values[0], var("x_Country_0"));
+        assert!(vc.tuples[0].local_condition.is_true());
+    }
+
+    #[test]
+    fn example_6_two_updates() {
+        // After u1 and u2 the single tuple's fee is a fresh variable
+        // constrained through two conditional definitions (Figure 10b).
+        let mut vc = order_vc();
+        vc.apply_history(&[u1(), u2()]).unwrap();
+        assert_eq!(vc.tuples.len(), 1);
+        // Country and Price still reference the original variables.
+        assert_eq!(vc.tuples[0].values[0], var("x_Country_0"));
+        assert_eq!(vc.tuples[0].values[1], var("x_Price_0"));
+        // ShippingFee is the step-2 variable.
+        assert_eq!(vc.tuples[0].values[2], var("x_ShippingFee_2"));
+        // Global condition mentions both intermediate variables.
+        let vars = vc.global_condition.vars();
+        assert!(vars.contains("x_ShippingFee_1"));
+        assert!(vars.contains("x_ShippingFee_2"));
+        assert_eq!(vc.steps_applied(), 2);
+    }
+
+    #[test]
+    fn possible_world_semantics_matches_concrete_execution() {
+        // Theorem 3: for any assignment of the input variables, the
+        // instantiated world after symbolic execution equals executing the
+        // statements on the corresponding concrete tuple. The intermediate
+        // variables are determined by the global condition, so we compute
+        // them by evaluating the definitions — instantiate() requires a full
+        // assignment; we build it step by step here.
+        let db = running_example_database();
+        let history = running_example_history();
+        let schema3 = order_vc().schema.clone();
+
+        for t in db.relation("Order").unwrap().iter() {
+            let country = t.value(2).unwrap().clone();
+            let price = t.value(3).unwrap().clone();
+            let fee = t.value(4).unwrap().clone();
+
+            // Concrete execution over the 3-attribute projection.
+            let mut concrete = Tuple::new(vec![country.clone(), price.clone(), fee.clone()]);
+            for s in &history {
+                // Project the statement onto the 3-attribute schema by
+                // reusing apply_to_tuple (conditions only mention these
+                // attributes).
+                concrete = s
+                    .apply_to_tuple(&schema3, &concrete)
+                    .unwrap()
+                    .expect("updates never delete");
+            }
+
+            // Symbolic execution + instantiation.
+            let mut vc = order_vc();
+            vc.apply_history(&history).unwrap();
+            let mut assignment = MapBindings::new()
+                .with_var("x_Country_0", country.clone())
+                .with_var("x_Price_0", price.clone())
+                .with_var("x_ShippingFee_0", fee.clone());
+            // Solve the chain of definitions x_F_i = ... by forward
+            // evaluation: fee after u1, then after u2, then after u3.
+            let mut current_fee = fee.clone();
+            for (i, s) in history.iter().enumerate() {
+                let bind = MapBindings::new()
+                    .with_attr("Country", country.clone())
+                    .with_attr("Price", price.clone())
+                    .with_attr("ShippingFee", current_fee.clone());
+                if let Statement::Update { set, cond, .. } = s {
+                    let fires = mahif_expr::eval_condition(cond, &bind).unwrap();
+                    if fires {
+                        current_fee =
+                            mahif_expr::eval_expr(set.expr_for("ShippingFee").unwrap(), &bind)
+                                .unwrap();
+                    }
+                }
+                assignment.set_var(step_var_name("ShippingFee", i + 1), current_fee.clone());
+            }
+            let world = vc.instantiate(&assignment).unwrap().unwrap();
+            assert_eq!(world.len(), 1);
+            assert_eq!(world.tuples[0], concrete, "mismatch for input {t}");
+        }
+    }
+
+    #[test]
+    fn instantiate_rejects_worlds_violating_global_condition() {
+        let mut vc = order_vc();
+        vc.constrain(ge(var("x_Price_0"), lit(100)));
+        let assignment = MapBindings::new()
+            .with_var("x_Country_0", "UK")
+            .with_var("x_Price_0", 20)
+            .with_var("x_ShippingFee_0", 5);
+        assert!(vc.instantiate(&assignment).unwrap().is_none());
+        let ok = MapBindings::new()
+            .with_var("x_Country_0", "UK")
+            .with_var("x_Price_0", 120)
+            .with_var("x_ShippingFee_0", 5);
+        assert_eq!(vc.instantiate(&ok).unwrap().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn delete_updates_local_condition() {
+        let mut vc = order_vc();
+        vc.apply_statement(&Statement::delete("Order", ge(attr("Price"), lit(50))))
+            .unwrap();
+        // The tuple survives only when its price is below 50.
+        let cheap = MapBindings::new()
+            .with_var("x_Country_0", "UK")
+            .with_var("x_Price_0", 20)
+            .with_var("x_ShippingFee_0", 5);
+        assert_eq!(vc.instantiate(&cheap).unwrap().unwrap().len(), 1);
+        let expensive = MapBindings::new()
+            .with_var("x_Country_0", "UK")
+            .with_var("x_Price_0", 80)
+            .with_var("x_ShippingFee_0", 5);
+        assert_eq!(vc.instantiate(&expensive).unwrap().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn insert_values_adds_constant_tuple() {
+        let mut vc = order_vc();
+        vc.apply_statement(&Statement::insert_values(
+            "Order",
+            Tuple::new(vec![Value::str("US"), Value::int(10), Value::int(1)]),
+        ))
+        .unwrap();
+        assert_eq!(vc.tuples.len(), 2);
+        assert!(vc.tuples[1].local_condition.is_true());
+        let anyworld = MapBindings::new()
+            .with_var("x_Country_0", "UK")
+            .with_var("x_Price_0", 20)
+            .with_var("x_ShippingFee_0", 5);
+        let world = vc.instantiate(&anyworld).unwrap().unwrap();
+        assert_eq!(world.len(), 2);
+    }
+
+    #[test]
+    fn insert_query_is_rejected() {
+        let mut vc = order_vc();
+        let iq = Statement::insert_query("Order", mahif_query::Query::scan("Order"));
+        assert!(matches!(
+            vc.apply_statement(&iq),
+            Err(SymbolicError::UnsupportedStatement(_))
+        ));
+    }
+
+    #[test]
+    fn relation_mismatch_is_rejected() {
+        let mut vc = order_vc();
+        let other = Statement::update(
+            "Customer",
+            SetClause::single("Credit", lit(1)),
+            Expr::true_(),
+        );
+        assert!(matches!(
+            vc.apply_statement(&other),
+            Err(SymbolicError::RelationMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn suffix_keeps_intermediate_variables_distinct() {
+        let mut a = VcTable::single_tuple_with_suffix(order_vc().schema.clone(), "_h");
+        let mut b = VcTable::single_tuple_with_suffix(order_vc().schema.clone(), "_m");
+        a.apply_statement(&u1()).unwrap();
+        b.apply_statement(&u1()).unwrap();
+        // Same input variables...
+        assert_eq!(a.initial_vars(), b.initial_vars());
+        // ...but distinct intermediate variables.
+        let a_vars = a.all_vars();
+        let b_vars = b.all_vars();
+        assert!(a_vars.contains("x_ShippingFee_1_h"));
+        assert!(b_vars.contains("x_ShippingFee_1_m"));
+        assert!(!a_vars.contains("x_ShippingFee_1_m"));
+    }
+
+    #[test]
+    fn display_shows_tuples_and_condition() {
+        let mut vc = order_vc();
+        vc.apply_statement(&u1()).unwrap();
+        let s = vc.to_string();
+        assert!(s.contains("VC-table"));
+        assert!(s.contains("Φ ="));
+    }
+}

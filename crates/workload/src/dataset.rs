@@ -1,0 +1,261 @@
+//! Synthetic stand-ins for the paper's evaluation datasets.
+
+use mahif_expr::Value;
+use mahif_storage::{Attribute, Database, Relation, Schema, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which of the paper's datasets a generated database imitates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DatasetKind {
+    /// Chicago taxi trips (Section 13.1), scaled down.
+    Taxi,
+    /// TPC-C `stock` relation.
+    TpccStock,
+    /// YCSB `usertable`.
+    Ycsb,
+}
+
+impl DatasetKind {
+    /// The relation name used for this dataset.
+    pub fn relation(&self) -> &'static str {
+        match self {
+            DatasetKind::Taxi => "taxi_trips",
+            DatasetKind::TpccStock => "stock",
+            DatasetKind::Ycsb => "usertable",
+        }
+    }
+
+    /// The primary key attribute used by workload generators to select
+    /// tuples.
+    pub fn key_attribute(&self) -> &'static str {
+        match self {
+            DatasetKind::Taxi => "trip_id",
+            DatasetKind::TpccStock => "s_i_id",
+            DatasetKind::Ycsb => "ycsb_key",
+        }
+    }
+
+    /// Numeric attributes that updates modify (monetary values are integer
+    /// cents).
+    pub fn value_attributes(&self) -> &'static [&'static str] {
+        match self {
+            DatasetKind::Taxi => &["fare", "tips", "tolls", "extras", "trip_total"],
+            DatasetKind::TpccStock => &["s_quantity", "s_ytd", "s_order_cnt", "s_remote_cnt"],
+            DatasetKind::Ycsb => &["field0", "field1", "field2", "field3", "field4"],
+        }
+    }
+}
+
+/// A generated dataset: the database plus the metadata the workload
+/// generator needs.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Which paper dataset this imitates.
+    pub kind: DatasetKind,
+    /// The generated database (a single relation).
+    pub database: Database,
+    /// Number of rows.
+    pub rows: usize,
+}
+
+impl Dataset {
+    /// Generates a dataset of the given kind.
+    pub fn generate(kind: DatasetKind, rows: usize, seed: u64) -> Dataset {
+        let database = match kind {
+            DatasetKind::Taxi => taxi_trips(rows, seed),
+            DatasetKind::TpccStock => tpcc_stock(rows, seed),
+            DatasetKind::Ycsb => ycsb_usertable(rows, seed),
+        };
+        Dataset {
+            kind,
+            database,
+            rows,
+        }
+    }
+
+    /// The dataset's single relation.
+    pub fn relation(&self) -> &Relation {
+        self.database
+            .relation(self.kind.relation())
+            .expect("generated database always contains its relation")
+    }
+}
+
+/// Generates a scaled-down taxi-trips relation with the attributes the
+/// paper's histories touch (company, durations, distances and the monetary
+/// columns as integer cents).
+pub fn taxi_trips(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::shared(
+        "taxi_trips",
+        vec![
+            Attribute::int("trip_id"),
+            Attribute::str("company"),
+            Attribute::int("trip_seconds"),
+            Attribute::int("trip_miles_x100"),
+            Attribute::int("pickup_area"),
+            Attribute::int("fare"),
+            Attribute::int("tips"),
+            Attribute::int("tolls"),
+            Attribute::int("extras"),
+            Attribute::int("trip_total"),
+        ],
+    );
+    let companies = [
+        "Flash Cab",
+        "Taxi Affiliation Services",
+        "Yellow Cab",
+        "Blue Diamond",
+        "Chicago Carriage",
+        "Sun Taxi",
+        "City Service",
+        "Medallion Leasing",
+    ];
+    let mut relation = Relation::empty(schema);
+    for trip_id in 0..rows {
+        let company = companies[rng.gen_range(0..companies.len())];
+        let trip_seconds: i64 = rng.gen_range(60..7200);
+        let trip_miles_x100: i64 = rng.gen_range(10..3000);
+        let pickup_area: i64 = rng.gen_range(1..=77);
+        let fare: i64 = 325 + trip_seconds / 36 + trip_miles_x100;
+        let tips: i64 = if rng.gen_bool(0.4) { fare / 5 } else { 0 };
+        let tolls: i64 = if rng.gen_bool(0.05) { 500 } else { 0 };
+        let extras: i64 = if rng.gen_bool(0.2) {
+            rng.gen_range(100..1000)
+        } else {
+            0
+        };
+        let trip_total = fare + tips + tolls + extras;
+        relation
+            .insert(Tuple::new(vec![
+                Value::Int(trip_id as i64),
+                Value::str(company),
+                Value::Int(trip_seconds),
+                Value::Int(trip_miles_x100),
+                Value::Int(pickup_area),
+                Value::Int(fare),
+                Value::Int(tips),
+                Value::Int(tolls),
+                Value::Int(extras),
+                Value::Int(trip_total),
+            ]))
+            .expect("arity matches schema");
+    }
+    let mut db = Database::new();
+    db.add_relation(relation).expect("fresh database");
+    db
+}
+
+/// Generates a TPC-C-like `stock` relation.
+pub fn tpcc_stock(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let schema = Schema::shared(
+        "stock",
+        vec![
+            Attribute::int("s_i_id"),
+            Attribute::int("s_w_id"),
+            Attribute::int("s_quantity"),
+            Attribute::int("s_ytd"),
+            Attribute::int("s_order_cnt"),
+            Attribute::int("s_remote_cnt"),
+        ],
+    );
+    let mut relation = Relation::empty(schema);
+    for i in 0..rows {
+        relation
+            .insert(Tuple::new(vec![
+                Value::Int(i as i64),
+                Value::Int((i % 100) as i64 + 1),
+                Value::Int(rng.gen_range(10..101)),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+            ]))
+            .expect("arity matches schema");
+    }
+    let mut db = Database::new();
+    db.add_relation(relation).expect("fresh database");
+    db
+}
+
+/// Generates a YCSB-like `usertable` with ten integer fields.
+pub fn ycsb_usertable(rows: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut attributes = vec![Attribute::int("ycsb_key")];
+    for f in 0..10 {
+        attributes.push(Attribute::int(format!("field{f}")));
+    }
+    let schema = Schema::shared("usertable", attributes);
+    let mut relation = Relation::empty(schema);
+    for key in 0..rows {
+        let mut values = vec![Value::Int(key as i64)];
+        for _ in 0..10 {
+            values.push(Value::Int(rng.gen_range(0..10_000)));
+        }
+        relation
+            .insert(Tuple::new(values))
+            .expect("arity matches schema");
+    }
+    let mut db = Database::new();
+    db.add_relation(relation).expect("fresh database");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxi_dataset_shape() {
+        let db = taxi_trips(100, 1);
+        let rel = db.relation("taxi_trips").unwrap();
+        assert_eq!(rel.len(), 100);
+        assert_eq!(rel.schema.arity(), 10);
+        // trip_total = fare + tips + tolls + extras for every row.
+        for t in rel.iter() {
+            let fare = t.value(5).unwrap().as_int().unwrap();
+            let tips = t.value(6).unwrap().as_int().unwrap();
+            let tolls = t.value(7).unwrap().as_int().unwrap();
+            let extras = t.value(8).unwrap().as_int().unwrap();
+            let total = t.value(9).unwrap().as_int().unwrap();
+            assert_eq!(total, fare + tips + tolls + extras);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let a = taxi_trips(50, 7);
+        let b = taxi_trips(50, 7);
+        let c = taxi_trips(50, 8);
+        assert!(a.set_eq(&b));
+        assert!(!a.set_eq(&c));
+    }
+
+    #[test]
+    fn tpcc_and_ycsb_shapes() {
+        let stock = tpcc_stock(64, 3);
+        assert_eq!(stock.relation("stock").unwrap().len(), 64);
+        assert_eq!(stock.relation("stock").unwrap().schema.arity(), 6);
+        let ycsb = ycsb_usertable(32, 3);
+        assert_eq!(ycsb.relation("usertable").unwrap().len(), 32);
+        assert_eq!(ycsb.relation("usertable").unwrap().schema.arity(), 11);
+    }
+
+    #[test]
+    fn dataset_wrapper() {
+        for kind in [DatasetKind::Taxi, DatasetKind::TpccStock, DatasetKind::Ycsb] {
+            let ds = Dataset::generate(kind, 20, 1);
+            assert_eq!(ds.rows, 20);
+            assert_eq!(ds.relation().len(), 20);
+            assert!(ds
+                .relation()
+                .schema
+                .index_of(kind.key_attribute())
+                .is_some());
+            for attr in kind.value_attributes() {
+                assert!(ds.relation().schema.index_of(attr).is_some(), "{attr}");
+            }
+        }
+    }
+}

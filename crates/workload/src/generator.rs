@@ -1,0 +1,440 @@
+//! Parameterized history / what-if workload generation (Section 13.2).
+
+use mahif_expr::builder::{and, attr, ge, lit, lt};
+use mahif_expr::{Expr, Value};
+use mahif_history::{History, Modification, ModificationSet, SetClause, Statement};
+use mahif_storage::Tuple;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::{Dataset, DatasetKind};
+
+/// The workload knobs of Section 13.2.
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// `U`: number of statements in the history.
+    pub updates: usize,
+    /// `M`: number of modifications in the what-if query.
+    pub modifications: usize,
+    /// `D`: percentage of updates dependent on the modified statement(s).
+    pub dependent_pct: u32,
+    /// `T`: percentage of tuples affected by each dependent update
+    /// (0 means "less than 1%", matching the paper's `T0`).
+    pub affected_pct: u32,
+    /// `I`: percentage of statements that are inserts.
+    pub insert_pct: u32,
+    /// `X`: percentage of statements that are deletes.
+    pub delete_pct: u32,
+    /// RNG seed (workloads are deterministic per seed).
+    pub seed: u64,
+}
+
+impl Default for WorkloadSpec {
+    /// The paper's defaults: single modification of the first update, 10%
+    /// dependent updates, 10% affected tuples, no inserts or deletes.
+    fn default() -> Self {
+        WorkloadSpec {
+            updates: 100,
+            modifications: 1,
+            dependent_pct: 10,
+            affected_pct: 10,
+            insert_pct: 0,
+            delete_pct: 0,
+            seed: 42,
+        }
+    }
+}
+
+impl WorkloadSpec {
+    /// Sets the number of updates.
+    pub fn with_updates(mut self, updates: usize) -> Self {
+        self.updates = updates;
+        self
+    }
+
+    /// Sets the number of modifications.
+    pub fn with_modifications(mut self, modifications: usize) -> Self {
+        self.modifications = modifications;
+        self
+    }
+
+    /// Sets the percentage of dependent updates.
+    pub fn with_dependent_pct(mut self, pct: u32) -> Self {
+        self.dependent_pct = pct;
+        self
+    }
+
+    /// Sets the percentage of affected tuples.
+    pub fn with_affected_pct(mut self, pct: u32) -> Self {
+        self.affected_pct = pct;
+        self
+    }
+
+    /// Sets the percentage of inserts.
+    pub fn with_insert_pct(mut self, pct: u32) -> Self {
+        self.insert_pct = pct;
+        self
+    }
+
+    /// Sets the percentage of deletes.
+    pub fn with_delete_pct(mut self, pct: u32) -> Self {
+        self.delete_pct = pct;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the history and modification set for `dataset`.
+    pub fn generate(&self, dataset: &Dataset) -> GeneratedWorkload {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let kind = dataset.kind;
+        let relation = kind.relation();
+        let key = kind.key_attribute();
+        let value_attrs = kind.value_attributes();
+        let rows = dataset.rows as i64;
+
+        // Number of tuples each dependent (and the modified) update touches.
+        let affected = if self.affected_pct == 0 {
+            (rows / 200).max(1)
+        } else {
+            (rows * self.affected_pct as i64 / 100).max(1)
+        };
+        // Region A: tuples touched by the modified statements and the
+        // dependent updates; Region B: a disjoint region of the same size
+        // touched by independent updates.
+        let region_a = (0, affected);
+        let region_b = (affected, (affected * 2).min(rows));
+
+        let total = self.updates.max(1);
+        let insert_count = total * self.insert_pct as usize / 100;
+        let delete_count = total * self.delete_pct as usize / 100;
+        let update_count = total - insert_count - delete_count;
+        let dependent_count = (update_count * self.dependent_pct as usize / 100)
+            .max(self.modifications)
+            .min(update_count);
+
+        // Interleave statement kinds deterministically: updates first at
+        // position 0 (the statement the what-if query modifies), then a
+        // round-robin of the remaining kinds.
+        let mut kinds: Vec<StatementKind> = Vec::with_capacity(total);
+        kinds.push(StatementKind::DependentUpdate);
+        let mut remaining_dependent = dependent_count.saturating_sub(1);
+        let mut remaining_independent = update_count.saturating_sub(1) - remaining_dependent;
+        let mut remaining_inserts = insert_count;
+        let mut remaining_deletes = delete_count;
+        let mut i = 1usize;
+        while kinds.len() < total {
+            // Spread dependent updates evenly over the history.
+            let slot = i % 10;
+            let kind = if remaining_dependent > 0
+                && (slot % (10 / (self.dependent_pct.clamp(10, 100) / 10).max(1) as usize) == 0)
+            {
+                remaining_dependent -= 1;
+                StatementKind::DependentUpdate
+            } else if remaining_inserts > 0 && slot == 3 {
+                remaining_inserts -= 1;
+                StatementKind::Insert
+            } else if remaining_deletes > 0 && slot == 7 {
+                remaining_deletes -= 1;
+                StatementKind::Delete
+            } else if remaining_independent > 0 {
+                remaining_independent -= 1;
+                StatementKind::IndependentUpdate
+            } else if remaining_dependent > 0 {
+                remaining_dependent -= 1;
+                StatementKind::DependentUpdate
+            } else if remaining_inserts > 0 {
+                remaining_inserts -= 1;
+                StatementKind::Insert
+            } else {
+                remaining_deletes = remaining_deletes.saturating_sub(1);
+                StatementKind::Delete
+            };
+            kinds.push(kind);
+            i += 1;
+        }
+
+        let mut statements = Vec::with_capacity(total);
+        let mut dependent_positions = Vec::new();
+        let mut next_insert_key = rows;
+        for (pos, stmt_kind) in kinds.iter().enumerate() {
+            match stmt_kind {
+                StatementKind::DependentUpdate => {
+                    dependent_positions.push(pos);
+                    statements.push(range_update(
+                        relation,
+                        key,
+                        value_attrs[pos % value_attrs.len()],
+                        region_a,
+                        1 + (pos % 7) as i64,
+                    ));
+                }
+                StatementKind::IndependentUpdate => {
+                    statements.push(range_update(
+                        relation,
+                        key,
+                        value_attrs[pos % value_attrs.len()],
+                        region_b,
+                        1 + (pos % 5) as i64,
+                    ));
+                }
+                StatementKind::Insert => {
+                    let tuple = fresh_tuple(kind, next_insert_key, &mut rng);
+                    next_insert_key += 1;
+                    statements.push(Statement::insert_values(relation, tuple));
+                }
+                StatementKind::Delete => {
+                    // Delete a sliver at the top of the key space, disjoint
+                    // from both update regions.
+                    let hi = rows - 1 - (pos as i64 % 10);
+                    statements.push(Statement::delete(
+                        relation,
+                        and(ge(attr(key), lit(hi)), lt(attr(key), lit(hi + 1))),
+                    ));
+                }
+            }
+        }
+
+        // Modifications: replace the first `modifications` dependent updates
+        // with variants using a different adjustment amount, so that exactly
+        // the region-A tuples differ between the histories.
+        let mut modifications = Vec::new();
+        for (j, &pos) in dependent_positions
+            .iter()
+            .take(self.modifications)
+            .enumerate()
+        {
+            if let Statement::Update {
+                relation: rel,
+                set,
+                cond,
+            } = &statements[pos]
+            {
+                let (attr_name, expr) = &set.assignments[0];
+                let new_expr = Expr::Arith {
+                    op: mahif_expr::ArithOp::Add,
+                    left: std::sync::Arc::new(expr.clone()),
+                    right: std::sync::Arc::new(Expr::Const(Value::Int(5 + j as i64))),
+                };
+                modifications.push(Modification::replace(
+                    pos,
+                    Statement::update(
+                        rel.clone(),
+                        SetClause::single(attr_name.clone(), new_expr),
+                        cond.clone(),
+                    ),
+                ));
+            }
+        }
+
+        GeneratedWorkload {
+            history: History::new(statements),
+            modifications: ModificationSet::new(modifications),
+            dependent_positions,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum StatementKind {
+    DependentUpdate,
+    IndependentUpdate,
+    Insert,
+    Delete,
+}
+
+/// `UPDATE relation SET value_attr = value_attr + delta WHERE lo <= key < hi`.
+fn range_update(
+    relation: &str,
+    key: &str,
+    value_attr: &str,
+    (lo, hi): (i64, i64),
+    delta: i64,
+) -> Statement {
+    Statement::update(
+        relation,
+        SetClause::single(
+            value_attr,
+            Expr::Arith {
+                op: mahif_expr::ArithOp::Add,
+                left: std::sync::Arc::new(Expr::Attr(value_attr.to_string())),
+                right: std::sync::Arc::new(Expr::Const(Value::Int(delta))),
+            },
+        ),
+        and(ge(attr(key), lit(lo)), lt(attr(key), lit(hi))),
+    )
+}
+
+/// Builds a fresh tuple with the given key for insert statements.
+fn fresh_tuple(kind: DatasetKind, key: i64, rng: &mut StdRng) -> Tuple {
+    match kind {
+        DatasetKind::Taxi => {
+            let fare: i64 = rng.gen_range(400..5000);
+            Tuple::new(vec![
+                Value::Int(key),
+                Value::str("Flash Cab"),
+                Value::Int(rng.gen_range(60..7200)),
+                Value::Int(rng.gen_range(10..3000)),
+                Value::Int(rng.gen_range(1..=77)),
+                Value::Int(fare),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(fare),
+            ])
+        }
+        DatasetKind::TpccStock => Tuple::new(vec![
+            Value::Int(key),
+            Value::Int(1),
+            Value::Int(rng.gen_range(10..101)),
+            Value::Int(0),
+            Value::Int(0),
+            Value::Int(0),
+        ]),
+        DatasetKind::Ycsb => {
+            let mut values = vec![Value::Int(key)];
+            for _ in 0..10 {
+                values.push(Value::Int(rng.gen_range(0..10_000)));
+            }
+            Tuple::new(values)
+        }
+    }
+}
+
+/// The generated workload for one experiment configuration.
+#[derive(Debug, Clone)]
+pub struct GeneratedWorkload {
+    /// The transactional history.
+    pub history: History,
+    /// The what-if query's modifications.
+    pub modifications: ModificationSet,
+    /// Positions of the updates generated as dependent on the modification
+    /// (used by tests and reports).
+    pub dependent_positions: Vec<usize>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::Dataset;
+
+    fn taxi(rows: usize) -> Dataset {
+        Dataset::generate(DatasetKind::Taxi, rows, 1)
+    }
+
+    #[test]
+    fn default_spec_shape() {
+        let ds = taxi(200);
+        let w = WorkloadSpec::default().with_updates(20).generate(&ds);
+        assert_eq!(w.history.len(), 20);
+        assert_eq!(w.modifications.len(), 1);
+        assert!(w.dependent_positions.contains(&0));
+        // ~10% dependent (at least the modified one).
+        assert!(w.dependent_positions.len() >= 2);
+        assert!(w.history.is_tuple_independent());
+    }
+
+    #[test]
+    fn history_executes_and_modification_changes_result() {
+        let ds = taxi(100);
+        let w = WorkloadSpec::default()
+            .with_updates(10)
+            .with_affected_pct(20)
+            .generate(&ds);
+        let before = ds.database.clone();
+        let after = w.history.execute(&before).unwrap();
+        assert_eq!(after.relation("taxi_trips").unwrap().len(), 100);
+        let modified = w.modifications.apply(&w.history).unwrap();
+        let after_mod = modified.execute(&before).unwrap();
+        // The modification changes at least one tuple.
+        assert!(!after.set_eq(&after_mod));
+        // Roughly 20% of tuples differ (region A).
+        let delta = mahif_history::DatabaseDelta::compute(&after, &after_mod);
+        assert!(delta.len() >= 20 * 2 * 8 / 10); // +/- annotated pairs, some slack
+        assert!(delta.len() <= 2 * 25);
+    }
+
+    #[test]
+    fn insert_and_delete_percentages() {
+        let ds = taxi(100);
+        let w = WorkloadSpec::default()
+            .with_updates(40)
+            .with_insert_pct(10)
+            .with_delete_pct(10)
+            .generate(&ds);
+        let inserts = w
+            .history
+            .statements()
+            .iter()
+            .filter(|s| matches!(s, Statement::InsertValues { .. }))
+            .count();
+        let deletes = w
+            .history
+            .statements()
+            .iter()
+            .filter(|s| matches!(s, Statement::Delete { .. }))
+            .count();
+        assert_eq!(inserts, 4);
+        assert_eq!(deletes, 4);
+        assert_eq!(w.history.len(), 40);
+        // Still executable.
+        assert!(w.history.execute(&ds.database).is_ok());
+    }
+
+    #[test]
+    fn multiple_modifications() {
+        let ds = taxi(100);
+        let w = WorkloadSpec::default()
+            .with_updates(30)
+            .with_modifications(5)
+            .with_dependent_pct(30)
+            .generate(&ds);
+        assert_eq!(w.modifications.len(), 5);
+        // All modification targets are dependent positions.
+        for m in w.modifications.modifications() {
+            assert!(w.dependent_positions.contains(&m.position()));
+        }
+    }
+
+    #[test]
+    fn determinism() {
+        let ds = taxi(50);
+        let a = WorkloadSpec::default().with_updates(12).generate(&ds);
+        let b = WorkloadSpec::default().with_updates(12).generate(&ds);
+        assert_eq!(a.history, b.history);
+        assert_eq!(a.modifications, b.modifications);
+    }
+
+    #[test]
+    fn works_for_all_dataset_kinds() {
+        for kind in [DatasetKind::Taxi, DatasetKind::TpccStock, DatasetKind::Ycsb] {
+            let ds = Dataset::generate(kind, 80, 3);
+            let w = WorkloadSpec::default()
+                .with_updates(15)
+                .with_insert_pct(10)
+                .generate(&ds);
+            assert_eq!(w.history.len(), 15);
+            assert!(w.history.execute(&ds.database).is_ok());
+        }
+    }
+
+    #[test]
+    fn t0_touches_less_than_one_percent() {
+        let ds = taxi(1000);
+        let w = WorkloadSpec::default()
+            .with_updates(10)
+            .with_affected_pct(0)
+            .generate(&ds);
+        let after = w.history.execute(&ds.database).unwrap();
+        let modified = w.modifications.apply(&w.history).unwrap();
+        let after_mod = modified.execute(&ds.database).unwrap();
+        let delta = mahif_history::DatabaseDelta::compute(&after, &after_mod);
+        // < 1% of 1000 rows → at most 5 rows → at most 10 annotated tuples.
+        assert!(delta.len() <= 10);
+        assert!(delta.len() >= 2);
+    }
+}

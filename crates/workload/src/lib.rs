@@ -1,0 +1,29 @@
+//! # mahif-workload
+//!
+//! Synthetic datasets and transactional workloads reproducing the
+//! experimental setup of Section 13 of the paper.
+//!
+//! The paper evaluates on a Chicago taxi-trips extract (5M / 50M rows), the
+//! TPC-C `stock` relation and the YCSB `usertable`, with histories generated
+//! by Benchbase and post-processed to control:
+//!
+//! * `U` — number of updates in the history,
+//! * `M` — number of modifications in the what-if query,
+//! * `D` — percentage of updates *dependent* on the modified statement(s),
+//! * `T` — percentage of tuples affected by each dependent update,
+//! * `I` / `X` — percentage of insert / delete statements.
+//!
+//! None of those datasets are redistributable here, so [`dataset`] generates
+//! relations with the same schema shape and value distributions at
+//! configurable (laptop-scale) sizes, and [`generator`] produces histories
+//! and modification sets parameterized by exactly the knobs above. Updates
+//! select tuples by key ranges; dependent updates overlap the key range
+//! touched by the modified statement, independent updates touch a disjoint
+//! range of the same size, which reproduces the selectivity structure the
+//! paper's experiments rely on.
+
+pub mod dataset;
+pub mod generator;
+
+pub use dataset::{taxi_trips, tpcc_stock, ycsb_usertable, Dataset, DatasetKind};
+pub use generator::{GeneratedWorkload, WorkloadSpec};

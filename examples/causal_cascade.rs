@@ -1,0 +1,80 @@
+//! Causal augmentation of a what-if query: "what if customer Ada had never
+//! signed up?" — her orders and their line items could then never have been
+//! inserted either, so the dependency policy removes those inserts from the
+//! hypothetical history before the what-if query is answered.
+//!
+//! ```text
+//! cargo run --example causal_cascade
+//! ```
+
+use mahif::{Mahif, Method};
+use mahif_causal::{augment, CascadeRule, DependencyPolicy};
+use mahif_expr::builder::*;
+use mahif_expr::Value;
+use mahif_history::{History, Modification, ModificationSet, SetClause, Statement};
+use mahif_storage::{Attribute, Database, Schema, Tuple};
+
+fn database() -> Database {
+    let mut db = Database::new();
+    db.create_relation(Schema::shared(
+        "Customer",
+        vec![Attribute::int("CID"), Attribute::str("Name")],
+    ))
+    .unwrap();
+    db.create_relation(Schema::shared(
+        "Order",
+        vec![
+            Attribute::int("OID"),
+            Attribute::int("CustomerID"),
+            Attribute::int("Total"),
+        ],
+    ))
+    .unwrap();
+    db
+}
+
+fn history() -> History {
+    History::new(vec![
+        Statement::insert_values("Customer", Tuple::new(vec![Value::int(1), Value::str("Ada")])),
+        Statement::insert_values("Customer", Tuple::new(vec![Value::int(2), Value::str("Bob")])),
+        Statement::insert_values(
+            "Order",
+            Tuple::new(vec![Value::int(10), Value::int(1), Value::int(100)]),
+        ),
+        Statement::insert_values(
+            "Order",
+            Tuple::new(vec![Value::int(11), Value::int(2), Value::int(70)]),
+        ),
+        Statement::update(
+            "Order",
+            SetClause::single("Total", add(attr("Total"), lit(5))),
+            ge(attr("Total"), lit(80)),
+        ),
+    ])
+}
+
+fn main() {
+    let db = database();
+    let history = history();
+    let mahif = Mahif::new(db.clone(), history.clone()).expect("history executes");
+
+    // The analyst only states the direct hypothetical change ...
+    let user_modifications = ModificationSet::new(vec![Modification::delete(0)]);
+
+    // ... and the dependency policy derives what else could not have happened.
+    let policy = DependencyPolicy::default()
+        .with_rule(CascadeRule::new("Customer", "CID", "Order", "CustomerID"));
+    let (augmented, plan) =
+        augment(&history, &user_modifications, &db, &policy).expect("cascade analysis");
+    println!("{plan}");
+
+    let without = mahif
+        .what_if(&user_modifications, Method::ReenactPsDs)
+        .expect("what-if succeeds");
+    let with = mahif
+        .what_if(&augmented, Method::ReenactPsDs)
+        .expect("what-if succeeds");
+
+    println!("Delta without causal augmentation:\n{}", without.delta);
+    println!("Delta with causal augmentation:\n{}", with.delta);
+}

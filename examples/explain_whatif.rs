@@ -1,0 +1,33 @@
+//! Explaining a what-if answer: for every tuple of the delta, which input
+//! tuple does it derive from, which statements touched it under the actual
+//! and the hypothetical history, and where do the two runs diverge?
+//!
+//! ```text
+//! cargo run --example explain_whatif
+//! ```
+
+use mahif::{Mahif, Method};
+use mahif_history::statement::{
+    running_example_database, running_example_history, running_example_u1_prime,
+};
+use mahif_history::{History, ModificationSet};
+use mahif_provenance::explain_answer;
+
+fn main() {
+    let db = running_example_database();
+    let history = History::new(running_example_history());
+    let mahif = Mahif::new(db.clone(), history.clone()).expect("history executes");
+
+    let modifications = ModificationSet::single_replace(0, running_example_u1_prime());
+    let answer = mahif
+        .what_if(&modifications, Method::ReenactPsDs)
+        .expect("what-if succeeds");
+
+    println!("What-if answer:\n{}", answer.delta);
+    println!("Explanations:");
+    let explanations =
+        explain_answer(&history, &modifications, &db, &answer.delta).expect("lineage traces");
+    for e in &explanations {
+        print!("{e}");
+    }
+}

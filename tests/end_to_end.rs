@@ -1,0 +1,192 @@
+//! Cross-crate integration tests: the full pipeline (workload generation →
+//! Mahif middleware → all execution methods) must produce exactly the answer
+//! obtained by directly executing both histories, on a variety of workload
+//! shapes mirroring the paper's experiments.
+
+use mahif::{EngineConfig, Mahif, Method};
+use mahif_history::HistoricalWhatIf;
+use mahif_workload::{Dataset, DatasetKind, WorkloadSpec};
+
+/// Runs every method on the given workload and asserts they all equal the
+/// reference answer computed by direct execution.
+fn assert_all_methods_agree(dataset: &Dataset, spec: &WorkloadSpec) {
+    let workload = spec.generate(dataset);
+    let reference = HistoricalWhatIf::new(
+        workload.history.clone(),
+        dataset.database.clone(),
+        workload.modifications.clone(),
+    )
+    .answer_by_direct_execution()
+    .expect("direct execution succeeds");
+
+    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+    for method in Method::all() {
+        let answer = mahif.what_if(&workload.modifications, method).unwrap();
+        assert_eq!(
+            answer.delta,
+            reference,
+            "method {} disagrees for spec {:?}",
+            method.label(),
+            spec
+        );
+    }
+}
+
+#[test]
+fn taxi_default_workload() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 300, 11);
+    assert_all_methods_agree(&dataset, &WorkloadSpec::default().with_updates(20));
+}
+
+#[test]
+fn taxi_high_dependency_workload() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 300, 12);
+    assert_all_methods_agree(
+        &dataset,
+        &WorkloadSpec::default()
+            .with_updates(25)
+            .with_dependent_pct(100)
+            .with_affected_pct(25),
+    );
+}
+
+#[test]
+fn taxi_low_selectivity_workload() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 400, 13);
+    assert_all_methods_agree(
+        &dataset,
+        &WorkloadSpec::default()
+            .with_updates(15)
+            .with_affected_pct(0),
+    );
+}
+
+#[test]
+fn taxi_insert_workload() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 300, 14);
+    assert_all_methods_agree(
+        &dataset,
+        &WorkloadSpec::default()
+            .with_updates(20)
+            .with_insert_pct(20),
+    );
+}
+
+#[test]
+fn taxi_mixed_workload() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 300, 15);
+    assert_all_methods_agree(
+        &dataset,
+        &WorkloadSpec::default()
+            .with_updates(20)
+            .with_insert_pct(10)
+            .with_delete_pct(10),
+    );
+}
+
+#[test]
+fn taxi_multiple_modifications_workload() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 300, 16);
+    assert_all_methods_agree(
+        &dataset,
+        &WorkloadSpec::default()
+            .with_updates(20)
+            .with_modifications(4)
+            .with_dependent_pct(40),
+    );
+}
+
+#[test]
+fn tpcc_workload() {
+    let dataset = Dataset::generate(DatasetKind::TpccStock, 300, 17);
+    assert_all_methods_agree(
+        &dataset,
+        &WorkloadSpec::default().with_updates(15).with_affected_pct(20),
+    );
+}
+
+#[test]
+fn ycsb_workload() {
+    let dataset = Dataset::generate(DatasetKind::Ycsb, 300, 18);
+    assert_all_methods_agree(&dataset, &WorkloadSpec::default().with_updates(15));
+}
+
+#[test]
+fn ablation_configurations_agree() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 250, 19);
+    let spec = WorkloadSpec::default().with_updates(15).with_insert_pct(10);
+    let workload = spec.generate(&dataset);
+    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+    let reference = mahif
+        .what_if(&workload.modifications, Method::Naive)
+        .unwrap()
+        .delta;
+
+    let configs = vec![
+        EngineConfig::default(),
+        EngineConfig {
+            use_greedy_slicer: true,
+            ..Default::default()
+        },
+        EngineConfig {
+            disable_insert_split: true,
+            ..Default::default()
+        },
+        EngineConfig {
+            skip_compression_constraint: true,
+            ..Default::default()
+        },
+        EngineConfig {
+            compression: mahif_symbolic::CompressionConfig::group_by("trip_id")
+                .with_max_groups(4),
+            ..Default::default()
+        },
+    ];
+    for config in configs {
+        let answer = mahif
+            .what_if_configured(&workload.modifications, Method::ReenactPsDs, &config)
+            .unwrap();
+        assert_eq!(answer.delta, reference, "config {config:?} disagrees");
+    }
+}
+
+#[test]
+fn optimizations_actually_reduce_work() {
+    // On the default workload (10% dependent, 10% affected), program slicing
+    // must exclude statements and data slicing must filter tuples.
+    let dataset = Dataset::generate(DatasetKind::Taxi, 500, 20);
+    let spec = WorkloadSpec::default().with_updates(30);
+    let workload = spec.generate(&dataset);
+    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+
+    let optimized = mahif
+        .what_if(&workload.modifications, Method::ReenactPsDs)
+        .unwrap();
+    let plain = mahif
+        .what_if(&workload.modifications, Method::Reenact)
+        .unwrap();
+
+    assert!(optimized.stats.statements_reenacted < plain.stats.statements_reenacted);
+    assert!(optimized.stats.input_tuples < plain.stats.input_tuples);
+    assert_eq!(optimized.delta, plain.delta);
+    // The generated workload has ~10% dependent updates; the slice should
+    // keep well under half of the history.
+    assert!(optimized.stats.statements_reenacted * 2 < plain.stats.statements_reenacted);
+}
+
+#[test]
+fn phase_timings_are_populated() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 200, 21);
+    let workload = WorkloadSpec::default().with_updates(10).generate(&dataset);
+    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+    let naive = mahif
+        .what_if(&workload.modifications, Method::Naive)
+        .unwrap();
+    assert!(naive.timings.copy > std::time::Duration::ZERO);
+    let optimized = mahif
+        .what_if(&workload.modifications, Method::ReenactPsDs)
+        .unwrap();
+    assert!(optimized.timings.program_slicing > std::time::Duration::ZERO);
+    assert!(optimized.timings.execution > std::time::Duration::ZERO);
+    assert_eq!(optimized.timings.copy, std::time::Duration::ZERO);
+}

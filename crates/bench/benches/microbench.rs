@@ -8,11 +8,12 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mahif::{EngineConfig, Method};
+use mahif::{EngineConfig, Mahif, Method};
 use mahif_bench::run_cell;
 use mahif_history::HistoricalWhatIf;
 use mahif_query::evaluate;
 use mahif_reenact::reenact_history;
+use mahif_scenario::{Scenario, ScenarioSet};
 use mahif_slicing::{data_slicing_conditions, program_slice, ProgramSlicingConfig};
 use mahif_solver::compile_to_milp;
 use mahif_workload::{Dataset, DatasetKind, WorkloadSpec};
@@ -141,12 +142,44 @@ fn bench_end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_scenarios(c: &mut Criterion) {
+    // A k=8 sweep over the same history: the scenario batch engine's best
+    // case (one shared program slice, parallel execution) against the
+    // sequential loop of independent what-if calls it replaces.
+    const K: usize = 8;
+    let (dataset, workload) = setup();
+    let sweep = workload.sweep_variants(K);
+    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+
+    let mut group = c.benchmark_group("batch_scenarios");
+    group.sample_size(10);
+    group.bench_function("sequential_k8", |b| {
+        b.iter(|| {
+            sweep
+                .iter()
+                .map(|(_, m)| mahif.what_if(m, Method::ReenactPsDs).unwrap())
+                .collect::<Vec<_>>()
+        })
+    });
+    group.bench_function("batch_k8", |b| {
+        b.iter(|| {
+            let mut set = ScenarioSet::new(&mahif);
+            for (name, m) in &sweep {
+                set.add(Scenario::new(name.clone(), m.clone())).unwrap();
+            }
+            set.answer_all(Method::ReenactPsDs).unwrap()
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_reenactment,
     bench_slicing,
     bench_solver,
     bench_delta,
-    bench_end_to_end
+    bench_end_to_end,
+    bench_batch_scenarios
 );
 criterion_main!(benches);

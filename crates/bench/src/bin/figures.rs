@@ -87,13 +87,17 @@ fn main() {
             "fig18" => fig18(&config),
             "fig19" => fig19(&config),
             "fig20" => fig20(&config),
-            "fig21" => fig_datasets_with_t(&config, 0, "Figure 21: datasets with T0 (<1% affected)"),
+            "fig21" => {
+                fig_datasets_with_t(&config, 0, "Figure 21: datasets with T0 (<1% affected)")
+            }
             "fig22" => fig_datasets_with_t(&config, 10, "Figure 22: datasets with T10"),
             "fig23" => fig_datasets_with_t(&config, 25, "Figure 23: datasets with T25"),
             "fig24" => fig24(&config),
             "fig25" => fig25(&config),
             "ablation" => ablation(&config),
-            other => eprintln!("unknown experiment `{other}` (expected fig14..fig25, ablation, all)"),
+            other => {
+                eprintln!("unknown experiment `{other}` (expected fig14..fig25, ablation, all)")
+            }
         }
     }
 }
@@ -151,8 +155,15 @@ fn fig15(config: &ExperimentConfig) {
     let mut rows = Vec::new();
     for named in config.taxi_datasets() {
         for &u in &config.update_counts {
-            let spec = WorkloadSpec::default().with_updates(u).with_seed(config.seed);
-            let m = run_cell(&named.dataset, &spec, Method::Naive, &EngineConfig::default());
+            let spec = WorkloadSpec::default()
+                .with_updates(u)
+                .with_seed(config.seed);
+            let m = run_cell(
+                &named.dataset,
+                &spec,
+                Method::Naive,
+                &EngineConfig::default(),
+            );
             rows.push(vec![
                 named.label.clone(),
                 u.to_string(),
@@ -184,7 +195,9 @@ fn fig16(config: &ExperimentConfig) {
     let mut rows = Vec::new();
     for named in config.taxi_datasets() {
         for &u in &config.update_counts {
-            let spec = WorkloadSpec::default().with_updates(u).with_seed(config.seed);
+            let spec = WorkloadSpec::default()
+                .with_updates(u)
+                .with_seed(config.seed);
             let optimized = run_cell(
                 &named.dataset,
                 &spec,
@@ -353,11 +366,7 @@ fn fig_datasets_with_t(config: &ExperimentConfig, t: u32, title: &str) {
         config,
         &config.datasets(),
         &methods,
-        |u| {
-            WorkloadSpec::default()
-                .with_updates(u)
-                .with_affected_pct(t)
-        },
+        |u| WorkloadSpec::default().with_updates(u).with_affected_pct(t),
         &EngineConfig::default(),
     );
     print!("{}", render_table(title, &methods_header(&methods), &rows));

@@ -106,7 +106,11 @@ impl fmt::Display for CascadePlan {
             self.cascaded_positions.len()
         )?;
         for p in &self.removed_parents {
-            writeln!(f, "  removed {}[{}] (statement {})", p.relation, p.key, p.position)?;
+            writeln!(
+                f,
+                "  removed {}[{}] (statement {})",
+                p.relation, p.key, p.position
+            )?;
         }
         for pos in &self.cascaded_positions {
             writeln!(f, "  also remove statement {pos}")?;
@@ -306,8 +310,14 @@ mod tests {
                 "Order",
                 Tuple::new(vec![Value::int(12), Value::int(2), Value::int(70)]),
             ),
-            Statement::insert_values("OrderItem", Tuple::new(vec![Value::int(100), Value::int(10)])),
-            Statement::insert_values("OrderItem", Tuple::new(vec![Value::int(101), Value::int(12)])),
+            Statement::insert_values(
+                "OrderItem",
+                Tuple::new(vec![Value::int(100), Value::int(10)]),
+            ),
+            Statement::insert_values(
+                "OrderItem",
+                Tuple::new(vec![Value::int(101), Value::int(12)]),
+            ),
             Statement::update(
                 "Order",
                 SetClause::single("Total", add(attr("Total"), lit(5))),
@@ -340,7 +350,12 @@ mod tests {
         // Bob, his order 12 and its item 101 remain.
         let q = HistoricalWhatIf::new(history.clone(), db.clone(), augmented);
         let delta = q.answer_by_direct_execution().unwrap();
-        let hypothetical = q.modifications.apply(&history).unwrap().execute(&db).unwrap();
+        let hypothetical = q
+            .modifications
+            .apply(&history)
+            .unwrap()
+            .execute(&db)
+            .unwrap();
         let customers = hypothetical.relation("Customer").unwrap();
         assert_eq!(customers.len(), 1);
         assert_eq!(customers.tuples[0].value(0), Some(&Value::int(2)));

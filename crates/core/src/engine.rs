@@ -5,7 +5,9 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use mahif_expr::Expr;
-use mahif_history::{naive_what_if, DatabaseDelta, HistoricalWhatIf, History, RelationDelta};
+use mahif_history::{
+    naive_what_if, DatabaseDelta, HistoricalWhatIf, History, NormalizedWhatIf, RelationDelta,
+};
 use mahif_query::{evaluate, filter_relation};
 use mahif_reenact::split::{split_reenactment, SplitReenactment};
 use mahif_slicing::{
@@ -66,13 +68,76 @@ fn answer_reenactment(
     method: Method,
     config: &EngineConfig,
 ) -> Result<WhatIfAnswer, MahifError> {
-    let mut timings = PhaseTimings::default();
-    let mut stats = EngineStats::default();
-
     // Normalize the modifications into two equal-length histories related by
     // replacements only (Section 3 / Section 6).
     let normalized = query.normalize()?;
-    stats.statements_total = normalized.original.len();
+    let slice = compute_program_slice(&normalized, versioned.initial(), method, config)?;
+    answer_normalized(&normalized, &slice, versioned, method, config)
+}
+
+/// Phase 1 of the reenactment engine: the program slice for a normalized
+/// what-if query (the trivial keep-all slice for methods without program
+/// slicing). Exposed so batch engines can compute — or share — slices
+/// separately from reenactment; see [`answer_normalized`].
+pub fn compute_program_slice(
+    normalized: &NormalizedWhatIf,
+    base_db: &Database,
+    method: Method,
+    config: &EngineConfig,
+) -> Result<ProgramSliceResult, MahifError> {
+    if !method.uses_program_slicing() || normalized.modified_positions.is_empty() {
+        return Ok(ProgramSliceResult::keep_all(normalized.original.len()));
+    }
+    let start = Instant::now();
+    let mut result = if config.use_greedy_slicer {
+        greedy_slice(
+            &normalized.original,
+            &normalized.modified,
+            &normalized.modified_positions,
+            base_db,
+            &GreedyConfig {
+                compression: config.compression.clone(),
+                solver: config.solver.clone(),
+            },
+        )?
+    } else {
+        program_slice(
+            &normalized.original,
+            &normalized.modified,
+            &normalized.modified_positions,
+            base_db,
+            &ProgramSlicingConfig {
+                compression: config.compression.clone(),
+                solver: config.solver.clone(),
+                skip_compression_constraint: config.skip_compression_constraint,
+            },
+        )?
+    };
+    result.duration = start.elapsed();
+    Ok(result)
+}
+
+/// Phases 2–4 of the reenactment engine (data slicing, reenactment, delta)
+/// for an already-normalized query and an already-computed program slice.
+///
+/// `slice` must be answer-preserving for `normalized` over the initial state
+/// of `versioned` — either produced by [`compute_program_slice`] for this
+/// exact query, or a shared slice certified for a whole scenario group (see
+/// `mahif_slicing::program_slice_multi`). Keeping more statements than the
+/// per-query minimum is always sound; the delta is unchanged, only the
+/// reenactment cost grows.
+pub fn answer_normalized(
+    normalized: &NormalizedWhatIf,
+    slice: &ProgramSliceResult,
+    versioned: &VersionedDatabase,
+    method: Method,
+    config: &EngineConfig,
+) -> Result<WhatIfAnswer, MahifError> {
+    let mut timings = PhaseTimings::default();
+    let mut stats = EngineStats {
+        statements_total: normalized.original.len(),
+        ..Default::default()
+    };
     if normalized.modified_positions.is_empty() {
         return Ok(WhatIfAnswer {
             delta: DatabaseDelta::default(),
@@ -80,38 +145,7 @@ fn answer_reenactment(
             stats,
         });
     }
-    // Phase 1: program slicing.
-    let slice: ProgramSliceResult = if method.uses_program_slicing() {
-        let start = Instant::now();
-        let result = if config.use_greedy_slicer {
-            greedy_slice(
-                &normalized.original,
-                &normalized.modified,
-                &normalized.modified_positions,
-                versioned.initial(),
-                &GreedyConfig {
-                    compression: config.compression.clone(),
-                    solver: config.solver.clone(),
-                },
-            )?
-        } else {
-            program_slice(
-                &normalized.original,
-                &normalized.modified,
-                &normalized.modified_positions,
-                versioned.initial(),
-                &ProgramSlicingConfig {
-                    compression: config.compression.clone(),
-                    solver: config.solver.clone(),
-                    skip_compression_constraint: config.skip_compression_constraint,
-                },
-            )?
-        };
-        timings.program_slicing = start.elapsed();
-        result
-    } else {
-        ProgramSliceResult::keep_all(normalized.original.len())
-    };
+    timings.program_slicing = slice.duration;
     stats.solver_calls = slice.solver_calls;
     stats.statements_reenacted = slice.kept_positions.len();
 
@@ -277,13 +311,16 @@ fn reenact_side(
 
 /// Replaces the single base scan of `relation` in a no-insert reenactment
 /// query with a filtered scan.
-fn inject_filter(query: mahif_query::Query, relation: &str, condition: &Expr) -> mahif_query::Query {
+fn inject_filter(
+    query: mahif_query::Query,
+    relation: &str,
+    condition: &Expr,
+) -> mahif_query::Query {
     use mahif_query::Query;
     match query {
-        Query::Scan { relation: r } if r == relation => Query::select(
-            condition.clone(),
-            Query::Scan { relation: r },
-        ),
+        Query::Scan { relation: r } if r == relation => {
+            Query::select(condition.clone(), Query::Scan { relation: r })
+        }
         Query::Select { cond, input } => Query::Select {
             cond,
             input: Box::new(inject_filter(*input, relation, condition)),
@@ -307,9 +344,7 @@ mod tests {
     use mahif_history::{Modification, ModificationSet, SetClause, Statement};
     use mahif_storage::Tuple;
 
-    fn setup(
-        modifications: ModificationSet,
-    ) -> (HistoricalWhatIf, VersionedDatabase, Database) {
+    fn setup(modifications: ModificationSet) -> (HistoricalWhatIf, VersionedDatabase, Database) {
         let db = running_example_database();
         let history = History::new(running_example_history());
         let versioned = history.execute_versioned(&db).unwrap();
@@ -344,7 +379,10 @@ mod tests {
 
     #[test]
     fn all_methods_running_example() {
-        all_methods_agree(ModificationSet::single_replace(0, running_example_u1_prime()));
+        all_methods_agree(ModificationSet::single_replace(
+            0,
+            running_example_u1_prime(),
+        ));
     }
 
     #[test]
@@ -410,8 +448,7 @@ mod tests {
                     disable_insert_split: disable_split,
                     ..Default::default()
                 };
-                let answer =
-                    answer_what_if(&query, &versioned, &current, method, &config).unwrap();
+                let answer = answer_what_if(&query, &versioned, &current, method, &config).unwrap();
                 assert_eq!(
                     answer.delta,
                     reference,
@@ -424,29 +461,27 @@ mod tests {
 
     #[test]
     fn greedy_slicer_configuration() {
-        let (query, versioned, current) =
-            setup(ModificationSet::single_replace(0, running_example_u1_prime()));
+        let (query, versioned, current) = setup(ModificationSet::single_replace(
+            0,
+            running_example_u1_prime(),
+        ));
         let reference = query.answer_by_direct_execution().unwrap();
         let config = EngineConfig {
             use_greedy_slicer: true,
             ..Default::default()
         };
-        let answer = answer_what_if(
-            &query,
-            &versioned,
-            &current,
-            Method::ReenactPsDs,
-            &config,
-        )
-        .unwrap();
+        let answer =
+            answer_what_if(&query, &versioned, &current, Method::ReenactPsDs, &config).unwrap();
         assert_eq!(answer.delta, reference);
         assert!(answer.stats.solver_calls > 0);
     }
 
     #[test]
     fn stats_reflect_slicing() {
-        let (query, versioned, current) =
-            setup(ModificationSet::single_replace(0, running_example_u1_prime()));
+        let (query, versioned, current) = setup(ModificationSet::single_replace(
+            0,
+            running_example_u1_prime(),
+        ));
         let answer = answer_what_if(
             &query,
             &versioned,

@@ -54,7 +54,7 @@ pub mod mahif;
 pub mod stats;
 
 pub use config::{EngineConfig, Method};
-pub use engine::answer_what_if;
+pub use engine::{answer_normalized, answer_what_if, compute_program_slice};
 pub use error::MahifError;
 pub use impact::{impact_of, GroupImpact, ImpactReport, ImpactSpec};
 pub use mahif::Mahif;

@@ -60,11 +60,7 @@ impl Mahif {
     /// Answers a historical what-if query given as a *what-if script* in SQL
     /// text (see [`mahif_sqlparse::parse_whatif`]), e.g.
     /// `"REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60"`.
-    pub fn what_if_sql(
-        &self,
-        script: &str,
-        method: Method,
-    ) -> Result<WhatIfAnswer, MahifError> {
+    pub fn what_if_sql(&self, script: &str, method: Method) -> Result<WhatIfAnswer, MahifError> {
         let modifications = mahif_sqlparse::parse_whatif(script)
             .map_err(|e| MahifError::InvalidWhatIfScript(e.to_string()))?;
         self.what_if(&modifications, method)
@@ -133,11 +129,7 @@ mod tests {
         assert_eq!(m.versions().version_count(), 4);
         assert_eq!(m.initial_state().total_tuples(), 4);
         // Figure 3: current state has Jack's fee waived.
-        let fee: i64 = m
-            .current_state()
-            .relation("Order")
-            .unwrap()
-            .tuples[2]
+        let fee: i64 = m.current_state().relation("Order").unwrap().tuples[2]
             .value(4)
             .unwrap()
             .as_int()

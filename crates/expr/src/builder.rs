@@ -173,16 +173,58 @@ mod tests {
 
     #[test]
     fn builders_produce_expected_shapes() {
-        assert!(matches!(add(lit(1), lit(2)), Expr::Arith { op: ArithOp::Add, .. }));
-        assert!(matches!(sub(lit(1), lit(2)), Expr::Arith { op: ArithOp::Sub, .. }));
-        assert!(matches!(mul(lit(1), lit(2)), Expr::Arith { op: ArithOp::Mul, .. }));
-        assert!(matches!(div(lit(1), lit(2)), Expr::Arith { op: ArithOp::Div, .. }));
-        assert!(matches!(eq(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Eq, .. }));
-        assert!(matches!(neq(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Neq, .. }));
-        assert!(matches!(lt(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Lt, .. }));
-        assert!(matches!(le(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Le, .. }));
-        assert!(matches!(gt(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Gt, .. }));
-        assert!(matches!(ge(lit(1), lit(2)), Expr::Cmp { op: CmpOp::Ge, .. }));
+        assert!(matches!(
+            add(lit(1), lit(2)),
+            Expr::Arith {
+                op: ArithOp::Add,
+                ..
+            }
+        ));
+        assert!(matches!(
+            sub(lit(1), lit(2)),
+            Expr::Arith {
+                op: ArithOp::Sub,
+                ..
+            }
+        ));
+        assert!(matches!(
+            mul(lit(1), lit(2)),
+            Expr::Arith {
+                op: ArithOp::Mul,
+                ..
+            }
+        ));
+        assert!(matches!(
+            div(lit(1), lit(2)),
+            Expr::Arith {
+                op: ArithOp::Div,
+                ..
+            }
+        ));
+        assert!(matches!(
+            eq(lit(1), lit(2)),
+            Expr::Cmp { op: CmpOp::Eq, .. }
+        ));
+        assert!(matches!(
+            neq(lit(1), lit(2)),
+            Expr::Cmp { op: CmpOp::Neq, .. }
+        ));
+        assert!(matches!(
+            lt(lit(1), lit(2)),
+            Expr::Cmp { op: CmpOp::Lt, .. }
+        ));
+        assert!(matches!(
+            le(lit(1), lit(2)),
+            Expr::Cmp { op: CmpOp::Le, .. }
+        ));
+        assert!(matches!(
+            gt(lit(1), lit(2)),
+            Expr::Cmp { op: CmpOp::Gt, .. }
+        ));
+        assert!(matches!(
+            ge(lit(1), lit(2)),
+            Expr::Cmp { op: CmpOp::Ge, .. }
+        ));
         assert!(matches!(and(Expr::true_(), Expr::false_()), Expr::And(..)));
         assert!(matches!(or(Expr::true_(), Expr::false_()), Expr::Or(..)));
         assert!(matches!(not(Expr::true_()), Expr::Not(..)));

@@ -173,11 +173,9 @@ impl Expr {
     /// `φ` of the grammar (i.e. is it boolean-valued by construction)?
     pub fn is_boolean(&self) -> bool {
         match self {
-            Expr::Cmp { .. }
-            | Expr::And(..)
-            | Expr::Or(..)
-            | Expr::Not(..)
-            | Expr::IsNull(..) => true,
+            Expr::Cmp { .. } | Expr::And(..) | Expr::Or(..) | Expr::Not(..) | Expr::IsNull(..) => {
+                true
+            }
             Expr::Const(Value::Bool(_)) => true,
             Expr::IfThenElse {
                 then_branch,
@@ -288,7 +286,12 @@ impl Expr {
                 cond,
                 then_branch,
                 else_branch,
-            } => 1 + cond.depth().max(then_branch.depth()).max(else_branch.depth()),
+            } => {
+                1 + cond
+                    .depth()
+                    .max(then_branch.depth())
+                    .max(else_branch.depth())
+            }
         }
     }
 }
@@ -419,9 +422,6 @@ mod tests {
     fn from_impls() {
         assert_eq!(Expr::from(3i64), Expr::Const(Value::Int(3)));
         assert_eq!(Expr::from(true), Expr::Const(Value::Bool(true)));
-        assert_eq!(
-            Expr::from(Value::str("a")),
-            Expr::Const(Value::str("a"))
-        );
+        assert_eq!(Expr::from(Value::str("a")), Expr::Const(Value::str("a")));
     }
 }

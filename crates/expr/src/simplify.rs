@@ -267,14 +267,8 @@ mod tests {
 
     #[test]
     fn ite_simplification() {
-        assert_eq!(
-            simplify(&ite(Expr::true_(), lit(1), lit(2))),
-            lit(1)
-        );
-        assert_eq!(
-            simplify(&ite(Expr::false_(), lit(1), lit(2))),
-            lit(2)
-        );
+        assert_eq!(simplify(&ite(Expr::true_(), lit(1), lit(2))), lit(1));
+        assert_eq!(simplify(&ite(Expr::false_(), lit(1), lit(2))), lit(2));
         // Same branches collapse.
         assert_eq!(
             simplify(&ite(ge(attr("A"), lit(0)), attr("B"), attr("B"))),
@@ -318,7 +312,11 @@ mod tests {
         let exprs = vec![
             and(ge(attr("A"), lit(3)), not(lt(attr("A"), lit(3)))),
             or(not(not(ge(attr("A"), lit(0)))), eq(attr("B"), lit(1))),
-            ite(ge(attr("A"), lit(0)), add(attr("A"), lit(0)), mul(attr("A"), lit(1))),
+            ite(
+                ge(attr("A"), lit(0)),
+                add(attr("A"), lit(0)),
+                mul(attr("A"), lit(1)),
+            ),
         ];
         for e in exprs {
             let s = simplify(&e);
@@ -332,10 +330,7 @@ mod tests {
                             "expr {e} vs {s} at A={a}, B={bval}"
                         );
                     } else {
-                        assert_eq!(
-                            eval_expr(&e, &bind).unwrap(),
-                            eval_expr(&s, &bind).unwrap()
-                        );
+                        assert_eq!(eval_expr(&e, &bind).unwrap(), eval_expr(&s, &bind).unwrap());
                     }
                 }
             }

@@ -107,7 +107,10 @@ mod tests {
         // (example from Section 6 of the paper).
         let cond = lt(attr("A"), lit(4));
         let mut map = SubstMap::new();
-        map.insert("A".to_string(), ite(eq(attr("C"), lit(5)), lit(3), attr("A")));
+        map.insert(
+            "A".to_string(),
+            ite(eq(attr("C"), lit(5)), lit(3), attr("A")),
+        );
         let pushed = substitute_attrs(&cond, &map);
         // When C = 5, A is set to 3 regardless of the original A, so the
         // pushed-down condition must hold for any A.

@@ -94,9 +94,7 @@ impl Value {
             (Value::Null, Value::Null) => Ordering::Equal,
             (Value::Null, _) => Ordering::Less,
             (_, Value::Null) => Ordering::Greater,
-            _ => self
-                .sql_cmp(other)
-                .expect("non-null values always compare"),
+            _ => self.sql_cmp(other).expect("non-null values always compare"),
         }
     }
 }
@@ -185,10 +183,7 @@ mod tests {
     #[test]
     fn sql_cmp_ints() {
         assert_eq!(Value::int(1).sql_cmp(&Value::int(2)), Some(Ordering::Less));
-        assert_eq!(
-            Value::int(2).sql_cmp(&Value::int(2)),
-            Some(Ordering::Equal)
-        );
+        assert_eq!(Value::int(2).sql_cmp(&Value::int(2)), Some(Ordering::Equal));
     }
 
     #[test]

@@ -264,8 +264,7 @@ mod tests {
         let m = ModificationSet::single_replace(0, running_example_u1_prime());
         let hd = h.execute(&db).unwrap();
         let hmd = m.apply(&h).unwrap().execute(&db).unwrap();
-        let delta =
-            DatabaseDelta::compute_for_relations(&hd, &hmd, &["Order".to_string()]);
+        let delta = DatabaseDelta::compute_for_relations(&hd, &hmd, &["Order".to_string()]);
         assert_eq!(delta.len(), 2);
         let none = DatabaseDelta::compute_for_relations(&hd, &hmd, &["Other".to_string()]);
         assert!(none.is_empty());

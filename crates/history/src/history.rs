@@ -181,9 +181,7 @@ impl FromIterator<Statement> for History {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::statement::{
-        running_example_database, running_example_history, SetClause,
-    };
+    use crate::statement::{running_example_database, running_example_history, SetClause};
     use mahif_expr::builder::*;
     use mahif_expr::{Expr, Value};
     use mahif_storage::Tuple;
@@ -243,9 +241,7 @@ mod tests {
         // Version 0 is the original database.
         assert!(versioned.at(0).unwrap().set_eq(&db));
         // Version 3 equals direct execution.
-        assert!(versioned
-            .current()
-            .set_eq(&h().execute(&db).unwrap()));
+        assert!(versioned.current().set_eq(&h().execute(&db).unwrap()));
         // Version 1 is the state after u1: fee of order 12 and 13 is 0.
         let v1 = versioned.at(1).unwrap();
         let fees: Vec<i64> = v1
@@ -283,10 +279,7 @@ mod tests {
             SetClause::single("X", lit(1)),
             Expr::true_(),
         ));
-        history.push(Statement::insert_query(
-            "A",
-            mahif_query::Query::scan("B"),
-        ));
+        history.push(Statement::insert_query("A", mahif_query::Query::scan("B")));
         assert_eq!(history.relations_accessed(), vec!["A", "B"]);
         assert!(!history.is_tuple_independent());
     }

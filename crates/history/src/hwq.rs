@@ -177,10 +177,7 @@ mod tests {
         // Inserting a new update that charges 1 extra for US orders.
         let extra = Statement::update(
             "Order",
-            crate::statement::SetClause::single(
-                "ShippingFee",
-                add(attr("ShippingFee"), lit(1)),
-            ),
+            crate::statement::SetClause::single("ShippingFee", add(attr("ShippingFee"), lit(1))),
             eq(attr("Country"), slit("US")),
         );
         let q = HistoricalWhatIf::new(

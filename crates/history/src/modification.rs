@@ -242,9 +242,7 @@ fn flush_pending(
         let paired = added
             .iter()
             .enumerate()
-            .find(|(k, new)| {
-                !used[*k] && same_kind(&old, new) && old.relation() == new.relation()
-            })
+            .find(|(k, new)| !used[*k] && same_kind(&old, new) && old.relation() == new.relation())
             .map(|(k, _)| k);
         match paired {
             Some(k) => {
@@ -271,7 +269,10 @@ fn same_kind(a: &Statement, b: &Statement) -> bool {
         (a, b),
         (Statement::Update { .. }, Statement::Update { .. })
             | (Statement::Delete { .. }, Statement::Delete { .. })
-            | (Statement::InsertValues { .. }, Statement::InsertValues { .. })
+            | (
+                Statement::InsertValues { .. },
+                Statement::InsertValues { .. }
+            )
             | (Statement::InsertQuery { .. }, Statement::InsertQuery { .. })
     )
 }
@@ -340,21 +341,19 @@ mod tests {
 
     #[test]
     fn out_of_bounds_errors() {
-        assert!(ModificationSet::new(vec![Modification::replace(
-            9,
-            running_example_u1_prime()
-        )])
-        .apply(&h())
-        .is_err());
+        assert!(
+            ModificationSet::new(vec![Modification::replace(9, running_example_u1_prime())])
+                .apply(&h())
+                .is_err()
+        );
         assert!(ModificationSet::new(vec![Modification::delete(9)])
             .apply(&h())
             .is_err());
-        assert!(ModificationSet::new(vec![Modification::insert(
-            9,
-            running_example_u1_prime()
-        )])
-        .apply(&h())
-        .is_err());
+        assert!(
+            ModificationSet::new(vec![Modification::insert(9, running_example_u1_prime())])
+                .apply(&h())
+                .is_err()
+        );
     }
 
     #[test]

@@ -269,9 +269,7 @@ impl Statement {
                 }
             }
             Statement::InsertValues { .. } => Ok(Some(tuple.clone())),
-            Statement::InsertQuery { .. } => Err(HistoryError::NotTupleIndependent(
-                self.label(),
-            )),
+            Statement::InsertQuery { .. } => Err(HistoryError::NotTupleIndependent(self.label())),
         }
     }
 
@@ -587,10 +585,7 @@ mod tests {
         let d = Statement::delete("Order", Expr::true_());
         assert_eq!(d.label(), "DELETE Order");
         assert!(d.to_string().contains("DELETE FROM Order"));
-        let iv = Statement::insert_values(
-            "Order",
-            Tuple::new(vec![Value::int(1)]),
-        );
+        let iv = Statement::insert_values("Order", Tuple::new(vec![Value::int(1)]));
         assert!(iv.to_string().contains("INSERT INTO Order VALUES"));
         assert_eq!(iv.label(), "INSERT VALUES Order");
         let iq = Statement::insert_query("Order", Query::scan("Order"));

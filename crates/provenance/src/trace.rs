@@ -250,7 +250,9 @@ mod tests {
         let producers = trace.traces_producing(&jack_final);
         assert_eq!(producers.len(), 1);
         assert_eq!(producers[0].initial.value(4), Some(&Value::int(3)));
-        assert!(trace.traces_producing(&Tuple::new(vec![Value::int(999)])).is_empty());
+        assert!(trace
+            .traces_producing(&Tuple::new(vec![Value::int(999)]))
+            .is_empty());
     }
 
     #[test]

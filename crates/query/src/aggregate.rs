@@ -317,14 +317,34 @@ mod tests {
             ],
         );
         let mut rel = Relation::empty(schema);
-        rel.insert_values([Value::int(11), Value::str("UK"), Value::int(20), Value::int(5)])
-            .unwrap();
-        rel.insert_values([Value::int(12), Value::str("UK"), Value::int(50), Value::int(5)])
-            .unwrap();
-        rel.insert_values([Value::int(13), Value::str("US"), Value::int(60), Value::int(3)])
-            .unwrap();
-        rel.insert_values([Value::int(14), Value::str("US"), Value::int(30), Value::int(4)])
-            .unwrap();
+        rel.insert_values([
+            Value::int(11),
+            Value::str("UK"),
+            Value::int(20),
+            Value::int(5),
+        ])
+        .unwrap();
+        rel.insert_values([
+            Value::int(12),
+            Value::str("UK"),
+            Value::int(50),
+            Value::int(5),
+        ])
+        .unwrap();
+        rel.insert_values([
+            Value::int(13),
+            Value::str("US"),
+            Value::int(60),
+            Value::int(3),
+        ])
+        .unwrap();
+        rel.insert_values([
+            Value::int(14),
+            Value::str("US"),
+            Value::int(30),
+            Value::int(4),
+        ])
+        .unwrap();
         rel
     }
 
@@ -438,12 +458,8 @@ mod tests {
     fn empty_input_grouped_aggregate_is_empty() {
         let schema = Schema::shared("R", vec![Attribute::int("A"), Attribute::int("B")]);
         let rel = Relation::empty(schema);
-        let out = aggregate_relation(
-            &rel,
-            &["A".to_string()],
-            &[Aggregate::count_star("c")],
-        )
-        .unwrap();
+        let out =
+            aggregate_relation(&rel, &["A".to_string()], &[Aggregate::count_star("c")]).unwrap();
         assert!(out.is_empty());
     }
 
@@ -478,7 +494,10 @@ mod tests {
 
     #[test]
     fn display_of_aggregates() {
-        assert_eq!(Aggregate::sum_of("Price", "p").to_string(), "SUM(Price) AS p");
+        assert_eq!(
+            Aggregate::sum_of("Price", "p").to_string(),
+            "SUM(Price) AS p"
+        );
         assert_eq!(AggFunc::Avg.to_string(), "AVG");
     }
 }

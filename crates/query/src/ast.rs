@@ -229,12 +229,12 @@ mod tests {
     fn referenced_relations_dedup_and_sort() {
         let q = Query::union(
             Query::select(ge(attr("A"), lit(1)), Query::scan("R")),
-            Query::join(Query::scan("S"), Query::scan("R"), Expr_true()),
+            Query::join(Query::scan("S"), Query::scan("R"), expr_true()),
         );
         assert_eq!(q.referenced_relations(), vec!["R", "S"]);
     }
 
-    fn Expr_true() -> Expr {
+    fn expr_true() -> Expr {
         Expr::true_()
     }
 

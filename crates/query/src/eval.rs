@@ -74,9 +74,7 @@ fn evaluate_with_catalog(
             }
             Ok(out)
         }
-        Query::Values { schema, tuples } => {
-            Ok(Relation::new(schema.clone(), tuples.clone())?)
-        }
+        Query::Values { schema, tuples } => Ok(Relation::new(schema.clone(), tuples.clone())?),
     }
 }
 
@@ -244,8 +242,10 @@ mod tests {
             vec![Attribute::str("Name"), Attribute::int("Zone")],
         );
         let mut rel = Relation::empty(countries);
-        rel.insert_values([Value::str("UK"), Value::int(1)]).unwrap();
-        rel.insert_values([Value::str("US"), Value::int(2)]).unwrap();
+        rel.insert_values([Value::str("UK"), Value::int(1)])
+            .unwrap();
+        rel.insert_values([Value::str("US"), Value::int(2)])
+            .unwrap();
         db.add_relation(rel).unwrap();
 
         let q = Query::join(

@@ -116,7 +116,11 @@ fn push_rec(
                 }
             }
         }
-        Query::Join { left, right, cond: join_cond } => {
+        Query::Join {
+            left,
+            right,
+            cond: join_cond,
+        } => {
             let l_schema = infer_schema(left, catalog)?;
             let r_schema = infer_schema(right, catalog)?;
             let l_attrs = l_schema.attribute_names();
@@ -240,10 +244,7 @@ mod tests {
     fn push_through_scan_is_identity() {
         let cat = int_catalog(&[("R", &["A", "B"])]);
         let c = ge(attr("A"), lit(5));
-        assert_eq!(
-            push_condition(&c, &Query::scan("R"), &cat).unwrap(),
-            c
-        );
+        assert_eq!(push_condition(&c, &Query::scan("R"), &cat).unwrap(), c);
     }
 
     #[test]
@@ -287,8 +288,7 @@ mod tests {
     fn relation_specific_push_ignores_other_relations() {
         let cat = int_catalog(&[("R", &["A"]), ("S", &["B"])]);
         let q = Query::union(Query::scan("R"), Query::scan("S"));
-        let for_r =
-            push_condition_for_relation(&ge(attr("A"), lit(5)), &q, "R", &cat).unwrap();
+        let for_r = push_condition_for_relation(&ge(attr("A"), lit(5)), &q, "R", &cat).unwrap();
         // Condition for R is (A>=5) ∨ true — simplifies to true? No: the
         // right branch contributes `true` for relation R, so the disjunction
         // simplifies to true. That is the conservative answer: tuples of R
@@ -296,8 +296,7 @@ mod tests {
         // which it is not, so the interesting condition is on the left.
         // The paper's formulation ORs the branches, so we follow it.
         assert!(for_r.is_true() || for_r.attrs().contains("A"));
-        let for_s =
-            push_condition_for_relation(&ge(attr("A"), lit(5)), &q, "S", &cat).unwrap();
+        let for_s = push_condition_for_relation(&ge(attr("A"), lit(5)), &q, "S", &cat).unwrap();
         assert!(for_s.is_true() || for_s.attrs().contains("B"));
     }
 
@@ -337,7 +336,10 @@ mod tests {
 
     #[test]
     fn split_conjuncts_flattens() {
-        let c = and(and(ge(attr("A"), lit(1)), le(attr("A"), lit(5))), eq(attr("B"), lit(2)));
+        let c = and(
+            and(ge(attr("A"), lit(1)), le(attr("A"), lit(5))),
+            eq(attr("B"), lit(2)),
+        );
         assert_eq!(split_conjuncts(&c).len(), 3);
         assert_eq!(split_conjuncts(&ge(attr("A"), lit(1))).len(), 1);
     }

@@ -305,7 +305,8 @@ mod tests {
             vec![Attribute::int("CID"), Attribute::int("Credit")],
         );
         let mut cust = Relation::empty(cust_schema.clone());
-        cust.insert_values([Value::int(1), Value::int(100)]).unwrap();
+        cust.insert_values([Value::int(1), Value::int(100)])
+            .unwrap();
         cust.insert_values([Value::int(2), Value::int(50)]).unwrap();
         db.add_relation(cust).unwrap();
 
@@ -334,10 +335,7 @@ mod tests {
             );
         }
         // The Customer query must not mention Order.
-        assert_eq!(
-            queries["Customer"].referenced_relations(),
-            vec!["Customer"]
-        );
+        assert_eq!(queries["Customer"].referenced_relations(), vec!["Customer"]);
     }
 
     #[test]

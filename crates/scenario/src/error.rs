@@ -1,0 +1,114 @@
+//! Errors of the scenario batch engine.
+
+use std::fmt;
+
+use mahif::MahifError;
+use mahif_history::HistoryError;
+use mahif_slicing::SlicingError;
+
+/// Errors raised while registering or answering scenario batches.
+#[derive(Debug, Clone)]
+pub enum ScenarioError {
+    /// The underlying single-query engine failed.
+    Mahif(MahifError),
+    /// A history operation (normalization, application) failed.
+    History(HistoryError),
+    /// Shared program slicing failed.
+    Slicing(SlicingError),
+    /// A what-if script could not be parsed.
+    InvalidScript {
+        /// The scenario whose script failed to parse.
+        scenario: String,
+        /// Parser message.
+        message: String,
+    },
+    /// Two scenarios were registered under the same name.
+    DuplicateName(String),
+    /// `answer_all` was called on an empty scenario set.
+    EmptyScenarioSet,
+    /// A worker thread panicked while answering a scenario.
+    WorkerPanicked {
+        /// The scenario being answered when the worker died.
+        scenario: String,
+    },
+}
+
+impl fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScenarioError::Mahif(e) => write!(f, "engine error: {e}"),
+            ScenarioError::History(e) => write!(f, "history error: {e}"),
+            ScenarioError::Slicing(e) => write!(f, "slicing error: {e}"),
+            ScenarioError::InvalidScript { scenario, message } => {
+                write!(
+                    f,
+                    "invalid what-if script for scenario '{scenario}': {message}"
+                )
+            }
+            ScenarioError::DuplicateName(name) => {
+                write!(f, "a scenario named '{name}' is already registered")
+            }
+            ScenarioError::EmptyScenarioSet => {
+                write!(f, "answer_all called on an empty scenario set")
+            }
+            ScenarioError::WorkerPanicked { scenario } => {
+                write!(
+                    f,
+                    "worker thread panicked while answering scenario '{scenario}'"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<MahifError> for ScenarioError {
+    fn from(e: MahifError) -> Self {
+        ScenarioError::Mahif(e)
+    }
+}
+
+impl From<HistoryError> for ScenarioError {
+    fn from(e: HistoryError) -> Self {
+        ScenarioError::History(e)
+    }
+}
+
+impl From<SlicingError> for ScenarioError {
+    fn from(e: SlicingError) -> Self {
+        ScenarioError::Slicing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert!(ScenarioError::DuplicateName("s".into())
+            .to_string()
+            .contains("already registered"));
+        assert!(ScenarioError::EmptyScenarioSet
+            .to_string()
+            .contains("empty"));
+        assert!(ScenarioError::InvalidScript {
+            scenario: "s".into(),
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert!(ScenarioError::WorkerPanicked {
+            scenario: "s".into()
+        }
+        .to_string()
+        .contains("panicked"));
+        let e: ScenarioError = HistoryError::PositionOutOfBounds {
+            position: 9,
+            length: 3,
+        }
+        .into();
+        assert!(e.to_string().contains("history error"));
+    }
+}

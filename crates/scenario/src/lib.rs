@@ -1,0 +1,78 @@
+//! # mahif-scenario
+//!
+//! The **scenario batch engine**: answer k historical what-if scenarios
+//! over one registered history with shared reenactment work.
+//!
+//! The paper answers one query `(H, D, M)` at a time, but real what-if
+//! analysis is exploratory — an analyst sweeps a parameter ("what if the
+//! free-shipping threshold had been $55 / $60 / $65…?") or compares
+//! alternative policies over the same history. This crate makes that the
+//! unit of work:
+//!
+//! * [`Scenario`] — a named [`ModificationSet`](mahif_history::ModificationSet)
+//!   or what-if SQL script, with sweep helpers
+//!   ([`Scenario::sweep_replace`], [`Scenario::sweep_replace_values`]);
+//! * [`ScenarioSet`] (alias [`BatchWhatIf`]) — registers scenarios over a
+//!   [`Mahif`](mahif::Mahif) middleware and answers them all with
+//!   [`ScenarioSet::answer_all`];
+//! * [`BatchAnswer`] — per-scenario deltas plus batch work statistics, with
+//!   [`BatchAnswer::rank_by`] reducing the batch to a ranked impact table
+//!   via an [`ImpactSpec`](mahif::ImpactSpec).
+//!
+//! ## What is shared
+//!
+//! | work | single-shot engine | batch engine |
+//! |---|---|---|
+//! | versioned database | cloned per call | borrowed once |
+//! | normalization | per call | once per scenario, grouped |
+//! | program slice | per call | **one per group** ([`mahif_slicing::program_slice_multi`]) |
+//! | execution | sequential | parallel worker pool |
+//!
+//! Scenarios whose normalizations share the original history and modified
+//! positions (every parameter sweep) form a *group* answered with a single
+//! shared program slice, certified for all members at once. The per-scenario
+//! deltas are byte-identical to k independent `Mahif::what_if` calls.
+//!
+//! ## Example
+//!
+//! ```
+//! use mahif::{ImpactSpec, Mahif, Method};
+//! use mahif_history::statement::{running_example_database, running_example_history};
+//! use mahif_history::{History, SetClause, Statement};
+//! use mahif_expr::builder::*;
+//! use mahif_scenario::{Scenario, ScenarioSet};
+//!
+//! let mahif = Mahif::new(
+//!     running_example_database(),
+//!     History::new(running_example_history()),
+//! )
+//! .unwrap();
+//!
+//! // Sweep the free-shipping threshold.
+//! let mut set = ScenarioSet::new(&mahif);
+//! set.add_all(Scenario::sweep_replace_values("threshold", 0, [55i64, 60, 65], |t| {
+//!     Statement::update(
+//!         "Order",
+//!         SetClause::single("ShippingFee", lit(0)),
+//!         ge(attr("Price"), lit(*t)),
+//!     )
+//! }))
+//! .unwrap();
+//!
+//! let batch = set.answer_all(Method::ReenactPsDs).unwrap();
+//! assert_eq!(batch.stats.slice_groups, 1); // one shared slice for the sweep
+//! let ranking = batch.rank_by(&ImpactSpec::sum_of("Order", "ShippingFee")).unwrap();
+//! assert_eq!(ranking.best().unwrap().name, "threshold/65");
+//! ```
+
+pub mod batch;
+pub mod cache;
+pub mod compare;
+pub mod error;
+pub mod scenario;
+
+pub use batch::{BatchAnswer, BatchConfig, BatchStats, BatchWhatIf, ScenarioAnswer, ScenarioSet};
+pub use cache::{group_scenarios, ScenarioGroup, ScenarioGroups, SliceCache};
+pub use compare::{rank_scenarios, RankedScenario, ScenarioComparison};
+pub use error::ScenarioError;
+pub use scenario::Scenario;

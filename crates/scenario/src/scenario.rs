@@ -1,0 +1,161 @@
+//! Named what-if scenarios and sweep helpers.
+
+use std::fmt;
+
+use mahif_history::{Modification, ModificationSet, Statement};
+
+use crate::error::ScenarioError;
+
+/// One named hypothetical: a set of modifications to the registered history.
+///
+/// Scenarios are the unit of a batch — an analyst registers several of them
+/// (alternative policies, or one policy swept over a parameter) and answers
+/// them together with `ScenarioSet::answer_all`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    name: String,
+    modifications: ModificationSet,
+}
+
+impl Scenario {
+    /// Creates a named scenario from a modification set.
+    pub fn new(name: impl Into<String>, modifications: ModificationSet) -> Self {
+        Scenario {
+            name: name.into(),
+            modifications,
+        }
+    }
+
+    /// Creates a scenario from a what-if script in SQL text, e.g.
+    /// `"REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60"`.
+    pub fn from_sql(name: impl Into<String>, script: &str) -> Result<Self, ScenarioError> {
+        let name = name.into();
+        let modifications =
+            mahif_sqlparse::parse_whatif(script).map_err(|e| ScenarioError::InvalidScript {
+                scenario: name.clone(),
+                message: e.to_string(),
+            })?;
+        Ok(Scenario {
+            name,
+            modifications,
+        })
+    }
+
+    /// The scenario's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The scenario's modifications.
+    pub fn modifications(&self) -> &ModificationSet {
+        &self.modifications
+    }
+
+    /// Sweep helper: one scenario per `(label, statement)` pair, each
+    /// replacing the statement at `position`. Scenario names are
+    /// `"{prefix}/{label}"`. All resulting scenarios modify the same
+    /// position, so a batch answers them with a single shared program slice.
+    pub fn sweep_replace<L: fmt::Display>(
+        prefix: &str,
+        position: usize,
+        variants: impl IntoIterator<Item = (L, Statement)>,
+    ) -> Vec<Scenario> {
+        variants
+            .into_iter()
+            .map(|(label, statement)| {
+                Scenario::new(
+                    format!("{prefix}/{label}"),
+                    ModificationSet::new(vec![Modification::replace(position, statement)]),
+                )
+            })
+            .collect()
+    }
+
+    /// Sweep helper over plain values: `make` builds the replacement
+    /// statement for each value, and the value itself is the label.
+    pub fn sweep_replace_values<V: fmt::Display>(
+        prefix: &str,
+        position: usize,
+        values: impl IntoIterator<Item = V>,
+        make: impl Fn(&V) -> Statement,
+    ) -> Vec<Scenario> {
+        values
+            .into_iter()
+            .map(|value| {
+                let statement = make(&value);
+                Scenario::new(
+                    format!("{prefix}/{value}"),
+                    ModificationSet::new(vec![Modification::replace(position, statement)]),
+                )
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Scenario {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.name, self.modifications)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_history::SetClause;
+
+    fn threshold_statement(threshold: i64) -> Statement {
+        Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(0)),
+            ge(attr("Price"), lit(threshold)),
+        )
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let s = Scenario::new(
+            "t60",
+            ModificationSet::single_replace(0, threshold_statement(60)),
+        );
+        assert_eq!(s.name(), "t60");
+        assert_eq!(s.modifications().len(), 1);
+        assert!(s.to_string().contains("t60"));
+    }
+
+    #[test]
+    fn from_sql_parses_and_reports_errors() {
+        let s = Scenario::from_sql(
+            "sql",
+            "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60",
+        )
+        .unwrap();
+        assert_eq!(s.modifications().len(), 1);
+        let err = Scenario::from_sql("bad", "FROB STATEMENT 1").unwrap_err();
+        assert!(err.to_string().contains("bad"));
+    }
+
+    #[test]
+    fn sweep_replace_builds_one_scenario_per_variant() {
+        let scenarios = Scenario::sweep_replace(
+            "threshold",
+            0,
+            [(55, threshold_statement(55)), (60, threshold_statement(60))],
+        );
+        assert_eq!(scenarios.len(), 2);
+        assert_eq!(scenarios[0].name(), "threshold/55");
+        assert_eq!(scenarios[1].name(), "threshold/60");
+        assert_eq!(
+            scenarios[0].modifications().modifications()[0].position(),
+            0
+        );
+    }
+
+    #[test]
+    fn sweep_replace_values_labels_with_value() {
+        let scenarios =
+            Scenario::sweep_replace_values("t", 0, [55i64, 60, 65], |v| threshold_statement(*v));
+        assert_eq!(scenarios.len(), 3);
+        assert_eq!(scenarios[2].name(), "t/65");
+    }
+}

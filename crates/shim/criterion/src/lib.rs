@@ -1,0 +1,245 @@
+//! Minimal, dependency-free stand-in for the parts of the crates.io
+//! `criterion` API this workspace uses: `Criterion::bench_function`,
+//! benchmark groups with `sample_size`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up briefly, then timed over
+//! `sample_size` samples whose iteration count is calibrated so a sample
+//! takes roughly [`SAMPLE_TARGET`]. The median, minimum and maximum
+//! per-iteration times are printed in a `name ... time: [..]` line similar
+//! to criterion's. There are no plots, baselines or statistical tests.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target wall-clock duration of one timed sample.
+const SAMPLE_TARGET: Duration = Duration::from_millis(20);
+
+/// Warm-up budget per benchmark.
+const WARM_UP: Duration = Duration::from_millis(50);
+
+/// The benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 30 }
+    }
+}
+
+impl Criterion {
+    /// Runs a single benchmark.
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(id.as_ref(), self.sample_size, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks with its own sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a benchmark within the group (reported as `group/id`).
+    pub fn bench_function<F>(&mut self, id: impl AsRef<str>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.as_ref());
+        run_benchmark(&full, self.sample_size, f);
+        self
+    }
+
+    /// Finishes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code to
+/// measure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times back to back.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// `cargo bench -- <filter>` support: non-flag command-line arguments are
+/// substring filters on benchmark ids, like criterion's.
+fn matches_filter(id: &str) -> bool {
+    let filters: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| !a.starts_with('-'))
+        .collect();
+    filters.is_empty() || filters.iter().any(|f| id.contains(f.as_str()))
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if !matches_filter(id) {
+        return;
+    }
+    // Warm-up and calibration: find an iteration count whose sample takes
+    // roughly SAMPLE_TARGET.
+    let mut iters: u64 = 1;
+    let warm_up_start = Instant::now();
+    let mut per_iter;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = b
+            .elapsed
+            .checked_div(iters as u32)
+            .unwrap_or(Duration::ZERO);
+        if warm_up_start.elapsed() >= WARM_UP || b.elapsed >= SAMPLE_TARGET {
+            break;
+        }
+        iters = iters.saturating_mul(2);
+    }
+    if per_iter > Duration::ZERO {
+        let target = SAMPLE_TARGET.as_nanos() / per_iter.as_nanos().max(1);
+        iters = (target as u64).clamp(1, 1_000_000_000);
+    }
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(
+            b.elapsed
+                .checked_div(iters as u32)
+                .unwrap_or(Duration::ZERO),
+        );
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    println!(
+        "{id:<50} time: [{} {} {}]  ({} iters x {} samples)",
+        fmt_duration(min),
+        fmt_duration(median),
+        fmt_duration(max),
+        iters,
+        sample_size,
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} us", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Bundles benchmark functions into a runner, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut ran = false;
+        c.bench_function("smoke/add", |b| {
+            ran = true;
+            b.iter(|| black_box(1u64) + black_box(2u64))
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_apply_sample_size() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut calls = 0usize;
+        group.bench_function("count", |b| {
+            calls += 1;
+            b.iter(|| black_box(0u64))
+        });
+        group.finish();
+        // Calibration calls + exactly 2 timed samples.
+        assert!(calls >= 3);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_duration(Duration::from_nanos(10)), "10 ns");
+        assert!(fmt_duration(Duration::from_micros(15)).ends_with("us"));
+        assert!(fmt_duration(Duration::from_millis(15)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(2)).ends_with(" s"));
+    }
+}

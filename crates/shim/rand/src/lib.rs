@@ -1,0 +1,187 @@
+//! Minimal, dependency-free stand-in for the parts of the crates.io `rand`
+//! API this workspace uses: `StdRng::seed_from_u64`, `Rng::gen_range` over
+//! integer ranges and `Rng::gen_bool`.
+//!
+//! The generator is xoshiro256** seeded via splitmix64 — high-quality,
+//! deterministic per seed and more than adequate for synthetic dataset and
+//! workload generation. It intentionally does **not** reproduce the exact
+//! value streams of the real `rand` crate; everything downstream only relies
+//! on determinism per seed, not on specific values.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Pseudo-random number generators.
+pub mod rngs {
+    /// Deterministic xoshiro256** generator, the stand-in for `rand`'s
+    /// `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) state: [u64; 4],
+    }
+}
+
+pub use rngs::StdRng;
+
+/// Seedable generators (stand-in for `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // splitmix64 expansion of the seed into the full 256-bit state.
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            state: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Random value generation (stand-in for `rand::Rng`).
+pub trait Rng {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniformly distributed value in `range` (half-open or inclusive
+    /// integer ranges).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "gen_bool probability {p} not in [0, 1]"
+        );
+        // 53 uniform mantissa bits, exactly like rand's `gen_bool`.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256** by Blackman & Vigna (public domain reference
+        // implementation, transcribed).
+        let s = &mut self.state;
+        let result = s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Ranges that can be sampled from (stand-in for
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value.
+    fn sample<R: Rng>(self, rng: &mut R) -> T;
+}
+
+/// Uniform draw from `[0, span)` without modulo bias (Lemire's method would
+/// be overkill here; rejection sampling keeps it exact and simple).
+fn uniform_below<R: Rng>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + uniform_below(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: Rng>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty gen_range range");
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + uniform_below(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(i64, i32, u64, u32, usize, u8);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: i64 = rng.gen_range(-5i64..10);
+            assert!((-5..10).contains(&v));
+            let u: usize = rng.gen_range(0usize..3);
+            assert!(u < 3);
+            let w: i64 = rng.gen_range(1i64..=77);
+            assert!((1..=77).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_rough_frequency() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+        let hits = (0..2000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((300..700).contains(&hits), "0.25 frequency was {hits}/2000");
+    }
+}

@@ -179,7 +179,10 @@ fn push_down(condition: Expr, history: &History, position: usize, relation: &str
         if stmt.relation() != relation {
             continue;
         }
-        if let Statement::Update { set, cond: theta, .. } = stmt {
+        if let Statement::Update {
+            set, cond: theta, ..
+        } = stmt
+        {
             let mut map = SubstMap::new();
             for (attr, e) in &set.assignments {
                 map.insert(
@@ -441,18 +444,10 @@ mod tests {
         // The answer is still correct because the inserted tuple flows
         // through the reenactment union branch, not the scan.
         let schema = q.database.relation("Order").unwrap().schema.clone();
-        let sliced_orig = apply_data_slicing(
-            &n.original,
-            "Order",
-            &schema,
-            &conds.original_for("Order"),
-        );
-        let sliced_mod = apply_data_slicing(
-            &n.modified,
-            "Order",
-            &schema,
-            &conds.modified_for("Order"),
-        );
+        let sliced_orig =
+            apply_data_slicing(&n.original, "Order", &schema, &conds.original_for("Order"));
+        let sliced_mod =
+            apply_data_slicing(&n.modified, "Order", &schema, &conds.modified_for("Order"));
         let delta = mahif_history::RelationDelta::compute(
             "Order",
             &evaluate(&sliced_orig, &q.database).unwrap(),

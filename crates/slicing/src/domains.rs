@@ -85,7 +85,7 @@ mod tests {
     fn running_example_domains() {
         let db = running_example_database();
         let rel = db.relation("Order").unwrap();
-        let domains = domains_for_relation(rel, |a| initial_var_name(a)).unwrap();
+        let domains = domains_for_relation(rel, initial_var_name).unwrap();
         assert_eq!(domains.len(), 5);
         let price = domains
             .iter()
@@ -109,7 +109,7 @@ mod tests {
         let db = running_example_database();
         let schema = db.relation("Order").unwrap().schema.clone();
         let empty = Relation::empty(schema);
-        let domains = domains_for_relation(&empty, |a| initial_var_name(a)).unwrap();
+        let domains = domains_for_relation(&empty, initial_var_name).unwrap();
         let price = domains
             .iter()
             .find(|(n, _)| n == "x_Price_0")

@@ -28,6 +28,8 @@ pub enum SlicingError {
         /// Length of the modified history.
         modified: usize,
     },
+    /// A shared slice was requested for a scenario group with no variants.
+    EmptyScenarioGroup,
 }
 
 impl fmt::Display for SlicingError {
@@ -42,6 +44,12 @@ impl fmt::Display for SlicingError {
                 f,
                 "normalized histories are not aligned ({original} vs {modified} statements)"
             ),
+            SlicingError::EmptyScenarioGroup => {
+                write!(
+                    f,
+                    "shared program slice requested for an empty scenario group"
+                )
+            }
         }
     }
 }

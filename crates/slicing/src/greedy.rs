@@ -80,7 +80,10 @@ fn run_symbolically(
                         cond: Arc::new(theta.clone()),
                         then_branch: Arc::new(substitute_attrs(e, &subst)),
                         else_branch: Arc::new(
-                            current.get(attr).cloned().unwrap_or(Expr::Attr(attr.clone())),
+                            current
+                                .get(attr)
+                                .cloned()
+                                .unwrap_or(Expr::Attr(attr.clone())),
                         ),
                     });
                     definitions.push((new_var.clone(), value));
@@ -122,10 +125,7 @@ fn same_result(a: &SymbolicRun, b: &SymbolicRun, attributes: &[String]) -> Expr 
                 right: Arc::new(b.finals[attr].clone()),
             }),
     );
-    let both_survive = Expr::And(
-        Arc::new(a.survives.clone()),
-        Arc::new(b.survives.clone()),
-    );
+    let both_survive = Expr::And(Arc::new(a.survives.clone()), Arc::new(b.survives.clone()));
     let both_deleted = Expr::And(
         Arc::new(Expr::Not(Arc::new(a.survives.clone()))),
         Arc::new(Expr::Not(Arc::new(b.survives.clone()))),
@@ -311,8 +311,7 @@ pub fn greedy_slice(
         // Stage 3: full ¬ζ ∧ Φ_D (reached only when the core was satisfiable
         // outside the compressed database).
         let condition = simplify(&Expr::And(Arc::new(phi_d.clone()), Arc::new(core)));
-        let problem =
-            crate::program::problem_with_definitions(domains, condition, &definitions);
+        let problem = crate::program::problem_with_definitions(domains, condition, &definitions);
         solver_calls += 1;
         if let SatResult::Unsat = solver.check(&problem) {
             kept.remove(&i);
@@ -361,8 +360,7 @@ pub fn is_slice(
         let slice_h = run_symbolically(original, relation, &candidate_set, &attributes, "_sh");
         let slice_m = run_symbolically(modified, relation, &candidate_set, &attributes, "_sm");
         let condition = not_zeta(&full_h, &full_m, &slice_h, &slice_m, &attributes, &phi_d);
-        let mut problem =
-            SatProblem::new(domains_for_relation(rel, initial_var_name)?, condition);
+        let mut problem = SatProblem::new(domains_for_relation(rel, initial_var_name)?, condition);
         for run in [&full_h, &full_m, &slice_h, &slice_m] {
             for (name, def) in &run.definitions {
                 problem.define(name.clone(), def.clone());

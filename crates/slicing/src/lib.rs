@@ -26,10 +26,12 @@ pub mod data;
 pub mod domains;
 pub mod error;
 pub mod greedy;
+pub mod multi;
 pub mod program;
 
 pub use data::{apply_data_slicing, data_slicing_conditions, DataSlicingConditions};
 pub use domains::domains_for_relation;
 pub use error::SlicingError;
 pub use greedy::{greedy_slice, GreedyConfig};
+pub use multi::program_slice_multi;
 pub use program::{program_slice, ProgramSliceResult, ProgramSlicingConfig};

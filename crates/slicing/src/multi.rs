@@ -1,0 +1,456 @@
+//! Program slicing shared across a *batch* of what-if scenarios.
+//!
+//! A scenario sweep ("what if the threshold had been 55 / 60 / 65 …?")
+//! produces k modified histories that all differ from the same normalized
+//! original history at the same positions. Running the dependency test of
+//! [`crate::program`] once per scenario repeats almost identical work k
+//! times: the original-history trajectories, the per-relation domains, the
+//! compressed-database constraint Φ_D and the witness samples are the same
+//! every time, and the statements under test only differ in the "affected by
+//! a modified statement" side of the dependency condition.
+//!
+//! [`program_slice_multi`] therefore computes **one slice certified for
+//! every scenario in the group**: the affected-by-modification condition
+//! becomes the disjunction over all k variants. A statement is excluded only
+//! when that disjunction is unsatisfiable — and `UNSAT` of a disjunction
+//! implies `UNSAT` of each disjunct, so the exclusion is exactly the
+//! per-scenario certificate of [`crate::program_slice`] for every variant,
+//! with the cumulative exclusion set shared across variants. The resulting
+//! kept set is a superset of each scenario's individual slice (it keeps a
+//! statement if *any* scenario needs it), which is always answer-preserving;
+//! the payoff is one slicing pass instead of k.
+
+use std::borrow::Borrow;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mahif_expr::{simplify, Expr, MapBindings};
+use mahif_history::{History, Statement};
+use mahif_solver::{Domain, SatResult, Solver};
+use mahif_storage::Database;
+use mahif_symbolic::{compress_relation, initial_var_name};
+
+use crate::domains::domains_for_relation;
+use crate::error::SlicingError;
+use crate::program::{
+    affected_relations, affects_condition, model_satisfies, problem_with_definitions, trajectory,
+    witness_satisfies, ProgramSliceResult, ProgramSlicingConfig, WITNESS_SAMPLES,
+};
+
+/// Computes a single program slice valid for *every* modified-history
+/// variant of a scenario group.
+///
+/// Requirements (checked): all `variants` have the same length as
+/// `original`, and each differs from `original` only at `positions` (the
+/// shared normalization of the group). With a single variant this degenerates
+/// to [`crate::program_slice`] up to symbolic variable naming.
+///
+/// `variants` may hold owned histories or references (`&[History]` or
+/// `&[&History]`), so batch callers can borrow variants from their
+/// normalization results instead of cloning them.
+pub fn program_slice_multi<H: Borrow<History>>(
+    original: &History,
+    variants: &[H],
+    positions: &[usize],
+    database: &Database,
+    config: &ProgramSlicingConfig,
+) -> Result<ProgramSliceResult, SlicingError> {
+    let start = Instant::now();
+    if variants.is_empty() {
+        return Err(SlicingError::EmptyScenarioGroup);
+    }
+    let variants: Vec<&History> = variants.iter().map(Borrow::borrow).collect();
+    for variant in &variants {
+        if variant.len() != original.len() {
+            return Err(SlicingError::HistoriesNotAligned {
+                original: original.len(),
+                modified: variant.len(),
+            });
+        }
+    }
+    if positions.is_empty() {
+        return Ok(ProgramSliceResult {
+            kept_positions: Vec::new(),
+            excluded_positions: (0..original.len()).collect(),
+            solver_calls: 0,
+            duration: start.elapsed(),
+        });
+    }
+
+    // Relations that can carry delta tuples for *any* variant.
+    let mut affected: BTreeSet<String> = BTreeSet::new();
+    for variant in &variants {
+        affected.extend(affected_relations(original, variant, positions));
+    }
+    let modified_set: BTreeSet<usize> = positions.iter().copied().collect();
+    let solver = Solver::with_config(config.solver.clone());
+
+    // Per-relation solver inputs shared by the whole group (and by every
+    // statement's check): attribute domains, the compressed-database
+    // constraint Φ_D and sampled concrete witness tuples.
+    struct RelationContext {
+        domains: Vec<(String, Domain)>,
+        phi_d: Expr,
+        witnesses: Vec<MapBindings>,
+    }
+    let mut contexts: BTreeMap<String, RelationContext> = BTreeMap::new();
+
+    let mut kept = Vec::new();
+    let mut excluded = Vec::new();
+    let mut excluded_set: BTreeSet<usize> = BTreeSet::new();
+    let mut solver_calls = 0usize;
+
+    for (i, stmt) in original.statements().iter().enumerate() {
+        if modified_set.contains(&i) {
+            kept.push(i);
+            continue;
+        }
+        if matches!(
+            stmt,
+            Statement::InsertValues { .. } | Statement::InsertQuery { .. }
+        ) {
+            kept.push(i);
+            continue;
+        }
+        let relation = stmt.relation().to_string();
+        if !affected.contains(&relation) {
+            excluded.push(i);
+            excluded_set.insert(i);
+            continue;
+        }
+        // Positions of modified statements over the same relation in any
+        // variant; without one, the statement is kept conservatively (its
+        // relation is affected only via insert-select data flow).
+        let relation_positions: Vec<usize> = positions
+            .iter()
+            .copied()
+            .filter(|&p| {
+                std::iter::once(original)
+                    .chain(variants.iter().copied())
+                    .any(|h| {
+                        h.statement(p)
+                            .map(|s| s.relation() == relation)
+                            .unwrap_or(false)
+                    })
+            })
+            .collect();
+        if relation_positions.is_empty() {
+            kept.push(i);
+            continue;
+        }
+
+        if !contexts.contains_key(&relation) {
+            let rel = database.relation(&relation)?;
+            let domains = domains_for_relation(rel, initial_var_name)?;
+            let phi_d = if config.skip_compression_constraint {
+                Expr::true_()
+            } else {
+                compress_relation(rel, &config.compression)
+            };
+            let stride = (rel.len() / WITNESS_SAMPLES).max(1);
+            let witnesses = rel
+                .iter()
+                .step_by(stride)
+                .take(WITNESS_SAMPLES)
+                .map(|t| {
+                    let mut b = MapBindings::new();
+                    for (idx, a) in rel.schema.attributes.iter().enumerate() {
+                        if let Some(v) = t.value(idx) {
+                            b.set_var(initial_var_name(&a.name), v.clone());
+                        }
+                    }
+                    b
+                })
+                .collect();
+            contexts.insert(
+                relation.clone(),
+                RelationContext {
+                    domains,
+                    phi_d,
+                    witnesses,
+                },
+            );
+        }
+        let ctx = &contexts[&relation];
+
+        // Trajectories: the original history's candidate and sliced
+        // trajectories are shared; each variant contributes its own pair,
+        // with distinct variable suffixes so definitions never collide.
+        let mut skip_prime = excluded_set.clone();
+        skip_prime.insert(i);
+        let orig_cand = trajectory(original, &relation, &excluded_set, "_h");
+        let orig_sliced = trajectory(original, &relation, &skip_prime, "_sh");
+        let variant_cand: Vec<_> = variants
+            .iter()
+            .enumerate()
+            .map(|(v, h)| trajectory(h, &relation, &excluded_set, &format!("_m{v}")))
+            .collect();
+        let variant_sliced: Vec<_> = variants
+            .iter()
+            .enumerate()
+            .map(|(v, h)| trajectory(h, &relation, &skip_prime, &format!("_sm{v}")))
+            .collect();
+
+        // "Affected by statement i" in the candidate histories of any
+        // variant (for i outside `positions` the statement text is shared,
+        // but the intermediate states it sees are per-variant).
+        let affected_by_stmt = simplify(&mahif_expr::builder::disjunction(
+            std::iter::once(affects_condition(stmt, &orig_cand.states[i])).chain(
+                variants
+                    .iter()
+                    .zip(variant_cand.iter())
+                    .map(|(h, traj)| affects_condition(&h.statements()[i], &traj.states[i])),
+            ),
+        ));
+        // "Affected by a modified statement" in any variant, over both the
+        // candidate and the i-removed trajectories (see crate::program for
+        // why both are needed).
+        let affected_by_modification = simplify(&mahif_expr::builder::disjunction(
+            relation_positions.iter().flat_map(|&p| {
+                let a = &original.statements()[p];
+                let mut conditions = vec![
+                    affects_condition(a, &orig_cand.states[p]),
+                    affects_condition(a, &orig_sliced.states[p]),
+                ];
+                for (v, h) in variants.iter().enumerate() {
+                    let b = &h.statements()[p];
+                    conditions.push(affects_condition(b, &variant_cand[v].states[p]));
+                    conditions.push(affects_condition(b, &variant_sliced[v].states[p]));
+                }
+                conditions
+            }),
+        ));
+        let core_condition = simplify(&Expr::And(
+            Arc::new(affected_by_modification),
+            Arc::new(affected_by_stmt),
+        ));
+        let definitions: Vec<(String, Expr)> = orig_cand
+            .definitions
+            .iter()
+            .chain(orig_sliced.definitions.iter())
+            .chain(variant_cand.iter().flat_map(|t| t.definitions.iter()))
+            .chain(variant_sliced.iter().flat_map(|t| t.definitions.iter()))
+            .cloned()
+            .collect();
+
+        // Stage 1: concrete witnesses.
+        if ctx
+            .witnesses
+            .iter()
+            .any(|w| witness_satisfies(&core_condition, &definitions, w))
+        {
+            kept.push(i);
+            continue;
+        }
+
+        // Stage 2: the core condition without Φ_D.
+        solver_calls += 1;
+        let core_problem =
+            problem_with_definitions(ctx.domains.clone(), core_condition.clone(), &definitions);
+        match solver.check(&core_problem) {
+            SatResult::Unsat => {
+                excluded.push(i);
+                excluded_set.insert(i);
+                continue;
+            }
+            SatResult::Sat(ref model) => {
+                if model_satisfies(&ctx.phi_d, model) {
+                    kept.push(i);
+                    continue;
+                }
+            }
+            SatResult::Unknown => {}
+        }
+
+        // Stage 3: the full condition including Φ_D.
+        let condition = simplify(&Expr::And(
+            Arc::new(ctx.phi_d.clone()),
+            Arc::new(core_condition),
+        ));
+        let problem = problem_with_definitions(ctx.domains.clone(), condition, &definitions);
+        solver_calls += 1;
+        match solver.check(&problem) {
+            SatResult::Unsat => {
+                excluded.push(i);
+                excluded_set.insert(i);
+            }
+            SatResult::Sat(_) | SatResult::Unknown => kept.push(i),
+        }
+    }
+
+    Ok(ProgramSliceResult {
+        kept_positions: kept,
+        excluded_positions: excluded,
+        solver_calls,
+        duration: start.elapsed(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::program_slice;
+    use mahif_expr::builder::*;
+    use mahif_history::statement::{
+        running_example_database, running_example_history, running_example_u1_prime,
+    };
+    use mahif_history::{HistoricalWhatIf, ModificationSet, SetClause};
+
+    /// The running-example sweep: u1 with free-shipping thresholds 55..=75
+    /// (the shape of `running_example_u1_prime`, parameterized).
+    fn threshold_variant(threshold: i64) -> Statement {
+        Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(0)),
+            ge(attr("Price"), lit(threshold)),
+        )
+    }
+
+    fn sweep_normalized(thresholds: &[i64]) -> (History, Vec<History>, Vec<usize>) {
+        let history = History::new(running_example_history());
+        let mut variants = Vec::new();
+        let mut all_positions: Option<Vec<usize>> = None;
+        for &t in thresholds {
+            let mods = ModificationSet::single_replace(0, threshold_variant(t));
+            let (original, modified, positions) = mods.normalize(&history).unwrap();
+            assert_eq!(original.statements(), history.statements());
+            match &all_positions {
+                Some(p) => assert_eq!(p, &positions),
+                None => all_positions = Some(positions),
+            }
+            variants.push(modified);
+        }
+        (history, variants, all_positions.unwrap())
+    }
+
+    #[test]
+    fn multi_slice_is_union_of_per_scenario_slices() {
+        let db = running_example_database();
+        let (original, variants, positions) = sweep_normalized(&[55, 60, 65, 70, 75]);
+        let shared = program_slice_multi(
+            &original,
+            &variants,
+            &positions,
+            &db,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        for variant in &variants {
+            let single = program_slice(
+                &original,
+                variant,
+                &positions,
+                &db,
+                &ProgramSlicingConfig::default(),
+            )
+            .unwrap();
+            for p in &single.kept_positions {
+                assert!(
+                    shared.kept_positions.contains(p),
+                    "shared slice dropped position {p} needed by a scenario"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_slice_preserves_every_scenario_answer() {
+        let db = running_example_database();
+        let (original, variants, positions) = sweep_normalized(&[55, 60, 65]);
+        let shared = program_slice_multi(
+            &original,
+            &variants,
+            &positions,
+            &db,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        for (v, variant) in variants.iter().enumerate() {
+            let sliced_original = original.restrict(&shared.kept_positions);
+            let sliced_variant = variant.restrict(&shared.kept_positions);
+            let left = sliced_original.execute(&db).unwrap();
+            let right = sliced_variant.execute(&db).unwrap();
+            let sliced_delta = mahif_history::DatabaseDelta::compute_for_relations(
+                &left,
+                &right,
+                &original.relations_accessed(),
+            );
+            let reference = HistoricalWhatIf::new(
+                original.clone(),
+                db.clone(),
+                ModificationSet::single_replace(0, threshold_variant([55, 60, 65][v])),
+            )
+            .answer_by_direct_execution()
+            .unwrap();
+            assert_eq!(sliced_delta, reference, "scenario {v} answer changed");
+        }
+    }
+
+    #[test]
+    fn singleton_group_matches_program_slice() {
+        let db = running_example_database();
+        let history = History::new(running_example_history());
+        let mods = ModificationSet::single_replace(0, running_example_u1_prime());
+        let (original, modified, positions) = mods.normalize(&history).unwrap();
+        let single = program_slice(
+            &original,
+            &modified,
+            &positions,
+            &db,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        let multi = program_slice_multi(
+            &original,
+            std::slice::from_ref(&modified),
+            &positions,
+            &db,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(single.kept_positions, multi.kept_positions);
+        assert_eq!(single.excluded_positions, multi.excluded_positions);
+    }
+
+    #[test]
+    fn empty_group_and_misaligned_variants_error() {
+        let db = running_example_database();
+        let history = History::new(running_example_history());
+        assert!(matches!(
+            program_slice_multi::<History>(
+                &history,
+                &[],
+                &[0],
+                &db,
+                &ProgramSlicingConfig::default()
+            ),
+            Err(SlicingError::EmptyScenarioGroup)
+        ));
+        let shorter = history.prefix(1);
+        assert!(program_slice_multi(
+            &history,
+            &[shorter],
+            &[0],
+            &db,
+            &ProgramSlicingConfig::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn empty_positions_exclude_everything() {
+        let db = running_example_database();
+        let history = History::new(running_example_history());
+        let slice = program_slice_multi(
+            &history,
+            std::slice::from_ref(&history),
+            &[],
+            &db,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        assert!(slice.kept_positions.is_empty());
+        assert_eq!(slice.excluded_positions.len(), 3);
+    }
+}

@@ -65,7 +65,7 @@ pub struct ProgramSlicingConfig {
 /// that satisfies the dependency condition proves the statement dependent
 /// without invoking the solver. The cap keeps the cost of program slicing
 /// independent of the relation size, as in the paper.
-const WITNESS_SAMPLES: usize = 64;
+pub(crate) const WITNESS_SAMPLES: usize = 64;
 
 /// The result of program slicing.
 #[derive(Debug, Clone)]
@@ -106,18 +106,18 @@ impl ProgramSliceResult {
 /// Symbolic trajectory of the single input tuple of one relation through one
 /// history: the per-attribute symbolic expression *before* each statement,
 /// plus the definitions introducing the intermediate variables.
-struct Trajectory {
+pub(crate) struct Trajectory {
     /// `states[j]` maps attribute → symbolic expression before the statement
     /// at position `j`; `states[len]` is the final state.
-    states: Vec<BTreeMap<String, Expr>>,
+    pub(crate) states: Vec<BTreeMap<String, Expr>>,
     /// Definitions `(variable, expression)` in dependency order.
-    definitions: Vec<(String, Expr)>,
+    pub(crate) definitions: Vec<(String, Expr)>,
 }
 
 /// Builds the symbolic trajectory of `history` over `relation`, skipping the
 /// statements at the positions in `skip` (used to model candidate slices:
 /// the skipped statements' effects are simply not applied).
-fn trajectory(
+pub(crate) fn trajectory(
     history: &History,
     relation: &str,
     skip: &BTreeSet<usize>,
@@ -181,7 +181,7 @@ fn trajectory(
 
 /// The condition under which `statement` affects an existing input tuple
 /// whose current attribute values are given by `state`.
-fn affects_condition(statement: &Statement, state: &BTreeMap<String, Expr>) -> Expr {
+pub(crate) fn affects_condition(statement: &Statement, state: &BTreeMap<String, Expr>) -> Expr {
     match statement {
         Statement::Update { cond, .. } | Statement::Delete { cond, .. } => {
             if cond.is_false() {
@@ -247,7 +247,7 @@ pub(crate) fn problem_with_definitions(
 /// Relations that can carry delta tuples: the relations of the modified
 /// statements, closed under `INSERT ... SELECT` data flow (if an insert query
 /// reads an affected relation, its target relation is affected too).
-fn affected_relations(
+pub(crate) fn affected_relations(
     original: &History,
     modified: &History,
     positions: &[usize],
@@ -543,9 +543,14 @@ mod tests {
     /// the result against direct execution.
     fn assert_slice_preserves_answer(query: &HistoricalWhatIf, config: &ProgramSlicingConfig) {
         let n = query.normalize().unwrap();
-        let slice =
-            program_slice(&n.original, &n.modified, &n.modified_positions, &query.database, config)
-                .unwrap();
+        let slice = program_slice(
+            &n.original,
+            &n.modified,
+            &n.modified_positions,
+            &query.database,
+            config,
+        )
+        .unwrap();
         let sliced_original = n.original.restrict(&slice.kept_positions);
         let sliced_modified = n.modified.restrict(&slice.kept_positions);
         let left = sliced_original.execute(&query.database).unwrap();

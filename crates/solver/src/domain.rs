@@ -192,10 +192,7 @@ mod tests {
         assert_eq!(Domain::IntRange(5, 1).size(), 0);
         assert!(Domain::IntRange(5, 1).is_empty());
         assert_eq!(Domain::IntChoices(vec![1, 7]).size(), 2);
-        assert_eq!(
-            Domain::StrChoices(vec!["UK".into(), "US".into()]).size(),
-            2
-        );
+        assert_eq!(Domain::StrChoices(vec!["UK".into(), "US".into()]).size(), 2);
         assert!(Domain::IntRange(0, 3).to_string().contains("[0, 3]"));
     }
 
@@ -204,7 +201,10 @@ mod tests {
         let mut p = SatProblem::new(
             vec![
                 ("x".into(), Domain::IntRange(0, 9)),
-                ("c".into(), Domain::StrChoices(vec!["UK".into(), "US".into()])),
+                (
+                    "c".into(),
+                    Domain::StrChoices(vec!["UK".into(), "US".into()]),
+                ),
             ],
             ge(var("x"), lit(5)),
         );

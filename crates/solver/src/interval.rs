@@ -371,7 +371,10 @@ mod tests {
         assert_eq!(a.add(&b), IntInterval::new(11, 23));
         assert_eq!(b.sub(&a), IntInterval::new(7, 19));
         assert_eq!(a.mul(&b), IntInterval::new(10, 60));
-        assert_eq!(b.div(&IntInterval::new(2, 2)), Some(IntInterval::new(5, 10)));
+        assert_eq!(
+            b.div(&IntInterval::new(2, 2)),
+            Some(IntInterval::new(5, 10))
+        );
         assert_eq!(b.div(&IntInterval::new(-1, 1)), None);
         assert_eq!(a.hull(&b), IntInterval::new(1, 20));
         assert_eq!(a.width(), 3);
@@ -503,7 +506,12 @@ mod tests {
                         .with_var("c", c);
                     let v = eval_expr(&e, &b).unwrap();
                     let Value::Int(v) = v else { panic!() };
-                    assert!(v >= iv.lo && v <= iv.hi, "{v} outside [{}, {}]", iv.lo, iv.hi);
+                    assert!(
+                        v >= iv.lo && v <= iv.hi,
+                        "{v} outside [{}, {}]",
+                        iv.lo,
+                        iv.hi
+                    );
                 }
             }
         }
@@ -538,9 +546,6 @@ mod tests {
             AbstractValue::Bool(Bool3::True).join(&AbstractValue::Bool(Bool3::False)),
             AbstractValue::Bool(Bool3::Unknown)
         );
-        assert_eq!(
-            int_iv(1, 2).join(&AbstractValue::Null),
-            AbstractValue::Top
-        );
+        assert_eq!(int_iv(1, 2).join(&AbstractValue::Null), AbstractValue::Top);
     }
 }

@@ -319,12 +319,18 @@ impl Compiler {
                 match op {
                     // Figure 13: e := e1 + e2 ⇒ v1 + v2 − v = 0.
                     ArithOp::Add => self.constrain(
-                        LinearExpr::new().add_term(v1, 1).add_term(v2, 1).add_term(v, -1),
+                        LinearExpr::new()
+                            .add_term(v1, 1)
+                            .add_term(v2, 1)
+                            .add_term(v, -1),
                         ConstraintOp::Eq,
                         0,
                     ),
                     ArithOp::Sub => self.constrain(
-                        LinearExpr::new().add_term(v1, 1).add_term(v2, -1).add_term(v, -1),
+                        LinearExpr::new()
+                            .add_term(v1, 1)
+                            .add_term(v2, -1)
+                            .add_term(v, -1),
                         ConstraintOp::Eq,
                         0,
                     ),
@@ -529,12 +535,18 @@ impl Compiler {
                     Some(expr.clone()),
                 );
                 self.constrain(
-                    LinearExpr::new().add_term(b1, 1).add_term(b2, 1).add_term(b, -2),
+                    LinearExpr::new()
+                        .add_term(b1, 1)
+                        .add_term(b2, 1)
+                        .add_term(b, -2),
                     ConstraintOp::Le,
                     0,
                 );
                 self.constrain(
-                    LinearExpr::new().add_term(b1, 1).add_term(b2, 1).add_term(b, -1),
+                    LinearExpr::new()
+                        .add_term(b1, 1)
+                        .add_term(b2, 1)
+                        .add_term(b, -1),
                     ConstraintOp::Ge,
                     0,
                 );
@@ -586,12 +598,18 @@ impl Compiler {
             Some(source.clone()),
         );
         self.constrain(
-            LinearExpr::new().add_term(v1, 1).add_term(v2, -1).add_term(b, m),
+            LinearExpr::new()
+                .add_term(v1, 1)
+                .add_term(v2, -1)
+                .add_term(b, m),
             ConstraintOp::Ge,
             0,
         );
         self.constrain(
-            LinearExpr::new().add_term(v2, 1).add_term(v1, -1).add_term(b, -m),
+            LinearExpr::new()
+                .add_term(v2, 1)
+                .add_term(v1, -1)
+                .add_term(b, -m),
             ConstraintOp::Ge,
             1 - m,
         );
@@ -608,12 +626,18 @@ impl Compiler {
             Some(source.clone()),
         );
         self.constrain(
-            LinearExpr::new().add_term(v1, 1).add_term(v2, -1).add_term(b, m),
+            LinearExpr::new()
+                .add_term(v1, 1)
+                .add_term(v2, -1)
+                .add_term(b, m),
             ConstraintOp::Ge,
             1,
         );
         self.constrain(
-            LinearExpr::new().add_term(v2, 1).add_term(v1, -1).add_term(b, -m),
+            LinearExpr::new()
+                .add_term(v2, 1)
+                .add_term(v1, -1)
+                .add_term(b, -m),
             ConstraintOp::Ge,
             -m,
         );
@@ -629,12 +653,18 @@ impl Compiler {
             Some(source.clone()),
         );
         self.constrain(
-            LinearExpr::new().add_term(b1, 1).add_term(b2, 1).add_term(b, -2),
+            LinearExpr::new()
+                .add_term(b1, 1)
+                .add_term(b2, 1)
+                .add_term(b, -2),
             ConstraintOp::Le,
             1,
         );
         self.constrain(
-            LinearExpr::new().add_term(b1, 1).add_term(b2, 1).add_term(b, -2),
+            LinearExpr::new()
+                .add_term(b1, 1)
+                .add_term(b2, 1)
+                .add_term(b, -2),
             ConstraintOp::Ge,
             0,
         );
@@ -820,12 +850,7 @@ mod tests {
         let program = compile_to_milp(&cond, 1_000);
         assert!(program.string_code("UK").is_some());
         assert!(program.string_code("FR").is_none());
-        cross_validate(
-            &cond,
-            &[
-                vec![("c", Value::str("UK"))],
-            ],
-        );
+        cross_validate(&cond, &[vec![("c", Value::str("UK"))]]);
     }
 
     #[test]

@@ -430,10 +430,7 @@ mod tests {
     #[test]
     fn empty_domain_is_unsat() {
         let solver = Solver::new();
-        let p = SatProblem::new(
-            vec![("x".into(), Domain::IntRange(5, 1))],
-            Expr::true_(),
-        );
+        let p = SatProblem::new(vec![("x".into(), Domain::IntRange(5, 1))], Expr::true_());
         assert!(solver.check(&p).is_unsat());
     }
 
@@ -461,10 +458,7 @@ mod tests {
         let solver = Solver::new();
         // Only x = 777 satisfies; corner sampling will miss it, the
         // branch-and-prune must find it.
-        let p = SatProblem::new(
-            vec![int_var("x", 0, 1_000_000)],
-            eq(var("x"), lit(777)),
-        );
+        let p = SatProblem::new(vec![int_var("x", 0, 1_000_000)], eq(var("x"), lit(777)));
         let SatResult::Sat(a) = solver.check(&p) else {
             panic!("expected SAT");
         };
@@ -490,12 +484,18 @@ mod tests {
         // unsatisfiable for x in [0, 100]: when x >= 50, y = 0; otherwise
         // y <= 54 + 5 < 60... actually x <= 49 → y <= 54.
         let mut p = SatProblem::new(vec![int_var("x", 0, 100)], ge(var("y"), lit(60)));
-        p.define("y", ite(ge(var("x"), lit(50)), lit(0), add(var("x"), lit(5))));
+        p.define(
+            "y",
+            ite(ge(var("x"), lit(50)), lit(0), add(var("x"), lit(5))),
+        );
         assert!(solver.check(&p).is_unsat());
 
         // y >= 50 is satisfiable (x = 45..49 gives y = 50..54).
         let mut p = SatProblem::new(vec![int_var("x", 0, 100)], ge(var("y"), lit(50)));
-        p.define("y", ite(ge(var("x"), lit(50)), lit(0), add(var("x"), lit(5))));
+        p.define(
+            "y",
+            ite(ge(var("x"), lit(50)), lit(0), add(var("x"), lit(5))),
+        );
         let SatResult::Sat(a) = solver.check(&p) else {
             panic!("expected SAT");
         };
@@ -563,7 +563,11 @@ mod tests {
         );
         p.define(
             "x_ShippingFee_1",
-            ite(ge(var("x_Price_0"), lit(50)), lit(0), var("x_ShippingFee_0")),
+            ite(
+                ge(var("x_Price_0"), lit(50)),
+                lit(0),
+                var("x_ShippingFee_0"),
+            ),
         );
         let SatResult::Sat(a) = solver.check(&p) else {
             panic!("expected SAT");

@@ -23,7 +23,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "syntax error at offset {}: {}", self.position, self.message)
+        write!(
+            f,
+            "syntax error at offset {}: {}",
+            self.position, self.message
+        )
     }
 }
 

@@ -173,7 +173,10 @@ pub fn tokenize(input: &str) -> Result<Vec<(Token, usize)>, ParseError> {
                 tokens.push((Token::Ident(input[start..i].to_string()), start));
             }
             other => {
-                return Err(ParseError::new(format!("unexpected character `{other}`"), i));
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    i,
+                ));
             }
         }
     }

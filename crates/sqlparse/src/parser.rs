@@ -249,7 +249,11 @@ impl Parser {
         } else {
             Expr::true_()
         };
-        Ok(Statement::update(relation, SetClause::new(assignments), cond))
+        Ok(Statement::update(
+            relation,
+            SetClause::new(assignments),
+            cond,
+        ))
     }
 
     fn delete_statement(&mut self) -> Result<Statement, ParseError> {
@@ -566,8 +570,13 @@ mod tests {
         // Semantically identical to the hand-built running example (modulo
         // the relation name used in the SQL text).
         let expected = running_example_history();
-        if let (Statement::Update { cond, .. }, Statement::Update { cond: expected_cond, .. }) =
-            (&history.statements()[0], &expected[0])
+        if let (
+            Statement::Update { cond, .. },
+            Statement::Update {
+                cond: expected_cond,
+                ..
+            },
+        ) = (&history.statements()[0], &expected[0])
         {
             assert_eq!(cond, expected_cond);
         } else {
@@ -587,7 +596,9 @@ mod tests {
         let parsed = parse_history(sql).unwrap();
         let db = running_example_database();
         let from_sql = parsed.execute(&db).unwrap();
-        let from_api = History::new(running_example_history()).execute(&db).unwrap();
+        let from_api = History::new(running_example_history())
+            .execute(&db)
+            .unwrap();
         assert!(from_sql.set_eq(&from_api));
     }
 

@@ -107,10 +107,7 @@ mod tests {
     use mahif_expr::Value;
 
     fn db() -> Database {
-        let schema = Schema::shared(
-            "Order",
-            vec![Attribute::int("ID"), Attribute::int("Price")],
-        );
+        let schema = Schema::shared("Order", vec![Attribute::int("ID"), Attribute::int("Price")]);
         let mut r = Relation::empty(schema);
         r.insert_values([Value::int(1), Value::int(20)]).unwrap();
         r.insert_values([Value::int(2), Value::int(50)]).unwrap();

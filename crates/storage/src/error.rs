@@ -41,7 +41,10 @@ impl fmt::Display for StorageError {
             StorageError::UnknownAttribute {
                 relation,
                 attribute,
-            } => write!(f, "unknown attribute `{attribute}` in relation `{relation}`"),
+            } => write!(
+                f,
+                "unknown attribute `{attribute}` in relation `{relation}`"
+            ),
             StorageError::ArityMismatch {
                 relation,
                 expected,

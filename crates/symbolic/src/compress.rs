@@ -183,7 +183,10 @@ mod tests {
         // Every database tuple satisfies Φ_D.
         for t in rel.iter() {
             let b = bindings_for(t, rel);
-            assert!(eval_condition(&phi, &b).unwrap(), "tuple {t} must satisfy Φ_D");
+            assert!(
+                eval_condition(&phi, &b).unwrap(),
+                "tuple {t} must satisfy Φ_D"
+            );
         }
         // A tuple far outside the ranges does not.
         let outlier = Tuple::from_iter_values([

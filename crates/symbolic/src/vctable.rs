@@ -228,7 +228,10 @@ impl VcTable {
     /// (Definition 5): tuples whose local condition holds are materialized by
     /// evaluating their symbolic values. Returns `None` when the assignment
     /// violates the global condition (the world is not part of `Mod(D)`).
-    pub fn instantiate(&self, assignment: &dyn Bindings) -> Result<Option<Relation>, SymbolicError> {
+    pub fn instantiate(
+        &self,
+        assignment: &dyn Bindings,
+    ) -> Result<Option<Relation>, SymbolicError> {
         if !eval_condition(&self.global_condition, assignment)? {
             return Ok(None);
         }

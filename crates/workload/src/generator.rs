@@ -131,7 +131,8 @@ impl WorkloadSpec {
             // Spread dependent updates evenly over the history.
             let slot = i % 10;
             let kind = if remaining_dependent > 0
-                && (slot % (10 / (self.dependent_pct.clamp(10, 100) / 10).max(1) as usize) == 0)
+                && slot
+                    .is_multiple_of(10 / (self.dependent_pct.clamp(10, 100) / 10).max(1) as usize)
             {
                 remaining_dependent -= 1;
                 StatementKind::DependentUpdate
@@ -317,6 +318,60 @@ pub struct GeneratedWorkload {
     pub dependent_positions: Vec<usize>,
 }
 
+impl GeneratedWorkload {
+    /// Sweep variants for batch-scenario experiments: variant `v` replaces
+    /// the same statement positions as [`Self::modifications`], with the
+    /// adjustment amount offset by `v` — `k` hypotheticals over the same
+    /// history that differ only in a constant, the shape a scenario batch
+    /// engine shares the most work on. Variant labels are `"adjust+{amount}"`.
+    pub fn sweep_variants(&self, k: usize) -> Vec<(String, ModificationSet)> {
+        (0..k)
+            .map(|v| {
+                let amount = 5 + v as i64;
+                let mods: Vec<Modification> = self
+                    .modifications
+                    .modifications()
+                    .iter()
+                    .filter_map(|m| {
+                        let Modification::Replace { position, .. } = m else {
+                            return None;
+                        };
+                        let Statement::Update {
+                            relation,
+                            set,
+                            cond,
+                        } = &self.history.statements()[*position]
+                        else {
+                            return None;
+                        };
+                        // Offset the first assignment; any further
+                        // assignments are kept unchanged so the variant stays
+                        // "the original statement plus a constant".
+                        let (first, rest) = set.assignments.split_first()?;
+                        let (attr_name, expr) = first;
+                        let new_expr = Expr::Arith {
+                            op: mahif_expr::ArithOp::Add,
+                            left: std::sync::Arc::new(expr.clone()),
+                            right: std::sync::Arc::new(Expr::Const(Value::Int(amount))),
+                        };
+                        let mut assignments = vec![(attr_name.clone(), new_expr)];
+                        assignments.extend(rest.iter().cloned());
+                        Some(Modification::replace(
+                            *position,
+                            Statement::update(
+                                relation.clone(),
+                                SetClause::new(assignments),
+                                cond.clone(),
+                            ),
+                        ))
+                    })
+                    .collect();
+                (format!("adjust+{amount}"), ModificationSet::new(mods))
+            })
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -397,6 +452,34 @@ mod tests {
         // All modification targets are dependent positions.
         for m in w.modifications.modifications() {
             assert!(w.dependent_positions.contains(&m.position()));
+        }
+    }
+
+    #[test]
+    fn sweep_variants_share_positions_and_differ_in_amount() {
+        let ds = taxi(100);
+        let w = WorkloadSpec::default()
+            .with_updates(20)
+            .with_modifications(2)
+            .with_dependent_pct(30)
+            .generate(&ds);
+        let variants = w.sweep_variants(4);
+        assert_eq!(variants.len(), 4);
+        let positions: Vec<Vec<usize>> = variants
+            .iter()
+            .map(|(_, m)| m.modifications().iter().map(|x| x.position()).collect())
+            .collect();
+        // Every variant modifies exactly the same positions.
+        assert!(positions.windows(2).all(|w| w[0] == w[1]));
+        assert_eq!(positions[0].len(), 2);
+        // Labels carry the adjustment amount and the sets differ pairwise.
+        assert_eq!(variants[0].0, "adjust+5");
+        assert_eq!(variants[3].0, "adjust+8");
+        assert_ne!(variants[0].1, variants[1].1);
+        // Each variant produces a valid executable modified history.
+        for (_, m) in &variants {
+            let modified = m.apply(&w.history).unwrap();
+            assert!(modified.execute(&ds.database).is_ok());
         }
     }
 

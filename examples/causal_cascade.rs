@@ -35,8 +35,14 @@ fn database() -> Database {
 
 fn history() -> History {
     History::new(vec![
-        Statement::insert_values("Customer", Tuple::new(vec![Value::int(1), Value::str("Ada")])),
-        Statement::insert_values("Customer", Tuple::new(vec![Value::int(2), Value::str("Bob")])),
+        Statement::insert_values(
+            "Customer",
+            Tuple::new(vec![Value::int(1), Value::str("Ada")]),
+        ),
+        Statement::insert_values(
+            "Customer",
+            Tuple::new(vec![Value::int(2), Value::str("Bob")]),
+        ),
         Statement::insert_values(
             "Order",
             Tuple::new(vec![Value::int(10), Value::int(1), Value::int(100)]),
@@ -62,8 +68,12 @@ fn main() {
     let user_modifications = ModificationSet::new(vec![Modification::delete(0)]);
 
     // ... and the dependency policy derives what else could not have happened.
-    let policy = DependencyPolicy::default()
-        .with_rule(CascadeRule::new("Customer", "CID", "Order", "CustomerID"));
+    let policy = DependencyPolicy::default().with_rule(CascadeRule::new(
+        "Customer",
+        "CID",
+        "Order",
+        "CustomerID",
+    ));
     let (augmented, plan) =
         augment(&history, &user_modifications, &db, &policy).expect("cascade analysis");
     println!("{plan}");

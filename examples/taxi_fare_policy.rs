@@ -68,10 +68,7 @@ fn main() {
         "{} trips would have been billed differently",
         order_delta.plus_tuples().len()
     );
-    println!(
-        "revenue impact: +${:.2}",
-        (plus - minus) as f64 / 100.0
-    );
+    println!("revenue impact: +${:.2}", (plus - minus) as f64 / 100.0);
     println!(
         "engine work: {} of {} statements reenacted, {} of {} tuples read, runtime {:?}",
         answer.stats.statements_reenacted,

@@ -66,9 +66,7 @@ fn taxi_insert_workload() {
     let dataset = Dataset::generate(DatasetKind::Taxi, 300, 14);
     assert_all_methods_agree(
         &dataset,
-        &WorkloadSpec::default()
-            .with_updates(20)
-            .with_insert_pct(20),
+        &WorkloadSpec::default().with_updates(20).with_insert_pct(20),
     );
 }
 
@@ -101,7 +99,9 @@ fn tpcc_workload() {
     let dataset = Dataset::generate(DatasetKind::TpccStock, 300, 17);
     assert_all_methods_agree(
         &dataset,
-        &WorkloadSpec::default().with_updates(15).with_affected_pct(20),
+        &WorkloadSpec::default()
+            .with_updates(15)
+            .with_affected_pct(20),
     );
 }
 
@@ -137,8 +137,7 @@ fn ablation_configurations_agree() {
             ..Default::default()
         },
         EngineConfig {
-            compression: mahif_symbolic::CompressionConfig::group_by("trip_id")
-                .with_max_groups(4),
+            compression: mahif_symbolic::CompressionConfig::group_by("trip_id").with_max_groups(4),
             ..Default::default()
         },
     ];

@@ -42,10 +42,9 @@ impl GenStatement {
                 SetClause::single("V", lit(*value)),
                 ge(attr("V"), lit(*threshold)),
             ),
-            GenStatement::DeleteByKey { lo, hi } => Statement::delete(
-                "R",
-                and(ge(attr("K"), lit(*lo)), lt(attr("K"), lit(*hi))),
-            ),
+            GenStatement::DeleteByKey { lo, hi } => {
+                Statement::delete("R", and(ge(attr("K"), lit(*lo)), lt(attr("K"), lit(*hi))))
+            }
             GenStatement::Insert { k, v } => {
                 Statement::insert_values("R", Tuple::from_iter_values([*k, *v]))
             }
@@ -60,10 +59,8 @@ fn arb_statement() -> impl Strategy<Value = GenStatement> {
             hi: lo + len,
             delta,
         }),
-        (0i64..60, 0i64..50).prop_map(|(threshold, value)| GenStatement::UpdateByValue {
-            threshold,
-            value,
-        }),
+        (0i64..60, 0i64..50)
+            .prop_map(|(threshold, value)| GenStatement::UpdateByValue { threshold, value }),
         (0i64..20, 1i64..5).prop_map(|(lo, len)| GenStatement::DeleteByKey { lo, hi: lo + len }),
         (30i64..40, 0i64..50).prop_map(|(k, v)| GenStatement::Insert { k, v }),
     ]
@@ -99,7 +96,9 @@ fn check_all_methods(
         .expect("direct execution succeeds");
     let mahif = Mahif::new(db.clone(), history).expect("history executes");
     for method in Method::all() {
-        let answer = mahif.what_if(&modifications, method).expect("what-if succeeds");
+        let answer = mahif
+            .what_if(&modifications, method)
+            .expect("what-if succeeds");
         prop_assert_eq!(
             &answer.delta,
             &reference,
@@ -186,7 +185,7 @@ proptest! {
 #[test]
 fn self_replacement_yields_empty_delta() {
     let db = database(25, &[3, 7, 11, 42]);
-    let statements = vec![
+    let statements = [
         GenStatement::UpdateByKey {
             lo: 0,
             hi: 10,
@@ -196,8 +195,7 @@ fn self_replacement_yields_empty_delta() {
     ];
     let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
     let mahif = Mahif::new(db, history.clone()).unwrap();
-    let modifications =
-        ModificationSet::single_replace(0, history.statements()[0].clone());
+    let modifications = ModificationSet::single_replace(0, history.statements()[0].clone());
     for method in Method::all() {
         let answer = mahif.what_if(&modifications, method).unwrap();
         assert!(answer.delta.is_empty(), "method {}", method.label());
@@ -210,7 +208,7 @@ fn self_replacement_yields_empty_delta() {
 #[test]
 fn unsatisfiable_modification_produces_empty_answer() {
     let db = database(25, &[1, 2, 3]);
-    let statements = vec![
+    let statements = [
         GenStatement::UpdateByKey {
             lo: 0,
             hi: 10,
@@ -236,9 +234,7 @@ fn unsatisfiable_modification_produces_empty_answer() {
         let answer = mahif.what_if(&modifications, method).unwrap();
         assert!(answer.delta.is_empty(), "method {}", method.label());
     }
-    let optimized = mahif
-        .what_if(&modifications, Method::ReenactPsDs)
-        .unwrap();
+    let optimized = mahif.what_if(&modifications, Method::ReenactPsDs).unwrap();
     // Data slicing filters every input tuple (the modified statement's
     // condition matches nothing in the key domain).
     assert_eq!(optimized.stats.input_tuples, 0);

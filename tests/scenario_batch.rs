@@ -1,0 +1,307 @@
+//! Batch-vs-single equivalence: `ScenarioSet::answer_all` must produce
+//! exactly the delta of k independent `Mahif::what_if` calls, for every
+//! execution method — including scenario groups that share one program
+//! slice (the cache-hit path) and randomly generated scenario batches.
+
+use proptest::prelude::*;
+
+use mahif::{ImpactSpec, Mahif, Method};
+use mahif_expr::builder::*;
+use mahif_history::statement::{running_example_database, running_example_history};
+use mahif_history::{History, Modification, ModificationSet, SetClause, Statement};
+use mahif_scenario::{BatchConfig, Scenario, ScenarioSet};
+use mahif_storage::{Attribute, Database, Relation, Schema, Tuple};
+use mahif_workload::{Dataset, DatasetKind, WorkloadSpec};
+
+fn running_example_mahif() -> Mahif {
+    Mahif::new(
+        running_example_database(),
+        History::new(running_example_history()),
+    )
+    .unwrap()
+}
+
+fn threshold(t: i64) -> Statement {
+    Statement::update(
+        "Order",
+        SetClause::single("ShippingFee", lit(0)),
+        ge(attr("Price"), lit(t)),
+    )
+}
+
+/// Asserts that every scenario of `set` gets the same delta from the batch
+/// as from an independent single-query call, for the given method.
+fn assert_batch_matches_singles(mahif: &Mahif, set: &ScenarioSet<'_>, method: Method) {
+    let batch = set.answer_all(method).unwrap();
+    assert_eq!(batch.answers.len(), set.len());
+    for (scenario, answer) in set.scenarios().iter().zip(&batch.answers) {
+        let single = mahif.what_if(scenario.modifications(), method).unwrap();
+        assert_eq!(
+            answer.answer.delta,
+            single.delta,
+            "scenario {} method {} batch delta diverged",
+            scenario.name(),
+            method.label()
+        );
+    }
+}
+
+/// The k=8 sweep of the acceptance criteria: identical deltas across all
+/// methods, with the whole sweep answered by a single shared slice.
+#[test]
+fn k8_sweep_matches_singles_across_methods() {
+    let mahif = running_example_mahif();
+    let mut set = ScenarioSet::new(&mahif);
+    set.add_all(Scenario::sweep_replace_values(
+        "threshold",
+        0,
+        [42i64, 48, 52, 55, 60, 65, 75, 100],
+        |t| threshold(*t),
+    ))
+    .unwrap();
+    assert_eq!(set.len(), 8);
+    for method in Method::all() {
+        assert_batch_matches_singles(&mahif, &set, method);
+    }
+    let batch = set.answer_all(Method::ReenactPsDs).unwrap();
+    assert_eq!(batch.stats.slice_groups, 1, "a sweep shares one slice");
+    assert_eq!(batch.stats.shared_slice_hits, 7);
+}
+
+/// Scenarios over *different* positions and modification kinds (replace,
+/// delete, insert) form separate groups but still match singles exactly.
+#[test]
+fn heterogeneous_batch_matches_singles_across_methods() {
+    let mahif = running_example_mahif();
+    let mut set = ScenarioSet::new(&mahif);
+    set.add(Scenario::new(
+        "replace-u1",
+        ModificationSet::single_replace(0, threshold(60)),
+    ))
+    .unwrap();
+    set.add(Scenario::new(
+        "replace-u1-low",
+        ModificationSet::single_replace(0, threshold(40)),
+    ))
+    .unwrap();
+    set.add(Scenario::new(
+        "drop-u2",
+        ModificationSet::new(vec![Modification::delete(1)]),
+    ))
+    .unwrap();
+    set.add(Scenario::new(
+        "extra-us-surcharge",
+        ModificationSet::new(vec![Modification::insert(
+            3,
+            Statement::update(
+                "Order",
+                SetClause::single("ShippingFee", add(attr("ShippingFee"), lit(1))),
+                eq(attr("Country"), slit("US")),
+            ),
+        )]),
+    ))
+    .unwrap();
+    set.add(Scenario::new(
+        "replace-and-delete",
+        ModificationSet::new(vec![
+            Modification::replace(0, threshold(70)),
+            Modification::delete(2),
+        ]),
+    ))
+    .unwrap();
+    for method in Method::all() {
+        assert_batch_matches_singles(&mahif, &set, method);
+    }
+    let batch = set.answer_all(Method::ReenactPsDs).unwrap();
+    // The two u1 replacements share a group; the others are singletons.
+    assert_eq!(batch.stats.slice_groups, 4);
+    assert_eq!(batch.stats.shared_slice_hits, 1);
+}
+
+/// The ablations (no slice sharing, single-threaded, greedy slicer) never
+/// change any delta.
+#[test]
+fn batch_configurations_agree() {
+    let mahif = running_example_mahif();
+    let mut set = ScenarioSet::new(&mahif);
+    set.add_all(Scenario::sweep_replace_values(
+        "threshold",
+        0,
+        [55i64, 60, 65, 70],
+        |t| threshold(*t),
+    ))
+    .unwrap();
+    let reference = set.answer_all(Method::ReenactPsDs).unwrap();
+    let configs = [
+        BatchConfig::default().without_slice_sharing(),
+        BatchConfig::default().with_parallelism(1),
+        BatchConfig::default().with_parallelism(3),
+        BatchConfig {
+            engine: mahif::EngineConfig {
+                use_greedy_slicer: true,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+    ];
+    for config in &configs {
+        let batch = set
+            .answer_all_configured(Method::ReenactPsDs, config)
+            .unwrap();
+        for (a, b) in reference.answers.iter().zip(&batch.answers) {
+            assert_eq!(a.answer.delta, b.answer.delta, "config {config:?}");
+        }
+    }
+}
+
+/// Workload-generator sweeps at a larger scale: the batch engine answers a
+/// generated k=6 sweep identically to the sequential loop and shares one
+/// slice for it.
+#[test]
+fn generated_workload_sweep_matches_singles() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 300, 11);
+    let workload = WorkloadSpec::default().with_updates(12).generate(&dataset);
+    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+    let mut set = ScenarioSet::new(&mahif);
+    for (name, mods) in workload.sweep_variants(6) {
+        set.add(Scenario::new(name, mods)).unwrap();
+    }
+    for method in [Method::Naive, Method::ReenactDs, Method::ReenactPsDs] {
+        assert_batch_matches_singles(&mahif, &set, method);
+    }
+    let batch = set.answer_all(Method::ReenactPsDs).unwrap();
+    assert_eq!(batch.stats.slice_groups, 1);
+    assert_eq!(batch.stats.shared_slice_hits, 5);
+}
+
+/// Ranking sanity over the generated sweep: a larger surcharge moves the
+/// metric further from the actual history, so the ranking is monotone in
+/// the adjustment amount.
+#[test]
+fn generated_sweep_ranking_is_monotone() {
+    let dataset = Dataset::generate(DatasetKind::Taxi, 200, 5);
+    let workload = WorkloadSpec::default().with_updates(8).generate(&dataset);
+    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+    let mut set = ScenarioSet::new(&mahif);
+    for (name, mods) in workload.sweep_variants(4) {
+        set.add(Scenario::new(name, mods)).unwrap();
+    }
+    let batch = set.answer_all(Method::ReenactPsDs).unwrap();
+    let ranking = batch
+        .rank_by(&ImpactSpec::sum_of("taxi_trips", "fare"))
+        .unwrap();
+    // The modified statement updates `fare` (the first value attribute) and
+    // sweep_variants adds `5 + v` on top, so the fare impact grows with v:
+    // adjust+8 ranks first.
+    assert_eq!(ranking.best().unwrap().name, "adjust+8");
+    let changes: Vec<i64> = ranking
+        .entries
+        .iter()
+        .map(|e| e.report.net_change())
+        .collect();
+    assert!(changes.windows(2).all(|w| w[0] >= w[1]), "{changes:?}");
+}
+
+// ---------------------------------------------------------------------------
+// Property tests: random batches over the R(K, V) relation.
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum GenStatement {
+    UpdateByKey { lo: i64, hi: i64, delta: i64 },
+    UpdateByValue { threshold: i64, value: i64 },
+    DeleteByKey { lo: i64, hi: i64 },
+}
+
+impl GenStatement {
+    fn to_statement(&self) -> Statement {
+        match self {
+            GenStatement::UpdateByKey { lo, hi, delta } => Statement::update(
+                "R",
+                SetClause::single("V", add(attr("V"), lit(*delta))),
+                and(ge(attr("K"), lit(*lo)), lt(attr("K"), lit(*hi))),
+            ),
+            GenStatement::UpdateByValue { threshold, value } => Statement::update(
+                "R",
+                SetClause::single("V", lit(*value)),
+                ge(attr("V"), lit(*threshold)),
+            ),
+            GenStatement::DeleteByKey { lo, hi } => {
+                Statement::delete("R", and(ge(attr("K"), lit(*lo)), lt(attr("K"), lit(*hi))))
+            }
+        }
+    }
+}
+
+fn arb_statement() -> impl Strategy<Value = GenStatement> {
+    prop_oneof![
+        (0i64..20, 1i64..10, -5i64..10).prop_map(|(lo, len, delta)| GenStatement::UpdateByKey {
+            lo,
+            hi: lo + len,
+            delta,
+        }),
+        (0i64..60, 0i64..50)
+            .prop_map(|(threshold, value)| GenStatement::UpdateByValue { threshold, value }),
+        (0i64..20, 1i64..5).prop_map(|(lo, len)| GenStatement::DeleteByKey { lo, hi: lo + len }),
+    ]
+}
+
+fn database(rows: usize, values: &[i64]) -> Database {
+    let schema = Schema::shared("R", vec![Attribute::int("K"), Attribute::int("V")]);
+    let mut relation = Relation::empty(schema);
+    for k in 0..rows {
+        let v = values[k % values.len()].rem_euclid(50);
+        relation
+            .insert(Tuple::from_iter_values([k as i64, v]))
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.add_relation(relation).unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// A random batch of replacement scenarios — some sharing the modified
+    /// position (cache hits), some not — matches k independent calls under
+    /// every method.
+    #[test]
+    fn random_batches_match_singles(
+        statements in prop::collection::vec(arb_statement(), 2..6),
+        replacements in prop::collection::vec(arb_statement(), 2..6),
+        position_seeds in prop::collection::vec(0usize..6, 2..6),
+        values in prop::collection::vec(-20i64..60, 4..10),
+    ) {
+        let db = database(25, &values);
+        let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
+        let mahif = Mahif::new(db, history).expect("history executes");
+        let mut set = ScenarioSet::new(&mahif);
+        let k = replacements.len().min(position_seeds.len());
+        for i in 0..k {
+            // Half the scenarios pin position 0 so groups form; the rest
+            // scatter over the history.
+            let position = if i % 2 == 0 { 0 } else { position_seeds[i] % statements.len() };
+            set.add(Scenario::new(
+                format!("s{i}"),
+                ModificationSet::single_replace(position, replacements[i].to_statement()),
+            ))
+            .expect("unique names");
+        }
+        for method in Method::all() {
+            let batch = set.answer_all(method).expect("batch succeeds");
+            for (scenario, answer) in set.scenarios().iter().zip(&batch.answers) {
+                let single = mahif
+                    .what_if(scenario.modifications(), method)
+                    .expect("single what-if succeeds");
+                prop_assert_eq!(
+                    &answer.answer.delta,
+                    &single.delta,
+                    "scenario {} method {}",
+                    scenario.name(),
+                    method.label()
+                );
+            }
+        }
+    }
+}

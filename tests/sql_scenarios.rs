@@ -54,8 +54,7 @@ fn sql_history_with_insert_select_and_case() {
 
     let modifications = ModificationSet::single_replace(
         2,
-        parse_statement("UPDATE Order SET ShippingFee = ShippingFee + 3 WHERE ID >= 100")
-            .unwrap(),
+        parse_statement("UPDATE Order SET ShippingFee = ShippingFee + 3 WHERE ID >= 100").unwrap(),
     );
     let mut reference = None;
     for method in Method::all() {
@@ -90,7 +89,7 @@ fn taxi_policy_scenario_in_sql() {
     assert_eq!(optimized.delta, naive.delta);
     // Only airport-area trips differ; the delta is a strict subset of all
     // trips and data slicing must have filtered the input accordingly.
-    assert!(optimized.delta.len() > 0);
+    assert!(!optimized.delta.is_empty());
     assert!(optimized.stats.input_tuples < dataset.rows);
     // The final total-recomputation statement depends on the modified
     // surcharge, so program slicing must keep it.
@@ -128,7 +127,9 @@ fn whatif_script_end_to_end() {
     let answer = mahif
         .what_if_sql("DROP STATEMENT 2;", Method::ReenactPsDs)
         .unwrap();
-    let naive = mahif.what_if_sql("DROP STATEMENT 2;", Method::Naive).unwrap();
+    let naive = mahif
+        .what_if_sql("DROP STATEMENT 2;", Method::Naive)
+        .unwrap();
     assert_eq!(answer.delta, naive.delta);
     assert!(answer.delta.len() >= 2);
 
@@ -142,6 +143,8 @@ fn whatif_script_end_to_end() {
     assert_eq!(m.len(), 3);
 
     // Errors surface cleanly.
-    assert!(mahif.what_if_sql("FROBNICATE STATEMENT 1", Method::Naive).is_err());
+    assert!(mahif
+        .what_if_sql("FROBNICATE STATEMENT 1", Method::Naive)
+        .is_err());
     assert!(mahif_sqlparse::parse_whatif("DROP STATEMENT 0").is_err());
 }

@@ -8,7 +8,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use mahif::{EngineConfig, Mahif, Method};
+use mahif::{EngineConfig, Method, Session};
 use mahif_bench::run_cell;
 use mahif_history::HistoricalWhatIf;
 use mahif_query::evaluate;
@@ -143,13 +143,14 @@ fn bench_end_to_end(c: &mut Criterion) {
 }
 
 fn bench_batch_scenarios(c: &mut Criterion) {
-    // A k=8 sweep over the same history: the scenario batch engine's best
-    // case (one shared program slice, parallel execution) against the
-    // sequential loop of independent what-if calls it replaces.
+    // A k=8 sweep over the same history: the session funnel's best case
+    // (one shared program slice, parallel execution) against the sequential
+    // loop of independent single requests it replaces.
     const K: usize = 8;
     let (dataset, workload) = setup();
     let sweep = workload.sweep_variants(K);
-    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+    let session =
+        Session::with_history("bench", dataset.database.clone(), workload.history.clone()).unwrap();
 
     let mut group = c.benchmark_group("batch_scenarios");
     group.sample_size(10);
@@ -157,17 +158,33 @@ fn bench_batch_scenarios(c: &mut Criterion) {
         b.iter(|| {
             sweep
                 .iter()
-                .map(|(_, m)| mahif.what_if(m, Method::ReenactPsDs).unwrap())
+                .map(|(_, m)| {
+                    session
+                        .on("bench")
+                        .modifications(m.clone())
+                        .method(Method::ReenactPsDs)
+                        .run()
+                        .unwrap()
+                })
                 .collect::<Vec<_>>()
         })
     });
     group.bench_function("batch_k8", |b| {
         b.iter(|| {
-            let mut set = ScenarioSet::new(&mahif);
+            let mut set = ScenarioSet::over(&session, "bench");
             for (name, m) in &sweep {
                 set.add(Scenario::new(name.clone(), m.clone())).unwrap();
             }
             set.answer_all(Method::ReenactPsDs).unwrap()
+        })
+    });
+    group.bench_function("run_batch_k8", |b| {
+        b.iter(|| {
+            session
+                .on("bench")
+                .method(Method::ReenactPsDs)
+                .run_batch(sweep.iter().map(|(name, m)| (name.clone(), m.clone())))
+                .unwrap()
         })
     });
     group.finish();

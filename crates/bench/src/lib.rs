@@ -13,7 +13,7 @@
 
 use std::time::Duration;
 
-use mahif::{EngineConfig, Mahif, Method, WhatIfAnswer};
+use mahif::{EngineConfig, Method, Session, WhatIfAnswer};
 use mahif_workload::{Dataset, DatasetKind, WorkloadSpec};
 
 /// Scaled-down experiment sizing.
@@ -134,9 +134,9 @@ impl Measurement {
     }
 }
 
-/// Runs one experiment cell: builds the Mahif instance for `dataset` and the
-/// workload described by `spec`, answers the what-if query with `method`,
-/// and returns the measurement.
+/// Runs one experiment cell: registers the workload's history with a
+/// session, answers the what-if query with `method`, and returns the
+/// measurement.
 pub fn run_cell(
     dataset: &Dataset,
     spec: &WorkloadSpec,
@@ -144,11 +144,16 @@ pub fn run_cell(
     engine: &EngineConfig,
 ) -> Measurement {
     let workload = spec.generate(dataset);
-    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone())
+    let session = Session::with_history("bench", dataset.database.clone(), workload.history)
         .expect("workload histories always execute");
-    let answer = mahif
-        .what_if_configured(&workload.modifications, method, engine)
-        .expect("what-if answering must not fail");
+    let answer = session
+        .on("bench")
+        .modifications(workload.modifications)
+        .method(method)
+        .config(engine.clone())
+        .run()
+        .expect("what-if answering must not fail")
+        .into_answer();
     Measurement::from_answer(&answer)
 }
 

@@ -1,7 +1,12 @@
 //! Execution methods and engine configuration.
 
+use std::fmt;
+use std::str::FromStr;
+
 use mahif_solver::SearchConfig;
 use mahif_symbolic::CompressionConfig;
+
+use crate::error::{Error, ErrorKind};
 
 /// The execution strategies compared in the paper's evaluation (Section 13.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +58,33 @@ impl Method {
     }
 }
 
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl FromStr for Method {
+    type Err = Error;
+
+    /// Parses a paper label (`N`, `R`, `R+DS`, `R+PS`, `R+PS+DS`) back into
+    /// a method, so CLI flags and serving-layer request fields can name
+    /// methods as the figures do. Matching is case-insensitive and ignores
+    /// surrounding whitespace; the long names (`naive`, `reenact`, …) are
+    /// accepted as aliases.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let canonical = s.trim().to_ascii_uppercase();
+        match canonical.as_str() {
+            "N" | "NAIVE" => Ok(Method::Naive),
+            "R" | "REENACT" => Ok(Method::Reenact),
+            "R+DS" | "REENACTDS" => Ok(Method::ReenactDs),
+            "R+PS" | "REENACTPS" => Ok(Method::ReenactPs),
+            "R+PS+DS" | "REENACTPSDS" => Ok(Method::ReenactPsDs),
+            _ => Err(Error::new(ErrorKind::UnknownMethod(s.trim().to_string()))),
+        }
+    }
+}
+
 /// Tunables of the reenactment-based engine.
 #[derive(Debug, Clone, Default)]
 pub struct EngineConfig {
@@ -71,6 +103,18 @@ pub struct EngineConfig {
     pub skip_compression_constraint: bool,
 }
 
+impl EngineConfig {
+    /// The program-slicing view of this configuration (the mapping every
+    /// slicing entry point — single or shared — applies).
+    pub fn slicing(&self) -> mahif_slicing::ProgramSlicingConfig {
+        mahif_slicing::ProgramSlicingConfig {
+            compression: self.compression.clone(),
+            solver: self.solver.clone(),
+            skip_compression_constraint: self.skip_compression_constraint,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +130,25 @@ mod tests {
         assert!(!Method::ReenactDs.uses_program_slicing());
         assert!(Method::ReenactPs.uses_program_slicing());
         assert_eq!(Method::all().len(), 5);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_str() {
+        for method in Method::all() {
+            // Display matches the paper label …
+            assert_eq!(method.to_string(), method.label());
+            // … and parses back to the same method.
+            assert_eq!(method.label().parse::<Method>().unwrap(), method);
+            // Parsing is case-insensitive and whitespace-tolerant.
+            let relaxed = format!("  {}  ", method.label().to_lowercase());
+            assert_eq!(relaxed.parse::<Method>().unwrap(), method);
+        }
+        let err = "R+XX".parse::<Method>().unwrap_err();
+        assert!(matches!(
+            err.kind,
+            crate::error::ErrorKind::UnknownMethod(ref label) if label == "R+XX"
+        ));
+        assert!(err.to_string().contains("R+XX"));
     }
 
     #[test]

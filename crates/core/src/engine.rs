@@ -6,13 +6,13 @@ use std::time::Instant;
 
 use mahif_expr::Expr;
 use mahif_history::{
-    naive_what_if, DatabaseDelta, HistoricalWhatIf, History, NormalizedWhatIf, RelationDelta,
+    naive_what_if, DatabaseDelta, History, NormalizedWhatIf, RelationDelta, WhatIfRef,
 };
 use mahif_query::{evaluate, filter_relation};
 use mahif_reenact::split::{split_reenactment, SplitReenactment};
 use mahif_slicing::{
     apply_data_slicing, data_slicing_conditions, greedy_slice, program_slice,
-    DataSlicingConditions, GreedyConfig, ProgramSliceResult, ProgramSlicingConfig,
+    DataSlicingConditions, GreedyConfig, ProgramSliceResult,
 };
 use mahif_storage::{Database, Relation, VersionedDatabase};
 
@@ -22,24 +22,29 @@ use crate::stats::{EngineStats, PhaseTimings, WhatIfAnswer};
 
 /// Answers a historical what-if query with the given method.
 ///
-/// `versioned` must be the version chain obtained by executing
-/// `query.history` over `query.database` (the middleware maintains it);
-/// `current_state` is its newest version `H(D)`.
-pub fn answer_what_if(
-    query: &HistoricalWhatIf,
+/// The query is the borrowed view [`WhatIfRef`] (a `&HistoricalWhatIf`
+/// converts via `Into`): the engine never clones the registered history or
+/// the pre-history state, so a long-lived [`crate::Session`] answers every
+/// request against the state it registered once. `versioned` must be the
+/// version chain obtained by executing `query.history` over
+/// `query.database` (the session maintains it); `current_state` is its
+/// newest version `H(D)`.
+pub fn answer_what_if<'a>(
+    query: impl Into<WhatIfRef<'a>>,
     versioned: &VersionedDatabase,
     current_state: &Database,
     method: Method,
     config: &EngineConfig,
 ) -> Result<WhatIfAnswer, MahifError> {
+    let query = query.into();
     match method {
         Method::Naive => answer_naive(query, current_state),
         _ => answer_reenactment(query, versioned, method, config),
     }
 }
 
-fn answer_naive(
-    query: &HistoricalWhatIf,
+pub(crate) fn answer_naive(
+    query: WhatIfRef<'_>,
     current_state: &Database,
 ) -> Result<WhatIfAnswer, MahifError> {
     let result = naive_what_if(query, current_state)?;
@@ -63,7 +68,7 @@ fn answer_naive(
 }
 
 fn answer_reenactment(
-    query: &HistoricalWhatIf,
+    query: WhatIfRef<'_>,
     versioned: &VersionedDatabase,
     method: Method,
     config: &EngineConfig,
@@ -106,11 +111,7 @@ pub fn compute_program_slice(
             &normalized.modified,
             &normalized.modified_positions,
             base_db,
-            &ProgramSlicingConfig {
-                compression: config.compression.clone(),
-                solver: config.solver.clone(),
-                skip_compression_constraint: config.skip_compression_constraint,
-            },
+            &config.slicing(),
         )?
     };
     result.duration = start.elapsed();
@@ -341,7 +342,7 @@ mod tests {
     use mahif_history::statement::{
         running_example_database, running_example_history, running_example_u1_prime,
     };
-    use mahif_history::{Modification, ModificationSet, SetClause, Statement};
+    use mahif_history::{HistoricalWhatIf, Modification, ModificationSet, SetClause, Statement};
     use mahif_storage::Tuple;
 
     fn setup(modifications: ModificationSet) -> (HistoricalWhatIf, VersionedDatabase, Database) {

@@ -1,65 +1,213 @@
-//! Engine errors.
+//! The unified public error type.
+//!
+//! Every fallible operation of the middleware — registering a history,
+//! building a request, answering a single query or a batch — reports one
+//! [`Error`]: the underlying cause ([`ErrorKind`], wrapping the per-crate
+//! error enums) plus the context a service operator needs to act on it —
+//! the engine [`Phase`] that failed and, when known, the names of the
+//! offending scenario and registered history.
 
 use std::fmt;
 
+use mahif_expr::ExprError;
 use mahif_history::HistoryError;
 use mahif_query::QueryError;
 use mahif_slicing::SlicingError;
+use mahif_sqlparse::ParseError;
 use mahif_storage::StorageError;
+use mahif_symbolic::SymbolicError;
 
-/// Errors raised by the Mahif middleware.
+/// The engine phase in which an error occurred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Phase {
+    /// Registering a history with a session (executing the version chain).
+    Register,
+    /// Building the request (parsing what-if SQL, resolving names).
+    Build,
+    /// Normalizing modifications against the registered history.
+    Normalize,
+    /// Program slicing (symbolic execution + solver).
+    ProgramSlicing,
+    /// Data slicing, reenactment and delta computation.
+    Execution,
+    /// Reducing a delta to an aggregate impact report.
+    Impact,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let label = match self {
+            Phase::Register => "registration",
+            Phase::Build => "request building",
+            Phase::Normalize => "normalization",
+            Phase::ProgramSlicing => "program slicing",
+            Phase::Execution => "execution",
+            Phase::Impact => "impact analysis",
+        };
+        f.write_str(label)
+    }
+}
+
+/// What went wrong, wrapping the per-crate error enums behind one public
+/// surface.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub enum MahifError {
-    /// Underlying history error.
+#[non_exhaustive]
+pub enum ErrorKind {
+    /// Underlying history error (normalization, application, execution).
     History(HistoryError),
     /// Underlying storage error.
     Storage(StorageError),
-    /// Underlying query error.
+    /// Underlying query-evaluation error.
     Query(QueryError),
     /// Underlying slicing error.
     Slicing(SlicingError),
-    /// A what-if script passed to [`crate::Mahif::what_if_sql`] did not
-    /// parse.
-    InvalidWhatIfScript(String),
+    /// Underlying expression error.
+    Expr(ExprError),
+    /// Underlying symbolic-execution error.
+    Symbolic(SymbolicError),
+    /// A what-if script did not parse.
+    InvalidWhatIfScript(ParseError),
+    /// A request named a history that was never registered.
+    UnknownHistory(String),
+    /// A history was registered twice under the same name.
+    DuplicateHistory(String),
+    /// Two scenarios of one request share a name.
+    DuplicateScenario(String),
+    /// A method label did not parse (see [`crate::Method`]'s `FromStr`).
+    UnknownMethod(String),
+    /// A batch request carried no scenarios.
+    EmptyRequest,
+    /// A worker thread panicked while answering a scenario.
+    WorkerPanicked,
 }
 
-impl fmt::Display for MahifError {
+impl fmt::Display for ErrorKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MahifError::History(e) => write!(f, "history error: {e}"),
-            MahifError::Storage(e) => write!(f, "storage error: {e}"),
-            MahifError::Query(e) => write!(f, "query error: {e}"),
-            MahifError::Slicing(e) => write!(f, "slicing error: {e}"),
-            MahifError::InvalidWhatIfScript(e) => write!(f, "invalid what-if script: {e}"),
+            ErrorKind::History(e) => write!(f, "history error: {e}"),
+            ErrorKind::Storage(e) => write!(f, "storage error: {e}"),
+            ErrorKind::Query(e) => write!(f, "query error: {e}"),
+            ErrorKind::Slicing(e) => write!(f, "slicing error: {e}"),
+            ErrorKind::Expr(e) => write!(f, "expression error: {e}"),
+            ErrorKind::Symbolic(e) => write!(f, "symbolic execution error: {e}"),
+            ErrorKind::InvalidWhatIfScript(e) => write!(f, "invalid what-if script: {e}"),
+            ErrorKind::UnknownHistory(name) => {
+                write!(f, "no history named '{name}' is registered")
+            }
+            ErrorKind::DuplicateHistory(name) => {
+                write!(f, "a history named '{name}' is already registered")
+            }
+            ErrorKind::DuplicateScenario(name) => {
+                write!(f, "the request already contains a scenario named '{name}'")
+            }
+            ErrorKind::UnknownMethod(label) => {
+                write!(
+                    f,
+                    "unknown method '{label}' (expected one of N, R, R+DS, R+PS, R+PS+DS)"
+                )
+            }
+            ErrorKind::EmptyRequest => write!(f, "the request contains no scenarios"),
+            ErrorKind::WorkerPanicked => write!(f, "worker thread panicked"),
         }
     }
 }
 
-impl std::error::Error for MahifError {}
+/// Errors raised by the Mahif middleware: a cause plus where it happened.
+///
+/// The struct is `#[non_exhaustive]`; construct errors through the `From`
+/// impls or [`Error::new`] and refine them with the builder-style context
+/// setters. `Display` always names the phase and, when known, the offending
+/// scenario and history, so a log line alone locates the failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Error {
+    /// What went wrong.
+    pub kind: ErrorKind,
+    /// The engine phase that failed, when known.
+    pub phase: Option<Phase>,
+    /// The scenario being processed, when known.
+    pub scenario: Option<String>,
+    /// The registered history the request ran against, when known.
+    pub history: Option<String>,
+}
 
-impl From<HistoryError> for MahifError {
-    fn from(e: HistoryError) -> Self {
-        MahifError::History(e)
+impl Error {
+    /// Creates an error with no context.
+    pub fn new(kind: ErrorKind) -> Self {
+        Error {
+            kind,
+            phase: None,
+            scenario: None,
+            history: None,
+        }
+    }
+
+    /// Stamps the engine phase (overwrites an earlier stamp: the outermost
+    /// funnel knows best which phase it was driving).
+    pub fn in_phase(mut self, phase: Phase) -> Self {
+        self.phase = Some(phase);
+        self
+    }
+
+    /// Names the scenario that was being processed.
+    pub fn for_scenario(mut self, scenario: impl Into<String>) -> Self {
+        self.scenario = Some(scenario.into());
+        self
+    }
+
+    /// Names the registered history the request ran against.
+    pub fn on_history(mut self, history: impl Into<String>) -> Self {
+        self.history = Some(history.into());
+        self
     }
 }
 
-impl From<StorageError> for MahifError {
-    fn from(e: StorageError) -> Self {
-        MahifError::Storage(e)
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.phase {
+            Some(phase) => write!(f, "{phase} failed")?,
+            None => write!(f, "what-if answering failed")?,
+        }
+        if let Some(scenario) = &self.scenario {
+            write!(f, " for scenario '{scenario}'")?;
+        }
+        if let Some(history) = &self.history {
+            write!(f, " on history '{history}'")?;
+        }
+        write!(f, ": {}", self.kind)
     }
 }
 
-impl From<QueryError> for MahifError {
-    fn from(e: QueryError) -> Self {
-        MahifError::Query(e)
+impl std::error::Error for Error {}
+
+impl From<ErrorKind> for Error {
+    fn from(kind: ErrorKind) -> Self {
+        Error::new(kind)
     }
 }
 
-impl From<SlicingError> for MahifError {
-    fn from(e: SlicingError) -> Self {
-        MahifError::Slicing(e)
-    }
+macro_rules! wrap_error {
+    ($source:ty, $variant:ident) => {
+        impl From<$source> for Error {
+            fn from(e: $source) -> Self {
+                Error::new(ErrorKind::$variant(e))
+            }
+        }
+    };
 }
+
+wrap_error!(HistoryError, History);
+wrap_error!(StorageError, Storage);
+wrap_error!(QueryError, Query);
+wrap_error!(SlicingError, Slicing);
+wrap_error!(ExprError, Expr);
+wrap_error!(SymbolicError, Symbolic);
+wrap_error!(ParseError, InvalidWhatIfScript);
+
+/// Legacy name of [`Error`], kept so code written against the pre-`Session`
+/// API keeps compiling.
+pub type MahifError = Error;
 
 #[cfg(test)]
 mod tests {
@@ -67,13 +215,48 @@ mod tests {
 
     #[test]
     fn display_and_conversions() {
-        let e: MahifError = StorageError::UnknownRelation("R".into()).into();
+        let e: Error = StorageError::UnknownRelation("R".into()).into();
         assert!(e.to_string().contains("unknown relation"));
-        let e: MahifError = SlicingError::HistoriesNotAligned {
+        let e: Error = SlicingError::HistoriesNotAligned {
             original: 1,
             modified: 2,
         }
         .into();
         assert!(e.to_string().contains("not aligned"));
+    }
+
+    #[test]
+    fn context_is_rendered() {
+        let e = Error::new(ErrorKind::UnknownHistory("retail".into()))
+            .in_phase(Phase::Build)
+            .for_scenario("threshold/60")
+            .on_history("retail");
+        let s = e.to_string();
+        assert!(s.contains("request building failed"), "{s}");
+        assert!(s.contains("scenario 'threshold/60'"), "{s}");
+        assert!(s.contains("history 'retail'"), "{s}");
+        assert!(s.contains("no history named 'retail'"), "{s}");
+    }
+
+    #[test]
+    fn phase_labels_are_distinct() {
+        let phases = [
+            Phase::Register,
+            Phase::Build,
+            Phase::Normalize,
+            Phase::ProgramSlicing,
+            Phase::Execution,
+            Phase::Impact,
+        ];
+        let labels: std::collections::BTreeSet<String> =
+            phases.iter().map(|p| p.to_string()).collect();
+        assert_eq!(labels.len(), phases.len());
+    }
+
+    #[test]
+    fn without_context_display_still_names_the_kind() {
+        let e = Error::new(ErrorKind::WorkerPanicked);
+        assert!(e.to_string().contains("worker thread panicked"));
+        assert!(e.to_string().contains("what-if answering failed"));
     }
 }

@@ -261,7 +261,7 @@ fn metric_value(
     metric: &Expr,
 ) -> Result<i64, MahifError> {
     let bind = TupleBindings::new(&rel_delta.schema, tuple);
-    let v = eval_expr(metric, &bind).map_err(|e| MahifError::Query(QueryError::Expr(e)))?;
+    let v = eval_expr(metric, &bind).map_err(|e| MahifError::from(QueryError::Expr(e)))?;
     Ok(v.as_int().unwrap_or(0))
 }
 
@@ -289,21 +289,30 @@ impl WhatIfAnswer {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{Mahif, Method};
+    use crate::{Method, Session};
     use mahif_expr::builder::*;
     use mahif_history::statement::{
         running_example_database, running_example_history, running_example_u1_prime,
     };
-    use mahif_history::{History, ModificationSet};
+    use mahif_history::History;
 
-    fn answer() -> WhatIfAnswer {
-        let mahif = Mahif::new(
+    fn session() -> Session {
+        Session::with_history(
+            "retail",
             running_example_database(),
             History::new(running_example_history()),
         )
-        .unwrap();
-        let mods = ModificationSet::single_replace(0, running_example_u1_prime());
-        mahif.what_if(&mods, Method::ReenactPsDs).unwrap()
+        .unwrap()
+    }
+
+    fn answer() -> WhatIfAnswer {
+        session()
+            .on("retail")
+            .replace(0, running_example_u1_prime())
+            .method(Method::ReenactPsDs)
+            .run()
+            .unwrap()
+            .into_answer()
     }
 
     #[test]
@@ -356,18 +365,12 @@ mod tests {
 
     #[test]
     fn baseline_turns_change_into_before_after() {
-        let mahif = Mahif::new(
-            running_example_database(),
-            History::new(running_example_history()),
-        )
-        .unwrap();
-        let mods = ModificationSet::single_replace(0, running_example_u1_prime());
+        let session = session();
         let spec = ImpactSpec::sum_of("Order", "ShippingFee");
-        let answer = mahif.what_if(&mods, Method::ReenactPsDs).unwrap();
-        let report = answer
+        let report = answer()
             .impact(&spec)
             .unwrap()
-            .with_baseline(mahif.current_state(), &spec)
+            .with_baseline(session.history("retail").unwrap().current_state(), &spec)
             .unwrap();
         // Current fees (Figure 3): 8 + 5 + 0 + 4 = 17; hypothetical: 22.
         assert_eq!(report.baseline, Some(17));
@@ -376,18 +379,17 @@ mod tests {
     }
 
     #[test]
-    fn what_if_impact_convenience() {
-        let mahif = Mahif::new(
-            running_example_database(),
-            History::new(running_example_history()),
-        )
-        .unwrap();
-        let mods = ModificationSet::single_replace(0, running_example_u1_prime());
+    fn impact_request_rides_along() {
         let spec = ImpactSpec::sum_of("Order", "ShippingFee").grouped_by("Country");
-        let (answer, report) = mahif
-            .what_if_impact(&mods, Method::ReenactPsDs, &spec)
+        let response = session()
+            .on("retail")
+            .replace(0, running_example_u1_prime())
+            .method(Method::ReenactPsDs)
+            .impact(spec)
+            .run()
             .unwrap();
-        assert_eq!(answer.delta.len(), 2);
+        assert_eq!(response.delta().len(), 2);
+        let report = response.impact().unwrap();
         assert_eq!(report.baseline, Some(17));
         assert_eq!(report.net_change(), 5);
     }

@@ -12,29 +12,73 @@
 //! statements); the answer is the symmetric difference
 //! `Δ(H(D), H[M](D))`.
 //!
+//! ## The session model
+//!
+//! The public API is built around a long-lived [`Session`]:
+//!
+//! 1. **Register** expensive state once. [`Session::register`] names a
+//!    `(D, H)` pair and executes the history a single time to materialize
+//!    the version chain. A session holds any number of histories.
+//! 2. **Ask** many cheap hypotheticals. [`Session::on`] starts a fluent
+//!    [`WhatIfRequest`]; `run()` answers a single query, `run_batch(..)` a
+//!    whole scenario sweep. Either way the request flows through the one
+//!    [`Session::execute`] funnel — *single queries are batches of one* —
+//!    so shared program slices, the worker pool and impact reporting apply
+//!    uniformly. The engine borrows the registered history and initial
+//!    state; no entry point clones them per call
+//!    (see [`Session::stats`]).
+//! 3. **Read** the uniform [`Response`]: per-scenario delta + timings +
+//!    work stats + optional [`ImpactReport`], plus batch-level
+//!    [`BatchStats`].
+//!
+//! Every fallible step reports the unified [`Error`], which names the
+//! failing [`Phase`] and — when known — the offending
+//! scenario and history.
+//!
 //! ## Quick start
 //!
 //! ```
-//! use mahif::{Mahif, Method};
+//! use mahif::{Method, Session};
 //! use mahif_history::statement::{
 //!     running_example_database, running_example_history, running_example_u1_prime,
 //! };
-//! use mahif_history::{History, ModificationSet};
+//! use mahif_history::History;
 //!
 //! // Register the running-example database and shipping-fee history.
-//! let mahif = Mahif::new(
+//! let session = Session::with_history(
+//!     "retail",
 //!     running_example_database(),
 //!     History::new(running_example_history()),
 //! )
 //! .unwrap();
 //!
 //! // "What if the free-shipping threshold had been $60 instead of $50?"
-//! let modifications = ModificationSet::single_replace(0, running_example_u1_prime());
-//! let answer = mahif.what_if(&modifications, Method::ReenactPsDs).unwrap();
+//! let response = session
+//!     .on("retail")
+//!     .replace(0, running_example_u1_prime())
+//!     .method(Method::ReenactPsDs)
+//!     .run()
+//!     .unwrap();
 //!
 //! // Alex's order (ID 12) would pay $10 instead of $5.
-//! assert_eq!(answer.delta.len(), 2);
+//! assert_eq!(response.delta().len(), 2);
 //! ```
+//!
+//! ## Migrating from `Mahif`
+//!
+//! The single-history [`Mahif`] façade is a deprecated shim over a
+//! one-history session; its results are byte-identical. Ports are
+//! mechanical:
+//!
+//! | pre-0.2 call | session form |
+//! |---|---|
+//! | `Mahif::new(db, history)?` | `Session::with_history("name", db, history)?` |
+//! | `mahif.what_if(&mods, method)?` | `session.on("name").modifications(mods).method(method).run()?.into_answer()` |
+//! | `mahif.what_if_sql(script, method)?` | `session.on("name").sql(script).method(method).run()?.into_answer()` |
+//! | `mahif.what_if_configured(&mods, method, &cfg)?` | `session.on("name").modifications(mods).method(method).config(cfg).run()?.into_answer()` |
+//! | `mahif.what_if_impact(&mods, method, &spec)?` | `session.on("name").modifications(mods).method(method).impact(spec).run()?` (report in `response.impact()`) |
+//! | `mahif.current_state()` etc. | `session.history("name")?.current_state()` etc. |
+//! | `ScenarioSet::new(&mahif)` | `ScenarioSet::over(&session, "name")` (crate `mahif-scenario`) |
 //!
 //! ## Execution methods
 //!
@@ -45,17 +89,35 @@
 //! | [`Method::ReenactDs`] | reenactment + data slicing (Section 6) |
 //! | [`Method::ReenactPs`] | reenactment + program slicing (Sections 7–9) |
 //! | [`Method::ReenactPsDs`] | reenactment + both optimizations (Algorithm 2, the Mahif default) |
+//!
+//! [`Method`] round-trips its paper labels through `Display`/`FromStr`
+//! (`"R+PS+DS".parse::<Method>()`), so CLI and serving layers can name
+//! methods exactly as the figures do.
+
+// The unified `Error` carries its phase/scenario/history context inline,
+// which makes the `Err` variant larger than clippy's 128-byte heuristic.
+// What-if error paths are cold (registration or per-request failures), so
+// the flat, cloneable context struct is the better trade than boxing.
+#![allow(clippy::result_large_err)]
 
 pub mod config;
 pub mod engine;
 pub mod error;
 pub mod impact;
 pub mod mahif;
+mod pool;
+pub mod request;
+pub mod response;
+pub mod session;
 pub mod stats;
 
 pub use config::{EngineConfig, Method};
 pub use engine::{answer_normalized, answer_what_if, compute_program_slice};
-pub use error::MahifError;
+pub use error::{Error, ErrorKind, MahifError, Phase};
 pub use impact::{impact_of, GroupImpact, ImpactReport, ImpactSpec};
+#[allow(deprecated)]
 pub use mahif::Mahif;
+pub use request::{ScenarioSpec, WhatIfRequest};
+pub use response::{BatchStats, Response, ScenarioResponse};
+pub use session::{sweep, RegisteredHistory, Session, SessionStats};
 pub use stats::{EngineStats, PhaseTimings, WhatIfAnswer};

@@ -1,50 +1,77 @@
-//! The Mahif middleware façade.
+//! The legacy single-history `Mahif` façade, now a thin shim over
+//! [`Session`].
+//!
+//! `Mahif` predates the multi-history [`Session`]; it is kept so downstream
+//! code compiles during migration and its answers are byte-identical to the
+//! session's (every call funnels into [`Session::execute`]). New code
+//! should register histories with a [`Session`] and build requests with
+//! [`Session::on`]; see the crate-level migration table.
 
-use mahif_history::{HistoricalWhatIf, History, ModificationSet};
+#![allow(deprecated)]
+
+use mahif_history::{History, ModificationSet};
 use mahif_storage::{Database, VersionedDatabase};
 
 use crate::config::{EngineConfig, Method};
-use crate::engine::answer_what_if;
 use crate::error::MahifError;
+use crate::session::Session;
 use crate::stats::WhatIfAnswer;
 
-/// The Mahif middleware: owns the transactional history of a database, keeps
-/// the version chain needed for time travel, and answers historical what-if
-/// queries against it.
+/// The single-history middleware façade: a [`Session`] with exactly one
+/// registered history (named [`Mahif::HISTORY`]).
+#[deprecated(
+    since = "0.2.0",
+    note = "use mahif::Session — register histories once, build requests with Session::on(..)"
+)]
 #[derive(Debug, Clone)]
 pub struct Mahif {
-    history: History,
-    versioned: VersionedDatabase,
+    session: Session,
 }
 
 impl Mahif {
+    /// The name the shim registers its history under.
+    pub const HISTORY: &'static str = "default";
+
     /// Registers a database and the transactional history that was executed
     /// over it. The history is executed once to materialize the version
     /// chain (the deployment equivalent is a DBMS with time travel plus the
     /// statement log).
     pub fn new(initial: Database, history: History) -> Result<Self, MahifError> {
-        let versioned = history.execute_versioned(&initial)?;
-        Ok(Mahif { history, versioned })
+        Ok(Mahif {
+            session: Session::with_history(Self::HISTORY, initial, history)?,
+        })
+    }
+
+    /// The underlying session (one registered history named
+    /// [`Mahif::HISTORY`]).
+    pub fn session(&self) -> &Session {
+        &self.session
+    }
+
+    fn registered(&self) -> &crate::session::RegisteredHistory {
+        self.session
+            .history(Self::HISTORY)
+            .expect("the shim registers its history at construction")
     }
 
     /// The registered history.
     pub fn history(&self) -> &History {
-        &self.history
+        self.registered().history()
     }
 
     /// The current database state `H(D)`.
     pub fn current_state(&self) -> &Database {
-        self.versioned.current()
+        self.registered().current_state()
     }
 
     /// The initial database state `D` (before the history).
     pub fn initial_state(&self) -> &Database {
-        self.versioned.initial()
+        self.registered().initial_state()
     }
 
     /// The full version chain (time travel).
     pub fn versions(&self) -> &VersionedDatabase {
-        &self.versioned
+        self.registered().versions()
     }
 
     /// Answers the historical what-if query defined by `modifications` using
@@ -61,9 +88,12 @@ impl Mahif {
     /// text (see [`mahif_sqlparse::parse_whatif`]), e.g.
     /// `"REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60"`.
     pub fn what_if_sql(&self, script: &str, method: Method) -> Result<WhatIfAnswer, MahifError> {
-        let modifications = mahif_sqlparse::parse_whatif(script)
-            .map_err(|e| MahifError::InvalidWhatIfScript(e.to_string()))?;
-        self.what_if(&modifications, method)
+        self.session
+            .on(Self::HISTORY)
+            .sql(script)
+            .method(method)
+            .run()
+            .map(crate::Response::into_answer)
     }
 
     /// Answers the historical what-if query and immediately reduces its
@@ -76,11 +106,20 @@ impl Mahif {
         method: Method,
         spec: &crate::impact::ImpactSpec,
     ) -> Result<(WhatIfAnswer, crate::impact::ImpactReport), MahifError> {
-        let answer = self.what_if(modifications, method)?;
-        let report = answer
-            .impact(spec)?
-            .with_baseline(self.current_state(), spec)?;
-        Ok((answer, report))
+        let response = self
+            .session
+            .on(Self::HISTORY)
+            .modifications(modifications.clone())
+            .method(method)
+            .impact(spec.clone())
+            .run()?;
+        let scenario = response
+            .scenarios
+            .into_iter()
+            .next()
+            .expect("a response answers >= 1 scenario");
+        let report = scenario.impact.expect("the request carried an impact spec");
+        Ok((scenario.answer, report))
     }
 
     /// Answers the historical what-if query with an explicit engine
@@ -91,18 +130,13 @@ impl Mahif {
         method: Method,
         config: &EngineConfig,
     ) -> Result<WhatIfAnswer, MahifError> {
-        let query = HistoricalWhatIf::new(
-            self.history.clone(),
-            self.versioned.initial().clone(),
-            modifications.clone(),
-        );
-        answer_what_if(
-            &query,
-            &self.versioned,
-            self.versioned.current(),
-            method,
-            config,
-        )
+        self.session
+            .on(Self::HISTORY)
+            .modifications(modifications.clone())
+            .method(method)
+            .config(config.clone())
+            .run()
+            .map(crate::Response::into_answer)
     }
 }
 
@@ -161,5 +195,35 @@ mod tests {
             .what_if_configured(&mods, Method::ReenactPsDs, &config)
             .unwrap();
         assert_eq!(answer.delta.len(), 2);
+    }
+
+    #[test]
+    fn shim_is_byte_identical_to_the_session() {
+        // The acceptance gate of the redesign: the deprecated shim funnels
+        // into the very same Session::execute path, so answers agree
+        // byte-for-byte with a hand-built Session.
+        let m = mahif();
+        let session = Session::with_history(
+            "h",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap();
+        let mods = ModificationSet::single_replace(0, running_example_u1_prime());
+        for method in Method::all() {
+            let shim = m.what_if(&mods, method).unwrap();
+            let new = session
+                .on("h")
+                .modifications(mods.clone())
+                .method(method)
+                .run()
+                .unwrap();
+            assert_eq!(shim.delta, new.delta().clone(), "method {method}");
+            assert_eq!(
+                shim.stats.statements_reenacted,
+                new.answer().stats.statements_reenacted
+            );
+            assert_eq!(shim.stats.input_tuples, new.answer().stats.input_tuples);
+        }
     }
 }

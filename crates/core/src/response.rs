@@ -1,0 +1,163 @@
+//! The uniform answer of a what-if request.
+//!
+//! Single queries are batches of one, so every request — `run()` or
+//! `run_batch(...)` — produces the same [`Response`]: one
+//! [`ScenarioResponse`] per scenario (delta + timings + work stats +
+//! optional impact report) plus the request-level [`BatchStats`].
+
+use std::fmt;
+use std::time::Duration;
+
+use mahif_history::DatabaseDelta;
+
+use crate::config::Method;
+use crate::impact::ImpactReport;
+use crate::stats::WhatIfAnswer;
+
+/// Work statistics of one executed request.
+///
+/// A single query is a batch of one, so these are always present; for k > 1
+/// they describe the shared work (one program slice per scenario group, a
+/// scoped worker pool).
+#[derive(Debug, Clone, Default)]
+pub struct BatchStats {
+    /// Number of scenarios answered.
+    pub scenarios: usize,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Distinct program slices computed (slice-sharing groups).
+    pub slice_groups: usize,
+    /// Scenarios that reused a group slice instead of computing their own.
+    pub shared_slice_hits: usize,
+    /// Wall-clock time normalizing and grouping the scenarios.
+    pub normalize: Duration,
+    /// Wall-clock time computing program slices.
+    pub slicing: Duration,
+    /// Wall-clock time reenacting and diffing all scenarios.
+    pub execution: Duration,
+    /// End-to-end wall-clock time of the request.
+    pub total: Duration,
+}
+
+/// One scenario's answer within a [`Response`].
+#[derive(Debug, Clone)]
+pub struct ScenarioResponse {
+    /// The scenario's name (`"default"` for an unnamed single query).
+    pub name: String,
+    /// The what-if answer: delta, per-phase timings, work statistics.
+    pub answer: WhatIfAnswer,
+    /// The aggregate impact report, when the request carried an
+    /// [`crate::ImpactSpec`]. The baseline is taken from the registered
+    /// history's current state.
+    pub impact: Option<ImpactReport>,
+}
+
+/// The answer of a what-if request: per-scenario answers plus batch-level
+/// work statistics, uniform for single and batch requests.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct Response {
+    /// The registered history the request ran against.
+    pub history: String,
+    /// The execution method used.
+    pub method: Method,
+    /// Per-scenario answers, in request order (never empty).
+    pub scenarios: Vec<ScenarioResponse>,
+    /// Work statistics of the whole request.
+    pub stats: BatchStats,
+}
+
+impl Response {
+    pub(crate) fn new(
+        history: String,
+        method: Method,
+        scenarios: Vec<ScenarioResponse>,
+        stats: BatchStats,
+    ) -> Self {
+        debug_assert!(!scenarios.is_empty(), "a response answers >= 1 scenario");
+        Response {
+            history,
+            method,
+            scenarios,
+            stats,
+        }
+    }
+
+    /// The first (for a single query: the only) scenario's answer.
+    pub fn answer(&self) -> &WhatIfAnswer {
+        &self.scenarios[0].answer
+    }
+
+    /// The first scenario's delta `Δ(H(D), H[M](D))`.
+    pub fn delta(&self) -> &DatabaseDelta {
+        &self.answer().delta
+    }
+
+    /// The first scenario's impact report, when the request carried an
+    /// impact spec.
+    pub fn impact(&self) -> Option<&ImpactReport> {
+        self.scenarios[0].impact.as_ref()
+    }
+
+    /// The answer of the scenario with the given name.
+    pub fn get(&self, name: &str) -> Option<&ScenarioResponse> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Number of scenarios answered.
+    pub fn len(&self) -> usize {
+        self.scenarios.len()
+    }
+
+    /// A response always answers at least one scenario; this exists for
+    /// clippy's `len_without_is_empty` and always returns `false`.
+    pub fn is_empty(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+
+    /// Iterates over the per-scenario answers in request order.
+    pub fn iter(&self) -> std::slice::Iter<'_, ScenarioResponse> {
+        self.scenarios.iter()
+    }
+
+    /// Consumes the response into the first scenario's answer (the whole
+    /// answer for a single query).
+    pub fn into_answer(self) -> WhatIfAnswer {
+        self.scenarios
+            .into_iter()
+            .next()
+            .expect("a response answers >= 1 scenario")
+            .answer
+    }
+}
+
+impl<'a> IntoIterator for &'a Response {
+    type Item = &'a ScenarioResponse;
+    type IntoIter = std::slice::Iter<'a, ScenarioResponse>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.scenarios.iter()
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "response for history '{}' ({}, {} scenario(s), {} slice group(s), total {:?}):",
+            self.history,
+            self.method,
+            self.stats.scenarios,
+            self.stats.slice_groups,
+            self.stats.total
+        )?;
+        for s in &self.scenarios {
+            writeln!(f, "scenario '{}':", s.name)?;
+            write!(f, "{}", s.answer)?;
+            if let Some(report) = &s.impact {
+                write!(f, "{report}")?;
+            }
+        }
+        Ok(())
+    }
+}

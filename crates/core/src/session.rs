@@ -1,0 +1,753 @@
+//! The multi-history session: the middleware's long-lived public entry
+//! point.
+//!
+//! A [`Session`] registers any number of **named** histories — each
+//! registration executes the history once to materialize the version chain
+//! (the deployment equivalent is a DBMS with time travel plus the statement
+//! log) — and then answers what-if requests against them. Requests are
+//! built fluently with [`Session::on`] and executed by the single
+//! [`Session::execute`] funnel: a single query is a batch of one, so
+//! shared-slice grouping and the worker pool apply to every entry point.
+//! The engine borrows the registered history and initial state per request
+//! — answering is O(answer), never O(|H| + |D|) in copies — which
+//! [`Session::stats`] makes observable: `version_chains_built` stays at the
+//! number of registrations no matter how many requests run.
+//!
+//! ```
+//! use mahif::{ImpactSpec, Method, Session};
+//! use mahif_history::statement::{
+//!     running_example_database, running_example_history, running_example_u1_prime,
+//! };
+//! use mahif_history::History;
+//!
+//! let mut session = Session::new();
+//! session
+//!     .register(
+//!         "retail",
+//!         running_example_database(),
+//!         History::new(running_example_history()),
+//!     )
+//!     .unwrap();
+//!
+//! // "What if the free-shipping threshold had been $60 instead of $50?"
+//! let response = session
+//!     .on("retail")
+//!     .replace(0, running_example_u1_prime())
+//!     .method(Method::ReenactPsDs)
+//!     .impact(ImpactSpec::sum_of("Order", "ShippingFee"))
+//!     .run()
+//!     .unwrap();
+//!
+//! assert_eq!(response.delta().len(), 2);
+//! assert_eq!(response.impact().unwrap().net_change(), 5);
+//! assert_eq!(session.stats().version_chains_built, 1);
+//! ```
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use mahif_history::{History, ModificationSet, NormalizedWhatIf, WhatIfRef};
+use mahif_slicing::{group_scenarios, program_slice_multi, ProgramSliceResult, SliceCache};
+use mahif_storage::{Database, VersionedDatabase};
+
+use crate::config::Method;
+use crate::engine::{answer_normalized, answer_what_if, compute_program_slice};
+use crate::error::{Error, ErrorKind, Phase};
+use crate::pool::{collect_results, resolve_parallelism, run_indexed};
+use crate::request::{RequestParts, ScenarioSpec, WhatIfRequest};
+use crate::response::{BatchStats, Response, ScenarioResponse};
+use crate::stats::WhatIfAnswer;
+
+/// One history registered with a [`Session`]: the statement log plus the
+/// version chain materialized at registration.
+#[derive(Debug, Clone)]
+pub struct RegisteredHistory {
+    name: String,
+    history: History,
+    versioned: VersionedDatabase,
+}
+
+impl RegisteredHistory {
+    /// The name the history was registered under.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The registered transactional history.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// The full version chain (time travel).
+    pub fn versions(&self) -> &VersionedDatabase {
+        &self.versioned
+    }
+
+    /// The initial database state `D` (before the history).
+    pub fn initial_state(&self) -> &Database {
+        self.versioned.initial()
+    }
+
+    /// The current database state `H(D)`.
+    pub fn current_state(&self) -> &Database {
+        self.versioned.current()
+    }
+}
+
+/// Monotonic work counters of a session (interior mutability: answering
+/// borrows the session immutably).
+#[derive(Debug, Default)]
+struct Counters {
+    version_chains_built: AtomicU64,
+    requests: AtomicU64,
+    scenarios_answered: AtomicU64,
+    slices_computed: AtomicU64,
+    slices_shared: AtomicU64,
+}
+
+impl Clone for Counters {
+    fn clone(&self) -> Self {
+        Counters {
+            version_chains_built: AtomicU64::new(self.version_chains_built.load(Ordering::Relaxed)),
+            requests: AtomicU64::new(self.requests.load(Ordering::Relaxed)),
+            scenarios_answered: AtomicU64::new(self.scenarios_answered.load(Ordering::Relaxed)),
+            slices_computed: AtomicU64::new(self.slices_computed.load(Ordering::Relaxed)),
+            slices_shared: AtomicU64::new(self.slices_shared.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// A snapshot of a session's lifetime work counters (see
+/// [`Session::stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SessionStats {
+    /// Histories currently registered.
+    pub histories: usize,
+    /// Version chains materialized — increments only in
+    /// [`Session::register`]. Staying constant across requests is the
+    /// observable form of the zero-clone guarantee: no request re-executes
+    /// or re-clones a registered history.
+    pub version_chains_built: u64,
+    /// Requests executed (a batch counts once).
+    pub requests: u64,
+    /// Scenarios answered across all requests.
+    pub scenarios_answered: u64,
+    /// Program slices computed (one per slice-sharing group).
+    pub slices_computed: u64,
+    /// Scenarios that reused a group's shared slice.
+    pub slices_shared: u64,
+}
+
+/// The Mahif middleware session: registers named histories once and answers
+/// many what-if requests against them. See the [module docs](self).
+#[derive(Debug, Clone, Default)]
+pub struct Session {
+    histories: Vec<RegisteredHistory>,
+    counters: Counters,
+}
+
+impl Session {
+    /// Creates an empty session.
+    pub fn new() -> Self {
+        Session::default()
+    }
+
+    /// Convenience constructor: a session with one registered history.
+    pub fn with_history(
+        name: impl Into<String>,
+        initial: Database,
+        history: History,
+    ) -> Result<Self, Error> {
+        let mut session = Session::new();
+        session.register(name, initial, history)?;
+        Ok(session)
+    }
+
+    /// Registers a database and the transactional history that was executed
+    /// over it under `name`. The history is executed once to materialize
+    /// the version chain; every later request borrows that chain.
+    pub fn register(
+        &mut self,
+        name: impl Into<String>,
+        initial: Database,
+        history: History,
+    ) -> Result<&mut Self, Error> {
+        let name = name.into();
+        if self.histories.iter().any(|h| h.name == name) {
+            return Err(Error::new(ErrorKind::DuplicateHistory(name.clone()))
+                .in_phase(Phase::Register)
+                .on_history(name));
+        }
+        let versioned = history.execute_versioned(&initial).map_err(|e| {
+            Error::from(e)
+                .in_phase(Phase::Register)
+                .on_history(name.clone())
+        })?;
+        self.counters
+            .version_chains_built
+            .fetch_add(1, Ordering::Relaxed);
+        self.histories.push(RegisteredHistory {
+            name,
+            history,
+            versioned,
+        });
+        Ok(self)
+    }
+
+    /// Starts a fluent what-if request against the history registered under
+    /// `name`. Name resolution is deferred to `run`, so the chain itself is
+    /// infallible.
+    pub fn on(&self, name: impl Into<String>) -> WhatIfRequest<'_> {
+        WhatIfRequest::new(self, name.into())
+    }
+
+    /// The registered history named `name`.
+    pub fn history(&self, name: &str) -> Result<&RegisteredHistory, Error> {
+        self.histories
+            .iter()
+            .find(|h| h.name == name)
+            .ok_or_else(|| {
+                Error::new(ErrorKind::UnknownHistory(name.to_string()))
+                    .in_phase(Phase::Build)
+                    .on_history(name.to_string())
+            })
+    }
+
+    /// The registered histories, in registration order.
+    pub fn histories(&self) -> impl Iterator<Item = &RegisteredHistory> {
+        self.histories.iter()
+    }
+
+    /// Number of registered histories.
+    pub fn len(&self) -> usize {
+        self.histories.len()
+    }
+
+    /// True when no history is registered.
+    pub fn is_empty(&self) -> bool {
+        self.histories.is_empty()
+    }
+
+    /// A snapshot of the session's lifetime work counters.
+    pub fn stats(&self) -> SessionStats {
+        SessionStats {
+            histories: self.histories.len(),
+            version_chains_built: self.counters.version_chains_built.load(Ordering::Relaxed),
+            requests: self.counters.requests.load(Ordering::Relaxed),
+            scenarios_answered: self.counters.scenarios_answered.load(Ordering::Relaxed),
+            slices_computed: self.counters.slices_computed.load(Ordering::Relaxed),
+            slices_shared: self.counters.slices_shared.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Executes a request. This is the single funnel every public entry
+    /// point goes through — `run()`, `run_batch(..)`, the deprecated
+    /// [`crate::Mahif`] shim and `mahif-scenario`'s `ScenarioSet` all end
+    /// here, so batch optimizations reach single queries and vice versa.
+    pub fn execute(&self, request: WhatIfRequest<'_>) -> Result<Response, Error> {
+        let parts = request.into_parts()?;
+        self.execute_parts(parts)
+    }
+
+    fn execute_parts(&self, parts: RequestParts) -> Result<Response, Error> {
+        let total_start = Instant::now();
+        let RequestParts {
+            history: history_name,
+            scenarios,
+            method,
+            config,
+            parallelism,
+            no_slice_sharing,
+            impact,
+        } = parts;
+        let registered = self.history(&history_name)?;
+        if scenarios.is_empty() {
+            return Err(Error::new(ErrorKind::EmptyRequest)
+                .in_phase(Phase::Build)
+                .on_history(history_name));
+        }
+        for (i, s) in scenarios.iter().enumerate() {
+            if scenarios[..i].iter().any(|other| other.name() == s.name()) {
+                return Err(
+                    Error::new(ErrorKind::DuplicateScenario(s.name().to_string()))
+                        .in_phase(Phase::Build)
+                        .for_scenario(s.name().to_string())
+                        .on_history(history_name),
+                );
+            }
+        }
+        let threads = resolve_parallelism(parallelism, scenarios.len());
+        let mut stats = BatchStats {
+            scenarios: scenarios.len(),
+            threads,
+            ..Default::default()
+        };
+
+        let context = |e: Error, phase: Phase, scenario: &ScenarioSpec| {
+            e.in_phase(phase)
+                .for_scenario(scenario.name().to_string())
+                .on_history(history_name.clone())
+        };
+
+        let answers: Vec<WhatIfAnswer> = if method == Method::Naive {
+            // The naïve algorithm re-executes the modified history over a
+            // copy of the pre-history state; nothing is shareable beyond
+            // the registered states, so scenarios just run in parallel.
+            let exec_start = Instant::now();
+            let answers = self.run_pool(threads, &scenarios, |i| {
+                let query = WhatIfRef::new(
+                    &registered.history,
+                    registered.versioned.initial(),
+                    scenarios[i].modifications(),
+                );
+                answer_what_if(
+                    query,
+                    &registered.versioned,
+                    registered.versioned.current(),
+                    method,
+                    &config,
+                )
+                .map_err(|e| context(e, Phase::Execution, &scenarios[i]))
+            })?;
+            stats.execution = exec_start.elapsed();
+            answers
+        } else {
+            // Normalize once per scenario and group scenarios that can
+            // share a program slice.
+            let normalize_start = Instant::now();
+            let normalized = scenarios
+                .iter()
+                .map(|s| {
+                    let query = WhatIfRef::new(
+                        &registered.history,
+                        registered.versioned.initial(),
+                        s.modifications(),
+                    );
+                    query
+                        .normalize()
+                        .map_err(|e| context(Error::from(e), Phase::Normalize, s))
+                })
+                .collect::<Result<Vec<NormalizedWhatIf>, Error>>()?;
+            let groups = group_scenarios(&normalized);
+            stats.normalize = normalize_start.elapsed();
+
+            // One slice per group (shared), or one per scenario (single
+            // queries, ablation, or the greedy slicer whose certificates
+            // are pairwise only).
+            let slice_start = Instant::now();
+            let share = scenarios.len() > 1
+                && method.uses_program_slicing()
+                && !no_slice_sharing
+                && !config.use_greedy_slicer;
+            let slices: Vec<Arc<ProgramSliceResult>> = if share {
+                let computed = run_indexed(groups.groups.len(), threads, |g| {
+                    let group = &groups.groups[g];
+                    // Borrow each member's modified history from the
+                    // normalization results instead of cloning it into the
+                    // group.
+                    let variants: Vec<&History> = group
+                        .members
+                        .iter()
+                        .map(|&i| &normalized[i].modified)
+                        .collect();
+                    program_slice_multi(
+                        &group.original,
+                        &variants,
+                        &group.positions,
+                        registered.versioned.initial(),
+                        &config.slicing(),
+                    )
+                    .map(Arc::new)
+                    .map_err(|e| {
+                        // A shared slice is computed for the whole group at
+                        // once; name every member rather than guessing one.
+                        let members = group
+                            .members
+                            .iter()
+                            .map(|&i| scenarios[i].name())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        Error::from(e)
+                            .in_phase(Phase::ProgramSlicing)
+                            .for_scenario(members)
+                            .on_history(history_name.clone())
+                    })
+                });
+                collect_results(computed)?
+            } else {
+                let computed = run_indexed(normalized.len(), threads, |i| {
+                    compute_program_slice(
+                        &normalized[i],
+                        registered.versioned.initial(),
+                        method,
+                        &config,
+                    )
+                    .map(Arc::new)
+                    .map_err(|e| context(e, Phase::ProgramSlicing, &scenarios[i]))
+                });
+                collect_results(computed)?
+            };
+            stats.slicing = slice_start.elapsed();
+
+            let cache: Option<SliceCache> = share.then(|| SliceCache::new(&groups, slices.clone()));
+            if share {
+                stats.slice_groups = groups.groups.len();
+                stats.shared_slice_hits = scenarios.len() - groups.groups.len();
+            } else {
+                stats.slice_groups = slices.len();
+            }
+            self.counters
+                .slices_computed
+                .fetch_add(stats.slice_groups as u64, Ordering::Relaxed);
+            self.counters
+                .slices_shared
+                .fetch_add(stats.shared_slice_hits as u64, Ordering::Relaxed);
+
+            let exec_start = Instant::now();
+            let answers = self.run_pool(threads, &scenarios, |i| {
+                let slice = match &cache {
+                    Some(cache) => cache.slice_for(i),
+                    None => Arc::clone(&slices[i]),
+                };
+                answer_normalized(
+                    &normalized[i],
+                    &slice,
+                    &registered.versioned,
+                    method,
+                    &config,
+                )
+                .map_err(|e| context(e, Phase::Execution, &scenarios[i]))
+            })?;
+            stats.execution = exec_start.elapsed();
+            answers
+        };
+
+        // Optional impact phase: reduce each delta to an aggregate report
+        // with the metric baseline taken from the current state.
+        let reports = match &impact {
+            None => vec![None; answers.len()],
+            Some(spec) => answers
+                .iter()
+                .zip(&scenarios)
+                .map(|(answer, s)| {
+                    answer
+                        .impact(spec)
+                        .and_then(|report| report.with_baseline(registered.current_state(), spec))
+                        .map(Some)
+                        .map_err(|e| context(e, Phase::Impact, s))
+                })
+                .collect::<Result<Vec<_>, Error>>()?,
+        };
+
+        // Count the work only once it actually succeeded, so `stats()` never
+        // reports failed requests as answered.
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+        self.counters
+            .scenarios_answered
+            .fetch_add(scenarios.len() as u64, Ordering::Relaxed);
+
+        stats.total = total_start.elapsed();
+        let scenarios = scenarios
+            .into_iter()
+            .zip(answers)
+            .zip(reports)
+            .map(|((spec, answer), impact)| ScenarioResponse {
+                name: spec.name().to_string(),
+                answer,
+                impact,
+            })
+            .collect();
+        Ok(Response::new(history_name, method, scenarios, stats))
+    }
+
+    /// Runs `answer` for every scenario on the worker pool, converting
+    /// worker panics into [`ErrorKind::WorkerPanicked`].
+    fn run_pool(
+        &self,
+        threads: usize,
+        scenarios: &[ScenarioSpec],
+        answer: impl Fn(usize) -> Result<WhatIfAnswer, Error> + Sync,
+    ) -> Result<Vec<WhatIfAnswer>, Error> {
+        let results = run_indexed(scenarios.len(), threads, |i| {
+            catch_unwind(AssertUnwindSafe(|| answer(i))).unwrap_or_else(|_| {
+                Err(Error::new(ErrorKind::WorkerPanicked)
+                    .in_phase(Phase::Execution)
+                    .for_scenario(scenarios[i].name().to_string()))
+            })
+        });
+        collect_results(results)
+    }
+}
+
+/// Convenience: `session.on(..).run_batch(pairs)` accepts
+/// `(name, ModificationSet)` tuples; this free function builds the same
+/// pairs from a sweep closure, mirroring
+/// `mahif-scenario`'s `Scenario::sweep_replace_values` at the core layer.
+pub fn sweep<V: std::fmt::Display>(
+    prefix: &str,
+    position: usize,
+    values: impl IntoIterator<Item = V>,
+    make: impl Fn(&V) -> mahif_history::Statement,
+) -> Vec<ScenarioSpec> {
+    values
+        .into_iter()
+        .map(|value| {
+            let statement = make(&value);
+            ScenarioSpec::new(
+                format!("{prefix}/{value}"),
+                ModificationSet::new(vec![mahif_history::Modification::replace(
+                    position, statement,
+                )]),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::impact::ImpactSpec;
+    use mahif_expr::builder::*;
+    use mahif_history::statement::{
+        running_example_database, running_example_history, running_example_u1_prime,
+    };
+    use mahif_history::{SetClause, Statement};
+
+    fn session() -> Session {
+        Session::with_history(
+            "retail",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap()
+    }
+
+    fn threshold(t: i64) -> Statement {
+        Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(0)),
+            ge(attr("Price"), lit(t)),
+        )
+    }
+
+    #[test]
+    fn registration_materializes_versions_once() {
+        let s = session();
+        let reg = s.history("retail").unwrap();
+        assert_eq!(reg.name(), "retail");
+        assert_eq!(reg.history().len(), 3);
+        assert_eq!(reg.versions().version_count(), 4);
+        assert_eq!(reg.initial_state().total_tuples(), 4);
+        assert_eq!(s.stats().version_chains_built, 1);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn duplicate_registration_is_rejected() {
+        let mut s = session();
+        let err = s
+            .register(
+                "retail",
+                running_example_database(),
+                History::new(running_example_history()),
+            )
+            .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::DuplicateHistory(_)));
+        assert!(err.to_string().contains("retail"));
+    }
+
+    #[test]
+    fn single_query_all_methods_agree() {
+        let s = session();
+        let reference = s
+            .on("retail")
+            .replace(0, running_example_u1_prime())
+            .method(Method::Naive)
+            .run()
+            .unwrap();
+        assert_eq!(reference.delta().len(), 2);
+        for method in Method::all() {
+            let response = s
+                .on("retail")
+                .replace(0, running_example_u1_prime())
+                .method(method)
+                .run()
+                .unwrap();
+            assert_eq!(response.delta(), reference.delta(), "method {method}");
+            assert_eq!(response.len(), 1);
+            assert_eq!(response.scenarios[0].name, "default");
+        }
+    }
+
+    #[test]
+    fn batch_shares_one_slice_across_a_sweep() {
+        let s = session();
+        let response = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .run_batch(sweep("threshold", 0, [55i64, 60, 65, 70, 75], |t| {
+                threshold(*t)
+            }))
+            .unwrap();
+        assert_eq!(response.len(), 5);
+        assert_eq!(response.stats.slice_groups, 1);
+        assert_eq!(response.stats.shared_slice_hits, 4);
+        assert!(response.get("threshold/60").is_some());
+        assert!(response.get("nope").is_none());
+        // Each batch answer equals the single-query answer.
+        for spec in sweep("threshold", 0, [55i64, 60, 65, 70, 75], |t| threshold(*t)) {
+            let single = s
+                .on("retail")
+                .modifications(spec.modifications().clone())
+                .run()
+                .unwrap();
+            assert_eq!(
+                &response.get(spec.name()).unwrap().answer.delta,
+                single.delta(),
+                "{}",
+                spec.name()
+            );
+        }
+    }
+
+    #[test]
+    fn stats_count_work_not_copies() {
+        let s = session();
+        for t in [55i64, 60, 65] {
+            s.on("retail").replace(0, threshold(t)).run().unwrap();
+        }
+        let stats = s.stats();
+        assert_eq!(stats.version_chains_built, 1, "no request re-registers");
+        assert_eq!(stats.requests, 3);
+        assert_eq!(stats.scenarios_answered, 3);
+    }
+
+    #[test]
+    fn multiple_histories_are_independent() {
+        let mut s = session();
+        s.register(
+            "retail-2",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap();
+        let a = s
+            .on("retail")
+            .replace(0, running_example_u1_prime())
+            .run()
+            .unwrap();
+        let b = s
+            .on("retail-2")
+            .replace(0, running_example_u1_prime())
+            .run()
+            .unwrap();
+        assert_eq!(a.delta(), b.delta());
+        assert_eq!(a.history, "retail");
+        assert_eq!(b.history, "retail-2");
+        assert_eq!(s.stats().version_chains_built, 2);
+    }
+
+    #[test]
+    fn unknown_history_is_reported_with_context() {
+        let s = session();
+        let err = s
+            .on("nope")
+            .replace(0, running_example_u1_prime())
+            .run()
+            .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnknownHistory(_)));
+        assert!(err.to_string().contains("'nope'"), "{err}");
+    }
+
+    #[test]
+    fn empty_request_answers_one_empty_scenario() {
+        let s = session();
+        let response = s.on("retail").run().unwrap();
+        assert_eq!(response.len(), 1);
+        assert!(response.delta().is_empty());
+    }
+
+    #[test]
+    fn empty_run_batch_is_an_error_not_a_silent_default() {
+        let s = session();
+        let empty: Vec<ScenarioSpec> = Vec::new();
+        let err = s.on("retail").run_batch(empty).unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::EmptyRequest), "{err:?}");
+        assert!(err.to_string().contains("no scenarios"), "{err}");
+        // Inline modifications still count as a scenario for run_batch.
+        let empty: Vec<ScenarioSpec> = Vec::new();
+        let response = s
+            .on("retail")
+            .replace(0, threshold(60))
+            .run_batch(empty)
+            .unwrap();
+        assert_eq!(response.len(), 1);
+    }
+
+    #[test]
+    fn failed_requests_are_not_counted_as_answered() {
+        let s = session();
+        s.on("nope").run().unwrap_err();
+        s.on("retail").sql("FROB").run().unwrap_err();
+        let stats = s.stats();
+        assert_eq!(stats.requests, 0);
+        assert_eq!(stats.scenarios_answered, 0);
+        s.on("retail").replace(0, threshold(60)).run().unwrap();
+        assert_eq!(s.stats().requests, 1);
+        assert_eq!(s.stats().scenarios_answered, 1);
+    }
+
+    #[test]
+    fn sql_error_uses_the_final_inline_name_regardless_of_order() {
+        let s = session();
+        // `.named()` after `.sql()` — the error must still name 'late'.
+        let err = s.on("retail").sql("FROB").named("late").run().unwrap_err();
+        assert!(err.to_string().contains("scenario 'late'"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_scenario_names_are_rejected() {
+        let s = session();
+        let err = s
+            .on("retail")
+            .scenario(("a", ModificationSet::single_replace(0, threshold(55))))
+            .scenario(("a", ModificationSet::single_replace(0, threshold(60))))
+            .run()
+            .unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::DuplicateScenario(_)));
+        assert!(err.to_string().contains("'a'"));
+    }
+
+    #[test]
+    fn impact_reports_ride_along_uniformly() {
+        let s = session();
+        let response = s
+            .on("retail")
+            .impact(ImpactSpec::sum_of("Order", "ShippingFee"))
+            .run_batch(sweep("threshold", 0, [60i64, 100], |t| threshold(*t)))
+            .unwrap();
+        let t60 = response.get("threshold/60").unwrap();
+        let report = t60.impact.as_ref().unwrap();
+        // Current fees total 17 (Figure 3); threshold 60 charges Alex 5 more.
+        assert_eq!(report.baseline, Some(17));
+        assert_eq!(report.net_change(), 5);
+    }
+
+    #[test]
+    fn display_of_response_names_scenarios() {
+        let s = session();
+        let response = s
+            .on("retail")
+            .named("bob")
+            .replace(0, running_example_u1_prime())
+            .run()
+            .unwrap();
+        let text = response.to_string();
+        assert!(text.contains("scenario 'bob'"), "{text}");
+        assert!(text.contains("history 'retail'"), "{text}");
+    }
+}

@@ -21,7 +21,7 @@
 //! * evaluation against attribute bindings ([`eval::eval_expr`]),
 //! * substitution `e[e' ← e'']` used by the data-slicing push-down
 //!   ([`subst`]),
-//! * simplification / constant folding ([`simplify`]),
+//! * simplification / constant folding ([`simplify()`]),
 //! * a small builder DSL ([`builder`]) and pretty printing.
 
 pub mod builder;

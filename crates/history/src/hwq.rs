@@ -14,6 +14,12 @@ use crate::modification::ModificationSet;
 ///
 /// The database `D` is the state *before* the history was executed; it is
 /// obtained via time travel in a deployment and is stored explicitly here.
+///
+/// This owning form is convenient for constructing reference queries in
+/// tests and tools. The engines consume the borrowed view [`WhatIfRef`]
+/// (obtained via [`HistoricalWhatIf::as_ref`]) so that a long-lived session
+/// can answer many queries against one registered history without cloning
+/// `H` or `D` per call.
 #[derive(Debug, Clone)]
 pub struct HistoricalWhatIf {
     /// The original transactional history.
@@ -34,15 +40,79 @@ impl HistoricalWhatIf {
         }
     }
 
+    /// The borrowed view of this query.
+    pub fn as_ref(&self) -> WhatIfRef<'_> {
+        WhatIfRef {
+            history: &self.history,
+            database: &self.database,
+            modifications: &self.modifications,
+        }
+    }
+
     /// The modified history `H[M]`.
     pub fn modified_history(&self) -> Result<History, HistoryError> {
-        self.modifications.apply(&self.history)
+        self.as_ref().modified_history()
     }
 
     /// Normalizes into equal-length original/modified histories plus the
     /// differing positions (see [`ModificationSet::normalize`]).
     pub fn normalize(&self) -> Result<NormalizedWhatIf, HistoryError> {
-        let (original, modified, positions) = self.modifications.normalize(&self.history)?;
+        self.as_ref().normalize()
+    }
+
+    /// Reference answer by direct execution (no reenactment, no copy
+    /// avoidance): `Δ(H(D), H[M](D))`. The optimized engine in the `mahif`
+    /// crate must produce exactly this result; tests compare against it.
+    pub fn answer_by_direct_execution(&self) -> Result<DatabaseDelta, HistoryError> {
+        self.as_ref().answer_by_direct_execution()
+    }
+
+    /// The current database state `H(D)` (what a deployed system would have
+    /// on disk when the what-if question is asked).
+    pub fn current_state(&self) -> Result<Database, HistoryError> {
+        self.as_ref().current_state()
+    }
+}
+
+/// A historical what-if query borrowing its history and pre-history state.
+///
+/// This is the form the engines consume: the history and database belong to
+/// a registered session (or to an owning [`HistoricalWhatIf`]) and are only
+/// borrowed for the duration of one answer — answering a query is O(answer),
+/// not O(|H| + |D|) in copies.
+#[derive(Debug, Clone, Copy)]
+pub struct WhatIfRef<'a> {
+    /// The original transactional history.
+    pub history: &'a History,
+    /// The database state before the history executed.
+    pub database: &'a Database,
+    /// The hypothetical modifications.
+    pub modifications: &'a ModificationSet,
+}
+
+impl<'a> WhatIfRef<'a> {
+    /// Creates a borrowed what-if query.
+    pub fn new(
+        history: &'a History,
+        database: &'a Database,
+        modifications: &'a ModificationSet,
+    ) -> Self {
+        WhatIfRef {
+            history,
+            database,
+            modifications,
+        }
+    }
+
+    /// The modified history `H[M]`.
+    pub fn modified_history(&self) -> Result<History, HistoryError> {
+        self.modifications.apply(self.history)
+    }
+
+    /// Normalizes into equal-length original/modified histories plus the
+    /// differing positions (see [`ModificationSet::normalize`]).
+    pub fn normalize(&self) -> Result<NormalizedWhatIf, HistoryError> {
+        let (original, modified, positions) = self.modifications.normalize(self.history)?;
         Ok(NormalizedWhatIf {
             original,
             modified,
@@ -50,19 +120,31 @@ impl HistoricalWhatIf {
         })
     }
 
-    /// Reference answer by direct execution (no reenactment, no copy
-    /// avoidance): `Δ(H(D), H[M](D))`. The optimized engine in the `mahif`
-    /// crate must produce exactly this result; tests compare against it.
+    /// Reference answer by direct execution: `Δ(H(D), H[M](D))`.
     pub fn answer_by_direct_execution(&self) -> Result<DatabaseDelta, HistoryError> {
-        let original_final = self.history.execute(&self.database)?;
-        let modified_final = self.modified_history()?.execute(&self.database)?;
+        let original_final = self.history.execute(self.database)?;
+        let modified_final = self.modified_history()?.execute(self.database)?;
         Ok(DatabaseDelta::compute(&original_final, &modified_final))
     }
 
-    /// The current database state `H(D)` (what a deployed system would have
-    /// on disk when the what-if question is asked).
+    /// The current database state `H(D)`.
     pub fn current_state(&self) -> Result<Database, HistoryError> {
-        self.history.execute(&self.database)
+        self.history.execute(self.database)
+    }
+
+    /// Clones the borrowed parts into an owning query.
+    pub fn to_owned(&self) -> HistoricalWhatIf {
+        HistoricalWhatIf {
+            history: self.history.clone(),
+            database: self.database.clone(),
+            modifications: self.modifications.clone(),
+        }
+    }
+}
+
+impl<'a> From<&'a HistoricalWhatIf> for WhatIfRef<'a> {
+    fn from(query: &'a HistoricalWhatIf) -> Self {
+        query.as_ref()
     }
 }
 
@@ -189,6 +271,25 @@ mod tests {
         let order = answer.relation("Order").unwrap();
         assert_eq!(order.plus_tuples().len(), 2);
         assert_eq!(order.minus_tuples().len(), 2);
+    }
+
+    #[test]
+    fn borrowed_view_matches_owning_query() {
+        let q = bob_query();
+        let r = q.as_ref();
+        assert_eq!(
+            r.answer_by_direct_execution().unwrap(),
+            q.answer_by_direct_execution().unwrap()
+        );
+        assert_eq!(r.current_state().unwrap(), q.current_state().unwrap());
+        let n = r.normalize().unwrap();
+        assert_eq!(n.modified_positions, vec![0]);
+        // A ref built from parts behaves identically, and round-trips.
+        let parts = WhatIfRef::new(&q.history, &q.database, &q.modifications);
+        assert_eq!(parts.modified_history().unwrap().len(), 3);
+        assert_eq!(parts.to_owned().history.len(), q.history.len());
+        let from: WhatIfRef<'_> = (&q).into();
+        assert_eq!(from.history.len(), 3);
     }
 
     #[test]

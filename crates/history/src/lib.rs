@@ -29,7 +29,7 @@ pub mod statement;
 pub use delta::{Annotation, DatabaseDelta, DeltaTuple, RelationDelta};
 pub use error::HistoryError;
 pub use history::History;
-pub use hwq::{HistoricalWhatIf, NormalizedWhatIf};
+pub use hwq::{HistoricalWhatIf, NormalizedWhatIf, WhatIfRef};
 pub use modification::{Modification, ModificationSet};
 pub use naive::{naive_what_if, NaiveBreakdown, NaiveResult};
 pub use statement::{SetClause, Statement};

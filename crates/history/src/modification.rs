@@ -92,6 +92,12 @@ impl ModificationSet {
         &self.modifications
     }
 
+    /// Consumes the set into its modifications (used by request builders
+    /// that accumulate modifications across several fluent calls).
+    pub fn into_modifications(self) -> Vec<Modification> {
+        self.modifications
+    }
+
     /// Number of modifications.
     pub fn len(&self) -> usize {
         self.modifications.len()

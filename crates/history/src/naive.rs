@@ -14,7 +14,7 @@ use mahif_storage::{Database, Schema};
 
 use crate::delta::DatabaseDelta;
 use crate::error::HistoryError;
-use crate::hwq::HistoricalWhatIf;
+use crate::hwq::WhatIfRef;
 
 /// Per-phase timing breakdown of the naïve algorithm (the series of
 /// Figure 15).
@@ -46,12 +46,16 @@ pub struct NaiveResult {
 
 /// Answers a historical what-if query with the naïve algorithm.
 ///
-/// `current_state` is `H(D)`, the state of the database after the original
-/// history — in a deployment this is simply the live database and does not
-/// need to be recomputed, so it is an input here (pass
-/// [`HistoricalWhatIf::current_state`] or a previously materialized state).
+/// The query is the borrowed view [`WhatIfRef`] — the naïve method reads the
+/// registered history and pre-history state but never clones them beyond the
+/// relation copies the algorithm itself requires. `current_state` is `H(D)`,
+/// the state of the database after the original history — in a deployment
+/// this is simply the live database and does not need to be recomputed, so
+/// it is an input here (pass
+/// [`crate::HistoricalWhatIf::current_state`] or a previously materialized
+/// state).
 pub fn naive_what_if(
-    query: &HistoricalWhatIf,
+    query: WhatIfRef<'_>,
     current_state: &Database,
 ) -> Result<NaiveResult, HistoryError> {
     let mut breakdown = NaiveBreakdown::default();
@@ -101,6 +105,7 @@ pub fn naive_what_if(
 mod tests {
     use super::*;
     use crate::history::History;
+    use crate::hwq::HistoricalWhatIf;
     use crate::modification::{Modification, ModificationSet};
     use crate::statement::{
         running_example_database, running_example_history, running_example_u1_prime,
@@ -119,7 +124,7 @@ mod tests {
     fn naive_matches_direct_execution() {
         let q = bob_query();
         let current = q.current_state().unwrap();
-        let naive = naive_what_if(&q, &current).unwrap();
+        let naive = naive_what_if(q.as_ref(), &current).unwrap();
         let reference = q.answer_by_direct_execution().unwrap();
         assert_eq!(naive.delta, reference);
         assert_eq!(naive.delta.len(), 2);
@@ -129,7 +134,7 @@ mod tests {
     fn naive_answer_values() {
         let q = bob_query();
         let current = q.current_state().unwrap();
-        let naive = naive_what_if(&q, &current).unwrap();
+        let naive = naive_what_if(q.as_ref(), &current).unwrap();
         let order = naive.delta.relation("Order").unwrap();
         assert_eq!(order.plus_tuples()[0].value(0), Some(&Value::int(12)));
         assert_eq!(order.plus_tuples()[0].value(4), Some(&Value::int(10)));
@@ -139,7 +144,7 @@ mod tests {
     fn breakdown_total_is_sum() {
         let q = bob_query();
         let current = q.current_state().unwrap();
-        let naive = naive_what_if(&q, &current).unwrap();
+        let naive = naive_what_if(q.as_ref(), &current).unwrap();
         let b = naive.breakdown;
         assert_eq!(b.total(), b.creation + b.execution + b.delta);
     }
@@ -155,7 +160,7 @@ mod tests {
             ]),
         );
         let current = q.current_state().unwrap();
-        let naive = naive_what_if(&q, &current).unwrap();
+        let naive = naive_what_if(q.as_ref(), &current).unwrap();
         let reference = q.answer_by_direct_execution().unwrap();
         assert_eq!(naive.delta, reference);
     }
@@ -168,7 +173,7 @@ mod tests {
             ModificationSet::default(),
         );
         let current = q.current_state().unwrap();
-        let naive = naive_what_if(&q, &current).unwrap();
+        let naive = naive_what_if(q.as_ref(), &current).unwrap();
         assert!(naive.delta.is_empty());
     }
 }

@@ -1,43 +1,38 @@
-//! The scenario batch engine: answering k what-if scenarios over one
+//! The scenario batch API: answering k what-if scenarios over one
 //! registered history with shared work.
 //!
-//! Compared to k independent `Mahif::what_if` calls, a batch:
+//! Since the `Session` redesign the heavy lifting lives in
+//! [`mahif::Session::execute`] — *the* funnel all entry points share — and
+//! [`ScenarioSet`] is a convenience layer over it: named [`Scenario`]s,
+//! duplicate-name checking, and ranking of the per-scenario impacts
+//! ([`BatchAnswer::rank_by`]). A batch still gets exactly the shared work
+//! the funnel implements:
 //!
-//! * normalizes each scenario once and **groups** scenarios whose
+//! * each scenario normalized once, scenarios **grouped** when their
 //!   normalizations share the original history and modified positions;
-//! * computes **one program slice per group** (via
-//!   [`mahif_slicing::program_slice_multi`]) instead of one per scenario —
-//!   for a parameter sweep that is 1 slicing pass instead of k;
-//! * reuses the middleware's versioned database for every scenario instead
-//!   of cloning the pre-history state per call; and
-//! * answers scenarios **in parallel** across a scoped thread pool.
+//! * **one program slice per group** (via
+//!   [`mahif_slicing::program_slice_multi`]) instead of one per scenario;
+//! * the session's versioned database **borrowed** for every scenario —
+//!   never cloned per call; and
+//! * scenarios answered **in parallel** across a scoped thread pool.
 //!
 //! The per-scenario deltas are exactly those of the single-query engine:
 //! shared slices are supersets of each member's individual slice and
 //! certified answer-preserving, so only the work changes, never the answer.
 
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
+use mahif::{ImpactSpec, Method, Response, Session, WhatIfAnswer};
 
-use mahif::{
-    answer_normalized, answer_what_if, compute_program_slice, EngineConfig, ImpactSpec, Mahif,
-    Method, WhatIfAnswer,
-};
-use mahif_history::{HistoricalWhatIf, NormalizedWhatIf};
-use mahif_slicing::{program_slice_multi, ProgramSliceResult, ProgramSlicingConfig};
-
-use crate::cache::{group_scenarios, SliceCache};
 use crate::compare::{rank_scenarios, ScenarioComparison};
 use crate::error::ScenarioError;
 use crate::scenario::Scenario;
+
+pub use mahif::BatchStats;
 
 /// Configuration of a batch run.
 #[derive(Debug, Clone, Default)]
 pub struct BatchConfig {
     /// The single-query engine configuration applied to every scenario.
-    pub engine: EngineConfig,
+    pub engine: mahif::EngineConfig,
     /// Number of worker threads; `0` uses the machine's available
     /// parallelism.
     pub parallelism: usize,
@@ -66,34 +61,13 @@ impl BatchConfig {
 pub struct ScenarioAnswer {
     /// The scenario's name.
     pub name: String,
-    /// The what-if answer. Its **delta** is identical to what
-    /// `Mahif::what_if` returns for the same scenario; the timings and work
-    /// stats describe the batch's (possibly shared) work instead — with a
-    /// shared group slice, every member reports the group's slicing duration,
+    /// The what-if answer. Its **delta** is identical to what a single
+    /// request returns for the same scenario; the timings and work stats
+    /// describe the batch's (possibly shared) work instead — with a shared
+    /// group slice, every member reports the group's slicing duration,
     /// solver calls and union-slice size, so summing them across a batch
     /// overstates the slicing cost.
     pub answer: WhatIfAnswer,
-}
-
-/// Work statistics of a batch run.
-#[derive(Debug, Clone, Default)]
-pub struct BatchStats {
-    /// Number of scenarios answered.
-    pub scenarios: usize,
-    /// Worker threads used.
-    pub threads: usize,
-    /// Distinct program slices computed (slice-sharing groups).
-    pub slice_groups: usize,
-    /// Scenarios that reused a group slice instead of computing their own.
-    pub shared_slice_hits: usize,
-    /// Wall-clock time normalizing and grouping the scenarios.
-    pub normalize: Duration,
-    /// Wall-clock time computing program slices.
-    pub slicing: Duration,
-    /// Wall-clock time reenacting and diffing all scenarios.
-    pub execution: Duration,
-    /// End-to-end wall-clock time of `answer_all`.
-    pub total: Duration,
 }
 
 /// The result of answering a scenario batch.
@@ -126,12 +100,29 @@ impl BatchAnswer {
     ) -> Result<ScenarioComparison, ScenarioError> {
         rank_scenarios(&self.answers, spec, Some(current_state))
     }
+
+    fn from_response(response: Response) -> BatchAnswer {
+        let stats = response.stats.clone();
+        BatchAnswer {
+            answers: response
+                .scenarios
+                .into_iter()
+                .map(|s| ScenarioAnswer {
+                    name: s.name,
+                    answer: s.answer,
+                })
+                .collect(),
+            stats,
+        }
+    }
 }
 
-/// A batch of named what-if scenarios over one [`Mahif`] middleware.
+/// A batch of named what-if scenarios over one registered history of a
+/// [`Session`].
 #[derive(Debug, Clone)]
 pub struct ScenarioSet<'a> {
-    mahif: &'a Mahif,
+    session: &'a Session,
+    history: String,
     scenarios: Vec<Scenario>,
 }
 
@@ -139,12 +130,25 @@ pub struct ScenarioSet<'a> {
 pub type BatchWhatIf<'a> = ScenarioSet<'a>;
 
 impl<'a> ScenarioSet<'a> {
-    /// Creates an empty scenario set over the registered history.
-    pub fn new(mahif: &'a Mahif) -> Self {
+    /// Creates an empty scenario set over the history registered under
+    /// `history` in `session`.
+    pub fn over(session: &'a Session, history: impl Into<String>) -> Self {
         ScenarioSet {
-            mahif,
+            session,
+            history: history.into(),
             scenarios: Vec::new(),
         }
+    }
+
+    /// Creates an empty scenario set over a legacy [`mahif::Mahif`]
+    /// middleware (its single registered history).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use ScenarioSet::over(&session, history_name)"
+    )]
+    #[allow(deprecated)]
+    pub fn new(mahif: &'a mahif::Mahif) -> Self {
+        ScenarioSet::over(mahif.session(), mahif::Mahif::HISTORY)
     }
 
     /// Registers a scenario; names must be unique within the set.
@@ -193,235 +197,30 @@ impl<'a> ScenarioSet<'a> {
         self.answer_all_configured(method, &BatchConfig::default())
     }
 
-    /// Answers every scenario, sharing normalization, program slices and the
-    /// versioned database across the batch and running scenarios in
-    /// parallel.
+    /// Answers every scenario by funneling the whole set into
+    /// [`Session::execute`]: normalization is shared, scenario groups share
+    /// one program slice each, the registered version chain is borrowed
+    /// (never cloned), and scenarios run in parallel.
     pub fn answer_all_configured(
         &self,
         method: Method,
         config: &BatchConfig,
     ) -> Result<BatchAnswer, ScenarioError> {
-        let total_start = Instant::now();
         if self.scenarios.is_empty() {
             return Err(ScenarioError::EmptyScenarioSet);
         }
-        let threads = resolve_parallelism(config.parallelism, self.scenarios.len());
-        let mut stats = BatchStats {
-            scenarios: self.scenarios.len(),
-            threads,
-            ..Default::default()
-        };
-
-        let answers = if method == Method::Naive {
-            // The naive algorithm re-executes the modified history over a
-            // copy of the pre-history state; nothing is shareable beyond the
-            // middleware's stored states, so scenarios just run in parallel.
-            let exec_start = Instant::now();
-            let answers = self.run_scenarios(threads, |i| {
-                let query = HistoricalWhatIf::new(
-                    self.mahif.history().clone(),
-                    self.mahif.initial_state().clone(),
-                    self.scenarios[i].modifications().clone(),
-                );
-                answer_what_if(
-                    &query,
-                    self.mahif.versions(),
-                    self.mahif.current_state(),
-                    method,
-                    &config.engine,
-                )
-                .map_err(ScenarioError::from)
-            })?;
-            stats.execution = exec_start.elapsed();
-            answers
-        } else {
-            // Normalize once per scenario and group scenarios that can share
-            // a program slice.
-            let normalize_start = Instant::now();
-            let normalized = self.normalize_all()?;
-            let groups = group_scenarios(&normalized);
-            stats.normalize = normalize_start.elapsed();
-
-            // One slice per group (shared), or one per scenario (ablation /
-            // greedy slicer, whose certificates are pairwise only).
-            let slice_start = Instant::now();
-            let share = method.uses_program_slicing()
-                && !config.no_slice_sharing
-                && !config.engine.use_greedy_slicer;
-            let slices: Vec<Arc<ProgramSliceResult>> = if share {
-                let computed = run_indexed(groups.groups.len(), threads, |g| {
-                    let group = &groups.groups[g];
-                    // Borrow each member's modified history from the
-                    // normalization results instead of cloning it into the
-                    // group.
-                    let variants: Vec<&mahif_history::History> = group
-                        .members
-                        .iter()
-                        .map(|&i| &normalized[i].modified)
-                        .collect();
-                    program_slice_multi(
-                        &group.original,
-                        &variants,
-                        &group.positions,
-                        self.mahif.initial_state(),
-                        &slicing_config(&config.engine),
-                    )
-                    .map(Arc::new)
-                    .map_err(ScenarioError::from)
-                });
-                collect_results(computed)?
-            } else {
-                let computed = run_indexed(normalized.len(), threads, |i| {
-                    compute_program_slice(
-                        &normalized[i],
-                        self.mahif.initial_state(),
-                        method,
-                        &config.engine,
-                    )
-                    .map(Arc::new)
-                    .map_err(ScenarioError::from)
-                });
-                collect_results(computed)?
-            };
-            stats.slicing = slice_start.elapsed();
-
-            let cache: Option<SliceCache> = share.then(|| SliceCache::new(&groups, slices.clone()));
-            if share {
-                stats.slice_groups = groups.groups.len();
-                stats.shared_slice_hits = self.scenarios.len() - groups.groups.len();
-            } else {
-                stats.slice_groups = slices.len();
-            }
-
-            let exec_start = Instant::now();
-            let answers = self.run_scenarios(threads, |i| {
-                let slice = match &cache {
-                    Some(cache) => cache.slice_for(i),
-                    None => Arc::clone(&slices[i]),
-                };
-                answer_normalized(
-                    &normalized[i],
-                    &slice,
-                    self.mahif.versions(),
-                    method,
-                    &config.engine,
-                )
-                .map_err(ScenarioError::from)
-            })?;
-            stats.execution = exec_start.elapsed();
-            answers
-        };
-
-        stats.total = total_start.elapsed();
-        Ok(BatchAnswer { answers, stats })
-    }
-
-    /// Normalizes every scenario against the registered history.
-    fn normalize_all(&self) -> Result<Vec<NormalizedWhatIf>, ScenarioError> {
-        self.scenarios
-            .iter()
-            .map(|s| {
-                let (original, modified, modified_positions) =
-                    s.modifications().normalize(self.mahif.history())?;
-                Ok(NormalizedWhatIf {
-                    original,
-                    modified,
-                    modified_positions,
-                })
-            })
-            .collect()
-    }
-
-    /// Runs `answer` for every scenario on the worker pool and pairs the
-    /// results with the scenario names, converting worker panics into
-    /// [`ScenarioError::WorkerPanicked`].
-    fn run_scenarios(
-        &self,
-        threads: usize,
-        answer: impl Fn(usize) -> Result<WhatIfAnswer, ScenarioError> + Sync,
-    ) -> Result<Vec<ScenarioAnswer>, ScenarioError> {
-        let results = run_indexed(self.scenarios.len(), threads, |i| {
-            catch_unwind(AssertUnwindSafe(|| answer(i))).unwrap_or_else(|_| {
-                Err(ScenarioError::WorkerPanicked {
-                    scenario: self.scenarios[i].name().to_string(),
-                })
-            })
-        });
-        let answers = collect_results(results)?;
-        Ok(self
-            .scenarios
-            .iter()
-            .zip(answers)
-            .map(|(s, answer)| ScenarioAnswer {
-                name: s.name().to_string(),
-                answer,
-            })
-            .collect())
-    }
-}
-
-/// Maps the engine configuration to the slicing configuration (the same
-/// mapping `mahif::compute_program_slice` applies).
-fn slicing_config(engine: &EngineConfig) -> ProgramSlicingConfig {
-    ProgramSlicingConfig {
-        compression: engine.compression.clone(),
-        solver: engine.solver.clone(),
-        skip_compression_constraint: engine.skip_compression_constraint,
-    }
-}
-
-/// `0` means "use the machine's available parallelism"; the thread count is
-/// never larger than the number of work items.
-fn resolve_parallelism(requested: usize, items: usize) -> usize {
-    let threads = if requested == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    } else {
-        requested
-    };
-    threads.clamp(1, items.max(1))
-}
-
-/// Runs `f(0..count)` on `threads` scoped workers with work stealing
-/// (atomic index), preserving result order.
-fn run_indexed<T, F>(count: usize, threads: usize, f: F) -> Vec<Result<T, ScenarioError>>
-where
-    T: Send,
-    F: Fn(usize) -> Result<T, ScenarioError> + Sync,
-{
-    let threads = threads.clamp(1, count.max(1));
-    if threads <= 1 || count <= 1 {
-        return (0..count).map(&f).collect();
-    }
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<T, ScenarioError>>>> =
-        (0..count).map(|_| Mutex::new(None)).collect();
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= count {
-                    break;
-                }
-                let result = f(i);
-                *slots[i].lock().expect("result slot poisoned") = Some(result);
-            });
+        let mut request = self
+            .session
+            .on(&self.history)
+            .method(method)
+            .config(config.engine.clone())
+            .parallelism(config.parallelism);
+        if config.no_slice_sharing {
+            request = request.without_slice_sharing();
         }
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("every index is claimed by exactly one worker")
-        })
-        .collect()
-}
-
-/// First error wins (in scenario order); otherwise unwraps all results.
-fn collect_results<T>(results: Vec<Result<T, ScenarioError>>) -> Result<Vec<T>, ScenarioError> {
-    results.into_iter().collect()
+        let response = request.run_batch(self.scenarios.iter().cloned())?;
+        Ok(BatchAnswer::from_response(response))
+    }
 }
 
 #[cfg(test)]
@@ -433,8 +232,9 @@ mod tests {
     };
     use mahif_history::{History, Modification, ModificationSet, SetClause, Statement};
 
-    fn mahif() -> Mahif {
-        Mahif::new(
+    fn session() -> Session {
+        Session::with_history(
+            "retail",
             running_example_database(),
             History::new(running_example_history()),
         )
@@ -449,8 +249,8 @@ mod tests {
         )
     }
 
-    fn sweep_set<'a>(mahif: &'a Mahif, thresholds: &[i64]) -> ScenarioSet<'a> {
-        let mut set = ScenarioSet::new(mahif);
+    fn sweep_set<'a>(session: &'a Session, thresholds: &[i64]) -> ScenarioSet<'a> {
+        let mut set = ScenarioSet::over(session, "retail");
         set.add_all(Scenario::sweep_replace_values(
             "threshold",
             0,
@@ -461,10 +261,20 @@ mod tests {
         set
     }
 
+    fn single(session: &Session, mods: &ModificationSet, method: Method) -> WhatIfAnswer {
+        session
+            .on("retail")
+            .modifications(mods.clone())
+            .method(method)
+            .run()
+            .unwrap()
+            .into_answer()
+    }
+
     #[test]
     fn registration_rejects_duplicates_and_counts() {
-        let m = mahif();
-        let mut set = ScenarioSet::new(&m);
+        let session = session();
+        let mut set = ScenarioSet::over(&session, "retail");
         assert!(set.is_empty());
         set.add(Scenario::new(
             "a",
@@ -481,8 +291,8 @@ mod tests {
 
     #[test]
     fn empty_set_errors() {
-        let m = mahif();
-        let set = ScenarioSet::new(&m);
+        let session = session();
+        let set = ScenarioSet::over(&session, "retail");
         assert!(matches!(
             set.answer_all(Method::ReenactPsDs),
             Err(ScenarioError::EmptyScenarioSet)
@@ -490,17 +300,30 @@ mod tests {
     }
 
     #[test]
+    fn unknown_history_surfaces_the_unified_error() {
+        let session = session();
+        let mut set = ScenarioSet::over(&session, "nope");
+        set.add(Scenario::new(
+            "a",
+            ModificationSet::single_replace(0, running_example_u1_prime()),
+        ))
+        .unwrap();
+        let err = set.answer_all(Method::ReenactPsDs).unwrap_err();
+        assert!(err.to_string().contains("'nope'"), "{err}");
+    }
+
+    #[test]
     fn batch_matches_single_calls_for_every_method() {
-        let m = mahif();
-        let set = sweep_set(&m, &[55, 60, 65, 70]);
+        let session = session();
+        let set = sweep_set(&session, &[55, 60, 65, 70]);
         for method in Method::all() {
             let batch = set.answer_all(method).unwrap();
             assert_eq!(batch.answers.len(), 4);
             for (scenario, answer) in set.scenarios().iter().zip(&batch.answers) {
-                let single = m.what_if(scenario.modifications(), method).unwrap();
+                let reference = single(&session, scenario.modifications(), method);
                 assert_eq!(
                     answer.answer.delta,
-                    single.delta,
+                    reference.delta,
                     "scenario {} method {}",
                     scenario.name(),
                     method.label()
@@ -511,8 +334,8 @@ mod tests {
 
     #[test]
     fn sweep_shares_one_slice() {
-        let m = mahif();
-        let set = sweep_set(&m, &[55, 60, 65, 70, 75]);
+        let session = session();
+        let set = sweep_set(&session, &[55, 60, 65, 70, 75]);
         let batch = set.answer_all(Method::ReenactPsDs).unwrap();
         assert_eq!(batch.stats.scenarios, 5);
         assert_eq!(batch.stats.slice_groups, 1);
@@ -521,8 +344,8 @@ mod tests {
 
     #[test]
     fn mixed_positions_form_separate_groups() {
-        let m = mahif();
-        let mut set = sweep_set(&m, &[55, 60]);
+        let session = session();
+        let mut set = sweep_set(&session, &[55, 60]);
         set.add(Scenario::new(
             "drop-u2",
             ModificationSet::new(vec![Modification::delete(1)]),
@@ -533,17 +356,15 @@ mod tests {
         assert_eq!(batch.stats.shared_slice_hits, 1);
         // Answers still match singles.
         for (scenario, answer) in set.scenarios().iter().zip(&batch.answers) {
-            let single = m
-                .what_if(scenario.modifications(), Method::ReenactPsDs)
-                .unwrap();
-            assert_eq!(answer.answer.delta, single.delta, "{}", scenario.name());
+            let reference = single(&session, scenario.modifications(), Method::ReenactPsDs);
+            assert_eq!(answer.answer.delta, reference.delta, "{}", scenario.name());
         }
     }
 
     #[test]
     fn no_sharing_ablation_matches() {
-        let m = mahif();
-        let set = sweep_set(&m, &[55, 60, 65]);
+        let session = session();
+        let set = sweep_set(&session, &[55, 60, 65]);
         let shared = set.answer_all(Method::ReenactPsDs).unwrap();
         let unshared = set
             .answer_all_configured(
@@ -560,8 +381,8 @@ mod tests {
 
     #[test]
     fn single_threaded_configuration_matches() {
-        let m = mahif();
-        let set = sweep_set(&m, &[55, 60, 65]);
+        let session = session();
+        let set = sweep_set(&session, &[55, 60, 65]);
         let parallel = set.answer_all(Method::ReenactPsDs).unwrap();
         let serial = set
             .answer_all_configured(
@@ -577,8 +398,8 @@ mod tests {
 
     #[test]
     fn get_by_name_and_stats_totals() {
-        let m = mahif();
-        let set = sweep_set(&m, &[55, 60]);
+        let session = session();
+        let set = sweep_set(&session, &[55, 60]);
         let batch = set.answer_all(Method::ReenactPsDs).unwrap();
         assert!(batch.get("threshold/55").is_some());
         assert!(batch.get("nope").is_none());
@@ -587,42 +408,44 @@ mod tests {
 
     #[test]
     fn sql_scenarios_join_the_batch() {
-        let m = mahif();
-        let mut set = ScenarioSet::new(&m);
+        let session = session();
+        let mut set = ScenarioSet::over(&session, "retail");
         set.add_sql(
             "sql/60",
             "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60",
         )
         .unwrap();
         let batch = set.answer_all(Method::ReenactPsDs).unwrap();
-        let single = m
-            .what_if_sql(
-                "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60",
+        let reference = session
+            .on("retail")
+            .sql("REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60")
+            .method(Method::ReenactPsDs)
+            .run()
+            .unwrap();
+        assert_eq!(batch.answers[0].answer.delta, *reference.delta());
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn legacy_constructor_still_works() {
+        let mahif = mahif::Mahif::new(
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap();
+        let mut set = ScenarioSet::new(&mahif);
+        set.add(Scenario::new(
+            "a",
+            ModificationSet::single_replace(0, running_example_u1_prime()),
+        ))
+        .unwrap();
+        let batch = set.answer_all(Method::ReenactPsDs).unwrap();
+        let reference = mahif
+            .what_if(
+                &ModificationSet::single_replace(0, running_example_u1_prime()),
                 Method::ReenactPsDs,
             )
             .unwrap();
-        assert_eq!(batch.answers[0].answer.delta, single.delta);
-    }
-
-    #[test]
-    fn run_indexed_preserves_order_and_reports_errors() {
-        let results = run_indexed(8, 4, |i| {
-            if i == 5 {
-                Err(ScenarioError::EmptyScenarioSet)
-            } else {
-                Ok(i * 10)
-            }
-        });
-        assert_eq!(results.len(), 8);
-        assert_eq!(*results[3].as_ref().unwrap(), 30);
-        assert!(results[5].is_err());
-        assert!(collect_results(results).is_err());
-    }
-
-    #[test]
-    fn resolve_parallelism_bounds() {
-        assert_eq!(resolve_parallelism(4, 2), 2);
-        assert_eq!(resolve_parallelism(1, 100), 1);
-        assert!(resolve_parallelism(0, 100) >= 1);
+        assert_eq!(batch.answers[0].answer.delta, reference.delta);
     }
 }

@@ -144,18 +144,23 @@ mod tests {
     use super::*;
     use crate::batch::ScenarioSet;
     use crate::scenario::Scenario;
-    use mahif::{Mahif, Method};
+    use mahif::{Method, Session};
     use mahif_expr::builder::*;
     use mahif_history::statement::{running_example_database, running_example_history};
     use mahif_history::{History, SetClause, Statement};
 
-    fn batch() -> crate::batch::BatchAnswer {
-        let m = Mahif::new(
+    fn session() -> Session {
+        Session::with_history(
+            "retail",
             running_example_database(),
             History::new(running_example_history()),
         )
-        .unwrap();
-        let mut set = ScenarioSet::new(&m);
+        .unwrap()
+    }
+
+    fn batch() -> crate::batch::BatchAnswer {
+        let session = session();
+        let mut set = ScenarioSet::over(&session, "retail");
         set.add_all(Scenario::sweep_replace_values(
             "threshold",
             0,
@@ -198,12 +203,8 @@ mod tests {
 
     #[test]
     fn ranking_with_baseline_reports_totals() {
-        let m = Mahif::new(
-            running_example_database(),
-            History::new(running_example_history()),
-        )
-        .unwrap();
-        let mut set = ScenarioSet::new(&m);
+        let session = session();
+        let mut set = ScenarioSet::over(&session, "retail");
         set.add_all(Scenario::sweep_replace_values(
             "threshold",
             0,
@@ -221,7 +222,7 @@ mod tests {
         let ranking = batch
             .rank_by_with_baseline(
                 &ImpactSpec::sum_of("Order", "ShippingFee"),
-                m.current_state(),
+                session.history("retail").unwrap().current_state(),
             )
             .unwrap();
         // Current fees total 17 (Figure 3); threshold 60 charges Alex 5 more.

@@ -9,11 +9,18 @@ use mahif_slicing::SlicingError;
 /// Errors raised while registering or answering scenario batches.
 #[derive(Debug, Clone)]
 pub enum ScenarioError {
-    /// The underlying single-query engine failed.
+    /// The session funnel failed; the wrapped unified [`mahif::Error`]
+    /// names the failing phase, scenario and history. Since the `Session`
+    /// redesign this is the variant engine failures arrive as (worker
+    /// panics excepted, see [`ScenarioError::WorkerPanicked`]).
     Mahif(MahifError),
-    /// A history operation (normalization, application) failed.
+    /// A history operation (normalization, application) failed. Retained
+    /// for code constructing scenario errors directly; funnel failures
+    /// arrive as [`ScenarioError::Mahif`] with full context instead.
     History(HistoryError),
-    /// Shared program slicing failed.
+    /// Shared program slicing failed. Retained for code constructing
+    /// scenario errors directly; funnel failures arrive as
+    /// [`ScenarioError::Mahif`] with full context instead.
     Slicing(SlicingError),
     /// A what-if script could not be parsed.
     InvalidScript {
@@ -65,6 +72,13 @@ impl std::error::Error for ScenarioError {}
 
 impl From<MahifError> for ScenarioError {
     fn from(e: MahifError) -> Self {
+        // Preserve the pre-`Session` error contract for panics: callers
+        // matching `ScenarioError::WorkerPanicked` keep working.
+        if matches!(e.kind, mahif::ErrorKind::WorkerPanicked) {
+            return ScenarioError::WorkerPanicked {
+                scenario: e.scenario.unwrap_or_else(|| "<unknown>".to_string()),
+            };
+        }
         ScenarioError::Mahif(e)
     }
 }

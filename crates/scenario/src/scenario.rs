@@ -92,6 +92,18 @@ impl Scenario {
     }
 }
 
+impl From<Scenario> for mahif::ScenarioSpec {
+    fn from(scenario: Scenario) -> Self {
+        mahif::ScenarioSpec::new(scenario.name, scenario.modifications)
+    }
+}
+
+impl From<&Scenario> for mahif::ScenarioSpec {
+    fn from(scenario: &Scenario) -> Self {
+        mahif::ScenarioSpec::new(scenario.name.clone(), scenario.modifications.clone())
+    }
+}
+
 impl fmt::Display for Scenario {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}: {}", self.name, self.modifications)

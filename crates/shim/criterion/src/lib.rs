@@ -5,7 +5,7 @@
 //!
 //! Measurement model: each benchmark is warmed up briefly, then timed over
 //! `sample_size` samples whose iteration count is calibrated so a sample
-//! takes roughly [`SAMPLE_TARGET`]. The median, minimum and maximum
+//! takes roughly `SAMPLE_TARGET` (20 ms). The median, minimum and maximum
 //! per-iteration times are printed in a `name ... time: [..]` line similar
 //! to criterion's. There are no plots, baselines or statistical tests.
 

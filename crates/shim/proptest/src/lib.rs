@@ -301,7 +301,7 @@ pub mod collection {
         VecStrategy { element, len }
     }
 
-    /// The result of [`vec`].
+    /// The result of [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,

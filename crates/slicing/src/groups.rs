@@ -1,0 +1,174 @@
+//! Grouping normalized what-if queries that can share a program slice, and
+//! the cache that hands the shared slices back out per query.
+//!
+//! Two queries can share a slice when their normalizations agree on the
+//! *original* side: the same padded original history and the same set of
+//! modified positions. That is exactly the shape of a parameter sweep (k
+//! replacements of the same statement) and of alternative policies touching
+//! the same statements. Grouping compares the original histories by full
+//! structural equality — never by hash alone — so a shared slice is only
+//! ever applied to queries it was certified for (see
+//! [`crate::program_slice_multi`]).
+
+use std::sync::Arc;
+
+use mahif_history::{History, NormalizedWhatIf};
+
+use crate::program::ProgramSliceResult;
+
+/// One group of queries sharing `(original, positions)` after normalization.
+///
+/// The members' padded modified histories are *not* duplicated here; they
+/// stay owned by the caller's `NormalizedWhatIf` slice and are borrowed via
+/// `members` when the group's shared slice is computed.
+#[derive(Debug, Clone)]
+pub struct ScenarioGroup {
+    /// The shared padded original history.
+    pub original: History,
+    /// The shared modified positions.
+    pub positions: Vec<usize>,
+    /// Indices (into the normalized batch) of the group's members.
+    pub members: Vec<usize>,
+}
+
+/// The partition of a batch into slice-sharing groups.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioGroups {
+    /// The groups, in order of first appearance.
+    pub groups: Vec<ScenarioGroup>,
+    /// `scenario_group[i]` is the index of query `i`'s group.
+    pub scenario_group: Vec<usize>,
+}
+
+/// Partitions normalized queries into groups that may share a program slice.
+pub fn group_scenarios(normalized: &[NormalizedWhatIf]) -> ScenarioGroups {
+    let mut groups: Vec<ScenarioGroup> = Vec::new();
+    let mut scenario_group = Vec::with_capacity(normalized.len());
+    for (index, n) in normalized.iter().enumerate() {
+        let found = groups.iter().position(|g| {
+            g.positions == n.modified_positions
+                && g.original.statements() == n.original.statements()
+        });
+        let gi = match found {
+            Some(gi) => gi,
+            None => {
+                groups.push(ScenarioGroup {
+                    original: n.original.clone(),
+                    positions: n.modified_positions.clone(),
+                    members: Vec::new(),
+                });
+                groups.len() - 1
+            }
+        };
+        groups[gi].members.push(index);
+        scenario_group.push(gi);
+    }
+    ScenarioGroups {
+        groups,
+        scenario_group,
+    }
+}
+
+/// Computed program slices, one per group, addressable per query.
+#[derive(Debug, Clone)]
+pub struct SliceCache {
+    slices: Vec<Arc<ProgramSliceResult>>,
+    scenario_group: Vec<usize>,
+}
+
+impl SliceCache {
+    /// Builds the cache from the grouping and the per-group slices (parallel
+    /// to `groups.groups`).
+    pub fn new(groups: &ScenarioGroups, slices: Vec<Arc<ProgramSliceResult>>) -> SliceCache {
+        assert_eq!(
+            groups.groups.len(),
+            slices.len(),
+            "one slice per scenario group"
+        );
+        SliceCache {
+            slices,
+            scenario_group: groups.scenario_group.clone(),
+        }
+    }
+
+    /// The (possibly shared) slice for query `index`.
+    pub fn slice_for(&self, index: usize) -> Arc<ProgramSliceResult> {
+        Arc::clone(&self.slices[self.scenario_group[index]])
+    }
+
+    /// Number of distinct slices computed.
+    pub fn computed(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Number of queries that reused a slice computed for an earlier member
+    /// of their group (the cache-hit count).
+    pub fn shared_hits(&self) -> usize {
+        self.scenario_group.len() - self.slices.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_history::statement::{running_example_history, running_example_u1_prime};
+    use mahif_history::{Modification, ModificationSet, SetClause, Statement};
+
+    fn normalize(mods: ModificationSet) -> NormalizedWhatIf {
+        let history = History::new(running_example_history());
+        let (original, modified, modified_positions) = mods.normalize(&history).unwrap();
+        NormalizedWhatIf {
+            original,
+            modified,
+            modified_positions,
+        }
+    }
+
+    fn threshold(t: i64) -> Statement {
+        Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(0)),
+            ge(attr("Price"), lit(t)),
+        )
+    }
+
+    #[test]
+    fn sweep_scenarios_share_one_group() {
+        let normalized: Vec<NormalizedWhatIf> = [55, 60, 65]
+            .iter()
+            .map(|&t| normalize(ModificationSet::single_replace(0, threshold(t))))
+            .collect();
+        let groups = group_scenarios(&normalized);
+        assert_eq!(groups.groups.len(), 1);
+        assert_eq!(groups.groups[0].members, vec![0, 1, 2]);
+        assert_eq!(groups.scenario_group, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn different_positions_split_groups() {
+        let a = normalize(ModificationSet::single_replace(
+            0,
+            running_example_u1_prime(),
+        ));
+        let b = normalize(ModificationSet::new(vec![Modification::delete(1)]));
+        let c = normalize(ModificationSet::single_replace(0, threshold(70)));
+        let groups = group_scenarios(&[a, b, c]);
+        assert_eq!(groups.groups.len(), 2);
+        assert_eq!(groups.scenario_group, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn cache_hands_out_shared_slices() {
+        let normalized: Vec<NormalizedWhatIf> = [55, 60]
+            .iter()
+            .map(|&t| normalize(ModificationSet::single_replace(0, threshold(t))))
+            .collect();
+        let groups = group_scenarios(&normalized);
+        let slice = Arc::new(ProgramSliceResult::keep_all(3));
+        let cache = SliceCache::new(&groups, vec![Arc::clone(&slice)]);
+        assert!(Arc::ptr_eq(&cache.slice_for(0), &cache.slice_for(1)));
+        assert_eq!(cache.computed(), 1);
+        assert_eq!(cache.shared_hits(), 1);
+    }
+}

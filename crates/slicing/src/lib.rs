@@ -26,6 +26,7 @@ pub mod data;
 pub mod domains;
 pub mod error;
 pub mod greedy;
+pub mod groups;
 pub mod multi;
 pub mod program;
 
@@ -33,5 +34,6 @@ pub use data::{apply_data_slicing, data_slicing_conditions, DataSlicingCondition
 pub use domains::domains_for_relation;
 pub use error::SlicingError;
 pub use greedy::{greedy_slice, GreedyConfig};
+pub use groups::{group_scenarios, ScenarioGroup, ScenarioGroups, SliceCache};
 pub use multi::program_slice_multi;
 pub use program::{program_slice, ProgramSliceResult, ProgramSlicingConfig};

@@ -78,7 +78,7 @@ impl VcTable {
 
     /// Like [`VcTable::single_tuple`] but appends `suffix` to every variable
     /// generated *after* step 0. The slicing condition ζ compares the results
-    /// of four histories (H, H[M] and their slices) executed over the same
+    /// of four histories (`H`, `H[M]` and their slices) executed over the same
     /// input variables; per Section 8.3.2 the intermediate variables of the
     /// four executions must not clash, while the step-0 input variables must
     /// be shared.

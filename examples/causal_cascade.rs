@@ -7,7 +7,7 @@
 //! cargo run --example causal_cascade
 //! ```
 
-use mahif::{Mahif, Method};
+use mahif::{Method, Session};
 use mahif_causal::{augment, CascadeRule, DependencyPolicy};
 use mahif_expr::builder::*;
 use mahif_expr::Value;
@@ -62,7 +62,8 @@ fn history() -> History {
 fn main() {
     let db = database();
     let history = history();
-    let mahif = Mahif::new(db.clone(), history.clone()).expect("history executes");
+    let session =
+        Session::with_history("shop", db.clone(), history.clone()).expect("history executes");
 
     // The analyst only states the direct hypothetical change ...
     let user_modifications = ModificationSet::new(vec![Modification::delete(0)]);
@@ -78,13 +79,19 @@ fn main() {
         augment(&history, &user_modifications, &db, &policy).expect("cascade analysis");
     println!("{plan}");
 
-    let without = mahif
-        .what_if(&user_modifications, Method::ReenactPsDs)
+    let without = session
+        .on("shop")
+        .modifications(user_modifications.clone())
+        .method(Method::ReenactPsDs)
+        .run()
         .expect("what-if succeeds");
-    let with = mahif
-        .what_if(&augmented, Method::ReenactPsDs)
+    let with = session
+        .on("shop")
+        .modifications(augmented.clone())
+        .method(Method::ReenactPsDs)
+        .run()
         .expect("what-if succeeds");
 
-    println!("Delta without causal augmentation:\n{}", without.delta);
-    println!("Delta with causal augmentation:\n{}", with.delta);
+    println!("Delta without causal augmentation:\n{}", without.delta());
+    println!("Delta with causal augmentation:\n{}", with.delta());
 }

@@ -6,7 +6,7 @@
 //! cargo run --example explain_whatif
 //! ```
 
-use mahif::{Mahif, Method};
+use mahif::{Method, Session};
 use mahif_history::statement::{
     running_example_database, running_example_history, running_example_u1_prime,
 };
@@ -16,12 +16,17 @@ use mahif_provenance::explain_answer;
 fn main() {
     let db = running_example_database();
     let history = History::new(running_example_history());
-    let mahif = Mahif::new(db.clone(), history.clone()).expect("history executes");
+    let session =
+        Session::with_history("retail", db.clone(), history.clone()).expect("history executes");
 
     let modifications = ModificationSet::single_replace(0, running_example_u1_prime());
-    let answer = mahif
-        .what_if(&modifications, Method::ReenactPsDs)
-        .expect("what-if succeeds");
+    let answer = session
+        .on("retail")
+        .modifications(modifications.clone())
+        .method(Method::ReenactPsDs)
+        .run()
+        .expect("what-if succeeds")
+        .into_answer();
 
     println!("What-if answer:\n{}", answer.delta);
     println!("Explanations:");

@@ -1,20 +1,26 @@
-//! Quickstart: the running example of the paper (Figures 1–4).
+//! Quickstart: the running example of the paper (Figures 1–4) on the
+//! session API.
 //!
 //! An online retailer implemented a new shipping-fee policy as three updates.
 //! The analyst asks: *"what if the free-shipping threshold had been $60
 //! instead of $50?"* — a historical what-if query replacing the first update
 //! of the history.
 //!
+//! The workflow is register-once / ask-many: a [`Session`] materializes the
+//! version chain when the history is registered, and every what-if request
+//! (built fluently with `session.on(..)`) borrows that state — no per-query
+//! copies of the history or database.
+//!
 //! Run with:
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use mahif::{Mahif, Method};
+use mahif::{Method, Session};
 use mahif_history::statement::{
     running_example_database, running_example_history, running_example_u1_prime,
 };
-use mahif_history::{History, ModificationSet};
+use mahif_history::History;
 
 fn main() {
     // The Order table of Figure 1 and the shipping-fee history of Figure 2.
@@ -22,30 +28,43 @@ fn main() {
     let history = History::new(running_example_history());
     println!("History:\n{history}");
 
-    // Register both with the middleware; this materializes the version chain
-    // used for time travel.
-    let mahif = Mahif::new(database, history).expect("history executes");
-    println!("Current state (Figure 3):\n{}", mahif.current_state());
+    // Register both under a name; this materializes the version chain used
+    // for time travel, exactly once.
+    let session = Session::with_history("retail", database, history).expect("history executes");
+    let retail = session.history("retail").unwrap();
+    println!("Current state (Figure 3):\n{}", retail.current_state());
 
-    // Bob's what-if question: replace u1 by u1' (threshold $60 instead of $50).
-    let modifications = ModificationSet::single_replace(0, running_example_u1_prime());
-    println!("Hypothetical change: {modifications}");
-
-    // Answer it with the fully optimized method (Algorithm 2).
-    let answer = mahif
-        .what_if(&modifications, Method::ReenactPsDs)
+    // Bob's what-if question: replace u1 by u1' (threshold $60 instead of $50),
+    // answered with the fully optimized method (Algorithm 2).
+    let response = session
+        .on("retail")
+        .replace(0, running_example_u1_prime())
+        .method(Method::ReenactPsDs)
+        .run()
         .expect("what-if answering succeeds");
 
     println!("Answer Δ(H(D), H[M](D)) — Example 2 of the paper:");
-    print!("{answer}");
+    print!("{}", response.answer());
 
     // The same answer is produced by every method; the optimized one reenacts
     // fewer statements over less data.
-    let naive = mahif.what_if(&modifications, Method::Naive).unwrap();
-    assert_eq!(naive.delta, answer.delta);
+    let naive = session
+        .on("retail")
+        .replace(0, running_example_u1_prime())
+        .method(Method::Naive)
+        .run()
+        .unwrap();
+    assert_eq!(naive.delta(), response.delta());
     println!(
         "naive total: {:?}, optimized total: {:?}",
-        naive.timings.total(),
-        answer.timings.total()
+        naive.answer().timings.total(),
+        response.answer().timings.total()
+    );
+
+    // The session registered the history once, no matter how many requests ran.
+    let stats = session.stats();
+    println!(
+        "session: {} request(s) answered over {} registered version chain(s)",
+        stats.requests, stats.version_chains_built
     );
 }

@@ -11,7 +11,7 @@
 //! cargo run --example retailer_shipping_fees
 //! ```
 
-use mahif::{Mahif, Method};
+use mahif::{Method, Session};
 use mahif_history::statement::running_example_database;
 use mahif_history::{Modification, ModificationSet};
 use mahif_sqlparse::{parse_history, parse_statement};
@@ -29,7 +29,7 @@ fn main() {
     )
     .expect("history parses");
 
-    let mahif = Mahif::new(database, history).expect("history executes");
+    let session = Session::with_history("retail", database, history).expect("history executes");
 
     // Three hypothetical scenarios the analyst wants to compare.
     let scenarios: Vec<(&str, ModificationSet)> = vec![
@@ -60,7 +60,13 @@ fn main() {
         println!("=== What if we had decided to {label}? ===");
         let mut reference = None;
         for method in Method::all() {
-            let answer = mahif.what_if(&modifications, method).unwrap();
+            let answer = session
+                .on("retail")
+                .modifications(modifications.clone())
+                .method(method)
+                .run()
+                .unwrap()
+                .into_answer();
             println!(
                 "  {:<8} -> |Δ| = {}, {} of {} statements reenacted, {} of {} tuples read, {:?}",
                 method.label(),

@@ -9,31 +9,39 @@
 //! cargo run --example revenue_impact
 //! ```
 
-use mahif::{ImpactSpec, Mahif, Method};
+use mahif::{ImpactSpec, Method, Session};
 use mahif_history::statement::{
     running_example_database, running_example_history, running_example_u1_prime,
 };
-use mahif_history::{History, ModificationSet};
+use mahif_history::History;
 
 fn main() {
-    let mahif = Mahif::new(
+    let session = Session::with_history(
+        "retail",
         running_example_database(),
         History::new(running_example_history()),
     )
     .expect("history executes");
 
     println!("Current orders (after the shipping-fee policy):");
-    for t in mahif.current_state().relation("Order").unwrap().iter() {
+    let current = session.history("retail").unwrap().current_state();
+    for t in current.relation("Order").unwrap().iter() {
         println!("  {t}");
     }
 
     // "What if the price threshold for waiving shipping fees had been $60?"
-    let modifications = ModificationSet::single_replace(0, running_example_u1_prime());
-    let spec = ImpactSpec::sum_of("Order", "ShippingFee").grouped_by("Country");
-    let (answer, report) = mahif
-        .what_if_impact(&modifications, Method::ReenactPsDs, &spec)
+    // The impact spec rides along with the request; the report's baseline is
+    // taken from the registered history's current state.
+    let response = session
+        .on("retail")
+        .replace(0, running_example_u1_prime())
+        .method(Method::ReenactPsDs)
+        .impact(ImpactSpec::sum_of("Order", "ShippingFee").grouped_by("Country"))
+        .run()
         .expect("what-if succeeds");
 
+    let answer = response.answer();
+    let report = response.impact().expect("impact was requested");
     println!("\nDelta of the hypothetical history:\n{}", answer.delta);
     println!("{report}");
     println!(

@@ -1,83 +1,106 @@
 //! Scenario sweep: the running example's what-if question asked five times
-//! at once.
+//! at once, batch-first.
 //!
 //! The paper's analyst asks one hypothetical — *"what if the free-shipping
 //! threshold had been $60 instead of $50?"*. A real analyst sweeps the
-//! parameter: *"…$55? $60? $65? $70? $75?"*. The scenario batch engine
-//! answers all five over the same registered history, normalizing once,
-//! computing **one** shared program slice for the whole sweep and running
-//! the scenarios in parallel, then ranks them by shipping-fee revenue.
+//! parameter: *"…$55? $60? $65? $70? $75?"*. A single `run_batch` request
+//! answers all five over the registered history: the session funnel
+//! normalizes each scenario once, computes **one** shared program slice for
+//! the whole sweep, runs the scenarios in parallel and attaches an impact
+//! report per scenario. The `ScenarioSet` layer then ranks the thresholds
+//! by shipping-fee revenue.
 //!
 //! Run with:
 //! ```text
 //! cargo run --example scenario_sweep
 //! ```
 
-use mahif::{ImpactSpec, Mahif, Method};
+use mahif::{sweep, ImpactSpec, Method, Session};
 use mahif_expr::builder::*;
 use mahif_history::statement::{running_example_database, running_example_history};
 use mahif_history::{History, SetClause, Statement};
 use mahif_scenario::{Scenario, ScenarioSet};
 
+fn threshold(t: i64) -> Statement {
+    Statement::update(
+        "Order",
+        SetClause::single("ShippingFee", lit(0)),
+        ge(attr("Price"), lit(t)),
+    )
+}
+
 fn main() {
-    // The Order table of Figure 1 and the shipping-fee history of Figure 2.
-    let mahif = Mahif::new(
+    // The Order table of Figure 1 and the shipping-fee history of Figure 2,
+    // registered once.
+    let session = Session::with_history(
+        "retail",
         running_example_database(),
         History::new(running_example_history()),
     )
     .expect("history executes");
 
     // Sweep u1's free-shipping threshold: one scenario per candidate value,
-    // all replacing statement 0 of the history.
-    let mut set = ScenarioSet::new(&mahif);
+    // all replacing statement 0 of the history — answered by one request.
+    let response = session
+        .on("retail")
+        .method(Method::ReenactPsDs)
+        .impact(ImpactSpec::sum_of("Order", "ShippingFee"))
+        .run_batch(sweep("threshold", 0, [55i64, 60, 65, 70, 75], |t| {
+            threshold(*t)
+        }))
+        .expect("batch answering succeeds");
+
+    println!(
+        "Answered {} scenarios on {} threads: {} shared program slice(s), \
+         {} cache hit(s), total {:?}",
+        response.stats.scenarios,
+        response.stats.threads,
+        response.stats.slice_groups,
+        response.stats.shared_slice_hits,
+        response.stats.total,
+    );
+    for s in &response {
+        let report = s.impact.as_ref().expect("impact was requested");
+        println!(
+            "  {:<14} |Δ| = {}  fee revenue {:+}",
+            s.name,
+            s.answer.delta.len(),
+            report.net_change()
+        );
+    }
+
+    // The ScenarioSet layer offers the same sweep with named scenarios and
+    // a ranked impact table.
+    let mut set = ScenarioSet::over(&session, "retail");
     set.add_all(Scenario::sweep_replace_values(
         "threshold",
         0,
         [55i64, 60, 65, 70, 75],
-        |t| {
-            Statement::update(
-                "Order",
-                SetClause::single("ShippingFee", lit(0)),
-                ge(attr("Price"), lit(*t)),
-            )
-        },
+        |t| threshold(*t),
     ))
     .expect("scenario names are unique");
-
-    println!("Scenarios:");
-    for s in set.scenarios() {
-        println!("  {s}");
-    }
-
-    // Answer the whole batch with the fully optimized method.
     let batch = set
         .answer_all(Method::ReenactPsDs)
         .expect("batch answering succeeds");
-    println!(
-        "\nAnswered {} scenarios on {} threads: {} shared program slice(s), \
-         {} cache hit(s), total {:?}",
-        batch.stats.scenarios,
-        batch.stats.threads,
-        batch.stats.slice_groups,
-        batch.stats.shared_slice_hits,
-        batch.stats.total,
-    );
-
-    // Rank the hypothetical thresholds by shipping-fee revenue.
     let ranking = batch
         .rank_by_with_baseline(
             &ImpactSpec::sum_of("Order", "ShippingFee"),
-            mahif.current_state(),
+            session.history("retail").unwrap().current_state(),
         )
         .expect("impact ranking succeeds");
     println!("\n{ranking}");
 
-    // The batch answers are exactly the single-query answers.
-    for (scenario, answer) in set.scenarios().iter().zip(&batch.answers) {
-        let single = mahif
-            .what_if(scenario.modifications(), Method::ReenactPsDs)
+    // The batch answers are exactly the single-query answers — single
+    // queries are batches of one through the same funnel.
+    for t in [55i64, 60, 65, 70, 75] {
+        let single = session
+            .on("retail")
+            .replace(0, threshold(t))
+            .method(Method::ReenactPsDs)
+            .run()
             .unwrap();
-        assert_eq!(single.delta, answer.answer.delta);
+        let in_batch = response.get(&format!("threshold/{t}")).unwrap();
+        assert_eq!(single.delta(), &in_batch.answer.delta);
     }
     println!("(verified: every batch delta equals the independent what-if answer)");
 }

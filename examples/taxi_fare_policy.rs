@@ -7,7 +7,7 @@
 //! cargo run --release --example taxi_fare_policy
 //! ```
 
-use mahif::{Mahif, Method};
+use mahif::{Method, Session};
 use mahif_history::{ModificationSet, SetClause, Statement};
 use mahif_sqlparse::{parse_history, parse_statement};
 use mahif_workload::{Dataset, DatasetKind};
@@ -30,7 +30,8 @@ fn main() {
     )
     .expect("history parses");
 
-    let mahif = Mahif::new(dataset.database.clone(), history).expect("history executes");
+    let session =
+        Session::with_history("taxi", dataset.database.clone(), history).expect("history executes");
 
     // What if the airport surcharge had been $6.00 instead of $4.00?
     let modifications = ModificationSet::single_replace(
@@ -39,9 +40,13 @@ fn main() {
             .unwrap(),
     );
 
-    let answer = mahif
-        .what_if(&modifications, Method::ReenactPsDs)
-        .expect("what-if succeeds");
+    let answer = session
+        .on("taxi")
+        .modifications(modifications.clone())
+        .method(Method::ReenactPsDs)
+        .run()
+        .expect("what-if succeeds")
+        .into_answer();
 
     // Revenue impact: sum of trip_total over the + tuples minus the − tuples.
     let order_delta = answer
@@ -79,7 +84,13 @@ fn main() {
     );
 
     // Cross-check with the naive baseline (and show the cost difference).
-    let naive = mahif.what_if(&modifications, Method::Naive).unwrap();
+    let naive = session
+        .on("taxi")
+        .modifications(modifications.clone())
+        .method(Method::Naive)
+        .run()
+        .unwrap()
+        .into_answer();
     assert_eq!(naive.delta, answer.delta);
     println!(
         "naive baseline produced the same answer in {:?} (copy {:?}, execute {:?}, delta {:?})",
@@ -98,7 +109,13 @@ fn main() {
             mahif_expr::Expr::false_(),
         ),
     );
-    let answer2 = mahif.what_if(&drop_discount, Method::ReenactPsDs).unwrap();
+    let answer2 = session
+        .on("taxi")
+        .modifications(drop_discount)
+        .method(Method::ReenactPsDs)
+        .run()
+        .unwrap()
+        .into_answer();
     println!(
         "dropping the long-trip discount would change {} trips",
         answer2

@@ -1,11 +1,33 @@
 //! Cross-crate integration tests: the full pipeline (workload generation →
-//! Mahif middleware → all execution methods) must produce exactly the answer
-//! obtained by directly executing both histories, on a variety of workload
-//! shapes mirroring the paper's experiments.
+//! session middleware → all execution methods) must produce exactly the
+//! answer obtained by directly executing both histories, on a variety of
+//! workload shapes mirroring the paper's experiments.
 
-use mahif::{EngineConfig, Mahif, Method};
-use mahif_history::HistoricalWhatIf;
+use mahif::{EngineConfig, Method, Session, WhatIfAnswer};
+use mahif_history::{HistoricalWhatIf, ModificationSet};
 use mahif_workload::{Dataset, DatasetKind, WorkloadSpec};
+
+/// Registers the workload's history under `"test"` in a fresh session.
+fn session_for(dataset: &Dataset, history: mahif_history::History) -> Session {
+    Session::with_history("test", dataset.database.clone(), history).unwrap()
+}
+
+/// One configured single-query request through the session funnel.
+fn run(
+    session: &Session,
+    modifications: &ModificationSet,
+    method: Method,
+    config: &EngineConfig,
+) -> WhatIfAnswer {
+    session
+        .on("test")
+        .modifications(modifications.clone())
+        .method(method)
+        .config(config.clone())
+        .run()
+        .unwrap()
+        .into_answer()
+}
 
 /// Runs every method on the given workload and asserts they all equal the
 /// reference answer computed by direct execution.
@@ -19,9 +41,14 @@ fn assert_all_methods_agree(dataset: &Dataset, spec: &WorkloadSpec) {
     .answer_by_direct_execution()
     .expect("direct execution succeeds");
 
-    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+    let session = session_for(dataset, workload.history.clone());
     for method in Method::all() {
-        let answer = mahif.what_if(&workload.modifications, method).unwrap();
+        let answer = run(
+            &session,
+            &workload.modifications,
+            method,
+            &EngineConfig::default(),
+        );
         assert_eq!(
             answer.delta,
             reference,
@@ -116,11 +143,14 @@ fn ablation_configurations_agree() {
     let dataset = Dataset::generate(DatasetKind::Taxi, 250, 19);
     let spec = WorkloadSpec::default().with_updates(15).with_insert_pct(10);
     let workload = spec.generate(&dataset);
-    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
-    let reference = mahif
-        .what_if(&workload.modifications, Method::Naive)
-        .unwrap()
-        .delta;
+    let session = session_for(&dataset, workload.history.clone());
+    let reference = run(
+        &session,
+        &workload.modifications,
+        Method::Naive,
+        &EngineConfig::default(),
+    )
+    .delta;
 
     let configs = vec![
         EngineConfig::default(),
@@ -142,9 +172,12 @@ fn ablation_configurations_agree() {
         },
     ];
     for config in configs {
-        let answer = mahif
-            .what_if_configured(&workload.modifications, Method::ReenactPsDs, &config)
-            .unwrap();
+        let answer = run(
+            &session,
+            &workload.modifications,
+            Method::ReenactPsDs,
+            &config,
+        );
         assert_eq!(answer.delta, reference, "config {config:?} disagrees");
     }
 }
@@ -156,14 +189,20 @@ fn optimizations_actually_reduce_work() {
     let dataset = Dataset::generate(DatasetKind::Taxi, 500, 20);
     let spec = WorkloadSpec::default().with_updates(30);
     let workload = spec.generate(&dataset);
-    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
+    let session = session_for(&dataset, workload.history.clone());
 
-    let optimized = mahif
-        .what_if(&workload.modifications, Method::ReenactPsDs)
-        .unwrap();
-    let plain = mahif
-        .what_if(&workload.modifications, Method::Reenact)
-        .unwrap();
+    let optimized = run(
+        &session,
+        &workload.modifications,
+        Method::ReenactPsDs,
+        &EngineConfig::default(),
+    );
+    let plain = run(
+        &session,
+        &workload.modifications,
+        Method::Reenact,
+        &EngineConfig::default(),
+    );
 
     assert!(optimized.stats.statements_reenacted < plain.stats.statements_reenacted);
     assert!(optimized.stats.input_tuples < plain.stats.input_tuples);
@@ -177,14 +216,20 @@ fn optimizations_actually_reduce_work() {
 fn phase_timings_are_populated() {
     let dataset = Dataset::generate(DatasetKind::Taxi, 200, 21);
     let workload = WorkloadSpec::default().with_updates(10).generate(&dataset);
-    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
-    let naive = mahif
-        .what_if(&workload.modifications, Method::Naive)
-        .unwrap();
+    let session = session_for(&dataset, workload.history.clone());
+    let naive = run(
+        &session,
+        &workload.modifications,
+        Method::Naive,
+        &EngineConfig::default(),
+    );
     assert!(naive.timings.copy > std::time::Duration::ZERO);
-    let optimized = mahif
-        .what_if(&workload.modifications, Method::ReenactPsDs)
-        .unwrap();
+    let optimized = run(
+        &session,
+        &workload.modifications,
+        Method::ReenactPsDs,
+        &EngineConfig::default(),
+    );
     assert!(optimized.timings.program_slicing > std::time::Duration::ZERO);
     assert!(optimized.timings.execution > std::time::Duration::ZERO);
     assert_eq!(optimized.timings.copy, std::time::Duration::ZERO);

@@ -7,7 +7,7 @@
 
 use proptest::prelude::*;
 
-use mahif::{Mahif, Method};
+use mahif::{Method, Session};
 use mahif_expr::builder::*;
 use mahif_expr::Expr;
 use mahif_history::{
@@ -94,11 +94,15 @@ fn check_all_methods(
     let reference = HistoricalWhatIf::new(history.clone(), db.clone(), modifications.clone())
         .answer_by_direct_execution()
         .expect("direct execution succeeds");
-    let mahif = Mahif::new(db.clone(), history).expect("history executes");
+    let session = Session::with_history("prop", db.clone(), history).expect("history executes");
     for method in Method::all() {
-        let answer = mahif
-            .what_if(&modifications, method)
-            .expect("what-if succeeds");
+        let answer = session
+            .on("prop")
+            .modifications(modifications.clone())
+            .method(method)
+            .run()
+            .expect("what-if succeeds")
+            .into_answer();
         prop_assert_eq!(
             &answer.delta,
             &reference,
@@ -194,11 +198,16 @@ fn self_replacement_yields_empty_delta() {
         GenStatement::DeleteByKey { lo: 15, hi: 18 },
     ];
     let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
-    let mahif = Mahif::new(db, history.clone()).unwrap();
+    let session = Session::with_history("prop", db, history.clone()).unwrap();
     let modifications = ModificationSet::single_replace(0, history.statements()[0].clone());
     for method in Method::all() {
-        let answer = mahif.what_if(&modifications, method).unwrap();
-        assert!(answer.delta.is_empty(), "method {}", method.label());
+        let answer = session
+            .on("prop")
+            .modifications(modifications.clone())
+            .method(method)
+            .run()
+            .unwrap();
+        assert!(answer.delta().is_empty(), "method {}", method.label());
     }
 }
 
@@ -221,7 +230,7 @@ fn unsatisfiable_modification_produces_empty_answer() {
         },
     ];
     let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
-    let mahif = Mahif::new(db, history).unwrap();
+    let session = Session::with_history("prop", db, history).unwrap();
     // Replace u1 with an update over an empty key range: both histories then
     // differ only in a statement that never fires.
     let never = Statement::update(
@@ -231,10 +240,21 @@ fn unsatisfiable_modification_produces_empty_answer() {
     );
     let modifications = ModificationSet::new(vec![Modification::insert(2, never)]);
     for method in Method::all() {
-        let answer = mahif.what_if(&modifications, method).unwrap();
-        assert!(answer.delta.is_empty(), "method {}", method.label());
+        let answer = session
+            .on("prop")
+            .modifications(modifications.clone())
+            .method(method)
+            .run()
+            .unwrap();
+        assert!(answer.delta().is_empty(), "method {}", method.label());
     }
-    let optimized = mahif.what_if(&modifications, Method::ReenactPsDs).unwrap();
+    let optimized = session
+        .on("prop")
+        .modifications(modifications.clone())
+        .method(Method::ReenactPsDs)
+        .run()
+        .unwrap()
+        .into_answer();
     // Data slicing filters every input tuple (the modified statement's
     // condition matches nothing in the key domain).
     assert_eq!(optimized.stats.input_tuples, 0);

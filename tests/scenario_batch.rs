@@ -1,11 +1,11 @@
 //! Batch-vs-single equivalence: `ScenarioSet::answer_all` must produce
-//! exactly the delta of k independent `Mahif::what_if` calls, for every
+//! exactly the delta of k independent single-query requests, for every
 //! execution method — including scenario groups that share one program
 //! slice (the cache-hit path) and randomly generated scenario batches.
 
 use proptest::prelude::*;
 
-use mahif::{ImpactSpec, Mahif, Method};
+use mahif::{ImpactSpec, Method, Session};
 use mahif_expr::builder::*;
 use mahif_history::statement::{running_example_database, running_example_history};
 use mahif_history::{History, Modification, ModificationSet, SetClause, Statement};
@@ -13,8 +13,9 @@ use mahif_scenario::{BatchConfig, Scenario, ScenarioSet};
 use mahif_storage::{Attribute, Database, Relation, Schema, Tuple};
 use mahif_workload::{Dataset, DatasetKind, WorkloadSpec};
 
-fn running_example_mahif() -> Mahif {
-    Mahif::new(
+fn running_example_session() -> Session {
+    Session::with_history(
+        "retail",
         running_example_database(),
         History::new(running_example_history()),
     )
@@ -30,15 +31,25 @@ fn threshold(t: i64) -> Statement {
 }
 
 /// Asserts that every scenario of `set` gets the same delta from the batch
-/// as from an independent single-query call, for the given method.
-fn assert_batch_matches_singles(mahif: &Mahif, set: &ScenarioSet<'_>, method: Method) {
+/// as from an independent single-query request, for the given method.
+fn assert_batch_matches_singles(
+    session: &Session,
+    history: &str,
+    set: &ScenarioSet<'_>,
+    method: Method,
+) {
     let batch = set.answer_all(method).unwrap();
     assert_eq!(batch.answers.len(), set.len());
     for (scenario, answer) in set.scenarios().iter().zip(&batch.answers) {
-        let single = mahif.what_if(scenario.modifications(), method).unwrap();
+        let single = session
+            .on(history)
+            .modifications(scenario.modifications().clone())
+            .method(method)
+            .run()
+            .unwrap();
         assert_eq!(
-            answer.answer.delta,
-            single.delta,
+            &answer.answer.delta,
+            single.delta(),
             "scenario {} method {} batch delta diverged",
             scenario.name(),
             method.label()
@@ -50,8 +61,8 @@ fn assert_batch_matches_singles(mahif: &Mahif, set: &ScenarioSet<'_>, method: Me
 /// methods, with the whole sweep answered by a single shared slice.
 #[test]
 fn k8_sweep_matches_singles_across_methods() {
-    let mahif = running_example_mahif();
-    let mut set = ScenarioSet::new(&mahif);
+    let session = running_example_session();
+    let mut set = ScenarioSet::over(&session, "retail");
     set.add_all(Scenario::sweep_replace_values(
         "threshold",
         0,
@@ -61,7 +72,7 @@ fn k8_sweep_matches_singles_across_methods() {
     .unwrap();
     assert_eq!(set.len(), 8);
     for method in Method::all() {
-        assert_batch_matches_singles(&mahif, &set, method);
+        assert_batch_matches_singles(&session, "retail", &set, method);
     }
     let batch = set.answer_all(Method::ReenactPsDs).unwrap();
     assert_eq!(batch.stats.slice_groups, 1, "a sweep shares one slice");
@@ -72,8 +83,8 @@ fn k8_sweep_matches_singles_across_methods() {
 /// delete, insert) form separate groups but still match singles exactly.
 #[test]
 fn heterogeneous_batch_matches_singles_across_methods() {
-    let mahif = running_example_mahif();
-    let mut set = ScenarioSet::new(&mahif);
+    let session = running_example_session();
+    let mut set = ScenarioSet::over(&session, "retail");
     set.add(Scenario::new(
         "replace-u1",
         ModificationSet::single_replace(0, threshold(60)),
@@ -110,7 +121,7 @@ fn heterogeneous_batch_matches_singles_across_methods() {
     ))
     .unwrap();
     for method in Method::all() {
-        assert_batch_matches_singles(&mahif, &set, method);
+        assert_batch_matches_singles(&session, "retail", &set, method);
     }
     let batch = set.answer_all(Method::ReenactPsDs).unwrap();
     // The two u1 replacements share a group; the others are singletons.
@@ -122,8 +133,8 @@ fn heterogeneous_batch_matches_singles_across_methods() {
 /// change any delta.
 #[test]
 fn batch_configurations_agree() {
-    let mahif = running_example_mahif();
-    let mut set = ScenarioSet::new(&mahif);
+    let session = running_example_session();
+    let mut set = ScenarioSet::over(&session, "retail");
     set.add_all(Scenario::sweep_replace_values(
         "threshold",
         0,
@@ -161,13 +172,14 @@ fn batch_configurations_agree() {
 fn generated_workload_sweep_matches_singles() {
     let dataset = Dataset::generate(DatasetKind::Taxi, 300, 11);
     let workload = WorkloadSpec::default().with_updates(12).generate(&dataset);
-    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
-    let mut set = ScenarioSet::new(&mahif);
+    let session =
+        Session::with_history("taxi", dataset.database.clone(), workload.history.clone()).unwrap();
+    let mut set = ScenarioSet::over(&session, "taxi");
     for (name, mods) in workload.sweep_variants(6) {
         set.add(Scenario::new(name, mods)).unwrap();
     }
     for method in [Method::Naive, Method::ReenactDs, Method::ReenactPsDs] {
-        assert_batch_matches_singles(&mahif, &set, method);
+        assert_batch_matches_singles(&session, "taxi", &set, method);
     }
     let batch = set.answer_all(Method::ReenactPsDs).unwrap();
     assert_eq!(batch.stats.slice_groups, 1);
@@ -181,8 +193,9 @@ fn generated_workload_sweep_matches_singles() {
 fn generated_sweep_ranking_is_monotone() {
     let dataset = Dataset::generate(DatasetKind::Taxi, 200, 5);
     let workload = WorkloadSpec::default().with_updates(8).generate(&dataset);
-    let mahif = Mahif::new(dataset.database.clone(), workload.history.clone()).unwrap();
-    let mut set = ScenarioSet::new(&mahif);
+    let session =
+        Session::with_history("taxi", dataset.database.clone(), workload.history.clone()).unwrap();
+    let mut set = ScenarioSet::over(&session, "taxi");
     for (name, mods) in workload.sweep_variants(4) {
         set.add(Scenario::new(name, mods)).unwrap();
     }
@@ -275,8 +288,8 @@ proptest! {
     ) {
         let db = database(25, &values);
         let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
-        let mahif = Mahif::new(db, history).expect("history executes");
-        let mut set = ScenarioSet::new(&mahif);
+        let session = Session::with_history("r", db, history).expect("history executes");
+        let mut set = ScenarioSet::over(&session, "r");
         let k = replacements.len().min(position_seeds.len());
         for i in 0..k {
             // Half the scenarios pin position 0 so groups form; the rest
@@ -291,9 +304,13 @@ proptest! {
         for method in Method::all() {
             let batch = set.answer_all(method).expect("batch succeeds");
             for (scenario, answer) in set.scenarios().iter().zip(&batch.answers) {
-                let single = mahif
-                    .what_if(scenario.modifications(), method)
-                    .expect("single what-if succeeds");
+                let single = session
+                    .on("r")
+                    .modifications(scenario.modifications().clone())
+                    .method(method)
+                    .run()
+                    .expect("single what-if succeeds")
+                    .into_answer();
                 prop_assert_eq!(
                     &answer.answer.delta,
                     &single.delta,

@@ -2,7 +2,7 @@
 //! (`mahif-sqlparse`) — the way the examples and a downstream user would use
 //! the library.
 
-use mahif::{Mahif, Method};
+use mahif::{Method, Session};
 use mahif_expr::Value;
 use mahif_history::statement::running_example_database;
 use mahif_history::{Modification, ModificationSet};
@@ -19,7 +19,7 @@ fn running_example_in_sql_matches_the_paper() {
            WHERE Price <= 30 AND ShippingFee >= 10;",
     )
     .unwrap();
-    let mahif = Mahif::new(running_example_database(), history).unwrap();
+    let session = Session::with_history("retail", running_example_database(), history).unwrap();
 
     let modifications = ModificationSet::single_replace(
         0,
@@ -27,7 +27,13 @@ fn running_example_in_sql_matches_the_paper() {
     );
 
     for method in Method::all() {
-        let answer = mahif.what_if(&modifications, method).unwrap();
+        let answer = session
+            .on("retail")
+            .modifications(modifications.clone())
+            .method(method)
+            .run()
+            .unwrap()
+            .into_answer();
         // Example 2: Δ = {−o6, +o6'} — Alex's order pays 10 instead of 5.
         assert_eq!(answer.delta.len(), 2, "method {}", method.label());
         let order = answer.delta.relation("Order").unwrap();
@@ -48,9 +54,10 @@ fn sql_history_with_insert_select_and_case() {
          UPDATE Order SET ShippingFee = ShippingFee + 1 WHERE ID >= 100;",
     )
     .unwrap();
-    let mahif = Mahif::new(running_example_database(), history).unwrap();
+    let session = Session::with_history("retail", running_example_database(), history).unwrap();
     // Current state: 4 original + 2 archived UK orders.
-    assert_eq!(mahif.current_state().relation("Order").unwrap().len(), 6);
+    let current = session.history("retail").unwrap().current_state();
+    assert_eq!(current.relation("Order").unwrap().len(), 6);
 
     let modifications = ModificationSet::single_replace(
         2,
@@ -58,7 +65,13 @@ fn sql_history_with_insert_select_and_case() {
     );
     let mut reference = None;
     for method in Method::all() {
-        let answer = mahif.what_if(&modifications, method).unwrap();
+        let answer = session
+            .on("retail")
+            .modifications(modifications.clone())
+            .method(method)
+            .run()
+            .unwrap()
+            .into_answer();
         match &reference {
             None => reference = Some(answer.delta.clone()),
             Some(r) => assert_eq!(r, &answer.delta, "method {}", method.label()),
@@ -77,15 +90,27 @@ fn taxi_policy_scenario_in_sql() {
          UPDATE taxi_trips SET trip_total = fare + tips + tolls + extras;",
     )
     .unwrap();
-    let mahif = Mahif::new(dataset.database.clone(), history).unwrap();
+    let session = Session::with_history("taxi", dataset.database.clone(), history).unwrap();
 
     let what_if = ModificationSet::new(vec![Modification::replace(
         0,
         parse_statement("UPDATE taxi_trips SET extras = extras + 600 WHERE pickup_area >= 70")
             .unwrap(),
     )]);
-    let optimized = mahif.what_if(&what_if, Method::ReenactPsDs).unwrap();
-    let naive = mahif.what_if(&what_if, Method::Naive).unwrap();
+    let optimized = session
+        .on("taxi")
+        .modifications(what_if.clone())
+        .method(Method::ReenactPsDs)
+        .run()
+        .unwrap()
+        .into_answer();
+    let naive = session
+        .on("taxi")
+        .modifications(what_if.clone())
+        .method(Method::Naive)
+        .run()
+        .unwrap()
+        .into_answer();
     assert_eq!(optimized.delta, naive.delta);
     // Only airport-area trips differ; the delta is a strict subset of all
     // trips and data slicing must have filtered the input accordingly.
@@ -113,25 +138,31 @@ fn whatif_script_end_to_end() {
          UPDATE Order SET ShippingFee = ShippingFee - 2 WHERE Price <= 30 AND ShippingFee >= 10;",
     )
     .unwrap();
-    let mahif = Mahif::new(running_example_database(), history).unwrap();
-    let answer = mahif
-        .what_if_sql(
-            "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60;",
-            Method::ReenactPsDs,
-        )
+    let session = Session::with_history("retail", running_example_database(), history).unwrap();
+    let answer = session
+        .on("retail")
+        .sql("REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60;")
+        .method(Method::ReenactPsDs)
+        .run()
         .unwrap();
     // Same answer as the hand-built running example: Alex's order changes.
-    assert_eq!(answer.delta.len(), 2);
+    assert_eq!(answer.delta().len(), 2);
 
     // Dropping the UK surcharge statement affects both UK orders.
-    let answer = mahif
-        .what_if_sql("DROP STATEMENT 2;", Method::ReenactPsDs)
+    let answer = session
+        .on("retail")
+        .sql("DROP STATEMENT 2;")
+        .method(Method::ReenactPsDs)
+        .run()
         .unwrap();
-    let naive = mahif
-        .what_if_sql("DROP STATEMENT 2;", Method::Naive)
+    let naive = session
+        .on("retail")
+        .sql("DROP STATEMENT 2;")
+        .method(Method::Naive)
+        .run()
         .unwrap();
-    assert_eq!(answer.delta, naive.delta);
-    assert!(answer.delta.len() >= 2);
+    assert_eq!(answer.delta(), naive.delta());
+    assert!(answer.delta().len() >= 2);
 
     // Scripts with several clauses and 1-based numbering.
     let m = mahif_sqlparse::parse_whatif(
@@ -142,9 +173,14 @@ fn whatif_script_end_to_end() {
     .unwrap();
     assert_eq!(m.len(), 3);
 
-    // Errors surface cleanly.
-    assert!(mahif
-        .what_if_sql("FROBNICATE STATEMENT 1", Method::Naive)
-        .is_err());
+    // Errors surface cleanly and carry the scenario/history context.
+    let err = session
+        .on("retail")
+        .sql("FROBNICATE STATEMENT 1")
+        .method(Method::Naive)
+        .run()
+        .unwrap_err();
+    assert!(matches!(err.kind, mahif::ErrorKind::InvalidWhatIfScript(_)));
+    assert!(err.to_string().contains("history 'retail'"), "{err}");
     assert!(mahif_sqlparse::parse_whatif("DROP STATEMENT 0").is_err());
 }

@@ -190,6 +190,57 @@ fn bench_batch_scenarios(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_batch_group_plan(c: &mut Criterion) {
+    // Group execution plans vs the pre-group-plan shared-slice baseline: a
+    // k ∈ {8, 32} sweep over the same history, answered (a) with one
+    // original-side reenactment per (group, relation) — the default — and
+    // (b) with `disable_group_reenactment`, where every member reenacts the
+    // original itself (slices still shared). Identical answers; the numbers
+    // are recorded in `BENCH_batch.json` at the repo root.
+    //
+    // Deliberately larger data and fewer statements than `setup()`: program
+    // slicing is shared by both variants, so a slicing-dominated workload
+    // would bury the reenactment difference the group plans change.
+    let dataset = Dataset::generate(DatasetKind::Taxi, 5_000, 7);
+    let workload = WorkloadSpec::default().with_updates(12).generate(&dataset);
+    let session =
+        Session::with_history("bench", dataset.database.clone(), workload.history.clone()).unwrap();
+
+    let mut group = c.benchmark_group("batch_group_plan");
+    group.sample_size(10);
+    for k in [8usize, 32] {
+        let sweep = workload.sweep_variants(k);
+        // Single-threaded first: with one worker, the wall-clock difference
+        // is exactly the work the group plan saves (k−1 original-side
+        // reenactments per relation). The parallel runs show the same
+        // effect damped by idle workers hiding the serial saving.
+        for (label, threads) in [("1t", 1usize), ("mt", 0)] {
+            group.bench_function(format!("shared_original_k{k}_{label}"), |b| {
+                b.iter(|| {
+                    session
+                        .on("bench")
+                        .method(Method::ReenactPsDs)
+                        .parallelism(threads)
+                        .run_batch(sweep.iter().map(|(name, m)| (name.clone(), m.clone())))
+                        .unwrap()
+                })
+            });
+            group.bench_function(format!("unshared_original_k{k}_{label}"), |b| {
+                b.iter(|| {
+                    session
+                        .on("bench")
+                        .method(Method::ReenactPsDs)
+                        .parallelism(threads)
+                        .without_group_reenactment()
+                        .run_batch(sweep.iter().map(|(name, m)| (name.clone(), m.clone())))
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_reenactment,
@@ -197,6 +248,7 @@ criterion_group!(
     bench_solver,
     bench_delta,
     bench_end_to_end,
-    bench_batch_scenarios
+    bench_batch_scenarios,
+    bench_batch_group_plan
 );
 criterion_main!(benches);

@@ -101,6 +101,18 @@ pub struct EngineConfig {
     /// Do not add the compressed-database constraint Φ_D to the slicing
     /// condition (ablation).
     pub skip_compression_constraint: bool,
+    /// Disable the group execution plans of the batch path: members of a
+    /// slice-sharing group then reenact the original history themselves
+    /// instead of sharing one original-side reenactment per `(group,
+    /// relation)` (ablation / pre-group-plan baseline; the answers are
+    /// identical either way).
+    pub disable_group_reenactment: bool,
+    /// Refine each member's program slice below the group's certified union
+    /// slice (cheaply, reusing the group's symbolic context) and answer the
+    /// member with its own smaller slice when refinement shrinks it. Pays a
+    /// few extra solver calls per member to cut reenactment cost when the
+    /// union slice is dominated by statements only few members need.
+    pub refine_slices: bool,
 }
 
 impl EngineConfig {

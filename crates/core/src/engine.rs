@@ -1,8 +1,21 @@
 //! The reenactment-based execution engine (Algorithm 2) and the dispatch to
 //! the naïve baseline (Algorithm 1).
+//!
+//! The engine is organized around **group execution plans**: scenarios of a
+//! batch whose normalizations share the original history and the modified
+//! positions form a group (see `mahif_slicing::groups`), and everything in
+//! the reenactment pipeline that depends only on the shared side is computed
+//! once per group by [`GroupPlan::build`] — the sliced original history, the
+//! group-level data-slicing conditions and, crucially, the *original-side
+//! reenactment result per relation*, which is identical across all group
+//! members. [`GroupPlan::answer_in_group`] then answers one member with only
+//! the member-specific work: the modified-side reenactment and the delta
+//! against the cached original relations. A single query is a group of one,
+//! so [`answer_normalized`] is a thin wrapper that builds a singleton plan
+//! and answers it.
 
-use std::collections::BTreeSet;
-use std::time::Instant;
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::{Duration, Instant};
 
 use mahif_expr::Expr;
 use mahif_history::{
@@ -11,8 +24,8 @@ use mahif_history::{
 use mahif_query::{evaluate, filter_relation};
 use mahif_reenact::split::{split_reenactment, SplitReenactment};
 use mahif_slicing::{
-    apply_data_slicing, data_slicing_conditions, greedy_slice, program_slice,
-    DataSlicingConditions, GreedyConfig, ProgramSliceResult,
+    apply_data_slicing, data_slicing_conditions, data_slicing_conditions_multi, greedy_slice,
+    program_slice, DataSlicingConditions, GreedyConfig, ProgramSliceResult,
 };
 use mahif_storage::{Database, Relation, VersionedDatabase};
 
@@ -54,6 +67,7 @@ pub(crate) fn answer_naive(
         solver_calls: 0,
         input_tuples: query.database.total_tuples(),
         total_tuples: query.database.total_tuples(),
+        ..Default::default()
     };
     Ok(WhatIfAnswer {
         delta: result.delta,
@@ -127,6 +141,10 @@ pub fn compute_program_slice(
 /// `mahif_slicing::program_slice_multi`). Keeping more statements than the
 /// per-query minimum is always sound; the delta is unchanged, only the
 /// reenactment cost grows.
+///
+/// A single query is a group of one: this builds a singleton [`GroupPlan`]
+/// and answers its only member, with the shared phases' timings folded into
+/// the member's answer.
 pub fn answer_normalized(
     normalized: &NormalizedWhatIf,
     slice: &ProgramSliceResult,
@@ -134,114 +152,397 @@ pub fn answer_normalized(
     method: Method,
     config: &EngineConfig,
 ) -> Result<WhatIfAnswer, MahifError> {
-    let mut timings = PhaseTimings::default();
-    let mut stats = EngineStats {
-        statements_total: normalized.original.len(),
-        ..Default::default()
-    };
-    if normalized.modified_positions.is_empty() {
-        return Ok(WhatIfAnswer {
-            delta: DatabaseDelta::default(),
+    let plan = GroupPlan::build(&[normalized], slice, versioned, method, config)?;
+    plan.answer_in_group(normalized, versioned)
+}
+
+/// The once-per-group half of the reenactment engine.
+///
+/// Scenarios whose normalizations share `(original, modified_positions)` —
+/// a slice-sharing group — also share everything in phases 2–3 that depends
+/// only on the original side: the sliced original history, the data-slicing
+/// conditions and the original-side reenactment result per relation. A
+/// `GroupPlan` computes all of that exactly once;
+/// [`answer_in_group`](Self::answer_in_group) answers one member with only
+/// the member-specific work (modified-side reenactment + delta against the
+/// cached original relations).
+///
+/// **Why the original side is shareable.** Per-scenario data slicing
+/// derives a condition pair that may differ across members (each member's
+/// filter mentions *its* replacement's condition). The plan instead uses
+/// the group-level symmetric conditions of
+/// [`data_slicing_conditions_multi`]: one condition per relation — the
+/// disjunction of all members' per-side conditions — applied to *both*
+/// sides of *every* member. Tuples kept beyond a member's own filter are,
+/// for that member, unaffected by the modification; they reenact to
+/// identical rows on both sides and cancel in the symmetric difference, so
+/// every member's delta is byte-identical to its individual answer while
+/// the original-side reenactment query (and result) becomes literally the
+/// same for all members. A singleton group keeps the member's own
+/// (possibly asymmetric) conditions, so single queries behave exactly as
+/// before.
+#[derive(Debug)]
+pub struct GroupPlan<'a> {
+    method: Method,
+    config: &'a EngineConfig,
+    slice_duration: Duration,
+    solver_calls: usize,
+    statements_total: usize,
+    statements_reenacted: usize,
+    group_size: usize,
+    /// Empty groups (no modified positions) answer the empty delta.
+    empty: bool,
+    /// Positions kept by the group's program slice; members restrict their
+    /// modified histories to these.
+    kept_positions: Vec<usize>,
+    conditions: DataSlicingConditions,
+    /// Group conditions are symmetric (same condition on both sides), so
+    /// per-member input counts equal the original-side counts.
+    symmetric: bool,
+    /// Relations touched by the group's sliced histories, sorted.
+    relations: Vec<String>,
+    /// For multi-member groups, the data-sliced base relation materialized
+    /// once per relation (parallel to `relations`): the group condition is
+    /// evaluated over the stored relation a single time, and every member
+    /// reenacts over the pre-filtered tuples with a `true` condition —
+    /// instead of k members each re-evaluating the condition over the full
+    /// relation. `None` when the condition is trivial (nothing to filter)
+    /// or when an `INSERT ... SELECT` is in play (its branches must read
+    /// unfiltered base relations).
+    filtered_base: Vec<Option<Database>>,
+    /// Original-side reenactment result per relation (parallel to
+    /// `relations`) — the shared half of phase 3, computed once.
+    original_results: Vec<Relation>,
+    /// `count_matching` of the original-side condition per relation
+    /// (parallel to `relations`), for the input-tuple statistics.
+    original_matching: Vec<usize>,
+    total_tuples: usize,
+    shared_data_slicing: Duration,
+    shared_reenactment: Duration,
+}
+
+impl<'a> GroupPlan<'a> {
+    /// Builds the plan for a slice-sharing group.
+    ///
+    /// `members` are the group's normalized queries: all must share the
+    /// original history and modified positions (the grouping invariant of
+    /// `mahif_slicing::group_scenarios`), and `slice` must be
+    /// answer-preserving for every member (a shared
+    /// `program_slice_multi` slice, or any per-member slice for a
+    /// singleton group).
+    pub fn build(
+        members: &[&'a NormalizedWhatIf],
+        slice: &ProgramSliceResult,
+        versioned: &VersionedDatabase,
+        method: Method,
+        config: &'a EngineConfig,
+    ) -> Result<GroupPlan<'a>, MahifError> {
+        let first = members
+            .first()
+            .ok_or_else(|| MahifError::from(mahif_slicing::SlicingError::EmptyScenarioGroup))?;
+        let statements_total = first.original.len();
+        if first.modified_positions.is_empty() {
+            return Ok(GroupPlan {
+                method,
+                config,
+                slice_duration: Duration::default(),
+                solver_calls: 0,
+                statements_total,
+                statements_reenacted: 0,
+                group_size: members.len(),
+                empty: true,
+                kept_positions: Vec::new(),
+                conditions: DataSlicingConditions::default(),
+                symmetric: true,
+                relations: Vec::new(),
+                filtered_base: Vec::new(),
+                original_results: Vec::new(),
+                original_matching: Vec::new(),
+                total_tuples: 0,
+                shared_data_slicing: Duration::default(),
+                shared_reenactment: Duration::default(),
+            });
+        }
+
+        // The reenactment base is the time-travel state `D` before the
+        // history. Program slicing (both the dependency test and the greedy
+        // ζ check) certifies that the sliced histories produce the same
+        // delta as the full histories *over this state*, so no later
+        // snapshot is needed.
+        let base_db = versioned.initial();
+
+        let sliced_original = first.original.restrict(&slice.kept_positions);
+        // Positions of the modified statements within the restricted
+        // histories, via a single position → index map (not a quadratic
+        // `position()` scan per modified statement).
+        let kept_index: BTreeMap<usize, usize> = slice
+            .kept_positions
+            .iter()
+            .enumerate()
+            .map(|(idx, &p)| (p, idx))
+            .collect();
+        let restricted_positions: Vec<usize> = first
+            .modified_positions
+            .iter()
+            .filter_map(|p| kept_index.get(p).copied())
+            .collect();
+
+        // Phase 2: data slicing. Singleton groups use the member's own
+        // (possibly asymmetric) conditions — exactly the single-query
+        // behavior; larger groups use the symmetric group conditions so the
+        // original side is shared.
+        let symmetric = members.len() > 1;
+        let mut shared_data_slicing = Duration::default();
+        let conditions: DataSlicingConditions = if method.uses_data_slicing() {
+            let start = Instant::now();
+            let c = if symmetric {
+                let sliced_variants: Vec<History> = members
+                    .iter()
+                    .map(|m| m.modified.restrict(&slice.kept_positions))
+                    .collect();
+                data_slicing_conditions_multi(
+                    &sliced_original,
+                    &sliced_variants,
+                    &restricted_positions,
+                )?
+            } else {
+                let sliced_modified = first.modified.restrict(&slice.kept_positions);
+                data_slicing_conditions(&sliced_original, &sliced_modified, &restricted_positions)?
+            };
+            shared_data_slicing = start.elapsed();
+            c
+        } else {
+            DataSlicingConditions::default()
+        };
+
+        // Relations touched by the group: the sliced original plus every
+        // member's sliced modified statements (identical across members by
+        // the normalization invariant, but unioned for safety).
+        let mut relation_set: BTreeSet<String> = BTreeSet::new();
+        for stmt in sliced_original.statements() {
+            relation_set.insert(stmt.relation().to_string());
+        }
+        for member in members {
+            for &p in &restricted_positions {
+                let original_pos = slice.kept_positions[p];
+                if let Ok(stmt) = member.modified.statement(original_pos) {
+                    relation_set.insert(stmt.relation().to_string());
+                }
+            }
+        }
+        let relations: Vec<String> = relation_set.into_iter().collect();
+
+        // Materialize the data-sliced base relation once per relation for
+        // multi-member groups: the (possibly large) group condition is then
+        // evaluated once instead of once per member. `INSERT ... SELECT`
+        // branches read unfiltered base relations through the same database
+        // handle, so their presence anywhere in the group's histories
+        // disables the materialization (the inline filter path is used
+        // instead — identical results either way).
+        let has_insert_query = first
+            .original
+            .statements()
+            .iter()
+            .chain(members.iter().flat_map(|m| m.modified.statements()))
+            .any(|s| matches!(s, mahif_history::Statement::InsertQuery { .. }));
+        let start = Instant::now();
+        let mut filtered_base: Vec<Option<Database>> = Vec::with_capacity(relations.len());
+        for relation in &relations {
+            let cond = conditions.original_for(relation);
+            if symmetric && !has_insert_query && !cond.is_true() {
+                let filtered = filter_relation(base_db.relation(relation)?, &cond)?;
+                let mut shadow = Database::new();
+                shadow.put_relation(filtered);
+                filtered_base.push(Some(shadow));
+            } else {
+                filtered_base.push(None);
+            }
+        }
+
+        // Phase 3a: the original-side reenactment, once per relation for the
+        // whole group.
+        let mut original_results = Vec::with_capacity(relations.len());
+        for (relation, shadow) in relations.iter().zip(filtered_base.iter()) {
+            let schema = base_db.relation(relation)?.schema.clone();
+            let (db, cond) = match shadow {
+                Some(shadow) => (shadow, Expr::true_()),
+                None => (base_db, conditions.original_for(relation)),
+            };
+            original_results.push(reenact_side(
+                &sliced_original,
+                &first.original,
+                relation,
+                &schema,
+                &cond,
+                db,
+                config,
+            )?);
+        }
+        let shared_reenactment = start.elapsed();
+
+        // Input-size statistics shared by the group (outside the timed
+        // phases).
+        let mut total_tuples = 0;
+        let mut original_matching = Vec::with_capacity(relations.len());
+        for (relation, shadow) in relations.iter().zip(filtered_base.iter()) {
+            let rel = base_db.relation(relation)?;
+            total_tuples += rel.len();
+            original_matching.push(match shadow {
+                Some(shadow) => shadow.relation(relation)?.len(),
+                None => count_matching(rel, &conditions.original_for(relation))?,
+            });
+        }
+
+        Ok(GroupPlan {
+            method,
+            config,
+            slice_duration: slice.duration,
+            solver_calls: slice.solver_calls,
+            statements_total,
+            statements_reenacted: slice.kept_positions.len(),
+            group_size: members.len(),
+            empty: false,
+            kept_positions: slice.kept_positions.clone(),
+            conditions,
+            symmetric,
+            relations,
+            filtered_base,
+            original_results,
+            original_matching,
+            total_tuples,
+            shared_data_slicing,
+            shared_reenactment,
+        })
+    }
+
+    /// Answers one group member: reenacts the member's modified history per
+    /// relation (phase 3b) and computes the delta against the plan's cached
+    /// original-side results (phase 4).
+    ///
+    /// `member` must be one of the normalized queries the plan was built
+    /// from (same original history, same modified positions). For a
+    /// singleton group the shared phases' timings and work counters are
+    /// folded into the member's answer — the exact single-query behavior;
+    /// for larger groups the member reports only its own work, with
+    /// [`EngineStats::shared_work`] set so consumers know the shared
+    /// slicing / original-reenactment cost is reported once at the batch
+    /// level instead (see `BatchStats`).
+    pub fn answer_in_group(
+        &self,
+        member: &NormalizedWhatIf,
+        versioned: &VersionedDatabase,
+    ) -> Result<WhatIfAnswer, MahifError> {
+        let solo = self.group_size == 1;
+        let mut timings = PhaseTimings::default();
+        let mut stats = EngineStats {
+            statements_total: self.statements_total,
+            ..Default::default()
+        };
+        if self.empty {
+            return Ok(WhatIfAnswer {
+                delta: DatabaseDelta::default(),
+                timings,
+                stats,
+            });
+        }
+        stats.statements_reenacted = self.statements_reenacted;
+        stats.shared_work = !solo;
+        if solo {
+            // Fold the shared phases into the only member, as a standalone
+            // single query reports them.
+            timings.program_slicing = self.slice_duration;
+            timings.data_slicing = self.shared_data_slicing;
+            stats.solver_calls = self.solver_calls;
+            stats.original_reenactments = self.relations.len();
+        }
+
+        let base_db = versioned.initial();
+        let sliced_modified = member.modified.restrict(&self.kept_positions);
+
+        // Phase 3b: the member's modified-side reenactment, over the plan's
+        // pre-filtered base relations where materialized.
+        let start = Instant::now();
+        let mut modified_results = Vec::with_capacity(self.relations.len());
+        for (relation, shadow) in self.relations.iter().zip(self.filtered_base.iter()) {
+            let schema = base_db.relation(relation)?.schema.clone();
+            let (db, cond) = match shadow {
+                Some(shadow) => (shadow, Expr::true_()),
+                None => (base_db, self.conditions.modified_for(relation)),
+            };
+            modified_results.push(reenact_side(
+                &sliced_modified,
+                &member.modified,
+                relation,
+                &schema,
+                &cond,
+                db,
+                self.config,
+            )?);
+        }
+        timings.execution = start.elapsed();
+        if solo {
+            timings.execution += self.shared_reenactment;
+        }
+
+        // Phase 4: delta against the cached original-side results.
+        let start = Instant::now();
+        let mut deltas = Vec::new();
+        for ((relation, left), right) in self
+            .relations
+            .iter()
+            .zip(self.original_results.iter())
+            .zip(modified_results.iter())
+        {
+            let delta = RelationDelta::compute(relation, left, right);
+            if !delta.is_empty() {
+                deltas.push(delta);
+            }
+        }
+        timings.delta = start.elapsed();
+
+        // Input-size statistics. Group conditions are symmetric, so the
+        // modified-side count equals the cached original-side count; only a
+        // singleton group's asymmetric conditions need a second count.
+        stats.total_tuples = self.total_tuples;
+        for (relation, &original_count) in self.relations.iter().zip(self.original_matching.iter())
+        {
+            let modified_count = if self.symmetric {
+                original_count
+            } else {
+                let rel = base_db.relation(relation)?;
+                count_matching(rel, &self.conditions.modified_for(relation))?
+            };
+            stats.input_tuples += original_count.max(modified_count);
+        }
+
+        Ok(WhatIfAnswer {
+            delta: DatabaseDelta::from_relations(deltas),
             timings,
             stats,
-        });
-    }
-    timings.program_slicing = slice.duration;
-    stats.solver_calls = slice.solver_calls;
-    stats.statements_reenacted = slice.kept_positions.len();
-
-    // The reenactment base is the time-travel state `D` before the history.
-    // Program slicing (both the dependency test and the greedy ζ check)
-    // certifies that the sliced histories produce the same delta as the full
-    // histories *over this state*, so no later snapshot is needed.
-    let base_db = versioned.initial();
-
-    let sliced_original = normalized.original.restrict(&slice.kept_positions);
-    let sliced_modified = normalized.modified.restrict(&slice.kept_positions);
-    // Positions of the modified statements within the restricted histories.
-    let restricted_positions: Vec<usize> = normalized
-        .modified_positions
-        .iter()
-        .filter_map(|p| slice.kept_positions.iter().position(|k| k == p))
-        .collect();
-
-    // Phase 2: data slicing.
-    let conditions: DataSlicingConditions = if method.uses_data_slicing() {
-        let start = Instant::now();
-        let c = data_slicing_conditions(&sliced_original, &sliced_modified, &restricted_positions)?;
-        timings.data_slicing = start.elapsed();
-        c
-    } else {
-        DataSlicingConditions::default()
-    };
-
-    // Phase 3: reenactment of both histories per relation.
-    let start = Instant::now();
-    let mut relations: BTreeSet<String> = BTreeSet::new();
-    for stmt in sliced_original
-        .statements()
-        .iter()
-        .chain(sliced_modified.statements())
-    {
-        relations.insert(stmt.relation().to_string());
-    }
-    // The unsliced histories: insert branches must reenact the *full*
-    // history following each insert over the inserted tuples (Section 10) —
-    // program slicing only applies to stored tuples.
-    let original_tail = &normalized.original;
-    let modified_tail = &normalized.modified;
-    let mut original_results: Vec<(String, Relation)> = Vec::new();
-    let mut modified_results: Vec<(String, Relation)> = Vec::new();
-    for relation in &relations {
-        let schema = base_db.relation(relation)?.schema.clone();
-        let original_result = reenact_side(
-            &sliced_original,
-            original_tail,
-            relation,
-            &schema,
-            &conditions.original_for(relation),
-            base_db,
-            config,
-        )?;
-        let modified_result = reenact_side(
-            &sliced_modified,
-            modified_tail,
-            relation,
-            &schema,
-            &conditions.modified_for(relation),
-            base_db,
-            config,
-        )?;
-        original_results.push((relation.clone(), original_result));
-        modified_results.push((relation.clone(), modified_result));
-    }
-    timings.execution = start.elapsed();
-
-    // Phase 4: delta.
-    let start = Instant::now();
-    let mut deltas = Vec::new();
-    for ((relation, left), (_, right)) in original_results.iter().zip(modified_results.iter()) {
-        let delta = RelationDelta::compute(relation, left, right);
-        if !delta.is_empty() {
-            deltas.push(delta);
-        }
-    }
-    timings.delta = start.elapsed();
-
-    // Input-size statistics (outside the timed phases).
-    for relation in &relations {
-        let rel = base_db.relation(relation)?;
-        stats.total_tuples += rel.len();
-        let cond_o = conditions.original_for(relation);
-        let cond_m = conditions.modified_for(relation);
-        stats.input_tuples += count_matching(rel, &cond_o)?.max(count_matching(rel, &cond_m)?);
+        })
     }
 
-    Ok(WhatIfAnswer {
-        delta: DatabaseDelta { relations: deltas },
-        timings,
-        stats,
-    })
+    /// Number of scenarios the plan was built for.
+    pub fn group_size(&self) -> usize {
+        self.group_size
+    }
+
+    /// Number of original-side reenactments the plan performed (one per
+    /// relation; `0` for an empty group).
+    pub fn original_reenactments(&self) -> usize {
+        self.relations.len()
+    }
+
+    /// Wall-clock time of the plan's shared phases (group data-slicing
+    /// conditions + original-side reenactment).
+    pub fn shared_duration(&self) -> Duration {
+        self.shared_data_slicing + self.shared_reenactment
+    }
+
+    /// The execution method the plan was built for.
+    pub fn method(&self) -> Method {
+        self.method
+    }
 }
 
 fn count_matching(rel: &Relation, cond: &Expr) -> Result<usize, MahifError> {
@@ -458,6 +759,111 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn group_plan_matches_single_answers_and_counts_shared_work() {
+        // A threshold sweep forms one group; the plan must answer every
+        // member byte-identically to the single-query path while reenacting
+        // the original side exactly once (per relation).
+        let db = running_example_database();
+        let history = History::new(running_example_history());
+        let versioned = history.execute_versioned(&db).unwrap();
+        let thresholds = [55i64, 60, 65, 70];
+        let make = |t: i64| {
+            Statement::update(
+                "Order",
+                SetClause::single("ShippingFee", lit(0)),
+                ge(attr("Price"), lit(t)),
+            )
+        };
+        let normalized: Vec<NormalizedWhatIf> = thresholds
+            .iter()
+            .map(|&t| {
+                let mods = ModificationSet::single_replace(0, make(t));
+                WhatIfRef::new(&history, versioned.initial(), &mods)
+                    .normalize()
+                    .unwrap()
+            })
+            .collect();
+        let members: Vec<&NormalizedWhatIf> = normalized.iter().collect();
+        let variants: Vec<&History> = normalized.iter().map(|n| &n.modified).collect();
+        let slice = mahif_slicing::program_slice_multi(
+            &normalized[0].original,
+            &variants,
+            &normalized[0].modified_positions,
+            versioned.initial(),
+            &EngineConfig::default().slicing(),
+        )
+        .unwrap();
+        let config = EngineConfig::default();
+        let plan =
+            GroupPlan::build(&members, &slice, &versioned, Method::ReenactPsDs, &config).unwrap();
+        assert_eq!(plan.group_size(), 4);
+        assert_eq!(
+            plan.original_reenactments(),
+            1,
+            "one relation, reenacted once for the whole group"
+        );
+        assert_eq!(plan.method(), Method::ReenactPsDs);
+        for (i, member) in normalized.iter().enumerate() {
+            let answer = plan.answer_in_group(member, &versioned).unwrap();
+            let mods = ModificationSet::single_replace(0, make(thresholds[i]));
+            let reference = HistoricalWhatIf::new(history.clone(), db.clone(), mods.clone())
+                .answer_by_direct_execution()
+                .unwrap();
+            assert_eq!(answer.delta, reference, "member {i} delta diverged");
+            // Members report only their own work; the shared phases are
+            // flagged, zeroed and reported at the plan level.
+            assert!(answer.stats.shared_work);
+            assert_eq!(answer.stats.original_reenactments, 0);
+            assert_eq!(answer.timings.program_slicing, Duration::ZERO);
+            assert_eq!(answer.timings.data_slicing, Duration::ZERO);
+            // And match the single-query engine byte for byte on the delta.
+            let query = HistoricalWhatIf::new(history.clone(), db.clone(), mods);
+            let single = answer_what_if(
+                &query,
+                &versioned,
+                versioned.current(),
+                Method::ReenactPsDs,
+                &config,
+            )
+            .unwrap();
+            assert_eq!(answer.delta, single.delta, "member {i} vs single");
+            assert!(!single.stats.shared_work, "singles fold their own work");
+            assert_eq!(single.stats.original_reenactments, 1);
+        }
+    }
+
+    #[test]
+    fn empty_group_plan_is_rejected_and_empty_positions_answer_empty() {
+        let db = running_example_database();
+        let history = History::new(running_example_history());
+        let versioned = history.execute_versioned(&db).unwrap();
+        let config = EngineConfig::default();
+        assert!(GroupPlan::build(
+            &[],
+            &ProgramSliceResult::keep_all(3),
+            &versioned,
+            Method::ReenactPsDs,
+            &config
+        )
+        .is_err());
+        let mods = ModificationSet::default();
+        let normalized = WhatIfRef::new(&history, versioned.initial(), &mods)
+            .normalize()
+            .unwrap();
+        let plan = GroupPlan::build(
+            &[&normalized],
+            &ProgramSliceResult::keep_all(3),
+            &versioned,
+            Method::ReenactPsDs,
+            &config,
+        )
+        .unwrap();
+        assert_eq!(plan.original_reenactments(), 0);
+        let answer = plan.answer_in_group(&normalized, &versioned).unwrap();
+        assert!(answer.delta.is_empty());
     }
 
     #[test]

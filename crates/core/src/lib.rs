@@ -112,7 +112,7 @@ pub mod session;
 pub mod stats;
 
 pub use config::{EngineConfig, Method};
-pub use engine::{answer_normalized, answer_what_if, compute_program_slice};
+pub use engine::{answer_normalized, answer_what_if, compute_program_slice, GroupPlan};
 pub use error::{Error, ErrorKind, MahifError, Phase};
 pub use impact::{impact_of, GroupImpact, ImpactReport, ImpactSpec};
 #[allow(deprecated)]

@@ -226,6 +226,25 @@ impl<'s> WhatIfRequest<'s> {
         self
     }
 
+    /// Disables the group execution plans of the batch path: members of a
+    /// slice-sharing group then reenact the original history themselves
+    /// instead of sharing one original-side reenactment per group
+    /// (ablation / pre-group-plan baseline; the answers are identical
+    /// either way).
+    pub fn without_group_reenactment(mut self) -> Self {
+        self.config.disable_group_reenactment = true;
+        self
+    }
+
+    /// Enables per-member slice refinement: a group member whose own slice
+    /// is smaller than the group's certified union slice is re-sliced
+    /// cheaply (reusing the group's symbolic context) and answered with the
+    /// smaller slice. See `EngineConfig::refine_slices`.
+    pub fn with_slice_refinement(mut self) -> Self {
+        self.config.refine_slices = true;
+        self
+    }
+
     /// Executes the request and returns the uniform [`Response`].
     ///
     /// The inline scenario (everything accumulated via [`Self::replace`],

@@ -29,11 +29,57 @@ pub struct BatchStats {
     pub slice_groups: usize,
     /// Scenarios that reused a group slice instead of computing their own.
     pub shared_slice_hits: usize,
+    /// Original-side reenactments performed across the request: one per
+    /// `(group plan, relation)` plus one per relation for scenarios
+    /// answered outside a shared plan. For a k-scenario single-group sweep
+    /// this equals `groups × relations` — not `k × relations` — which is
+    /// the observable form of the once-per-group reenactment guarantee.
+    pub original_reenactments: usize,
+    /// Members of multi-scenario groups whose program slice was refined
+    /// below the group's certified union slice (and answered with the
+    /// smaller slice). Only non-zero with `EngineConfig::refine_slices`.
+    pub refined_slices: usize,
+    /// The request's **deduplicated** slicing solver cost: satisfiability
+    /// checks of each distinct program slice computed for the request —
+    /// one per group when sharing, one per scenario otherwise — counted
+    /// once, excluding per-member refinements (those are member work,
+    /// reported in the refined member's own `EngineStats`).
+    ///
+    /// Per-member attribution varies by path: members of a multi-member
+    /// group plan report `0` in their own `EngineStats::solver_calls`
+    /// (their `shared_work` flag is set), while scenarios answered solo —
+    /// single queries, singleton groups, the `disable_group_reenactment`
+    /// ablation, refined members — fold the slice they were answered with
+    /// into their own stats, exactly like a standalone single query. So
+    /// read *this* field for the request's true solver cost; summing
+    /// member counts on top can re-count a shared slice on the solo paths.
+    pub solver_calls: usize,
+    /// Annotated delta tuples whose storage was deduplicated across the
+    /// request's answers (scenarios with identical relation deltas share
+    /// one allocation; see `mahif_history::DeltaInterner`).
+    pub delta_tuples_deduped: usize,
     /// Wall-clock time normalizing and grouping the scenarios.
     pub normalize: Duration,
-    /// Wall-clock time computing program slices.
+    /// Wall-clock time of the slicing phase: computing the (shared or
+    /// per-scenario) program slices plus any per-member refinements. Note
+    /// a refined member *also* reports its refinement's duration as its
+    /// own `program_slicing` time — this field is the phase's wall clock,
+    /// not a sum of member attributions.
     pub slicing: Duration,
-    /// Wall-clock time reenacting and diffing all scenarios.
+    /// Wall-clock time of the group plans' shared work (group data-slicing
+    /// conditions + original-side reenactments), summed over multi-member
+    /// groups. This shared cost is reported **once** here, and members of
+    /// those plans cover only their member-specific work in their own
+    /// `PhaseTimings` (their `EngineStats::shared_work` flag is set) — so
+    /// in the default group-plan path, member timings plus this field give
+    /// the true batch cost without double counting. Scenarios answered
+    /// outside a multi-member plan fold their work like single queries
+    /// (see [`solver_calls`](Self::solver_calls)). It is a component of
+    /// [`execution`](Self::execution), not an addition to it.
+    pub group_reenactment: Duration,
+    /// Wall-clock time reenacting and diffing all scenarios, including
+    /// building the group plans (their shared reenactment work) in the
+    /// group-plan path.
     pub execution: Duration,
     /// End-to-end wall-clock time of the request.
     pub total: Duration,

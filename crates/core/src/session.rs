@@ -48,12 +48,15 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use mahif_history::{History, ModificationSet, NormalizedWhatIf, WhatIfRef};
-use mahif_slicing::{group_scenarios, program_slice_multi, ProgramSliceResult, SliceCache};
+use mahif_history::{DeltaInterner, History, ModificationSet, NormalizedWhatIf, WhatIfRef};
+use mahif_slicing::{
+    group_scenarios, program_slice_multi_with_context, refine_slice_for_variant,
+    ProgramSliceResult, SliceCache, SymbolicGroupContext,
+};
 use mahif_storage::{Database, VersionedDatabase};
 
 use crate::config::Method;
-use crate::engine::{answer_normalized, answer_what_if, compute_program_slice};
+use crate::engine::{answer_normalized, answer_what_if, compute_program_slice, GroupPlan};
 use crate::error::{Error, ErrorKind, Phase};
 use crate::pool::{collect_results, resolve_parallelism, run_indexed};
 use crate::request::{RequestParts, ScenarioSpec, WhatIfRequest};
@@ -105,6 +108,9 @@ struct Counters {
     scenarios_answered: AtomicU64,
     slices_computed: AtomicU64,
     slices_shared: AtomicU64,
+    original_reenactments: AtomicU64,
+    refined_slices: AtomicU64,
+    delta_tuples_deduped: AtomicU64,
 }
 
 impl Clone for Counters {
@@ -115,6 +121,11 @@ impl Clone for Counters {
             scenarios_answered: AtomicU64::new(self.scenarios_answered.load(Ordering::Relaxed)),
             slices_computed: AtomicU64::new(self.slices_computed.load(Ordering::Relaxed)),
             slices_shared: AtomicU64::new(self.slices_shared.load(Ordering::Relaxed)),
+            original_reenactments: AtomicU64::new(
+                self.original_reenactments.load(Ordering::Relaxed),
+            ),
+            refined_slices: AtomicU64::new(self.refined_slices.load(Ordering::Relaxed)),
+            delta_tuples_deduped: AtomicU64::new(self.delta_tuples_deduped.load(Ordering::Relaxed)),
         }
     }
 }
@@ -139,6 +150,17 @@ pub struct SessionStats {
     pub slices_computed: u64,
     /// Scenarios that reused a group's shared slice.
     pub slices_shared: u64,
+    /// Original-side reenactments performed: one per `(group plan,
+    /// relation)` plus one per relation for scenarios answered outside a
+    /// shared plan. For batches this grows by `groups × relations`, not
+    /// `scenarios × relations` — the observable once-per-group guarantee.
+    pub original_reenactments: u64,
+    /// Group members whose slice was refined below the group's union slice
+    /// (see `EngineConfig::refine_slices`).
+    pub refined_slices: u64,
+    /// Annotated delta tuples deduplicated across batch answers (identical
+    /// relation deltas stored once; see `mahif_history::DeltaInterner`).
+    pub delta_tuples_deduped: u64,
 }
 
 /// The Mahif middleware session: registers named histories once and answers
@@ -240,6 +262,9 @@ impl Session {
             scenarios_answered: self.counters.scenarios_answered.load(Ordering::Relaxed),
             slices_computed: self.counters.slices_computed.load(Ordering::Relaxed),
             slices_shared: self.counters.slices_shared.load(Ordering::Relaxed),
+            original_reenactments: self.counters.original_reenactments.load(Ordering::Relaxed),
+            refined_slices: self.counters.refined_slices.load(Ordering::Relaxed),
+            delta_tuples_deduped: self.counters.delta_tuples_deduped.load(Ordering::Relaxed),
         }
     }
 
@@ -337,62 +362,60 @@ impl Session {
             // One slice per group (shared), or one per scenario (single
             // queries, ablation, or the greedy slicer whose certificates
             // are pairwise only).
+            let group_error = |e: Error, phase: Phase, g: usize| {
+                // Shared work is computed for the whole group at once; name
+                // every member rather than guessing one.
+                let members = groups.groups[g]
+                    .members
+                    .iter()
+                    .map(|&i| scenarios[i].name())
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                e.in_phase(phase)
+                    .for_scenario(members)
+                    .on_history(history_name.clone())
+            };
             let slice_start = Instant::now();
             let share = scenarios.len() > 1
                 && method.uses_program_slicing()
                 && !no_slice_sharing
                 && !config.use_greedy_slicer;
-            let slices: Vec<Arc<ProgramSliceResult>> = if share {
-                let computed = run_indexed(groups.groups.len(), threads, |g| {
-                    let group = &groups.groups[g];
-                    // Borrow each member's modified history from the
-                    // normalization results instead of cloning it into the
-                    // group.
-                    let variants: Vec<&History> = group
-                        .members
-                        .iter()
-                        .map(|&i| &normalized[i].modified)
-                        .collect();
-                    program_slice_multi(
-                        &group.original,
-                        &variants,
-                        &group.positions,
-                        registered.versioned.initial(),
-                        &config.slicing(),
-                    )
-                    .map(Arc::new)
-                    .map_err(|e| {
-                        // A shared slice is computed for the whole group at
-                        // once; name every member rather than guessing one.
-                        let members = group
+            let (slices, contexts): (Vec<Arc<ProgramSliceResult>>, Vec<SymbolicGroupContext>) =
+                if share {
+                    let computed = run_indexed(groups.groups.len(), threads, |g| {
+                        let group = &groups.groups[g];
+                        // Borrow each member's modified history from the
+                        // normalization results instead of cloning it into
+                        // the group.
+                        let variants: Vec<&History> = group
                             .members
                             .iter()
-                            .map(|&i| scenarios[i].name())
-                            .collect::<Vec<_>>()
-                            .join(", ");
-                        Error::from(e)
-                            .in_phase(Phase::ProgramSlicing)
-                            .for_scenario(members)
-                            .on_history(history_name.clone())
-                    })
-                });
-                collect_results(computed)?
-            } else {
-                let computed = run_indexed(normalized.len(), threads, |i| {
-                    compute_program_slice(
-                        &normalized[i],
-                        registered.versioned.initial(),
-                        method,
-                        &config,
-                    )
-                    .map(Arc::new)
-                    .map_err(|e| context(e, Phase::ProgramSlicing, &scenarios[i]))
-                });
-                collect_results(computed)?
-            };
-            stats.slicing = slice_start.elapsed();
-
-            let cache: Option<SliceCache> = share.then(|| SliceCache::new(&groups, slices.clone()));
+                            .map(|&i| &normalized[i].modified)
+                            .collect();
+                        program_slice_multi_with_context(
+                            &group.original,
+                            &variants,
+                            &group.positions,
+                            registered.versioned.initial(),
+                            &config.slicing(),
+                        )
+                        .map(|(slice, ctx)| (Arc::new(slice), ctx))
+                        .map_err(|e| group_error(Error::from(e), Phase::ProgramSlicing, g))
+                    });
+                    collect_results(computed)?.into_iter().unzip()
+                } else {
+                    let computed = run_indexed(normalized.len(), threads, |i| {
+                        compute_program_slice(
+                            &normalized[i],
+                            registered.versioned.initial(),
+                            method,
+                            &config,
+                        )
+                        .map(Arc::new)
+                        .map_err(|e| context(e, Phase::ProgramSlicing, &scenarios[i]))
+                    });
+                    (collect_results(computed)?, Vec::new())
+                };
             if share {
                 stats.slice_groups = groups.groups.len();
                 stats.shared_slice_hits = scenarios.len() - groups.groups.len();
@@ -406,24 +429,165 @@ impl Session {
                 .slices_shared
                 .fetch_add(stats.shared_slice_hits as u64, Ordering::Relaxed);
 
-            let exec_start = Instant::now();
-            let answers = self.run_pool(threads, &scenarios, |i| {
-                let slice = match &cache {
-                    Some(cache) => cache.slice_for(i),
-                    None => Arc::clone(&slices[i]),
-                };
-                answer_normalized(
-                    &normalized[i],
-                    &slice,
-                    &registered.versioned,
-                    method,
-                    &config,
-                )
-                .map_err(|e| context(e, Phase::Execution, &scenarios[i]))
-            })?;
-            stats.execution = exec_start.elapsed();
-            answers
+            // Group execution plans: the original-side reenactment is
+            // identical across a group's members, so compute it once per
+            // group and answer members against the cached results. Disabled
+            // for ablation (and as the pre-group-plan baseline) via
+            // `EngineConfig::disable_group_reenactment`.
+            let use_plans = share && !config.disable_group_reenactment;
+
+            // Optional per-member refinement: shrink a member's slice below
+            // the certified union (reusing the group's symbolic context) and
+            // answer it solo with the smaller slice when refinement helps.
+            // Refinement needs only the shared slices and their symbolic
+            // contexts, so it composes with `disable_group_reenactment`.
+            let refined: Vec<Option<Arc<ProgramSliceResult>>> = if share && config.refine_slices {
+                let computed = run_indexed(scenarios.len(), threads, |i| {
+                    let g = groups.scenario_group[i];
+                    if groups.groups[g].members.len() <= 1 {
+                        return Ok(None);
+                    }
+                    refine_slice_for_variant(
+                        &normalized[i].original,
+                        &normalized[i].modified,
+                        &normalized[i].modified_positions,
+                        registered.versioned.initial(),
+                        &config.slicing(),
+                        &slices[g],
+                        &contexts[g],
+                    )
+                    .map(|r| {
+                        (r.kept_positions.len() < slices[g].kept_positions.len())
+                            .then(|| Arc::new(r))
+                    })
+                    .map_err(|e| context(Error::from(e), Phase::ProgramSlicing, &scenarios[i]))
+                });
+                collect_results(computed)?
+            } else {
+                vec![None; scenarios.len()]
+            };
+            stats.refined_slices = refined.iter().filter(|r| r.is_some()).count();
+            // The request's deduplicated slicing solver cost: each distinct
+            // slice counted once. Refinement solver calls are member work —
+            // a refined member re-reports them in its own answer
+            // (`shared_work` stays false) — so they are not added here;
+            // refinement *wall-clock* still falls inside `stats.slicing`,
+            // which times the phase, not member attributions.
+            stats.solver_calls = slices.iter().map(|s| s.solver_calls).sum::<usize>();
+            stats.slicing = slice_start.elapsed();
+
+            if use_plans {
+                // The execution phase covers plan building (the groups'
+                // shared reenactment work) plus member answering.
+                let exec_start = Instant::now();
+                // Build plans only for groups with at least one member that
+                // was not refined away; a fully refined group would never
+                // use its plan's cached original-side results.
+                let needs_plan: Vec<bool> = groups
+                    .groups
+                    .iter()
+                    .map(|g| g.members.iter().any(|&i| refined[i].is_none()))
+                    .collect();
+                let plan_results = run_indexed(groups.groups.len(), threads, |g| {
+                    if !needs_plan[g] {
+                        return Ok(None);
+                    }
+                    let members: Vec<&NormalizedWhatIf> = groups.groups[g]
+                        .members
+                        .iter()
+                        .map(|&i| &normalized[i])
+                        .collect();
+                    GroupPlan::build(&members, &slices[g], &registered.versioned, method, &config)
+                        .map(Some)
+                        .map_err(|e| group_error(e, Phase::Execution, g))
+                });
+                let plans = collect_results(plan_results)?;
+                // Singleton groups fold their shared work into the member's
+                // own answer (exact single-query behavior), so only
+                // multi-member plans report shared work at the batch level.
+                stats.group_reenactment = plans
+                    .iter()
+                    .flatten()
+                    .filter(|p| p.group_size() > 1)
+                    .map(|p| p.shared_duration())
+                    .sum();
+                stats.original_reenactments = plans
+                    .iter()
+                    .flatten()
+                    .filter(|p| p.group_size() > 1)
+                    .map(|p| p.original_reenactments())
+                    .sum::<usize>();
+
+                let answers = self.run_pool(threads, &scenarios, |i| {
+                    match &refined[i] {
+                        // A refined member answers solo with its own smaller
+                        // slice (its original-side reenactment is over the
+                        // *refined* sliced history, so it cannot reuse the
+                        // plan's cached results).
+                        Some(slice) => answer_normalized(
+                            &normalized[i],
+                            slice,
+                            &registered.versioned,
+                            method,
+                            &config,
+                        ),
+                        None => plans[groups.scenario_group[i]]
+                            .as_ref()
+                            .expect("a plan is built for every group with unrefined members")
+                            .answer_in_group(&normalized[i], &registered.versioned),
+                    }
+                    .map_err(|e| context(e, Phase::Execution, &scenarios[i]))
+                })?;
+                stats.execution = exec_start.elapsed();
+                answers
+            } else {
+                let cache: Option<SliceCache> =
+                    share.then(|| SliceCache::new(&groups, slices.clone()));
+                let exec_start = Instant::now();
+                let answers = self.run_pool(threads, &scenarios, |i| {
+                    let slice = match (&refined[i], &cache) {
+                        // Refinement composes with the no-group-plan
+                        // ablation: a refined member still answers with its
+                        // smaller slice.
+                        (Some(refined), _) => Arc::clone(refined),
+                        (None, Some(cache)) => cache.slice_for(i),
+                        (None, None) => Arc::clone(&slices[i]),
+                    };
+                    answer_normalized(
+                        &normalized[i],
+                        &slice,
+                        &registered.versioned,
+                        method,
+                        &config,
+                    )
+                    .map_err(|e| context(e, Phase::Execution, &scenarios[i]))
+                })?;
+                stats.execution = exec_start.elapsed();
+                answers
+            }
         };
+
+        // Scenarios answered outside a shared plan (solo paths, refined
+        // members) report their own original-side reenactments; add them to
+        // the plans' once-per-group count.
+        stats.original_reenactments += answers
+            .iter()
+            .map(|a| a.stats.original_reenactments)
+            .sum::<usize>();
+
+        // Share the storage of identical answers across the batch (the
+        // base-plus-diff representation of a sweep's deltas): equal relation
+        // deltas collapse to one allocation, observably via
+        // `delta_tuples_deduped`. Content equality is untouched. A single
+        // answer has nothing to share, so the single-query hot path skips
+        // the pass entirely.
+        let mut answers = answers;
+        if answers.len() > 1 {
+            let mut interner = DeltaInterner::new();
+            for answer in &mut answers {
+                stats.delta_tuples_deduped += interner.intern(&mut answer.delta);
+            }
+        }
 
         // Optional impact phase: reduce each delta to an aggregate report
         // with the metric baseline taken from the current state.
@@ -448,6 +612,15 @@ impl Session {
         self.counters
             .scenarios_answered
             .fetch_add(scenarios.len() as u64, Ordering::Relaxed);
+        self.counters
+            .original_reenactments
+            .fetch_add(stats.original_reenactments as u64, Ordering::Relaxed);
+        self.counters
+            .refined_slices
+            .fetch_add(stats.refined_slices as u64, Ordering::Relaxed);
+        self.counters
+            .delta_tuples_deduped
+            .fetch_add(stats.delta_tuples_deduped as u64, Ordering::Relaxed);
 
         stats.total = total_start.elapsed();
         let scenarios = scenarios
@@ -611,6 +784,114 @@ mod tests {
                 "{}",
                 spec.name()
             );
+        }
+    }
+
+    #[test]
+    fn group_plan_reenacts_the_original_once_per_group() {
+        let s = session();
+        let thresholds = [55i64, 60, 65, 70, 75];
+        let response = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .run_batch(sweep("threshold", 0, thresholds, |t| threshold(*t)))
+            .unwrap();
+        // One group over one relation: groups × relations = 1, not k × 1.
+        assert_eq!(response.stats.slice_groups, 1);
+        assert_eq!(response.stats.original_reenactments, 1);
+        // Members carry the shared-work flag and no re-attributed shared
+        // timings; the shared cost is reported once at the batch level.
+        for member in &response.scenarios {
+            assert!(member.answer.stats.shared_work);
+            assert_eq!(member.answer.stats.original_reenactments, 0);
+            assert_eq!(
+                member.answer.timings.program_slicing,
+                std::time::Duration::ZERO
+            );
+        }
+        // Most thresholds (65..75) waive the same two orders: their equal
+        // deltas share storage.
+        assert!(response.stats.delta_tuples_deduped > 0);
+        // The shared slice's solver calls are reported once at the batch
+        // level, not per member.
+        assert!(response.stats.solver_calls > 0);
+        for member in &response.scenarios {
+            assert_eq!(member.answer.stats.solver_calls, 0);
+        }
+        // The session counters accumulate the same numbers.
+        assert_eq!(s.stats().original_reenactments, 1);
+        assert_eq!(
+            s.stats().delta_tuples_deduped,
+            response.stats.delta_tuples_deduped as u64
+        );
+
+        // The ablation (pre-group-plan path) reenacts the original once per
+        // member — and still answers identically.
+        let unshared = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .without_group_reenactment()
+            .run_batch(sweep("threshold", 0, thresholds, |t| threshold(*t)))
+            .unwrap();
+        assert_eq!(unshared.stats.original_reenactments, thresholds.len());
+        for (a, b) in response.scenarios.iter().zip(&unshared.scenarios) {
+            assert_eq!(a.answer.delta, b.answer.delta, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn slice_refinement_is_counted_and_preserves_answers() {
+        // Extend the history with an update only low thresholds interact
+        // with, so a mixed sweep's union slice keeps it while refinement
+        // drops it for the high-threshold members.
+        let mut statements = running_example_history();
+        statements.push(Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(3)),
+            and(ge(attr("Price"), lit(30)), le(attr("Price"), lit(35))),
+        ));
+        let s = Session::with_history(
+            "retail",
+            running_example_database(),
+            History::new(statements),
+        )
+        .unwrap();
+        let thresholds = [32i64, 60, 65];
+        let reference = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .run_batch(sweep("threshold", 0, thresholds, |t| threshold(*t)))
+            .unwrap();
+        assert_eq!(reference.stats.refined_slices, 0, "refinement is opt-in");
+        let refined = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .with_slice_refinement()
+            .run_batch(sweep("threshold", 0, thresholds, |t| threshold(*t)))
+            .unwrap();
+        assert!(
+            refined.stats.refined_slices > 0,
+            "the high thresholds' slices shrink below the union"
+        );
+        assert_eq!(
+            s.stats().refined_slices,
+            refined.stats.refined_slices as u64
+        );
+        for (a, b) in reference.scenarios.iter().zip(&refined.scenarios) {
+            assert_eq!(a.answer.delta, b.answer.delta, "{}", a.name);
+        }
+        // Refinement composes with the no-group-plan ablation: members
+        // still answer with their refined slices.
+        let combo = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .with_slice_refinement()
+            .without_group_reenactment()
+            .run_batch(sweep("threshold", 0, thresholds, |t| threshold(*t)))
+            .unwrap();
+        assert_eq!(combo.stats.refined_slices, refined.stats.refined_slices);
+        for (a, b) in reference.scenarios.iter().zip(&combo.scenarios) {
+            assert_eq!(a.answer.delta, b.answer.delta, "{}", a.name);
         }
     }
 

@@ -59,6 +59,18 @@ pub struct EngineStats {
     pub input_tuples: usize,
     /// Number of tuples in the unsliced reenactment input (for comparison).
     pub total_tuples: usize,
+    /// Number of original-side reenactments this answer performed itself
+    /// (one per relation). `0` for a member of a multi-scenario group: the
+    /// group plan reenacted the original once for everyone, reported in
+    /// `BatchStats::original_reenactments`.
+    pub original_reenactments: usize,
+    /// True when this answer rode on a group plan shared with other
+    /// scenarios. Its `program_slicing` / `data_slicing` timings and
+    /// `solver_calls` are then reported as zero here, with the shared cost
+    /// reported once at the batch level (`BatchStats::slicing`,
+    /// `BatchStats::group_reenactment`, `BatchStats::solver_calls`) —
+    /// summing member timings no longer overstates the batch cost.
+    pub shared_work: bool,
 }
 
 impl EngineStats {
@@ -129,6 +141,7 @@ mod tests {
             solver_calls: 9,
             input_tuples: 25,
             total_tuples: 100,
+            ..Default::default()
         };
         assert!((s.statements_excluded_ratio() - 0.6).abs() < 1e-9);
         assert!((s.tuples_filtered_ratio() - 0.75).abs() < 1e-9);

@@ -1,7 +1,16 @@
 //! Database deltas: the symmetric difference `Δ(D, D')` with `+`/`−`
 //! annotations (Section 3).
+//!
+//! Per-relation deltas are stored behind [`Arc`] so that a batch of
+//! what-if scenarios whose answers coincide (the common case in a
+//! parameter sweep: most thresholds waive the same two orders) can share
+//! one allocation of the common tuples — the base of a *base + diff*
+//! representation. [`DeltaInterner`] performs that sharing after a batch
+//! is answered; equality and display semantics are unchanged, only the
+//! storage is deduplicated.
 
 use std::fmt;
+use std::sync::Arc;
 
 use mahif_storage::{Database, Relation, SchemaRef, Tuple};
 
@@ -27,7 +36,7 @@ impl fmt::Display for Annotation {
 }
 
 /// A single annotated tuple of a delta.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Hash)]
 pub struct DeltaTuple {
     /// `+` or `−`.
     pub annotation: Annotation,
@@ -115,14 +124,27 @@ fn annotation_rank(a: Annotation) -> u8 {
 
 /// The delta of an entire database: one [`RelationDelta`] per relation that
 /// differs.
+///
+/// Relation deltas are reference-counted so identical answers across a
+/// scenario batch can share storage (see [`DeltaInterner`]); two deltas
+/// compare equal whenever their relation deltas compare equal, shared or
+/// not.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct DatabaseDelta {
     /// Per-relation deltas (only non-empty ones are stored), sorted by
     /// relation name.
-    pub relations: Vec<RelationDelta>,
+    pub relations: Vec<Arc<RelationDelta>>,
 }
 
 impl DatabaseDelta {
+    /// Builds a delta from owned per-relation deltas (callers need not care
+    /// about the shared representation).
+    pub fn from_relations(relations: Vec<RelationDelta>) -> DatabaseDelta {
+        DatabaseDelta {
+            relations: relations.into_iter().map(Arc::new).collect(),
+        }
+    }
+
     /// Computes `Δ(left, right)` over all relations present in either
     /// database. Relations missing from one side are treated as empty.
     pub fn compute(left: &Database, right: &Database) -> DatabaseDelta {
@@ -149,7 +171,7 @@ impl DatabaseDelta {
                 relations.push(delta);
             }
         }
-        DatabaseDelta { relations }
+        DatabaseDelta::from_relations(relations)
     }
 
     /// Computes the delta restricted to the given relations.
@@ -168,7 +190,7 @@ impl DatabaseDelta {
             }
         }
         out.sort_by(|a, b| a.relation.cmp(&b.relation));
-        DatabaseDelta { relations: out }
+        DatabaseDelta::from_relations(out)
     }
 
     /// Total number of annotated tuples across all relations.
@@ -183,7 +205,88 @@ impl DatabaseDelta {
 
     /// The delta of a specific relation, if it differs.
     pub fn relation(&self, name: &str) -> Option<&RelationDelta> {
-        self.relations.iter().find(|r| r.relation == name)
+        self.relations
+            .iter()
+            .find(|r| r.relation == name)
+            .map(Arc::as_ref)
+    }
+
+    /// Number of annotated tuples whose storage is shared with another
+    /// [`DatabaseDelta`] (i.e. held behind an `Arc` with other references).
+    /// Purely observational — used by batch statistics.
+    pub fn shared_tuples(&self) -> usize {
+        self.relations
+            .iter()
+            .filter(|r| Arc::strong_count(r) > 1)
+            .map(|r| r.len())
+            .sum()
+    }
+}
+
+/// Interns equal relation deltas across the answers of a scenario batch so
+/// the common base of a sweep is stored once ("base + per-scenario diff":
+/// relation deltas equal to an earlier scenario's become shared references —
+/// the base — while genuinely different relation deltas stay owned — the
+/// diff).
+///
+/// Interning never changes what a delta *contains*: equality, iteration
+/// order and display are untouched. It only collapses identical allocations,
+/// which for a k-scenario sweep where most thresholds produce the same
+/// answer reduces delta storage from `O(k · |Δ|)` to `O(|Δ|)`.
+#[derive(Debug, Default)]
+pub struct DeltaInterner {
+    /// Seen relation deltas, bucketed by content hash so interning a batch
+    /// stays linear in the number of distinct deltas (a full-content
+    /// equality check runs only within a bucket). Held as [`Weak`]
+    /// references: the interner never keeps a delta alive and never
+    /// inflates `Arc::strong_count`, so [`DatabaseDelta::shared_tuples`]
+    /// counts only genuine sharing between answers.
+    seen: std::collections::HashMap<u64, Vec<std::sync::Weak<RelationDelta>>>,
+    deduped_tuples: usize,
+}
+
+fn relation_delta_key(delta: &RelationDelta) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    delta.relation.hash(&mut hasher);
+    delta.tuples.hash(&mut hasher);
+    hasher.finish()
+}
+
+impl DeltaInterner {
+    /// Creates an empty interner (typically one per answered batch).
+    pub fn new() -> DeltaInterner {
+        DeltaInterner::default()
+    }
+
+    /// Rewrites `delta` in place so every relation delta equal to one seen
+    /// earlier shares that earlier allocation. Returns the number of
+    /// annotated tuples deduplicated by this call.
+    pub fn intern(&mut self, delta: &mut DatabaseDelta) -> usize {
+        let mut deduped = 0;
+        for rel in &mut delta.relations {
+            let bucket = self.seen.entry(relation_delta_key(rel)).or_default();
+            bucket.retain(|w| w.strong_count() > 0);
+            if let Some(existing) = bucket
+                .iter()
+                .filter_map(std::sync::Weak::upgrade)
+                .find(|s| **s == **rel)
+            {
+                if !Arc::ptr_eq(&existing, rel) {
+                    deduped += rel.len();
+                    *rel = existing;
+                }
+            } else {
+                bucket.push(Arc::downgrade(rel));
+            }
+        }
+        self.deduped_tuples += deduped;
+        deduped
+    }
+
+    /// Total annotated tuples deduplicated over the interner's lifetime.
+    pub fn deduped_tuples(&self) -> usize {
+        self.deduped_tuples
     }
 }
 
@@ -284,6 +387,42 @@ mod tests {
         let r2 = d2.relation("Order").unwrap();
         assert_eq!(r1.plus_tuples().len(), r2.minus_tuples().len());
         assert_eq!(r1.minus_tuples().len(), r2.plus_tuples().len());
+    }
+
+    #[test]
+    fn interner_shares_equal_relation_deltas() {
+        let db = running_example_database();
+        let h = History::new(running_example_history());
+        let m = ModificationSet::single_replace(0, running_example_u1_prime());
+        let hd = h.execute(&db).unwrap();
+        let hmd = m.apply(&h).unwrap().execute(&db).unwrap();
+        let reference = DatabaseDelta::compute(&hd, &hmd);
+
+        // Two scenarios with the same answer, one with a different answer.
+        let mut a = DatabaseDelta::compute(&hd, &hmd);
+        let mut b = DatabaseDelta::compute(&hd, &hmd);
+        let mut c = DatabaseDelta::compute(&hmd, &hd);
+        let mut interner = DeltaInterner::new();
+        assert_eq!(interner.intern(&mut a), 0, "first answer owns its delta");
+        assert_eq!(
+            interner.intern(&mut b),
+            reference.len(),
+            "equal answer shares the base"
+        );
+        assert_eq!(interner.intern(&mut c), 0, "different answer stays owned");
+        assert_eq!(interner.deduped_tuples(), reference.len());
+
+        // Sharing is observable but equality semantics are unchanged.
+        assert!(std::sync::Arc::ptr_eq(&a.relations[0], &b.relations[0]));
+        assert_eq!(a, reference);
+        assert_eq!(b, reference);
+        assert_ne!(c, reference);
+        assert_eq!(b.shared_tuples(), reference.len());
+        // The interner holds only weak references: a delta no other answer
+        // shares reports zero shared tuples even while the interner lives.
+        assert_eq!(c.shared_tuples(), 0);
+        // Re-interning an already shared delta dedupes nothing new.
+        assert_eq!(interner.intern(&mut b), 0);
     }
 
     #[test]

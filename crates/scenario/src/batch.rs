@@ -5,20 +5,32 @@
 //! [`mahif::Session::execute`] — *the* funnel all entry points share — and
 //! [`ScenarioSet`] is a convenience layer over it: named [`Scenario`]s,
 //! duplicate-name checking, and ranking of the per-scenario impacts
-//! ([`BatchAnswer::rank_by`]). A batch still gets exactly the shared work
-//! the funnel implements:
+//! ([`BatchAnswer::rank_by`]). The funnel executes a batch as **group
+//! plans** (`mahif::GroupPlan`): scenarios whose normalizations share the
+//! original history and modified positions form a group, and everything
+//! that depends only on the shared side is computed once per group:
 //!
-//! * each scenario normalized once, scenarios **grouped** when their
-//!   normalizations share the original history and modified positions;
+//! * each scenario normalized once, then **grouped**;
 //! * **one program slice per group** (via
-//!   [`mahif_slicing::program_slice_multi`]) instead of one per scenario;
+//!   [`mahif_slicing::program_slice_multi`]) instead of one per scenario,
+//!   optionally refined per member
+//!   ([`BatchConfig::with_slice_refinement`]);
+//! * **one original-side reenactment per `(group, relation)`** — the
+//!   original history's reenactment result is identical across a group's
+//!   members, so members only reenact their own modified side and diff
+//!   against the group's cached original relations (observable via
+//!   [`BatchStats::original_reenactments`]);
+//! * identical answers across the batch **stored once** (equal relation
+//!   deltas share one allocation; [`BatchStats::delta_tuples_deduped`]);
 //! * the session's versioned database **borrowed** for every scenario —
 //!   never cloned per call; and
 //! * scenarios answered **in parallel** across a scoped thread pool.
 //!
 //! The per-scenario deltas are exactly those of the single-query engine:
-//! shared slices are supersets of each member's individual slice and
-//! certified answer-preserving, so only the work changes, never the answer.
+//! shared slices are supersets of each member's individual slice, the
+//! group's symmetric data-slicing conditions only admit tuples that cancel
+//! in each member's delta, and both are certified answer-preserving — so
+//! only the work changes, never the answer.
 
 use mahif::{ImpactSpec, Method, Response, Session, WhatIfAnswer};
 
@@ -54,6 +66,20 @@ impl BatchConfig {
         self.no_slice_sharing = true;
         self
     }
+
+    /// Disables the group plans' shared original-side reenactment
+    /// (ablation / pre-group-plan baseline; answers are identical).
+    pub fn without_group_reenactment(mut self) -> Self {
+        self.engine.disable_group_reenactment = true;
+        self
+    }
+
+    /// Enables per-member refinement of the group's union slice (see
+    /// `mahif::EngineConfig::refine_slices`).
+    pub fn with_slice_refinement(mut self) -> Self {
+        self.engine.refine_slices = true;
+        self
+    }
 }
 
 /// One scenario's answer within a batch.
@@ -62,11 +88,18 @@ pub struct ScenarioAnswer {
     /// The scenario's name.
     pub name: String,
     /// The what-if answer. Its **delta** is identical to what a single
-    /// request returns for the same scenario; the timings and work stats
-    /// describe the batch's (possibly shared) work instead — with a shared
-    /// group slice, every member reports the group's slicing duration,
-    /// solver calls and union-slice size, so summing them across a batch
-    /// overstates the slicing cost.
+    /// request returns for the same scenario. In the default group-plan
+    /// path, timings are attributed without double counting: a member of a
+    /// multi-scenario group reports only its own work (modified-side
+    /// reenactment + delta) and carries `stats.shared_work = true`, while
+    /// the group's shared slicing and original-reenactment time is
+    /// reported **once** in [`BatchStats::slicing`] /
+    /// [`BatchStats::group_reenactment`] — so summing those member timings
+    /// plus the batch-level shared fields gives the true batch cost.
+    /// Scenarios answered outside a multi-member plan (singleton groups,
+    /// the ablations, refined members) fold their slicing work like single
+    /// queries; see [`BatchStats::solver_calls`] for the deduplicated
+    /// accounting.
     pub answer: WhatIfAnswer,
 }
 

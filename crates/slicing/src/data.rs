@@ -200,6 +200,74 @@ fn push_down(condition: Expr, history: &History, position: usize, relation: &str
     simplify(&cond)
 }
 
+/// Computes **group-level** data-slicing conditions valid for *every*
+/// modified-history variant of a scenario group (the data-slicing analogue
+/// of [`crate::program_slice_multi`]).
+///
+/// The returned conditions are *symmetric* — the same condition is applied
+/// to the original-side and the modified-side reenactment input of every
+/// member — and are the disjunction of all members' per-side conditions.
+/// This is the general over-approximation of Section 6 (Equation 7) lifted
+/// to the group: a tuple failing the condition is affected by no member's
+/// modification in either history, so it produces identical rows on both
+/// sides of every member's delta and can be filtered from both. Tuples kept
+/// beyond a member's own condition are unaffected *for that member* and
+/// cancel in its delta, so every member's answer is exactly the answer of
+/// its individual query.
+///
+/// The symmetry is what makes the *original-side* reenactment shareable:
+/// with one condition per relation for the whole group, the original
+/// history's reenactment query — and therefore its result — is identical
+/// across members and can be computed once per `(group, relation)`.
+pub fn data_slicing_conditions_multi<H: std::borrow::Borrow<History>>(
+    original: &History,
+    variants: &[H],
+    positions: &[usize],
+) -> Result<DataSlicingConditions, SlicingError> {
+    if variants.is_empty() {
+        return Err(SlicingError::EmptyScenarioGroup);
+    }
+    let mut per_relation: BTreeMap<String, Vec<Expr>> = BTreeMap::new();
+    let mut seen: BTreeMap<String, usize> = BTreeMap::new();
+    for variant in variants {
+        let conditions = data_slicing_conditions(original, variant.borrow(), positions)?;
+        for (rel, e) in conditions.original.into_iter().chain(conditions.modified) {
+            // Count every contribution (the completeness check below), but
+            // collect each distinct disjunct once: in a sweep that only
+            // varies SET expressions, all members share one condition and
+            // the group disjunction must not grow O(k).
+            *seen.entry(rel.clone()).or_default() += 1;
+            let conds = per_relation.entry(rel).or_default();
+            if !conds.contains(&e) {
+                conds.push(e);
+            }
+        }
+    }
+    // Every member contributes exactly one original- and one modified-side
+    // condition per restricted relation. A relation some member derived no
+    // condition for is unfiltered (`true`) for that member, and the group
+    // condition must degrade to `true` as well; with the normalization
+    // invariant (statement pairs at a position target the same relation)
+    // this cannot happen within a group, but the guard keeps the merge
+    // conservative.
+    let expected = 2 * variants.len();
+    let merged: BTreeMap<String, Expr> = per_relation
+        .into_iter()
+        .map(|(rel, conds)| {
+            let cond = if seen.get(&rel).copied().unwrap_or(0) < expected {
+                Expr::true_()
+            } else {
+                simplify(&mahif_expr::builder::disjunction(conds))
+            };
+            (rel, cond)
+        })
+        .collect();
+    Ok(DataSlicingConditions {
+        original: merged.clone(),
+        modified: merged,
+    })
+}
+
 /// Builds the data-sliced reenactment query for `relation`: the reenactment
 /// of `history` rooted at `σ_{condition}(relation)`. A condition of `true`
 /// degrades to the unsliced reenactment.
@@ -464,6 +532,87 @@ mod tests {
         assert!(matches!(
             data_slicing_conditions(&h1, &h2, &[0]),
             Err(SlicingError::HistoriesNotAligned { .. })
+        ));
+    }
+
+    #[test]
+    fn multi_conditions_are_symmetric_and_preserve_every_member_answer() {
+        // A threshold sweep: the group condition must subsume each member's
+        // own conditions and, applied to *both* sides, leave every member's
+        // delta exactly the reference answer.
+        let history = History::new(running_example_history());
+        let db = running_example_database();
+        let thresholds = [55i64, 60, 65];
+        let make = |t: i64| {
+            Statement::update(
+                "Order",
+                SetClause::single("ShippingFee", lit(0)),
+                ge(attr("Price"), lit(t)),
+            )
+        };
+        let mut variants = Vec::new();
+        let mut positions = Vec::new();
+        for &t in &thresholds {
+            let (original, modified, p) = ModificationSet::single_replace(0, make(t))
+                .normalize(&history)
+                .unwrap();
+            assert_eq!(original.statements(), history.statements());
+            positions = p;
+            variants.push(modified);
+        }
+        let group = data_slicing_conditions_multi(&history, &variants, &positions).unwrap();
+        assert_eq!(
+            group.original, group.modified,
+            "group conditions are symmetric"
+        );
+
+        let schema = db.relation("Order").unwrap().schema.clone();
+        let cond = group.original_for("Order");
+        for (v, variant) in variants.iter().enumerate() {
+            // The group condition keeps at least every tuple the member's own
+            // conditions keep.
+            let own = data_slicing_conditions(&history, variant, &positions).unwrap();
+            let rel = db.relation("Order").unwrap();
+            for t in rel.iter() {
+                let bind = TupleBindings::new(&rel.schema, t);
+                let own_keeps = eval_condition(&own.original_for("Order"), &bind).unwrap()
+                    || eval_condition(&own.modified_for("Order"), &bind).unwrap();
+                if own_keeps {
+                    assert!(
+                        eval_condition(&cond, &bind).unwrap(),
+                        "group condition dropped a tuple member {v} needs"
+                    );
+                }
+            }
+            // Symmetrically applied, the member's delta is unchanged.
+            let sliced_orig = apply_data_slicing(&history, "Order", &schema, &cond);
+            let sliced_mod = apply_data_slicing(variant, "Order", &schema, &cond);
+            let delta = mahif_history::RelationDelta::compute(
+                "Order",
+                &evaluate(&sliced_orig, &db).unwrap(),
+                &evaluate(&sliced_mod, &db).unwrap(),
+            );
+            let reference = HistoricalWhatIf::new(
+                history.clone(),
+                db.clone(),
+                ModificationSet::single_replace(0, make(thresholds[v])),
+            )
+            .answer_by_direct_execution()
+            .unwrap();
+            assert_eq!(
+                delta.tuples,
+                reference.relation("Order").unwrap().tuples,
+                "member {v} answer changed under the group condition"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_conditions_reject_empty_groups() {
+        let h = History::new(running_example_history());
+        assert!(matches!(
+            data_slicing_conditions_multi::<History>(&h, &[], &[0]),
+            Err(SlicingError::EmptyScenarioGroup)
         ));
     }
 

@@ -30,10 +30,16 @@ pub mod groups;
 pub mod multi;
 pub mod program;
 
-pub use data::{apply_data_slicing, data_slicing_conditions, DataSlicingConditions};
+pub use data::{
+    apply_data_slicing, data_slicing_conditions, data_slicing_conditions_multi,
+    DataSlicingConditions,
+};
 pub use domains::domains_for_relation;
 pub use error::SlicingError;
 pub use greedy::{greedy_slice, GreedyConfig};
 pub use groups::{group_scenarios, ScenarioGroup, ScenarioGroups, SliceCache};
-pub use multi::program_slice_multi;
+pub use multi::{
+    program_slice_multi, program_slice_multi_with_context, refine_slice_for_variant,
+    SymbolicGroupContext,
+};
 pub use program::{program_slice, ProgramSliceResult, ProgramSlicingConfig};

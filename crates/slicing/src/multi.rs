@@ -38,6 +38,91 @@ use crate::program::{
     witness_satisfies, ProgramSliceResult, ProgramSlicingConfig, WITNESS_SAMPLES,
 };
 
+/// Per-relation solver inputs shared by a whole scenario group (and by every
+/// statement's check): attribute domains, the compressed-database constraint
+/// Φ_D and sampled concrete witness tuples.
+pub(crate) struct RelationContext {
+    pub(crate) domains: Vec<(String, Domain)>,
+    pub(crate) phi_d: Expr,
+    pub(crate) witnesses: Vec<MapBindings>,
+}
+
+pub(crate) fn build_relation_context(
+    database: &Database,
+    relation: &str,
+    config: &ProgramSlicingConfig,
+) -> Result<RelationContext, SlicingError> {
+    let rel = database.relation(relation)?;
+    let domains = domains_for_relation(rel, initial_var_name)?;
+    let phi_d = if config.skip_compression_constraint {
+        Expr::true_()
+    } else {
+        compress_relation(rel, &config.compression)
+    };
+    let stride = (rel.len() / WITNESS_SAMPLES).max(1);
+    let witnesses = rel
+        .iter()
+        .step_by(stride)
+        .take(WITNESS_SAMPLES)
+        .map(|t| {
+            let mut b = MapBindings::new();
+            for (idx, a) in rel.schema.attributes.iter().enumerate() {
+                if let Some(v) = t.value(idx) {
+                    b.set_var(initial_var_name(&a.name), v.clone());
+                }
+            }
+            b
+        })
+        .collect();
+    Ok(RelationContext {
+        domains,
+        phi_d,
+        witnesses,
+    })
+}
+
+/// The symbolic inputs of a scenario group's shared slicing pass, reusable
+/// across the group: for every relation the group's dependency test touched,
+/// the attribute domains of the single-tuple symbolic instance, the
+/// compressed-database constraint Φ_D and the sampled concrete witness
+/// tuples. The per-statement symbolic *trajectories* are re-derived from
+/// these inputs in milliseconds; the pieces cached here (domain scans, Φ_D
+/// compression, witness sampling) are the ones whose cost grows with the
+/// database.
+///
+/// Produced by [`program_slice_multi_with_context`]; consumed by
+/// [`refine_slice_for_variant`] so a member's cheap per-scenario refinement
+/// does not recompute the group's symbolic setup.
+#[derive(Default)]
+pub struct SymbolicGroupContext {
+    contexts: BTreeMap<String, RelationContext>,
+}
+
+impl SymbolicGroupContext {
+    /// Relations whose symbolic inputs are cached.
+    pub fn relations(&self) -> impl Iterator<Item = &str> {
+        self.contexts.keys().map(String::as_str)
+    }
+
+    /// Number of cached relations.
+    pub fn len(&self) -> usize {
+        self.contexts.len()
+    }
+
+    /// True when no relation context is cached.
+    pub fn is_empty(&self) -> bool {
+        self.contexts.is_empty()
+    }
+}
+
+impl std::fmt::Debug for SymbolicGroupContext {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SymbolicGroupContext")
+            .field("relations", &self.contexts.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
 /// Computes a single program slice valid for *every* modified-history
 /// variant of a scenario group.
 ///
@@ -56,12 +141,88 @@ pub fn program_slice_multi<H: Borrow<History>>(
     database: &Database,
     config: &ProgramSlicingConfig,
 ) -> Result<ProgramSliceResult, SlicingError> {
+    program_slice_multi_with_context(original, variants, positions, database, config)
+        .map(|(slice, _)| slice)
+}
+
+/// Like [`program_slice_multi`], additionally returning the group's
+/// [`SymbolicGroupContext`] so per-member refinement
+/// ([`refine_slice_for_variant`]) can reuse the symbolic setup.
+pub fn program_slice_multi_with_context<H: Borrow<History>>(
+    original: &History,
+    variants: &[H],
+    positions: &[usize],
+    database: &Database,
+    config: &ProgramSlicingConfig,
+) -> Result<(ProgramSliceResult, SymbolicGroupContext), SlicingError> {
+    let variants: Vec<&History> = variants.iter().map(Borrow::borrow).collect();
+    multi_slice_impl(
+        original,
+        &variants,
+        positions,
+        database,
+        config,
+        &BTreeSet::new(),
+        None,
+    )
+}
+
+/// Refines a group's certified union slice down to one member's own slice,
+/// reusing the group's symbolic context.
+///
+/// The union slice keeps a statement when *any* member needs it; a member
+/// whose own dependency set is much smaller still reenacts the union. This
+/// runs the single-variant dependency test seeded with the union's
+/// exclusions: statements the union already excluded are excluded for every
+/// member by the shared certificate (`UNSAT` of the disjunction implies
+/// `UNSAT` of each disjunct), so only the statements the union *kept* are
+/// re-checked against this variant alone — with the per-relation domains,
+/// Φ_D and witness samples taken from `context` instead of being recomputed.
+///
+/// The result is answer-preserving for `variant` by the same cumulative
+/// certificate as [`crate::program_slice`]: the starting candidate (the
+/// union slice) is certified for this variant, and every further exclusion
+/// is checked against the candidate produced by the previous exclusions.
+pub fn refine_slice_for_variant(
+    original: &History,
+    variant: &History,
+    positions: &[usize],
+    database: &Database,
+    config: &ProgramSlicingConfig,
+    union: &ProgramSliceResult,
+    context: &SymbolicGroupContext,
+) -> Result<ProgramSliceResult, SlicingError> {
+    let seed: BTreeSet<usize> = union.excluded_positions.iter().copied().collect();
+    multi_slice_impl(
+        original,
+        &[variant],
+        positions,
+        database,
+        config,
+        &seed,
+        Some(context),
+    )
+    .map(|(slice, _)| slice)
+}
+
+/// The shared implementation of the group dependency test: computes the
+/// slice certified for every variant, starting from `seed_excluded`
+/// (positions already certified excludable for all variants) and reusing
+/// `shared_context` where it covers a relation.
+fn multi_slice_impl(
+    original: &History,
+    variants: &[&History],
+    positions: &[usize],
+    database: &Database,
+    config: &ProgramSlicingConfig,
+    seed_excluded: &BTreeSet<usize>,
+    shared_context: Option<&SymbolicGroupContext>,
+) -> Result<(ProgramSliceResult, SymbolicGroupContext), SlicingError> {
     let start = Instant::now();
     if variants.is_empty() {
         return Err(SlicingError::EmptyScenarioGroup);
     }
-    let variants: Vec<&History> = variants.iter().map(Borrow::borrow).collect();
-    for variant in &variants {
+    for variant in variants {
         if variant.len() != original.len() {
             return Err(SlicingError::HistoriesNotAligned {
                 original: original.len(),
@@ -70,38 +231,39 @@ pub fn program_slice_multi<H: Borrow<History>>(
         }
     }
     if positions.is_empty() {
-        return Ok(ProgramSliceResult {
-            kept_positions: Vec::new(),
-            excluded_positions: (0..original.len()).collect(),
-            solver_calls: 0,
-            duration: start.elapsed(),
-        });
+        return Ok((
+            ProgramSliceResult {
+                kept_positions: Vec::new(),
+                excluded_positions: (0..original.len()).collect(),
+                solver_calls: 0,
+                duration: start.elapsed(),
+            },
+            SymbolicGroupContext::default(),
+        ));
     }
 
     // Relations that can carry delta tuples for *any* variant.
     let mut affected: BTreeSet<String> = BTreeSet::new();
-    for variant in &variants {
+    for variant in variants {
         affected.extend(affected_relations(original, variant, positions));
     }
     let modified_set: BTreeSet<usize> = positions.iter().copied().collect();
     let solver = Solver::with_config(config.solver.clone());
 
-    // Per-relation solver inputs shared by the whole group (and by every
-    // statement's check): attribute domains, the compressed-database
-    // constraint Φ_D and sampled concrete witness tuples.
-    struct RelationContext {
-        domains: Vec<(String, Domain)>,
-        phi_d: Expr,
-        witnesses: Vec<MapBindings>,
-    }
     let mut contexts: BTreeMap<String, RelationContext> = BTreeMap::new();
 
     let mut kept = Vec::new();
     let mut excluded = Vec::new();
-    let mut excluded_set: BTreeSet<usize> = BTreeSet::new();
+    let mut excluded_set: BTreeSet<usize> = seed_excluded.clone();
     let mut solver_calls = 0usize;
 
     for (i, stmt) in original.statements().iter().enumerate() {
+        if excluded_set.contains(&i) {
+            // Seeded exclusion: already certified excludable for every
+            // variant (refinement starts from the union slice's candidate).
+            excluded.push(i);
+            continue;
+        }
         if modified_set.contains(&i) {
             kept.push(i);
             continue;
@@ -140,39 +302,14 @@ pub fn program_slice_multi<H: Borrow<History>>(
             continue;
         }
 
-        if !contexts.contains_key(&relation) {
-            let rel = database.relation(&relation)?;
-            let domains = domains_for_relation(rel, initial_var_name)?;
-            let phi_d = if config.skip_compression_constraint {
-                Expr::true_()
-            } else {
-                compress_relation(rel, &config.compression)
-            };
-            let stride = (rel.len() / WITNESS_SAMPLES).max(1);
-            let witnesses = rel
-                .iter()
-                .step_by(stride)
-                .take(WITNESS_SAMPLES)
-                .map(|t| {
-                    let mut b = MapBindings::new();
-                    for (idx, a) in rel.schema.attributes.iter().enumerate() {
-                        if let Some(v) = t.value(idx) {
-                            b.set_var(initial_var_name(&a.name), v.clone());
-                        }
-                    }
-                    b
-                })
-                .collect();
+        let shared = shared_context.and_then(|c| c.contexts.get(&relation));
+        if shared.is_none() && !contexts.contains_key(&relation) {
             contexts.insert(
                 relation.clone(),
-                RelationContext {
-                    domains,
-                    phi_d,
-                    witnesses,
-                },
+                build_relation_context(database, &relation, config)?,
             );
         }
-        let ctx = &contexts[&relation];
+        let ctx = shared.unwrap_or_else(|| &contexts[&relation]);
 
         // Trajectories: the original history's candidate and sliced
         // trajectories are shared; each variant contributes its own pair,
@@ -279,12 +416,15 @@ pub fn program_slice_multi<H: Borrow<History>>(
         }
     }
 
-    Ok(ProgramSliceResult {
-        kept_positions: kept,
-        excluded_positions: excluded,
-        solver_calls,
-        duration: start.elapsed(),
-    })
+    Ok((
+        ProgramSliceResult {
+            kept_positions: kept,
+            excluded_positions: excluded,
+            solver_calls,
+            duration: start.elapsed(),
+        },
+        SymbolicGroupContext { contexts },
+    ))
 }
 
 #[cfg(test)]
@@ -411,6 +551,110 @@ mod tests {
         .unwrap();
         assert_eq!(single.kept_positions, multi.kept_positions);
         assert_eq!(single.excluded_positions, multi.excluded_positions);
+    }
+
+    #[test]
+    fn refinement_shrinks_to_the_member_slice_and_preserves_answers() {
+        // Append an update only the *low* thresholds interact with: the union
+        // slice of a mixed sweep must keep it, while refinement for a high
+        // threshold excludes it again.
+        let db = running_example_database();
+        let mut statements = running_example_history();
+        statements.push(Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(3)),
+            and(ge(attr("Price"), lit(30)), le(attr("Price"), lit(35))),
+        ));
+        let history = History::new(statements);
+        let thresholds = [32i64, 60];
+        let mut variants = Vec::new();
+        let mut positions = Vec::new();
+        for &t in &thresholds {
+            let mods = ModificationSet::single_replace(0, threshold_variant(t));
+            let (original, modified, p) = mods.normalize(&history).unwrap();
+            assert_eq!(original.statements(), history.statements());
+            positions = p;
+            variants.push(modified);
+        }
+        let (union, context) = program_slice_multi_with_context(
+            &history,
+            &variants,
+            &positions,
+            &db,
+            &ProgramSlicingConfig::default(),
+        )
+        .unwrap();
+        for (v, variant) in variants.iter().enumerate() {
+            let refined = refine_slice_for_variant(
+                &history,
+                variant,
+                &positions,
+                &db,
+                &ProgramSlicingConfig::default(),
+                &union,
+                &context,
+            )
+            .unwrap();
+            // Refinement never re-adds a union exclusion …
+            for p in &refined.kept_positions {
+                assert!(
+                    union.kept_positions.contains(p),
+                    "refined slice kept {p} which the union excluded"
+                );
+            }
+            // … and matches the member's own from-scratch slice here.
+            let own = crate::program_slice(
+                &history,
+                variant,
+                &positions,
+                &db,
+                &ProgramSlicingConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(refined.kept_positions, own.kept_positions, "variant {v}");
+            // The refined slice is answer-preserving for its member.
+            let left = history
+                .restrict(&refined.kept_positions)
+                .execute(&db)
+                .unwrap();
+            let right = variant
+                .restrict(&refined.kept_positions)
+                .execute(&db)
+                .unwrap();
+            let sliced_delta = mahif_history::DatabaseDelta::compute_for_relations(
+                &left,
+                &right,
+                &history.relations_accessed(),
+            );
+            let reference = HistoricalWhatIf::new(
+                history.clone(),
+                db.clone(),
+                ModificationSet::single_replace(0, threshold_variant(thresholds[v])),
+            )
+            .answer_by_direct_execution()
+            .unwrap();
+            assert_eq!(sliced_delta, reference, "variant {v} answer changed");
+        }
+        // The high threshold's refined slice is strictly smaller than the
+        // union: the low-price update interacts only with threshold 32.
+        let refined_high = refine_slice_for_variant(
+            &history,
+            &variants[1],
+            &positions,
+            &db,
+            &ProgramSlicingConfig::default(),
+            &union,
+            &context,
+        )
+        .unwrap();
+        assert!(
+            refined_high.kept_positions.len() < union.kept_positions.len(),
+            "expected refinement to shrink the union (union kept {:?}, refined kept {:?})",
+            union.kept_positions,
+            refined_high.kept_positions
+        );
+        assert!(!context.is_empty());
+        assert!(context.relations().any(|r| r == "Order"));
     }
 
     #[test]

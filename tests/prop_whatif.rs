@@ -164,6 +164,125 @@ proptest! {
         check_all_methods(&db, &statements, modifications)?;
     }
 
+    /// Grouped batches: k replacement scenarios at the *same* position form
+    /// one slice-sharing group answered via a group plan (shared original
+    /// reenactment, shared slice). Every member's delta must equal its
+    /// independent single-query answer under every method — including
+    /// histories containing inserts (the generator produces
+    /// `INSERT INTO R VALUES`), so the insert-split survives the
+    /// original-side caching. Also exercises the refinement ablation.
+    #[test]
+    fn grouped_batches_match_singles(
+        statements in arb_history(),
+        replacements in prop::collection::vec(arb_statement(), 2..5),
+        position_seed in 0usize..8,
+        values in prop::collection::vec(-20i64..60, 4..10),
+    ) {
+        let db = database(25, &values);
+        let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
+        let session =
+            Session::with_history("prop", db, history.clone()).expect("history executes");
+        let position = position_seed % statements.len();
+        let scenarios: Vec<(String, ModificationSet)> = replacements
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                (
+                    format!("s{i}"),
+                    ModificationSet::single_replace(position, r.to_statement()),
+                )
+            })
+            .collect();
+        // The expected grouping, derived from the same normalization the
+        // funnel uses: scenarios group when `(original, positions)` agree
+        // (replacing an insert with a different-kind statement pads the
+        // histories and lands in a different group than an insert-to-insert
+        // replacement, and a replacement equal to the original normalizes
+        // to no positions at all).
+        let normalized: Vec<mahif_history::NormalizedWhatIf> = scenarios
+            .iter()
+            .map(|(_, m)| {
+                let (original, modified, modified_positions) =
+                    m.normalize(&history).expect("normalizes");
+                mahif_history::NormalizedWhatIf {
+                    original,
+                    modified,
+                    modified_positions,
+                }
+            })
+            .collect();
+        let expected_groups = mahif_slicing::group_scenarios(&normalized);
+        let expected_reenactments = expected_groups
+            .groups
+            .iter()
+            .filter(|g| !g.positions.is_empty())
+            .count();
+        for method in Method::all() {
+            let batch = session
+                .on("prop")
+                .method(method)
+                .run_batch(scenarios.clone())
+                .expect("batch succeeds");
+            // One original reenactment per non-empty group (the single
+            // relation `R`), never one per scenario.
+            if method.uses_program_slicing() {
+                prop_assert_eq!(
+                    batch.stats.slice_groups,
+                    expected_groups.groups.len(),
+                    "statements {:?} replacements {:?} position {}",
+                    statements,
+                    replacements,
+                    position
+                );
+                prop_assert_eq!(
+                    batch.stats.original_reenactments,
+                    expected_reenactments,
+                    "statements {:?} replacements {:?} position {}",
+                    statements,
+                    replacements,
+                    position
+                );
+            }
+            for (name, mods) in &scenarios {
+                let single = session
+                    .on("prop")
+                    .modifications(mods.clone())
+                    .method(method)
+                    .run()
+                    .expect("single what-if succeeds")
+                    .into_answer();
+                prop_assert_eq!(
+                    &batch.get(name).unwrap().answer.delta,
+                    &single.delta,
+                    "scenario {} method {}",
+                    name,
+                    method.label()
+                );
+            }
+        }
+        // The refinement path answers identically too.
+        let refined = session
+            .on("prop")
+            .method(Method::ReenactPsDs)
+            .with_slice_refinement()
+            .run_batch(scenarios.clone())
+            .expect("refined batch succeeds");
+        for (name, mods) in &scenarios {
+            let single = session
+                .on("prop")
+                .modifications(mods.clone())
+                .run()
+                .expect("single what-if succeeds")
+                .into_answer();
+            prop_assert_eq!(
+                &refined.get(name).unwrap().answer.delta,
+                &single.delta,
+                "refined scenario {}",
+                name
+            );
+        }
+    }
+
     /// Two modifications at once (replace + delete).
     #[test]
     fn multiple_modifications_agree(

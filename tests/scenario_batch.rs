@@ -129,6 +129,135 @@ fn heterogeneous_batch_matches_singles_across_methods() {
     assert_eq!(batch.stats.shared_slice_hits, 1);
 }
 
+/// Batches over a history that *contains inserts* must survive the group
+/// plans' original-side caching: the insert-split of Section 10 reenacts the
+/// full suffix after each insert, and that shared original-side result must
+/// still be byte-identical to every member's own, for every method.
+#[test]
+fn insert_history_batches_match_singles_across_methods() {
+    use mahif_expr::Value;
+
+    let mut statements = running_example_history();
+    statements.push(Statement::insert_values(
+        "Order",
+        Tuple::new(vec![
+            Value::int(15),
+            Value::str("Eve"),
+            Value::str("UK"),
+            Value::int(55),
+            Value::int(7),
+        ]),
+    ));
+    statements.push(Statement::update(
+        "Order",
+        SetClause::single("ShippingFee", lit(1)),
+        ge(attr("Price"), lit(52)),
+    ));
+    let session = Session::with_history(
+        "retail",
+        running_example_database(),
+        History::new(statements),
+    )
+    .unwrap();
+    let mut set = ScenarioSet::over(&session, "retail");
+    // A slice-sharing sweep (one group) plus heterogeneous members that
+    // modify the history around the insert.
+    set.add_all(Scenario::sweep_replace_values(
+        "threshold",
+        0,
+        [48i64, 55, 60, 70],
+        |t| threshold(*t),
+    ))
+    .unwrap();
+    set.add(Scenario::new(
+        "drop-insert",
+        ModificationSet::new(vec![Modification::delete(3)]),
+    ))
+    .unwrap();
+    set.add(Scenario::new(
+        "late-update",
+        ModificationSet::single_replace(
+            4,
+            Statement::update(
+                "Order",
+                SetClause::single("ShippingFee", lit(2)),
+                ge(attr("Price"), lit(54)),
+            ),
+        ),
+    ))
+    .unwrap();
+    for method in Method::all() {
+        assert_batch_matches_singles(&session, "retail", &set, method);
+    }
+    // The sweep's group still shares one original-side reenactment, and the
+    // disable-insert-split ablation agrees too.
+    let batch = set.answer_all(Method::ReenactPsDs).unwrap();
+    assert_eq!(batch.stats.slice_groups, 3);
+    assert_eq!(batch.stats.original_reenactments, 3);
+    let no_split = set
+        .answer_all_configured(
+            Method::ReenactPsDs,
+            &BatchConfig {
+                engine: mahif::EngineConfig {
+                    disable_insert_split: true,
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    for (a, b) in batch.answers.iter().zip(&no_split.answers) {
+        assert_eq!(a.answer.delta, b.answer.delta, "{}", a.name);
+    }
+}
+
+/// An `INSERT ... SELECT` in the history flows scenario-dependent data into
+/// another relation; the group path must still match singles exactly.
+#[test]
+fn insert_query_history_batches_match_singles() {
+    use mahif_query::{ProjectItem, Query};
+    use mahif_storage::{Attribute as Attr, Relation as Rel, Schema as Sch};
+
+    let mut db = running_example_database();
+    let arch_schema = Sch::shared(
+        "Archive",
+        vec![
+            Attr::int("ID"),
+            Attr::str("Customer"),
+            Attr::str("Country"),
+            Attr::int("Price"),
+            Attr::int("ShippingFee"),
+        ],
+    );
+    db.add_relation(Rel::empty(arch_schema)).unwrap();
+    let mut statements = running_example_history();
+    statements.push(Statement::insert_query(
+        "Archive",
+        Query::project(
+            vec![
+                ProjectItem::identity("ID"),
+                ProjectItem::identity("Customer"),
+                ProjectItem::identity("Country"),
+                ProjectItem::identity("Price"),
+                ProjectItem::identity("ShippingFee"),
+            ],
+            Query::select(ge(attr("ShippingFee"), lit(5)), Query::scan("Order")),
+        ),
+    ));
+    let session = Session::with_history("retail", db, History::new(statements)).unwrap();
+    let mut set = ScenarioSet::over(&session, "retail");
+    set.add_all(Scenario::sweep_replace_values(
+        "threshold",
+        0,
+        [50i64, 55, 60],
+        |t| threshold(*t),
+    ))
+    .unwrap();
+    for method in Method::all() {
+        assert_batch_matches_singles(&session, "retail", &set, method);
+    }
+}
+
 /// The ablations (no slice sharing, single-threaded, greedy slicer) never
 /// change any delta.
 #[test]
@@ -147,6 +276,8 @@ fn batch_configurations_agree() {
         BatchConfig::default().without_slice_sharing(),
         BatchConfig::default().with_parallelism(1),
         BatchConfig::default().with_parallelism(3),
+        BatchConfig::default().without_group_reenactment(),
+        BatchConfig::default().with_slice_refinement(),
         BatchConfig {
             engine: mahif::EngineConfig {
                 use_greedy_slicer: true,

@@ -1,0 +1,307 @@
+//! `serve_load`: load-drives the HTTP serving layer and records
+//! throughput / latency percentiles to `BENCH_serve.json`.
+//!
+//! Starts an in-process `mahif-serve` server on an ephemeral port over a
+//! generated taxi workload, registers the history **over the wire**, then
+//! fires concurrent *mixed* batches (several batch sizes and methods, plus
+//! a deliberately over-budget body) from `mahif_workload::serve_load`
+//! clients. A second, deliberately overloaded run (capacity 1, queue 0)
+//! exercises the 429 shed path and records how much load was shed.
+//!
+//! ```text
+//! cargo run --release -p mahif-bench --bin serve_load            # full run
+//! cargo run --release -p mahif-bench --bin serve_load -- --quick # CI-sized
+//! cargo run --release -p mahif-bench --bin serve_load -- --out /tmp/x.json
+//! ```
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use mahif::Session;
+use mahif_history::{Modification, ModificationSet};
+use mahif_serve::{Json, ServeConfig, Server};
+use mahif_workload::serve_load::{http_post, run_load, LoadReport, LoadSpec};
+use mahif_workload::{Dataset, DatasetKind, GeneratedWorkload, WorkloadSpec};
+
+fn json_escape(s: &str) -> String {
+    Json::str(s).to_string()
+}
+
+/// Renders a modification set as the wire's 1-based what-if script.
+fn whatif_script(mods: &ModificationSet) -> String {
+    mods.modifications()
+        .iter()
+        .map(|m| match m {
+            Modification::Replace { position, new } => {
+                format!("REPLACE STATEMENT {} WITH {new}", position + 1)
+            }
+            Modification::Insert { position, new } => {
+                format!("INSERT STATEMENT AT {} {new}", position + 1)
+            }
+            Modification::Delete { position } => format!("DROP STATEMENT {}", position + 1),
+        })
+        .collect::<Vec<_>>()
+        .join("; ")
+}
+
+/// Renders the dataset + history as a `POST /histories/{name}` body.
+fn register_body(dataset: &Dataset, workload: &GeneratedWorkload) -> String {
+    let relations: Vec<Json> = dataset
+        .database
+        .iter()
+        .map(|(name, relation)| {
+            let attributes = relation
+                .schema
+                .attributes
+                .iter()
+                .map(|a| {
+                    Json::obj([
+                        ("name", Json::str(a.name.clone())),
+                        (
+                            "type",
+                            Json::str(match a.dtype {
+                                mahif_expr::DataType::Int => "int",
+                                mahif_expr::DataType::Str => "str",
+                                mahif_expr::DataType::Bool => "bool",
+                            }),
+                        ),
+                    ])
+                })
+                .collect();
+            let tuples = relation
+                .iter()
+                .map(|t| {
+                    Json::Arr(
+                        t.values
+                            .iter()
+                            .map(|v| match v {
+                                mahif_expr::Value::Int(i) => Json::Int(*i),
+                                mahif_expr::Value::Str(s) => Json::str(s.as_ref()),
+                                mahif_expr::Value::Bool(b) => Json::Bool(*b),
+                                mahif_expr::Value::Null => Json::Null,
+                            })
+                            .collect(),
+                    )
+                })
+                .collect();
+            Json::obj([
+                ("name", Json::str(name.clone())),
+                ("attributes", Json::Arr(attributes)),
+                ("tuples", Json::Arr(tuples)),
+            ])
+        })
+        .collect();
+    let history = workload
+        .history
+        .statements()
+        .iter()
+        .map(|s| Json::str(s.to_string()))
+        .collect();
+    Json::obj([
+        ("relations", Json::Arr(relations)),
+        ("history", Json::Arr(history)),
+    ])
+    .to_string()
+}
+
+/// One batch body: `k` sweep variants under `method`, optionally budgeted.
+fn batch_body(
+    workload: &GeneratedWorkload,
+    k: usize,
+    method: &str,
+    budget: Option<&str>,
+) -> String {
+    let scenarios = workload
+        .sweep_variants(k)
+        .iter()
+        .map(|(name, mods)| {
+            format!(
+                r#"{{"name": {}, "whatif": {}}}"#,
+                json_escape(name),
+                json_escape(&whatif_script(mods))
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    match budget {
+        Some(budget) => {
+            format!(r#"{{"method": "{method}", "scenarios": [{scenarios}], "budget": {budget}}}"#)
+        }
+        None => format!(r#"{{"method": "{method}", "scenarios": [{scenarios}]}}"#),
+    }
+}
+
+fn ms(d: Duration) -> f64 {
+    (d.as_secs_f64() * 1e5).round() / 1e2
+}
+
+fn report_json(report: &LoadReport, spec: &LoadSpec) -> Json {
+    Json::obj([
+        ("clients", Json::Int(spec.clients as i64)),
+        (
+            "requests_per_client",
+            Json::Int(spec.requests_per_client as i64),
+        ),
+        ("requests", Json::Int(report.requests as i64)),
+        ("ok", Json::Int(report.ok as i64)),
+        ("shed_429", Json::Int(report.shed as i64)),
+        ("over_budget_422", Json::Int(report.over_budget as i64)),
+        ("failed", Json::Int(report.failed as i64)),
+        ("wall_clock_ms", Json::Float(ms(report.wall_clock))),
+        (
+            "throughput_rps",
+            Json::Float((report.throughput_rps * 100.0).round() / 100.0),
+        ),
+        ("p50_ms", Json::Float(ms(report.latency.p50))),
+        ("p90_ms", Json::Float(ms(report.latency.p90))),
+        ("p99_ms", Json::Float(ms(report.latency.p99))),
+        ("max_ms", Json::Float(ms(report.latency.max))),
+        ("mean_ms", Json::Float(ms(report.latency.mean))),
+    ])
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+        .unwrap_or("BENCH_serve.json")
+        .to_string();
+
+    let rows = if quick { 300 } else { 2_000 };
+    let (clients, requests_per_client) = if quick { (4, 4) } else { (6, 10) };
+    let dataset = Dataset::generate(DatasetKind::Taxi, rows, 11);
+    let workload = WorkloadSpec::default()
+        .with_updates(12)
+        .with_seed(7)
+        .generate(&dataset);
+
+    // --- Phase 1: a normally-provisioned server under mixed load. -------
+    let server = Server::bind(Arc::new(Session::new()), ServeConfig::default())
+        .expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr().to_string();
+
+    let reply = http_post(
+        &addr,
+        "/histories/taxi",
+        &register_body(&dataset, &workload),
+    )
+    .expect("registration request");
+    assert_eq!(reply.status, 201, "registration failed: {}", reply.body);
+    println!("registered taxi workload over the wire: {}", reply.body);
+
+    // The mixed request list: sweep batches of several sizes and methods,
+    // plus one over-budget body (shed by the budget, not the server).
+    let mix: Vec<(String, String)> = vec![
+        batch_body(&workload, 1, "R+PS+DS", None),
+        batch_body(&workload, 4, "R+PS+DS", None),
+        batch_body(&workload, 8, "R+PS+DS", None),
+        batch_body(&workload, 4, "R+DS", None),
+        batch_body(&workload, 2, "R", None),
+        batch_body(&workload, 4, "R+PS+DS", Some(r#"{"max_scenarios": 2}"#)),
+    ]
+    .into_iter()
+    .map(|body| ("/histories/taxi/batch".to_string(), body))
+    .collect();
+
+    // Warm up once so the measured run does not pay first-touch costs.
+    let warm = http_post(&addr, &mix[0].0, &mix[0].1).expect("warmup");
+    assert_eq!(warm.status, 200, "warmup failed: {}", warm.body);
+
+    let spec = LoadSpec {
+        clients,
+        requests_per_client,
+    };
+    let load = run_load(&addr, &mix, &spec);
+    println!(
+        "mixed load: {} requests, {} ok, {} over-budget, {} shed, {} failed, {:.1} req/s, p50 {:?}, p99 {:?}",
+        load.requests, load.ok, load.over_budget, load.shed, load.failed,
+        load.throughput_rps, load.latency.p50, load.latency.p99
+    );
+    assert_eq!(load.failed, 0, "no request may fail outright");
+    assert!(load.ok > 0, "the mixed load must answer something");
+    assert!(
+        load.over_budget > 0,
+        "the over-budget mix element must be rejected as 422"
+    );
+    let stats = handle.session().stats();
+    println!(
+        "session after load: {} requests, {} scenarios, {} slices computed, {} shared",
+        stats.requests, stats.scenarios_answered, stats.slices_computed, stats.slices_shared
+    );
+    handle.stop();
+
+    // --- Phase 2: a deliberately starved server; overload must shed. ----
+    let starved = Server::bind(
+        Arc::new(Session::new()),
+        ServeConfig {
+            max_in_flight_batches: 1,
+            max_queued_batches: 0,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let handle = starved.spawn().expect("spawn server");
+    let addr = handle.addr().to_string();
+    let reply = http_post(
+        &addr,
+        "/histories/taxi",
+        &register_body(&dataset, &workload),
+    )
+    .expect("registration request");
+    assert_eq!(reply.status, 201, "registration failed: {}", reply.body);
+    let heavy: Vec<(String, String)> = vec![(
+        "/histories/taxi/batch".to_string(),
+        batch_body(&workload, 8, "R+PS+DS", None),
+    )];
+    let overload_spec = LoadSpec {
+        clients: if quick { 4 } else { 6 },
+        requests_per_client: if quick { 3 } else { 6 },
+    };
+    let overload = run_load(&addr, &heavy, &overload_spec);
+    println!(
+        "overload: {} requests, {} ok, {} shed (429), {} failed",
+        overload.requests, overload.ok, overload.shed, overload.failed
+    );
+    assert_eq!(overload.failed, 0, "shedding must be clean 429s");
+    assert!(overload.ok > 0, "the slot holder must be answered");
+    handle.stop();
+
+    // --- Record. --------------------------------------------------------
+    let doc = Json::obj([
+        ("benchmark", Json::str("serve_load")),
+        (
+            "description",
+            Json::str(
+                "Concurrent mixed scenario batches over the mahif-serve HTTP layer (std-only \
+                 server, one connection per request on loopback). Phase 'load': default admission \
+                 (4 in-flight, queue 16) under a mix of batch sizes (k=1,4,8), methods (R+PS+DS, \
+                 R+DS, R), and one over-budget body answered 422. Phase 'overload': capacity 1, \
+                 queue 0 — excess load is shed as 429, never errors. Latencies are per-request \
+                 client-observed wall clock; throughput counts 2xx only.",
+            ),
+        ),
+        (
+            "workload",
+            Json::obj([
+                ("dataset", Json::str("Taxi")),
+                ("rows", Json::Int(rows as i64)),
+                ("history_updates", Json::Int(12)),
+                ("seed", Json::Int(7)),
+                (
+                    "registration",
+                    Json::str("over the wire (POST /histories/taxi)"),
+                ),
+                ("quick", Json::Bool(quick)),
+            ]),
+        ),
+        ("load", report_json(&load, &spec)),
+        ("overload", report_json(&overload, &overload_spec)),
+    ]);
+    std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_serve.json");
+    println!("wrote {out}");
+}

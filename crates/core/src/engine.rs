@@ -29,7 +29,7 @@ use mahif_slicing::{
 };
 use mahif_storage::{Database, Relation, VersionedDatabase};
 
-use crate::config::{EngineConfig, Method};
+use crate::config::{Deadline, EngineConfig, Method};
 use crate::error::MahifError;
 use crate::stats::{EngineStats, PhaseTimings, WhatIfAnswer};
 
@@ -152,7 +152,7 @@ pub fn answer_normalized(
     method: Method,
     config: &EngineConfig,
 ) -> Result<WhatIfAnswer, MahifError> {
-    let plan = GroupPlan::build(&[normalized], slice, versioned, method, config)?;
+    let plan = GroupPlan::build(&[normalized], slice, versioned, method, config, None)?;
     plan.answer_in_group(normalized, versioned)
 }
 
@@ -230,12 +230,20 @@ impl<'a> GroupPlan<'a> {
     /// answer-preserving for every member (a shared
     /// `program_slice_multi` slice, or any per-member slice for a
     /// singleton group).
+    ///
+    /// `deadline` is the request budget's armed wall clock (if any): the
+    /// plan's per-relation loop — the group's shared data slicing and
+    /// original-side reenactment — re-checks it between relations, so an
+    /// over-deadline batch fails fast with a structured
+    /// `ErrorKind::BudgetExceeded` instead of reenacting every relation
+    /// first.
     pub fn build(
         members: &[&'a NormalizedWhatIf],
         slice: &ProgramSliceResult,
         versioned: &VersionedDatabase,
         method: Method,
         config: &'a EngineConfig,
+        deadline: Option<Deadline>,
     ) -> Result<GroupPlan<'a>, MahifError> {
         let first = members
             .first()
@@ -348,6 +356,9 @@ impl<'a> GroupPlan<'a> {
         let start = Instant::now();
         let mut filtered_base: Vec<Option<Database>> = Vec::with_capacity(relations.len());
         for relation in &relations {
+            if let Some(deadline) = &deadline {
+                deadline.check()?;
+            }
             let cond = conditions.original_for(relation);
             if symmetric && !has_insert_query && !cond.is_true() {
                 let filtered = filter_relation(base_db.relation(relation)?, &cond)?;
@@ -363,6 +374,9 @@ impl<'a> GroupPlan<'a> {
         // whole group.
         let mut original_results = Vec::with_capacity(relations.len());
         for (relation, shadow) in relations.iter().zip(filtered_base.iter()) {
+            if let Some(deadline) = &deadline {
+                deadline.check()?;
+            }
             let schema = base_db.relation(relation)?.schema.clone();
             let (db, cond) = match shadow {
                 Some(shadow) => (shadow, Expr::true_()),
@@ -797,8 +811,15 @@ mod tests {
         )
         .unwrap();
         let config = EngineConfig::default();
-        let plan =
-            GroupPlan::build(&members, &slice, &versioned, Method::ReenactPsDs, &config).unwrap();
+        let plan = GroupPlan::build(
+            &members,
+            &slice,
+            &versioned,
+            Method::ReenactPsDs,
+            &config,
+            None,
+        )
+        .unwrap();
         assert_eq!(plan.group_size(), 4);
         assert_eq!(
             plan.original_reenactments(),
@@ -846,7 +867,8 @@ mod tests {
             &ProgramSliceResult::keep_all(3),
             &versioned,
             Method::ReenactPsDs,
-            &config
+            &config,
+            None
         )
         .is_err());
         let mods = ModificationSet::default();
@@ -859,6 +881,7 @@ mod tests {
             &versioned,
             Method::ReenactPsDs,
             &config,
+            None,
         )
         .unwrap();
         assert_eq!(plan.original_reenactments(), 0);

@@ -8,6 +8,7 @@
 //! offending scenario and registered history.
 
 use std::fmt;
+use std::time::Duration;
 
 use mahif_expr::ExprError;
 use mahif_history::HistoryError;
@@ -25,6 +26,9 @@ pub enum Phase {
     Register,
     /// Building the request (parsing what-if SQL, resolving names).
     Build,
+    /// Admitting the request (validating scenarios against the session's
+    /// registry and the request [`crate::Budget`], before any engine work).
+    Admission,
     /// Normalizing modifications against the registered history.
     Normalize,
     /// Program slicing (symbolic execution + solver).
@@ -40,12 +44,62 @@ impl fmt::Display for Phase {
         let label = match self {
             Phase::Register => "registration",
             Phase::Build => "request building",
+            Phase::Admission => "admission",
             Phase::Normalize => "normalization",
             Phase::ProgramSlicing => "program slicing",
             Phase::Execution => "execution",
             Phase::Impact => "impact analysis",
         };
         f.write_str(label)
+    }
+}
+
+/// Which limit of a [`crate::Budget`] a request exceeded, with the limit and
+/// the observed value — structured so serving layers can map the breach to a
+/// response (and clients can right-size their next request) without parsing
+/// message text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BudgetBreach {
+    /// The request carried more scenarios than `Budget::max_scenarios`.
+    Scenarios {
+        /// The configured limit.
+        limit: usize,
+        /// Scenarios the request carried.
+        requested: usize,
+    },
+    /// Planning spent more slicing solver calls than
+    /// `Budget::max_solver_calls`.
+    SolverCalls {
+        /// The configured limit.
+        limit: usize,
+        /// Solver calls the planning phase spent.
+        used: usize,
+    },
+    /// The wall-clock deadline of `Budget::deadline` passed.
+    Deadline {
+        /// The configured limit.
+        limit: Duration,
+        /// Elapsed wall-clock time when the breach was detected.
+        elapsed: Duration,
+    },
+}
+
+impl fmt::Display for BudgetBreach {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BudgetBreach::Scenarios { limit, requested } => write!(
+                f,
+                "request carries {requested} scenarios, over the budget of {limit}"
+            ),
+            BudgetBreach::SolverCalls { limit, used } => write!(
+                f,
+                "planning spent {used} solver calls, over the budget of {limit}"
+            ),
+            BudgetBreach::Deadline { limit, elapsed } => {
+                write!(f, "deadline of {limit:?} passed ({elapsed:?} elapsed)")
+            }
+        }
     }
 }
 
@@ -78,6 +132,10 @@ pub enum ErrorKind {
     UnknownMethod(String),
     /// A batch request carried no scenarios.
     EmptyRequest,
+    /// The request exceeded its [`crate::Budget`] (scenario count, solver
+    /// calls or deadline); the breach names the limit and the observed
+    /// value.
+    BudgetExceeded(BudgetBreach),
     /// A worker thread panicked while answering a scenario.
     WorkerPanicked,
 }
@@ -108,6 +166,7 @@ impl fmt::Display for ErrorKind {
                 )
             }
             ErrorKind::EmptyRequest => write!(f, "the request contains no scenarios"),
+            ErrorKind::BudgetExceeded(breach) => write!(f, "budget exceeded: {breach}"),
             ErrorKind::WorkerPanicked => write!(f, "worker thread panicked"),
         }
     }
@@ -243,6 +302,7 @@ mod tests {
         let phases = [
             Phase::Register,
             Phase::Build,
+            Phase::Admission,
             Phase::Normalize,
             Phase::ProgramSlicing,
             Phase::Execution,
@@ -251,6 +311,33 @@ mod tests {
         let labels: std::collections::BTreeSet<String> =
             phases.iter().map(|p| p.to_string()).collect();
         assert_eq!(labels.len(), phases.len());
+    }
+
+    #[test]
+    fn budget_breaches_render_limit_and_observed_value() {
+        let e = Error::new(ErrorKind::BudgetExceeded(BudgetBreach::Scenarios {
+            limit: 8,
+            requested: 12,
+        }))
+        .in_phase(Phase::Admission)
+        .on_history("retail");
+        let s = e.to_string();
+        assert!(s.contains("admission failed"), "{s}");
+        assert!(s.contains("budget exceeded"), "{s}");
+        assert!(s.contains("12 scenarios"), "{s}");
+        assert!(s.contains("budget of 8"), "{s}");
+
+        let e = Error::new(ErrorKind::BudgetExceeded(BudgetBreach::SolverCalls {
+            limit: 10,
+            used: 42,
+        }));
+        assert!(e.to_string().contains("42 solver calls"), "{e}");
+
+        let e = Error::new(ErrorKind::BudgetExceeded(BudgetBreach::Deadline {
+            limit: Duration::from_millis(5),
+            elapsed: Duration::from_millis(7),
+        }));
+        assert!(e.to_string().contains("deadline"), "{e}");
     }
 
     #[test]

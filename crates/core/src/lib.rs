@@ -111,9 +111,9 @@ pub mod response;
 pub mod session;
 pub mod stats;
 
-pub use config::{EngineConfig, Method};
+pub use config::{Budget, Deadline, EngineConfig, Method, RefinePolicy};
 pub use engine::{answer_normalized, answer_what_if, compute_program_slice, GroupPlan};
-pub use error::{Error, ErrorKind, MahifError, Phase};
+pub use error::{BudgetBreach, Error, ErrorKind, MahifError, Phase};
 pub use impact::{impact_of, GroupImpact, ImpactReport, ImpactSpec};
 #[allow(deprecated)]
 pub use mahif::Mahif;

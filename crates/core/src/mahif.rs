@@ -26,6 +26,11 @@ use crate::stats::WhatIfAnswer;
 #[derive(Debug, Clone)]
 pub struct Mahif {
     session: Session,
+    /// The shim's own handle to the registered state: `Session::history`
+    /// hands out shared `Arc` handles (the registry is concurrent), while
+    /// the shim's accessors return plain references — so it holds one
+    /// handle for its lifetime.
+    registered: std::sync::Arc<crate::session::RegisteredHistory>,
 }
 
 impl Mahif {
@@ -37,8 +42,13 @@ impl Mahif {
     /// chain (the deployment equivalent is a DBMS with time travel plus the
     /// statement log).
     pub fn new(initial: Database, history: History) -> Result<Self, MahifError> {
+        let session = Session::with_history(Self::HISTORY, initial, history)?;
+        let registered = session
+            .history(Self::HISTORY)
+            .expect("the shim registers its history at construction");
         Ok(Mahif {
-            session: Session::with_history(Self::HISTORY, initial, history)?,
+            session,
+            registered,
         })
     }
 
@@ -49,9 +59,7 @@ impl Mahif {
     }
 
     fn registered(&self) -> &crate::session::RegisteredHistory {
-        self.session
-            .history(Self::HISTORY)
-            .expect("the shim registers its history at construction")
+        &self.registered
     }
 
     /// The registered history.

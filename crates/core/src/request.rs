@@ -34,7 +34,7 @@
 
 use mahif_history::{Modification, ModificationSet, Statement};
 
-use crate::config::{EngineConfig, Method};
+use crate::config::{Budget, EngineConfig, Method, RefinePolicy};
 use crate::error::{Error, Phase};
 use crate::impact::ImpactSpec;
 use crate::response::Response;
@@ -236,12 +236,37 @@ impl<'s> WhatIfRequest<'s> {
         self
     }
 
-    /// Enables per-member slice refinement: a group member whose own slice
-    /// is smaller than the group's certified union slice is re-sliced
-    /// cheaply (reusing the group's symbolic context) and answered with the
-    /// smaller slice. See `EngineConfig::refine_slices`.
+    /// Forces per-member slice refinement for every multi-member group: a
+    /// group member whose own slice is smaller than the group's certified
+    /// union slice is re-sliced cheaply (reusing the group's symbolic
+    /// context) and answered with the smaller slice. This is the explicit
+    /// override over the default [`RefinePolicy::Auto`] cost model; see
+    /// `EngineConfig::refine`.
     pub fn with_slice_refinement(mut self) -> Self {
-        self.config.refine_slices = true;
+        self.config.refine = RefinePolicy::Always;
+        self
+    }
+
+    /// Disables per-member slice refinement entirely (the explicit opt-out
+    /// override over the default [`RefinePolicy::Auto`] cost model).
+    pub fn without_slice_refinement(mut self) -> Self {
+        self.config.refine = RefinePolicy::Never;
+        self
+    }
+
+    /// Sets the refinement policy directly (e.g. an [`RefinePolicy::Auto`]
+    /// with custom thresholds).
+    pub fn refine(mut self, policy: RefinePolicy) -> Self {
+        self.config.refine = policy;
+        self
+    }
+
+    /// Sets the request's resource [`Budget`] (scenario count, solver
+    /// calls, wall-clock deadline). An over-budget request fails fast with
+    /// a structured `ErrorKind::BudgetExceeded` in the admit or plan phase
+    /// instead of running away; see the [`crate::Session`] lifecycle docs.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.budget = budget;
         self
     }
 

@@ -37,7 +37,8 @@ pub struct BatchStats {
     pub original_reenactments: usize,
     /// Members of multi-scenario groups whose program slice was refined
     /// below the group's certified union slice (and answered with the
-    /// smaller slice). Only non-zero with `EngineConfig::refine_slices`.
+    /// smaller slice). Driven by `EngineConfig::refine` — the default
+    /// `RefinePolicy::Auto` cost model, or the explicit overrides.
     pub refined_slices: usize,
     /// The request's **deduplicated** slicing solver cost: satisfiability
     /// checks of each distinct program slice computed for the request —

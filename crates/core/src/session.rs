@@ -1,5 +1,5 @@
-//! The multi-history session: the middleware's long-lived public entry
-//! point.
+//! The multi-history session: the middleware's long-lived, shareable
+//! service core.
 //!
 //! A [`Session`] registers any number of **named** histories — each
 //! registration executes the history once to materialize the version chain
@@ -13,6 +13,30 @@
 //! [`Session::stats`] makes observable: `version_chains_built` stays at the
 //! number of registrations no matter how many requests run.
 //!
+//! ## Concurrency
+//!
+//! The session is a *shared* service core: `Session` is `Send + Sync`, the
+//! registry lives behind a `RwLock`, and **every** operation — including
+//! [`Session::register`] and [`Session::unregister`] — takes `&self`, so
+//! many threads can serve requests against one `Arc<Session>` while
+//! histories come and go. Requests hold no registry lock while executing
+//! (they clone out the registered history's `Arc` at admission), so a slow
+//! batch never blocks registration or other requests.
+//!
+//! ## Request lifecycle
+//!
+//! [`Session::execute`] runs an explicit three-phase lifecycle:
+//!
+//! 1. **Admit** — resolve the history, validate the scenario set and check
+//!    the request [`Budget`](crate::Budget)'s scenario limit; arm the wall-clock deadline.
+//! 2. **Plan** — normalize, group and slice the scenarios; an over-budget
+//!    solver bill or a passed deadline fails here, before execution.
+//! 3. **Execute** — build group plans and answer members on the worker
+//!    pool, re-checking the deadline between units of work.
+//!
+//! A breached budget reports a structured
+//! [`ErrorKind::BudgetExceeded`] naming the limit and the observed value.
+//!
 //! ```
 //! use mahif::{ImpactSpec, Method, Session};
 //! use mahif_history::statement::{
@@ -20,7 +44,7 @@
 //! };
 //! use mahif_history::History;
 //!
-//! let mut session = Session::new();
+//! let session = Session::new();
 //! session
 //!     .register(
 //!         "retail",
@@ -44,20 +68,19 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use mahif_history::{DeltaInterner, History, ModificationSet, NormalizedWhatIf, WhatIfRef};
 use mahif_slicing::{
     group_scenarios, program_slice_multi_with_context, refine_slice_for_variant,
-    ProgramSliceResult, SliceCache, SymbolicGroupContext,
+    ProgramSliceResult, ScenarioGroups, SliceCache, SymbolicGroupContext,
 };
 use mahif_storage::{Database, VersionedDatabase};
 
-use crate::config::Method;
+use crate::config::{Deadline, EngineConfig, Method};
 use crate::engine::{answer_normalized, answer_what_if, compute_program_slice, GroupPlan};
-use crate::error::{Error, ErrorKind, Phase};
+use crate::error::{BudgetBreach, Error, ErrorKind, Phase};
 use crate::pool::{collect_results, resolve_parallelism, run_indexed};
 use crate::request::{RequestParts, ScenarioSpec, WhatIfRequest};
 use crate::response::{BatchStats, Response, ScenarioResponse};
@@ -101,31 +124,60 @@ impl RegisteredHistory {
 
 /// Monotonic work counters of a session (interior mutability: answering
 /// borrows the session immutably).
+///
+/// One mutex guards all values: counters are only touched in whole-request
+/// (or whole-registration) commits and whole-set snapshots, so a snapshot
+/// can never observe half of a request's counters — also as fields grow.
+/// Committing is rare (once per request, not per scenario), so a plain
+/// mutex is the right tool; do not "optimize" individual counters into
+/// lock-free atomics, that would reintroduce torn snapshots. Lock order:
+/// registry lock (if held) strictly before this one.
 #[derive(Debug, Default)]
 struct Counters {
-    version_chains_built: AtomicU64,
-    requests: AtomicU64,
-    scenarios_answered: AtomicU64,
-    slices_computed: AtomicU64,
-    slices_shared: AtomicU64,
-    original_reenactments: AtomicU64,
-    refined_slices: AtomicU64,
-    delta_tuples_deduped: AtomicU64,
+    values: Mutex<CounterValues>,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct CounterValues {
+    version_chains_built: u64,
+    requests: u64,
+    scenarios_answered: u64,
+    slices_computed: u64,
+    slices_shared: u64,
+    original_reenactments: u64,
+    refined_slices: u64,
+    delta_tuples_deduped: u64,
+}
+
+impl Counters {
+    /// Applies one atomic multi-counter commit.
+    fn commit(&self, apply: impl FnOnce(&mut CounterValues)) {
+        apply(&mut self.values.lock().expect("counter lock poisoned"));
+    }
+
+    /// The single consistent read path over the counters: both
+    /// [`Session::stats`] and any serving layer's `/stats` endpoint go
+    /// through here, and only ever see whole committed requests.
+    fn snapshot(&self, histories: usize) -> SessionStats {
+        let v = *self.values.lock().expect("counter lock poisoned");
+        SessionStats {
+            histories,
+            version_chains_built: v.version_chains_built,
+            requests: v.requests,
+            scenarios_answered: v.scenarios_answered,
+            slices_computed: v.slices_computed,
+            slices_shared: v.slices_shared,
+            original_reenactments: v.original_reenactments,
+            refined_slices: v.refined_slices,
+            delta_tuples_deduped: v.delta_tuples_deduped,
+        }
+    }
 }
 
 impl Clone for Counters {
     fn clone(&self) -> Self {
         Counters {
-            version_chains_built: AtomicU64::new(self.version_chains_built.load(Ordering::Relaxed)),
-            requests: AtomicU64::new(self.requests.load(Ordering::Relaxed)),
-            scenarios_answered: AtomicU64::new(self.scenarios_answered.load(Ordering::Relaxed)),
-            slices_computed: AtomicU64::new(self.slices_computed.load(Ordering::Relaxed)),
-            slices_shared: AtomicU64::new(self.slices_shared.load(Ordering::Relaxed)),
-            original_reenactments: AtomicU64::new(
-                self.original_reenactments.load(Ordering::Relaxed),
-            ),
-            refined_slices: AtomicU64::new(self.refined_slices.load(Ordering::Relaxed)),
-            delta_tuples_deduped: AtomicU64::new(self.delta_tuples_deduped.load(Ordering::Relaxed)),
+            values: Mutex::new(*self.values.lock().expect("counter lock poisoned")),
         }
     }
 }
@@ -156,7 +208,7 @@ pub struct SessionStats {
     /// `scenarios × relations` — the observable once-per-group guarantee.
     pub original_reenactments: u64,
     /// Group members whose slice was refined below the group's union slice
-    /// (see `EngineConfig::refine_slices`).
+    /// (see `EngineConfig::refine`).
     pub refined_slices: u64,
     /// Annotated delta tuples deduplicated across batch answers (identical
     /// relation deltas stored once; see `mahif_history::DeltaInterner`).
@@ -164,11 +216,95 @@ pub struct SessionStats {
 }
 
 /// The Mahif middleware session: registers named histories once and answers
-/// many what-if requests against them. See the [module docs](self).
-#[derive(Debug, Clone, Default)]
+/// many what-if requests against them, from any number of threads sharing
+/// one `Arc<Session>`. See the [module docs](self).
+#[derive(Debug, Default)]
 pub struct Session {
-    histories: Vec<RegisteredHistory>,
+    histories: RwLock<Vec<Arc<RegisteredHistory>>>,
     counters: Counters,
+}
+
+// The whole point of the service core: one `Arc<Session>` shared across
+// threads. Compile-time regression guard.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Session>();
+};
+
+impl Clone for Session {
+    /// Clones the session *state*: the registered histories (shared via
+    /// `Arc`, not re-executed) and a snapshot of the counters. The clone is
+    /// an independent session — later registrations and requests on one are
+    /// not visible on the other.
+    fn clone(&self) -> Self {
+        Session {
+            histories: RwLock::new(self.registry().clone()),
+            counters: self.counters.clone(),
+        }
+    }
+}
+
+/// A request admitted for execution: the resolved history plus the
+/// validated scenario set and the armed deadline. Phase 1 of the lifecycle.
+struct AdmittedRequest {
+    total_start: Instant,
+    registered: Arc<RegisteredHistory>,
+    history: String,
+    scenarios: Vec<ScenarioSpec>,
+    method: Method,
+    config: EngineConfig,
+    threads: usize,
+    no_slice_sharing: bool,
+    impact: Option<crate::impact::ImpactSpec>,
+    deadline: Option<Deadline>,
+}
+
+impl AdmittedRequest {
+    /// Stamps request context onto a scenario-scoped error.
+    fn context(&self, e: Error, phase: Phase, scenario: &ScenarioSpec) -> Error {
+        e.in_phase(phase)
+            .for_scenario(scenario.name().to_string())
+            .on_history(self.history.clone())
+    }
+
+    /// Stamps request context onto a group-scoped error. Shared work is
+    /// computed for the whole group at once, so the error names every
+    /// member rather than guessing one.
+    fn group_context(&self, e: Error, phase: Phase, groups: &ScenarioGroups, g: usize) -> Error {
+        let members = groups.groups[g]
+            .members
+            .iter()
+            .map(|&i| self.scenarios[i].name())
+            .collect::<Vec<_>>()
+            .join(", ");
+        e.in_phase(phase)
+            .for_scenario(members)
+            .on_history(self.history.clone())
+    }
+
+    /// Errors if the request's deadline has passed, stamping `phase`.
+    fn check_deadline(&self, phase: Phase) -> Result<(), Error> {
+        match &self.deadline {
+            Some(deadline) => deadline
+                .check()
+                .map_err(|e| e.in_phase(phase).on_history(self.history.clone())),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The planned work of an admitted request. Phase 2 of the lifecycle: for
+/// reenactment methods this owns the normalization, grouping and (possibly
+/// refined) program slices; the naïve method has nothing to precompute.
+enum PlannedWork {
+    Naive,
+    Reenact {
+        normalized: Vec<NormalizedWhatIf>,
+        groups: ScenarioGroups,
+        slices: Vec<Arc<ProgramSliceResult>>,
+        refined: Vec<Option<Arc<ProgramSliceResult>>>,
+        share: bool,
+    },
 }
 
 impl Session {
@@ -183,40 +319,79 @@ impl Session {
         initial: Database,
         history: History,
     ) -> Result<Self, Error> {
-        let mut session = Session::new();
+        let session = Session::new();
         session.register(name, initial, history)?;
         Ok(session)
     }
 
+    /// A snapshot of the current registry (read lock scope helper).
+    fn registry(&self) -> std::sync::RwLockReadGuard<'_, Vec<Arc<RegisteredHistory>>> {
+        self.histories.read().expect("history registry poisoned")
+    }
+
     /// Registers a database and the transactional history that was executed
     /// over it under `name`. The history is executed once to materialize
-    /// the version chain; every later request borrows that chain.
+    /// the version chain; every later request borrows that chain. Takes
+    /// `&self`: registration is a concurrent service operation, safe from
+    /// any thread sharing the session.
     pub fn register(
-        &mut self,
+        &self,
         name: impl Into<String>,
         initial: Database,
         history: History,
-    ) -> Result<&mut Self, Error> {
+    ) -> Result<&Self, Error> {
         let name = name.into();
-        if self.histories.iter().any(|h| h.name == name) {
-            return Err(Error::new(ErrorKind::DuplicateHistory(name.clone()))
+        let duplicate = |name: String| {
+            Error::new(ErrorKind::DuplicateHistory(name.clone()))
                 .in_phase(Phase::Register)
-                .on_history(name));
+                .on_history(name)
+        };
+        // Cheap pre-check under the read lock: an already-taken name must
+        // not pay for materializing a version chain it will then discard.
+        if self.registry().iter().any(|h| h.name == name) {
+            return Err(duplicate(name));
         }
+        // Materialize the version chain outside the registry lock — it is
+        // the expensive part, and other threads' requests must not stall on
+        // it. The authoritative duplicate check runs again under the write
+        // lock, so two racing registrations of one name still resolve to
+        // exactly one winner.
         let versioned = history.execute_versioned(&initial).map_err(|e| {
             Error::from(e)
                 .in_phase(Phase::Register)
                 .on_history(name.clone())
         })?;
-        self.counters
-            .version_chains_built
-            .fetch_add(1, Ordering::Relaxed);
-        self.histories.push(RegisteredHistory {
+        let mut histories = self.histories.write().expect("history registry poisoned");
+        if histories.iter().any(|h| h.name == name) {
+            return Err(duplicate(name));
+        }
+        histories.push(Arc::new(RegisteredHistory {
             name,
             history,
             versioned,
-        });
+        }));
+        // Commit the counter while still holding the registry write lock so
+        // a concurrent `stats()` sees the new history and its version chain
+        // together (see `Counters`).
+        self.counters.commit(|c| c.version_chains_built += 1);
         Ok(self)
+    }
+
+    /// Removes the history registered under `name`. In-flight requests
+    /// against it finish normally (they hold their own `Arc` to the
+    /// registered state); requests admitted afterwards report
+    /// [`ErrorKind::UnknownHistory`].
+    pub fn unregister(&self, name: &str) -> Result<(), Error> {
+        let mut histories = self.histories.write().expect("history registry poisoned");
+        match histories.iter().position(|h| h.name == name) {
+            Some(idx) => {
+                histories.remove(idx);
+                Ok(())
+            }
+            None => Err(Error::new(ErrorKind::UnknownHistory(name.to_string()))
+                .in_phase(Phase::Register)
+                .on_history(name.to_string())),
+        }
     }
 
     /// Starts a fluent what-if request against the history registered under
@@ -226,11 +401,14 @@ impl Session {
         WhatIfRequest::new(self, name.into())
     }
 
-    /// The registered history named `name`.
-    pub fn history(&self, name: &str) -> Result<&RegisteredHistory, Error> {
-        self.histories
+    /// The registered history named `name` (a shared handle: the registered
+    /// state stays alive while the handle does, even across a concurrent
+    /// [`Session::unregister`]).
+    pub fn history(&self, name: &str) -> Result<Arc<RegisteredHistory>, Error> {
+        self.registry()
             .iter()
             .find(|h| h.name == name)
+            .cloned()
             .ok_or_else(|| {
                 Error::new(ErrorKind::UnknownHistory(name.to_string()))
                     .in_phase(Phase::Build)
@@ -238,49 +416,57 @@ impl Session {
             })
     }
 
-    /// The registered histories, in registration order.
-    pub fn histories(&self) -> impl Iterator<Item = &RegisteredHistory> {
-        self.histories.iter()
+    /// The registered histories at this moment, in registration order.
+    pub fn histories(&self) -> Vec<Arc<RegisteredHistory>> {
+        self.registry().clone()
     }
 
     /// Number of registered histories.
     pub fn len(&self) -> usize {
-        self.histories.len()
+        self.registry().len()
     }
 
     /// True when no history is registered.
     pub fn is_empty(&self) -> bool {
-        self.histories.is_empty()
+        self.registry().is_empty()
     }
 
-    /// A snapshot of the session's lifetime work counters.
+    /// A consistent snapshot of the session's lifetime work counters: the
+    /// one read path over the counters (serving layers expose exactly this
+    /// snapshot), serialized against counter commits so it never reflects a
+    /// half-committed request.
     pub fn stats(&self) -> SessionStats {
-        SessionStats {
-            histories: self.histories.len(),
-            version_chains_built: self.counters.version_chains_built.load(Ordering::Relaxed),
-            requests: self.counters.requests.load(Ordering::Relaxed),
-            scenarios_answered: self.counters.scenarios_answered.load(Ordering::Relaxed),
-            slices_computed: self.counters.slices_computed.load(Ordering::Relaxed),
-            slices_shared: self.counters.slices_shared.load(Ordering::Relaxed),
-            original_reenactments: self.counters.original_reenactments.load(Ordering::Relaxed),
-            refined_slices: self.counters.refined_slices.load(Ordering::Relaxed),
-            delta_tuples_deduped: self.counters.delta_tuples_deduped.load(Ordering::Relaxed),
-        }
+        let histories = self.registry();
+        self.counters.snapshot(histories.len())
     }
 
-    /// Executes a request. This is the single funnel every public entry
-    /// point goes through — `run()`, `run_batch(..)`, the deprecated
-    /// [`crate::Mahif`] shim and `mahif-scenario`'s `ScenarioSet` all end
-    /// here, so batch optimizations reach single queries and vice versa.
+    /// Executes a request through the explicit three-phase lifecycle
+    /// (admit → plan → execute; see the [module docs](self)). This is the
+    /// single funnel every public entry point goes through — `run()`,
+    /// `run_batch(..)`, the deprecated [`crate::Mahif`] shim,
+    /// `mahif-scenario`'s `ScenarioSet` and any serving layer all end here,
+    /// so batch optimizations and budget enforcement reach every entry
+    /// point.
     pub fn execute(&self, request: WhatIfRequest<'_>) -> Result<Response, Error> {
         let parts = request.into_parts()?;
-        self.execute_parts(parts)
+        let admitted = self.admit(parts)?;
+        let mut stats = BatchStats {
+            scenarios: admitted.scenarios.len(),
+            threads: admitted.threads,
+            ..Default::default()
+        };
+        let planned = self.plan(&admitted, &mut stats)?;
+        self.execute_planned(admitted, planned, stats)
     }
 
-    fn execute_parts(&self, parts: RequestParts) -> Result<Response, Error> {
+    /// Phase 1: admission. Resolves the history, validates the scenario
+    /// set, enforces the budget's scenario limit and arms the deadline —
+    /// all before any engine work, so an inadmissible request is rejected
+    /// in O(k).
+    fn admit(&self, parts: RequestParts) -> Result<AdmittedRequest, Error> {
         let total_start = Instant::now();
         let RequestParts {
-            history: history_name,
+            history,
             scenarios,
             method,
             config,
@@ -288,282 +474,373 @@ impl Session {
             no_slice_sharing,
             impact,
         } = parts;
-        let registered = self.history(&history_name)?;
+        let registered = self.history(&history)?;
         if scenarios.is_empty() {
             return Err(Error::new(ErrorKind::EmptyRequest)
-                .in_phase(Phase::Build)
-                .on_history(history_name));
+                .in_phase(Phase::Admission)
+                .on_history(history));
+        }
+        // The scenario-count budget comes before the quadratic duplicate
+        // scan: an over-budget request must be rejected in O(1), not after
+        // O(k²) name comparisons over the very payload the budget exists
+        // to bound.
+        if let Some(limit) = config.budget.max_scenarios {
+            if scenarios.len() > limit {
+                return Err(
+                    Error::new(ErrorKind::BudgetExceeded(BudgetBreach::Scenarios {
+                        limit,
+                        requested: scenarios.len(),
+                    }))
+                    .in_phase(Phase::Admission)
+                    .on_history(history),
+                );
+            }
         }
         for (i, s) in scenarios.iter().enumerate() {
             if scenarios[..i].iter().any(|other| other.name() == s.name()) {
                 return Err(
                     Error::new(ErrorKind::DuplicateScenario(s.name().to_string()))
-                        .in_phase(Phase::Build)
+                        .in_phase(Phase::Admission)
                         .for_scenario(s.name().to_string())
-                        .on_history(history_name),
+                        .on_history(history),
                 );
             }
         }
         let threads = resolve_parallelism(parallelism, scenarios.len());
-        let mut stats = BatchStats {
-            scenarios: scenarios.len(),
+        let deadline = config.budget.start_clock();
+        Ok(AdmittedRequest {
+            total_start,
+            registered,
+            history,
+            scenarios,
+            method,
+            config,
             threads,
-            ..Default::default()
-        };
+            no_slice_sharing,
+            impact,
+            deadline,
+        })
+    }
 
-        let context = |e: Error, phase: Phase, scenario: &ScenarioSpec| {
-            e.in_phase(phase)
-                .for_scenario(scenario.name().to_string())
-                .on_history(history_name.clone())
-        };
-
-        let answers: Vec<WhatIfAnswer> = if method == Method::Naive {
+    /// Phase 2: planning. Normalizes, groups and slices the scenarios (for
+    /// reenactment methods), refines member slices per the configured
+    /// [`crate::RefinePolicy`], and enforces the budget's solver-call limit
+    /// and deadline — an over-budget batch fails here, before execution
+    /// spends anything.
+    fn plan(&self, req: &AdmittedRequest, stats: &mut BatchStats) -> Result<PlannedWork, Error> {
+        if req.method == Method::Naive {
             // The naïve algorithm re-executes the modified history over a
-            // copy of the pre-history state; nothing is shareable beyond
-            // the registered states, so scenarios just run in parallel.
-            let exec_start = Instant::now();
-            let answers = self.run_pool(threads, &scenarios, |i| {
+            // copy of the pre-history state; nothing is plannable beyond
+            // the registered states.
+            return Ok(PlannedWork::Naive);
+        }
+        let AdmittedRequest {
+            registered,
+            scenarios,
+            method,
+            config,
+            threads,
+            no_slice_sharing,
+            ..
+        } = req;
+        let (method, threads) = (*method, *threads);
+
+        // Normalize once per scenario and group scenarios that can share a
+        // program slice.
+        let normalize_start = Instant::now();
+        let normalized = scenarios
+            .iter()
+            .map(|s| {
                 let query = WhatIfRef::new(
                     &registered.history,
                     registered.versioned.initial(),
-                    scenarios[i].modifications(),
+                    s.modifications(),
                 );
-                answer_what_if(
-                    query,
-                    &registered.versioned,
-                    registered.versioned.current(),
-                    method,
-                    &config,
+                query
+                    .normalize()
+                    .map_err(|e| req.context(Error::from(e), Phase::Normalize, s))
+            })
+            .collect::<Result<Vec<NormalizedWhatIf>, Error>>()?;
+        let groups = group_scenarios(&normalized);
+        stats.normalize = normalize_start.elapsed();
+        req.check_deadline(Phase::Normalize)?;
+
+        // One slice per group (shared), or one per scenario (single
+        // queries, ablation, or the greedy slicer whose certificates are
+        // pairwise only).
+        let slice_start = Instant::now();
+        let share = scenarios.len() > 1
+            && method.uses_program_slicing()
+            && !no_slice_sharing
+            && !config.use_greedy_slicer;
+        let (slices, contexts): (Vec<Arc<ProgramSliceResult>>, Vec<SymbolicGroupContext>) = if share
+        {
+            let computed = run_indexed(groups.groups.len(), threads, |g| {
+                let group = &groups.groups[g];
+                // Borrow each member's modified history from the
+                // normalization results instead of cloning it into the
+                // group.
+                let variants: Vec<&History> = group
+                    .members
+                    .iter()
+                    .map(|&i| &normalized[i].modified)
+                    .collect();
+                program_slice_multi_with_context(
+                    &group.original,
+                    &variants,
+                    &group.positions,
+                    registered.versioned.initial(),
+                    &config.slicing(),
                 )
-                .map_err(|e| context(e, Phase::Execution, &scenarios[i]))
-            })?;
-            stats.execution = exec_start.elapsed();
-            answers
+                .map(|(slice, ctx)| (Arc::new(slice), ctx))
+                .map_err(|e| req.group_context(Error::from(e), Phase::ProgramSlicing, &groups, g))
+            });
+            collect_results(computed)?.into_iter().unzip()
         } else {
-            // Normalize once per scenario and group scenarios that can
-            // share a program slice.
-            let normalize_start = Instant::now();
-            let normalized = scenarios
-                .iter()
-                .map(|s| {
+            let computed = run_indexed(normalized.len(), threads, |i| {
+                compute_program_slice(
+                    &normalized[i],
+                    registered.versioned.initial(),
+                    method,
+                    config,
+                )
+                .map(Arc::new)
+                .map_err(|e| req.context(e, Phase::ProgramSlicing, &scenarios[i]))
+            });
+            (collect_results(computed)?, Vec::new())
+        };
+        if share {
+            stats.slice_groups = groups.groups.len();
+            stats.shared_slice_hits = scenarios.len() - groups.groups.len();
+        } else {
+            stats.slice_groups = slices.len();
+        }
+        req.check_deadline(Phase::ProgramSlicing)?;
+
+        // Optional per-member refinement: shrink a member's slice below the
+        // certified union (reusing the group's symbolic context) and answer
+        // it solo with the smaller slice when refinement helps. The
+        // RefinePolicy decides per member — `Always`/`Never` are the
+        // explicit overrides, `Auto` applies the group-size / union-slice
+        // cost model. Refinement needs only the shared slices and their
+        // symbolic contexts, so it composes with
+        // `disable_group_reenactment`.
+        let refined: Vec<Option<Arc<ProgramSliceResult>>> = if share
+            && config.refine.considers_refinement()
+        {
+            let computed = run_indexed(scenarios.len(), threads, |i| {
+                let g = groups.scenario_group[i];
+                let group_size = groups.groups[g].members.len();
+                if group_size <= 1
+                    || !config
+                        .refine
+                        .should_refine(group_size, slices[g].kept_positions.len())
+                {
+                    return Ok(None);
+                }
+                req.check_deadline(Phase::ProgramSlicing)?;
+                refine_slice_for_variant(
+                    &normalized[i].original,
+                    &normalized[i].modified,
+                    &normalized[i].modified_positions,
+                    registered.versioned.initial(),
+                    &config.slicing(),
+                    &slices[g],
+                    &contexts[g],
+                )
+                .map(|r| {
+                    (r.kept_positions.len() < slices[g].kept_positions.len()).then(|| Arc::new(r))
+                })
+                .map_err(|e| req.context(Error::from(e), Phase::ProgramSlicing, &scenarios[i]))
+            });
+            collect_results(computed)?
+        } else {
+            vec![None; scenarios.len()]
+        };
+        stats.refined_slices = refined.iter().filter(|r| r.is_some()).count();
+        // The request's deduplicated slicing solver cost: each distinct
+        // slice counted once. Refinement solver calls are member work — a
+        // refined member re-reports them in its own answer (`shared_work`
+        // stays false) — so they are not added here; refinement
+        // *wall-clock* still falls inside `stats.slicing`, which times the
+        // phase, not member attributions.
+        stats.solver_calls = slices.iter().map(|s| s.solver_calls).sum::<usize>();
+        stats.slicing = slice_start.elapsed();
+        if let Some(limit) = config.budget.max_solver_calls {
+            if stats.solver_calls > limit {
+                return Err(
+                    Error::new(ErrorKind::BudgetExceeded(BudgetBreach::SolverCalls {
+                        limit,
+                        used: stats.solver_calls,
+                    }))
+                    .in_phase(Phase::ProgramSlicing)
+                    .on_history(req.history.clone()),
+                );
+            }
+        }
+        req.check_deadline(Phase::ProgramSlicing)?;
+
+        Ok(PlannedWork::Reenact {
+            normalized,
+            groups,
+            slices,
+            refined,
+            share,
+        })
+    }
+
+    /// Phase 3: execution. Builds group plans (the shared original-side
+    /// reenactment), answers every scenario on the worker pool — checking
+    /// the deadline between units of work — deduplicates deltas, computes
+    /// impact reports and commits the work counters.
+    fn execute_planned(
+        &self,
+        req: AdmittedRequest,
+        planned: PlannedWork,
+        mut stats: BatchStats,
+    ) -> Result<Response, Error> {
+        let registered = &req.registered;
+        let scenarios = &req.scenarios;
+        let (method, config, threads) = (req.method, &req.config, req.threads);
+
+        let answers: Vec<WhatIfAnswer> = match &planned {
+            PlannedWork::Naive => {
+                // Nothing is shareable beyond the registered states, so
+                // scenarios just run in parallel.
+                let exec_start = Instant::now();
+                let answers = self.run_pool(threads, scenarios, |i| {
+                    req.check_deadline(Phase::Execution)?;
                     let query = WhatIfRef::new(
                         &registered.history,
                         registered.versioned.initial(),
-                        s.modifications(),
+                        scenarios[i].modifications(),
                     );
-                    query
-                        .normalize()
-                        .map_err(|e| context(Error::from(e), Phase::Normalize, s))
-                })
-                .collect::<Result<Vec<NormalizedWhatIf>, Error>>()?;
-            let groups = group_scenarios(&normalized);
-            stats.normalize = normalize_start.elapsed();
+                    answer_what_if(
+                        query,
+                        &registered.versioned,
+                        registered.versioned.current(),
+                        method,
+                        config,
+                    )
+                    .map_err(|e| req.context(e, Phase::Execution, &scenarios[i]))
+                })?;
+                stats.execution = exec_start.elapsed();
+                answers
+            }
+            PlannedWork::Reenact {
+                normalized,
+                groups,
+                slices,
+                refined,
+                share,
+            } => {
+                // Group execution plans: the original-side reenactment is
+                // identical across a group's members, so compute it once
+                // per group and answer members against the cached results.
+                // Disabled for ablation (and as the pre-group-plan
+                // baseline) via `EngineConfig::disable_group_reenactment`.
+                let use_plans = *share && !config.disable_group_reenactment;
 
-            // One slice per group (shared), or one per scenario (single
-            // queries, ablation, or the greedy slicer whose certificates
-            // are pairwise only).
-            let group_error = |e: Error, phase: Phase, g: usize| {
-                // Shared work is computed for the whole group at once; name
-                // every member rather than guessing one.
-                let members = groups.groups[g]
-                    .members
-                    .iter()
-                    .map(|&i| scenarios[i].name())
-                    .collect::<Vec<_>>()
-                    .join(", ");
-                e.in_phase(phase)
-                    .for_scenario(members)
-                    .on_history(history_name.clone())
-            };
-            let slice_start = Instant::now();
-            let share = scenarios.len() > 1
-                && method.uses_program_slicing()
-                && !no_slice_sharing
-                && !config.use_greedy_slicer;
-            let (slices, contexts): (Vec<Arc<ProgramSliceResult>>, Vec<SymbolicGroupContext>) =
-                if share {
-                    let computed = run_indexed(groups.groups.len(), threads, |g| {
-                        let group = &groups.groups[g];
-                        // Borrow each member's modified history from the
-                        // normalization results instead of cloning it into
-                        // the group.
-                        let variants: Vec<&History> = group
+                if use_plans {
+                    // The execution phase covers plan building (the groups'
+                    // shared reenactment work) plus member answering.
+                    let exec_start = Instant::now();
+                    // Build plans only for groups with at least one member
+                    // that was not refined away; a fully refined group
+                    // would never use its plan's cached original-side
+                    // results.
+                    let needs_plan: Vec<bool> = groups
+                        .groups
+                        .iter()
+                        .map(|g| g.members.iter().any(|&i| refined[i].is_none()))
+                        .collect();
+                    let plan_results = run_indexed(groups.groups.len(), threads, |g| {
+                        if !needs_plan[g] {
+                            return Ok(None);
+                        }
+                        let members: Vec<&NormalizedWhatIf> = groups.groups[g]
                             .members
                             .iter()
-                            .map(|&i| &normalized[i].modified)
+                            .map(|&i| &normalized[i])
                             .collect();
-                        program_slice_multi_with_context(
-                            &group.original,
-                            &variants,
-                            &group.positions,
-                            registered.versioned.initial(),
-                            &config.slicing(),
-                        )
-                        .map(|(slice, ctx)| (Arc::new(slice), ctx))
-                        .map_err(|e| group_error(Error::from(e), Phase::ProgramSlicing, g))
-                    });
-                    collect_results(computed)?.into_iter().unzip()
-                } else {
-                    let computed = run_indexed(normalized.len(), threads, |i| {
-                        compute_program_slice(
-                            &normalized[i],
-                            registered.versioned.initial(),
-                            method,
-                            &config,
-                        )
-                        .map(Arc::new)
-                        .map_err(|e| context(e, Phase::ProgramSlicing, &scenarios[i]))
-                    });
-                    (collect_results(computed)?, Vec::new())
-                };
-            if share {
-                stats.slice_groups = groups.groups.len();
-                stats.shared_slice_hits = scenarios.len() - groups.groups.len();
-            } else {
-                stats.slice_groups = slices.len();
-            }
-            self.counters
-                .slices_computed
-                .fetch_add(stats.slice_groups as u64, Ordering::Relaxed);
-            self.counters
-                .slices_shared
-                .fetch_add(stats.shared_slice_hits as u64, Ordering::Relaxed);
-
-            // Group execution plans: the original-side reenactment is
-            // identical across a group's members, so compute it once per
-            // group and answer members against the cached results. Disabled
-            // for ablation (and as the pre-group-plan baseline) via
-            // `EngineConfig::disable_group_reenactment`.
-            let use_plans = share && !config.disable_group_reenactment;
-
-            // Optional per-member refinement: shrink a member's slice below
-            // the certified union (reusing the group's symbolic context) and
-            // answer it solo with the smaller slice when refinement helps.
-            // Refinement needs only the shared slices and their symbolic
-            // contexts, so it composes with `disable_group_reenactment`.
-            let refined: Vec<Option<Arc<ProgramSliceResult>>> = if share && config.refine_slices {
-                let computed = run_indexed(scenarios.len(), threads, |i| {
-                    let g = groups.scenario_group[i];
-                    if groups.groups[g].members.len() <= 1 {
-                        return Ok(None);
-                    }
-                    refine_slice_for_variant(
-                        &normalized[i].original,
-                        &normalized[i].modified,
-                        &normalized[i].modified_positions,
-                        registered.versioned.initial(),
-                        &config.slicing(),
-                        &slices[g],
-                        &contexts[g],
-                    )
-                    .map(|r| {
-                        (r.kept_positions.len() < slices[g].kept_positions.len())
-                            .then(|| Arc::new(r))
-                    })
-                    .map_err(|e| context(Error::from(e), Phase::ProgramSlicing, &scenarios[i]))
-                });
-                collect_results(computed)?
-            } else {
-                vec![None; scenarios.len()]
-            };
-            stats.refined_slices = refined.iter().filter(|r| r.is_some()).count();
-            // The request's deduplicated slicing solver cost: each distinct
-            // slice counted once. Refinement solver calls are member work —
-            // a refined member re-reports them in its own answer
-            // (`shared_work` stays false) — so they are not added here;
-            // refinement *wall-clock* still falls inside `stats.slicing`,
-            // which times the phase, not member attributions.
-            stats.solver_calls = slices.iter().map(|s| s.solver_calls).sum::<usize>();
-            stats.slicing = slice_start.elapsed();
-
-            if use_plans {
-                // The execution phase covers plan building (the groups'
-                // shared reenactment work) plus member answering.
-                let exec_start = Instant::now();
-                // Build plans only for groups with at least one member that
-                // was not refined away; a fully refined group would never
-                // use its plan's cached original-side results.
-                let needs_plan: Vec<bool> = groups
-                    .groups
-                    .iter()
-                    .map(|g| g.members.iter().any(|&i| refined[i].is_none()))
-                    .collect();
-                let plan_results = run_indexed(groups.groups.len(), threads, |g| {
-                    if !needs_plan[g] {
-                        return Ok(None);
-                    }
-                    let members: Vec<&NormalizedWhatIf> = groups.groups[g]
-                        .members
-                        .iter()
-                        .map(|&i| &normalized[i])
-                        .collect();
-                    GroupPlan::build(&members, &slices[g], &registered.versioned, method, &config)
-                        .map(Some)
-                        .map_err(|e| group_error(e, Phase::Execution, g))
-                });
-                let plans = collect_results(plan_results)?;
-                // Singleton groups fold their shared work into the member's
-                // own answer (exact single-query behavior), so only
-                // multi-member plans report shared work at the batch level.
-                stats.group_reenactment = plans
-                    .iter()
-                    .flatten()
-                    .filter(|p| p.group_size() > 1)
-                    .map(|p| p.shared_duration())
-                    .sum();
-                stats.original_reenactments = plans
-                    .iter()
-                    .flatten()
-                    .filter(|p| p.group_size() > 1)
-                    .map(|p| p.original_reenactments())
-                    .sum::<usize>();
-
-                let answers = self.run_pool(threads, &scenarios, |i| {
-                    match &refined[i] {
-                        // A refined member answers solo with its own smaller
-                        // slice (its original-side reenactment is over the
-                        // *refined* sliced history, so it cannot reuse the
-                        // plan's cached results).
-                        Some(slice) => answer_normalized(
-                            &normalized[i],
-                            slice,
+                        GroupPlan::build(
+                            &members,
+                            &slices[g],
                             &registered.versioned,
                             method,
-                            &config,
-                        ),
-                        None => plans[groups.scenario_group[i]]
-                            .as_ref()
-                            .expect("a plan is built for every group with unrefined members")
-                            .answer_in_group(&normalized[i], &registered.versioned),
-                    }
-                    .map_err(|e| context(e, Phase::Execution, &scenarios[i]))
-                })?;
-                stats.execution = exec_start.elapsed();
-                answers
-            } else {
-                let cache: Option<SliceCache> =
-                    share.then(|| SliceCache::new(&groups, slices.clone()));
-                let exec_start = Instant::now();
-                let answers = self.run_pool(threads, &scenarios, |i| {
-                    let slice = match (&refined[i], &cache) {
-                        // Refinement composes with the no-group-plan
-                        // ablation: a refined member still answers with its
-                        // smaller slice.
-                        (Some(refined), _) => Arc::clone(refined),
-                        (None, Some(cache)) => cache.slice_for(i),
-                        (None, None) => Arc::clone(&slices[i]),
-                    };
-                    answer_normalized(
-                        &normalized[i],
-                        &slice,
-                        &registered.versioned,
-                        method,
-                        &config,
-                    )
-                    .map_err(|e| context(e, Phase::Execution, &scenarios[i]))
-                })?;
-                stats.execution = exec_start.elapsed();
-                answers
+                            config,
+                            req.deadline,
+                        )
+                        .map(Some)
+                        .map_err(|e| req.group_context(e, Phase::Execution, groups, g))
+                    });
+                    let plans = collect_results(plan_results)?;
+                    // Singleton groups fold their shared work into the
+                    // member's own answer (exact single-query behavior), so
+                    // only multi-member plans report shared work at the
+                    // batch level.
+                    stats.group_reenactment = plans
+                        .iter()
+                        .flatten()
+                        .filter(|p| p.group_size() > 1)
+                        .map(|p| p.shared_duration())
+                        .sum();
+                    stats.original_reenactments = plans
+                        .iter()
+                        .flatten()
+                        .filter(|p| p.group_size() > 1)
+                        .map(|p| p.original_reenactments())
+                        .sum::<usize>();
+
+                    let answers = self.run_pool(threads, scenarios, |i| {
+                        req.check_deadline(Phase::Execution)?;
+                        match &refined[i] {
+                            // A refined member answers solo with its own
+                            // smaller slice (its original-side reenactment
+                            // is over the *refined* sliced history, so it
+                            // cannot reuse the plan's cached results).
+                            Some(slice) => answer_normalized(
+                                &normalized[i],
+                                slice,
+                                &registered.versioned,
+                                method,
+                                config,
+                            ),
+                            None => plans[groups.scenario_group[i]]
+                                .as_ref()
+                                .expect("a plan is built for every group with unrefined members")
+                                .answer_in_group(&normalized[i], &registered.versioned),
+                        }
+                        .map_err(|e| req.context(e, Phase::Execution, &scenarios[i]))
+                    })?;
+                    stats.execution = exec_start.elapsed();
+                    answers
+                } else {
+                    let cache: Option<SliceCache> =
+                        share.then(|| SliceCache::new(groups, slices.clone()));
+                    let exec_start = Instant::now();
+                    let answers = self.run_pool(threads, scenarios, |i| {
+                        req.check_deadline(Phase::Execution)?;
+                        let slice = match (&refined[i], &cache) {
+                            // Refinement composes with the no-group-plan
+                            // ablation: a refined member still answers with
+                            // its smaller slice.
+                            (Some(refined), _) => Arc::clone(refined),
+                            (None, Some(cache)) => cache.slice_for(i),
+                            (None, None) => Arc::clone(&slices[i]),
+                        };
+                        answer_normalized(
+                            &normalized[i],
+                            &slice,
+                            &registered.versioned,
+                            method,
+                            config,
+                        )
+                        .map_err(|e| req.context(e, Phase::Execution, &scenarios[i]))
+                    })?;
+                    stats.execution = exec_start.elapsed();
+                    answers
+                }
             }
         };
 
@@ -576,8 +853,8 @@ impl Session {
             .sum::<usize>();
 
         // Share the storage of identical answers across the batch (the
-        // base-plus-diff representation of a sweep's deltas): equal relation
-        // deltas collapse to one allocation, observably via
+        // base-plus-diff representation of a sweep's deltas): equal
+        // relation deltas collapse to one allocation, observably via
         // `delta_tuples_deduped`. Content equality is untouched. A single
         // answer has nothing to share, so the single-query hot path skips
         // the pass entirely.
@@ -591,39 +868,38 @@ impl Session {
 
         // Optional impact phase: reduce each delta to an aggregate report
         // with the metric baseline taken from the current state.
-        let reports = match &impact {
+        let reports = match &req.impact {
             None => vec![None; answers.len()],
             Some(spec) => answers
                 .iter()
-                .zip(&scenarios)
+                .zip(scenarios)
                 .map(|(answer, s)| {
                     answer
                         .impact(spec)
                         .and_then(|report| report.with_baseline(registered.current_state(), spec))
                         .map(Some)
-                        .map_err(|e| context(e, Phase::Impact, s))
+                        .map_err(|e| req.context(e, Phase::Impact, s))
                 })
                 .collect::<Result<Vec<_>, Error>>()?,
         };
 
-        // Count the work only once it actually succeeded, so `stats()` never
-        // reports failed requests as answered.
-        self.counters.requests.fetch_add(1, Ordering::Relaxed);
-        self.counters
-            .scenarios_answered
-            .fetch_add(scenarios.len() as u64, Ordering::Relaxed);
-        self.counters
-            .original_reenactments
-            .fetch_add(stats.original_reenactments as u64, Ordering::Relaxed);
-        self.counters
-            .refined_slices
-            .fetch_add(stats.refined_slices as u64, Ordering::Relaxed);
-        self.counters
-            .delta_tuples_deduped
-            .fetch_add(stats.delta_tuples_deduped as u64, Ordering::Relaxed);
+        // Count the work only once it actually succeeded, so `stats()`
+        // never reports failed requests as answered — and commit all of a
+        // request's counters as one unit, so a concurrent snapshot never
+        // observes half of them.
+        self.counters.commit(|c| {
+            c.requests += 1;
+            c.scenarios_answered += scenarios.len() as u64;
+            c.slices_computed += stats.slice_groups as u64;
+            c.slices_shared += stats.shared_slice_hits as u64;
+            c.original_reenactments += stats.original_reenactments as u64;
+            c.refined_slices += stats.refined_slices as u64;
+            c.delta_tuples_deduped += stats.delta_tuples_deduped as u64;
+        });
 
-        stats.total = total_start.elapsed();
-        let scenarios = scenarios
+        stats.total = req.total_start.elapsed();
+        let scenarios = req
+            .scenarios
             .into_iter()
             .zip(answers)
             .zip(reports)
@@ -633,7 +909,7 @@ impl Session {
                 impact,
             })
             .collect();
-        Ok(Response::new(history_name, method, scenarios, stats))
+        Ok(Response::new(req.history, req.method, scenarios, stats))
     }
 
     /// Runs `answer` for every scenario on the worker pool, converting
@@ -682,12 +958,14 @@ pub fn sweep<V: std::fmt::Display>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::{Budget, RefinePolicy};
     use crate::impact::ImpactSpec;
     use mahif_expr::builder::*;
     use mahif_history::statement::{
         running_example_database, running_example_history, running_example_u1_prime,
     };
     use mahif_history::{SetClause, Statement};
+    use std::time::Duration;
 
     fn session() -> Session {
         Session::with_history(
@@ -721,7 +999,7 @@ mod tests {
 
     #[test]
     fn duplicate_registration_is_rejected() {
-        let mut s = session();
+        let s = session();
         let err = s
             .register(
                 "retail",
@@ -731,6 +1009,81 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err.kind, ErrorKind::DuplicateHistory(_)));
         assert!(err.to_string().contains("retail"));
+    }
+
+    #[test]
+    fn registration_chains_and_unregister_frees_the_name() {
+        let s = session();
+        // `register` takes `&self` and returns `&Self`, so service code can
+        // chain registrations on a shared session.
+        s.register(
+            "a",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap()
+        .register(
+            "b",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap();
+        assert_eq!(s.len(), 3);
+
+        // A handle obtained before unregistration stays usable: the state
+        // is shared, not dropped from under the caller.
+        let handle = s.history("a").unwrap();
+        s.unregister("a").unwrap();
+        assert_eq!(s.len(), 2);
+        assert_eq!(handle.current_state().total_tuples(), 4);
+        assert_eq!(s.stats().histories, 2);
+        // The chain counter is monotonic — unregistration does not undo it.
+        assert_eq!(s.stats().version_chains_built, 3);
+
+        // Requests against the removed name now fail; the name is free for
+        // re-registration.
+        let err = s.on("a").run().unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnknownHistory(_)));
+        let err = s.unregister("a").unwrap_err();
+        assert!(matches!(err.kind, ErrorKind::UnknownHistory(_)));
+        s.register(
+            "a",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap();
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn session_is_shared_across_threads() {
+        // The core concurrency contract: one Arc<Session>, many threads,
+        // registration and execution both through `&self`.
+        let s = Arc::new(session());
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let s = Arc::clone(&s);
+                scope.spawn(move || {
+                    let response = s
+                        .on("retail")
+                        .replace(0, threshold(55 + t))
+                        .run()
+                        .expect("concurrent request succeeds");
+                    assert_eq!(response.len(), 1);
+                });
+            }
+            let s2 = Arc::clone(&s);
+            scope.spawn(move || {
+                s2.register(
+                    "retail-threaded",
+                    running_example_database(),
+                    History::new(running_example_history()),
+                )
+                .expect("concurrent registration succeeds");
+            });
+        });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.stats().requests, 4);
     }
 
     #[test]
@@ -862,7 +1215,10 @@ mod tests {
             .method(Method::ReenactPsDs)
             .run_batch(sweep("threshold", 0, thresholds, |t| threshold(*t)))
             .unwrap();
-        assert_eq!(reference.stats.refined_slices, 0, "refinement is opt-in");
+        assert_eq!(
+            reference.stats.refined_slices, 0,
+            "a 3-member group is below RefinePolicy::auto()'s group-size threshold"
+        );
         let refined = s
             .on("retail")
             .method(Method::ReenactPsDs)
@@ -893,6 +1249,154 @@ mod tests {
         for (a, b) in reference.scenarios.iter().zip(&combo.scenarios) {
             assert_eq!(a.answer.delta, b.answer.delta, "{}", a.name);
         }
+        // The explicit opt-out always wins.
+        let never = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .without_slice_refinement()
+            .run_batch(sweep("threshold", 0, thresholds, |t| threshold(*t)))
+            .unwrap();
+        assert_eq!(never.stats.refined_slices, 0);
+    }
+
+    #[test]
+    fn auto_refine_policy_triggers_on_large_groups_with_large_slices() {
+        // A history whose union slice keeps several statements: the
+        // modified threshold update, the fee surcharge that reads what the
+        // threshold wrote, and two band updates that only the low
+        // thresholds interact with. A 5-member sweep then meets both Auto
+        // thresholds, and the high-threshold members' slices shrink below
+        // the union — with the *default* configuration, no explicit opt-in.
+        let mut statements = running_example_history();
+        statements.push(Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(3)),
+            and(ge(attr("Price"), lit(30)), le(attr("Price"), lit(35))),
+        ));
+        statements.push(Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(4)),
+            and(ge(attr("Price"), lit(36)), le(attr("Price"), lit(41))),
+        ));
+        let s = Session::with_history(
+            "retail",
+            running_example_database(),
+            History::new(statements),
+        )
+        .unwrap();
+        let thresholds = [32i64, 38, 60, 65, 70];
+        let auto = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .run_batch(sweep("threshold", 0, thresholds, |t| threshold(*t)))
+            .unwrap();
+        assert_eq!(auto.stats.slice_groups, 1, "one 5-member group");
+        assert!(
+            auto.stats.refined_slices > 0,
+            "Auto refines: group size {} ≥ 5 and the union slice is large enough",
+            thresholds.len()
+        );
+        // The cost model changes the plan, never the answers.
+        let never = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .without_slice_refinement()
+            .run_batch(sweep("threshold", 0, thresholds, |t| threshold(*t)))
+            .unwrap();
+        assert_eq!(never.stats.refined_slices, 0);
+        for (a, b) in auto.scenarios.iter().zip(&never.scenarios) {
+            assert_eq!(a.answer.delta, b.answer.delta, "{}", a.name);
+        }
+    }
+
+    #[test]
+    fn scenario_budget_is_enforced_at_admission() {
+        let s = session();
+        let err = s
+            .on("retail")
+            .budget(Budget::unlimited().with_max_scenarios(2))
+            .run_batch(sweep("threshold", 0, [55i64, 60, 65], |t| threshold(*t)))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ErrorKind::BudgetExceeded(BudgetBreach::Scenarios {
+                    limit: 2,
+                    requested: 3
+                })
+            ),
+            "{err:?}"
+        );
+        assert_eq!(err.phase, Some(Phase::Admission));
+        // Nothing ran: the rejected request is not counted as answered.
+        assert_eq!(s.stats().requests, 0);
+        // At the limit, the batch is admitted and answered.
+        let ok = s
+            .on("retail")
+            .budget(Budget::unlimited().with_max_scenarios(2))
+            .run_batch(sweep("threshold", 0, [55i64, 60], |t| threshold(*t)))
+            .unwrap();
+        assert_eq!(ok.len(), 2);
+    }
+
+    #[test]
+    fn solver_call_budget_fails_during_planning() {
+        let s = session();
+        let err = s
+            .on("retail")
+            .method(Method::ReenactPsDs)
+            .budget(Budget::unlimited().with_max_solver_calls(0))
+            .run_batch(sweep("threshold", 0, [55i64, 60], |t| threshold(*t)))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ErrorKind::BudgetExceeded(BudgetBreach::SolverCalls { limit: 0, .. })
+            ),
+            "{err:?}"
+        );
+        assert_eq!(err.phase, Some(Phase::ProgramSlicing));
+        assert_eq!(s.stats().requests, 0);
+        // Counters commit per whole request: a failed plan contributes no
+        // slice work either.
+        assert_eq!(s.stats().slices_computed, 0);
+        assert_eq!(s.stats().slices_shared, 0);
+        // Methods that never call the solver are unaffected by the limit.
+        let ok = s
+            .on("retail")
+            .method(Method::Reenact)
+            .budget(Budget::unlimited().with_max_solver_calls(0))
+            .replace(0, threshold(60))
+            .run()
+            .unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn expired_deadline_fails_fast_with_a_structured_error() {
+        let s = session();
+        let err = s
+            .on("retail")
+            .budget(Budget::unlimited().with_deadline(Duration::ZERO))
+            .run_batch(sweep("threshold", 0, [55i64, 60, 65], |t| threshold(*t)))
+            .unwrap_err();
+        assert!(
+            matches!(
+                err.kind,
+                ErrorKind::BudgetExceeded(BudgetBreach::Deadline { .. })
+            ),
+            "{err:?}"
+        );
+        assert_eq!(s.stats().requests, 0);
+        // A generous deadline admits and answers normally.
+        let ok = s
+            .on("retail")
+            .budget(Budget::unlimited().with_deadline(Duration::from_secs(3600)))
+            .replace(0, threshold(60))
+            .run()
+            .unwrap();
+        assert_eq!(ok.len(), 1);
+        assert_eq!(s.stats().requests, 1);
     }
 
     #[test]
@@ -909,7 +1413,7 @@ mod tests {
 
     #[test]
     fn multiple_histories_are_independent() {
-        let mut s = session();
+        let s = session();
         s.register(
             "retail-2",
             running_example_database(),
@@ -1001,6 +1505,7 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err.kind, ErrorKind::DuplicateScenario(_)));
         assert!(err.to_string().contains("'a'"));
+        assert_eq!(err.phase, Some(Phase::Admission));
     }
 
     #[test]
@@ -1030,5 +1535,18 @@ mod tests {
         let text = response.to_string();
         assert!(text.contains("scenario 'bob'"), "{text}");
         assert!(text.contains("history 'retail'"), "{text}");
+    }
+
+    #[test]
+    fn clone_snapshots_state_without_rerunning_histories() {
+        let s = session();
+        s.on("retail").replace(0, threshold(60)).run().unwrap();
+        let clone = s.clone();
+        assert_eq!(clone.stats(), s.stats());
+        // The clone is independent: new work on the original is invisible.
+        s.on("retail").replace(0, threshold(65)).run().unwrap();
+        assert_eq!(clone.stats().requests + 1, s.stats().requests);
+        // Policy knob: `RefinePolicy` default is the Auto cost model.
+        assert_eq!(EngineConfig::default().refine, RefinePolicy::auto());
     }
 }

@@ -74,10 +74,19 @@ impl BatchConfig {
         self
     }
 
-    /// Enables per-member refinement of the group's union slice (see
-    /// `mahif::EngineConfig::refine_slices`).
+    /// Forces per-member refinement of the group's union slice for every
+    /// multi-member group — the explicit override over the default
+    /// `mahif::RefinePolicy::Auto` cost model (see
+    /// `mahif::EngineConfig::refine`).
     pub fn with_slice_refinement(mut self) -> Self {
-        self.engine.refine_slices = true;
+        self.engine.refine = mahif::RefinePolicy::Always;
+        self
+    }
+
+    /// Disables per-member slice refinement entirely (the explicit opt-out
+    /// of the Auto cost model).
+    pub fn without_slice_refinement(mut self) -> Self {
+        self.engine.refine = mahif::RefinePolicy::Never;
         self
     }
 }

@@ -1,0 +1,166 @@
+//! Semaphore-style admission control for batch execution.
+//!
+//! The serving layer promises bounded concurrency to the engine (each
+//! in-flight batch owns worker threads and memory) and bounded waiting to
+//! clients: up to `max_in_flight` batches execute at once, up to
+//! `max_queued` more wait their turn, and everything beyond that is
+//! rejected immediately — the server answers 429 instead of building an
+//! unbounded backlog. This is the classic admission-control triangle:
+//! serve, queue, or shed.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+#[derive(Debug, Default)]
+struct AdmissionState {
+    in_flight: usize,
+    queued: usize,
+    /// Slots a dropped permit handed directly to the queue (not yet
+    /// claimed by a woken waiter). While a handoff is pending, `in_flight`
+    /// still counts the slot — so fresh arrivals can never barge past the
+    /// queue, and `queued > 0` implies `in_flight == max_in_flight`.
+    handoffs: usize,
+}
+
+/// Bounded-concurrency gate: `max_in_flight` concurrent permits plus a
+/// bounded wait queue. Cheap to share (`Arc`).
+#[derive(Debug)]
+pub struct AdmissionController {
+    max_in_flight: usize,
+    max_queued: usize,
+    state: Mutex<AdmissionState>,
+    released: Condvar,
+}
+
+impl AdmissionController {
+    /// A controller admitting `max_in_flight` concurrent holders and
+    /// queueing at most `max_queued` waiters. `max_in_flight` is clamped to
+    /// at least 1 (a server that can admit nothing serves nothing).
+    pub fn new(max_in_flight: usize, max_queued: usize) -> Arc<AdmissionController> {
+        Arc::new(AdmissionController {
+            max_in_flight: max_in_flight.max(1),
+            max_queued,
+            state: Mutex::new(AdmissionState::default()),
+            released: Condvar::new(),
+        })
+    }
+
+    /// Acquires a permit: immediately when capacity is free, after waiting
+    /// when a queue slot is free, or `None` when both are exhausted — the
+    /// caller then sheds load (HTTP 429).
+    pub fn admit(self: &Arc<Self>) -> Option<Permit> {
+        let mut state = self.state.lock().expect("admission state poisoned");
+        // The fast path yields to queued waiters: a freed slot is handed
+        // to the queue (see `Permit::drop`), never left for a stream of
+        // fresh arrivals to barge past a waiter indefinitely.
+        if state.in_flight < self.max_in_flight && state.queued == 0 {
+            state.in_flight += 1;
+            return Some(Permit(Arc::clone(self)));
+        }
+        if state.queued >= self.max_queued {
+            return None;
+        }
+        state.queued += 1;
+        while state.handoffs == 0 {
+            state = self.released.wait(state).expect("admission state poisoned");
+        }
+        // Claim the handed-off slot; `in_flight` kept counting it the
+        // whole time.
+        state.handoffs -= 1;
+        state.queued -= 1;
+        Some(Permit(Arc::clone(self)))
+    }
+
+    /// Batches currently holding a permit.
+    pub fn in_flight(&self) -> usize {
+        self.state
+            .lock()
+            .expect("admission state poisoned")
+            .in_flight
+    }
+
+    /// Batches currently waiting for a permit.
+    pub fn queued(&self) -> usize {
+        self.state.lock().expect("admission state poisoned").queued
+    }
+
+    /// The configured concurrency limit.
+    pub fn max_in_flight(&self) -> usize {
+        self.max_in_flight
+    }
+
+    /// The configured queue bound.
+    pub fn max_queued(&self) -> usize {
+        self.max_queued
+    }
+}
+
+/// An admission permit; dropping it releases the slot and wakes one waiter.
+#[derive(Debug)]
+pub struct Permit(Arc<AdmissionController>);
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        let mut state = self.0.state.lock().expect("admission state poisoned");
+        // Hand the slot to a waiter when one is queued (keeping it counted
+        // in `in_flight` until the waiter claims it); only a drop with an
+        // empty queue actually frees capacity.
+        if state.queued > state.handoffs {
+            state.handoffs += 1;
+            drop(state);
+            self.0.released.notify_one();
+        } else {
+            state.in_flight -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn admits_up_to_capacity_then_sheds() {
+        let gate = AdmissionController::new(2, 0);
+        let a = gate.admit().expect("first fits");
+        let b = gate.admit().expect("second fits");
+        assert_eq!(gate.in_flight(), 2);
+        assert!(gate.admit().is_none(), "no queue: third is shed");
+        drop(a);
+        let c = gate.admit().expect("released slot is reusable");
+        assert_eq!(gate.in_flight(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(gate.in_flight(), 0);
+    }
+
+    #[test]
+    fn queued_acquirer_waits_for_a_release() {
+        let gate = AdmissionController::new(1, 1);
+        let held = gate.admit().expect("fits");
+        let gate2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            let permit = gate2.admit().expect("queue slot turns into a permit");
+            drop(permit);
+        });
+        // Wait until the waiter is queued, then check that a second waiter
+        // is shed (queue bound 1).
+        while gate.queued() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(gate.admit().is_none(), "queue is full: shed");
+        drop(held);
+        waiter.join().unwrap();
+        assert_eq!(gate.in_flight(), 0);
+        assert_eq!(gate.queued(), 0);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let gate = AdmissionController::new(0, 0);
+        assert_eq!(gate.max_in_flight(), 1);
+        let p = gate.admit().expect("one permit exists");
+        assert!(gate.admit().is_none());
+        drop(p);
+    }
+}

@@ -1,0 +1,304 @@
+//! A minimal HTTP/1.1 request reader and response writer over
+//! `std::net::TcpStream`.
+//!
+//! The shim situation (no registry access, so no hyper/tokio) means the
+//! transport is hand-rolled; this module keeps it to exactly what the
+//! serving layer needs: parse a request line + headers + `Content-Length`
+//! body, write a status + headers + body response, one request per
+//! connection (`Connection: close`).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// A parsed HTTP request.
+#[derive(Debug)]
+pub struct HttpRequest {
+    /// Request method (`GET`, `POST`, `DELETE`, …), uppercase.
+    pub method: String,
+    /// Request path (`/histories/retail/batch`), query string stripped.
+    pub path: String,
+    /// UTF-8 body (empty when the request has none).
+    pub body: String,
+}
+
+impl HttpRequest {
+    /// The path split on `/`, without the leading empty segment:
+    /// `/histories/retail/batch` → `["histories", "retail", "batch"]`.
+    pub fn segments(&self) -> Vec<&str> {
+        self.path.split('/').filter(|s| !s.is_empty()).collect()
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket-level failure (peer went away, timeout).
+    Io(io::Error),
+    /// The bytes were not a well-formed HTTP request.
+    Malformed(&'static str),
+    /// The declared body exceeds the configured limit (maps to 413).
+    BodyTooLarge {
+        /// Declared `Content-Length`.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+}
+
+impl From<io::Error> for HttpError {
+    fn from(e: io::Error) -> Self {
+        HttpError::Io(e)
+    }
+}
+
+/// Cap on the request line + headers together. Without it, a client
+/// streaming newline-free bytes (or endless header lines) would grow the
+/// line buffer without bound — `max_body` only caps the *declared* body.
+const MAX_HEAD_BYTES: u64 = 64 * 1024;
+
+/// Reads one HTTP request from `stream`. `max_body` caps the accepted
+/// `Content-Length`; a fixed 64 KiB cap bounds the request line + headers.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<HttpRequest, HttpError> {
+    // The head is read through a `Take`, so no single connection can pull
+    // more than the cap before presenting a blank line; once the headers
+    // are in, the limit is re-armed for the declared body.
+    let mut reader = BufReader::new((&mut *stream).take(MAX_HEAD_BYTES));
+    let head_overflow =
+        |reader: &BufReader<std::io::Take<&mut TcpStream>>| reader.get_ref().limit() == 0;
+    let mut request_line = String::new();
+    if reader.read_line(&mut request_line)? == 0 {
+        if head_overflow(&reader) {
+            return Err(HttpError::Malformed("request head exceeds the 64 KiB cap"));
+        }
+        return Err(HttpError::Io(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "connection closed before a request line",
+        )));
+    }
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(HttpError::Malformed("empty request line"))?
+        .to_ascii_uppercase();
+    let target = parts
+        .next()
+        .ok_or(HttpError::Malformed("request line has no target"))?;
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    let mut expect_continue = false;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            if head_overflow(&reader) {
+                return Err(HttpError::Malformed("request head exceeds the 64 KiB cap"));
+            }
+            return Err(HttpError::Malformed("headers ended without a blank line"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| HttpError::Malformed("invalid Content-Length"))?;
+            } else if name.trim().eq_ignore_ascii_case("expect")
+                && value.trim().eq_ignore_ascii_case("100-continue")
+            {
+                expect_continue = true;
+            }
+        }
+    }
+    // Clients announcing `Expect: 100-continue` (curl does for any body
+    // over 1 KiB) hold the body back until the server answers the interim
+    // response — without it every such request stalls for the client's
+    // expect timeout. Reads and writes on a TcpStream are independent, so
+    // writing through the reader's inner handle is safe.
+    if expect_continue && content_length > 0 {
+        let inner: &mut TcpStream = reader.get_mut().get_mut();
+        inner.write_all(b"HTTP/1.1 100 Continue\r\n\r\n")?;
+        inner.flush()?;
+    }
+    if content_length > max_body {
+        return Err(HttpError::BodyTooLarge {
+            declared: content_length,
+            limit: max_body,
+        });
+    }
+    // Re-arm the limit for the declared body. Body bytes the head reader
+    // already buffered are consumed from the buffer first, so the fresh
+    // limit is always sufficient for the remainder.
+    reader.get_mut().set_limit(content_length as u64);
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    let body = String::from_utf8(body).map_err(|_| HttpError::Malformed("body is not UTF-8"))?;
+    Ok(HttpRequest { method, path, body })
+}
+
+/// The reason phrase for the status codes the serving layer emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete JSON response and flushes. `retry_after` adds a
+/// `Retry-After` header (seconds), the conventional hint on a 429.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    retry_after: Option<u64>,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    if let Some(seconds) = retry_after {
+        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    }
+    head.push_str("\r\n");
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn round_trip(request: &str, max_body: usize) -> Result<HttpRequest, HttpError> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let request = request.to_string();
+        let writer = std::thread::spawn(move || {
+            let mut client = TcpStream::connect(addr).unwrap();
+            client.write_all(request.as_bytes()).unwrap();
+            client.flush().unwrap();
+            client
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut server_side, max_body);
+        writer.join().unwrap();
+        parsed
+    }
+
+    #[test]
+    fn parses_request_line_headers_and_body() {
+        let req = round_trip(
+            "POST /histories/retail/batch?x=1 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nbody",
+            1024,
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/histories/retail/batch");
+        assert_eq!(req.segments(), vec!["histories", "retail", "batch"]);
+        assert_eq!(req.body, "body");
+    }
+
+    #[test]
+    fn get_without_body_parses() {
+        let req = round_trip("GET /healthz HTTP/1.1\r\nHost: h\r\n\r\n", 1024).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.segments(), vec!["healthz"]);
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn oversized_bodies_are_rejected_before_reading() {
+        let err = round_trip("POST /x HTTP/1.1\r\nContent-Length: 999\r\n\r\n", 8).unwrap_err();
+        assert!(matches!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 999,
+                limit: 8
+            }
+        ));
+    }
+
+    #[test]
+    fn expect_100_continue_gets_the_interim_response_before_the_body() {
+        use std::io::Read as _;
+        use std::time::Duration;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = std::thread::spawn(move || {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            stream
+                .write_all(b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nExpect: 100-continue\r\n\r\n")
+                .unwrap();
+            // A strict client sends the body only after the interim
+            // response arrives.
+            let mut interim = [0u8; 25];
+            stream.read_exact(&mut interim).unwrap();
+            assert_eq!(&interim, b"HTTP/1.1 100 Continue\r\n\r\n");
+            stream.write_all(b"body").unwrap();
+            stream.flush().unwrap();
+            stream
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let parsed = read_request(&mut server_side, 1024).unwrap();
+        assert_eq!(parsed.body, "body");
+        client.join().unwrap();
+    }
+
+    #[test]
+    fn unbounded_heads_are_cut_off_at_the_cap() {
+        // A newline-free request line bigger than the head cap must error
+        // out instead of buffering forever.
+        let huge = format!("GET /{} HTTP/1.1", "a".repeat(80 * 1024));
+        let err = round_trip(&huge, 1024).unwrap_err();
+        assert!(
+            matches!(err, HttpError::Malformed(m) if m.contains("64 KiB")),
+            "{err:?}"
+        );
+        // Endless header lines hit the same cap.
+        let mut many_headers = String::from("GET /x HTTP/1.1\r\n");
+        for i in 0..8_000 {
+            many_headers.push_str(&format!("X-{i}: {}\r\n", "v".repeat(16)));
+        }
+        let err = round_trip(&many_headers, 1024).unwrap_err();
+        assert!(
+            matches!(err, HttpError::Malformed(m) if m.contains("64 KiB")),
+            "{err:?}"
+        );
+        // A normal request with a body close to the head boundary still
+        // round-trips (the body limit is re-armed after the headers).
+        let body = "b".repeat(2048);
+        let ok = round_trip(
+            &format!(
+                "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n{body}",
+                body.len()
+            ),
+            4096,
+        )
+        .unwrap();
+        assert_eq!(ok.body, body);
+    }
+
+    #[test]
+    fn reasons_cover_the_emitted_codes() {
+        for status in [200, 201, 400, 404, 405, 409, 413, 422, 429, 500] {
+            assert_ne!(reason(status), "Unknown", "{status}");
+        }
+    }
+}

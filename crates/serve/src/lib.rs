@@ -1,0 +1,43 @@
+//! # mahif-serve
+//!
+//! A dependency-free HTTP serving layer over the Mahif session — the
+//! "long-lived service" deployment the paper's interactive what-if
+//! analysis implies: register a history once, then answer many cheap
+//! hypothetical batches over the network.
+//!
+//! The layer is deliberately **std-only** (the build environment has no
+//! registry access, so no tokio/hyper/serde): a hand-rolled HTTP/1.1
+//! server over `std::net::TcpListener` with one handler thread per
+//! connection, a minimal [`json`] codec, and a semaphore-style
+//! [`AdmissionController`] bounding concurrent batches (429 + `Retry-After`
+//! beyond the queue). Per-batch [`mahif::Budget`]s ride inside request
+//! bodies and are enforced by the session core's admit → plan → execute
+//! lifecycle, surfacing as structured 422 responses.
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use mahif::Session;
+//! use mahif_serve::{ServeConfig, Server};
+//!
+//! let session = Arc::new(Session::new());
+//! let server = Server::bind(session, ServeConfig::default()).unwrap();
+//! println!("serving on {}", server.local_addr().unwrap());
+//! server.serve().unwrap(); // blocks; use `spawn()` for a background server
+//! ```
+//!
+//! See [`server`] for the route table and `README.md` for a `curl`
+//! walkthrough.
+
+pub mod admission;
+pub mod http;
+pub mod json;
+pub mod server;
+pub mod wire;
+
+pub use admission::{AdmissionController, Permit};
+pub use json::{Json, JsonError};
+pub use server::{ServeConfig, Server, ServerHandle};
+pub use wire::{
+    decode_batch, decode_register, encode_delta, encode_error, encode_response,
+    encode_session_stats, status_for, BatchRequest, RegisterRequest, WireError,
+};

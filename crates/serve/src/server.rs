@@ -1,0 +1,395 @@
+//! The HTTP server: routing, handlers and lifecycle.
+//!
+//! A [`Server`] binds a `TcpListener` over one shared `Arc<Session>` — the
+//! concurrent service core — and answers:
+//!
+//! | route | effect |
+//! |---|---|
+//! | `POST /histories/{name}` | register a database + history (201) |
+//! | `DELETE /histories/{name}` | unregister it (200) |
+//! | `POST /histories/{name}/batch` | answer a scenario batch (200), admission-gated (429 on overload) |
+//! | `GET /stats` | the session's consistent counter snapshot |
+//! | `GET /healthz` | liveness (200 as long as the accept loop runs) |
+//!
+//! Batch execution is gated by the [`AdmissionController`]: at most
+//! `max_in_flight_batches` execute concurrently, at most
+//! `max_queued_batches` wait, and everything beyond is shed with a 429 and
+//! a `Retry-After` hint. Budgets ride inside the batch body and are
+//! enforced by the session's admit → plan → execute lifecycle, surfacing
+//! as structured 422 responses.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use mahif::{Budget, Session};
+
+use crate::admission::AdmissionController;
+use crate::http::{read_request, write_response, HttpError, HttpRequest};
+use crate::json::Json;
+use crate::wire;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Engine-heavy requests (batches *and* registrations) allowed to
+    /// execute concurrently.
+    pub max_in_flight_batches: usize,
+    /// Engine-heavy requests allowed to wait for an execution slot;
+    /// arrivals beyond this are answered 429 immediately.
+    pub max_queued_batches: usize,
+    /// Largest accepted request body, in bytes (413 beyond).
+    pub max_body_bytes: usize,
+    /// Per-connection socket read/write timeout: a client that stalls
+    /// mid-request (slowloris) loses its handler thread after this long
+    /// instead of pinning it forever.
+    pub io_timeout: Duration,
+    /// Most histories the registry will hold; further registrations are
+    /// shed with a 429 (memory is bounded even against clients that never
+    /// `DELETE`).
+    pub max_histories: usize,
+    /// Operator-side ceiling merged over every batch's client-supplied
+    /// [`mahif::Budget`] (field-wise stricter limit wins), so a client
+    /// omitting its budget cannot monopolize an execution slot without
+    /// bound. The default caps scenarios at 4096 and the wall clock at
+    /// 60 s per batch.
+    pub budget_ceiling: Budget,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            max_in_flight_batches: 4,
+            max_queued_batches: 16,
+            max_body_bytes: 16 * 1024 * 1024,
+            io_timeout: Duration::from_secs(30),
+            max_histories: 64,
+            budget_ceiling: Budget::unlimited()
+                .with_max_scenarios(4096)
+                .with_deadline(Duration::from_secs(60)),
+        }
+    }
+}
+
+/// A bound (not yet serving) server. [`Server::spawn`] starts the accept
+/// loop on a background thread and returns the [`ServerHandle`] used to
+/// reach and stop it.
+#[derive(Debug)]
+pub struct Server {
+    listener: TcpListener,
+    session: Arc<Session>,
+    admission: Arc<AdmissionController>,
+    config: ServeConfig,
+    shutdown: Arc<AtomicBool>,
+    /// Serializes the `max_histories` capacity check with the registration
+    /// it guards: without it, concurrent registrations could each pass the
+    /// check and overshoot the bound together.
+    registry_gate: Arc<Mutex<()>>,
+}
+
+impl Server {
+    /// Binds the configured address over `session`.
+    pub fn bind(session: Arc<Session>, config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let admission =
+            AdmissionController::new(config.max_in_flight_batches, config.max_queued_batches);
+        Ok(Server {
+            listener,
+            session,
+            admission,
+            config,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            registry_gate: Arc::new(Mutex::new(())),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The server's admission controller (shared; tests use this to occupy
+    /// execution slots deterministically).
+    pub fn admission(&self) -> Arc<AdmissionController> {
+        Arc::clone(&self.admission)
+    }
+
+    /// The served session.
+    pub fn session(&self) -> Arc<Session> {
+        Arc::clone(&self.session)
+    }
+
+    /// Runs the accept loop on the calling thread until
+    /// [`ServerHandle::stop`] flips the shutdown flag. One handler thread
+    /// per connection; batch handlers gate on admission before executing.
+    pub fn serve(self) -> io::Result<()> {
+        let Server {
+            listener,
+            session,
+            admission,
+            config,
+            shutdown,
+            registry_gate,
+        } = self;
+        for stream in listener.incoming() {
+            if shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                // Transient accept errors (e.g. aborted handshake) must not
+                // kill the server.
+                Err(_) => continue,
+            };
+            // A stalling client forfeits its handler thread after the
+            // timeout instead of pinning it forever.
+            let _ = stream.set_read_timeout(Some(config.io_timeout));
+            let _ = stream.set_write_timeout(Some(config.io_timeout));
+            let session = Arc::clone(&session);
+            let admission = Arc::clone(&admission);
+            let registry_gate = Arc::clone(&registry_gate);
+            let config = config.clone();
+            std::thread::spawn(move || {
+                let mut stream = stream;
+                // A handler failure (peer hung up mid-write) only affects
+                // this connection.
+                let _ =
+                    handle_connection(&mut stream, &session, &admission, &registry_gate, &config);
+            });
+        }
+        Ok(())
+    }
+
+    /// Starts the accept loop on a background thread.
+    pub fn spawn(self) -> io::Result<ServerHandle> {
+        let addr = self.local_addr()?;
+        let shutdown = Arc::clone(&self.shutdown);
+        let admission = self.admission();
+        let session = self.session();
+        let thread = std::thread::spawn(move || {
+            let _ = self.serve();
+        });
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            thread,
+            admission,
+            session,
+        })
+    }
+}
+
+/// A running server: its address plus the means to stop it.
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    thread: JoinHandle<()>,
+    admission: Arc<AdmissionController>,
+    session: Arc<Session>,
+}
+
+impl ServerHandle {
+    /// The bound address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's admission controller.
+    pub fn admission(&self) -> Arc<AdmissionController> {
+        Arc::clone(&self.admission)
+    }
+
+    /// The served session.
+    pub fn session(&self) -> Arc<Session> {
+        Arc::clone(&self.session)
+    }
+
+    /// Stops the accept loop and joins the server thread. In-flight
+    /// handlers finish on their own threads.
+    pub fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with one last connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.thread.join();
+    }
+}
+
+fn handle_connection(
+    stream: &mut TcpStream,
+    session: &Arc<Session>,
+    admission: &Arc<AdmissionController>,
+    registry_gate: &Mutex<()>,
+    config: &ServeConfig,
+) -> io::Result<()> {
+    let request = match read_request(stream, config.max_body_bytes) {
+        Ok(request) => request,
+        Err(HttpError::BodyTooLarge { declared, limit }) => {
+            let body = Json::obj([(
+                "error",
+                Json::str(format!(
+                    "body of {declared} bytes exceeds the {limit}-byte limit"
+                )),
+            )]);
+            return write_response(stream, 413, &body.to_string(), None);
+        }
+        Err(HttpError::Malformed(what)) => {
+            let body = Json::obj([("error", Json::str(format!("malformed request: {what}")))]);
+            return write_response(stream, 400, &body.to_string(), None);
+        }
+        // Peer went away before sending a request; nothing to answer.
+        Err(HttpError::Io(_)) => return Ok(()),
+    };
+    let (status, body, retry_after) = route(&request, session, admission, registry_gate, config);
+    write_response(stream, status, &body.to_string(), retry_after)
+}
+
+/// The 429 body for a shed request.
+fn overloaded(admission: &AdmissionController) -> (u16, Json, Option<u64>) {
+    let body = Json::obj([
+        (
+            "error",
+            Json::str("server overloaded: execution slots and queue are full"),
+        ),
+        ("max_in_flight", Json::Int(admission.max_in_flight() as i64)),
+        ("max_queued", Json::Int(admission.max_queued() as i64)),
+    ]);
+    (429, body, Some(1))
+}
+
+/// Dispatches one request; returns `(status, body, retry_after)`.
+fn route(
+    request: &HttpRequest,
+    session: &Arc<Session>,
+    admission: &Arc<AdmissionController>,
+    registry_gate: &Mutex<()>,
+    config: &ServeConfig,
+) -> (u16, Json, Option<u64>) {
+    let segments = request.segments();
+    match (request.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => {
+            let body = Json::obj([
+                ("status", Json::str("ok")),
+                ("histories", Json::Int(session.len() as i64)),
+            ]);
+            (200, body, None)
+        }
+        ("GET", ["stats"]) => {
+            // The same consistent snapshot `Session::stats` returns — the
+            // serve layer adds no second read path over the counters.
+            (200, wire::encode_session_stats(&session.stats()), None)
+        }
+        ("POST", ["histories", name]) => {
+            // Registration is engine-heavy (it executes the whole history),
+            // so it shares the batches' admission gate — and the registry
+            // size is bounded so clients that never DELETE cannot grow
+            // memory without limit.
+            let _permit = match admission.admit() {
+                Some(permit) => permit,
+                None => return overloaded(admission),
+            };
+            // Check-then-register must be atomic, or concurrent
+            // registrations could each pass the capacity check and
+            // overshoot `max_histories` together.
+            let _registry = registry_gate.lock().expect("registry gate poisoned");
+            if session.len() >= config.max_histories {
+                let body = Json::obj([
+                    (
+                        "error",
+                        Json::str(format!(
+                            "registry full: {} histories are registered (limit {}); DELETE one first",
+                            session.len(),
+                            config.max_histories
+                        )),
+                    ),
+                    ("max_histories", Json::Int(config.max_histories as i64)),
+                ]);
+                return (429, body, None);
+            }
+            match wire::decode_register(&request.body) {
+                Err(e) => (e.status, wire::encode_wire_error(&e), None),
+                Ok(decoded) => {
+                    // Describe the registration from the decoded request itself
+                    // — a post-register lookup could race a concurrent DELETE
+                    // of the same name. The version chain is one state per
+                    // statement plus the initial state.
+                    let statements = decoded.history.len();
+                    let initial_tuples = decoded.initial.total_tuples();
+                    match session.register((*name).to_string(), decoded.initial, decoded.history) {
+                        Err(e) => (wire::status_for(&e), wire::encode_error(&e), None),
+                        Ok(_) => {
+                            let body = Json::obj([
+                                ("history", Json::str((*name).to_string())),
+                                ("statements", Json::Int(statements as i64)),
+                                ("versions", Json::Int(statements as i64 + 1)),
+                                ("initial_tuples", Json::Int(initial_tuples as i64)),
+                            ]);
+                            (201, body, None)
+                        }
+                    }
+                }
+            }
+        }
+        ("DELETE", ["histories", name]) => match session.unregister(name) {
+            Err(e) => (wire::status_for(&e), wire::encode_error(&e), None),
+            Ok(()) => (
+                200,
+                Json::obj([("history", Json::str((*name).to_string()))]),
+                None,
+            ),
+        },
+        ("POST", ["histories", name, "batch"]) => {
+            // Transport-level admission first: shed before parsing a
+            // potentially large body when the server is saturated.
+            let _permit = match admission.admit() {
+                Some(permit) => permit,
+                None => return overloaded(admission),
+            };
+            match wire::decode_batch(&request.body) {
+                Err(e) => (e.status, wire::encode_wire_error(&e), None),
+                Ok(batch) => {
+                    let mut req = session
+                        .on((*name).to_string())
+                        .method(batch.method)
+                        // The operator ceiling wins over the client's
+                        // budget field-wise; an omitted client budget
+                        // therefore still runs under the ceiling.
+                        .budget(batch.budget.capped_by(&config.budget_ceiling))
+                        .parallelism(batch.parallelism);
+                    if let Some(policy) = batch.refine {
+                        req = req.refine(policy);
+                    }
+                    if !batch.slice_sharing {
+                        req = req.without_slice_sharing();
+                    }
+                    if !batch.group_reenactment {
+                        req = req.without_group_reenactment();
+                    }
+                    if let Some(spec) = batch.impact {
+                        req = req.impact(spec);
+                    }
+                    match req.run_batch(batch.scenarios) {
+                        Err(e) => (wire::status_for(&e), wire::encode_error(&e), None),
+                        Ok(response) => (200, wire::encode_response(&response), None),
+                    }
+                }
+            }
+        }
+        (_, ["healthz" | "stats"]) | (_, ["histories", ..]) => (
+            405,
+            Json::obj([("error", Json::str("method not allowed for this route"))]),
+            None,
+        ),
+        _ => (
+            404,
+            Json::obj([("error", Json::str("no such route"))]),
+            None,
+        ),
+    }
+}

@@ -1,0 +1,735 @@
+//! The wire format: JSON bodies ↔ core types.
+//!
+//! Decoding covers the two POST bodies (history registration, scenario
+//! batch); encoding covers answers (deltas, impact reports, batch stats),
+//! session stats and errors. Methods cross the wire as the **paper
+//! labels** (`N`, `R`, `R+DS`, `R+PS`, `R+PS+DS`) via `Method`'s
+//! `FromStr`/`Display` round-trip; an unknown label is a 400 whose message
+//! names the accepted set.
+//!
+//! Everything here is deterministic: objects encode in fixed field order,
+//! so two encodings of equal answers are byte-identical — the property the
+//! smoke tests use to compare a served batch against a local
+//! `Session::execute`.
+
+use std::time::Duration;
+
+use mahif::{
+    BatchStats, Budget, Error, ErrorKind, ImpactReport, ImpactSpec, Method, RefinePolicy, Response,
+    ScenarioSpec, SessionStats,
+};
+use mahif_expr::{DataType, Value};
+use mahif_history::{Annotation, DatabaseDelta, History, Statement};
+use mahif_storage::{Attribute, Database, Relation, Schema, Tuple};
+
+use crate::json::Json;
+
+/// A request the wire layer rejected before it reached the session: the
+/// HTTP status to answer and the message to carry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// HTTP status code (400 unless stated otherwise).
+    pub status: u16,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl WireError {
+    fn bad_request(message: impl Into<String>) -> WireError {
+        WireError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+// ---------------------------------------------------------------- decoding
+
+/// A decoded `POST /histories/{name}` body: the initial database and the
+/// transactional history to register.
+#[derive(Debug)]
+pub struct RegisterRequest {
+    /// The initial database state `D`.
+    pub initial: Database,
+    /// The history `H` executed over it.
+    pub history: History,
+}
+
+/// Decodes a registration body:
+///
+/// ```json
+/// {
+///   "relations": [
+///     {"name": "Order",
+///      "attributes": [{"name": "ID", "type": "int"}, ...],
+///      "tuples": [[11, "Susan", ...], ...]},
+///     ...
+///   ],
+///   "history": ["UPDATE Order SET ... WHERE ...", ...]
+/// }
+/// ```
+///
+/// Statements are SQL text parsed by `mahif_sqlparse::parse_statement`;
+/// attribute types are `"int"`, `"str"` or `"bool"`.
+pub fn decode_register(body: &str) -> Result<RegisterRequest, WireError> {
+    let doc = Json::parse(body).map_err(|e| WireError::bad_request(e.to_string()))?;
+    let mut initial = Database::new();
+    let relations = doc
+        .get("relations")
+        .and_then(Json::as_array)
+        .ok_or_else(|| WireError::bad_request("missing 'relations' array"))?;
+    for relation in relations {
+        let name = relation
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::bad_request("relation without a 'name'"))?;
+        let attributes = relation
+            .get("attributes")
+            .and_then(Json::as_array)
+            .ok_or_else(|| WireError::bad_request("relation without 'attributes'"))?
+            .iter()
+            .map(|a| {
+                let attr_name = a
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or_else(|| WireError::bad_request("attribute without a 'name'"))?;
+                let dtype = match a.get("type").and_then(Json::as_str) {
+                    Some("int") => DataType::Int,
+                    Some("str") => DataType::Str,
+                    Some("bool") => DataType::Bool,
+                    other => {
+                        return Err(WireError::bad_request(format!(
+                            "attribute '{attr_name}' has unknown type {other:?} (expected one of int, str, bool)"
+                        )))
+                    }
+                };
+                Ok(Attribute::new(attr_name, dtype))
+            })
+            .collect::<Result<Vec<_>, WireError>>()?;
+        let schema = Schema::shared(name, attributes.clone());
+        let mut rel = Relation::empty(schema);
+        for (row, tuple) in relation
+            .get("tuples")
+            .and_then(Json::as_array)
+            .unwrap_or(&[])
+            .iter()
+            .enumerate()
+        {
+            let cells = tuple.as_array().ok_or_else(|| {
+                WireError::bad_request(format!("relation '{name}' row {row} is not an array"))
+            })?;
+            if cells.len() != attributes.len() {
+                return Err(WireError::bad_request(format!(
+                    "relation '{name}' row {row} has {} values for {} attributes",
+                    cells.len(),
+                    attributes.len()
+                )));
+            }
+            let values = cells
+                .iter()
+                .zip(&attributes)
+                .map(|(cell, attr)| decode_value(cell, name, row, attr))
+                .collect::<Result<Vec<_>, WireError>>()?;
+            rel.insert(Tuple::new(values))
+                .map_err(|e| WireError::bad_request(format!("relation '{name}' row {row}: {e}")))?;
+        }
+        initial
+            .add_relation(rel)
+            .map_err(|e| WireError::bad_request(e.to_string()))?;
+    }
+    let statements = doc
+        .get("history")
+        .and_then(Json::as_array)
+        .ok_or_else(|| WireError::bad_request("missing 'history' array"))?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let text = s
+                .as_str()
+                .ok_or_else(|| WireError::bad_request(format!("history[{i}] is not a string")))?;
+            mahif_sqlparse::parse_statement(text)
+                .map_err(|e| WireError::bad_request(format!("history[{i}]: {e}")))
+        })
+        .collect::<Result<Vec<Statement>, WireError>>()?;
+    Ok(RegisterRequest {
+        initial,
+        history: History::new(statements),
+    })
+}
+
+/// Decodes one attribute value and checks it against the declared type —
+/// a mistyped registration (e.g. the string `"50"` in an `int` column)
+/// must fail here with a 400, not 201 and silently wrong answers later
+/// (SQL comparisons between mismatched types evaluate to `NULL`).
+fn decode_value(
+    v: &Json,
+    relation: &str,
+    row: usize,
+    attr: &Attribute,
+) -> Result<Value, WireError> {
+    let value = match v {
+        Json::Int(i) => Value::Int(*i),
+        Json::Str(s) => Value::str(s),
+        Json::Bool(b) => Value::Bool(*b),
+        Json::Null => Value::Null,
+        other => {
+            return Err(WireError::bad_request(format!(
+                "unsupported attribute value {other}"
+            )))
+        }
+    };
+    let matches = matches!(
+        (&value, attr.dtype),
+        (Value::Null, _)
+            | (Value::Int(_), DataType::Int)
+            | (Value::Str(_), DataType::Str)
+            | (Value::Bool(_), DataType::Bool)
+    );
+    if !matches {
+        return Err(WireError::bad_request(format!(
+            "relation '{relation}' row {row}: value {v} does not match the declared type {:?} of attribute '{}'",
+            attr.dtype, attr.name
+        )));
+    }
+    Ok(value)
+}
+
+/// A decoded `POST /histories/{name}/batch` body, ready to be turned into a
+/// fluent request against the session.
+#[derive(Debug)]
+pub struct BatchRequest {
+    /// Named scenarios (what-if scripts, already parsed).
+    pub scenarios: Vec<ScenarioSpec>,
+    /// Execution method (paper label; defaults to `R+PS+DS`).
+    pub method: Method,
+    /// Per-request budget (unlimited unless given).
+    pub budget: Budget,
+    /// Optional `SUM(attribute)` impact spec.
+    pub impact: Option<ImpactSpec>,
+    /// Worker threads (`0` = auto).
+    pub parallelism: usize,
+    /// Slice-refinement policy override, when given.
+    pub refine: Option<RefinePolicy>,
+    /// Slice-sharing ablation: `false` disables sharing.
+    pub slice_sharing: bool,
+    /// Group-reenactment ablation: `false` disables group plans.
+    pub group_reenactment: bool,
+}
+
+/// Decodes a batch body:
+///
+/// ```json
+/// {
+///   "method": "R+PS+DS",
+///   "scenarios": [
+///     {"name": "t60",
+///      "whatif": "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60"}
+///   ],
+///   "budget": {"max_scenarios": 64, "max_solver_calls": 10000, "deadline_ms": 2000},
+///   "impact": {"relation": "Order", "attribute": "ShippingFee"},
+///   "parallelism": 0,
+///   "refine": "auto",
+///   "slice_sharing": true,
+///   "group_reenactment": true
+/// }
+/// ```
+///
+/// Only `scenarios` is required. Statement numbers in what-if scripts are
+/// 1-based, like `mahif_sqlparse::parse_whatif` documents.
+pub fn decode_batch(body: &str) -> Result<BatchRequest, WireError> {
+    let doc = Json::parse(body).map_err(|e| WireError::bad_request(e.to_string()))?;
+    let method = match doc.get("method") {
+        None => Method::ReenactPsDs,
+        Some(m) => {
+            let label = m
+                .as_str()
+                .ok_or_else(|| WireError::bad_request("'method' must be a string label"))?;
+            // The paper-label round-trip surface: `FromStr` accepts exactly
+            // the figure labels (plus long-name aliases) and its error
+            // already names the accepted set.
+            label
+                .parse::<Method>()
+                .map_err(|e| WireError::bad_request(e.kind.to_string()))?
+        }
+    };
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .ok_or_else(|| WireError::bad_request("missing 'scenarios' array"))?
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            let name = match s.get("name") {
+                None => format!("scenario-{i}"),
+                Some(n) => n
+                    .as_str()
+                    .ok_or_else(|| {
+                        WireError::bad_request(format!("scenarios[{i}].name is not a string"))
+                    })?
+                    .to_string(),
+            };
+            let script = s
+                .get("whatif")
+                .and_then(Json::as_str)
+                .ok_or_else(|| {
+                    WireError::bad_request(format!(
+                        "scenarios[{i}] has no 'whatif' script (e.g. \"REPLACE STATEMENT 1 WITH UPDATE ...\")"
+                    ))
+                })?;
+            let modifications = mahif_sqlparse::parse_whatif(script)
+                .map_err(|e| WireError::bad_request(format!("scenario '{name}': {e}")))?;
+            Ok(ScenarioSpec::new(name, modifications))
+        })
+        .collect::<Result<Vec<_>, WireError>>()?;
+
+    let mut budget = Budget::unlimited();
+    if let Some(b) = doc.get("budget") {
+        if let Some(n) = b.get("max_scenarios") {
+            budget.max_scenarios = Some(require_count(n, "budget.max_scenarios")?);
+        }
+        if let Some(n) = b.get("max_solver_calls") {
+            budget.max_solver_calls = Some(require_count(n, "budget.max_solver_calls")?);
+        }
+        if let Some(n) = b.get("deadline_ms") {
+            let ms = require_count(n, "budget.deadline_ms")?;
+            budget.deadline = Some(Duration::from_millis(ms as u64));
+        }
+    }
+
+    let impact = match doc.get("impact") {
+        None => None,
+        Some(spec) => {
+            let relation = spec
+                .get("relation")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError::bad_request("impact without a 'relation'"))?;
+            let attribute = spec
+                .get("attribute")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError::bad_request("impact without an 'attribute'"))?;
+            Some(ImpactSpec::sum_of(relation, attribute))
+        }
+    };
+
+    let parallelism = match doc.get("parallelism") {
+        None => 0,
+        Some(n) => require_count(n, "parallelism")?,
+    };
+    let refine = match doc.get("refine").map(|r| (r, r.as_str())) {
+        None => None,
+        Some((_, Some("auto"))) => Some(RefinePolicy::auto()),
+        Some((_, Some("always"))) => Some(RefinePolicy::Always),
+        Some((_, Some("never"))) => Some(RefinePolicy::Never),
+        Some((other, _)) => {
+            return Err(WireError::bad_request(format!(
+                "unknown refine policy {other} (expected one of auto, always, never)"
+            )))
+        }
+    };
+    let slice_sharing = decode_flag(&doc, "slice_sharing", true)?;
+    let group_reenactment = decode_flag(&doc, "group_reenactment", true)?;
+    Ok(BatchRequest {
+        scenarios,
+        method,
+        budget,
+        impact,
+        parallelism,
+        refine,
+        slice_sharing,
+        group_reenactment,
+    })
+}
+
+fn require_count(v: &Json, field: &str) -> Result<usize, WireError> {
+    v.as_u64()
+        .map(|n| n as usize)
+        .ok_or_else(|| WireError::bad_request(format!("'{field}' must be a non-negative integer")))
+}
+
+fn decode_flag(doc: &Json, field: &str, default: bool) -> Result<bool, WireError> {
+    match doc.get(field) {
+        None => Ok(default),
+        Some(v) => v
+            .as_bool()
+            .ok_or_else(|| WireError::bad_request(format!("'{field}' must be a boolean"))),
+    }
+}
+
+// ---------------------------------------------------------------- encoding
+
+fn encode_value(v: &Value) -> Json {
+    match v {
+        Value::Int(i) => Json::Int(*i),
+        Value::Str(s) => Json::str(s.as_ref()),
+        Value::Bool(b) => Json::Bool(*b),
+        Value::Null => Json::Null,
+    }
+}
+
+fn encode_tuple(t: &Tuple) -> Json {
+    Json::Arr(t.values.iter().map(encode_value).collect())
+}
+
+/// Encodes a delta as per-relation `inserted` / `deleted` tuple arrays plus
+/// the total annotated-tuple count.
+pub fn encode_delta(delta: &DatabaseDelta) -> Json {
+    let relations = delta
+        .relations
+        .iter()
+        .map(|r| {
+            let mut inserted = Vec::new();
+            let mut deleted = Vec::new();
+            for t in &r.tuples {
+                match t.annotation {
+                    Annotation::Plus => inserted.push(encode_tuple(&t.tuple)),
+                    Annotation::Minus => deleted.push(encode_tuple(&t.tuple)),
+                }
+            }
+            Json::obj([
+                ("relation", Json::str(r.relation.clone())),
+                ("inserted", Json::Arr(inserted)),
+                ("deleted", Json::Arr(deleted)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("relations", Json::Arr(relations)),
+        ("tuples", Json::Int(delta.len() as i64)),
+    ])
+}
+
+fn encode_impact(report: &ImpactReport) -> Json {
+    Json::obj([
+        ("relation", Json::str(report.relation.clone())),
+        ("metric", Json::str(report.metric_name.clone())),
+        ("baseline", report.baseline.map_or(Json::Null, Json::Int)),
+        ("plus_total", Json::Int(report.overall.plus_total)),
+        ("minus_total", Json::Int(report.overall.minus_total)),
+        ("rows_added", Json::Int(report.overall.rows_added as i64)),
+        (
+            "rows_removed",
+            Json::Int(report.overall.rows_removed as i64),
+        ),
+        ("net_change", Json::Int(report.net_change())),
+    ])
+}
+
+fn millis(d: Duration) -> Json {
+    Json::Float(d.as_secs_f64() * 1e3)
+}
+
+fn encode_batch_stats(stats: &BatchStats) -> Json {
+    Json::obj([
+        ("scenarios", Json::Int(stats.scenarios as i64)),
+        ("threads", Json::Int(stats.threads as i64)),
+        ("slice_groups", Json::Int(stats.slice_groups as i64)),
+        (
+            "shared_slice_hits",
+            Json::Int(stats.shared_slice_hits as i64),
+        ),
+        (
+            "original_reenactments",
+            Json::Int(stats.original_reenactments as i64),
+        ),
+        ("refined_slices", Json::Int(stats.refined_slices as i64)),
+        ("solver_calls", Json::Int(stats.solver_calls as i64)),
+        (
+            "delta_tuples_deduped",
+            Json::Int(stats.delta_tuples_deduped as i64),
+        ),
+        ("normalize_ms", millis(stats.normalize)),
+        ("slicing_ms", millis(stats.slicing)),
+        ("group_reenactment_ms", millis(stats.group_reenactment)),
+        ("execution_ms", millis(stats.execution)),
+        ("total_ms", millis(stats.total)),
+    ])
+}
+
+/// Encodes a full batch answer. The `scenarios` array — name, delta,
+/// optional impact — is deterministic and timing-free, so two equal
+/// answers encode byte-identically; `stats` carries the wall-clock fields.
+pub fn encode_response(response: &Response) -> Json {
+    let scenarios = response
+        .scenarios
+        .iter()
+        .map(|s| {
+            let mut fields = vec![
+                ("name".to_string(), Json::str(s.name.clone())),
+                ("delta".to_string(), encode_delta(&s.answer.delta)),
+            ];
+            if let Some(report) = &s.impact {
+                fields.push(("impact".to_string(), encode_impact(report)));
+            }
+            Json::Obj(fields)
+        })
+        .collect();
+    Json::obj([
+        ("history", Json::str(response.history.clone())),
+        ("method", Json::str(response.method.label())),
+        ("scenarios", Json::Arr(scenarios)),
+        ("stats", encode_batch_stats(&response.stats)),
+    ])
+}
+
+/// Encodes the session counter snapshot for `GET /stats`.
+pub fn encode_session_stats(stats: &SessionStats) -> Json {
+    Json::obj([
+        ("histories", Json::Int(stats.histories as i64)),
+        (
+            "version_chains_built",
+            Json::Int(stats.version_chains_built as i64),
+        ),
+        ("requests", Json::Int(stats.requests as i64)),
+        (
+            "scenarios_answered",
+            Json::Int(stats.scenarios_answered as i64),
+        ),
+        ("slices_computed", Json::Int(stats.slices_computed as i64)),
+        ("slices_shared", Json::Int(stats.slices_shared as i64)),
+        (
+            "original_reenactments",
+            Json::Int(stats.original_reenactments as i64),
+        ),
+        ("refined_slices", Json::Int(stats.refined_slices as i64)),
+        (
+            "delta_tuples_deduped",
+            Json::Int(stats.delta_tuples_deduped as i64),
+        ),
+    ])
+}
+
+/// The HTTP status for an engine error: 404 for unknown histories, 409 for
+/// duplicate registration, 422 for budget breaches, 400 for request
+/// mistakes. Engine errors in the phases that only digest *client-supplied*
+/// input — registering the client's history, building/normalizing the
+/// client's what-if scripts (bad column names, out-of-range statement
+/// numbers) — are 422, not 500: the server did nothing wrong. Failures in
+/// the later engine phases are genuine 500s.
+pub fn status_for(error: &Error) -> u16 {
+    use mahif::Phase;
+    match &error.kind {
+        ErrorKind::UnknownHistory(_) => 404,
+        ErrorKind::DuplicateHistory(_) => 409,
+        ErrorKind::BudgetExceeded(_) => 422,
+        ErrorKind::UnknownMethod(_)
+        | ErrorKind::InvalidWhatIfScript(_)
+        | ErrorKind::EmptyRequest
+        | ErrorKind::DuplicateScenario(_) => 400,
+        _ => match error.phase {
+            Some(Phase::Register | Phase::Build | Phase::Admission | Phase::Normalize) => 422,
+            _ => 500,
+        },
+    }
+}
+
+fn kind_slug(kind: &ErrorKind) -> &'static str {
+    match kind {
+        ErrorKind::History(_) => "history",
+        ErrorKind::Storage(_) => "storage",
+        ErrorKind::Query(_) => "query",
+        ErrorKind::Slicing(_) => "slicing",
+        ErrorKind::Expr(_) => "expr",
+        ErrorKind::Symbolic(_) => "symbolic",
+        ErrorKind::InvalidWhatIfScript(_) => "invalid_whatif_script",
+        ErrorKind::UnknownHistory(_) => "unknown_history",
+        ErrorKind::DuplicateHistory(_) => "duplicate_history",
+        ErrorKind::DuplicateScenario(_) => "duplicate_scenario",
+        ErrorKind::UnknownMethod(_) => "unknown_method",
+        ErrorKind::EmptyRequest => "empty_request",
+        ErrorKind::BudgetExceeded(_) => "budget_exceeded",
+        ErrorKind::WorkerPanicked => "worker_panicked",
+        _ => "other",
+    }
+}
+
+/// Encodes an engine error, keeping its structure: the kind slug, phase,
+/// scenario/history context and — for budget breaches — the limit and
+/// observed value as numbers.
+pub fn encode_error(error: &Error) -> Json {
+    let mut fields = vec![
+        ("error".to_string(), Json::str(error.to_string())),
+        ("kind".to_string(), Json::str(kind_slug(&error.kind))),
+    ];
+    if let Some(phase) = error.phase {
+        fields.push(("phase".to_string(), Json::str(phase.to_string())));
+    }
+    if let Some(scenario) = &error.scenario {
+        fields.push(("scenario".to_string(), Json::str(scenario.clone())));
+    }
+    if let Some(history) = &error.history {
+        fields.push(("history".to_string(), Json::str(history.clone())));
+    }
+    if let ErrorKind::BudgetExceeded(breach) = &error.kind {
+        use mahif::BudgetBreach;
+        let breach = match breach {
+            BudgetBreach::Scenarios { limit, requested } => Json::obj([
+                ("kind", Json::str("scenarios")),
+                ("limit", Json::Int(*limit as i64)),
+                ("requested", Json::Int(*requested as i64)),
+            ]),
+            BudgetBreach::SolverCalls { limit, used } => Json::obj([
+                ("kind", Json::str("solver_calls")),
+                ("limit", Json::Int(*limit as i64)),
+                ("used", Json::Int(*used as i64)),
+            ]),
+            BudgetBreach::Deadline { limit, elapsed } => Json::obj([
+                ("kind", Json::str("deadline")),
+                ("limit_ms", millis(*limit)),
+                ("elapsed_ms", millis(*elapsed)),
+            ]),
+            _ => Json::str("unknown"),
+        };
+        fields.push(("breach".to_string(), breach));
+    }
+    Json::Obj(fields)
+}
+
+/// Encodes a plain wire-level error body.
+pub fn encode_wire_error(error: &WireError) -> Json {
+    Json::obj([("error", Json::str(error.message.clone()))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif::Session;
+    use mahif_history::statement::{running_example_database, running_example_history};
+    use mahif_history::History;
+
+    fn register_body() -> String {
+        // The running example of Figure 1, spelled on the wire.
+        r#"{
+          "relations": [
+            {"name": "Order",
+             "attributes": [
+               {"name": "ID", "type": "int"},
+               {"name": "Customer", "type": "str"},
+               {"name": "Country", "type": "str"},
+               {"name": "Price", "type": "int"},
+               {"name": "ShippingFee", "type": "int"}
+             ],
+             "tuples": [
+               [11, "Susan", "UK", 20, 5],
+               [12, "Alex", "UK", 50, 5],
+               [13, "Jack", "US", 60, 3],
+               [14, "Mark", "US", 30, 4]
+             ]}
+          ],
+          "history": [
+            "UPDATE Order SET ShippingFee = 0 WHERE Price >= 50",
+            "UPDATE Order SET ShippingFee = ShippingFee + 5 WHERE Country = 'UK' AND Price <= 100",
+            "UPDATE Order SET ShippingFee = ShippingFee - 2 WHERE Price <= 30 AND ShippingFee >= 10"
+          ]
+        }"#
+        .to_string()
+    }
+
+    #[test]
+    fn register_body_reproduces_the_running_example() {
+        let decoded = decode_register(&register_body()).unwrap();
+        assert!(decoded.initial.set_eq(&running_example_database()));
+        assert_eq!(decoded.history.len(), running_example_history().len());
+        // Registering the decoded pair answers like the native session.
+        let wire = Session::with_history("w", decoded.initial, decoded.history).unwrap();
+        let native = Session::with_history(
+            "n",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap();
+        let a = wire
+            .on("w")
+            .sql("REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60")
+            .run()
+            .unwrap();
+        let b = native
+            .on("n")
+            .sql("REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60")
+            .run()
+            .unwrap();
+        assert_eq!(
+            encode_delta(a.delta()).to_string(),
+            encode_delta(b.delta()).to_string()
+        );
+    }
+
+    #[test]
+    fn batch_decoding_parses_method_scenarios_and_budget() {
+        let body = r#"{
+          "method": "r+ps+ds",
+          "scenarios": [
+            {"name": "t60", "whatif": "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60"},
+            {"whatif": "DROP STATEMENT 2"}
+          ],
+          "budget": {"max_scenarios": 16, "deadline_ms": 250},
+          "impact": {"relation": "Order", "attribute": "ShippingFee"},
+          "parallelism": 2,
+          "refine": "never"
+        }"#;
+        let batch = decode_batch(body).unwrap();
+        assert_eq!(batch.method, Method::ReenactPsDs);
+        assert_eq!(batch.scenarios.len(), 2);
+        assert_eq!(batch.scenarios[0].name(), "t60");
+        assert_eq!(batch.scenarios[1].name(), "scenario-1");
+        assert_eq!(batch.budget.max_scenarios, Some(16));
+        assert_eq!(batch.budget.deadline, Some(Duration::from_millis(250)));
+        assert_eq!(batch.budget.max_solver_calls, None);
+        assert!(batch.impact.is_some());
+        assert_eq!(batch.parallelism, 2);
+        assert_eq!(batch.refine, Some(RefinePolicy::Never));
+        assert!(batch.slice_sharing);
+        assert!(batch.group_reenactment);
+    }
+
+    #[test]
+    fn unknown_method_label_is_a_400_naming_the_accepted_set() {
+        let body = r#"{"method": "R+XX", "scenarios": [{"whatif": "DROP STATEMENT 1"}]}"#;
+        let err = decode_batch(body).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("R+XX"), "{}", err.message);
+        for label in ["N", "R", "R+DS", "R+PS", "R+PS+DS"] {
+            assert!(err.message.contains(label), "{}: {}", label, err.message);
+        }
+        // Every accepted label round-trips through the wire field.
+        for method in Method::all() {
+            let body = format!(
+                r#"{{"method": "{}", "scenarios": [{{"whatif": "DROP STATEMENT 1"}}]}}"#,
+                method.label()
+            );
+            assert_eq!(decode_batch(&body).unwrap().method, method);
+        }
+    }
+
+    #[test]
+    fn error_encoding_keeps_budget_structure() {
+        use mahif::{BudgetBreach, Phase};
+        let error = Error::new(ErrorKind::BudgetExceeded(BudgetBreach::Scenarios {
+            limit: 4,
+            requested: 9,
+        }))
+        .in_phase(Phase::Admission)
+        .on_history("retail");
+        assert_eq!(status_for(&error), 422);
+        let encoded = encode_error(&error);
+        assert_eq!(
+            encoded.get("kind").and_then(Json::as_str),
+            Some("budget_exceeded")
+        );
+        let breach = encoded.get("breach").unwrap();
+        assert_eq!(breach.get("kind").and_then(Json::as_str), Some("scenarios"));
+        assert_eq!(breach.get("limit").and_then(Json::as_i64), Some(4));
+        assert_eq!(breach.get("requested").and_then(Json::as_i64), Some(9));
+        assert_eq!(
+            encoded.get("history").and_then(Json::as_str),
+            Some("retail")
+        );
+    }
+}

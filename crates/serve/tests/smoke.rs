@@ -1,0 +1,306 @@
+//! Serve-layer smoke tests over real TCP: register a history, answer a
+//! batch byte-identically to `Session::execute`, enforce budgets (422),
+//! shed overload (429), and reject bad method labels (400). This is the
+//! test CI's dedicated serve step runs.
+
+use std::sync::Arc;
+
+use mahif::{Method, Session};
+use mahif_serve::{Json, ServeConfig, Server, ServerHandle};
+use mahif_workload::serve_load::{http_get, http_post, http_request};
+
+/// The running example of Figure 1 as a registration body.
+const REGISTER_BODY: &str = r#"{
+  "relations": [
+    {"name": "Order",
+     "attributes": [
+       {"name": "ID", "type": "int"},
+       {"name": "Customer", "type": "str"},
+       {"name": "Country", "type": "str"},
+       {"name": "Price", "type": "int"},
+       {"name": "ShippingFee", "type": "int"}
+     ],
+     "tuples": [
+       [11, "Susan", "UK", 20, 5],
+       [12, "Alex", "UK", 50, 5],
+       [13, "Jack", "US", 60, 3],
+       [14, "Mark", "US", 30, 4]
+     ]}
+  ],
+  "history": [
+    "UPDATE Order SET ShippingFee = 0 WHERE Price >= 50",
+    "UPDATE Order SET ShippingFee = ShippingFee + 5 WHERE Country = 'UK' AND Price <= 100",
+    "UPDATE Order SET ShippingFee = ShippingFee - 2 WHERE Price <= 30 AND ShippingFee >= 10"
+  ]
+}"#;
+
+fn whatif(threshold: i64) -> String {
+    format!("REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= {threshold}")
+}
+
+fn start_server(config: ServeConfig) -> (ServerHandle, String) {
+    let session = Arc::new(Session::new());
+    let server = Server::bind(session, config).expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn batch_over_tcp_is_byte_identical_to_session_execute() {
+    let (handle, addr) = start_server(ServeConfig::default());
+
+    // Liveness before any state exists.
+    let health = http_get(&addr, "/healthz").unwrap();
+    assert_eq!(health.status, 200, "{}", health.body);
+
+    // Register the running example over the wire.
+    let created = http_post(&addr, "/histories/retail", REGISTER_BODY).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body);
+    let created = Json::parse(&created.body).unwrap();
+    assert_eq!(created.get("statements").and_then(Json::as_i64), Some(3));
+    assert_eq!(created.get("versions").and_then(Json::as_i64), Some(4));
+
+    // Answer a 3-scenario sweep with an impact spec.
+    let batch_body = format!(
+        r#"{{"method": "R+PS+DS",
+            "scenarios": [
+              {{"name": "t55", "whatif": "{}"}},
+              {{"name": "t60", "whatif": "{}"}},
+              {{"name": "t65", "whatif": "{}"}}
+            ],
+            "impact": {{"relation": "Order", "attribute": "ShippingFee"}}}}"#,
+        whatif(55),
+        whatif(60),
+        whatif(65)
+    );
+    let reply = http_post(&addr, "/histories/retail/batch", &batch_body).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = Json::parse(&reply.body).unwrap();
+    assert_eq!(served.get("history").and_then(Json::as_str), Some("retail"));
+    assert_eq!(served.get("method").and_then(Json::as_str), Some("R+PS+DS"));
+    let stats = served.get("stats").unwrap();
+    assert_eq!(stats.get("scenarios").and_then(Json::as_i64), Some(3));
+    assert_eq!(
+        stats.get("slice_groups").and_then(Json::as_i64),
+        Some(1),
+        "a sweep shares one slice"
+    );
+
+    // The served scenarios — names, deltas, impact reports — must encode
+    // byte-identically to a local `Session::execute` of the same request
+    // over the same registered state.
+    let decoded = mahif_serve::decode_register(REGISTER_BODY).unwrap();
+    let local = Session::with_history("retail", decoded.initial, decoded.history).unwrap();
+    let response = local
+        .on("retail")
+        .method(Method::ReenactPsDs)
+        .impact(mahif::ImpactSpec::sum_of("Order", "ShippingFee"))
+        .scenario(("t55", mahif_sqlparse::parse_whatif(&whatif(55)).unwrap()))
+        .scenario(("t60", mahif_sqlparse::parse_whatif(&whatif(60)).unwrap()))
+        .scenario(("t65", mahif_sqlparse::parse_whatif(&whatif(65)).unwrap()))
+        .run_batch(Vec::<mahif::ScenarioSpec>::new())
+        .unwrap();
+    let local_encoded = mahif_serve::encode_response(&response);
+    assert_eq!(
+        served.get("scenarios").unwrap().to_string(),
+        local_encoded.get("scenarios").unwrap().to_string(),
+        "served answers must be byte-identical to Session::execute"
+    );
+    // Spot-check semantics on top of the byte equality: threshold 60
+    // charges Alex 5 more (baseline 17 → 22).
+    let t60 = served.get("scenarios").unwrap().as_array().unwrap()[1].clone();
+    assert_eq!(t60.get("name").and_then(Json::as_str), Some("t60"));
+    assert_eq!(
+        t60.get("delta")
+            .and_then(|d| d.get("tuples"))
+            .and_then(Json::as_i64),
+        Some(2)
+    );
+    let impact = t60.get("impact").unwrap();
+    assert_eq!(impact.get("baseline").and_then(Json::as_i64), Some(17));
+    assert_eq!(impact.get("net_change").and_then(Json::as_i64), Some(5));
+
+    // /stats exposes the same consistent snapshot the session reports.
+    let stats = http_get(&addr, "/stats").unwrap();
+    assert_eq!(stats.status, 200);
+    let stats = Json::parse(&stats.body).unwrap();
+    assert_eq!(stats.get("histories").and_then(Json::as_i64), Some(1));
+    assert_eq!(stats.get("requests").and_then(Json::as_i64), Some(1));
+    assert_eq!(
+        stats.get("scenarios_answered").and_then(Json::as_i64),
+        Some(3)
+    );
+    let session_stats = handle.session().stats();
+    assert_eq!(session_stats.requests, 1);
+    assert_eq!(session_stats.scenarios_answered, 3);
+
+    // Unregistration over the wire frees the name.
+    let gone = http_request(&addr, "DELETE", "/histories/retail", None).unwrap();
+    assert_eq!(gone.status, 200, "{}", gone.body);
+    let missing = http_post(&addr, "/histories/retail/batch", &batch_body).unwrap();
+    assert_eq!(missing.status, 404, "{}", missing.body);
+
+    handle.stop();
+}
+
+#[test]
+fn overload_sheds_with_429_and_retry_after() {
+    let (handle, addr) = start_server(ServeConfig {
+        max_in_flight_batches: 1,
+        max_queued_batches: 0,
+        ..Default::default()
+    });
+    http_post(&addr, "/histories/retail", REGISTER_BODY).unwrap();
+    let batch_body = format!(
+        r#"{{"scenarios": [{{"name": "t60", "whatif": "{}"}}]}}"#,
+        whatif(60)
+    );
+
+    // Occupy the single execution slot deterministically, then overload.
+    let permit = handle.admission().admit().expect("slot is free");
+    let shed = http_post(&addr, "/histories/retail/batch", &batch_body).unwrap();
+    assert_eq!(shed.status, 429, "{}", shed.body);
+    let shed_body = Json::parse(&shed.body).unwrap();
+    assert!(shed_body
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("overloaded"));
+    assert_eq!(
+        shed_body.get("max_in_flight").and_then(Json::as_i64),
+        Some(1)
+    );
+
+    // Shed requests never reach the session.
+    assert_eq!(handle.session().stats().requests, 0);
+
+    // Releasing the slot restores service.
+    drop(permit);
+    let ok = http_post(&addr, "/histories/retail/batch", &batch_body).unwrap();
+    assert_eq!(ok.status, 200, "{}", ok.body);
+
+    // Non-batch routes are not admission-gated: /healthz and /stats answer
+    // even while batches are shed.
+    let _permit = handle.admission().admit().expect("slot is free again");
+    assert_eq!(http_get(&addr, "/healthz").unwrap().status, 200);
+    assert_eq!(http_get(&addr, "/stats").unwrap().status, 200);
+
+    handle.stop();
+}
+
+#[test]
+fn over_budget_batches_answer_422_with_a_structured_breach() {
+    let (handle, addr) = start_server(ServeConfig::default());
+    http_post(&addr, "/histories/retail", REGISTER_BODY).unwrap();
+    let body = format!(
+        r#"{{"scenarios": [
+              {{"name": "t55", "whatif": "{}"}},
+              {{"name": "t60", "whatif": "{}"}}
+            ],
+            "budget": {{"max_scenarios": 1}}}}"#,
+        whatif(55),
+        whatif(60)
+    );
+    let reply = http_post(&addr, "/histories/retail/batch", &body).unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    let encoded = Json::parse(&reply.body).unwrap();
+    assert_eq!(
+        encoded.get("kind").and_then(Json::as_str),
+        Some("budget_exceeded")
+    );
+    assert_eq!(
+        encoded.get("phase").and_then(Json::as_str),
+        Some("admission")
+    );
+    let breach = encoded.get("breach").unwrap();
+    assert_eq!(breach.get("kind").and_then(Json::as_str), Some("scenarios"));
+    assert_eq!(breach.get("limit").and_then(Json::as_i64), Some(1));
+    assert_eq!(breach.get("requested").and_then(Json::as_i64), Some(2));
+
+    // A zero deadline breaches as a deadline (still 422, structured).
+    let body = format!(
+        r#"{{"scenarios": [{{"name": "t60", "whatif": "{}"}}],
+            "budget": {{"deadline_ms": 0}}}}"#,
+        whatif(60)
+    );
+    let reply = http_post(&addr, "/histories/retail/batch", &body).unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    let encoded = Json::parse(&reply.body).unwrap();
+    let breach = encoded.get("breach").unwrap();
+    assert_eq!(breach.get("kind").and_then(Json::as_str), Some("deadline"));
+
+    handle.stop();
+}
+
+#[test]
+fn wire_mistakes_answer_4xx_not_5xx() {
+    let (handle, addr) = start_server(ServeConfig::default());
+    http_post(&addr, "/histories/retail", REGISTER_BODY).unwrap();
+
+    // Unknown method label: 400 naming the accepted set.
+    let body = format!(
+        r#"{{"method": "R+XYZ", "scenarios": [{{"whatif": "{}"}}]}}"#,
+        whatif(60)
+    );
+    let reply = http_post(&addr, "/histories/retail/batch", &body).unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    for label in ["N", "R", "R+DS", "R+PS", "R+PS+DS"] {
+        assert!(reply.body.contains(label), "{label}: {}", reply.body);
+    }
+
+    // Malformed JSON: 400.
+    let reply = http_post(&addr, "/histories/retail/batch", "{nope").unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+
+    // Unknown history: 404.
+    let body = format!(r#"{{"scenarios": [{{"whatif": "{}"}}]}}"#, whatif(60));
+    let reply = http_post(&addr, "/histories/ghost/batch", &body).unwrap();
+    assert_eq!(reply.status, 404, "{}", reply.body);
+
+    // Duplicate registration: 409.
+    let reply = http_post(&addr, "/histories/retail", REGISTER_BODY).unwrap();
+    assert_eq!(reply.status, 409, "{}", reply.body);
+
+    // Engine errors on client-supplied input are 422, not 500: a history
+    // that parses but cannot execute (unknown column) ...
+    let bad_history = r#"{
+      "relations": [{"name": "Order",
+        "attributes": [{"name": "ID", "type": "int"}],
+        "tuples": [[1]]}],
+      "history": ["UPDATE Order SET ID = Nope WHERE ID = 1"]}"#;
+    let reply = http_post(&addr, "/histories/bad", bad_history).unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+    assert!(reply.body.contains("registration failed"), "{}", reply.body);
+
+    // ... and a what-if script naming a statement the history lacks.
+    let reply = http_post(
+        &addr,
+        "/histories/retail/batch",
+        r#"{"scenarios": [{"whatif": "DROP STATEMENT 99"}]}"#,
+    )
+    .unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+
+    // A registration whose tuple values contradict the declared types is
+    // rejected up front (silently-NULL comparisons would corrupt answers).
+    let mistyped = r#"{
+      "relations": [{"name": "Order",
+        "attributes": [{"name": "ID", "type": "int"}],
+        "tuples": [["1"]]}],
+      "history": []}"#;
+    let reply = http_post(&addr, "/histories/mistyped", mistyped).unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    assert!(reply.body.contains("declared type"), "{}", reply.body);
+
+    // Unknown route: 404; wrong method on a known route: 405.
+    assert_eq!(http_get(&addr, "/nope").unwrap().status, 404);
+    assert_eq!(
+        http_request(&addr, "PUT", "/histories/retail", Some("{}"))
+            .unwrap()
+            .status,
+        405
+    );
+
+    handle.stop();
+}

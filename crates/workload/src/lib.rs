@@ -24,6 +24,10 @@
 
 pub mod dataset;
 pub mod generator;
+pub mod serve_load;
 
 pub use dataset::{taxi_trips, tpcc_stock, ycsb_usertable, Dataset, DatasetKind};
 pub use generator::{GeneratedWorkload, WorkloadSpec};
+pub use serve_load::{
+    http_get, http_post, http_request, run_load, HttpReply, LatencySummary, LoadReport, LoadSpec,
+};

@@ -1,0 +1,273 @@
+//! `serve_load`: a std-only HTTP load driver for the serving layer.
+//!
+//! Fires concurrent batches at a running `mahif-serve` server and records
+//! throughput and latency percentiles. Lives in the workload crate so both
+//! the bench binary (`cargo run -p mahif-bench --bin serve_load`) and the
+//! serve crate's smoke tests drive the server through the same minimal
+//! client — one connection per request (the server is
+//! `Connection: close`), blocking I/O, no dependencies.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// An HTTP exchange's outcome.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code of the response.
+    pub status: u16,
+    /// Response body (UTF-8).
+    pub body: String,
+}
+
+/// Sends one HTTP request (`method path`, optional JSON body) to `addr`
+/// and reads the full response.
+pub fn http_request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed status line: {status_line:?}"),
+            )
+        })?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            String::from_utf8(buf)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?
+        }
+        None => {
+            let mut buf = String::new();
+            reader.read_to_string(&mut buf)?;
+            buf
+        }
+    };
+    Ok(HttpReply { status, body })
+}
+
+/// `POST path` with a JSON body.
+pub fn http_post(addr: &str, path: &str, body: &str) -> io::Result<HttpReply> {
+    http_request(addr, "POST", path, Some(body))
+}
+
+/// `GET path`.
+pub fn http_get(addr: &str, path: &str) -> io::Result<HttpReply> {
+    http_request(addr, "GET", path, None)
+}
+
+/// Load-driver parameters.
+#[derive(Debug, Clone)]
+pub struct LoadSpec {
+    /// Concurrent client threads.
+    pub clients: usize,
+    /// Requests each client fires, back to back.
+    pub requests_per_client: usize,
+}
+
+impl Default for LoadSpec {
+    fn default() -> Self {
+        LoadSpec {
+            clients: 4,
+            requests_per_client: 8,
+        }
+    }
+}
+
+/// Latency percentiles over the successful (2xx) requests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LatencySummary {
+    /// Median.
+    pub p50: Duration,
+    /// 90th percentile.
+    pub p90: Duration,
+    /// 99th percentile.
+    pub p99: Duration,
+    /// Slowest.
+    pub max: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+}
+
+/// What a load run observed.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests fired.
+    pub requests: usize,
+    /// 2xx answers.
+    pub ok: usize,
+    /// 429s — load the admission controller shed.
+    pub shed: usize,
+    /// 422s — budget breaches (expected for over-budget request mixes).
+    pub over_budget: usize,
+    /// Any other status or transport failure.
+    pub failed: usize,
+    /// Wall-clock of the whole run.
+    pub wall_clock: Duration,
+    /// Successful requests per second of wall clock.
+    pub throughput_rps: f64,
+    /// Latency percentiles over the successful requests.
+    pub latency: LatencySummary,
+}
+
+/// The `p`-th percentile (0..=100) of `sorted` (ascending), by the
+/// nearest-rank method. Empty input reports zero.
+pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+fn summarize(mut latencies: Vec<Duration>) -> LatencySummary {
+    if latencies.is_empty() {
+        return LatencySummary::default();
+    }
+    latencies.sort();
+    let total: Duration = latencies.iter().sum();
+    LatencySummary {
+        p50: percentile(&latencies, 50.0),
+        p90: percentile(&latencies, 90.0),
+        p99: percentile(&latencies, 99.0),
+        max: *latencies.last().expect("non-empty"),
+        mean: total / latencies.len() as u32,
+    }
+}
+
+/// Fires `spec.clients` concurrent clients at `addr`, each posting
+/// `spec.requests_per_client` bodies drawn round-robin from `requests`
+/// (`(path, body)` pairs — a *mixed* load is simply a mixed list), and
+/// aggregates outcomes. Counts a 429 as shed (not failed): under
+/// deliberate overload, shedding is the server behaving correctly.
+pub fn run_load(addr: &str, requests: &[(String, String)], spec: &LoadSpec) -> LoadReport {
+    assert!(!requests.is_empty(), "run_load needs at least one request");
+    let start = Instant::now();
+    let outcomes: Vec<(u16, Option<Duration>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..spec.clients)
+            .map(|client| {
+                scope.spawn(move || {
+                    let mut local = Vec::with_capacity(spec.requests_per_client);
+                    for i in 0..spec.requests_per_client {
+                        let (path, body) =
+                            &requests[(client * spec.requests_per_client + i) % requests.len()];
+                        let sent = Instant::now();
+                        match http_post(addr, path, body) {
+                            Ok(reply) => local.push((reply.status, Some(sent.elapsed()))),
+                            Err(_) => local.push((0, None)),
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let wall_clock = start.elapsed();
+
+    let mut report = LoadReport {
+        requests: outcomes.len(),
+        wall_clock,
+        ..Default::default()
+    };
+    let mut latencies = Vec::new();
+    for (status, latency) in outcomes {
+        match status {
+            200..=299 => {
+                report.ok += 1;
+                if let Some(latency) = latency {
+                    latencies.push(latency);
+                }
+            }
+            429 => report.shed += 1,
+            422 => report.over_budget += 1,
+            _ => report.failed += 1,
+        }
+    }
+    report.throughput_rps = if wall_clock.as_secs_f64() > 0.0 {
+        report.ok as f64 / wall_clock.as_secs_f64()
+    } else {
+        0.0
+    };
+    report.latency = summarize(latencies);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let ms: Vec<Duration> = (1..=100).map(Duration::from_millis).collect();
+        assert_eq!(percentile(&ms, 50.0), Duration::from_millis(50));
+        assert_eq!(percentile(&ms, 90.0), Duration::from_millis(90));
+        assert_eq!(percentile(&ms, 99.0), Duration::from_millis(99));
+        assert_eq!(percentile(&ms, 100.0), Duration::from_millis(100));
+        let one = [Duration::from_millis(7)];
+        assert_eq!(percentile(&one, 50.0), Duration::from_millis(7));
+        assert_eq!(percentile(&[], 99.0), Duration::ZERO);
+    }
+
+    #[test]
+    fn http_client_talks_to_a_plain_socket() {
+        use std::io::Read;
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 1024];
+            let n = s.read(&mut buf).unwrap();
+            let request = String::from_utf8_lossy(&buf[..n]).to_string();
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: close\r\n\r\nok")
+                .unwrap();
+            request
+        });
+        let reply = http_post(&addr, "/x", "{}").unwrap();
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, "ok");
+        let seen = server.join().unwrap();
+        assert!(seen.starts_with("POST /x HTTP/1.1\r\n"), "{seen}");
+        assert!(seen.ends_with("\r\n\r\n{}"), "{seen}");
+    }
+}

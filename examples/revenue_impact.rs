@@ -24,7 +24,8 @@ fn main() {
     .expect("history executes");
 
     println!("Current orders (after the shipping-fee policy):");
-    let current = session.history("retail").unwrap().current_state();
+    let retail = session.history("retail").unwrap();
+    let current = retail.current_state();
     for t in current.relation("Order").unwrap().iter() {
         println!("  {t}");
     }

@@ -1,0 +1,203 @@
+//! Concurrent-session stress test: one `Arc<Session>` shared by many
+//! threads that register, unregister and answer batches at the same time.
+//!
+//! Asserts the three contracts of the shared service core:
+//!
+//! 1. **No deadlocks / no panics** — the scoped run completes with every
+//!    request answered (registry lock, counter commit lock and worker pool
+//!    compose).
+//! 2. **Byte-identical answers** — every concurrently-answered batch equals
+//!    the sequential single-threaded reference, scenario by scenario.
+//! 3. **Monotonic, consistent `SessionStats`** — a watcher thread samples
+//!    `stats()` throughout; every counter is non-decreasing across
+//!    samples, and because all batches carry the same scenario count, any
+//!    consistent snapshot must satisfy `scenarios_answered == k × requests`
+//!    — a torn (half-committed) counter set would violate it.
+
+use std::sync::Arc;
+
+use mahif::{sweep, Method, Response, Session, SessionStats};
+use mahif_history::statement::{running_example_database, running_example_history};
+use mahif_history::{History, SetClause, Statement};
+
+use mahif_expr::builder::*;
+
+const WORKERS: usize = 4;
+const BATCHES_PER_WORKER: usize = 5;
+const K: usize = 3;
+
+fn threshold(t: i64) -> Statement {
+    Statement::update(
+        "Order",
+        SetClause::single("ShippingFee", lit(0)),
+        ge(attr("Price"), lit(t)),
+    )
+}
+
+/// The thresholds worker `w` sweeps in its `b`-th batch (deterministic, so
+/// the sequential reference reproduces them exactly). All odd: a threshold
+/// of exactly 50 would replicate the original statement, normalize to a
+/// no-op scenario and split the batch into two slice groups — breaking the
+/// one-group-per-batch accounting the watcher assertions rely on.
+fn thresholds(worker: usize, batch: usize) -> [i64; K] {
+    let base = 41 + 2 * ((worker as i64) * BATCHES_PER_WORKER as i64 + batch as i64);
+    [base, base + 10, base + 20]
+}
+
+fn run_batch(session: &Session, worker: usize, batch: usize) -> Response {
+    session
+        .on("retail")
+        .method(Method::ReenactPsDs)
+        .run_batch(sweep("t", 0, thresholds(worker, batch), |t| threshold(*t)))
+        .expect("batch succeeds")
+}
+
+#[test]
+fn concurrent_batches_match_sequential_and_stats_stay_consistent() {
+    // Sequential reference, single thread, fresh session.
+    let reference_session = Session::with_history(
+        "retail",
+        running_example_database(),
+        History::new(running_example_history()),
+    )
+    .unwrap();
+    let mut reference: Vec<Vec<Response>> = Vec::new();
+    for worker in 0..WORKERS {
+        reference.push(
+            (0..BATCHES_PER_WORKER)
+                .map(|batch| run_batch(&reference_session, worker, batch))
+                .collect(),
+        );
+    }
+
+    // The shared service core under concurrent load.
+    let session = Arc::new(
+        Session::with_history(
+            "retail",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap(),
+    );
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let (answers, samples) = std::thread::scope(|scope| {
+        // ≥4 worker threads answering batches.
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|worker| {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    (0..BATCHES_PER_WORKER)
+                        .map(|batch| run_batch(&session, worker, batch))
+                        .collect::<Vec<Response>>()
+                })
+            })
+            .collect();
+        // A registrar thread churning the registry while batches run:
+        // registration and unregistration take `&self` now, so they are
+        // legal from any thread.
+        let registrar = {
+            let session = Arc::clone(&session);
+            scope.spawn(move || {
+                for i in 0..6 {
+                    let name = format!("churn-{i}");
+                    session
+                        .register(
+                            &name,
+                            running_example_database(),
+                            History::new(running_example_history()),
+                        )
+                        .expect("churn registration succeeds");
+                    session.unregister(&name).expect("churn unregistration");
+                }
+            })
+        };
+        // A watcher thread sampling the consistent snapshot path.
+        let watcher = {
+            let session = Arc::clone(&session);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut samples: Vec<SessionStats> = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    samples.push(session.stats());
+                    std::thread::yield_now();
+                }
+                samples.push(session.stats());
+                samples
+            })
+        };
+        let answers: Vec<Vec<Response>> = workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect();
+        registrar.join().expect("registrar panicked");
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let samples = watcher.join().expect("watcher panicked");
+        (answers, samples)
+    });
+
+    // 2. Byte-identical answers vs the sequential reference.
+    for (worker, batches) in answers.iter().enumerate() {
+        for (batch, response) in batches.iter().enumerate() {
+            let expected = &reference[worker][batch];
+            assert_eq!(response.len(), expected.len());
+            for (a, b) in response.scenarios.iter().zip(&expected.scenarios) {
+                assert_eq!(a.name, b.name);
+                assert_eq!(
+                    a.answer.delta, b.answer.delta,
+                    "worker {worker} batch {batch} scenario {}",
+                    a.name
+                );
+            }
+        }
+    }
+
+    // 3a. Final counters account for exactly the work submitted.
+    let total_batches = (WORKERS * BATCHES_PER_WORKER) as u64;
+    let stats = session.stats();
+    assert_eq!(stats.requests, total_batches);
+    assert_eq!(stats.scenarios_answered, total_batches * K as u64);
+    // 1 initial + 6 churn registrations; churn histories are gone again.
+    assert_eq!(stats.version_chains_built, 7);
+    assert_eq!(stats.histories, 1);
+
+    // 3b. Monotonic counters across every pair of samples, and no torn
+    // commits: scenarios arrive in whole batches of K.
+    assert!(samples.len() >= 2, "the watcher sampled while workers ran");
+    for pair in samples.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert!(b.requests >= a.requests, "{a:?} -> {b:?}");
+        assert!(
+            b.scenarios_answered >= a.scenarios_answered,
+            "{a:?} -> {b:?}"
+        );
+        assert!(
+            b.version_chains_built >= a.version_chains_built,
+            "{a:?} -> {b:?}"
+        );
+        assert!(b.slices_computed >= a.slices_computed, "{a:?} -> {b:?}");
+        assert!(b.slices_shared >= a.slices_shared, "{a:?} -> {b:?}");
+        assert!(
+            b.original_reenactments >= a.original_reenactments,
+            "{a:?} -> {b:?}"
+        );
+    }
+    for sample in &samples {
+        assert_eq!(
+            sample.scenarios_answered,
+            sample.requests * K as u64,
+            "torn snapshot: scenarios must arrive in whole batches of {K}: {sample:?}"
+        );
+        // Every batch here is one slice-sharing group, and slice counters
+        // commit with the rest of the request — so they can never run
+        // ahead of (or behind) the request count in a snapshot.
+        assert_eq!(
+            sample.slices_computed, sample.requests,
+            "torn snapshot: slice counters must commit with their request: {sample:?}"
+        );
+        assert_eq!(
+            sample.slices_shared,
+            sample.requests * (K as u64 - 1),
+            "torn snapshot: {sample:?}"
+        );
+    }
+}

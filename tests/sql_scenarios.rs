@@ -56,7 +56,8 @@ fn sql_history_with_insert_select_and_case() {
     .unwrap();
     let session = Session::with_history("retail", running_example_database(), history).unwrap();
     // Current state: 4 original + 2 archived UK orders.
-    let current = session.history("retail").unwrap().current_state();
+    let retail = session.history("retail").unwrap();
+    let current = retail.current_state();
     assert_eq!(current.relation("Order").unwrap().len(), 6);
 
     let modifications = ModificationSet::single_replace(

@@ -5,8 +5,12 @@
 //! generated taxi workload, registers the history **over the wire**, then
 //! fires concurrent *mixed* batches (several batch sizes and methods, plus
 //! a deliberately over-budget body) from `mahif_workload::serve_load`
-//! clients. A second, deliberately overloaded run (capacity 1, queue 0)
-//! exercises the 429 shed path and records how much load was shed.
+//! clients — **twice**: once with one connection per request
+//! (`requests_per_conn = 1`, the pre-keep-alive behavior) and once with
+//! full connection reuse, recording the two side by side plus their
+//! throughput ratio. A final, deliberately overloaded run (capacity 1,
+//! queue 0, reused connections) exercises the 429 shed path and checks a
+//! 429 does not poison its socket.
 //!
 //! ```text
 //! cargo run --release -p mahif-bench --bin serve_load            # full run
@@ -142,6 +146,10 @@ fn report_json(report: &LoadReport, spec: &LoadSpec) -> Json {
             "requests_per_client",
             Json::Int(spec.requests_per_client as i64),
         ),
+        (
+            "requests_per_conn",
+            Json::Int(spec.requests_per_conn as i64),
+        ),
         ("requests", Json::Int(report.requests as i64)),
         ("ok", Json::Int(report.ok as i64)),
         ("shed_429", Json::Int(report.shed as i64)),
@@ -208,26 +216,154 @@ fn main() {
     .map(|body| ("/histories/taxi/batch".to_string(), body))
     .collect();
 
-    // Warm up once so the measured run does not pay first-touch costs.
+    // Warm up once so the measured runs do not pay first-touch costs.
     let warm = http_post(&addr, &mix[0].0, &mix[0].1).expect("warmup");
     assert_eq!(warm.status, 200, "warmup failed: {}", warm.body);
 
-    let spec = LoadSpec {
+    // Answers must be byte-identical whether the connection is fresh or
+    // reused (the smoke tests also pipeline; this is the bench's cheap
+    // end-to-end cross-check before it starts timing).
+    {
+        let fresh = http_post(&addr, &mix[0].0, &mix[0].1).expect("fresh-connection request");
+        let mut client = mahif_workload::serve_load::HttpClient::new(&addr);
+        let reused_warm = client
+            .request("POST", &mix[0].0, Some(&mix[0].1), false)
+            .expect("first keep-alive request");
+        let reused = client
+            .request("POST", &mix[0].0, Some(&mix[0].1), false)
+            .expect("reused-connection request");
+        let scenarios = |body: &str| {
+            Json::parse(body)
+                .expect("batch reply is JSON")
+                .get("scenarios")
+                .expect("batch reply has scenarios")
+                .to_string()
+        };
+        assert_eq!(reused_warm.status, 200);
+        assert_eq!(
+            scenarios(&fresh.body),
+            scenarios(&reused.body),
+            "reused-connection answers must be byte-identical"
+        );
+    }
+
+    // The same mixed workload, twice: one connection per request (the old
+    // `Connection: close` behavior) vs keep-alive reuse across each
+    // client's whole run — the close-vs-keep-alive comparison the bench
+    // exists to record.
+    let close_spec = LoadSpec {
         clients,
         requests_per_client,
+        requests_per_conn: 1,
     };
-    let load = run_load(&addr, &mix, &spec);
+    let load_close = run_load(&addr, &mix, &close_spec);
     println!(
-        "mixed load: {} requests, {} ok, {} over-budget, {} shed, {} failed, {:.1} req/s, p50 {:?}, p99 {:?}",
-        load.requests, load.ok, load.over_budget, load.shed, load.failed,
-        load.throughput_rps, load.latency.p50, load.latency.p99
+        "mixed load (close):      {} requests, {} ok, {} over-budget, {} shed, {} failed, {:.1} req/s, p50 {:?}, p99 {:?}",
+        load_close.requests, load_close.ok, load_close.over_budget, load_close.shed,
+        load_close.failed, load_close.throughput_rps, load_close.latency.p50,
+        load_close.latency.p99
     );
-    assert_eq!(load.failed, 0, "no request may fail outright");
-    assert!(load.ok > 0, "the mixed load must answer something");
-    assert!(
-        load.over_budget > 0,
-        "the over-budget mix element must be rejected as 422"
+    let keep_alive_spec = LoadSpec {
+        clients,
+        requests_per_client,
+        requests_per_conn: 0, // unlimited reuse
+    };
+    let load_keep_alive = run_load(&addr, &mix, &keep_alive_spec);
+    println!(
+        "mixed load (keep-alive): {} requests, {} ok, {} over-budget, {} shed, {} failed, {:.1} req/s, p50 {:?}, p99 {:?}",
+        load_keep_alive.requests, load_keep_alive.ok, load_keep_alive.over_budget,
+        load_keep_alive.shed, load_keep_alive.failed, load_keep_alive.throughput_rps,
+        load_keep_alive.latency.p50, load_keep_alive.latency.p99
     );
+    for (name, load) in [("close", &load_close), ("keep-alive", &load_keep_alive)] {
+        assert_eq!(load.failed, 0, "no {name} request may fail outright");
+        assert!(load.ok > 0, "the {name} mixed load must answer something");
+        assert!(
+            load.over_budget > 0,
+            "the over-budget mix element must be rejected as 422 under {name}"
+        );
+    }
+    let speedup = if load_close.throughput_rps > 0.0 {
+        load_keep_alive.throughput_rps / load_close.throughput_rps
+    } else {
+        0.0
+    };
+    println!("keep-alive throughput speedup over close (mixed): {speedup:.2}x");
+
+    // --- Light phase: where connection amortization actually shows. ----
+    // The mixed batches above are engine-bound (hundreds of ms of solver
+    // work per request), so per-request TCP setup hides in the noise. An
+    // analyst poking at a small history with k=1 what-ifs is the opposite
+    // regime: the answer costs ~1 ms, the connection costs are the bill.
+    let retail = r#"{
+      "relations": [
+        {"name": "Order",
+         "attributes": [
+           {"name": "ID", "type": "int"},
+           {"name": "Customer", "type": "str"},
+           {"name": "Country", "type": "str"},
+           {"name": "Price", "type": "int"},
+           {"name": "ShippingFee", "type": "int"}
+         ],
+         "tuples": [
+           [11, "Susan", "UK", 20, 5],
+           [12, "Alex", "UK", 50, 5],
+           [13, "Jack", "US", 60, 3],
+           [14, "Mark", "US", 30, 4]
+         ]}
+      ],
+      "history": [
+        "UPDATE Order SET ShippingFee = 0 WHERE Price >= 50",
+        "UPDATE Order SET ShippingFee = ShippingFee + 5 WHERE Country = 'UK' AND Price <= 100",
+        "UPDATE Order SET ShippingFee = ShippingFee - 2 WHERE Price <= 30 AND ShippingFee >= 10"
+      ]
+    }"#;
+    let reply = http_post(&addr, "/histories/retail", retail).expect("light registration");
+    assert_eq!(reply.status, 201, "light registration: {}", reply.body);
+    let light_mix: Vec<(String, String)> = vec![(
+        "/histories/retail/batch".to_string(),
+        r#"{"scenarios": [{"name": "t60", "whatif": "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 60"}]}"#.to_string(),
+    )];
+    let warm = http_post(&addr, &light_mix[0].0, &light_mix[0].1).expect("light warmup");
+    assert_eq!(warm.status, 200, "light warmup: {}", warm.body);
+    let light_requests = if quick { 16 } else { 80 };
+    let light_close_spec = LoadSpec {
+        clients,
+        requests_per_client: light_requests,
+        requests_per_conn: 1,
+    };
+    let light_close = run_load(&addr, &light_mix, &light_close_spec);
+    let light_keep_alive_spec = LoadSpec {
+        clients,
+        requests_per_client: light_requests,
+        requests_per_conn: 0,
+    };
+    let light_keep_alive = run_load(&addr, &light_mix, &light_keep_alive_spec);
+    for (name, load) in [("close", &light_close), ("keep-alive", &light_keep_alive)] {
+        assert_eq!(load.failed, 0, "no light {name} request may fail");
+        assert_eq!(load.ok, load.requests, "light {name} load is all-2xx");
+    }
+    let light_speedup = if light_close.throughput_rps > 0.0 {
+        light_keep_alive.throughput_rps / light_close.throughput_rps
+    } else {
+        0.0
+    };
+    println!(
+        "light k=1 load (close):      {} ok, {:.1} req/s, p50 {:?}, p99 {:?}",
+        light_close.ok,
+        light_close.throughput_rps,
+        light_close.latency.p50,
+        light_close.latency.p99
+    );
+    println!(
+        "light k=1 load (keep-alive): {} ok, {:.1} req/s, p50 {:?}, p99 {:?}",
+        light_keep_alive.ok,
+        light_keep_alive.throughput_rps,
+        light_keep_alive.latency.p50,
+        light_keep_alive.latency.p99
+    );
+    println!("keep-alive throughput speedup over close (light): {light_speedup:.2}x");
+
     let stats = handle.session().stats();
     println!(
         "session after load: {} requests, {} scenarios, {} slices computed, {} shared",
@@ -261,6 +397,9 @@ fn main() {
     let overload_spec = LoadSpec {
         clients: if quick { 4 } else { 6 },
         requests_per_client: if quick { 3 } else { 6 },
+        // Reused connections under overload: a 429 must not poison the
+        // socket it was answered on.
+        requests_per_conn: 0,
     };
     let overload = run_load(&addr, &heavy, &overload_spec);
     println!(
@@ -278,11 +417,20 @@ fn main() {
             "description",
             Json::str(
                 "Concurrent mixed scenario batches over the mahif-serve HTTP layer (std-only \
-                 server, one connection per request on loopback). Phase 'load': default admission \
-                 (4 in-flight, queue 16) under a mix of batch sizes (k=1,4,8), methods (R+PS+DS, \
-                 R+DS, R), and one over-budget body answered 422. Phase 'overload': capacity 1, \
-                 queue 0 — excess load is shed as 429, never errors. Latencies are per-request \
-                 client-observed wall clock; throughput counts 2xx only.",
+                 server, persistent connections on a bounded worker pool, loopback). The same \
+                 mixed load — batch sizes k=1,4,8, methods (R+PS+DS, R+DS, R), one over-budget \
+                 body answered 422 — runs twice under default admission (4 in-flight, queue 16): \
+                 'load_close' opens one connection per request (requests_per_conn=1, the \
+                 pre-keep-alive behavior), 'load_keep_alive' reuses each client's connection for \
+                 its whole run (requests_per_conn=0); 'keepalive_throughput_speedup' is their \
+                 2xx-throughput ratio. The 'light_*' pair repeats the comparison on k=1 batches \
+                 over the tiny Figure-1 retail history — the interactive-analyst regime where \
+                 per-request connection setup dominates, so the keep-alive amortization is \
+                 visible in throughput, not just tail latency. Phase 'overload': capacity 1, \
+                 queue 0, reused connections \
+                 — excess load is shed as 429 (never errors) and a 429 does not poison its \
+                 socket. Latencies are per-request client-observed wall clock; throughput counts \
+                 2xx only.",
             ),
         ),
         (
@@ -299,7 +447,24 @@ fn main() {
                 ("quick", Json::Bool(quick)),
             ]),
         ),
-        ("load", report_json(&load, &spec)),
+        ("load_close", report_json(&load_close, &close_spec)),
+        (
+            "load_keep_alive",
+            report_json(&load_keep_alive, &keep_alive_spec),
+        ),
+        (
+            "keepalive_throughput_speedup",
+            Json::Float((speedup * 100.0).round() / 100.0),
+        ),
+        ("light_close", report_json(&light_close, &light_close_spec)),
+        (
+            "light_keep_alive",
+            report_json(&light_keep_alive, &light_keep_alive_spec),
+        ),
+        (
+            "light_keepalive_throughput_speedup",
+            Json::Float((light_speedup * 100.0).round() / 100.0),
+        ),
         ("overload", report_json(&overload, &overload_spec)),
     ]);
     std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_serve.json");

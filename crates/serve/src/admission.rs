@@ -7,6 +7,12 @@
 //! rejected immediately — the server answers 429 instead of building an
 //! unbounded backlog. This is the classic admission-control triangle:
 //! serve, queue, or shed.
+//!
+//! Permits are **per request**, not per connection: on a persistent
+//! (keep-alive) connection the handler acquires a permit when an
+//! engine-heavy request arrives and drops it before the response is
+//! written, so a parked connection between requests never pins an
+//! execution slot — only its worker thread.
 
 use std::sync::{Arc, Condvar, Mutex};
 

@@ -13,6 +13,7 @@
 //! `Session::execute` answer.
 
 use std::fmt;
+use std::io::Read;
 
 /// A JSON value.
 #[derive(Debug, Clone, PartialEq)]
@@ -392,6 +393,345 @@ impl<'a> Parser<'a> {
     }
 }
 
+// ------------------------------------------------------------- pull parser
+
+/// An incremental (pull) JSON parser over any `Read` — the streaming
+/// counterpart of [`Json::parse`] for bodies that should never be
+/// materialized whole. The caller drives it structurally:
+///
+/// ```text
+/// begin_object() → next_key()? … → begin_array() → next_element()? …
+/// ```
+///
+/// with [`PullParser::value`] (materialize a bounded subtree) and
+/// [`PullParser::skip_value`] (discard one) at the leaves, and
+/// [`PullParser::end`] asserting the document is complete. Container
+/// nesting is bounded by the same 128-level `MAX_DEPTH` as the tree parser —
+/// whether the caller's begin/next stack or `value`'s recursion opens the
+/// containers — so a hostile `[[[[…` body cannot overflow the stack.
+///
+/// The registration route uses this to decode multi-megabyte datasets
+/// straight off the socket: tuples flow from the wire into the relation
+/// without the body ever existing as one `String` *and* one `Json` tree.
+pub struct PullParser<R: Read> {
+    reader: R,
+    peeked: Option<u8>,
+    /// Bytes consumed so far (error offsets).
+    pos: usize,
+    /// Open containers entered via `begin_*`; the bool records whether
+    /// the container has yielded its first item (comma handling).
+    containers: Vec<bool>,
+}
+
+impl<R: Read> PullParser<R> {
+    /// Wraps `reader`; bound it (e.g. with [`std::io::Read::take`])
+    /// before handing it in — the parser reads to the document's end.
+    pub fn new(reader: R) -> PullParser<R> {
+        PullParser {
+            reader,
+            peeked: None,
+            pos: 0,
+            containers: Vec::new(),
+        }
+    }
+
+    fn err(&self, message: &str) -> JsonError {
+        JsonError {
+            message: message.to_string(),
+            offset: self.pos,
+        }
+    }
+
+    fn io_err(&self, e: std::io::Error) -> JsonError {
+        self.err(&format!("read failed: {e}"))
+    }
+
+    fn peek(&mut self) -> Result<Option<u8>, JsonError> {
+        if self.peeked.is_none() {
+            let mut byte = [0u8; 1];
+            loop {
+                match self.reader.read(&mut byte) {
+                    Ok(0) => return Ok(None),
+                    Ok(_) => {
+                        self.peeked = Some(byte[0]);
+                        break;
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(e) => return Err(self.io_err(e)),
+                }
+            }
+        }
+        Ok(self.peeked)
+    }
+
+    fn bump(&mut self) -> Result<u8, JsonError> {
+        match self.peek()? {
+            Some(b) => {
+                self.peeked = None;
+                self.pos += 1;
+                Ok(b)
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn skip_ws(&mut self) -> Result<(), JsonError> {
+        while matches!(self.peek()?, Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.bump()?;
+        }
+        Ok(())
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), JsonError> {
+        if self.peek()? == Some(expected) {
+            self.bump()?;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", expected as char)))
+        }
+    }
+
+    fn depth(&self) -> usize {
+        self.containers.len()
+    }
+
+    fn push_container(&mut self) -> Result<(), JsonError> {
+        if self.depth() + 1 > MAX_DEPTH {
+            return Err(self.err("nesting deeper than 128 levels"));
+        }
+        self.containers.push(false);
+        Ok(())
+    }
+
+    /// Enters an object (`{`). Pair with [`PullParser::next_key`].
+    pub fn begin_object(&mut self) -> Result<(), JsonError> {
+        self.skip_ws()?;
+        self.eat(b'{')?;
+        self.push_container()
+    }
+
+    /// The next key of the current object, with the cursor left on its
+    /// value; `None` means `}` was consumed and the object is done.
+    pub fn next_key(&mut self) -> Result<Option<String>, JsonError> {
+        self.skip_ws()?;
+        let saw_first = *self
+            .containers
+            .last()
+            .ok_or_else(|| self.err("next_key outside an object"))?;
+        if self.peek()? == Some(b'}') {
+            self.bump()?;
+            self.containers.pop();
+            return Ok(None);
+        }
+        if saw_first {
+            self.eat(b',')
+                .map_err(|_| self.err("expected ',' or '}' in object"))?;
+            self.skip_ws()?;
+        }
+        let key = self.string()?;
+        self.skip_ws()?;
+        self.eat(b':')?;
+        self.skip_ws()?;
+        *self.containers.last_mut().expect("checked above") = true;
+        Ok(Some(key))
+    }
+
+    /// Enters an array (`[`). Pair with [`PullParser::next_element`].
+    pub fn begin_array(&mut self) -> Result<(), JsonError> {
+        self.skip_ws()?;
+        self.eat(b'[')?;
+        self.push_container()
+    }
+
+    /// Whether another element follows in the current array, with the
+    /// cursor left on it; `false` means `]` was consumed.
+    pub fn next_element(&mut self) -> Result<bool, JsonError> {
+        self.skip_ws()?;
+        let saw_first = *self
+            .containers
+            .last()
+            .ok_or_else(|| self.err("next_element outside an array"))?;
+        if self.peek()? == Some(b']') {
+            self.bump()?;
+            self.containers.pop();
+            return Ok(false);
+        }
+        if saw_first {
+            self.eat(b',')
+                .map_err(|_| self.err("expected ',' or ']' in array"))?;
+            self.skip_ws()?;
+        }
+        *self.containers.last_mut().expect("checked above") = true;
+        Ok(true)
+    }
+
+    /// Materializes one whole value (scalar or container) as a [`Json`]
+    /// tree. Depth is bounded jointly with the structural stack.
+    pub fn value(&mut self) -> Result<Json, JsonError> {
+        self.skip_ws()?;
+        match self.peek()? {
+            Some(b'{') => {
+                self.begin_object()?;
+                let mut pairs = Vec::new();
+                while let Some(key) = self.next_key()? {
+                    pairs.push((key, self.value()?));
+                }
+                Ok(Json::Obj(pairs))
+            }
+            Some(b'[') => {
+                self.begin_array()?;
+                let mut items = Vec::new();
+                while self.next_element()? {
+                    items.push(self.value()?);
+                }
+                Ok(Json::Arr(items))
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't' | b'f' | b'n') => self.literal(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    /// Discards one whole value without materializing it.
+    pub fn skip_value(&mut self) -> Result<(), JsonError> {
+        self.skip_ws()?;
+        match self.peek()? {
+            Some(b'{') => {
+                self.begin_object()?;
+                while self.next_key()?.is_some() {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b'[') => {
+                self.begin_array()?;
+                while self.next_element()? {
+                    self.skip_value()?;
+                }
+                Ok(())
+            }
+            Some(b'"') => self.string().map(drop),
+            Some(b't' | b'f' | b'n') => self.literal().map(drop),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number().map(drop),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    /// Asserts the document is complete: only whitespace remains.
+    pub fn end(&mut self) -> Result<(), JsonError> {
+        if !self.containers.is_empty() {
+            return Err(self.err("document ended inside a container"));
+        }
+        self.skip_ws()?;
+        if self.peek()?.is_some() {
+            return Err(self.err("trailing characters after the JSON value"));
+        }
+        Ok(())
+    }
+
+    fn literal(&mut self) -> Result<Json, JsonError> {
+        let (word, value) = match self.peek()? {
+            Some(b't') => ("true", Json::Bool(true)),
+            Some(b'f') => ("false", Json::Bool(false)),
+            _ => ("null", Json::Null),
+        };
+        for expected in word.bytes() {
+            if self.bump()? != expected {
+                return Err(self.err("invalid literal"));
+            }
+        }
+        Ok(value)
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.eat(b'"')?;
+        // Unescaped bytes accumulate raw and are UTF-8-validated once at
+        // the end; escapes are decoded inline.
+        let mut out: Vec<u8> = Vec::new();
+        loop {
+            let b = self.bump().map_err(|_| self.err("unterminated string"))?;
+            match b {
+                b'"' => {
+                    return String::from_utf8(out).map_err(|_| self.err("invalid UTF-8"));
+                }
+                b'\\' => {
+                    let esc = self.bump()?;
+                    match esc {
+                        b'"' => out.push(b'"'),
+                        b'\\' => out.push(b'\\'),
+                        b'/' => out.push(b'/'),
+                        b'b' => out.push(0x08),
+                        b'f' => out.push(0x0C),
+                        b'n' => out.push(b'\n'),
+                        b'r' => out.push(b'\r'),
+                        b't' => out.push(b'\t'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                if self.bump()? != b'\\' || self.bump()? != b'u' {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                let second = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&second) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(first)
+                                    .ok_or_else(|| self.err("invalid \\u escape"))?
+                            };
+                            let mut buf = [0u8; 4];
+                            out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                }
+                _ => out.push(b),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut v: u32 = 0;
+        for _ in 0..4 {
+            let digit = (self.bump()? as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("invalid \\u escape"))?;
+            v = v * 16 + digit;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let mut text = String::new();
+        if self.peek()? == Some(b'-') {
+            text.push(self.bump()? as char);
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek()? {
+            match c {
+                b'0'..=b'9' => text.push(self.bump()? as char),
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    text.push(self.bump()? as char);
+                }
+                _ => break,
+            }
+        }
+        if !is_float {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Float)
+            .map_err(|_| self.err("invalid number"))
+    }
+}
+
 /// Escapes `s` into a JSON string literal (quotes included) on `f`.
 fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
     f.write_str("\"")?;
@@ -515,6 +855,83 @@ mod tests {
         assert!(Json::parse(&ok).is_ok());
         let wide = format!("[{}]", vec!["[1]"; 1000].join(","));
         assert!(Json::parse(&wide).is_ok());
+    }
+
+    /// A `Read` that hands out one byte per call — the worst-case framing
+    /// the pull parser can see from a socket.
+    struct OneByte<'a>(&'a [u8]);
+    impl Read for OneByte<'_> {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            match self.0.split_first() {
+                None => Ok(0),
+                Some((b, rest)) => {
+                    buf[0] = *b;
+                    self.0 = rest;
+                    Ok(1)
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pull_parser_streams_structurally() {
+        let doc = r#" {"name": "Order", "tuples": [[1, "a\n", true], [2, null, false]], "extra": {"deep": [1,2]}} "#;
+        let mut p = PullParser::new(OneByte(doc.as_bytes()));
+        p.begin_object().unwrap();
+        let mut rows = 0;
+        while let Some(key) = p.next_key().unwrap() {
+            match key.as_str() {
+                "name" => assert_eq!(p.value().unwrap(), Json::str("Order")),
+                "tuples" => {
+                    p.begin_array().unwrap();
+                    while p.next_element().unwrap() {
+                        p.begin_array().unwrap();
+                        let mut cells = Vec::new();
+                        while p.next_element().unwrap() {
+                            cells.push(p.value().unwrap());
+                        }
+                        assert_eq!(cells.len(), 3);
+                        rows += 1;
+                    }
+                }
+                _ => p.skip_value().unwrap(),
+            }
+        }
+        p.end().unwrap();
+        assert_eq!(rows, 2);
+    }
+
+    #[test]
+    fn pull_parser_matches_the_tree_parser() {
+        // Everything the tree parser accepts, byte-for-byte equal results —
+        // escapes, surrogate pairs, i64-exact integers, nested containers.
+        for doc in [
+            r#"{"b":[1,2,{"x":null}],"a":"y","n":-3.5}"#,
+            r#""𝄞""#,
+            "9007199254740993",
+            r#"[true, false, null, "a\"b\\c\ndA"]"#,
+            "[]",
+            "{}",
+        ] {
+            let mut p = PullParser::new(doc.as_bytes());
+            let streamed = p.value().unwrap();
+            p.end().unwrap();
+            assert_eq!(streamed, Json::parse(doc).unwrap(), "{doc}");
+        }
+    }
+
+    #[test]
+    fn pull_parser_bounds_depth_and_rejects_garbage() {
+        let deep = "[".repeat(100_000);
+        let mut p = PullParser::new(deep.as_bytes());
+        let err = p.skip_value().unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+        // Trailing garbage and truncation are errors, not hangs.
+        let mut p = PullParser::new(&b"{\"a\": 1} x"[..]);
+        p.skip_value().unwrap();
+        assert!(p.end().is_err());
+        let mut p = PullParser::new(&b"{\"a\": "[..]);
+        assert!(p.skip_value().is_err());
     }
 
     #[test]

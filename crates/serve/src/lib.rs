@@ -7,12 +7,19 @@
 //!
 //! The layer is deliberately **std-only** (the build environment has no
 //! registry access, so no tokio/hyper/serde): a hand-rolled HTTP/1.1
-//! server over `std::net::TcpListener` with one handler thread per
-//! connection, a minimal [`json`] codec, and a semaphore-style
-//! [`AdmissionController`] bounding concurrent batches (429 + `Retry-After`
-//! beyond the queue). Per-batch [`mahif::Budget`]s ride inside request
-//! bodies and are enforced by the session core's admit → plan → execute
-//! lifecycle, surfacing as structured 422 responses.
+//! server over `std::net::TcpListener` with **persistent connections on a
+//! bounded worker pool** — each worker loops `read → dispatch → respond`
+//! on one socket until `Connection: close`, the keep-alive idle timeout,
+//! or the per-connection request cap, and answers pipelined requests in
+//! order. Registration bodies are decoded **incrementally** (a bounded
+//! JSON pull parser straight off the socket) under their own body cap, a
+//! minimal [`json`] codec carries the wire format, and a semaphore-style
+//! [`AdmissionController`] bounds concurrent batch *requests* (429 +
+//! `Retry-After` beyond the queue) — permits are per-request, so a parked
+//! keep-alive connection never holds an execution slot. Per-batch
+//! [`mahif::Budget`]s ride inside request bodies and are enforced by the
+//! session core's admit → plan → execute lifecycle, surfacing as
+//! structured 422 responses.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -25,8 +32,9 @@
 //! server.serve().unwrap(); // blocks; use `spawn()` for a background server
 //! ```
 //!
-//! See [`server`] for the route table and `README.md` for a `curl`
-//! walkthrough.
+//! See [`server`] for the route table and connection lifecycle, [`http`]
+//! for the framing rules (strict `Content-Length`, smuggling defenses),
+//! and `README.md` for a `curl` walkthrough.
 
 pub mod admission;
 pub mod http;
@@ -35,9 +43,10 @@ pub mod server;
 pub mod wire;
 
 pub use admission::{AdmissionController, Permit};
-pub use json::{Json, JsonError};
+pub use http::{ConnectionDirective, HttpError, RequestHead};
+pub use json::{Json, JsonError, PullParser};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use wire::{
-    decode_batch, decode_register, encode_delta, encode_error, encode_response,
-    encode_session_stats, status_for, BatchRequest, RegisterRequest, WireError,
+    decode_batch, decode_register, decode_register_stream, encode_delta, encode_error,
+    encode_response, encode_session_stats, status_for, BatchRequest, RegisterRequest, WireError,
 };

@@ -1,15 +1,35 @@
-//! The HTTP server: routing, handlers and lifecycle.
+//! The HTTP server: worker pool, connection lifecycle, routing, handlers.
 //!
 //! A [`Server`] binds a `TcpListener` over one shared `Arc<Session>` — the
 //! concurrent service core — and answers:
 //!
 //! | route | effect |
 //! |---|---|
-//! | `POST /histories/{name}` | register a database + history (201) |
+//! | `POST /histories/{name}` | register a database + history (201), body **streamed** |
 //! | `DELETE /histories/{name}` | unregister it (200) |
 //! | `POST /histories/{name}/batch` | answer a scenario batch (200), admission-gated (429 on overload) |
 //! | `GET /stats` | the session's consistent counter snapshot |
 //! | `GET /healthz` | liveness (200 as long as the accept loop runs) |
+//!
+//! **Connections are persistent.** Accepted sockets go onto a bounded
+//! queue drained by a fixed pool of [`ServeConfig::workers`] threads (no
+//! spawn-per-accept); each worker loops `read_head → dispatch →
+//! write_response` on one socket until the client sends
+//! `Connection: close`, the keep-alive idle timeout expires, or
+//! [`ServeConfig::max_requests_per_connection`] is reached — HTTP/1.1
+//! keep-alive semantics, including pipelined requests already buffered in
+//! the connection's reader (answered in order). A parked keep-alive
+//! connection holds a worker thread but **never** an admission slot:
+//! permits are acquired per request and released with the response.
+//!
+//! Registration bodies are decoded **incrementally** (a bounded JSON pull
+//! parser over a `Take` of the connection reader), under their own
+//! [`ServeConfig::max_register_body_bytes`] cap — distinct from the
+//! buffered-route cap and from the 64 KiB request-head cap — so multi-MB
+//! datasets never exist as a body string plus a JSON tree. Error paths
+//! that leave a declared body unread either drain it (small bodies) or
+//! close the connection, so the next pipelined request is never parsed
+//! out of leftover body bytes.
 //!
 //! Batch execution is gated by the [`AdmissionController`]: at most
 //! `max_in_flight_batches` execute concurrently, at most
@@ -18,37 +38,64 @@
 //! enforced by the session's admit → plan → execute lifecycle, surfacing
 //! as structured 422 responses.
 
-use std::io;
+use std::collections::VecDeque;
+use std::io::{self, BufRead, BufReader, Read};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
 use mahif::{Budget, Session};
 
 use crate::admission::AdmissionController;
-use crate::http::{read_request, write_response, HttpError, HttpRequest};
+use crate::http::{
+    drain_body, read_body_string, read_head, write_continue, write_response, ConnectionDirective,
+    HttpError, RequestHead,
+};
 use crate::json::Json;
 use crate::wire;
+
+/// Largest unread body the server will drain to keep a connection alive
+/// after an error response; anything bigger closes the connection instead
+/// (hanging up is cheaper than reading megabytes nobody wants).
+const DRAIN_CAP: u64 = 256 * 1024;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
+    /// Worker threads draining the connection queue. Each worker serves
+    /// one connection at a time, many requests per connection.
+    pub workers: usize,
+    /// Accepted connections allowed to wait for a worker; beyond this the
+    /// accept loop answers 503 and hangs up (bounded backlog).
+    pub max_pending_connections: usize,
     /// Engine-heavy requests (batches *and* registrations) allowed to
     /// execute concurrently.
     pub max_in_flight_batches: usize,
     /// Engine-heavy requests allowed to wait for an execution slot;
     /// arrivals beyond this are answered 429 immediately.
     pub max_queued_batches: usize,
-    /// Largest accepted request body, in bytes (413 beyond).
+    /// Largest accepted request body on buffered routes (batches), in
+    /// bytes (413 beyond).
     pub max_body_bytes: usize,
-    /// Per-connection socket read/write timeout: a client that stalls
-    /// mid-request (slowloris) loses its handler thread after this long
-    /// instead of pinning it forever.
+    /// Largest accepted `POST /histories/{name}` body, in bytes. A
+    /// separate (much larger) cap than `max_body_bytes`: registration
+    /// bodies are decoded incrementally off the socket, so the cap bounds
+    /// wire traffic, not a resident buffer.
+    pub max_register_body_bytes: usize,
+    /// Per-connection socket read/write timeout *within* a request: a
+    /// client that stalls mid-request (slowloris) loses its worker after
+    /// this long instead of pinning it forever.
     pub io_timeout: Duration,
+    /// How long a keep-alive connection may sit idle *between* requests
+    /// before the server closes it.
+    pub keep_alive_timeout: Duration,
+    /// Requests served on one connection before the server closes it
+    /// (bounds per-connection resource drift; clamped to at least 1).
+    pub max_requests_per_connection: usize,
     /// Most histories the registry will hold; further registrations are
     /// shed with a 429 (memory is bounded even against clients that never
     /// `DELETE`).
@@ -65,15 +112,92 @@ impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
+            workers: 8,
+            max_pending_connections: 128,
             max_in_flight_batches: 4,
             max_queued_batches: 16,
             max_body_bytes: 16 * 1024 * 1024,
+            max_register_body_bytes: 256 * 1024 * 1024,
             io_timeout: Duration::from_secs(30),
+            keep_alive_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 256,
             max_histories: 64,
             budget_ceiling: Budget::unlimited()
                 .with_max_scenarios(4096)
                 .with_deadline(Duration::from_secs(60)),
         }
+    }
+}
+
+/// State every worker shares.
+#[derive(Debug)]
+struct Shared {
+    session: Arc<Session>,
+    admission: Arc<AdmissionController>,
+    config: ServeConfig,
+    /// Serializes the `max_histories` capacity check with the registration
+    /// it guards: without it, concurrent registrations could each pass the
+    /// check and overshoot the bound together.
+    registry_gate: Mutex<()>,
+}
+
+/// The bounded handoff between the accept loop and the worker pool.
+#[derive(Debug)]
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    available: Condvar,
+    capacity: usize,
+}
+
+#[derive(Debug, Default)]
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new(capacity: usize) -> Arc<ConnQueue> {
+        Arc::new(ConnQueue {
+            state: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+        })
+    }
+
+    /// Enqueues a connection, or hands it back when the backlog is full
+    /// (the accept loop then sheds it with a 503).
+    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock().expect("connection queue poisoned");
+        if state.closed || state.conns.len() >= self.capacity {
+            return Err(conn);
+        }
+        state.conns.push_back(conn);
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next connection; `None` once the queue is closed
+    /// and drained (worker exit signal).
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("connection queue poisoned");
+        loop {
+            if let Some(conn) = state.conns.pop_front() {
+                return Some(conn);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .available
+                .wait(state)
+                .expect("connection queue poisoned");
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("connection queue poisoned").closed = true;
+        self.available.notify_all();
     }
 }
 
@@ -83,14 +207,8 @@ impl Default for ServeConfig {
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
-    session: Arc<Session>,
-    admission: Arc<AdmissionController>,
-    config: ServeConfig,
+    shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
-    /// Serializes the `max_histories` capacity check with the registration
-    /// it guards: without it, concurrent registrations could each pass the
-    /// check and overshoot the bound together.
-    registry_gate: Arc<Mutex<()>>,
 }
 
 impl Server {
@@ -101,11 +219,13 @@ impl Server {
             AdmissionController::new(config.max_in_flight_batches, config.max_queued_batches);
         Ok(Server {
             listener,
-            session,
-            admission,
-            config,
+            shared: Arc::new(Shared {
+                session,
+                admission,
+                config,
+                registry_gate: Mutex::new(()),
+            }),
             shutdown: Arc::new(AtomicBool::new(false)),
-            registry_gate: Arc::new(Mutex::new(())),
         })
     }
 
@@ -117,26 +237,41 @@ impl Server {
     /// The server's admission controller (shared; tests use this to occupy
     /// execution slots deterministically).
     pub fn admission(&self) -> Arc<AdmissionController> {
-        Arc::clone(&self.admission)
+        Arc::clone(&self.shared.admission)
     }
 
     /// The served session.
     pub fn session(&self) -> Arc<Session> {
-        Arc::clone(&self.session)
+        Arc::clone(&self.shared.session)
     }
 
     /// Runs the accept loop on the calling thread until
-    /// [`ServerHandle::stop`] flips the shutdown flag. One handler thread
-    /// per connection; batch handlers gate on admission before executing.
+    /// [`ServerHandle::stop`] flips the shutdown flag. Connections are
+    /// handed to the fixed worker pool; each worker serves its connection
+    /// until close, timeout, or the per-connection request cap.
     pub fn serve(self) -> io::Result<()> {
         let Server {
             listener,
-            session,
-            admission,
-            config,
+            shared,
             shutdown,
-            registry_gate,
         } = self;
+        let queue = ConnQueue::new(shared.config.max_pending_connections);
+        let _workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let queue = Arc::clone(&queue);
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(stream) = queue.pop() {
+                            // A connection failure (peer hung up mid-write)
+                            // only affects that connection.
+                            let _ = serve_connection(stream, &shared);
+                        }
+                    })
+                    .expect("spawn serve worker")
+            })
+            .collect();
         for stream in listener.incoming() {
             if shutdown.load(Ordering::SeqCst) {
                 break;
@@ -147,22 +282,32 @@ impl Server {
                 // kill the server.
                 Err(_) => continue,
             };
-            // A stalling client forfeits its handler thread after the
-            // timeout instead of pinning it forever.
-            let _ = stream.set_read_timeout(Some(config.io_timeout));
-            let _ = stream.set_write_timeout(Some(config.io_timeout));
-            let session = Arc::clone(&session);
-            let admission = Arc::clone(&admission);
-            let registry_gate = Arc::clone(&registry_gate);
-            let config = config.clone();
-            std::thread::spawn(move || {
-                let mut stream = stream;
-                // A handler failure (peer hung up mid-write) only affects
-                // this connection.
-                let _ =
-                    handle_connection(&mut stream, &session, &admission, &registry_gate, &config);
-            });
+            let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
+            let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
+            // Persistent connections carry many small request/response
+            // exchanges; Nagle would hold each one hostage to the
+            // previous segment's delayed ACK.
+            let _ = stream.set_nodelay(true);
+            if let Err(mut refused) = queue.push(stream) {
+                // Backlog full: shed the connection with a best-effort 503
+                // (bounded by the write timeout) and hang up.
+                let body = Json::obj([(
+                    "error",
+                    Json::str("server overloaded: connection backlog is full"),
+                )]);
+                let _ = write_response(
+                    &mut refused,
+                    503,
+                    &body.to_string(),
+                    Some(1),
+                    ConnectionDirective::Close,
+                );
+            }
         }
+        // Idle workers exit on the closed queue; busy workers finish
+        // their current connection on their own time (not joined, like
+        // the in-flight handlers of the thread-per-connection era).
+        queue.close();
         Ok(())
     }
 
@@ -212,7 +357,7 @@ impl ServerHandle {
     }
 
     /// Stops the accept loop and joins the server thread. In-flight
-    /// handlers finish on their own threads.
+    /// connections finish on their worker threads.
     pub fn stop(self) {
         self.shutdown.store(true, Ordering::SeqCst);
         // Wake the blocking accept with one last connection.
@@ -221,58 +366,310 @@ impl ServerHandle {
     }
 }
 
-fn handle_connection(
-    stream: &mut TcpStream,
-    session: &Arc<Session>,
-    admission: &Arc<AdmissionController>,
-    registry_gate: &Mutex<()>,
-    config: &ServeConfig,
-) -> io::Result<()> {
-    let request = match read_request(stream, config.max_body_bytes) {
-        Ok(request) => request,
-        Err(HttpError::BodyTooLarge { declared, limit }) => {
-            let body = Json::obj([(
-                "error",
-                Json::str(format!(
-                    "body of {declared} bytes exceeds the {limit}-byte limit"
-                )),
-            )]);
-            return write_response(stream, 413, &body.to_string(), None);
+/// Whether the connection survives the request just answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum AfterResponse {
+    Keep,
+    Close,
+}
+
+/// `set_read_timeout` rejects zero durations; clamp operator input.
+fn nonzero(d: Duration) -> Duration {
+    d.max(Duration::from_millis(1))
+}
+
+/// Serves one connection to completion: many requests, one worker.
+fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let max_requests = shared.config.max_requests_per_connection.max(1);
+    let mut served = 0usize;
+    loop {
+        // Idle wait between requests runs under the keep-alive timeout —
+        // but only when nothing is already buffered: pipelined requests
+        // are answered immediately without touching the socket.
+        if reader.buffer().is_empty() {
+            let _ = reader
+                .get_ref()
+                .set_read_timeout(Some(nonzero(shared.config.keep_alive_timeout)));
         }
+        let head = match read_head(&mut reader) {
+            Ok(Some(head)) => head,
+            // Clean close, idle timeout, or peer loss: nothing to answer.
+            Ok(None) | Err(HttpError::Io(_)) => return Ok(()),
+            Err(HttpError::Malformed(what)) => {
+                // Framing can no longer be trusted — answer (best effort)
+                // and close; continuing would misparse what follows.
+                let body = Json::obj([("error", Json::str(format!("malformed request: {what}")))]);
+                let _ = write_response(
+                    &mut writer,
+                    400,
+                    &body.to_string(),
+                    None,
+                    ConnectionDirective::Close,
+                );
+                return Ok(());
+            }
+            Err(HttpError::BodyTooLarge { .. }) => {
+                unreachable!("read_head does not size bodies")
+            }
+        };
+        // In-request reads (the body) run under the tighter io timeout.
+        let _ = reader
+            .get_ref()
+            .set_read_timeout(Some(nonzero(shared.config.io_timeout)));
+        served += 1;
+        let remaining = max_requests - served;
+        // HTTP/1.1 default keep-alive unless the client said close; the
+        // request cap turns the last allowed response into a close.
+        let keep_hint = head.keep_alive && remaining > 0;
+        match handle_request(
+            &head,
+            &mut reader,
+            &mut writer,
+            keep_hint,
+            remaining,
+            shared,
+        )? {
+            AfterResponse::Keep => {}
+            AfterResponse::Close => return Ok(()),
+        }
+    }
+}
+
+/// Decides whether the connection can stay alive when a request's body
+/// was rejected before being read: drain small bodies to restore framing,
+/// close on anything else. With `Expect: 100-continue` and no interim
+/// response sent, the body may never arrive — draining would hang, so the
+/// connection closes instead.
+fn settle_unread_body<R: BufRead>(reader: &mut R, unread: u64, expect_continue: bool) -> bool {
+    if unread == 0 {
+        return true;
+    }
+    if expect_continue || unread > DRAIN_CAP {
+        return false;
+    }
+    drain_body(reader, unread).is_ok()
+}
+
+/// Writes the response with the right connection headers and reports the
+/// connection's fate.
+fn respond(
+    writer: &mut TcpStream,
+    status: u16,
+    body: &Json,
+    retry_after: Option<u64>,
+    keep: bool,
+    remaining: usize,
+    shared: &Shared,
+) -> io::Result<AfterResponse> {
+    let directive = if keep {
+        ConnectionDirective::KeepAlive {
+            timeout: shared.config.keep_alive_timeout,
+            remaining,
+        }
+    } else {
+        ConnectionDirective::Close
+    };
+    write_response(writer, status, &body.to_string(), retry_after, directive)?;
+    Ok(if keep {
+        AfterResponse::Keep
+    } else {
+        AfterResponse::Close
+    })
+}
+
+/// Handles one request on the connection: route-aware body caps, the
+/// streaming registration path, buffered dispatch for everything else.
+fn handle_request(
+    head: &RequestHead,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    keep_hint: bool,
+    remaining: usize,
+    shared: &Shared,
+) -> io::Result<AfterResponse> {
+    let is_register = {
+        let segments = head.segments();
+        head.method == "POST" && segments.len() == 2 && segments[0] == "histories"
+    };
+    // Per-route body cap: registrations stream under their own (larger)
+    // limit; buffered routes materialize the body, so theirs is tighter.
+    let cap = if is_register {
+        shared.config.max_register_body_bytes
+    } else {
+        shared.config.max_body_bytes
+    };
+    if head.content_length > cap {
+        let body = Json::obj([(
+            "error",
+            Json::str(format!(
+                "body of {} bytes exceeds the {cap}-byte limit",
+                head.content_length
+            )),
+        )]);
+        let keep = keep_hint
+            && settle_unread_body(reader, head.content_length as u64, head.expect_continue);
+        return respond(writer, 413, &body, None, keep, remaining, shared);
+    }
+    if is_register {
+        let name = head.segments()[1].to_string();
+        return handle_register(head, &name, reader, writer, keep_hint, remaining, shared);
+    }
+    // Buffered path: commit to the body (interim response first if the
+    // client is holding it back), then dispatch.
+    if head.expect_continue && head.content_length > 0 {
+        write_continue(writer)?;
+    }
+    let body = match read_body_string(reader, head.content_length) {
+        Ok(body) => body,
+        // The bytes arrived (framing is intact) but are not UTF-8.
         Err(HttpError::Malformed(what)) => {
             let body = Json::obj([("error", Json::str(format!("malformed request: {what}")))]);
-            return write_response(stream, 400, &body.to_string(), None);
+            return respond(writer, 400, &body, None, keep_hint, remaining, shared);
         }
-        // Peer went away before sending a request; nothing to answer.
-        Err(HttpError::Io(_)) => return Ok(()),
+        // Short read: the declared body never arrived; close silently.
+        Err(_) => return Ok(AfterResponse::Close),
     };
-    let (status, body, retry_after) = route(&request, session, admission, registry_gate, config);
-    write_response(stream, status, &body.to_string(), retry_after)
+    let (status, body, retry_after) = route(head, &body, shared);
+    respond(
+        writer,
+        status,
+        &body,
+        retry_after,
+        keep_hint,
+        remaining,
+        shared,
+    )
 }
 
 /// The 429 body for a shed request.
-fn overloaded(admission: &AdmissionController) -> (u16, Json, Option<u64>) {
-    let body = Json::obj([
+fn overloaded(admission: &AdmissionController) -> Json {
+    Json::obj([
         (
             "error",
             Json::str("server overloaded: execution slots and queue are full"),
         ),
         ("max_in_flight", Json::Int(admission.max_in_flight() as i64)),
         ("max_queued", Json::Int(admission.max_queued() as i64)),
-    ]);
-    (429, body, Some(1))
+    ])
 }
 
-/// Dispatches one request; returns `(status, body, retry_after)`.
-fn route(
-    request: &HttpRequest,
-    session: &Arc<Session>,
-    admission: &Arc<AdmissionController>,
-    registry_gate: &Mutex<()>,
-    config: &ServeConfig,
-) -> (u16, Json, Option<u64>) {
-    let segments = request.segments();
-    match (request.method.as_str(), segments.as_slice()) {
+/// `POST /histories/{name}`: admission and capacity are checked *before*
+/// the body is read — a shed registration never transfers its (possibly
+/// huge) dataset — then the body streams through the incremental decoder
+/// straight into the relation store.
+fn handle_register(
+    head: &RequestHead,
+    name: &str,
+    reader: &mut BufReader<TcpStream>,
+    writer: &mut TcpStream,
+    keep_hint: bool,
+    remaining: usize,
+    shared: &Shared,
+) -> io::Result<AfterResponse> {
+    // The execution permit is held only while engine work (body decode +
+    // history execution) runs, and released *before* the response is
+    // written — so the slot is observably free the moment the client has
+    // its answer, and a parked connection never pins one.
+    let (status, body, retry_after, keep) = {
+        // Registration is engine-heavy (it executes the whole history), so
+        // it shares the batches' admission gate — acquired before the body
+        // is read, so shedding never transfers the dataset.
+        let _permit = match shared.admission.admit() {
+            Some(permit) => permit,
+            None => {
+                let keep = keep_hint
+                    && settle_unread_body(reader, head.content_length as u64, head.expect_continue);
+                return respond(
+                    writer,
+                    429,
+                    &overloaded(&shared.admission),
+                    Some(1),
+                    keep,
+                    remaining,
+                    shared,
+                );
+            }
+        };
+        // Check-then-register must be atomic, or concurrent registrations
+        // could each pass the capacity check and overshoot `max_histories`
+        // together.
+        let _registry = shared.registry_gate.lock().expect("registry gate poisoned");
+        if shared.session.len() >= shared.config.max_histories {
+            let body = Json::obj([
+                (
+                    "error",
+                    Json::str(format!(
+                        "registry full: {} histories are registered (limit {}); DELETE one first",
+                        shared.session.len(),
+                        shared.config.max_histories
+                    )),
+                ),
+                (
+                    "max_histories",
+                    Json::Int(shared.config.max_histories as i64),
+                ),
+            ]);
+            let keep = keep_hint
+                && settle_unread_body(reader, head.content_length as u64, head.expect_continue);
+            (429, body, None, keep)
+        } else {
+            // The server wants the body now: release the client's
+            // 100-continue hold and stream-decode straight off the socket.
+            if head.expect_continue && head.content_length > 0 {
+                write_continue(writer)?;
+            }
+            let mut body_reader = (&mut *reader).take(head.content_length as u64);
+            match wire::decode_register_stream(&mut body_reader) {
+                Err(e) => {
+                    // The decoder stopped mid-body; restore framing (or
+                    // give up the connection) before answering.
+                    let unread = body_reader.limit();
+                    let keep = keep_hint && settle_unread_body(reader, unread, false);
+                    (e.status, wire::encode_wire_error(&e), None, keep)
+                }
+                Ok(decoded) => {
+                    // A successful decode consumed exactly the declared
+                    // body (the pull parser requires EOF), so framing is
+                    // intact. Describe the registration from the decoded
+                    // request itself — a post-register lookup could race a
+                    // concurrent DELETE of the same name.
+                    let statements = decoded.history.len();
+                    let initial_tuples = decoded.initial.total_tuples();
+                    match shared.session.register(
+                        name.to_string(),
+                        decoded.initial,
+                        decoded.history,
+                    ) {
+                        Err(e) => (
+                            wire::status_for(&e),
+                            wire::encode_error(&e),
+                            None,
+                            keep_hint,
+                        ),
+                        Ok(_) => {
+                            let body = Json::obj([
+                                ("history", Json::str(name.to_string())),
+                                ("statements", Json::Int(statements as i64)),
+                                ("versions", Json::Int(statements as i64 + 1)),
+                                ("initial_tuples", Json::Int(initial_tuples as i64)),
+                            ]);
+                            (201, body, None, keep_hint)
+                        }
+                    }
+                }
+            }
+        }
+    };
+    respond(writer, status, &body, retry_after, keep, remaining, shared)
+}
+
+/// Dispatches one buffered request; returns `(status, body, retry_after)`.
+fn route(head: &RequestHead, body: &str, shared: &Shared) -> (u16, Json, Option<u64>) {
+    let session = &shared.session;
+    let segments = head.segments();
+    match (head.method.as_str(), segments.as_slice()) {
         ("GET", ["healthz"]) => {
             let body = Json::obj([
                 ("status", Json::str("ok")),
@@ -285,57 +682,6 @@ fn route(
             // serve layer adds no second read path over the counters.
             (200, wire::encode_session_stats(&session.stats()), None)
         }
-        ("POST", ["histories", name]) => {
-            // Registration is engine-heavy (it executes the whole history),
-            // so it shares the batches' admission gate — and the registry
-            // size is bounded so clients that never DELETE cannot grow
-            // memory without limit.
-            let _permit = match admission.admit() {
-                Some(permit) => permit,
-                None => return overloaded(admission),
-            };
-            // Check-then-register must be atomic, or concurrent
-            // registrations could each pass the capacity check and
-            // overshoot `max_histories` together.
-            let _registry = registry_gate.lock().expect("registry gate poisoned");
-            if session.len() >= config.max_histories {
-                let body = Json::obj([
-                    (
-                        "error",
-                        Json::str(format!(
-                            "registry full: {} histories are registered (limit {}); DELETE one first",
-                            session.len(),
-                            config.max_histories
-                        )),
-                    ),
-                    ("max_histories", Json::Int(config.max_histories as i64)),
-                ]);
-                return (429, body, None);
-            }
-            match wire::decode_register(&request.body) {
-                Err(e) => (e.status, wire::encode_wire_error(&e), None),
-                Ok(decoded) => {
-                    // Describe the registration from the decoded request itself
-                    // — a post-register lookup could race a concurrent DELETE
-                    // of the same name. The version chain is one state per
-                    // statement plus the initial state.
-                    let statements = decoded.history.len();
-                    let initial_tuples = decoded.initial.total_tuples();
-                    match session.register((*name).to_string(), decoded.initial, decoded.history) {
-                        Err(e) => (wire::status_for(&e), wire::encode_error(&e), None),
-                        Ok(_) => {
-                            let body = Json::obj([
-                                ("history", Json::str((*name).to_string())),
-                                ("statements", Json::Int(statements as i64)),
-                                ("versions", Json::Int(statements as i64 + 1)),
-                                ("initial_tuples", Json::Int(initial_tuples as i64)),
-                            ]);
-                            (201, body, None)
-                        }
-                    }
-                }
-            }
-        }
         ("DELETE", ["histories", name]) => match session.unregister(name) {
             Err(e) => (wire::status_for(&e), wire::encode_error(&e), None),
             Ok(()) => (
@@ -345,13 +691,14 @@ fn route(
             ),
         },
         ("POST", ["histories", name, "batch"]) => {
-            // Transport-level admission first: shed before parsing a
-            // potentially large body when the server is saturated.
-            let _permit = match admission.admit() {
+            // Request-level admission: the permit is held for exactly this
+            // batch's execution and released with the response — a parked
+            // keep-alive connection between requests holds no slot.
+            let _permit = match shared.admission.admit() {
                 Some(permit) => permit,
-                None => return overloaded(admission),
+                None => return (429, overloaded(&shared.admission), Some(1)),
             };
-            match wire::decode_batch(&request.body) {
+            match wire::decode_batch(body) {
                 Err(e) => (e.status, wire::encode_wire_error(&e), None),
                 Ok(batch) => {
                     let mut req = session
@@ -360,7 +707,7 @@ fn route(
                         // The operator ceiling wins over the client's
                         // budget field-wise; an omitted client budget
                         // therefore still runs under the ceiling.
-                        .budget(batch.budget.capped_by(&config.budget_ceiling))
+                        .budget(batch.budget.capped_by(&shared.config.budget_ceiling))
                         .parallelism(batch.parallelism);
                     if let Some(policy) = batch.refine {
                         req = req.refine(policy);

@@ -79,90 +79,184 @@ pub struct RegisterRequest {
 ///
 /// Statements are SQL text parsed by `mahif_sqlparse::parse_statement`;
 /// attribute types are `"int"`, `"str"` or `"bool"`.
+///
+/// This is the buffered convenience wrapper over
+/// [`decode_register_stream`]; the server's registration route calls the
+/// streaming form directly on the connection's body reader.
 pub fn decode_register(body: &str) -> Result<RegisterRequest, WireError> {
-    let doc = Json::parse(body).map_err(|e| WireError::bad_request(e.to_string()))?;
+    decode_register_stream(body.as_bytes())
+}
+
+fn stream_err(e: crate::json::JsonError) -> WireError {
+    WireError::bad_request(e.to_string())
+}
+
+/// Decodes a registration body **incrementally** from `reader` — the same
+/// document shape as [`decode_register`], but tuples flow from the wire
+/// straight into the relation via a bounded [`crate::json::PullParser`],
+/// so a multi-megabyte dataset is never materialized as a body string
+/// *and* a JSON tree on top of the decoded database. The caller bounds
+/// `reader` (`Take` over the connection) to the declared body length.
+pub fn decode_register_stream<R: std::io::Read>(reader: R) -> Result<RegisterRequest, WireError> {
+    let mut p = crate::json::PullParser::new(reader);
     let mut initial = Database::new();
-    let relations = doc
-        .get("relations")
-        .and_then(Json::as_array)
-        .ok_or_else(|| WireError::bad_request("missing 'relations' array"))?;
-    for relation in relations {
-        let name = relation
-            .get("name")
-            .and_then(Json::as_str)
-            .ok_or_else(|| WireError::bad_request("relation without a 'name'"))?;
-        let attributes = relation
-            .get("attributes")
-            .and_then(Json::as_array)
-            .ok_or_else(|| WireError::bad_request("relation without 'attributes'"))?
-            .iter()
-            .map(|a| {
-                let attr_name = a
-                    .get("name")
-                    .and_then(Json::as_str)
-                    .ok_or_else(|| WireError::bad_request("attribute without a 'name'"))?;
-                let dtype = match a.get("type").and_then(Json::as_str) {
-                    Some("int") => DataType::Int,
-                    Some("str") => DataType::Str,
-                    Some("bool") => DataType::Bool,
-                    other => {
-                        return Err(WireError::bad_request(format!(
-                            "attribute '{attr_name}' has unknown type {other:?} (expected one of int, str, bool)"
-                        )))
-                    }
-                };
-                Ok(Attribute::new(attr_name, dtype))
-            })
-            .collect::<Result<Vec<_>, WireError>>()?;
-        let schema = Schema::shared(name, attributes.clone());
-        let mut rel = Relation::empty(schema);
-        for (row, tuple) in relation
-            .get("tuples")
-            .and_then(Json::as_array)
-            .unwrap_or(&[])
-            .iter()
-            .enumerate()
-        {
-            let cells = tuple.as_array().ok_or_else(|| {
-                WireError::bad_request(format!("relation '{name}' row {row} is not an array"))
-            })?;
-            if cells.len() != attributes.len() {
-                return Err(WireError::bad_request(format!(
-                    "relation '{name}' row {row} has {} values for {} attributes",
-                    cells.len(),
-                    attributes.len()
-                )));
+    let mut history: Option<Vec<Statement>> = None;
+    let mut saw_relations = false;
+    p.begin_object().map_err(stream_err)?;
+    while let Some(key) = p.next_key().map_err(stream_err)? {
+        match key.as_str() {
+            "relations" => {
+                saw_relations = true;
+                p.begin_array()
+                    .map_err(|_| WireError::bad_request("missing 'relations' array"))?;
+                while p.next_element().map_err(stream_err)? {
+                    let rel = decode_relation_stream(&mut p)?;
+                    initial
+                        .add_relation(rel)
+                        .map_err(|e| WireError::bad_request(e.to_string()))?;
+                }
             }
-            let values = cells
-                .iter()
-                .zip(&attributes)
-                .map(|(cell, attr)| decode_value(cell, name, row, attr))
-                .collect::<Result<Vec<_>, WireError>>()?;
-            rel.insert(Tuple::new(values))
-                .map_err(|e| WireError::bad_request(format!("relation '{name}' row {row}: {e}")))?;
+            "history" => {
+                p.begin_array()
+                    .map_err(|_| WireError::bad_request("missing 'history' array"))?;
+                let mut statements = Vec::new();
+                while p.next_element().map_err(stream_err)? {
+                    let i = statements.len();
+                    let s = p.value().map_err(stream_err)?;
+                    let text = s.as_str().ok_or_else(|| {
+                        WireError::bad_request(format!("history[{i}] is not a string"))
+                    })?;
+                    statements.push(
+                        mahif_sqlparse::parse_statement(text)
+                            .map_err(|e| WireError::bad_request(format!("history[{i}]: {e}")))?,
+                    );
+                }
+                history = Some(statements);
+            }
+            _ => p.skip_value().map_err(stream_err)?,
         }
-        initial
-            .add_relation(rel)
-            .map_err(|e| WireError::bad_request(e.to_string()))?;
     }
-    let statements = doc
-        .get("history")
-        .and_then(Json::as_array)
-        .ok_or_else(|| WireError::bad_request("missing 'history' array"))?
-        .iter()
-        .enumerate()
-        .map(|(i, s)| {
-            let text = s
-                .as_str()
-                .ok_or_else(|| WireError::bad_request(format!("history[{i}] is not a string")))?;
-            mahif_sqlparse::parse_statement(text)
-                .map_err(|e| WireError::bad_request(format!("history[{i}]: {e}")))
-        })
-        .collect::<Result<Vec<Statement>, WireError>>()?;
+    p.end().map_err(stream_err)?;
+    if !saw_relations {
+        return Err(WireError::bad_request("missing 'relations' array"));
+    }
+    let statements = history.ok_or_else(|| WireError::bad_request("missing 'history' array"))?;
     Ok(RegisterRequest {
         initial,
         history: History::new(statements),
     })
+}
+
+/// Decodes one relation object from the stream. `tuples` must follow
+/// `name` and `attributes`: each row is validated against the declared
+/// schema and inserted as it is read, so a multi-megabyte tuple array
+/// never exists as a buffered value tree. Accepting schema-after-tuples
+/// would force exactly that buffering — an unbounded resident allocation
+/// the (much larger) register body cap is documented not to allow — so
+/// that order is a 400 instead.
+fn decode_relation_stream<R: std::io::Read>(
+    p: &mut crate::json::PullParser<R>,
+) -> Result<Relation, WireError> {
+    p.begin_object()
+        .map_err(|_| WireError::bad_request("'relations' elements must be objects"))?;
+    let mut name: Option<String> = None;
+    let mut attributes: Option<Vec<Attribute>> = None;
+    let mut rel: Option<Relation> = None;
+    while let Some(key) = p.next_key().map_err(stream_err)? {
+        match key.as_str() {
+            "name" => {
+                let v = p.value().map_err(stream_err)?;
+                name = Some(
+                    v.as_str()
+                        .ok_or_else(|| WireError::bad_request("relation without a 'name'"))?
+                        .to_string(),
+                );
+            }
+            "attributes" => {
+                // The attribute list is tiny; materialize and decode it.
+                let v = p.value().map_err(stream_err)?;
+                attributes = Some(decode_attributes(&v)?);
+            }
+            "tuples" => {
+                let (n, attrs) = match (&name, &attributes) {
+                    (Some(n), Some(attrs)) => (n.clone(), attrs.clone()),
+                    _ => {
+                        return Err(WireError::bad_request(
+                            "relation 'tuples' must come after 'name' and 'attributes' \
+                             (rows are streamed against the declared schema)",
+                        ))
+                    }
+                };
+                p.begin_array().map_err(|_| {
+                    WireError::bad_request(format!("relation '{n}' tuples must be an array"))
+                })?;
+                let target =
+                    rel.get_or_insert_with(|| Relation::empty(Schema::shared(&n, attrs.clone())));
+                while p.next_element().map_err(stream_err)? {
+                    let row = target.len();
+                    let cells = p.value().map_err(stream_err)?;
+                    insert_row(target, &cells, &n, row, &attrs)?;
+                }
+            }
+            _ => p.skip_value().map_err(stream_err)?,
+        }
+    }
+    let name = name.ok_or_else(|| WireError::bad_request("relation without a 'name'"))?;
+    let attributes =
+        attributes.ok_or_else(|| WireError::bad_request("relation without 'attributes'"))?;
+    Ok(rel.unwrap_or_else(|| Relation::empty(Schema::shared(&name, attributes))))
+}
+
+/// Decodes the `attributes` array of a relation.
+fn decode_attributes(v: &Json) -> Result<Vec<Attribute>, WireError> {
+    v.as_array()
+        .ok_or_else(|| WireError::bad_request("relation without 'attributes'"))?
+        .iter()
+        .map(|a| {
+            let attr_name = a
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or_else(|| WireError::bad_request("attribute without a 'name'"))?;
+            let dtype = match a.get("type").and_then(Json::as_str) {
+                Some("int") => DataType::Int,
+                Some("str") => DataType::Str,
+                Some("bool") => DataType::Bool,
+                other => {
+                    return Err(WireError::bad_request(format!(
+                        "attribute '{attr_name}' has unknown type {other:?} (expected one of int, str, bool)"
+                    )))
+                }
+            };
+            Ok(Attribute::new(attr_name, dtype))
+        })
+        .collect()
+}
+
+/// Validates one row against the schema and inserts it.
+fn insert_row(
+    rel: &mut Relation,
+    tuple: &Json,
+    name: &str,
+    row: usize,
+    attributes: &[Attribute],
+) -> Result<(), WireError> {
+    let cells = tuple.as_array().ok_or_else(|| {
+        WireError::bad_request(format!("relation '{name}' row {row} is not an array"))
+    })?;
+    if cells.len() != attributes.len() {
+        return Err(WireError::bad_request(format!(
+            "relation '{name}' row {row} has {} values for {} attributes",
+            cells.len(),
+            attributes.len()
+        )));
+    }
+    let values = cells
+        .iter()
+        .zip(attributes)
+        .map(|(cell, attr)| decode_value(cell, name, row, attr))
+        .collect::<Result<Vec<_>, WireError>>()?;
+    rel.insert(Tuple::new(values))
+        .map_err(|e| WireError::bad_request(format!("relation '{name}' row {row}: {e}")))
 }
 
 /// Decodes one attribute value and checks it against the declared type —
@@ -659,6 +753,29 @@ mod tests {
             encode_delta(a.delta()).to_string(),
             encode_delta(b.delta()).to_string()
         );
+    }
+
+    #[test]
+    fn streamed_registration_requires_schema_before_tuples() {
+        // Rows stream against the declared schema; a body that puts
+        // 'tuples' first would force buffering the whole array (the
+        // memory bound streaming exists to avoid), so it is refused.
+        let body = r#"{
+          "relations": [{"name": "Order",
+            "tuples": [[1]],
+            "attributes": [{"name": "ID", "type": "int"}]}],
+          "history": []}"#;
+        let err = decode_register(body).unwrap_err();
+        assert_eq!(err.status, 400);
+        assert!(err.message.contains("must come after"), "{}", err.message);
+        // Unknown keys anywhere in the object are still skipped.
+        let body = r#"{
+          "relations": [{"name": "Order", "comment": {"deep": [1, 2]},
+            "attributes": [{"name": "ID", "type": "int"}],
+            "tuples": [[1], [2]]}],
+          "history": [], "extra": null}"#;
+        let decoded = decode_register(body).unwrap();
+        assert_eq!(decoded.initial.total_tuples(), 2);
     }
 
     #[test]

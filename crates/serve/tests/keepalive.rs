@@ -1,0 +1,439 @@
+//! Persistent-connection smoke tests over real TCP: sequential and
+//! pipelined requests on one socket answer byte-identically to fresh
+//! connections, the keep-alive idle timeout and per-connection request
+//! cap actually close the socket, parked connections hold no admission
+//! slot, and the request-framing hardening (strict `Content-Length`,
+//! drain-on-error) holds up under reuse.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use mahif::Session;
+use mahif_serve::{Json, ServeConfig, Server, ServerHandle};
+use mahif_workload::serve_load::{http_get, http_post, HttpClient};
+
+/// The running example of Figure 1 as a registration body.
+const REGISTER_BODY: &str = r#"{
+  "relations": [
+    {"name": "Order",
+     "attributes": [
+       {"name": "ID", "type": "int"},
+       {"name": "Customer", "type": "str"},
+       {"name": "Country", "type": "str"},
+       {"name": "Price", "type": "int"},
+       {"name": "ShippingFee", "type": "int"}
+     ],
+     "tuples": [
+       [11, "Susan", "UK", 20, 5],
+       [12, "Alex", "UK", 50, 5],
+       [13, "Jack", "US", 60, 3],
+       [14, "Mark", "US", 30, 4]
+     ]}
+  ],
+  "history": [
+    "UPDATE Order SET ShippingFee = 0 WHERE Price >= 50",
+    "UPDATE Order SET ShippingFee = ShippingFee + 5 WHERE Country = 'UK' AND Price <= 100",
+    "UPDATE Order SET ShippingFee = ShippingFee - 2 WHERE Price <= 30 AND ShippingFee >= 10"
+  ]
+}"#;
+
+fn whatif(threshold: i64) -> String {
+    format!("REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= {threshold}")
+}
+
+fn batch_body(threshold: i64) -> String {
+    format!(
+        r#"{{"scenarios": [{{"name": "t{threshold}", "whatif": "{}"}}]}}"#,
+        whatif(threshold)
+    )
+}
+
+fn start_server(config: ServeConfig) -> (ServerHandle, String) {
+    let session = Arc::new(Session::new());
+    let server = Server::bind(session, config).expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+/// Opens a raw keep-alive socket to `addr` with a generous read timeout.
+fn raw_socket(addr: &str) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    BufReader::new(stream)
+}
+
+/// Renders a request without a `Connection` header (HTTP/1.1 keep-alive).
+fn render(method: &str, path: &str, body: &str) -> String {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn send(conn: &mut BufReader<TcpStream>, raw: &str) {
+    let stream = conn.get_mut();
+    stream.write_all(raw.as_bytes()).expect("send request");
+    stream.flush().expect("flush request");
+}
+
+/// Reads one full response: status, lowercased headers, body.
+fn read_reply(conn: &mut BufReader<TcpStream>) -> (u16, HashMap<String, String>, String) {
+    let mut status_line = String::new();
+    assert!(
+        conn.read_line(&mut status_line).expect("status line") > 0,
+        "connection closed before a status line"
+    );
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+    let mut headers = HashMap::new();
+    loop {
+        let mut line = String::new();
+        conn.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .expect("responses always declare Content-Length");
+    let mut body = vec![0u8; len];
+    conn.read_exact(&mut body).expect("body");
+    (
+        status,
+        headers,
+        String::from_utf8(body).expect("UTF-8 body"),
+    )
+}
+
+/// True once the peer has closed: the next read returns EOF.
+fn at_eof(conn: &mut BufReader<TcpStream>) -> bool {
+    let mut byte = [0u8; 1];
+    matches!(conn.read(&mut byte), Ok(0))
+}
+
+/// The timing-free part of a batch response (the `scenarios` array):
+/// byte-comparable across transports, unlike `stats` wall-clock fields.
+fn scenarios_of(body: &str) -> String {
+    Json::parse(body)
+        .expect("batch reply is JSON")
+        .get("scenarios")
+        .expect("batch reply has scenarios")
+        .to_string()
+}
+
+#[test]
+fn sequential_and_pipelined_requests_match_fresh_connections() {
+    let (handle, addr) = start_server(ServeConfig::default());
+    assert_eq!(
+        http_post(&addr, "/histories/retail", REGISTER_BODY)
+            .unwrap()
+            .status,
+        201
+    );
+
+    // Reference answers over two fresh `Connection: close` sockets.
+    let fresh_a = http_post(&addr, "/histories/retail/batch", &batch_body(55)).unwrap();
+    let fresh_b = http_post(&addr, "/histories/retail/batch", &batch_body(60)).unwrap();
+    assert_eq!(
+        (fresh_a.status, fresh_b.status),
+        (200, 200),
+        "{}",
+        fresh_a.body
+    );
+
+    // Two sequential requests on ONE keep-alive socket.
+    let mut conn = raw_socket(&addr);
+    send(
+        &mut conn,
+        &render("POST", "/histories/retail/batch", &batch_body(55)),
+    );
+    let (status_a, headers_a, body_a) = read_reply(&mut conn);
+    send(
+        &mut conn,
+        &render("POST", "/histories/retail/batch", &batch_body(60)),
+    );
+    let (status_b, headers_b, body_b) = read_reply(&mut conn);
+    assert_eq!((status_a, status_b), (200, 200), "{body_a}");
+    assert_eq!(
+        headers_a.get("connection").map(String::as_str),
+        Some("keep-alive")
+    );
+    assert!(
+        headers_a
+            .get("keep-alive")
+            .is_some_and(|v| v.contains("timeout=")),
+        "{headers_a:?}"
+    );
+    assert_eq!(
+        headers_b.get("connection").map(String::as_str),
+        Some("keep-alive")
+    );
+    assert_eq!(scenarios_of(&body_a), scenarios_of(&fresh_a.body));
+    assert_eq!(scenarios_of(&body_b), scenarios_of(&fresh_b.body));
+
+    // Two PIPELINED requests written back to back before reading either
+    // response: both buffered in the connection's reader, answered in
+    // order, byte-identical to the fresh-connection answers.
+    let mut conn = raw_socket(&addr);
+    let pipelined = format!(
+        "{}{}",
+        render("POST", "/histories/retail/batch", &batch_body(55)),
+        render("POST", "/histories/retail/batch", &batch_body(60))
+    );
+    send(&mut conn, &pipelined);
+    let (p_status_a, _, p_body_a) = read_reply(&mut conn);
+    let (p_status_b, _, p_body_b) = read_reply(&mut conn);
+    assert_eq!((p_status_a, p_status_b), (200, 200), "{p_body_a}");
+    assert_eq!(scenarios_of(&p_body_a), scenarios_of(&fresh_a.body));
+    assert_eq!(scenarios_of(&p_body_b), scenarios_of(&fresh_b.body));
+
+    // The reusable workload client sees the same answers again.
+    let mut client = HttpClient::new(&addr);
+    let c_a = client
+        .request(
+            "POST",
+            "/histories/retail/batch",
+            Some(&batch_body(55)),
+            false,
+        )
+        .unwrap();
+    let c_b = client
+        .request(
+            "POST",
+            "/histories/retail/batch",
+            Some(&batch_body(60)),
+            false,
+        )
+        .unwrap();
+    assert_eq!(scenarios_of(&c_a.body), scenarios_of(&fresh_a.body));
+    assert_eq!(scenarios_of(&c_b.body), scenarios_of(&fresh_b.body));
+
+    handle.stop();
+}
+
+#[test]
+fn idle_timeout_closes_parked_connections() {
+    let (handle, addr) = start_server(ServeConfig {
+        keep_alive_timeout: Duration::from_millis(100),
+        ..Default::default()
+    });
+    let mut conn = raw_socket(&addr);
+    send(&mut conn, &render("GET", "/healthz", ""));
+    let (status, headers, _) = read_reply(&mut conn);
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("connection").map(String::as_str),
+        Some("keep-alive")
+    );
+    // Parked past the idle timeout: the server hangs up.
+    std::thread::sleep(Duration::from_millis(400));
+    assert!(at_eof(&mut conn), "idle connection must be closed");
+    handle.stop();
+}
+
+#[test]
+fn request_cap_closes_the_connection() {
+    let (handle, addr) = start_server(ServeConfig {
+        max_requests_per_connection: 2,
+        ..Default::default()
+    });
+    let mut conn = raw_socket(&addr);
+    send(&mut conn, &render("GET", "/healthz", ""));
+    let (_, headers, _) = read_reply(&mut conn);
+    assert_eq!(
+        headers.get("connection").map(String::as_str),
+        Some("keep-alive")
+    );
+    assert!(
+        headers
+            .get("keep-alive")
+            .is_some_and(|v| v.contains("max=1")),
+        "one request left: {headers:?}"
+    );
+    send(&mut conn, &render("GET", "/healthz", ""));
+    let (_, headers, _) = read_reply(&mut conn);
+    assert_eq!(
+        headers.get("connection").map(String::as_str),
+        Some("close"),
+        "the cap turns the last response into a close"
+    );
+    assert!(at_eof(&mut conn), "socket must close after the cap");
+    handle.stop();
+}
+
+#[test]
+fn parked_connections_hold_no_admission_slot() {
+    let (handle, addr) = start_server(ServeConfig {
+        max_in_flight_batches: 1,
+        max_queued_batches: 0,
+        ..Default::default()
+    });
+    assert_eq!(
+        http_post(&addr, "/histories/retail", REGISTER_BODY)
+            .unwrap()
+            .status,
+        201
+    );
+
+    // Answer a batch on a keep-alive socket, then PARK the connection.
+    let mut parked = raw_socket(&addr);
+    send(
+        &mut parked,
+        &render("POST", "/histories/retail/batch", &batch_body(60)),
+    );
+    let (status, headers, _) = read_reply(&mut parked);
+    assert_eq!(status, 200);
+    assert_eq!(
+        headers.get("connection").map(String::as_str),
+        Some("keep-alive")
+    );
+
+    // The single execution slot is free while the connection idles:
+    // permits are per-request, not per-connection.
+    assert_eq!(handle.admission().in_flight(), 0);
+    let permit = handle
+        .admission()
+        .admit()
+        .expect("parked conn holds no slot");
+    drop(permit);
+
+    // The parked connection still works afterwards.
+    send(&mut parked, &render("GET", "/healthz", ""));
+    let (status, _, _) = read_reply(&mut parked);
+    assert_eq!(status, 200);
+    handle.stop();
+}
+
+#[test]
+fn duplicate_content_length_is_rejected_and_the_connection_closes() {
+    // Request-smuggling regression: conflicting Content-Length values
+    // must be a 400 AND a close — if the server picked either value and
+    // kept the connection, the attacker-controlled remainder would be
+    // parsed as the next pipelined request.
+    let (handle, addr) = start_server(ServeConfig::default());
+    let mut conn = raw_socket(&addr);
+    let smuggle = "POST /healthz HTTP/1.1\r\nContent-Length: 0\r\nContent-Length: 44\r\n\r\nGET /stats HTTP/1.1\r\nX-Smuggled: yes\r\n\r\n";
+    send(&mut conn, smuggle);
+    let (status, headers, body) = read_reply(&mut conn);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("duplicate Content-Length"), "{body}");
+    assert_eq!(headers.get("connection").map(String::as_str), Some("close"));
+    assert!(at_eof(&mut conn), "the smuggled tail must never be parsed");
+
+    // Same for a signed value.
+    let mut conn = raw_socket(&addr);
+    send(
+        &mut conn,
+        "POST /healthz HTTP/1.1\r\nContent-Length: +0\r\n\r\n",
+    );
+    let (status, _, body) = read_reply(&mut conn);
+    assert_eq!(status, 400, "{body}");
+    assert!(at_eof(&mut conn));
+    handle.stop();
+}
+
+#[test]
+fn rejected_bodies_are_drained_or_the_connection_closes() {
+    let (handle, addr) = start_server(ServeConfig {
+        max_body_bytes: 1024,
+        ..Default::default()
+    });
+    assert_eq!(
+        http_post(&addr, "/histories/retail", REGISTER_BODY)
+            .unwrap()
+            .status,
+        201
+    );
+
+    // An error response whose body WAS read (unknown history, 404) keeps
+    // the connection usable: the next pipelined request is answered from
+    // a request line, not leftover body bytes.
+    let mut conn = raw_socket(&addr);
+    let pipelined = format!(
+        "{}{}",
+        render("POST", "/histories/ghost/batch", &batch_body(60)),
+        render("GET", "/healthz", "")
+    );
+    send(&mut conn, &pipelined);
+    let (status, _, body) = read_reply(&mut conn);
+    assert_eq!(status, 404, "{body}");
+    let (status, _, body) = read_reply(&mut conn);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("\"status\":\"ok\""), "{body}");
+
+    // A registration that fails MID-BODY (trailing garbage inside the
+    // declared length) drains the rest, so the next request still parses.
+    let mut conn = raw_socket(&addr);
+    let broken = format!("{}{}", r#"{"relations": [], "history": []}"#, "XXXXXXXX");
+    let pipelined = format!(
+        "{}{}",
+        render("POST", "/histories/broken", &broken),
+        render("GET", "/healthz", "")
+    );
+    send(&mut conn, &pipelined);
+    let (status, _, body) = read_reply(&mut conn);
+    assert_eq!(status, 400, "{body}");
+    assert!(body.contains("trailing characters"), "{body}");
+    let (status, _, _) = read_reply(&mut conn);
+    assert_eq!(status, 200, "drained body restores framing");
+
+    // An over-cap body with `Expect: 100-continue` is refused with 413
+    // and a close — the body was never requested (no interim response),
+    // so draining could hang forever; hanging up is the safe framing.
+    let mut conn = raw_socket(&addr);
+    send(
+        &mut conn,
+        "POST /histories/retail/batch HTTP/1.1\r\nContent-Length: 9999\r\nExpect: 100-continue\r\n\r\n",
+    );
+    let (status, headers, body) = read_reply(&mut conn);
+    assert_eq!(status, 413, "{body}");
+    assert_eq!(headers.get("connection").map(String::as_str), Some("close"));
+    assert!(at_eof(&mut conn));
+    handle.stop();
+}
+
+#[test]
+fn registration_streams_under_its_own_body_cap() {
+    // The per-route split: a registration body far over the buffered-route
+    // cap streams in fine under `max_register_body_bytes`, while the same
+    // size on the batch route is a 413.
+    let (handle, addr) = start_server(ServeConfig {
+        max_body_bytes: 512,
+        max_register_body_bytes: 64 * 1024 * 1024,
+        ..Default::default()
+    });
+    assert!(
+        REGISTER_BODY.len() > 512,
+        "the register body must exceed the buffered cap for this test"
+    );
+    let created = http_post(&addr, "/histories/retail", REGISTER_BODY).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    let oversized = format!(
+        r#"{{"scenarios": [{{"name": "pad", "whatif": "{}", "pad": "{}"}}]}}"#,
+        whatif(60),
+        "x".repeat(600)
+    );
+    let reply = http_post(&addr, "/histories/retail/batch", &oversized).unwrap();
+    assert_eq!(reply.status, 413, "{}", reply.body);
+
+    // A *small* batch still works — and the registered history answers.
+    let reply = http_post(&addr, "/histories/retail/batch", &batch_body(60)).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(http_get(&addr, "/healthz").unwrap().status, 200);
+    handle.stop();
+}

@@ -4,8 +4,13 @@
 //! throughput and latency percentiles. Lives in the workload crate so both
 //! the bench binary (`cargo run -p mahif-bench --bin serve_load`) and the
 //! serve crate's smoke tests drive the server through the same minimal
-//! client — one connection per request (the server is
-//! `Connection: close`), blocking I/O, no dependencies.
+//! client — blocking I/O, no dependencies, and **persistent connections**:
+//! an [`HttpClient`] keeps one socket open across requests (HTTP/1.1
+//! keep-alive) and reconnects transparently when the server closes it
+//! (idle timeout, `max_requests_per_connection`, or an explicit
+//! `Connection: close`). [`LoadSpec::requests_per_conn`] dials reuse from
+//! one-request-per-connection (the old behavior, for comparison) to
+//! unlimited.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -20,74 +25,183 @@ pub struct HttpReply {
     pub body: String,
 }
 
+/// A minimal HTTP/1.1 client holding one reusable connection to `addr`.
+///
+/// Requests default to keep-alive; pass `close = true` to ask the server
+/// to close after the response (the client drops the socket either way
+/// when the response says `Connection: close`). A request sent on a
+/// *reused* connection that dies before a full response arrives is
+/// retried once on a fresh connection — the server may have closed the
+/// parked socket (idle timeout, request cap) while the request was in
+/// flight.
+#[derive(Debug)]
+pub struct HttpClient {
+    addr: String,
+    conn: Option<BufReader<TcpStream>>,
+}
+
+impl HttpClient {
+    /// A client for `addr` (no connection is opened yet).
+    pub fn new(addr: impl Into<String>) -> HttpClient {
+        HttpClient {
+            addr: addr.into(),
+            conn: None,
+        }
+    }
+
+    /// Sends one request and reads the full response, reusing the held
+    /// connection when possible.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        close: bool,
+    ) -> io::Result<HttpReply> {
+        let reused = self.conn.is_some();
+        match self.try_request(method, path, body, close) {
+            Ok(reply) => Ok(reply),
+            Err(e) if reused => {
+                // The parked socket was likely closed under us; one retry
+                // on a fresh connection disambiguates a stale connection
+                // from a dead server.
+                self.conn = None;
+                let _ = e;
+                self.try_request(method, path, body, close)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+
+    fn try_request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        close: bool,
+    ) -> io::Result<HttpReply> {
+        if self.conn.is_none() {
+            let stream = TcpStream::connect(&self.addr)?;
+            // Requests are one small write each; without TCP_NODELAY the
+            // kernel would batch them against the previous response's
+            // delayed ACK on a reused connection.
+            let _ = stream.set_nodelay(true);
+            self.conn = Some(BufReader::new(stream));
+        }
+        let reader = self.conn.as_mut().expect("connected above");
+        let body = body.unwrap_or("");
+        let connection_header = if close { "Connection: close\r\n" } else { "" };
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{connection_header}\r\n{body}",
+            self.addr,
+            body.len()
+        );
+        let result = (|| {
+            let stream = reader.get_mut();
+            stream.write_all(request.as_bytes())?;
+            stream.flush()?;
+            read_reply(reader)
+        })();
+        match result {
+            Ok((reply, server_closes)) => {
+                if close || server_closes {
+                    self.conn = None;
+                }
+                Ok(reply)
+            }
+            Err(e) => {
+                self.conn = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Reads one response off `reader`; the bool reports whether the server
+/// announced `Connection: close` (the socket is then done).
+fn read_reply(reader: &mut BufReader<TcpStream>) -> io::Result<(HttpReply, bool)> {
+    let mut status_line = String::new();
+    loop {
+        status_line.clear();
+        if reader.read_line(&mut status_line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed before a status line",
+            ));
+        }
+        let status = status_line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("malformed status line: {status_line:?}"),
+                )
+            })?;
+        let mut content_length: Option<usize> = None;
+        let mut server_closes = false;
+        loop {
+            let mut line = String::new();
+            if reader.read_line(&mut line)? == 0 {
+                break;
+            }
+            let line = line.trim_end();
+            if line.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = line.split_once(':') {
+                if name.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = value.trim().parse().ok();
+                } else if name.trim().eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+                {
+                    server_closes = true;
+                }
+            }
+        }
+        // Interim responses (100 Continue) precede the real one.
+        if (100..200).contains(&status) {
+            continue;
+        }
+        let body = match content_length {
+            Some(n) => {
+                let mut buf = vec![0u8; n];
+                reader.read_exact(&mut buf)?;
+                String::from_utf8(buf)
+                    .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?
+            }
+            None => {
+                let mut buf = String::new();
+                reader.read_to_string(&mut buf)?;
+                buf
+            }
+        };
+        return Ok((HttpReply { status, body }, server_closes));
+    }
+}
+
 /// Sends one HTTP request (`method path`, optional JSON body) to `addr`
-/// and reads the full response.
+/// on a fresh connection (`Connection: close`) and reads the full
+/// response. The one-shot convenience over [`HttpClient`].
 pub fn http_request(
     addr: &str,
     method: &str,
     path: &str,
     body: Option<&str>,
 ) -> io::Result<HttpReply> {
-    let mut stream = TcpStream::connect(addr)?;
-    let body = body.unwrap_or("");
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes())?;
-    stream.flush()?;
-
-    let mut reader = BufReader::new(stream);
-    let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
-    let status = status_line
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or_else(|| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("malformed status line: {status_line:?}"),
-            )
-        })?;
-    let mut content_length: Option<usize> = None;
-    loop {
-        let mut line = String::new();
-        if reader.read_line(&mut line)? == 0 {
-            break;
-        }
-        let line = line.trim_end();
-        if line.is_empty() {
-            break;
-        }
-        if let Some((name, value)) = line.split_once(':') {
-            if name.trim().eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
-            }
-        }
-    }
-    let body = match content_length {
-        Some(n) => {
-            let mut buf = vec![0u8; n];
-            reader.read_exact(&mut buf)?;
-            String::from_utf8(buf)
-                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?
-        }
-        None => {
-            let mut buf = String::new();
-            reader.read_to_string(&mut buf)?;
-            buf
-        }
-    };
-    Ok(HttpReply { status, body })
+    HttpClient::new(addr).request(method, path, body, true)
 }
 
-/// `POST path` with a JSON body.
+/// `POST path` with a JSON body, one-shot.
 pub fn http_post(addr: &str, path: &str, body: &str) -> io::Result<HttpReply> {
     http_request(addr, "POST", path, Some(body))
 }
 
-/// `GET path`.
+/// `GET path`, one-shot.
 pub fn http_get(addr: &str, path: &str) -> io::Result<HttpReply> {
     http_request(addr, "GET", path, None)
 }
@@ -99,6 +213,11 @@ pub struct LoadSpec {
     pub clients: usize,
     /// Requests each client fires, back to back.
     pub requests_per_client: usize,
+    /// Requests per connection before the client closes it and dials
+    /// anew: `1` reproduces the old connection-per-request behavior,
+    /// `0` means unlimited reuse (the server's keep-alive limits still
+    /// apply). Default: unlimited.
+    pub requests_per_conn: usize,
 }
 
 impl Default for LoadSpec {
@@ -106,6 +225,7 @@ impl Default for LoadSpec {
         LoadSpec {
             clients: 4,
             requests_per_client: 8,
+            requests_per_conn: 0,
         }
     }
 }
@@ -147,7 +267,9 @@ pub struct LoadReport {
 }
 
 /// The `p`-th percentile (0..=100) of `sorted` (ascending), by the
-/// nearest-rank method. Empty input reports zero.
+/// nearest-rank method. Empty input reports zero — an all-failure run
+/// (e.g. a deliberate-overload phase with no 2xx at all) must summarize,
+/// not panic.
 pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -156,17 +278,20 @@ pub fn percentile(sorted: &[Duration], p: f64) -> Duration {
     sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
+/// Summarizes latencies; an empty vector (total-failure run) yields all
+/// zeros rather than panicking on the max/mean of nothing.
 fn summarize(mut latencies: Vec<Duration>) -> LatencySummary {
-    if latencies.is_empty() {
-        return LatencySummary::default();
-    }
+    let last = match latencies.len().checked_sub(1) {
+        None => return LatencySummary::default(),
+        Some(last) => last,
+    };
     latencies.sort();
     let total: Duration = latencies.iter().sum();
     LatencySummary {
         p50: percentile(&latencies, 50.0),
         p90: percentile(&latencies, 90.0),
         p99: percentile(&latencies, 99.0),
-        max: *latencies.last().expect("non-empty"),
+        max: latencies[last],
         mean: total / latencies.len() as u32,
     }
 }
@@ -174,8 +299,11 @@ fn summarize(mut latencies: Vec<Duration>) -> LatencySummary {
 /// Fires `spec.clients` concurrent clients at `addr`, each posting
 /// `spec.requests_per_client` bodies drawn round-robin from `requests`
 /// (`(path, body)` pairs — a *mixed* load is simply a mixed list), and
-/// aggregates outcomes. Counts a 429 as shed (not failed): under
-/// deliberate overload, shedding is the server behaving correctly.
+/// aggregates outcomes. Each client reuses its connection for
+/// `spec.requests_per_conn` requests (0 = unlimited). Counts a 429 as
+/// shed (not failed): under deliberate overload, shedding is the server
+/// behaving correctly. A run where *every* request fails (server down,
+/// total overload) still reports — zeros, not a panic.
 pub fn run_load(addr: &str, requests: &[(String, String)], spec: &LoadSpec) -> LoadReport {
     assert!(!requests.is_empty(), "run_load needs at least one request");
     let start = Instant::now();
@@ -183,12 +311,16 @@ pub fn run_load(addr: &str, requests: &[(String, String)], spec: &LoadSpec) -> L
         let handles: Vec<_> = (0..spec.clients)
             .map(|client| {
                 scope.spawn(move || {
+                    let mut http = HttpClient::new(addr);
                     let mut local = Vec::with_capacity(spec.requests_per_client);
                     for i in 0..spec.requests_per_client {
                         let (path, body) =
                             &requests[(client * spec.requests_per_client + i) % requests.len()];
+                        // Close on the connection's last allotted request.
+                        let close =
+                            spec.requests_per_conn != 0 && (i + 1) % spec.requests_per_conn == 0;
                         let sent = Instant::now();
-                        match http_post(addr, path, body) {
+                        match http.request("POST", path, Some(body), close) {
                             Ok(reply) => local.push((reply.status, Some(sent.elapsed()))),
                             Err(_) => local.push((0, None)),
                         }
@@ -249,6 +381,41 @@ mod tests {
     }
 
     #[test]
+    fn total_failure_runs_summarize_to_zero_without_panicking() {
+        // Regression: `summarize`/`percentile` on an empty latency vector
+        // (a run with zero 2xx — the deliberate-overload phase can
+        // produce one) must report zeros, not panic.
+        let summary = summarize(Vec::new());
+        assert_eq!(summary.p50, Duration::ZERO);
+        assert_eq!(summary.p99, Duration::ZERO);
+        assert_eq!(summary.max, Duration::ZERO);
+        assert_eq!(summary.mean, Duration::ZERO);
+
+        // End to end: a server that refuses every connection yields an
+        // all-failure report with zeroed latencies and throughput.
+        let refused = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+            // Listener drops here; connections are refused from now on.
+        };
+        let spec = LoadSpec {
+            clients: 2,
+            requests_per_client: 2,
+            requests_per_conn: 1,
+        };
+        let report = run_load(
+            &refused,
+            &[("/histories/x/batch".to_string(), "{}".to_string())],
+            &spec,
+        );
+        assert_eq!(report.requests, 4);
+        assert_eq!(report.ok, 0);
+        assert_eq!(report.failed, 4);
+        assert_eq!(report.throughput_rps, 0.0);
+        assert_eq!(report.latency.p99, Duration::ZERO);
+    }
+
+    #[test]
     fn http_client_talks_to_a_plain_socket() {
         use std::io::Read;
         use std::net::TcpListener;
@@ -268,6 +435,71 @@ mod tests {
         assert_eq!(reply.body, "ok");
         let seen = server.join().unwrap();
         assert!(seen.starts_with("POST /x HTTP/1.1\r\n"), "{seen}");
+        assert!(seen.contains("Connection: close\r\n"), "{seen}");
         assert!(seen.ends_with("\r\n\r\n{}"), "{seen}");
+    }
+
+    #[test]
+    fn http_client_reuses_one_connection_and_survives_interim_responses() {
+        use std::io::Read;
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // One accepted socket serves both requests; the second
+            // response is preceded by a 100 Continue the client must
+            // skip.
+            let (mut s, _) = listener.accept().unwrap();
+            let mut served = 0;
+            let mut buf = [0u8; 2048];
+            while served < 2 {
+                let n = s.read(&mut buf).unwrap();
+                assert!(n > 0, "client must reuse the connection");
+                if served == 1 {
+                    s.write_all(b"HTTP/1.1 100 Continue\r\n\r\n").unwrap();
+                }
+                s.write_all(
+                    b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\nConnection: keep-alive\r\n\r\nok",
+                )
+                .unwrap();
+                served += 1;
+            }
+            served
+        });
+        let mut client = HttpClient::new(&addr);
+        let a = client.request("POST", "/x", Some("{}"), false).unwrap();
+        let b = client.request("POST", "/x", Some("{}"), false).unwrap();
+        assert_eq!((a.status, b.status), (200, 200));
+        assert_eq!(server.join().unwrap(), 2);
+    }
+
+    #[test]
+    fn stale_reused_connections_retry_once() {
+        use std::io::Read;
+        use std::net::TcpListener;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            // First connection: answer once (keep-alive), then hang up —
+            // simulating the server's idle timeout killing a parked
+            // socket. The client's next request must transparently land
+            // on a second connection.
+            let (mut s, _) = listener.accept().unwrap();
+            let mut buf = [0u8; 2048];
+            assert!(s.read(&mut buf).unwrap() > 0);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\nConnection: keep-alive\r\n\r\na")
+                .unwrap();
+            drop(s);
+            let (mut s, _) = listener.accept().unwrap();
+            assert!(s.read(&mut buf).unwrap() > 0);
+            s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 1\r\nConnection: keep-alive\r\n\r\nb")
+                .unwrap();
+        });
+        let mut client = HttpClient::new(&addr);
+        let a = client.request("POST", "/x", Some("{}"), false).unwrap();
+        let b = client.request("POST", "/x", Some("{}"), false).unwrap();
+        assert_eq!(a.body, "a");
+        assert_eq!(b.body, "b", "retry lands on a fresh connection");
+        server.join().unwrap();
     }
 }

@@ -24,7 +24,7 @@ use std::time::Duration;
 use mahif::Session;
 use mahif_history::{Modification, ModificationSet};
 use mahif_serve::{Json, ServeConfig, Server};
-use mahif_workload::serve_load::{http_post, run_load, LoadReport, LoadSpec};
+use mahif_workload::serve_load::{http_get, http_post, run_load, LoadReport, LoadSpec};
 use mahif_workload::{Dataset, DatasetKind, GeneratedWorkload, WorkloadSpec};
 
 fn json_escape(s: &str) -> String {
@@ -369,6 +369,58 @@ fn main() {
         "session after load: {} requests, {} scenarios, {} slices computed, {} shared",
         stats.requests, stats.scenarios_answered, stats.slices_computed, stats.slices_shared
     );
+
+    // --- Server-side observability cross-check. -------------------------
+    // Scrape /metrics over the wire (the endpoint must serve parseable
+    // Prometheus text under load), then read the same registry in-process
+    // for the server-side latency histograms recorded next to the client
+    // percentiles: client p99 includes the wire, server p99 does not, and
+    // the gap is the transport cost.
+    let scrape = http_get(&addr, "/metrics").expect("GET /metrics");
+    assert_eq!(scrape.status, 200, "/metrics failed: {}", scrape.body);
+    assert!(
+        scrape.body.contains("# TYPE mahif_requests_total counter"),
+        "/metrics must expose the request counter:\n{}",
+        scrape.body
+    );
+    let registry = handle.registry();
+    let requests_total = registry.counter_value("mahif_requests_total");
+    let plan_count = registry
+        .histogram_snapshot("mahif_plan_seconds")
+        .map(|h| h.count)
+        .unwrap_or(0);
+    assert!(requests_total > 0, "request counter must have counted");
+    assert!(plan_count > 0, "plan histogram must have observed");
+    // Grep-able by the CI smoke step.
+    println!(
+        "metrics ok: mahif_requests_total={requests_total} mahif_plan_seconds_count={plan_count}"
+    );
+    let histogram_json = |name: &str| -> Json {
+        match registry.histogram_snapshot(name) {
+            None => Json::Null,
+            Some(h) => Json::obj([
+                ("count", Json::Int(h.count as i64)),
+                ("p50_ms", Json::Float((h.p50() * 1e5).round() / 1e2)),
+                ("p90_ms", Json::Float((h.p90() * 1e5).round() / 1e2)),
+                ("p99_ms", Json::Float((h.p99() * 1e5).round() / 1e2)),
+            ]),
+        }
+    };
+    let server_metrics = Json::obj([
+        ("requests_total", Json::Int(requests_total as i64)),
+        (
+            "shed_total",
+            Json::Int(registry.counter_value("mahif_admission_shed_total") as i64),
+        ),
+        (
+            "solver_calls_total",
+            Json::Int(registry.counter_value("mahif_solver_calls_total") as i64),
+        ),
+        ("request_seconds", histogram_json("mahif_request_seconds")),
+        ("queue_seconds", histogram_json("mahif_queue_seconds")),
+        ("plan_seconds", histogram_json("mahif_plan_seconds")),
+        ("execute_seconds", histogram_json("mahif_execute_seconds")),
+    ]);
     handle.stop();
 
     // --- Phase 2: a deliberately starved server; overload must shed. ----
@@ -465,6 +517,12 @@ fn main() {
             "light_keepalive_throughput_speedup",
             Json::Float((light_speedup * 100.0).round() / 100.0),
         ),
+        // Server-side view of the mixed + light phases: the same requests
+        // as the registry's histograms saw them (no wire time). Recorded
+        // so a regression in the serve layer's own overhead — tracing,
+        // metrics, slow-log — shows up as a drift between client and
+        // server percentiles or in the light-phase throughput above.
+        ("server_metrics", server_metrics),
         ("overload", report_json(&overload, &overload_spec)),
     ]);
     std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_serve.json");

@@ -219,6 +219,11 @@ pub struct GroupPlan<'a> {
     total_tuples: usize,
     shared_data_slicing: Duration,
     shared_reenactment: Duration,
+    /// Wall-clock time of the shared original-side reenactment, per
+    /// relation (parallel to `relations`) — the per-relation breakdown of
+    /// `shared_reenactment`, surfaced to tracing layers so a slow plan
+    /// build is attributable to the relation that cost it.
+    relation_timings: Vec<Duration>,
 }
 
 impl<'a> GroupPlan<'a> {
@@ -269,6 +274,7 @@ impl<'a> GroupPlan<'a> {
                 total_tuples: 0,
                 shared_data_slicing: Duration::default(),
                 shared_reenactment: Duration::default(),
+                relation_timings: Vec::new(),
             });
         }
 
@@ -373,10 +379,12 @@ impl<'a> GroupPlan<'a> {
         // Phase 3a: the original-side reenactment, once per relation for the
         // whole group.
         let mut original_results = Vec::with_capacity(relations.len());
+        let mut relation_timings = Vec::with_capacity(relations.len());
         for (relation, shadow) in relations.iter().zip(filtered_base.iter()) {
             if let Some(deadline) = &deadline {
                 deadline.check()?;
             }
+            let relation_start = Instant::now();
             let schema = base_db.relation(relation)?.schema.clone();
             let (db, cond) = match shadow {
                 Some(shadow) => (shadow, Expr::true_()),
@@ -391,6 +399,7 @@ impl<'a> GroupPlan<'a> {
                 db,
                 config,
             )?);
+            relation_timings.push(relation_start.elapsed());
         }
         let shared_reenactment = start.elapsed();
 
@@ -426,6 +435,7 @@ impl<'a> GroupPlan<'a> {
             total_tuples,
             shared_data_slicing,
             shared_reenactment,
+            relation_timings,
         })
     }
 
@@ -556,6 +566,16 @@ impl<'a> GroupPlan<'a> {
     /// The execution method the plan was built for.
     pub fn method(&self) -> Method {
         self.method
+    }
+
+    /// The shared original-side reenactment time per relation, in the
+    /// plan's (sorted) relation order — the per-relation breakdown of
+    /// [`shared_duration`](Self::shared_duration)'s reenactment half.
+    pub fn relation_timings(&self) -> impl Iterator<Item = (&str, Duration)> {
+        self.relations
+            .iter()
+            .map(String::as_str)
+            .zip(self.relation_timings.iter().copied())
     }
 }
 

@@ -118,6 +118,6 @@ pub use impact::{impact_of, GroupImpact, ImpactReport, ImpactSpec};
 #[allow(deprecated)]
 pub use mahif::Mahif;
 pub use request::{ScenarioSpec, WhatIfRequest};
-pub use response::{BatchStats, Response, ScenarioResponse};
-pub use session::{sweep, RegisteredHistory, Session, SessionStats};
+pub use response::{batch_trace_spans, BatchStats, Response, ScenarioResponse};
+pub use session::{sweep, RegisteredHistory, Session, SessionMetrics, SessionStats};
 pub use stats::{EngineStats, PhaseTimings, WhatIfAnswer};

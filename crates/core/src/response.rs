@@ -84,6 +84,12 @@ pub struct BatchStats {
     pub execution: Duration,
     /// End-to-end wall-clock time of the request.
     pub total: Duration,
+    /// Per-relation breakdown of the group plans' shared original-side
+    /// reenactment ([`group_reenactment`](Self::group_reenactment)),
+    /// summed across multi-member plans and sorted by relation name. Empty
+    /// outside the group-plan path. Tracing layers graft these as child
+    /// spans so a slow plan build names the relation that cost it.
+    pub plan_relations: Vec<(String, Duration)>,
 }
 
 /// One scenario's answer within a [`Response`].
@@ -167,6 +173,39 @@ impl Response {
         self.scenarios.iter()
     }
 
+    /// Grafts the engine's phase timings into trace [`mahif_obs::Span`]s, offset so
+    /// the first span starts at `start` (the handler's offset for the
+    /// engine call within its own trace).
+    ///
+    /// This is *the* conversion between the engine's [`BatchStats`] /
+    /// [`PhaseTimings`](crate::PhaseTimings) and span-shaped traces —
+    /// serving layers and library callers share it, so `Server-Timing`
+    /// headers, the slow-query log, and in-process tracing all name the
+    /// same sections:
+    ///
+    /// * `plan` — normalize + slicing wall clock, with children
+    ///   `plan.normalize` and `plan.slicing`;
+    /// * `execute` — the execution phase wall clock, with children
+    ///   `execute.group` (the group plans' shared data slicing +
+    ///   original-side reenactment, itself broken down per relation as
+    ///   `execute.group.<relation>`) and the per-scenario
+    ///   [`PhaseTimings`](crate::PhaseTimings) summed across the batch
+    ///   (`execute.copy`, `execute.program_slicing`,
+    ///   `execute.data_slicing`, `execute.reenact`, `execute.delta`).
+    ///
+    /// Child spans under `execute` aggregate work that ran in parallel on
+    /// the worker pool, so their summed durations may exceed the parent's
+    /// wall clock; their `start` offsets equal the parent's (the engine
+    /// records durations, not per-worker offsets). Zero-duration children
+    /// are omitted — a `ReenactPsDs` batch reports no `execute.copy`.
+    pub fn trace_spans(&self, start: Duration) -> Vec<mahif_obs::Span> {
+        batch_trace_spans(
+            &self.stats,
+            self.scenarios.iter().map(|s| &s.answer.timings),
+            start,
+        )
+    }
+
     /// Consumes the response into the first scenario's answer (the whole
     /// answer for a single query).
     pub fn into_answer(self) -> WhatIfAnswer {
@@ -176,6 +215,73 @@ impl Response {
             .expect("a response answers >= 1 scenario")
             .answer
     }
+}
+
+/// The span conversion behind [`Response::trace_spans`], usable by any
+/// holder of a [`BatchStats`] plus the batch's per-scenario
+/// [`PhaseTimings`](crate::PhaseTimings) (e.g. `mahif-scenario`'s
+/// `BatchAnswer`, which drops the `Response` wrapper). See
+/// [`Response::trace_spans`] for the span vocabulary and the
+/// parallel-work caveats.
+pub fn batch_trace_spans<'a>(
+    stats: &BatchStats,
+    member_timings: impl Iterator<Item = &'a crate::stats::PhaseTimings>,
+    start: Duration,
+) -> Vec<mahif_obs::Span> {
+    let mut spans = Vec::new();
+    let push = |spans: &mut Vec<mahif_obs::Span>, name: &str, at: Duration, d: Duration| {
+        if !d.is_zero() {
+            spans.push(mahif_obs::Span {
+                name: name.to_string(),
+                start: at,
+                duration: d,
+            });
+        }
+    };
+    let plan = stats.normalize + stats.slicing;
+    push(&mut spans, "plan", start, plan);
+    push(&mut spans, "plan.normalize", start, stats.normalize);
+    push(
+        &mut spans,
+        "plan.slicing",
+        start + stats.normalize,
+        stats.slicing,
+    );
+    let exec_start = start + plan;
+    push(&mut spans, "execute", exec_start, stats.execution);
+    push(
+        &mut spans,
+        "execute.group",
+        exec_start,
+        stats.group_reenactment,
+    );
+    for (relation, duration) in &stats.plan_relations {
+        push(
+            &mut spans,
+            &format!("execute.group.{relation}"),
+            exec_start,
+            *duration,
+        );
+    }
+    // The per-scenario engine timings, summed across the batch.
+    let mut copy = Duration::ZERO;
+    let mut ps = Duration::ZERO;
+    let mut ds = Duration::ZERO;
+    let mut exe = Duration::ZERO;
+    let mut delta = Duration::ZERO;
+    for t in member_timings {
+        copy += t.copy;
+        ps += t.program_slicing;
+        ds += t.data_slicing;
+        exe += t.execution;
+        delta += t.delta;
+    }
+    push(&mut spans, "execute.copy", exec_start, copy);
+    push(&mut spans, "execute.program_slicing", exec_start, ps);
+    push(&mut spans, "execute.data_slicing", exec_start, ds);
+    push(&mut spans, "execute.reenact", exec_start, exe);
+    push(&mut spans, "execute.delta", exec_start, delta);
+    spans
 }
 
 impl<'a> IntoIterator for &'a Response {

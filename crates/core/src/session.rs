@@ -69,7 +69,7 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use mahif_history::{DeltaInterner, History, ModificationSet, NormalizedWhatIf, WhatIfRef};
 use mahif_slicing::{
@@ -215,6 +215,93 @@ pub struct SessionStats {
     pub delta_tuples_deduped: u64,
 }
 
+/// The session's always-on telemetry mirror: lock-cheap atomic counters
+/// and latency histograms recorded alongside (never instead of) the
+/// internal `Counters` commit. The mutex-guarded counters stay the one
+/// *consistent* snapshot path (`/stats`); these atomics are the
+/// *monitoring* path (`/metrics`), where Prometheus-style scrapes are racy
+/// by nature and cross-counter consistency is not promised. A serving
+/// layer adopts the handles into its [`mahif_obs::Registry`] via
+/// [`SessionMetrics::register_into`], so the scrape reads the very cells
+/// the session increments.
+#[derive(Debug)]
+pub struct SessionMetrics {
+    /// Requests executed (a batch counts once), mirroring
+    /// [`SessionStats::requests`].
+    pub requests: Arc<mahif_obs::Counter>,
+    /// Scenarios answered, mirroring [`SessionStats::scenarios_answered`].
+    pub scenarios_answered: Arc<mahif_obs::Counter>,
+    /// Slicing solver calls spent across requests (the deduplicated
+    /// request-level count; see `BatchStats::solver_calls`).
+    pub solver_calls: Arc<mahif_obs::Counter>,
+    /// Statements reenacted across all answers (after program slicing).
+    pub statements_reenacted: Arc<mahif_obs::Counter>,
+    /// Annotated delta tuples deduplicated across batch answers.
+    pub delta_tuples_deduped: Arc<mahif_obs::Counter>,
+    /// Per-request planning latency (normalize + slicing phases).
+    pub plan_seconds: Arc<mahif_obs::Histogram>,
+    /// Per-request execution latency (reenactment + diffing, including
+    /// group-plan building).
+    pub execute_seconds: Arc<mahif_obs::Histogram>,
+}
+
+impl Default for SessionMetrics {
+    fn default() -> Self {
+        SessionMetrics {
+            requests: Arc::new(mahif_obs::Counter::new()),
+            scenarios_answered: Arc::new(mahif_obs::Counter::new()),
+            solver_calls: Arc::new(mahif_obs::Counter::new()),
+            statements_reenacted: Arc::new(mahif_obs::Counter::new()),
+            delta_tuples_deduped: Arc::new(mahif_obs::Counter::new()),
+            plan_seconds: Arc::new(mahif_obs::Histogram::latency()),
+            execute_seconds: Arc::new(mahif_obs::Histogram::latency()),
+        }
+    }
+}
+
+impl SessionMetrics {
+    /// Adopts the session's live metric cells into `registry` under their
+    /// canonical `mahif_*` names, so a `/metrics` scrape and the session's
+    /// own increments read the same atomics.
+    pub fn register_into(&self, registry: &mahif_obs::Registry) {
+        registry.adopt_counter(
+            "mahif_engine_requests_total",
+            "What-if requests executed by the session (a batch counts once)",
+            Arc::clone(&self.requests),
+        );
+        registry.adopt_counter(
+            "mahif_scenarios_answered_total",
+            "Scenarios answered across all requests",
+            Arc::clone(&self.scenarios_answered),
+        );
+        registry.adopt_counter(
+            "mahif_solver_calls_total",
+            "Slicing solver satisfiability checks spent across requests",
+            Arc::clone(&self.solver_calls),
+        );
+        registry.adopt_counter(
+            "mahif_statements_reenacted_total",
+            "History statements reenacted after program slicing",
+            Arc::clone(&self.statements_reenacted),
+        );
+        registry.adopt_counter(
+            "mahif_delta_tuples_deduped_total",
+            "Annotated delta tuples deduplicated across batch answers",
+            Arc::clone(&self.delta_tuples_deduped),
+        );
+        registry.adopt_histogram(
+            "mahif_plan_seconds",
+            "Per-request planning latency (normalize + slicing phases), seconds",
+            Arc::clone(&self.plan_seconds),
+        );
+        registry.adopt_histogram(
+            "mahif_execute_seconds",
+            "Per-request execution latency (reenactment + diffing), seconds",
+            Arc::clone(&self.execute_seconds),
+        );
+    }
+}
+
 /// The Mahif middleware session: registers named histories once and answers
 /// many what-if requests against them, from any number of threads sharing
 /// one `Arc<Session>`. See the [module docs](self).
@@ -222,6 +309,7 @@ pub struct SessionStats {
 pub struct Session {
     histories: RwLock<Vec<Arc<RegisteredHistory>>>,
     counters: Counters,
+    metrics: SessionMetrics,
 }
 
 // The whole point of the service core: one `Arc<Session>` shared across
@@ -240,6 +328,10 @@ impl Clone for Session {
         Session {
             histories: RwLock::new(self.registry().clone()),
             counters: self.counters.clone(),
+            // The telemetry mirror starts fresh: metric handles may be
+            // adopted into a registry, and a clone sharing them would
+            // double-count. `/stats` consistency comes from `counters`.
+            metrics: SessionMetrics::default(),
         }
     }
 }
@@ -438,6 +530,12 @@ impl Session {
     pub fn stats(&self) -> SessionStats {
         let histories = self.registry();
         self.counters.snapshot(histories.len())
+    }
+
+    /// The session's always-on telemetry mirror (see [`SessionMetrics`]):
+    /// lock-cheap atomics a serving layer adopts into its metrics registry.
+    pub fn metrics(&self) -> &SessionMetrics {
+        &self.metrics
     }
 
     /// Executes a request through the explicit three-phase lifecycle
@@ -791,6 +889,17 @@ impl Session {
                         .filter(|p| p.group_size() > 1)
                         .map(|p| p.original_reenactments())
                         .sum::<usize>();
+                    // Per-relation breakdown of the shared reenactment,
+                    // merged across plans (sorted by relation name — the
+                    // plans' own orders already are).
+                    let mut by_relation: std::collections::BTreeMap<String, Duration> =
+                        std::collections::BTreeMap::new();
+                    for plan in plans.iter().flatten().filter(|p| p.group_size() > 1) {
+                        for (relation, duration) in plan.relation_timings() {
+                            *by_relation.entry(relation.to_string()).or_default() += duration;
+                        }
+                    }
+                    stats.plan_relations = by_relation.into_iter().collect();
 
                     let answers = self.run_pool(threads, scenarios, |i| {
                         req.check_deadline(Phase::Execution)?;
@@ -896,6 +1005,31 @@ impl Session {
             c.refined_slices += stats.refined_slices as u64;
             c.delta_tuples_deduped += stats.delta_tuples_deduped as u64;
         });
+
+        // The telemetry mirror records the same successful request into
+        // the lock-free monitoring atomics (scrapes are racy by design;
+        // the commit above stays the consistent snapshot path). Statement
+        // counts come from the answers: group members report the shared
+        // slice's kept-statement count each, so the total reflects work
+        // actually reenacted per scenario.
+        self.metrics.requests.inc();
+        self.metrics.scenarios_answered.add(scenarios.len() as u64);
+        self.metrics.solver_calls.add(stats.solver_calls as u64);
+        self.metrics.statements_reenacted.add(
+            answers
+                .iter()
+                .map(|a| a.stats.statements_reenacted as u64)
+                .sum(),
+        );
+        self.metrics
+            .delta_tuples_deduped
+            .add(stats.delta_tuples_deduped as u64);
+        self.metrics
+            .plan_seconds
+            .observe_duration(stats.normalize + stats.slicing);
+        self.metrics
+            .execute_seconds
+            .observe_duration(stats.execution);
 
         stats.total = req.total_start.elapsed();
         let scenarios = req

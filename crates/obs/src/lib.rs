@@ -1,0 +1,54 @@
+//! # mahif-obs
+//!
+//! Std-only observability primitives for the Mahif workspace: the
+//! instrumentation substrate under `mahif-serve`'s `GET /metrics`,
+//! `GET /debug/slow`, access log and `Server-Timing` headers.
+//!
+//! The paper this workspace reproduces makes a *performance* argument —
+//! program slicing and data slicing make historical what-if queries cheap
+//! (its Figures 15/16 are per-phase timing breakdowns) — so the serving
+//! layer has to be able to show where each request's time went. Three
+//! pieces, all dependency-free:
+//!
+//! * [`metrics`] — a [`Registry`] of named atomic [`Counter`]s,
+//!   [`Gauge`]s, and fixed-bucket [`Histogram`]s (with p50/p90/p99
+//!   extraction), rendered in the Prometheus text exposition format.
+//!   Recording never takes the registry lock; existing atomics can be
+//!   *adopted* so `/stats` and `/metrics` scrape the same cells.
+//! * [`trace`] — a per-request [`Trace`] of timestamped [`Span`]s with
+//!   dot-nested names (`execute.slicing`), rendered verbatim into
+//!   `Server-Timing` headers; plus request-id generation and validation.
+//! * [`slow`] — a [`SlowLog`] ring buffer retaining the last N requests
+//!   over a configurable threshold, each with its full span breakdown and
+//!   engine-side shape (scenarios, groups, solver calls).
+//!
+//! ```
+//! use mahif_obs::{Registry, Trace};
+//! use std::time::Duration;
+//!
+//! let registry = Registry::new();
+//! let plan = registry.histogram(
+//!     "mahif_plan_seconds",
+//!     "Batch planning time",
+//!     &mahif_obs::default_latency_buckets(),
+//! );
+//! let mut trace = Trace::begin(mahif_obs::request_id(), "POST /histories/x/batch");
+//! let () = trace.time("plan", || { /* normalize + slice */ });
+//! plan.observe_duration(trace.spans()[0].duration);
+//! assert!(registry.render().contains("mahif_plan_seconds_count 1"));
+//! assert!(trace.server_timing().starts_with("plan;dur="));
+//! # let _ = Duration::ZERO;
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod slow;
+pub mod trace;
+
+pub use metrics::{
+    default_latency_buckets, Counter, Gauge, Histogram, HistogramSnapshot, Registry,
+};
+pub use slow::{SlowEntry, SlowLog};
+pub use trace::{request_id, server_timing, valid_request_id, Span, Trace};

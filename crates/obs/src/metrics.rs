@@ -1,0 +1,709 @@
+//! The metrics registry: atomic counters, gauges, and fixed-bucket
+//! latency histograms, rendered in the Prometheus text exposition format.
+//!
+//! Recording is **lock-cheap**: every metric handle is an `Arc` over plain
+//! atomics, so hot paths (a request commit, a histogram observation) cost
+//! a few relaxed atomic adds and never take the registry lock. The
+//! registry's mutex guards only *structure* — registering a new family or
+//! label set, and rendering — which happens at startup and at scrape time.
+//!
+//! Scrapes are racy by design (Prometheus semantics): a snapshot taken
+//! while writers run may be mid-update across *different* metrics. The
+//! per-histogram snapshot is still internally safe: an observation bumps
+//! its bucket before the total count, and [`Histogram::snapshot`] loads
+//! the count first — so `count ≤ Σ buckets` always holds and quantile
+//! extraction never reads past the recorded observations. Consistent
+//! multi-counter snapshots (the session's `/stats` contract) remain the
+//! job of the session's commit lock; this registry is the monitoring
+//! mirror, not a replacement for it.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A fresh counter at zero.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down (queue depths, in-flight
+/// work). Writers race benignly; the scrape sees some recent value.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A fresh gauge at zero.
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `d` (may be negative).
+    pub fn add(&self, d: i64) {
+        self.value.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Subtracts `d`.
+    pub fn sub(&self, d: i64) {
+        self.value.fetch_sub(d, Ordering::Relaxed);
+    }
+
+    /// The current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// The default latency bucket bounds, in seconds: 100 µs to 30 s,
+/// roughly 2.5× apart — wide enough for both the sub-millisecond
+/// keep-alive hot path and a multi-second deadline-bounded batch.
+pub fn default_latency_buckets() -> Vec<f64> {
+    vec![
+        0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5,
+        5.0, 10.0, 30.0,
+    ]
+}
+
+/// A fixed-bucket latency histogram. Observations are clamped to `[0, ∞)`
+/// and land in the first bucket whose upper bound is ≥ the value; values
+/// beyond the last bound saturate into the implicit `+Inf` overflow
+/// bucket. The sum is kept in whole microseconds (an `AtomicU64`), so it
+/// never tears the way a shared `f64` would.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Finite upper bounds, strictly increasing, in seconds.
+    bounds: Vec<f64>,
+    /// One slot per finite bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_micros: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over `bounds` (finite upper bounds in seconds, strictly
+    /// increasing; the `+Inf` overflow bucket is implicit).
+    ///
+    /// # Panics
+    /// If `bounds` is empty, non-finite, or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(!bounds.is_empty(), "a histogram needs at least one bound");
+        for pair in bounds.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "histogram bounds must be strictly increasing"
+            );
+        }
+        assert!(
+            bounds.iter().all(|b| b.is_finite() && *b > 0.0),
+            "histogram bounds must be finite and positive"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_micros: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram over [`default_latency_buckets`].
+    pub fn latency() -> Histogram {
+        Histogram::new(&default_latency_buckets())
+    }
+
+    /// Records one observation, in seconds.
+    pub fn observe(&self, seconds: f64) {
+        let v = if seconds.is_finite() && seconds > 0.0 {
+            seconds
+        } else {
+            0.0
+        };
+        let i = self.bounds.partition_point(|b| *b < v);
+        // Bucket first, count second: a snapshot loads the count first,
+        // so `count ≤ Σ buckets` holds under concurrent observation and a
+        // quantile never indexes past recorded data.
+        self.buckets[i].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Release);
+        self.sum_micros
+            .fetch_add((v * 1e6).round() as u64, Ordering::Relaxed);
+    }
+
+    /// Records one observation from a [`Duration`].
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Acquire)
+    }
+
+    /// A point-in-time copy of the bucket contents.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        // Count before buckets (see `observe` for the pairing).
+        let count = self.count.load(Ordering::Acquire);
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts,
+            count,
+            sum_seconds: self.sum_micros.load(Ordering::Relaxed) as f64 / 1e6,
+        }
+    }
+}
+
+/// A copied-out histogram state; quantiles are estimated from it by
+/// linear interpolation within the landing bucket.
+#[derive(Debug, Clone)]
+pub struct HistogramSnapshot {
+    /// The finite bucket upper bounds, in seconds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts; the final slot is
+    /// the `+Inf` overflow bucket. `counts.len() == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Total observations at snapshot time (never more than `Σ counts`).
+    pub count: u64,
+    /// Sum of all observed values, in seconds.
+    pub sum_seconds: f64,
+}
+
+impl HistogramSnapshot {
+    /// The estimated `q`-quantile (`0.0 ..= 1.0`) in seconds: linear
+    /// interpolation inside the landing bucket, with two saturations —
+    /// an empty histogram reports `0.0`, and observations in the `+Inf`
+    /// overflow bucket report the last finite bound (the histogram cannot
+    /// see beyond it).
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // Nearest-rank target, 1-based.
+        let target = ((q * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= target {
+                if i >= self.bounds.len() {
+                    // Overflow bucket: saturate at the last finite bound.
+                    return self.bounds[self.bounds.len() - 1];
+                }
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let upper = self.bounds[i];
+                // Position of the target within this bucket, interpolated.
+                let into = (target - seen) as f64 / n as f64;
+                return lower + (upper - lower) * into;
+            }
+            seen += n;
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// The median estimate, in seconds.
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// The 90th-percentile estimate, in seconds.
+    pub fn p90(&self) -> f64 {
+        self.quantile(0.90)
+    }
+
+    /// The 99th-percentile estimate, in seconds.
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// What kind of metric a family holds (drives the `# TYPE` line).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn label(self) -> &'static str {
+        match self {
+            Kind::Counter => "counter",
+            Kind::Gauge => "gauge",
+            Kind::Histogram => "histogram",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Handle {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug)]
+struct Sample {
+    labels: Vec<(String, String)>,
+    handle: Handle,
+}
+
+/// One named metric family: a `# HELP`/`# TYPE` pair plus its samples
+/// (one per label set; unlabeled metrics have exactly one).
+#[derive(Debug)]
+struct Family {
+    name: String,
+    help: String,
+    kind: Kind,
+    samples: Vec<Sample>,
+}
+
+/// The process-wide metric registry: named families of counters, gauges,
+/// and histograms, rendered as Prometheus text by [`Registry::render`].
+///
+/// Handles returned by the `counter`/`gauge`/`histogram` methods are
+/// get-or-create: asking for the same name (and label set) twice returns
+/// the same underlying metric, so independent subsystems can share a
+/// family without coordination. Existing atomics can also be *adopted*
+/// (e.g. an admission controller's shed counter), so `/stats` and
+/// `/metrics` read the very same cell instead of two drifting copies.
+#[derive(Debug, Default)]
+pub struct Registry {
+    families: Mutex<Vec<Family>>,
+}
+
+/// `true` for a legal Prometheus metric name.
+fn valid_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Escapes a label value for the exposition format.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Renders a label set as `{k="v",…}` (empty string when unlabeled,
+/// `{extra}` merged in front for histogram `le` labels).
+fn render_labels(labels: &[(String, String)], extra: Option<(&str, &str)>) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    for (k, v) in labels {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if let Some((k, v)) = extra {
+        parts.push(format!("{k}=\"{}\"", escape_label(v)));
+    }
+    if parts.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", parts.join(","))
+    }
+}
+
+/// Formats a bucket bound the way Prometheus clients do (no trailing
+/// zeros beyond what `{}` prints; `f64` round-trips).
+fn render_f64(v: f64) -> String {
+    if v == v.trunc() && v.abs() < 1e15 {
+        // "1" not "1.0" — but keep a decimal form Prometheus accepts.
+        format!("{v}")
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &str,
+        kind: Kind,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Handle,
+    ) -> Handle {
+        assert!(valid_name(name), "invalid metric name {name:?}");
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| {
+                assert!(valid_name(k), "invalid label name {k:?}");
+                (k.to_string(), v.to_string())
+            })
+            .collect();
+        let mut families = self.families.lock().expect("metric registry poisoned");
+        let family = match families.iter_mut().find(|f| f.name == name) {
+            Some(family) => {
+                assert!(
+                    family.kind == kind,
+                    "metric {name} already registered as a {}",
+                    family.kind.label()
+                );
+                family
+            }
+            None => {
+                families.push(Family {
+                    name: name.to_string(),
+                    help: help.to_string(),
+                    kind,
+                    samples: Vec::new(),
+                });
+                families.last_mut().expect("just pushed")
+            }
+        };
+        if let Some(sample) = family.samples.iter().find(|s| s.labels == labels) {
+            return sample.handle.clone();
+        }
+        let handle = make();
+        family.samples.push(Sample {
+            labels,
+            handle: handle.clone(),
+        });
+        handle
+    }
+
+    /// Gets or creates an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// Gets or creates a counter with the given label set.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        match self.get_or_insert(name, help, Kind::Counter, labels, || {
+            Handle::Counter(Arc::new(Counter::new()))
+        }) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// Adopts an existing counter under `name` (so another subsystem's
+    /// live atomic is scraped directly). Get-or-adopt: if the name is
+    /// already registered, the existing handle is returned instead.
+    pub fn adopt_counter(&self, name: &str, help: &str, counter: Arc<Counter>) -> Arc<Counter> {
+        match self.get_or_insert(name, help, Kind::Counter, &[], || Handle::Counter(counter)) {
+            Handle::Counter(c) => c,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// Gets or creates an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, Kind::Gauge, &[], || {
+            Handle::Gauge(Arc::new(Gauge::new()))
+        }) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// Gets or creates an unlabeled histogram over `bounds` (seconds).
+    /// The bounds of an existing histogram are kept.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, Kind::Histogram, &[], || {
+            Handle::Histogram(Arc::new(Histogram::new(bounds)))
+        }) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// Adopts an existing histogram under `name` (get-or-adopt).
+    pub fn adopt_histogram(
+        &self,
+        name: &str,
+        help: &str,
+        histogram: Arc<Histogram>,
+    ) -> Arc<Histogram> {
+        match self.get_or_insert(name, help, Kind::Histogram, &[], || {
+            Handle::Histogram(histogram)
+        }) {
+            Handle::Histogram(h) => h,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
+    /// The snapshot of a registered unlabeled histogram, if any.
+    pub fn histogram_snapshot(&self, name: &str) -> Option<HistogramSnapshot> {
+        let families = self.families.lock().expect("metric registry poisoned");
+        families
+            .iter()
+            .find(|f| f.name == name)
+            .and_then(|f| f.samples.iter().find(|s| s.labels.is_empty()))
+            .and_then(|s| match &s.handle {
+                Handle::Histogram(h) => Some(h.snapshot()),
+                _ => None,
+            })
+    }
+
+    /// The summed value of a counter family (across all label sets).
+    pub fn counter_value(&self, name: &str) -> u64 {
+        let families = self.families.lock().expect("metric registry poisoned");
+        families
+            .iter()
+            .find(|f| f.name == name)
+            .map(|f| {
+                f.samples
+                    .iter()
+                    .map(|s| match &s.handle {
+                        Handle::Counter(c) => c.get(),
+                        _ => 0,
+                    })
+                    .sum()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Renders every family in the Prometheus text exposition format:
+    /// `# HELP` and `# TYPE` lines strictly before the family's samples,
+    /// histograms as cumulative `_bucket{le=…}` plus `_sum`/`_count`.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().expect("metric registry poisoned");
+        let mut out = String::new();
+        for family in families.iter() {
+            out.push_str(&format!("# HELP {} {}\n", family.name, family.help));
+            out.push_str(&format!("# TYPE {} {}\n", family.name, family.kind.label()));
+            for sample in &family.samples {
+                match &sample.handle {
+                    Handle::Counter(c) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            render_labels(&sample.labels, None),
+                            c.get()
+                        ));
+                    }
+                    Handle::Gauge(g) => {
+                        out.push_str(&format!(
+                            "{}{} {}\n",
+                            family.name,
+                            render_labels(&sample.labels, None),
+                            g.get()
+                        ));
+                    }
+                    Handle::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cumulative = 0u64;
+                        for (i, n) in snap.counts.iter().enumerate() {
+                            cumulative += n;
+                            let le = if i < snap.bounds.len() {
+                                render_f64(snap.bounds[i])
+                            } else {
+                                "+Inf".to_string()
+                            };
+                            out.push_str(&format!(
+                                "{}_bucket{} {}\n",
+                                family.name,
+                                render_labels(&sample.labels, Some(("le", &le))),
+                                cumulative
+                            ));
+                        }
+                        out.push_str(&format!(
+                            "{}_sum{} {}\n",
+                            family.name,
+                            render_labels(&sample.labels, None),
+                            render_f64(snap.sum_seconds)
+                        ));
+                        out.push_str(&format!(
+                            "{}_count{} {}\n",
+                            family.name,
+                            render_labels(&sample.labels, None),
+                            snap.count
+                        ));
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges_do_arithmetic() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        let g = Gauge::new();
+        g.set(3);
+        g.add(2);
+        g.sub(4);
+        assert_eq!(g.get(), 1);
+    }
+
+    #[test]
+    fn histogram_bucket_boundaries_are_inclusive_upper_bounds() {
+        let h = Histogram::new(&[0.001, 0.01, 0.1]);
+        h.observe(0.001); // lands in the first bucket (le is inclusive)
+        h.observe(0.0010001); // second bucket
+        h.observe(0.05); // third
+        h.observe(0.5); // overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![1, 1, 1, 1]);
+        assert_eq!(snap.count, 4);
+    }
+
+    #[test]
+    fn histogram_quantiles_on_a_known_distribution() {
+        let h = Histogram::new(&[0.001, 0.01, 0.1, 1.0]);
+        // 90 fast observations, 10 slow ones.
+        for _ in 0..90 {
+            h.observe(0.0005);
+        }
+        for _ in 0..10 {
+            h.observe(0.05);
+        }
+        let snap = h.snapshot();
+        // p50 interpolates inside the first bucket (0 .. 0.001).
+        let p50 = snap.p50();
+        assert!(p50 > 0.0 && p50 <= 0.001, "p50 = {p50}");
+        // p99 lands among the slow observations: inside (0.01 .. 0.1].
+        let p99 = snap.p99();
+        assert!(p99 > 0.01 && p99 <= 0.1, "p99 = {p99}");
+        // The sum is microsecond-accurate.
+        assert!((snap.sum_seconds - (90.0 * 0.0005 + 10.0 * 0.05)).abs() < 1e-4);
+    }
+
+    #[test]
+    fn overflow_bucket_saturates_quantiles_at_the_last_bound() {
+        let h = Histogram::new(&[0.001, 0.01]);
+        for _ in 0..100 {
+            h.observe(5.0);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![0, 0, 100]);
+        assert_eq!(snap.p50(), 0.01, "quantiles cannot see past the last bound");
+        assert_eq!(snap.p99(), 0.01);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        let h = Histogram::latency();
+        assert_eq!(h.snapshot().p99(), 0.0);
+    }
+
+    #[test]
+    fn negative_and_nan_observations_clamp_to_zero() {
+        let h = Histogram::new(&[0.001]);
+        h.observe(-3.0);
+        h.observe(f64::NAN);
+        let snap = h.snapshot();
+        assert_eq!(snap.counts, vec![2, 0]);
+        assert_eq!(snap.sum_seconds, 0.0);
+    }
+
+    #[test]
+    fn registry_handles_are_get_or_create() {
+        let registry = Registry::new();
+        let a = registry.counter("mahif_test_total", "help");
+        let b = registry.counter("mahif_test_total", "ignored on reuse");
+        a.inc();
+        assert_eq!(b.get(), 1, "same name yields the same counter");
+        let l1 = registry.counter_with("mahif_labeled_total", "h", &[("route", "/x")]);
+        let l2 = registry.counter_with("mahif_labeled_total", "h", &[("route", "/y")]);
+        l1.add(2);
+        l2.add(3);
+        assert_eq!(registry.counter_value("mahif_labeled_total"), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let registry = Registry::new();
+        registry.counter("mahif_thing", "h");
+        registry.gauge("mahif_thing", "h");
+    }
+
+    #[test]
+    fn adopted_counters_share_the_atomic() {
+        let registry = Registry::new();
+        let shed = Arc::new(Counter::new());
+        let adopted = registry.adopt_counter("mahif_shed_total", "h", Arc::clone(&shed));
+        shed.add(7);
+        assert_eq!(adopted.get(), 7);
+        assert_eq!(registry.counter_value("mahif_shed_total"), 7);
+    }
+
+    #[test]
+    fn render_emits_help_and_type_before_samples() {
+        let registry = Registry::new();
+        registry.counter("mahif_a_total", "counts a").inc();
+        registry.gauge("mahif_g", "a gauge").set(-2);
+        let h = registry.histogram("mahif_h_seconds", "a histogram", &[0.01, 0.1]);
+        h.observe(0.02);
+        h.observe(0.02);
+        let text = registry.render();
+        let lines: Vec<&str> = text.lines().collect();
+        // TYPE precedes the family's first sample.
+        let type_pos = lines
+            .iter()
+            .position(|l| *l == "# TYPE mahif_a_total counter")
+            .unwrap();
+        let sample_pos = lines.iter().position(|l| *l == "mahif_a_total 1").unwrap();
+        assert!(type_pos < sample_pos);
+        assert!(lines.contains(&"mahif_g -2"));
+        assert!(lines.contains(&"mahif_h_seconds_bucket{le=\"0.01\"} 0"));
+        assert!(lines.contains(&"mahif_h_seconds_bucket{le=\"0.1\"} 2"));
+        assert!(lines.contains(&"mahif_h_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(lines.contains(&"mahif_h_seconds_count 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = Registry::new();
+        registry
+            .counter_with("mahif_esc_total", "h", &[("path", "a\"b\\c\nd")])
+            .inc();
+        let text = registry.render();
+        assert!(
+            text.contains(r#"mahif_esc_total{path="a\"b\\c\nd"} 1"#),
+            "{text}"
+        );
+    }
+}

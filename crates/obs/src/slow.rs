@@ -1,0 +1,167 @@
+//! The slow-query log: a bounded ring buffer of the most recent request
+//! traces that exceeded a duration threshold.
+//!
+//! The ring holds the *last N* slow requests, not the N slowest ever —
+//! an operator debugging "the server got slow ten minutes ago" needs
+//! recency, and a max-heap of all-time outliers would pin one pathological
+//! early batch forever. Eviction is strictly oldest-first.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, SystemTime};
+
+use crate::trace::{Span, Trace};
+
+/// One retained slow request: the trace plus the engine-side shape of the
+/// work (scenario/group counts, solver calls) so a spike is attributable
+/// without re-running anything.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// The request id (as echoed in `X-Request-Id`).
+    pub id: String,
+    /// `METHOD /path`.
+    pub target: String,
+    /// The response status.
+    pub status: u16,
+    /// Wall-clock total for the request.
+    pub total: Duration,
+    /// Scenarios in the batch (0 for non-batch requests).
+    pub scenarios: usize,
+    /// Slice groups the batch planned (0 for non-batch requests).
+    pub groups: usize,
+    /// Solver calls the batch spent.
+    pub solver_calls: u64,
+    /// Unix timestamp (milliseconds) when the entry was recorded.
+    pub unix_ms: u64,
+    /// The request's spans (see [`crate::trace`] for naming).
+    pub spans: Vec<Span>,
+}
+
+impl SlowEntry {
+    /// Builds an entry from a finished trace and its engine-side shape.
+    pub fn from_trace(
+        trace: &Trace,
+        status: u16,
+        total: Duration,
+        scenarios: usize,
+        groups: usize,
+        solver_calls: u64,
+    ) -> SlowEntry {
+        SlowEntry {
+            id: trace.id().to_string(),
+            target: trace.target().to_string(),
+            status,
+            total,
+            scenarios,
+            groups,
+            solver_calls,
+            unix_ms: SystemTime::now()
+                .duration_since(SystemTime::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            spans: trace.spans().to_vec(),
+        }
+    }
+}
+
+/// The bounded slow-request ring. Cheap when nothing is slow: `record`
+/// compares against the threshold before taking the lock.
+#[derive(Debug)]
+pub struct SlowLog {
+    threshold: Duration,
+    capacity: usize,
+    entries: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A ring keeping the last `capacity` requests slower than
+    /// `threshold` (capacity is clamped to at least 1).
+    pub fn new(threshold: Duration, capacity: usize) -> SlowLog {
+        SlowLog {
+            threshold,
+            capacity: capacity.max(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> Duration {
+        self.threshold
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records `entry` if it is at or over the threshold, evicting the
+    /// oldest retained entry when full. Returns whether it was retained.
+    pub fn record(&self, entry: SlowEntry) -> bool {
+        if entry.total < self.threshold {
+            return false;
+        }
+        let mut entries = self.entries.lock().expect("slow log poisoned");
+        if entries.len() >= self.capacity {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        true
+    }
+
+    /// The retained entries, oldest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.entries
+            .lock()
+            .expect("slow log poisoned")
+            .iter()
+            .cloned()
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(id: &str, millis: u64) -> SlowEntry {
+        SlowEntry {
+            id: id.to_string(),
+            target: "POST /x".to_string(),
+            status: 200,
+            total: Duration::from_millis(millis),
+            scenarios: 1,
+            groups: 1,
+            solver_calls: 0,
+            unix_ms: 0,
+            spans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn under_threshold_entries_are_dropped() {
+        let log = SlowLog::new(Duration::from_millis(100), 4);
+        assert!(!log.record(entry("fast", 5)));
+        assert!(log.record(entry("slow", 150)));
+        assert!(log.record(entry("exactly", 100)), "threshold is inclusive");
+        let ids: Vec<String> = log.snapshot().into_iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec!["slow", "exactly"]);
+    }
+
+    #[test]
+    fn eviction_is_oldest_first() {
+        let log = SlowLog::new(Duration::ZERO, 2);
+        log.record(entry("a", 1));
+        log.record(entry("b", 2));
+        log.record(entry("c", 3));
+        let ids: Vec<String> = log.snapshot().into_iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec!["b", "c"], "the oldest entry is evicted first");
+        assert_eq!(log.capacity(), 2);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let log = SlowLog::new(Duration::ZERO, 0);
+        log.record(entry("only", 1));
+        assert_eq!(log.snapshot().len(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Per-request tracing: a request id plus a flat list of timestamped
+//! [`Span`]s, offsets relative to the trace's start.
+//!
+//! Nesting is encoded in the span **name** with dots (`execute.slicing`
+//! is a child of `execute`), so the same names appear verbatim in the
+//! `Server-Timing` response header (dots are legal token characters) and
+//! in the slow-query log — a client can correlate its header against the
+//! server-side trace without a translation table.
+//!
+//! Spans come from two sources: sections the handler measures directly
+//! ([`Trace::time`] / [`Trace::add_span`] around parse, admission,
+//! decode, encode, write), and **grafted** spans reconstructed from the
+//! engine's own `PhaseTimings` after a batch returns. Grafted child spans
+//! aggregate work that ran *in parallel* across the worker pool, so a
+//! child's duration may legitimately exceed its parent's wall clock; the
+//! start offsets of grafted children equal their parent's (the engine
+//! does not record per-worker offsets, and inventing them would be
+//! false precision).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::{Duration, Instant, SystemTime};
+
+/// One timed section of a request. `start` is the offset from the owning
+/// trace's start, so spans serialize without absolute clocks.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Dotted section name (`plan`, `execute.slicing`, …).
+    pub name: String,
+    /// Offset from the trace start.
+    pub start: Duration,
+    /// How long the section took (for grafted parallel children, the
+    /// CPU-summed duration — may exceed the parent's wall clock).
+    pub duration: Duration,
+}
+
+impl Span {
+    /// The dot-depth of the span (`execute.slicing` → 1).
+    pub fn depth(&self) -> usize {
+        self.name.matches('.').count()
+    }
+}
+
+/// The trace of one request: its id, its target (`POST /…/batch`), and
+/// the spans recorded while handling it. Single-threaded by design — the
+/// handler owns it mutably; parallel engine work reports through
+/// `PhaseTimings` and is grafted afterwards.
+#[derive(Debug)]
+pub struct Trace {
+    id: String,
+    target: String,
+    started: Instant,
+    spans: Vec<Span>,
+}
+
+impl Trace {
+    /// A trace starting now.
+    pub fn begin(id: impl Into<String>, target: impl Into<String>) -> Trace {
+        Trace::begin_at(id, target, Instant::now())
+    }
+
+    /// A trace whose clock started at `started` (use when work — e.g.
+    /// reading the request head — happened before the trace object could
+    /// be built).
+    pub fn begin_at(id: impl Into<String>, target: impl Into<String>, started: Instant) -> Trace {
+        Trace {
+            id: id.into(),
+            target: target.into(),
+            started,
+            spans: Vec::new(),
+        }
+    }
+
+    /// The request id.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The request target (`METHOD /path`).
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+
+    /// Time elapsed since the trace started.
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+
+    /// The recorded spans, in insertion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// Consumes the trace, returning its spans.
+    pub fn into_spans(self) -> Vec<Span> {
+        self.spans
+    }
+
+    /// Appends a span with explicit offsets (the grafting path).
+    pub fn add_span(&mut self, name: impl Into<String>, start: Duration, duration: Duration) {
+        self.spans.push(Span {
+            name: name.into(),
+            start,
+            duration,
+        });
+    }
+
+    /// Runs `f`, recording it as a span named `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let start = self.elapsed();
+        let result = f();
+        let duration = self.elapsed().saturating_sub(start);
+        self.add_span(name, start, duration);
+        result
+    }
+
+    /// Renders the spans as a `Server-Timing` header value:
+    /// `parse;dur=0.102, queue;dur=0.001, …` (durations in milliseconds,
+    /// names verbatim — dots are legal header tokens).
+    pub fn server_timing(&self) -> String {
+        server_timing(&self.spans)
+    }
+}
+
+/// Renders spans as a `Server-Timing` header value (see
+/// [`Trace::server_timing`]).
+pub fn server_timing(spans: &[Span]) -> String {
+    spans
+        .iter()
+        .map(|s| format!("{};dur={:.3}", s.name, s.duration.as_secs_f64() * 1e3))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// `true` when a client-supplied request id is safe to echo into logs and
+/// headers: 1–64 characters from `[A-Za-z0-9._-]`. Anything else is
+/// discarded (the server then generates its own id) — reflecting
+/// arbitrary bytes into a response header or a log line is an injection
+/// vector, not a convenience.
+pub fn valid_request_id(id: &str) -> bool {
+    !id.is_empty()
+        && id.len() <= 64
+        && id
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'-' || b == b'_' || b == b'.')
+}
+
+static SEQ: AtomicU64 = AtomicU64::new(0);
+static SEED: OnceLock<u64> = OnceLock::new();
+
+/// splitmix64: a bijection on `u64`, so distinct inputs give distinct ids.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates a 16-hex-character request id: unique within the process (a
+/// sequence number runs through a bijective mixer) and seeded from the
+/// wall clock so ids from different server runs are distinguishable.
+pub fn request_id() -> String {
+    let seed = *SEED.get_or_init(|| {
+        SystemTime::now()
+            .duration_since(SystemTime::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5EED)
+    });
+    let seq = SEQ.fetch_add(1, Ordering::Relaxed);
+    // seq → seq * odd-constant is a bijection mod 2^64; xor-ing the fixed
+    // seed and mixing keeps it one — no two ids collide in one process.
+    format!(
+        "{:016x}",
+        mix(seed ^ seq.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_record_monotonic_offsets() {
+        let mut trace = Trace::begin("id", "GET /x");
+        trace.time("first", || std::thread::sleep(Duration::from_millis(2)));
+        trace.time("second", || std::thread::sleep(Duration::from_millis(1)));
+        let spans = trace.spans();
+        assert_eq!(spans.len(), 2);
+        assert!(spans[0].start <= spans[1].start);
+        assert!(
+            spans[0].start + spans[0].duration <= spans[1].start,
+            "sequential sections do not overlap"
+        );
+        assert!(spans[0].duration >= Duration::from_millis(2));
+    }
+
+    #[test]
+    fn dotted_names_carry_depth() {
+        let span = Span {
+            name: "execute.slicing".into(),
+            start: Duration::ZERO,
+            duration: Duration::ZERO,
+        };
+        assert_eq!(span.depth(), 1);
+    }
+
+    #[test]
+    fn server_timing_renders_names_and_millis() {
+        let mut trace = Trace::begin("id", "POST /x");
+        trace.add_span("parse", Duration::ZERO, Duration::from_micros(1500));
+        trace.add_span(
+            "execute.slicing",
+            Duration::from_micros(1500),
+            Duration::from_millis(2),
+        );
+        assert_eq!(
+            trace.server_timing(),
+            "parse;dur=1.500, execute.slicing;dur=2.000"
+        );
+    }
+
+    #[test]
+    fn request_ids_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = request_id();
+            assert_eq!(id.len(), 16);
+            assert!(valid_request_id(&id), "{id}");
+            assert!(seen.insert(id), "request ids must not repeat");
+        }
+    }
+
+    #[test]
+    fn client_request_ids_are_validated() {
+        assert!(valid_request_id("abc-123_X.y"));
+        assert!(!valid_request_id(""));
+        assert!(!valid_request_id(&"a".repeat(65)));
+        assert!(!valid_request_id("evil\r\nSet-Cookie: x"));
+        assert!(!valid_request_id("spaced id"));
+    }
+}

@@ -1,0 +1,121 @@
+//! Concurrent stress over the metrics registry: many writer threads
+//! hammering shared counters and one histogram while a watcher samples.
+//!
+//! Asserts the registry's concurrency contracts:
+//!
+//! 1. **Monotonic counters** — every sampled value is non-decreasing.
+//! 2. **Histogram snapshots are never torn backwards** — a snapshot's
+//!    `count` never exceeds the sum of its bucket counts (an observation
+//!    bumps its bucket *before* the count, and the snapshot loads the
+//!    count first), so quantile extraction never reads past the data.
+//! 3. **Exact totals** — once the writers join, every observation is
+//!    accounted for, bucket sums match the count, and registration from
+//!    many threads get-or-creates the same underlying metrics.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use mahif_obs::Registry;
+
+const WRITERS: usize = 4;
+const OBSERVATIONS_PER_WRITER: usize = 5_000;
+
+#[test]
+fn concurrent_recording_stays_monotonic_and_untorn() {
+    let registry = Arc::new(Registry::new());
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let samples = std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let registry = Arc::clone(&registry);
+            scope.spawn(move || {
+                // Every writer asks the registry for the handles itself:
+                // get-or-create must converge on the same atomics.
+                let requests = registry.counter("stress_requests_total", "requests");
+                let hist =
+                    registry.histogram("stress_seconds", "latencies", &[0.001, 0.01, 0.1, 1.0]);
+                for i in 0..OBSERVATIONS_PER_WRITER {
+                    requests.inc();
+                    // A deterministic spread across all buckets including
+                    // overflow.
+                    let v = match (w + i) % 5 {
+                        0 => 0.0005,
+                        1 => 0.005,
+                        2 => 0.05,
+                        3 => 0.5,
+                        _ => 5.0,
+                    };
+                    hist.observe(v);
+                }
+            });
+        }
+        let watcher = {
+            let registry = Arc::clone(&registry);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut samples = Vec::new();
+                while !stop.load(Ordering::SeqCst) {
+                    let count = registry.counter_value("stress_requests_total");
+                    let snap = registry.histogram_snapshot("stress_seconds");
+                    samples.push((count, snap));
+                    std::thread::yield_now();
+                }
+                samples.push((
+                    registry.counter_value("stress_requests_total"),
+                    registry.histogram_snapshot("stress_seconds"),
+                ));
+                samples
+            })
+        };
+        // scope joins the writers when they fall off the end; the watcher
+        // needs the explicit stop once they are done. Joining writers
+        // first requires handles; simpler: spawn order guarantees nothing,
+        // so poll the counter until the writers' total arrives.
+        let total = (WRITERS * OBSERVATIONS_PER_WRITER) as u64;
+        while registry.counter_value("stress_requests_total") < total {
+            std::thread::yield_now();
+        }
+        stop.store(true, Ordering::SeqCst);
+        watcher.join().expect("watcher panicked")
+    });
+
+    // 1. Monotonic counter across every adjacent sample pair.
+    for pair in samples.windows(2) {
+        assert!(
+            pair[1].0 >= pair[0].0,
+            "counter went backwards: {} -> {}",
+            pair[0].0,
+            pair[1].0
+        );
+    }
+
+    // 2. No torn histogram snapshot: count ≤ Σ buckets, and the count
+    //    itself is monotonic across samples.
+    let mut last_count = 0u64;
+    for (_, snap) in samples.iter().flat_map(|(c, s)| s.as_ref().map(|s| (c, s))) {
+        let bucket_sum: u64 = snap.counts.iter().sum();
+        assert!(
+            snap.count <= bucket_sum,
+            "torn snapshot: count {} > bucket sum {bucket_sum}",
+            snap.count
+        );
+        assert!(snap.count >= last_count, "histogram count went backwards");
+        last_count = snap.count;
+    }
+
+    // 3. Final exact accounting.
+    let total = (WRITERS * OBSERVATIONS_PER_WRITER) as u64;
+    assert_eq!(registry.counter_value("stress_requests_total"), total);
+    let snap = registry
+        .histogram_snapshot("stress_seconds")
+        .expect("histogram registered");
+    assert_eq!(snap.count, total);
+    assert_eq!(snap.counts.iter().sum::<u64>(), total);
+    // The deterministic spread fills every bucket including overflow.
+    assert!(snap.counts.iter().all(|&n| n > 0), "{:?}", snap.counts);
+    // Quantiles stay inside the bounds under the known distribution
+    // (20% per bucket: p50 in bucket 3 of 5, p99 saturates at the last
+    // finite bound because 20% of observations overflow).
+    assert_eq!(snap.p99(), 1.0);
+    assert!(snap.p50() > 0.01 && snap.p50() <= 0.1, "{}", snap.p50());
+}

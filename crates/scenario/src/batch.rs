@@ -143,6 +143,20 @@ impl BatchAnswer {
         rank_scenarios(&self.answers, spec, Some(current_state))
     }
 
+    /// The batch's phase timings as trace [`mahif_obs::Span`]s, offset so
+    /// the first span starts at `start` — the same conversion (and span
+    /// vocabulary: `plan`, `plan.slicing`, `execute.group.<relation>`, …)
+    /// the serving layer grafts into request traces, so a library caller
+    /// timing a batch reads the breakdown exactly as `/debug/slow` and
+    /// `Server-Timing` report it. See [`mahif::Response::trace_spans`].
+    pub fn trace_spans(&self, start: std::time::Duration) -> Vec<mahif_obs::Span> {
+        mahif::batch_trace_spans(
+            &self.stats,
+            self.answers.iter().map(|a| &a.answer.timings),
+            start,
+        )
+    }
+
     fn from_response(response: Response) -> BatchAnswer {
         let stats = response.stats.clone();
         BatchAnswer {
@@ -435,6 +449,29 @@ mod tests {
         assert_eq!(serial.stats.threads, 1);
         for (a, b) in parallel.answers.iter().zip(&serial.answers) {
             assert_eq!(a.answer.delta, b.answer.delta);
+        }
+    }
+
+    #[test]
+    fn trace_spans_cover_the_batch_phases() {
+        let session = session();
+        let set = sweep_set(&session, &[55, 60, 65]);
+        let batch = set.answer_all(Method::ReenactPsDs).unwrap();
+        let start = std::time::Duration::from_millis(1);
+        let spans = batch.trace_spans(start);
+        let names: Vec<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert!(names.contains(&"plan"), "{names:?}");
+        assert!(names.contains(&"execute"), "{names:?}");
+        // The sweep forms one multi-member group, so the group plan's
+        // shared reenactment appears with per-relation children.
+        assert!(names.contains(&"execute.group"), "{names:?}");
+        assert!(
+            names.iter().any(|n| n.starts_with("execute.group.")),
+            "{names:?}"
+        );
+        for span in &spans {
+            assert!(span.start >= start, "spans are offset by `start`");
+            assert!(!span.duration.is_zero(), "zero-duration spans are omitted");
         }
     }
 

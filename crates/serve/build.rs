@@ -1,0 +1,19 @@
+//! Stamps build provenance into the binary: `GET /healthz` reports the
+//! crate version plus the git describe string of the tree it was built
+//! from. Best-effort — a build outside a git checkout (or without git on
+//! PATH) reports `unknown` rather than failing.
+
+fn main() {
+    let describe = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=MAHIF_GIT_DESCRIBE={describe}");
+    // Re-stamp when HEAD moves; harmless when the path does not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -16,6 +16,8 @@
 
 use std::sync::{Arc, Condvar, Mutex};
 
+use mahif_obs::Counter;
+
 #[derive(Debug, Default)]
 struct AdmissionState {
     in_flight: usize,
@@ -35,6 +37,11 @@ pub struct AdmissionController {
     max_queued: usize,
     state: Mutex<AdmissionState>,
     released: Condvar,
+    /// Requests shed because slots *and* queue were full (each one an
+    /// HTTP 429). An `mahif_obs::Counter` rather than a plain atomic so a
+    /// metrics registry can adopt the live cell — `/stats` and `/metrics`
+    /// then read the same number by construction.
+    shed: Arc<Counter>,
 }
 
 impl AdmissionController {
@@ -47,6 +54,7 @@ impl AdmissionController {
             max_queued,
             state: Mutex::new(AdmissionState::default()),
             released: Condvar::new(),
+            shed: Arc::new(Counter::new()),
         })
     }
 
@@ -63,6 +71,8 @@ impl AdmissionController {
             return Some(Permit(Arc::clone(self)));
         }
         if state.queued >= self.max_queued {
+            drop(state);
+            self.shed.inc();
             return None;
         }
         state.queued += 1;
@@ -98,6 +108,46 @@ impl AdmissionController {
     pub fn max_queued(&self) -> usize {
         self.max_queued
     }
+
+    /// Requests shed so far (each answered 429).
+    pub fn shed_total(&self) -> u64 {
+        self.shed.get()
+    }
+
+    /// The live shed counter cell, for adoption into a metrics registry.
+    pub fn shed_counter(&self) -> Arc<Counter> {
+        Arc::clone(&self.shed)
+    }
+
+    /// A point-in-time view of the controller for `/stats` and `/metrics`
+    /// exposure. The fields are read independently (each under its own
+    /// lock acquisition), fine for monitoring.
+    pub fn snapshot(&self) -> AdmissionSnapshot {
+        let state = self.state.lock().expect("admission state poisoned");
+        AdmissionSnapshot {
+            in_flight: state.in_flight,
+            queued: state.queued,
+            max_in_flight: self.max_in_flight,
+            max_queued: self.max_queued,
+            shed_total: self.shed.get(),
+        }
+    }
+}
+
+/// A point-in-time view of the admission controller (see
+/// [`AdmissionController::snapshot`]).
+#[derive(Debug, Clone, Copy)]
+pub struct AdmissionSnapshot {
+    /// Requests currently holding a permit.
+    pub in_flight: usize,
+    /// Requests currently waiting for a permit.
+    pub queued: usize,
+    /// The configured concurrency limit.
+    pub max_in_flight: usize,
+    /// The configured queue bound.
+    pub max_queued: usize,
+    /// Requests shed so far (each answered 429).
+    pub shed_total: u64,
 }
 
 /// An admission permit; dropping it releases the slot and wakes one waiter.

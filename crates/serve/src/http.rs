@@ -41,6 +41,12 @@ pub struct RequestHead {
     /// keep-alive unless `Connection: close` is sent; HTTP/1.0 defaults
     /// to close unless `Connection: keep-alive` is sent.
     pub keep_alive: bool,
+    /// A client-supplied `X-Request-Id`, kept only when it is safe to
+    /// echo into response headers and log lines (1–64 characters of
+    /// `[A-Za-z0-9._-]`; see `mahif_obs::valid_request_id`). Anything
+    /// else is treated as absent and the server generates its own id —
+    /// reflecting arbitrary header bytes is an injection vector.
+    pub request_id: Option<String>,
 }
 
 impl RequestHead {
@@ -183,6 +189,7 @@ pub fn read_head<R: BufRead>(reader: &mut R) -> Result<Option<RequestHead>, Http
 
     let mut content_length: Option<usize> = None;
     let mut expect_continue = false;
+    let mut request_id: Option<String> = None;
     loop {
         let line = match read_line_capped(reader, &mut budget)? {
             None => return Err(HttpError::Malformed("headers ended without a blank line")),
@@ -240,6 +247,11 @@ pub fn read_head<R: BufRead>(reader: &mut R) -> Result<Option<RequestHead>, Http
                     keep_alive = true;
                 }
             }
+        } else if name.eq_ignore_ascii_case("x-request-id") {
+            let value = value.trim_matches(|c| c == ' ' || c == '\t');
+            if mahif_obs::valid_request_id(value) {
+                request_id = Some(value.to_string());
+            }
         }
     }
     Ok(Some(RequestHead {
@@ -248,6 +260,7 @@ pub fn read_head<R: BufRead>(reader: &mut R) -> Result<Option<RequestHead>, Http
         content_length: content_length.unwrap_or(0),
         expect_continue,
         keep_alive,
+        request_id,
     }))
 }
 
@@ -315,20 +328,30 @@ pub fn write_continue<W: Write>(writer: &mut W) -> io::Result<()> {
     writer.flush()
 }
 
-/// Writes a complete JSON response and flushes. `retry_after` adds a
-/// `Retry-After` header (seconds), the conventional hint on a 429/503;
-/// `directive` writes the connection-lifecycle headers.
+/// Writes a complete response and flushes. `extra` headers are written
+/// verbatim after the framing headers — `Retry-After` on a 429/503,
+/// `X-Request-Id`, `Server-Timing` — and an extra `Content-Type`
+/// *replaces* the `application/json` default (the `/metrics` exposition
+/// is `text/plain`); `directive` writes the connection-lifecycle headers.
+/// Header names and values must be header-safe (no CR/LF) — callers pass
+/// validated or server-generated values only.
 pub fn write_response<W: Write>(
     writer: &mut W,
     status: u16,
     body: &str,
-    retry_after: Option<u64>,
+    extra: &[(&str, String)],
     directive: ConnectionDirective,
 ) -> io::Result<()> {
+    let content_type = extra
+        .iter()
+        .find(|(name, _)| name.eq_ignore_ascii_case("content-type"))
+        .map(|(_, value)| value.as_str())
+        .unwrap_or("application/json");
     let mut head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n",
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\n",
         status,
         reason(status),
+        content_type,
         body.len()
     );
     match directive {
@@ -341,8 +364,11 @@ pub fn write_response<W: Write>(
             ));
         }
     }
-    if let Some(seconds) = retry_after {
-        head.push_str(&format!("Retry-After: {seconds}\r\n"));
+    for (name, value) in extra {
+        if name.eq_ignore_ascii_case("content-type") {
+            continue; // already merged into the framing headers above
+        }
+        head.push_str(&format!("{name}: {value}\r\n"));
     }
     head.push_str("\r\n");
     // Small responses go out as ONE write: on a keep-alive socket two
@@ -536,16 +562,20 @@ mod tests {
     #[test]
     fn responses_carry_connection_lifecycle_headers() {
         let mut out = Vec::new();
-        write_response(&mut out, 200, "{}", None, ConnectionDirective::Close).unwrap();
+        write_response(&mut out, 200, "{}", &[], ConnectionDirective::Close).unwrap();
         let text = String::from_utf8(out).unwrap();
         assert!(text.contains("Connection: close\r\n"), "{text}");
+        assert!(
+            text.contains("Content-Type: application/json\r\n"),
+            "{text}"
+        );
 
         let mut out = Vec::new();
         write_response(
             &mut out,
             429,
             "{}",
-            Some(1),
+            &[("Retry-After", "1".to_string())],
             ConnectionDirective::KeepAlive {
                 timeout: Duration::from_secs(5),
                 remaining: 7,
@@ -556,6 +586,59 @@ mod tests {
         assert!(text.contains("Connection: keep-alive\r\n"), "{text}");
         assert!(text.contains("Keep-Alive: timeout=5, max=7\r\n"), "{text}");
         assert!(text.contains("Retry-After: 1\r\n"), "{text}");
+    }
+
+    #[test]
+    fn extra_headers_are_written_and_content_type_is_overridable() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            "# metrics",
+            &[
+                ("Content-Type", "text/plain; version=0.0.4".to_string()),
+                ("X-Request-Id", "abc123".to_string()),
+                ("Server-Timing", "parse;dur=0.1".to_string()),
+            ],
+            ConnectionDirective::Close,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(
+            text.contains("Content-Type: text/plain; version=0.0.4\r\n"),
+            "{text}"
+        );
+        assert!(
+            !text.contains("application/json"),
+            "an extra Content-Type replaces the default: {text}"
+        );
+        assert_eq!(
+            text.matches("Content-Type").count(),
+            1,
+            "exactly one Content-Type header: {text}"
+        );
+        assert!(text.contains("X-Request-Id: abc123\r\n"), "{text}");
+        assert!(text.contains("Server-Timing: parse;dur=0.1\r\n"), "{text}");
+    }
+
+    #[test]
+    fn request_ids_are_parsed_and_unsafe_ones_discarded() {
+        let head = head_of("GET /x HTTP/1.1\r\nX-Request-Id:  client-42.a_b \r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.request_id.as_deref(), Some("client-42.a_b"));
+        // Unsafe or overlong ids are treated as absent, not as errors.
+        let head = head_of("GET /x HTTP/1.1\r\nX-Request-Id: no spaces allowed\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.request_id, None);
+        let long = "a".repeat(65);
+        let head = head_of(&format!("GET /x HTTP/1.1\r\nX-Request-Id: {long}\r\n\r\n"))
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.request_id, None);
+        let head = head_of("GET /x HTTP/1.1\r\n\r\n").unwrap().unwrap();
+        assert_eq!(head.request_id, None);
     }
 
     #[test]

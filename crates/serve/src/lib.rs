@@ -42,7 +42,7 @@ pub mod json;
 pub mod server;
 pub mod wire;
 
-pub use admission::{AdmissionController, Permit};
+pub use admission::{AdmissionController, AdmissionSnapshot, Permit};
 pub use http::{ConnectionDirective, HttpError, RequestHead};
 pub use json::{Json, JsonError, PullParser};
 pub use server::{ServeConfig, Server, ServerHandle};

@@ -8,8 +8,10 @@
 //! | `POST /histories/{name}` | register a database + history (201), body **streamed** |
 //! | `DELETE /histories/{name}` | unregister it (200) |
 //! | `POST /histories/{name}/batch` | answer a scenario batch (200), admission-gated (429 on overload) |
-//! | `GET /stats` | the session's consistent counter snapshot |
-//! | `GET /healthz` | liveness (200 as long as the accept loop runs) |
+//! | `GET /stats` | the session's consistent counter snapshot + admission state |
+//! | `GET /metrics` | the metrics registry in Prometheus text exposition format |
+//! | `GET /debug/slow` | the slow-query ring: recent over-threshold request traces |
+//! | `GET /healthz` | liveness (200 as long as the accept loop runs) + uptime/build info |
 //!
 //! **Connections are persistent.** Accepted sockets go onto a bounded
 //! queue drained by a fixed pool of [`ServeConfig::workers`] threads (no
@@ -21,6 +23,18 @@
 //! the connection's reader (answered in order). A parked keep-alive
 //! connection holds a worker thread but **never** an admission slot:
 //! permits are acquired per request and released with the response.
+//!
+//! **Every request is traced.** The request clock starts when its first
+//! byte is available (idle keep-alive time never pollutes the trace), the
+//! id comes from a safe client `X-Request-Id` or is generated, and the
+//! handler records `parse` / `queue` / `read` / `decode` / `encode` /
+//! `write` spans directly while the engine's own `PhaseTimings` are
+//! grafted in afterwards (`plan.*`, `execute.*` — see
+//! [`mahif::Response::trace_spans`]). Responses carry `X-Request-Id` and
+//! `Server-Timing` headers built from the same spans; requests at or over
+//! [`ServeConfig::slow_threshold`] are retained in the `/debug/slow`
+//! ring, and [`ServeConfig::access_log`] emits one stderr line per
+//! request.
 //!
 //! Registration bodies are decoded **incrementally** (a bounded JSON pull
 //! parser over a `Take` of the connection reader), under their own
@@ -44,9 +58,10 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use mahif::{Budget, Session};
+use mahif_obs::{Counter, Gauge, Registry, SlowEntry, SlowLog, Trace};
 
 use crate::admission::AdmissionController;
 use crate::http::{
@@ -106,6 +121,17 @@ pub struct ServeConfig {
     /// bound. The default caps scenarios at 4096 and the wall clock at
     /// 60 s per batch.
     pub budget_ceiling: Budget,
+    /// Emit one structured stderr line per request: target, request id,
+    /// status, body bytes, queue/handle/total microseconds. Off by
+    /// default (a load test at thousands of requests per second should
+    /// not also be a stderr firehose).
+    pub access_log: bool,
+    /// Requests whose end-to-end wall clock reaches this threshold are
+    /// retained (with their full span trace) in the `/debug/slow` ring.
+    pub slow_threshold: Duration,
+    /// How many slow requests the `/debug/slow` ring retains (oldest
+    /// evicted first; clamped to at least 1).
+    pub slow_log_capacity: usize,
 }
 
 impl Default for ServeConfig {
@@ -125,7 +151,75 @@ impl Default for ServeConfig {
             budget_ceiling: Budget::unlimited()
                 .with_max_scenarios(4096)
                 .with_deadline(Duration::from_secs(60)),
+            access_log: false,
+            slow_threshold: Duration::from_millis(500),
+            slow_log_capacity: 32,
         }
+    }
+}
+
+/// The serve layer's own metric handles, all registered in (or adopted
+/// by) the shared [`Registry`] so one `/metrics` scrape covers them.
+/// Counters and gauges are live atomic cells — recording on the request
+/// path is lock-free; only the per-`(route, status)` request counter
+/// lookup takes the registry's short-lived family lock.
+#[derive(Debug)]
+struct ServeMetrics {
+    registry: Arc<Registry>,
+    queue_seconds: Arc<mahif_obs::Histogram>,
+    request_seconds: Arc<mahif_obs::Histogram>,
+    connections_total: Arc<Counter>,
+    connections_active: Arc<Gauge>,
+    connections_shed_total: Arc<Counter>,
+    admission_in_flight: Arc<Gauge>,
+    admission_queued: Arc<Gauge>,
+}
+
+impl ServeMetrics {
+    fn new(registry: &Arc<Registry>) -> ServeMetrics {
+        let buckets = mahif_obs::default_latency_buckets();
+        ServeMetrics {
+            registry: Arc::clone(registry),
+            queue_seconds: registry.histogram(
+                "mahif_queue_seconds",
+                "Time engine-heavy requests waited for an admission slot",
+                &buckets,
+            ),
+            request_seconds: registry.histogram(
+                "mahif_request_seconds",
+                "End-to-end request wall clock, first byte to response written",
+                &buckets,
+            ),
+            connections_total: registry.counter("mahif_connections_total", "Connections accepted"),
+            connections_active: registry.gauge(
+                "mahif_connections_active",
+                "Connections currently held by worker threads",
+            ),
+            connections_shed_total: registry.counter(
+                "mahif_connections_shed_total",
+                "Connections shed with 503 because the backlog was full",
+            ),
+            admission_in_flight: registry.gauge(
+                "mahif_admission_in_flight",
+                "Engine-heavy requests currently holding an execution slot",
+            ),
+            admission_queued: registry.gauge(
+                "mahif_admission_queued",
+                "Engine-heavy requests currently waiting for an execution slot",
+            ),
+        }
+    }
+
+    /// Bumps `mahif_requests_total{route,status}`.
+    fn record_request(&self, route: &str, status: u16) {
+        let status = status.to_string();
+        self.registry
+            .counter_with(
+                "mahif_requests_total",
+                "Requests answered, by route and response status",
+                &[("route", route), ("status", &status)],
+            )
+            .inc();
     }
 }
 
@@ -139,6 +233,10 @@ struct Shared {
     /// it guards: without it, concurrent registrations could each pass the
     /// check and overshoot the bound together.
     registry_gate: Mutex<()>,
+    registry: Arc<Registry>,
+    metrics: ServeMetrics,
+    slow: Arc<SlowLog>,
+    started: Instant,
 }
 
 /// The bounded handoff between the accept loop and the worker pool.
@@ -217,6 +315,21 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let admission =
             AdmissionController::new(config.max_in_flight_batches, config.max_queued_batches);
+        let registry = Arc::new(Registry::new());
+        // The engine's telemetry mirror and the admission shed counter are
+        // *adopted*: `/metrics` scrapes the very cells `/stats` and the
+        // 429 path write, so the two views agree by construction.
+        session.metrics().register_into(&registry);
+        registry.adopt_counter(
+            "mahif_admission_shed_total",
+            "Engine-heavy requests shed with 429 (slots and queue full)",
+            admission.shed_counter(),
+        );
+        let metrics = ServeMetrics::new(&registry);
+        let slow = Arc::new(SlowLog::new(
+            config.slow_threshold,
+            config.slow_log_capacity,
+        ));
         Ok(Server {
             listener,
             shared: Arc::new(Shared {
@@ -224,6 +337,10 @@ impl Server {
                 admission,
                 config,
                 registry_gate: Mutex::new(()),
+                registry,
+                metrics,
+                slow,
+                started: Instant::now(),
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
         })
@@ -243,6 +360,11 @@ impl Server {
     /// The served session.
     pub fn session(&self) -> Arc<Session> {
         Arc::clone(&self.shared.session)
+    }
+
+    /// The server's metrics registry (what `GET /metrics` renders).
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.shared.registry)
     }
 
     /// Runs the accept loop on the calling thread until
@@ -291,6 +413,7 @@ impl Server {
             if let Err(mut refused) = queue.push(stream) {
                 // Backlog full: shed the connection with a best-effort 503
                 // (bounded by the write timeout) and hang up.
+                shared.metrics.connections_shed_total.inc();
                 let body = Json::obj([(
                     "error",
                     Json::str("server overloaded: connection backlog is full"),
@@ -299,7 +422,7 @@ impl Server {
                     &mut refused,
                     503,
                     &body.to_string(),
-                    Some(1),
+                    &[("Retry-After", "1".to_string())],
                     ConnectionDirective::Close,
                 );
             }
@@ -317,6 +440,7 @@ impl Server {
         let shutdown = Arc::clone(&self.shutdown);
         let admission = self.admission();
         let session = self.session();
+        let registry = self.registry();
         let thread = std::thread::spawn(move || {
             let _ = self.serve();
         });
@@ -326,6 +450,7 @@ impl Server {
             thread,
             admission,
             session,
+            registry,
         })
     }
 }
@@ -338,6 +463,7 @@ pub struct ServerHandle {
     thread: JoinHandle<()>,
     admission: Arc<AdmissionController>,
     session: Arc<Session>,
+    registry: Arc<Registry>,
 }
 
 impl ServerHandle {
@@ -354,6 +480,12 @@ impl ServerHandle {
     /// The served session.
     pub fn session(&self) -> Arc<Session> {
         Arc::clone(&self.session)
+    }
+
+    /// The server's metrics registry — load drivers read server-side
+    /// latency histograms from here without an HTTP round trip.
+    pub fn registry(&self) -> Arc<Registry> {
+        Arc::clone(&self.registry)
     }
 
     /// Stops the accept loop and joins the server thread. In-flight
@@ -373,13 +505,93 @@ enum AfterResponse {
     Close,
 }
 
+/// A response body plus its representation: the routes speak JSON except
+/// `/metrics`, which is Prometheus text.
+#[derive(Debug)]
+enum Payload {
+    Json(Json),
+    Text(String),
+}
+
+/// What a route decided: status, body, optional `Retry-After` hint.
+#[derive(Debug)]
+struct Reply {
+    status: u16,
+    payload: Payload,
+    retry_after: Option<u64>,
+}
+
+impl Reply {
+    fn json(status: u16, body: Json) -> Reply {
+        Reply {
+            status,
+            payload: Payload::Json(body),
+            retry_after: None,
+        }
+    }
+
+    fn text(status: u16, body: String) -> Reply {
+        Reply {
+            status,
+            payload: Payload::Text(body),
+            retry_after: None,
+        }
+    }
+
+    fn retry(mut self, seconds: u64) -> Reply {
+        self.retry_after = Some(seconds);
+        self
+    }
+}
+
+/// Per-request observability state, owned by the connection loop and
+/// threaded through the handlers: the trace, the metrics route label, the
+/// admission wait (when the route is gated), and the engine-side shape of
+/// the work for the slow log.
+#[derive(Debug)]
+struct RequestCtx {
+    trace: Trace,
+    route: &'static str,
+    queue: Option<Duration>,
+    scenarios: usize,
+    groups: usize,
+    solver_calls: u64,
+}
+
+/// The route label used in `mahif_requests_total{route=...}` — a closed
+/// vocabulary so the label set stays bounded no matter what paths clients
+/// probe.
+fn route_label(head: &RequestHead) -> &'static str {
+    let segments = head.segments();
+    match (head.method.as_str(), segments.as_slice()) {
+        ("GET", ["healthz"]) => "healthz",
+        ("GET", ["stats"]) => "stats",
+        ("GET", ["metrics"]) => "metrics",
+        ("GET", ["debug", "slow"]) => "debug_slow",
+        ("POST", ["histories", _]) => "register",
+        ("DELETE", ["histories", _]) => "unregister",
+        ("POST", ["histories", _, "batch"]) => "batch",
+        _ => "other",
+    }
+}
+
 /// `set_read_timeout` rejects zero durations; clamp operator input.
 fn nonzero(d: Duration) -> Duration {
     d.max(Duration::from_millis(1))
 }
 
-/// Serves one connection to completion: many requests, one worker.
+/// Serves one connection to completion (connection gauge bracketing
+/// around the actual loop).
 fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
+    shared.metrics.connections_total.inc();
+    shared.metrics.connections_active.add(1);
+    let result = serve_requests(stream, shared);
+    shared.metrics.connections_active.sub(1);
+    result
+}
+
+/// The connection loop: many requests, one worker.
+fn serve_requests(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     let mut writer = stream.try_clone()?;
     let mut reader = BufReader::new(stream);
     let max_requests = shared.config.max_requests_per_connection.max(1);
@@ -387,25 +599,42 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
     loop {
         // Idle wait between requests runs under the keep-alive timeout —
         // but only when nothing is already buffered: pipelined requests
-        // are answered immediately without touching the socket.
+        // are answered immediately without touching the socket. `fill_buf`
+        // *peeks* for the first byte without consuming it, so the request
+        // clock below starts when the request starts arriving and the
+        // `parse` span never includes keep-alive idle time.
         if reader.buffer().is_empty() {
             let _ = reader
                 .get_ref()
                 .set_read_timeout(Some(nonzero(shared.config.keep_alive_timeout)));
+            match reader.fill_buf() {
+                // Clean close: the peer finished the connection.
+                Ok([]) => return Ok(()),
+                Ok(_) => {}
+                // Idle timeout or peer loss: nothing to answer.
+                Err(_) => return Ok(()),
+            }
+            // In-request reads (the rest of the head, the body) run under
+            // the tighter io timeout.
+            let _ = reader
+                .get_ref()
+                .set_read_timeout(Some(nonzero(shared.config.io_timeout)));
         }
+        let started = Instant::now();
         let head = match read_head(&mut reader) {
             Ok(Some(head)) => head,
-            // Clean close, idle timeout, or peer loss: nothing to answer.
+            // Clean close, timeout, or peer loss: nothing to answer.
             Ok(None) | Err(HttpError::Io(_)) => return Ok(()),
             Err(HttpError::Malformed(what)) => {
                 // Framing can no longer be trusted — answer (best effort)
                 // and close; continuing would misparse what follows.
+                shared.metrics.record_request("malformed", 400);
                 let body = Json::obj([("error", Json::str(format!("malformed request: {what}")))]);
                 let _ = write_response(
                     &mut writer,
                     400,
                     &body.to_string(),
-                    None,
+                    &[],
                     ConnectionDirective::Close,
                 );
                 return Ok(());
@@ -414,10 +643,20 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
                 unreachable!("read_head does not size bodies")
             }
         };
-        // In-request reads (the body) run under the tighter io timeout.
-        let _ = reader
-            .get_ref()
-            .set_read_timeout(Some(nonzero(shared.config.io_timeout)));
+        let parse = started.elapsed();
+        let id = head
+            .request_id
+            .clone()
+            .unwrap_or_else(mahif_obs::request_id);
+        let mut ctx = RequestCtx {
+            trace: Trace::begin_at(id, format!("{} {}", head.method, head.path), started),
+            route: route_label(&head),
+            queue: None,
+            scenarios: 0,
+            groups: 0,
+            solver_calls: 0,
+        };
+        ctx.trace.add_span("parse", Duration::ZERO, parse);
         served += 1;
         let remaining = max_requests - served;
         // HTTP/1.1 default keep-alive unless the client said close; the
@@ -430,6 +669,7 @@ fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
             keep_hint,
             remaining,
             shared,
+            &mut ctx,
         )? {
             AfterResponse::Keep => {}
             AfterResponse::Close => return Ok(()),
@@ -452,17 +692,40 @@ fn settle_unread_body<R: BufRead>(reader: &mut R, unread: u64, expect_continue: 
     drain_body(reader, unread).is_ok()
 }
 
-/// Writes the response with the right connection headers and reports the
-/// connection's fate.
+/// Writes the response — with connection headers, `X-Request-Id`, and a
+/// `Server-Timing` built from the request's spans — records the request
+/// in the metrics/access-log/slow-log sinks, and reports the connection's
+/// fate.
 fn respond(
     writer: &mut TcpStream,
-    status: u16,
-    body: &Json,
-    retry_after: Option<u64>,
+    reply: Reply,
     keep: bool,
     remaining: usize,
     shared: &Shared,
+    ctx: &mut RequestCtx,
 ) -> io::Result<AfterResponse> {
+    let Reply {
+        status,
+        payload,
+        retry_after,
+    } = reply;
+    let body = ctx.trace.time("encode", || match payload {
+        Payload::Json(json) => json.to_string(),
+        Payload::Text(text) => text,
+    });
+    let mut extra: Vec<(&str, String)> = Vec::new();
+    if matches!(status, 200) && ctx.route == "metrics" {
+        // Prometheus text exposition, not the routes' default JSON.
+        extra.push(("Content-Type", "text/plain; version=0.0.4".to_string()));
+    }
+    if let Some(seconds) = retry_after {
+        extra.push(("Retry-After", seconds.to_string()));
+    }
+    extra.push(("X-Request-Id", ctx.trace.id().to_string()));
+    // The header is built before the `write` span exists (it describes
+    // the very write that carries it), so `write` appears only in the
+    // slow log's copy of the trace.
+    extra.push(("Server-Timing", ctx.trace.server_timing()));
     let directive = if keep {
         ConnectionDirective::KeepAlive {
             timeout: shared.config.keep_alive_timeout,
@@ -471,7 +734,37 @@ fn respond(
     } else {
         ConnectionDirective::Close
     };
-    write_response(writer, status, &body.to_string(), retry_after, directive)?;
+    let result = ctx.trace.time("write", || {
+        write_response(writer, status, &body, &extra, directive)
+    });
+    let total = ctx.trace.elapsed();
+    shared.metrics.record_request(ctx.route, status);
+    if let Some(queue) = ctx.queue {
+        shared.metrics.queue_seconds.observe_duration(queue);
+    }
+    shared.metrics.request_seconds.observe_duration(total);
+    if shared.config.access_log {
+        let queue = ctx.queue.unwrap_or_default();
+        eprintln!(
+            "[access] {} id={} status={} bytes={} queue_us={} handle_us={} total_us={}",
+            ctx.trace.target(),
+            ctx.trace.id(),
+            status,
+            body.len(),
+            queue.as_micros(),
+            total.saturating_sub(queue).as_micros(),
+            total.as_micros(),
+        );
+    }
+    shared.slow.record(SlowEntry::from_trace(
+        &ctx.trace,
+        status,
+        total,
+        ctx.scenarios,
+        ctx.groups,
+        ctx.solver_calls,
+    ));
+    result?;
     Ok(if keep {
         AfterResponse::Keep
     } else {
@@ -488,6 +781,7 @@ fn handle_request(
     keep_hint: bool,
     remaining: usize,
     shared: &Shared,
+    ctx: &mut RequestCtx,
 ) -> io::Result<AfterResponse> {
     let is_register = {
         let segments = head.segments();
@@ -510,37 +804,41 @@ fn handle_request(
         )]);
         let keep = keep_hint
             && settle_unread_body(reader, head.content_length as u64, head.expect_continue);
-        return respond(writer, 413, &body, None, keep, remaining, shared);
+        return respond(writer, Reply::json(413, body), keep, remaining, shared, ctx);
     }
     if is_register {
-        let name = head.segments()[1].to_string();
-        return handle_register(head, &name, reader, writer, keep_hint, remaining, shared);
+        return handle_register(head, reader, writer, keep_hint, remaining, shared, ctx);
     }
     // Buffered path: commit to the body (interim response first if the
     // client is holding it back), then dispatch.
     if head.expect_continue && head.content_length > 0 {
         write_continue(writer)?;
     }
-    let body = match read_body_string(reader, head.content_length) {
+    let body = if head.content_length > 0 {
+        ctx.trace
+            .time("read", || read_body_string(reader, head.content_length))
+    } else {
+        read_body_string(reader, head.content_length)
+    };
+    let body = match body {
         Ok(body) => body,
         // The bytes arrived (framing is intact) but are not UTF-8.
         Err(HttpError::Malformed(what)) => {
             let body = Json::obj([("error", Json::str(format!("malformed request: {what}")))]);
-            return respond(writer, 400, &body, None, keep_hint, remaining, shared);
+            return respond(
+                writer,
+                Reply::json(400, body),
+                keep_hint,
+                remaining,
+                shared,
+                ctx,
+            );
         }
         // Short read: the declared body never arrived; close silently.
         Err(_) => return Ok(AfterResponse::Close),
     };
-    let (status, body, retry_after) = route(head, &body, shared);
-    respond(
-        writer,
-        status,
-        &body,
-        retry_after,
-        keep_hint,
-        remaining,
-        shared,
-    )
+    let reply = route(head, &body, shared, ctx);
+    respond(writer, reply, keep_hint, remaining, shared, ctx)
 }
 
 /// The 429 body for a shed request.
@@ -555,40 +853,52 @@ fn overloaded(admission: &AdmissionController) -> Json {
     ])
 }
 
+/// Acquires an admission permit, recording the wait as the request's
+/// `queue` span (the span exists even when admission is immediate — a
+/// near-zero queue is itself a signal).
+fn admit_traced(shared: &Shared, ctx: &mut RequestCtx) -> Option<crate::admission::Permit> {
+    let start = ctx.trace.elapsed();
+    let permit = shared.admission.admit();
+    let waited = ctx.trace.elapsed().saturating_sub(start);
+    ctx.trace.add_span("queue", start, waited);
+    ctx.queue = Some(waited);
+    permit
+}
+
 /// `POST /histories/{name}`: admission and capacity are checked *before*
 /// the body is read — a shed registration never transfers its (possibly
 /// huge) dataset — then the body streams through the incremental decoder
 /// straight into the relation store.
 fn handle_register(
     head: &RequestHead,
-    name: &str,
     reader: &mut BufReader<TcpStream>,
     writer: &mut TcpStream,
     keep_hint: bool,
     remaining: usize,
     shared: &Shared,
+    ctx: &mut RequestCtx,
 ) -> io::Result<AfterResponse> {
+    let name = head.segments()[1].to_string();
     // The execution permit is held only while engine work (body decode +
     // history execution) runs, and released *before* the response is
     // written — so the slot is observably free the moment the client has
     // its answer, and a parked connection never pins one.
-    let (status, body, retry_after, keep) = {
+    let (reply, keep) = {
         // Registration is engine-heavy (it executes the whole history), so
         // it shares the batches' admission gate — acquired before the body
         // is read, so shedding never transfers the dataset.
-        let _permit = match shared.admission.admit() {
+        let _permit = match admit_traced(shared, ctx) {
             Some(permit) => permit,
             None => {
                 let keep = keep_hint
                     && settle_unread_body(reader, head.content_length as u64, head.expect_continue);
                 return respond(
                     writer,
-                    429,
-                    &overloaded(&shared.admission),
-                    Some(1),
+                    Reply::json(429, overloaded(&shared.admission)).retry(1),
                     keep,
                     remaining,
                     shared,
+                    ctx,
                 );
             }
         };
@@ -613,7 +923,7 @@ fn handle_register(
             ]);
             let keep = keep_hint
                 && settle_unread_body(reader, head.content_length as u64, head.expect_continue);
-            (429, body, None, keep)
+            (Reply::json(429, body), keep)
         } else {
             // The server wants the body now: release the client's
             // 100-continue hold and stream-decode straight off the socket.
@@ -621,13 +931,16 @@ fn handle_register(
                 write_continue(writer)?;
             }
             let mut body_reader = (&mut *reader).take(head.content_length as u64);
-            match wire::decode_register_stream(&mut body_reader) {
+            let decoded = ctx
+                .trace
+                .time("decode", || wire::decode_register_stream(&mut body_reader));
+            match decoded {
                 Err(e) => {
                     // The decoder stopped mid-body; restore framing (or
                     // give up the connection) before answering.
                     let unread = body_reader.limit();
                     let keep = keep_hint && settle_unread_body(reader, unread, false);
-                    (e.status, wire::encode_wire_error(&e), None, keep)
+                    (Reply::json(e.status, wire::encode_wire_error(&e)), keep)
                 }
                 Ok(decoded) => {
                     // A successful decode consumed exactly the declared
@@ -637,36 +950,66 @@ fn handle_register(
                     // concurrent DELETE of the same name.
                     let statements = decoded.history.len();
                     let initial_tuples = decoded.initial.total_tuples();
-                    match shared.session.register(
-                        name.to_string(),
-                        decoded.initial,
-                        decoded.history,
-                    ) {
+                    // Timed without `Trace::time`: a closure returning the
+                    // full `Result<_, mahif::Error>` trips result_large_err.
+                    let exec_start = ctx.trace.elapsed();
+                    let registered =
+                        shared
+                            .session
+                            .register(name.to_string(), decoded.initial, decoded.history);
+                    let exec_end = ctx.trace.elapsed();
+                    ctx.trace
+                        .add_span("execute", exec_start, exec_end.saturating_sub(exec_start));
+                    match registered {
                         Err(e) => (
-                            wire::status_for(&e),
-                            wire::encode_error(&e),
-                            None,
+                            Reply::json(wire::status_for(&e), wire::encode_error(&e)),
                             keep_hint,
                         ),
                         Ok(_) => {
                             let body = Json::obj([
-                                ("history", Json::str(name.to_string())),
+                                ("history", Json::str(name)),
                                 ("statements", Json::Int(statements as i64)),
                                 ("versions", Json::Int(statements as i64 + 1)),
                                 ("initial_tuples", Json::Int(initial_tuples as i64)),
                             ]);
-                            (201, body, None, keep_hint)
+                            (Reply::json(201, body), keep_hint)
                         }
                     }
                 }
             }
         }
     };
-    respond(writer, status, &body, retry_after, keep, remaining, shared)
+    respond(writer, reply, keep, remaining, shared, ctx)
 }
 
-/// Dispatches one buffered request; returns `(status, body, retry_after)`.
-fn route(head: &RequestHead, body: &str, shared: &Shared) -> (u16, Json, Option<u64>) {
+/// Encodes one slow-log entry (spans as `{name, start_ms, dur_ms}`).
+fn encode_slow_entry(entry: &SlowEntry) -> Json {
+    let spans = entry
+        .spans
+        .iter()
+        .map(|s| {
+            Json::obj([
+                ("name", Json::str(s.name.clone())),
+                ("start_ms", Json::Float(s.start.as_secs_f64() * 1e3)),
+                ("dur_ms", Json::Float(s.duration.as_secs_f64() * 1e3)),
+            ])
+        })
+        .collect();
+    Json::obj([
+        ("id", Json::str(entry.id.clone())),
+        ("target", Json::str(entry.target.clone())),
+        ("status", Json::Int(entry.status as i64)),
+        ("unix_ms", Json::Int(entry.unix_ms as i64)),
+        ("total_ms", Json::Float(entry.total.as_secs_f64() * 1e3)),
+        ("scenarios", Json::Int(entry.scenarios as i64)),
+        ("groups", Json::Int(entry.groups as i64)),
+        ("solver_calls", Json::Int(entry.solver_calls as i64)),
+        ("spans", Json::Arr(spans)),
+    ])
+}
+
+/// Dispatches one buffered request.
+fn route(head: &RequestHead, body: &str, shared: &Shared, ctx: &mut RequestCtx) -> Reply {
     let session = &shared.session;
     let segments = head.segments();
     match (head.method.as_str(), segments.as_slice()) {
@@ -674,32 +1017,67 @@ fn route(head: &RequestHead, body: &str, shared: &Shared) -> (u16, Json, Option<
             let body = Json::obj([
                 ("status", Json::str("ok")),
                 ("histories", Json::Int(session.len() as i64)),
+                (
+                    "uptime_seconds",
+                    Json::Int(shared.started.elapsed().as_secs() as i64),
+                ),
+                ("version", Json::str(env!("CARGO_PKG_VERSION"))),
+                ("build", Json::str(env!("MAHIF_GIT_DESCRIBE"))),
             ]);
-            (200, body, None)
+            Reply::json(200, body)
         }
         ("GET", ["stats"]) => {
             // The same consistent snapshot `Session::stats` returns — the
-            // serve layer adds no second read path over the counters.
-            (200, wire::encode_session_stats(&session.stats()), None)
+            // serve layer adds no second read path over the counters —
+            // plus the admission controller's current state.
+            Reply::json(
+                200,
+                wire::encode_session_stats(&session.stats(), &shared.admission.snapshot()),
+            )
+        }
+        ("GET", ["metrics"]) => {
+            // Gauges sampled at scrape time; everything else is live.
+            let snap = shared.admission.snapshot();
+            shared
+                .metrics
+                .admission_in_flight
+                .set(snap.in_flight as i64);
+            shared.metrics.admission_queued.set(snap.queued as i64);
+            Reply::text(200, shared.registry.render())
+        }
+        ("GET", ["debug", "slow"]) => {
+            let entries = shared.slow.snapshot();
+            let body = Json::obj([
+                (
+                    "threshold_ms",
+                    Json::Float(shared.slow.threshold().as_secs_f64() * 1e3),
+                ),
+                ("capacity", Json::Int(shared.slow.capacity() as i64)),
+                (
+                    "entries",
+                    Json::Arr(entries.iter().map(encode_slow_entry).collect()),
+                ),
+            ]);
+            Reply::json(200, body)
         }
         ("DELETE", ["histories", name]) => match session.unregister(name) {
-            Err(e) => (wire::status_for(&e), wire::encode_error(&e), None),
-            Ok(()) => (
+            Err(e) => Reply::json(wire::status_for(&e), wire::encode_error(&e)),
+            Ok(()) => Reply::json(
                 200,
                 Json::obj([("history", Json::str((*name).to_string()))]),
-                None,
             ),
         },
         ("POST", ["histories", name, "batch"]) => {
             // Request-level admission: the permit is held for exactly this
             // batch's execution and released with the response — a parked
             // keep-alive connection between requests holds no slot.
-            let _permit = match shared.admission.admit() {
+            let _permit = match admit_traced(shared, ctx) {
                 Some(permit) => permit,
-                None => return (429, overloaded(&shared.admission), Some(1)),
+                None => return Reply::json(429, overloaded(&shared.admission)).retry(1),
             };
-            match wire::decode_batch(body) {
-                Err(e) => (e.status, wire::encode_wire_error(&e), None),
+            let decoded = ctx.trace.time("decode", || wire::decode_batch(body));
+            match decoded {
+                Err(e) => Reply::json(e.status, wire::encode_wire_error(&e)),
                 Ok(batch) => {
                     let mut req = session
                         .on((*name).to_string())
@@ -721,22 +1099,31 @@ fn route(head: &RequestHead, body: &str, shared: &Shared) -> (u16, Json, Option<
                     if let Some(spec) = batch.impact {
                         req = req.impact(spec);
                     }
+                    let engine_start = ctx.trace.elapsed();
                     match req.run_batch(batch.scenarios) {
-                        Err(e) => (wire::status_for(&e), wire::encode_error(&e), None),
-                        Ok(response) => (200, wire::encode_response(&response), None),
+                        Err(e) => Reply::json(wire::status_for(&e), wire::encode_error(&e)),
+                        Ok(response) => {
+                            // Graft the engine's phase timings as child
+                            // spans, offset to where the engine call sat
+                            // in this request's own timeline.
+                            for span in response.trace_spans(engine_start) {
+                                ctx.trace.add_span(span.name, span.start, span.duration);
+                            }
+                            ctx.scenarios = response.stats.scenarios;
+                            ctx.groups = response.stats.slice_groups;
+                            ctx.solver_calls = response.stats.solver_calls as u64;
+                            Reply::json(200, wire::encode_response(&response))
+                        }
                     }
                 }
             }
         }
-        (_, ["healthz" | "stats"]) | (_, ["histories", ..]) => (
+        (_, ["healthz" | "stats" | "metrics"])
+        | (_, ["debug", "slow"])
+        | (_, ["histories", ..]) => Reply::json(
             405,
             Json::obj([("error", Json::str("method not allowed for this route"))]),
-            None,
         ),
-        _ => (
-            404,
-            Json::obj([("error", Json::str("no such route"))]),
-            None,
-        ),
+        _ => Reply::json(404, Json::obj([("error", Json::str("no such route"))])),
     }
 }

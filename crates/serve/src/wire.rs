@@ -22,6 +22,7 @@ use mahif_expr::{DataType, Value};
 use mahif_history::{Annotation, DatabaseDelta, History, Statement};
 use mahif_storage::{Attribute, Database, Relation, Schema, Tuple};
 
+use crate::admission::AdmissionSnapshot;
 use crate::json::Json;
 
 /// A request the wire layer rejected before it reached the session: the
@@ -544,6 +545,21 @@ fn encode_batch_stats(stats: &BatchStats) -> Json {
         ("group_reenactment_ms", millis(stats.group_reenactment)),
         ("execution_ms", millis(stats.execution)),
         ("total_ms", millis(stats.total)),
+        (
+            "plan_relations",
+            Json::Arr(
+                stats
+                    .plan_relations
+                    .iter()
+                    .map(|(relation, duration)| {
+                        Json::obj([
+                            ("relation", Json::str(relation.clone())),
+                            ("ms", millis(*duration)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
     ])
 }
 
@@ -573,8 +589,11 @@ pub fn encode_response(response: &Response) -> Json {
     ])
 }
 
-/// Encodes the session counter snapshot for `GET /stats`.
-pub fn encode_session_stats(stats: &SessionStats) -> Json {
+/// Encodes the session counter snapshot plus the admission controller's
+/// current state for `GET /stats`. The admission numbers are the same
+/// live cells `/metrics` scrapes (the shed counter is adopted into the
+/// registry), so the two endpoints agree.
+pub fn encode_session_stats(stats: &SessionStats, admission: &AdmissionSnapshot) -> Json {
     Json::obj([
         ("histories", Json::Int(stats.histories as i64)),
         (
@@ -596,6 +615,16 @@ pub fn encode_session_stats(stats: &SessionStats) -> Json {
         (
             "delta_tuples_deduped",
             Json::Int(stats.delta_tuples_deduped as i64),
+        ),
+        (
+            "admission",
+            Json::obj([
+                ("in_flight", Json::Int(admission.in_flight as i64)),
+                ("queued", Json::Int(admission.queued as i64)),
+                ("max_in_flight", Json::Int(admission.max_in_flight as i64)),
+                ("max_queued", Json::Int(admission.max_queued as i64)),
+                ("shed_total", Json::Int(admission.shed_total as i64)),
+            ]),
         ),
     ])
 }

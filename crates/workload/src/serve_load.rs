@@ -23,6 +23,19 @@ pub struct HttpReply {
     pub status: u16,
     /// Response body (UTF-8).
     pub body: String,
+    /// Response headers (name, value), in wire order. Observability
+    /// tests read `X-Request-Id` and `Server-Timing` from here.
+    pub headers: Vec<(String, String)>,
+}
+
+impl HttpReply {
+    /// The first header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
 }
 
 /// A minimal HTTP/1.1 client holding one reusable connection to `addr`.
@@ -58,8 +71,21 @@ impl HttpClient {
         body: Option<&str>,
         close: bool,
     ) -> io::Result<HttpReply> {
+        self.request_with_headers(method, path, body, close, &[])
+    }
+
+    /// Like [`Self::request`], with extra request headers (e.g. a client
+    /// `X-Request-Id`).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        close: bool,
+        extra_headers: &[(&str, &str)],
+    ) -> io::Result<HttpReply> {
         let reused = self.conn.is_some();
-        match self.try_request(method, path, body, close) {
+        match self.try_request(method, path, body, close, extra_headers) {
             Ok(reply) => Ok(reply),
             Err(e) if reused => {
                 // The parked socket was likely closed under us; one retry
@@ -67,7 +93,7 @@ impl HttpClient {
                 // from a dead server.
                 self.conn = None;
                 let _ = e;
-                self.try_request(method, path, body, close)
+                self.try_request(method, path, body, close, extra_headers)
             }
             Err(e) => {
                 self.conn = None;
@@ -82,6 +108,7 @@ impl HttpClient {
         path: &str,
         body: Option<&str>,
         close: bool,
+        extra_headers: &[(&str, &str)],
     ) -> io::Result<HttpReply> {
         if self.conn.is_none() {
             let stream = TcpStream::connect(&self.addr)?;
@@ -94,8 +121,12 @@ impl HttpClient {
         let reader = self.conn.as_mut().expect("connected above");
         let body = body.unwrap_or("");
         let connection_header = if close { "Connection: close\r\n" } else { "" };
+        let extra: String = extra_headers
+            .iter()
+            .map(|(name, value)| format!("{name}: {value}\r\n"))
+            .collect();
         let request = format!(
-            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{connection_header}\r\n{body}",
+            "{method} {path} HTTP/1.1\r\nHost: {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\n{extra}{connection_header}\r\n{body}",
             self.addr,
             body.len()
         );
@@ -144,6 +175,7 @@ fn read_reply(reader: &mut BufReader<TcpStream>) -> io::Result<(HttpReply, bool)
             })?;
         let mut content_length: Option<usize> = None;
         let mut server_closes = false;
+        let mut headers: Vec<(String, String)> = Vec::new();
         loop {
             let mut line = String::new();
             if reader.read_line(&mut line)? == 0 {
@@ -154,13 +186,15 @@ fn read_reply(reader: &mut BufReader<TcpStream>) -> io::Result<(HttpReply, bool)
                 break;
             }
             if let Some((name, value)) = line.split_once(':') {
-                if name.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = value.trim().parse().ok();
-                } else if name.trim().eq_ignore_ascii_case("connection")
-                    && value.trim().eq_ignore_ascii_case("close")
+                let (name, value) = (name.trim(), value.trim());
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value.parse().ok();
+                } else if name.eq_ignore_ascii_case("connection")
+                    && value.eq_ignore_ascii_case("close")
                 {
                     server_closes = true;
                 }
+                headers.push((name.to_string(), value.to_string()));
             }
         }
         // Interim responses (100 Continue) precede the real one.
@@ -180,7 +214,14 @@ fn read_reply(reader: &mut BufReader<TcpStream>) -> io::Result<(HttpReply, bool)
                 buf
             }
         };
-        return Ok((HttpReply { status, body }, server_closes));
+        return Ok((
+            HttpReply {
+                status,
+                body,
+                headers,
+            },
+            server_closes,
+        ));
     }
 }
 

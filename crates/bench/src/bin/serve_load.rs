@@ -462,6 +462,64 @@ fn main() {
     assert!(overload.ok > 0, "the slot holder must be answered");
     handle.stop();
 
+    // --- Phase 3: an idle-connection flood; actives must not regress. ---
+    // The reactor's whole point: parked keep-alive connections cost an fd
+    // and buffers, not a worker thread. Open far more idle connections
+    // than workers (each proven live with one request first), then run
+    // the light active load and compare its p99 against the same load on
+    // the same server before the flood.
+    let idle_count: usize = if quick { 64 } else { 1_000 };
+    let effective_fd_limit = mahif_net::raise_fd_limit(idle_count as u64 + 512)
+        .expect("read/raise RLIMIT_NOFILE for the idle flood");
+    let idle_count = idle_count.min((effective_fd_limit as usize).saturating_sub(512));
+    let flood_server = Server::bind(
+        Arc::new(Session::new()),
+        ServeConfig {
+            // Idle connections must survive the whole phase.
+            keep_alive_timeout: Duration::from_secs(60),
+            max_connections: idle_count + 256,
+            ..Default::default()
+        },
+    )
+    .expect("bind ephemeral port");
+    let handle = flood_server.spawn().expect("spawn server");
+    let addr = handle.addr().to_string();
+    let reply = http_post(&addr, "/histories/retail", retail).expect("flood registration");
+    assert_eq!(reply.status, 201, "flood registration: {}", reply.body);
+    let warm = http_post(&addr, &light_mix[0].0, &light_mix[0].1).expect("flood warmup");
+    assert_eq!(warm.status, 200, "flood warmup: {}", warm.body);
+    let flood_spec = LoadSpec {
+        clients: 8,
+        requests_per_client: light_requests,
+        requests_per_conn: 0,
+    };
+    let flood_baseline = run_load(&addr, &light_mix, &flood_spec);
+    let mut parked: Vec<mahif_workload::serve_load::HttpClient> = Vec::with_capacity(idle_count);
+    for _ in 0..idle_count {
+        let mut client = mahif_workload::serve_load::HttpClient::new(&addr);
+        let reply = client
+            .request("GET", "/healthz", None, false)
+            .expect("park an idle connection");
+        assert_eq!(reply.status, 200, "idle connection setup: {}", reply.body);
+        parked.push(client);
+    }
+    let flood_active = run_load(&addr, &light_mix, &flood_spec);
+    drop(parked);
+    for (name, load) in [("baseline", &flood_baseline), ("flooded", &flood_active)] {
+        assert_eq!(load.failed, 0, "no idle-flood {name} request may fail");
+        assert_eq!(load.ok, load.requests, "idle-flood {name} load is all-2xx");
+    }
+    let flood_p99_ratio = if flood_baseline.latency.p99 > Duration::ZERO {
+        flood_active.latency.p99.as_secs_f64() / flood_baseline.latency.p99.as_secs_f64()
+    } else {
+        0.0
+    };
+    println!(
+        "idle flood: {} parked connections; active p99 {:?} (baseline {:?}), ratio {:.2}x",
+        idle_count, flood_active.latency.p99, flood_baseline.latency.p99, flood_p99_ratio
+    );
+    handle.stop();
+
     // --- Record. --------------------------------------------------------
     let doc = Json::obj([
         ("benchmark", Json::str("serve_load")),
@@ -469,7 +527,8 @@ fn main() {
             "description",
             Json::str(
                 "Concurrent mixed scenario batches over the mahif-serve HTTP layer (std-only \
-                 server, persistent connections on a bounded worker pool, loopback). The same \
+                 server, epoll reactor owning every socket, pure-CPU worker pool, loopback). The \
+                 same \
                  mixed load — batch sizes k=1,4,8, methods (R+PS+DS, R+DS, R), one over-budget \
                  body answered 422 — runs twice under default admission (4 in-flight, queue 16): \
                  'load_close' opens one connection per request (requests_per_conn=1, the \
@@ -481,7 +540,11 @@ fn main() {
                  visible in throughput, not just tail latency. Phase 'overload': capacity 1, \
                  queue 0, reused connections \
                  — excess load is shed as 429 (never errors) and a 429 does not poison its \
-                 socket. Latencies are per-request client-observed wall clock; throughput counts \
+                 socket. Phase 'idle_flood': the light active load measured before and after \
+                 parking idle keep-alive connections (1,000 full / 64 quick) — far beyond the \
+                 worker count — on the same server; 'p99_ratio' is flooded over baseline active \
+                 p99, the idle connections costing fds and buffers but no worker threads. \
+                 Latencies are per-request client-observed wall clock; throughput counts \
                  2xx only.",
             ),
         ),
@@ -524,6 +587,18 @@ fn main() {
         // server percentiles or in the light-phase throughput above.
         ("server_metrics", server_metrics),
         ("overload", report_json(&overload, &overload_spec)),
+        (
+            "idle_flood",
+            Json::obj([
+                ("idle_connections", Json::Int(idle_count as i64)),
+                ("baseline", report_json(&flood_baseline, &flood_spec)),
+                ("flooded", report_json(&flood_active, &flood_spec)),
+                (
+                    "p99_ratio",
+                    Json::Float((flood_p99_ratio * 100.0).round() / 100.0),
+                ),
+            ]),
+        ),
     ]);
     std::fs::write(&out, format!("{doc}\n")).expect("write BENCH_serve.json");
     println!("wrote {out}");

@@ -1,0 +1,320 @@
+//! Per-connection buffer machinery for a readiness-driven loop:
+//! [`read_available`] pulls whatever the kernel has into a growable
+//! buffer without blocking, and [`WriteQueue`] holds queued response
+//! chunks across partial writes until write-readiness drains them.
+//!
+//! Both halves are protocol-agnostic: the serving layer decides what a
+//! complete request is and what a chunk means; this module only moves
+//! bytes and reports progress.
+
+use std::io::{self, Read, Write};
+
+/// Chunk size per `read` call; large enough to take a full request head
+/// (and most bodies) in one syscall, small enough to keep per-connection
+/// memory modest under fan-out.
+const READ_CHUNK: usize = 16 * 1024;
+
+/// What [`read_available`] observed on the socket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadStatus {
+    /// Bytes appended to the buffer by this call.
+    pub read: usize,
+    /// The peer closed its write half (orderly EOF).
+    pub eof: bool,
+    /// The kernel buffer is drained (`EWOULDBLOCK`); with level-triggered
+    /// polling, `false` only when the `max` cap stopped the read early.
+    pub would_block: bool,
+}
+
+/// Reads all currently-available bytes from a nonblocking `stream` into
+/// `buf`, stopping at EOF, `EWOULDBLOCK`, or once `buf` holds `max`
+/// bytes (backpressure: the caller masks read interest until the bytes
+/// are consumed). `EINTR` retries; any other error propagates.
+pub fn read_available<S: Read>(
+    stream: &mut S,
+    buf: &mut Vec<u8>,
+    max: usize,
+) -> io::Result<ReadStatus> {
+    let mut status = ReadStatus {
+        read: 0,
+        eof: false,
+        would_block: false,
+    };
+    while buf.len() < max {
+        let want = READ_CHUNK.min(max - buf.len());
+        let old_len = buf.len();
+        buf.resize(old_len + want, 0);
+        match stream.read(&mut buf[old_len..]) {
+            Ok(0) => {
+                buf.truncate(old_len);
+                status.eof = true;
+                return Ok(status);
+            }
+            Ok(n) => {
+                buf.truncate(old_len + n);
+                status.read += n;
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                buf.truncate(old_len);
+                status.would_block = true;
+                return Ok(status);
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {
+                buf.truncate(old_len);
+            }
+            Err(e) => {
+                buf.truncate(old_len);
+                return Err(e);
+            }
+        }
+    }
+    Ok(status)
+}
+
+/// One queued outbound chunk plus a caller-owned tag, handed back when
+/// the chunk's final byte reaches the kernel.
+#[derive(Debug)]
+struct Chunk<T> {
+    bytes: Vec<u8>,
+    pos: usize,
+    tag: T,
+}
+
+/// Progress report from [`WriteQueue::flush`].
+#[derive(Debug, PartialEq, Eq)]
+pub struct FlushStatus<T> {
+    /// Tags of chunks fully written by this flush, in queue order.
+    pub completed: Vec<T>,
+    /// The socket refused further bytes; re-arm write interest.
+    pub would_block: bool,
+}
+
+/// An ordered queue of outbound chunks that survives partial writes.
+/// The reactor keeps write interest armed exactly while the queue is
+/// non-empty.
+#[derive(Debug)]
+pub struct WriteQueue<T> {
+    chunks: std::collections::VecDeque<Chunk<T>>,
+    /// Bytes not yet accepted by the kernel, across all chunks.
+    pending: usize,
+}
+
+impl<T> Default for WriteQueue<T> {
+    fn default() -> Self {
+        WriteQueue::new()
+    }
+}
+
+impl<T> WriteQueue<T> {
+    /// An empty queue.
+    pub fn new() -> WriteQueue<T> {
+        WriteQueue {
+            chunks: std::collections::VecDeque::new(),
+            pending: 0,
+        }
+    }
+
+    /// Appends a chunk. Empty chunks complete on the next flush without
+    /// touching the socket (their tag still reports).
+    pub fn push(&mut self, bytes: Vec<u8>, tag: T) {
+        self.pending += bytes.len();
+        self.chunks.push_back(Chunk { bytes, pos: 0, tag });
+    }
+
+    /// `true` when every queued byte has reached the kernel.
+    pub fn is_empty(&self) -> bool {
+        self.chunks.is_empty()
+    }
+
+    /// Bytes still waiting for the kernel.
+    pub fn pending_bytes(&self) -> usize {
+        self.pending
+    }
+
+    /// Writes as much as the socket accepts. Returns the tags of chunks
+    /// completed by this call and whether the socket pushed back
+    /// (`EWOULDBLOCK`). `EINTR` retries; a hard error propagates with the
+    /// queue left as-is (the connection is done for anyway).
+    pub fn flush<S: Write>(&mut self, stream: &mut S) -> io::Result<FlushStatus<T>> {
+        let mut status = FlushStatus {
+            completed: Vec::new(),
+            would_block: false,
+        };
+        'queue: while let Some(chunk) = self.chunks.front_mut() {
+            while chunk.pos < chunk.bytes.len() {
+                match stream.write(&chunk.bytes[chunk.pos..]) {
+                    Ok(0) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::WriteZero,
+                            "socket accepted zero bytes",
+                        ));
+                    }
+                    Ok(n) => {
+                        chunk.pos += n;
+                        self.pending -= n;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        status.would_block = true;
+                        break 'queue;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(e) => return Err(e),
+                }
+            }
+            let done = self.chunks.pop_front().expect("front exists");
+            status.completed.push(done.tag);
+        }
+        Ok(status)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A Write that accepts at most `cap` bytes per call and refuses
+    /// entirely after `budget` total bytes — deterministic partial-write
+    /// and EWOULDBLOCK behaviour without real sockets.
+    struct Throttled {
+        accepted: Vec<u8>,
+        cap: usize,
+        budget: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            if self.budget == 0 {
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            let n = buf.len().min(self.cap).min(self.budget);
+            self.accepted.extend_from_slice(&buf[..n]);
+            self.budget -= n;
+            Ok(n)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn flush_survives_partial_writes_and_preserves_order() {
+        let mut q: WriteQueue<&str> = WriteQueue::new();
+        q.push(b"hello ".to_vec(), "first");
+        q.push(b"world".to_vec(), "second");
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            cap: 4,
+            budget: usize::MAX,
+        };
+        let status = q.flush(&mut sink).unwrap();
+        assert_eq!(status.completed, vec!["first", "second"]);
+        assert!(!status.would_block);
+        assert!(q.is_empty());
+        assert_eq!(sink.accepted, b"hello world");
+    }
+
+    #[test]
+    fn flush_stops_at_would_block_and_resumes_mid_chunk() {
+        let mut q: WriteQueue<u32> = WriteQueue::new();
+        q.push(b"0123456789".to_vec(), 1);
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            cap: 4,
+            budget: 6,
+        };
+        let status = q.flush(&mut sink).unwrap();
+        assert!(status.completed.is_empty(), "chunk not finished");
+        assert!(status.would_block);
+        assert_eq!(q.pending_bytes(), 4);
+
+        sink.budget = usize::MAX;
+        let status = q.flush(&mut sink).unwrap();
+        assert_eq!(status.completed, vec![1]);
+        assert_eq!(sink.accepted, b"0123456789");
+        assert_eq!(q.pending_bytes(), 0);
+    }
+
+    #[test]
+    fn empty_chunks_complete_without_socket_traffic() {
+        let mut q: WriteQueue<&str> = WriteQueue::new();
+        q.push(Vec::new(), "marker");
+        let mut sink = Throttled {
+            accepted: Vec::new(),
+            cap: 1,
+            budget: 0, // would refuse any real byte
+        };
+        let status = q.flush(&mut sink).unwrap();
+        assert_eq!(status.completed, vec!["marker"]);
+        assert!(q.is_empty());
+    }
+
+    struct ScriptedReader {
+        script: Vec<io::Result<Vec<u8>>>,
+    }
+
+    impl Read for ScriptedReader {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            if self.script.is_empty() {
+                return Err(io::Error::from(io::ErrorKind::WouldBlock));
+            }
+            match self.script.remove(0) {
+                Ok(bytes) => {
+                    let n = bytes.len().min(buf.len());
+                    buf[..n].copy_from_slice(&bytes[..n]);
+                    Ok(n)
+                }
+                Err(e) => Err(e),
+            }
+        }
+    }
+
+    #[test]
+    fn read_available_accumulates_until_would_block() {
+        let mut reader = ScriptedReader {
+            script: vec![Ok(b"abc".to_vec()), Ok(b"def".to_vec())],
+        };
+        let mut buf = Vec::new();
+        let status = read_available(&mut reader, &mut buf, 1 << 20).unwrap();
+        assert_eq!(buf, b"abcdef");
+        assert_eq!(status.read, 6);
+        assert!(status.would_block);
+        assert!(!status.eof);
+    }
+
+    #[test]
+    fn read_available_reports_eof_and_keeps_prior_bytes() {
+        let mut reader = ScriptedReader {
+            script: vec![Ok(b"tail".to_vec()), Ok(Vec::new())],
+        };
+        let mut buf = b"head ".to_vec();
+        let status = read_available(&mut reader, &mut buf, 1 << 20).unwrap();
+        assert_eq!(buf, b"head tail");
+        assert!(status.eof);
+    }
+
+    #[test]
+    fn read_available_honors_cap_for_backpressure() {
+        let mut reader = ScriptedReader {
+            script: vec![Ok(vec![b'x'; 100]), Ok(vec![b'y'; 100])],
+        };
+        let mut buf = Vec::new();
+        let status = read_available(&mut reader, &mut buf, 100).unwrap();
+        assert_eq!(buf.len(), 100);
+        assert!(!status.would_block, "cap, not socket, stopped the read");
+        assert!(!status.eof);
+    }
+
+    #[test]
+    fn read_available_retries_interrupted() {
+        let mut reader = ScriptedReader {
+            script: vec![
+                Err(io::Error::from(io::ErrorKind::Interrupted)),
+                Ok(b"ok".to_vec()),
+            ],
+        };
+        let mut buf = Vec::new();
+        let status = read_available(&mut reader, &mut buf, 1 << 20).unwrap();
+        assert_eq!(buf, b"ok");
+        assert_eq!(status.read, 2);
+    }
+}

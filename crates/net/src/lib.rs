@@ -1,0 +1,50 @@
+//! `mahif-net`: std-only readiness primitives for the serving layer.
+//!
+//! The serving tier (`mahif-serve`) historically parked one worker
+//! thread per keep-alive connection, capping concurrent connections at
+//! the worker count. This crate supplies the pieces a single reactor
+//! thread needs to own *all* sockets instead, so the worker pool shrinks
+//! to a pure CPU pool:
+//!
+//! - [`Poller`] — a safe, level-triggered epoll wrapper (register fds
+//!   under `usize` tokens, wait for [`Event`]s),
+//! - [`Waker`] — an eventfd channel so worker threads can interrupt
+//!   `epoll_wait` when a response is ready,
+//! - [`TimerWheel`] — coarse O(1) deadlines for keep-alive idle,
+//!   header-read, and body-progress timeouts, with lazy cancellation,
+//! - [`read_available`] / [`WriteQueue`] — nonblocking buffer machinery
+//!   that survives short reads and partial writes,
+//! - [`raise_fd_limit`] — `RLIMIT_NOFILE` headroom for thousand-socket
+//!   fan-outs.
+//!
+//! # Design constraints
+//!
+//! The workspace builds with **no registry access**, so there is no
+//! `libc`, `mio`, or `polling` here: [`sys`] declares the half-dozen
+//! `extern "C"` bindings (epoll, eventfd, rlimit) against the C library
+//! `std` already links, and every fd crosses the boundary as a
+//! `std::os::fd` owned/borrowed type. Linux-only by construction — the
+//! crate refuses to compile elsewhere rather than silently degrade.
+//!
+//! # Threading model
+//!
+//! One reactor thread owns the [`Poller`], the [`TimerWheel`], and every
+//! connection's buffers; worker threads touch only the [`Waker`] (and
+//! whatever completion queue the embedding layer shares). Nothing in
+//! this crate takes a lock.
+
+#[cfg(not(target_os = "linux"))]
+compile_error!("mahif-net binds Linux epoll/eventfd syscalls and only builds on Linux");
+
+pub mod conn;
+pub mod limits;
+pub mod poller;
+pub mod sys;
+pub mod timer;
+pub mod waker;
+
+pub use conn::{read_available, FlushStatus, ReadStatus, WriteQueue};
+pub use limits::{fd_limit, raise_fd_limit};
+pub use poller::{Event, Events, Interest, Poller};
+pub use timer::TimerWheel;
+pub use waker::Waker;

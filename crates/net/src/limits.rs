@@ -1,0 +1,42 @@
+//! Process fd-limit helpers. A reactor holding thousands of idle
+//! keep-alive connections needs `RLIMIT_NOFILE` headroom; load drivers
+//! call [`raise_fd_limit`] before opening their client fan-out.
+
+use std::io;
+
+use crate::sys;
+
+/// Ensures the soft `RLIMIT_NOFILE` is at least `min`, raising it toward
+/// the hard limit if needed (no privilege required for that direction).
+/// Returns the effective soft limit — possibly below `min` when the hard
+/// limit caps it; callers decide whether that's fatal.
+pub fn raise_fd_limit(min: u64) -> io::Result<u64> {
+    let mut rlim = sys::nofile_limit()?;
+    if rlim.rlim_cur >= min {
+        return Ok(rlim.rlim_cur);
+    }
+    rlim.rlim_cur = min.min(rlim.rlim_max);
+    sys::set_nofile_limit(rlim)?;
+    Ok(rlim.rlim_cur)
+}
+
+/// The current soft `RLIMIT_NOFILE`.
+pub fn fd_limit() -> io::Result<u64> {
+    Ok(sys::nofile_limit()?.rlim_cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raising_to_current_is_a_noop_and_reports_truthfully() {
+        let current = fd_limit().unwrap();
+        assert!(current > 0);
+        let effective = raise_fd_limit(current).unwrap();
+        assert_eq!(effective, current);
+        // Raising to something at-or-below current must never lower it.
+        let effective = raise_fd_limit(1).unwrap();
+        assert_eq!(effective, current);
+    }
+}

@@ -1,0 +1,313 @@
+//! [`Poller`]: a thin, safe wrapper over the epoll syscalls — register an
+//! fd with a `usize` token and an [`Interest`], then [`Poller::wait`] for
+//! readiness [`Event`]s.
+//!
+//! Registration is **level-triggered** (the epoll default): an fd with
+//! unread input keeps reporting readable on every wait, so the reactor
+//! can stop reading a connection (to bound buffering) and pick the bytes
+//! up later without ever missing an edge. The cost — a spin when ready
+//! fds are left unserviced — is the reactor's to manage by masking
+//! interest while a request is in flight.
+
+use std::io;
+use std::os::fd::{AsFd, BorrowedFd};
+use std::time::Duration;
+
+use crate::sys;
+
+/// What readiness an fd is registered for. `EPOLLERR` and `EPOLLHUP` are
+/// always reported by the kernel regardless of the mask, so an interest
+/// with both flags false still learns about fatal socket states — while
+/// staying silent for a peer's half-close (`EPOLLRDHUP` is subscribed
+/// only with `readable`, so a reactor that has stopped reading a
+/// connection is not woken in a level-triggered loop by an event it
+/// cannot consume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the fd has bytes to read (or the peer half-closed).
+    pub readable: bool,
+    /// Wake when the fd can accept writes.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Read-only interest.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Write-only interest.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Both directions.
+    pub const BOTH: Interest = Interest {
+        readable: true,
+        writable: true,
+    };
+    /// Hangup/error only (the kernel always reports those).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+
+    fn bits(self) -> u32 {
+        let mut bits = 0;
+        if self.readable {
+            bits |= sys::EPOLLIN | sys::EPOLLRDHUP;
+        }
+        if self.writable {
+            bits |= sys::EPOLLOUT;
+        }
+        bits
+    }
+}
+
+/// One readiness report from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: usize,
+    /// Input is available, the peer half-closed, or the socket errored —
+    /// in every case a read will make progress (possibly to EOF/error).
+    pub readable: bool,
+    /// The fd can accept writes (or errored; a write surfaces it).
+    pub writable: bool,
+    /// `EPOLLHUP`/`EPOLLERR`: the connection is beyond saving.
+    pub hangup: bool,
+}
+
+/// A reusable buffer of kernel events between waits.
+pub struct Events {
+    buf: Vec<sys::EpollEvent>,
+    len: usize,
+}
+
+impl std::fmt::Debug for Events {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Events")
+            .field("capacity", &self.buf.len())
+            .field("len", &self.len)
+            .finish()
+    }
+}
+
+impl Events {
+    /// Room for `capacity` events per wait (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            buf: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the last [`Poller::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.buf[..self.len].iter().map(|raw| {
+            let bits = raw.events;
+            Event {
+                token: raw.data as usize,
+                readable: bits & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR)
+                    != 0,
+                writable: bits & (sys::EPOLLOUT | sys::EPOLLHUP | sys::EPOLLERR) != 0,
+                hangup: bits & (sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            }
+        })
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the last wait timed out with nothing ready.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// An epoll instance. Dropping it closes the epoll fd (registered fds are
+/// unaffected beyond losing their registration).
+#[derive(Debug)]
+pub struct Poller {
+    epfd: std::os::fd::OwnedFd,
+}
+
+impl Poller {
+    /// A fresh epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+        })
+    }
+
+    fn ctl(&self, op: i32, fd: BorrowedFd<'_>, token: usize, interest: Interest) -> io::Result<()> {
+        use std::os::fd::AsRawFd;
+        let mut event = sys::EpollEvent {
+            events: interest.bits(),
+            data: token as u64,
+        };
+        sys::epoll_ctl_op(self.epfd.as_fd(), op, fd.as_raw_fd(), &mut event)
+    }
+
+    /// Registers `fd` under `token` with `interest`.
+    pub fn add(&self, fd: BorrowedFd<'_>, token: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_ADD, fd, token, interest)
+    }
+
+    /// Changes the interest (and token) of an already-registered fd.
+    pub fn modify(&self, fd: BorrowedFd<'_>, token: usize, interest: Interest) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_MOD, fd, token, interest)
+    }
+
+    /// Removes `fd` from the set. Closing an fd deregisters it implicitly
+    /// (when no duplicate survives), so this is only needed to keep an fd
+    /// open but silent.
+    pub fn delete(&self, fd: BorrowedFd<'_>) -> io::Result<()> {
+        self.ctl(sys::EPOLL_CTL_DEL, fd, 0, Interest::NONE)
+    }
+
+    /// Blocks for readiness: until at least one event, the timeout, or a
+    /// signal. `None` blocks indefinitely. A signal interruption reports
+    /// as `Ok` with zero events (the reactor just loops).
+    pub fn wait(&self, events: &mut Events, timeout: Option<Duration>) -> io::Result<()> {
+        let timeout_ms: i32 = match timeout {
+            None => -1,
+            Some(d) => {
+                // Round up so a 0 < d < 1 ms deadline does not busy-spin,
+                // and saturate far-future deadlines into "block long".
+                let ms = d
+                    .as_millis()
+                    .saturating_add(u128::from(d.subsec_nanos() % 1_000_000 != 0));
+                ms.min(i32::MAX as u128) as i32
+            }
+        };
+        events.len = 0;
+        match sys::epoll_wait_events(self.epfd.as_fd(), &mut events.buf, timeout_ms) {
+            Ok(n) => {
+                events.len = n;
+                Ok(())
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let a = TcpStream::connect(addr).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn readable_fires_when_bytes_arrive_and_not_before() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_fd(), 7, Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "nothing written yet");
+
+        a.write_all(b"hi").unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().next().expect("readable event");
+        assert_eq!(event.token, 7);
+        assert!(event.readable);
+    }
+
+    #[test]
+    fn level_triggered_readiness_persists_until_drained() {
+        let (mut a, mut b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_fd(), 1, Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        a.write_all(b"xyz").unwrap();
+
+        // Two consecutive waits both report readable (level-triggered).
+        for _ in 0..2 {
+            poller
+                .wait(&mut events, Some(Duration::from_secs(5)))
+                .unwrap();
+            assert!(events.iter().any(|e| e.token == 1 && e.readable));
+        }
+        let mut buf = [0u8; 8];
+        assert_eq!(b.read(&mut buf).unwrap(), 3);
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "drained: no more readable reports");
+    }
+
+    #[test]
+    fn interest_modification_masks_and_unmasks() {
+        let (mut a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_fd(), 3, Interest::READABLE).unwrap();
+        a.write_all(b"pending").unwrap();
+        let mut events = Events::with_capacity(8);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.readable));
+
+        // Masked: pending input no longer wakes the poller.
+        poller.modify(b.as_fd(), 3, Interest::NONE).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "masked interest must not fire on input");
+
+        // Unmasked: the still-buffered input fires again (level-trigger).
+        poller.modify(b.as_fd(), 3, Interest::READABLE).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+    }
+
+    #[test]
+    fn peer_close_reports_readable() {
+        let (a, b) = pair();
+        b.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(b.as_fd(), 9, Interest::READABLE).unwrap();
+        drop(a);
+        let mut events = Events::with_capacity(8);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        let event = events.iter().find(|e| e.token == 9).expect("hup event");
+        assert!(event.readable, "a close must surface as a readable EOF");
+    }
+
+    #[test]
+    fn writable_fires_on_a_fresh_socket() {
+        let (a, _b) = pair();
+        a.set_nonblocking(true).unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(a.as_fd(), 2, Interest::WRITABLE).unwrap();
+        let mut events = Events::with_capacity(8);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 2 && e.writable));
+    }
+}

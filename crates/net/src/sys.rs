@@ -1,0 +1,137 @@
+//! The raw syscall shim: `extern "C"` bindings against the C library that
+//! `std` already links on Linux — **no** `libc` crate (the build
+//! environment has no registry access), no inline assembly, and nothing
+//! beyond the handful of calls the reactor needs: `epoll_create1` /
+//! `epoll_ctl` / `epoll_wait`, `eventfd` for the cross-thread waker, and
+//! `getrlimit` / `setrlimit` so load drivers can lift the fd ceiling
+//! before opening thousands of connections.
+//!
+//! Everything fd-shaped crosses the boundary as `std::os::fd` types
+//! ([`OwnedFd`]/[`BorrowedFd`]), so ownership and close-on-drop follow the
+//! standard library's rules rather than hand-rolled RAII.
+
+use std::io;
+use std::os::fd::{BorrowedFd, FromRawFd, OwnedFd, RawFd};
+
+/// The kernel's `struct epoll_event`. On x86-64 the ABI packs it to 12
+/// bytes (the 64-bit `data` is unaligned); other architectures use the
+/// natural layout — the same `cfg_attr` split the `libc` crate ships.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// `EPOLL*` readiness bits.
+    pub events: u32,
+    /// Caller-owned cookie (the reactor stores its token here).
+    pub data: u64,
+}
+
+/// `struct rlimit` (both fields are `rlim_t`, 64-bit on every Linux ABI
+/// this workspace targets).
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct Rlimit {
+    /// The soft limit (what the process is currently held to).
+    pub rlim_cur: u64,
+    /// The hard limit (the ceiling the soft limit may be raised to).
+    pub rlim_max: u64,
+}
+
+pub const EPOLL_CLOEXEC: i32 = 0o2000000;
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EFD_CLOEXEC: i32 = 0o2000000;
+pub const EFD_NONBLOCK: i32 = 0o4000;
+
+/// `RLIMIT_NOFILE` — the per-process open-file-descriptor limit.
+pub const RLIMIT_NOFILE: i32 = 7;
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn eventfd(initval: u32, flags: i32) -> i32;
+    fn getrlimit(resource: i32, rlim: *mut Rlimit) -> i32;
+    fn setrlimit(resource: i32, rlim: *const Rlimit) -> i32;
+}
+
+/// Turns a `-1` return into the thread's `errno` as an [`io::Error`].
+fn cvt(ret: i32) -> io::Result<i32> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// `epoll_create1(EPOLL_CLOEXEC)` as an owned fd.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+    // SAFETY: a successful epoll_create1 returns a fresh fd we own.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// One `epoll_ctl` call; `event` is ignored by the kernel for
+/// `EPOLL_CTL_DEL` (pass anything).
+pub fn epoll_ctl_op(
+    epfd: BorrowedFd<'_>,
+    op: i32,
+    fd: RawFd,
+    event: &mut EpollEvent,
+) -> io::Result<()> {
+    use std::os::fd::AsRawFd;
+    cvt(unsafe { epoll_ctl(epfd.as_raw_fd(), op, fd, event) })?;
+    Ok(())
+}
+
+/// One `epoll_wait` call; `timeout_ms < 0` blocks indefinitely. Returns
+/// the number of events written into `events`. `EINTR` surfaces as an
+/// error (callers treat it as "no events").
+pub fn epoll_wait_events(
+    epfd: BorrowedFd<'_>,
+    events: &mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<usize> {
+    use std::os::fd::AsRawFd;
+    let n = cvt(unsafe {
+        epoll_wait(
+            epfd.as_raw_fd(),
+            events.as_mut_ptr(),
+            events.len() as i32,
+            timeout_ms,
+        )
+    })?;
+    Ok(n as usize)
+}
+
+/// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)` as an owned fd.
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+    // SAFETY: a successful eventfd returns a fresh fd we own.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// Reads the current `RLIMIT_NOFILE` (soft, hard).
+pub fn nofile_limit() -> io::Result<Rlimit> {
+    let mut rlim = Rlimit {
+        rlim_cur: 0,
+        rlim_max: 0,
+    };
+    cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut rlim) })?;
+    Ok(rlim)
+}
+
+/// Sets `RLIMIT_NOFILE` (the soft limit may be raised up to the hard
+/// limit without privilege).
+pub fn set_nofile_limit(rlim: Rlimit) -> io::Result<()> {
+    cvt(unsafe { setrlimit(RLIMIT_NOFILE, &rlim) })?;
+    Ok(())
+}

@@ -1,0 +1,265 @@
+//! A hashed timer wheel for connection deadlines (keep-alive idle,
+//! header-read, body-progress). Deadlines at reactor scale are coarse —
+//! tens of milliseconds of slop on a multi-second timeout is invisible —
+//! so the wheel trades precision for O(1) scheduling and cheap scans.
+//!
+//! Cancellation is **lazy**: the wheel never removes an entry early.
+//! When an entry expires the caller re-checks its own authoritative
+//! per-connection deadline and simply ignores stale pops. That keeps
+//! "connection finished its request, re-arm the keep-alive timer" a pure
+//! push with no search.
+
+use std::time::{Duration, Instant};
+
+/// Default tick granularity (10 ms) — far below any serving timeout.
+pub const DEFAULT_GRANULARITY: Duration = Duration::from_millis(10);
+/// Default slot count: with 10 ms ticks, one rotation spans ~5.12 s.
+/// Deadlines beyond the horizon stay in their slot across rotations (each
+/// entry stores its absolute tick, so early pops are filtered out).
+pub const DEFAULT_SLOTS: usize = 512;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    tick: u64,
+    token: usize,
+}
+
+/// The wheel. Single-threaded by design: it lives on the reactor thread.
+#[derive(Debug)]
+pub struct TimerWheel {
+    origin: Instant,
+    granularity: Duration,
+    slots: Vec<Vec<Entry>>,
+    /// The last tick fully processed by [`TimerWheel::expire_into`].
+    last_tick: u64,
+    /// Live entry count (including lazily-cancelled ones not yet popped).
+    len: usize,
+}
+
+impl TimerWheel {
+    /// A wheel starting "now" with the default geometry.
+    pub fn new(origin: Instant) -> TimerWheel {
+        TimerWheel::with_geometry(origin, DEFAULT_GRANULARITY, DEFAULT_SLOTS)
+    }
+
+    /// A wheel with explicit granularity and slot count (tests use a
+    /// coarse/small wheel to exercise rotation wrap-around).
+    pub fn with_geometry(origin: Instant, granularity: Duration, slots: usize) -> TimerWheel {
+        assert!(granularity > Duration::ZERO, "granularity must be nonzero");
+        assert!(slots >= 2, "wheel needs at least two slots");
+        TimerWheel {
+            origin,
+            granularity,
+            slots: (0..slots).map(|_| Vec::new()).collect(),
+            last_tick: 0,
+            len: 0,
+        }
+    }
+
+    fn tick_of(&self, t: Instant) -> u64 {
+        let elapsed = t.saturating_duration_since(self.origin);
+        // Integer division floors; scheduling rounds *up* (below) so a
+        // deadline never fires early by up to one granule.
+        (elapsed.as_nanos() / self.granularity.as_nanos()) as u64
+    }
+
+    /// Schedules `token` to pop at `deadline` (rounded up to the next
+    /// tick, and never into the already-processed past).
+    pub fn schedule(&mut self, token: usize, deadline: Instant) {
+        let tick = self
+            .tick_of(deadline)
+            .saturating_add(1)
+            .max(self.last_tick + 1);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry { tick, token });
+        self.len += 1;
+    }
+
+    /// Number of scheduled entries (lazily-cancelled ones included until
+    /// their tick passes).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when no entries are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Pops every entry with a tick at or before `now` into `expired`.
+    /// The caller must validate each token against its authoritative
+    /// deadline — a popped token may have been cancelled or re-armed.
+    pub fn expire_into(&mut self, now: Instant, expired: &mut Vec<usize>) {
+        let now_tick = self.tick_of(now);
+        if now_tick <= self.last_tick {
+            return;
+        }
+        // Cap the walk at one full rotation: beyond that every slot has
+        // been visited once and entries with future ticks stay put.
+        let slots = self.slots.len() as u64;
+        let first = self.last_tick + 1;
+        let walk_to = now_tick.min(self.last_tick + slots);
+        for tick in first..=walk_to {
+            let slot = (tick % slots) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].tick <= now_tick {
+                    expired.push(bucket.swap_remove(i).token);
+                    self.len -= 1;
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.last_tick = now_tick;
+    }
+
+    /// How long [`Poller::wait`](crate::Poller::wait) may sleep before the
+    /// next entry could pop: `None` when the wheel is empty (block
+    /// indefinitely), otherwise the gap to the earliest pending slot
+    /// (clamped to at least one granule so the reactor never busy-spins).
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        if self.len == 0 {
+            return None;
+        }
+        let now_tick = self.tick_of(now);
+        let slots = self.slots.len() as u64;
+        let mut earliest: Option<u64> = None;
+        for tick in (self.last_tick + 1)..=(self.last_tick + slots) {
+            let slot = (tick % slots) as usize;
+            for entry in &self.slots[slot] {
+                if earliest.is_none_or(|e| entry.tick < e) {
+                    earliest = Some(entry.tick);
+                }
+            }
+            // Later slots in this rotation can't hold anything earlier
+            // than their own position, so once the best candidate is at
+            // or before the current position the search is over. (A slot
+            // may hold only beyond-horizon entries — those don't end the
+            // scan, an earlier deadline could still sit in a later slot.)
+            if earliest.is_some_and(|e| e <= tick) {
+                break;
+            }
+        }
+        let target = earliest.unwrap_or(now_tick + 1);
+        if target <= now_tick {
+            // Already due: wake after one granule (expire_into advances
+            // only when the tick boundary passes).
+            return Some(self.granularity);
+        }
+        let delta = (target - now_tick) as u32;
+        Some(self.granularity * delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> (TimerWheel, Instant) {
+        let origin = Instant::now();
+        (
+            TimerWheel::with_geometry(origin, Duration::from_millis(10), 8),
+            origin,
+        )
+    }
+
+    #[test]
+    fn entries_pop_at_or_after_their_deadline_never_before() {
+        let (mut w, origin) = wheel();
+        w.schedule(1, origin + Duration::from_millis(35));
+        let mut expired = Vec::new();
+
+        w.expire_into(origin + Duration::from_millis(30), &mut expired);
+        assert!(expired.is_empty(), "must not fire early");
+
+        w.expire_into(origin + Duration::from_millis(60), &mut expired);
+        assert_eq!(expired, vec![1]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn beyond_horizon_deadlines_survive_rotations() {
+        // 8 slots * 10ms = 80ms horizon; schedule at 250ms.
+        let (mut w, origin) = wheel();
+        w.schedule(5, origin + Duration::from_millis(250));
+        let mut expired = Vec::new();
+
+        // Sweep right past a full rotation: the entry's tick is in the
+        // future, so it must stay put.
+        w.expire_into(origin + Duration::from_millis(100), &mut expired);
+        assert!(expired.is_empty());
+        w.expire_into(origin + Duration::from_millis(200), &mut expired);
+        assert!(expired.is_empty());
+
+        w.expire_into(origin + Duration::from_millis(300), &mut expired);
+        assert_eq!(expired, vec![5]);
+    }
+
+    #[test]
+    fn large_jump_caps_walk_at_one_rotation_and_loses_nothing() {
+        let (mut w, origin) = wheel();
+        for token in 0..20 {
+            w.schedule(
+                token,
+                origin + Duration::from_millis(10 * (token as u64 + 1)),
+            );
+        }
+        let mut expired = Vec::new();
+        // Jump way past everything in one step (many rotations' worth).
+        w.expire_into(origin + Duration::from_secs(10), &mut expired);
+        expired.sort_unstable();
+        assert_eq!(expired, (0..20).collect::<Vec<_>>());
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn next_timeout_tracks_earliest_entry() {
+        let (mut w, origin) = wheel();
+        assert_eq!(w.next_timeout(origin), None, "empty wheel blocks forever");
+
+        w.schedule(1, origin + Duration::from_millis(50));
+        w.schedule(2, origin + Duration::from_millis(20));
+        let timeout = w.next_timeout(origin).unwrap();
+        // Earliest deadline is ~20ms (rounded up one tick): the sleep
+        // must cover it but not overshoot to the 50ms entry.
+        assert!(timeout >= Duration::from_millis(20), "{timeout:?}");
+        assert!(timeout <= Duration::from_millis(40), "{timeout:?}");
+    }
+
+    #[test]
+    fn next_timeout_sees_past_beyond_horizon_entries_in_early_slots() {
+        // Slot order vs deadline order can disagree: a beyond-horizon
+        // entry (250ms, lands in an early slot of the 80ms wheel) must
+        // not hide a sooner deadline sitting in a later slot.
+        let (mut w, origin) = wheel();
+        w.schedule(1, origin + Duration::from_millis(250));
+        w.schedule(2, origin + Duration::from_millis(40));
+        let timeout = w.next_timeout(origin).unwrap();
+        assert!(timeout <= Duration::from_millis(60), "{timeout:?}");
+    }
+
+    #[test]
+    fn next_timeout_is_never_zero_for_due_entries() {
+        let (mut w, origin) = wheel();
+        w.schedule(1, origin);
+        let timeout = w.next_timeout(origin + Duration::from_millis(500)).unwrap();
+        assert!(
+            timeout >= Duration::from_millis(10),
+            "no busy-spin: {timeout:?}"
+        );
+    }
+
+    #[test]
+    fn rearmed_token_pops_twice_caller_filters() {
+        // Lazy cancellation contract: re-arming does not remove the old
+        // entry; the token pops once per schedule call.
+        let (mut w, origin) = wheel();
+        w.schedule(3, origin + Duration::from_millis(20));
+        w.schedule(3, origin + Duration::from_millis(40));
+        let mut expired = Vec::new();
+        w.expire_into(origin + Duration::from_millis(100), &mut expired);
+        assert_eq!(expired, vec![3, 3]);
+    }
+}

@@ -1,0 +1,118 @@
+//! A cross-thread [`Waker`] built on `eventfd`: worker threads call
+//! [`Waker::wake`] after publishing a completion, and the reactor — which
+//! keeps the eventfd registered readable in its [`Poller`](crate::Poller)
+//! — wakes from `epoll_wait`, [`drain`](Waker::drain)s the counter, and
+//! picks the completions up.
+//!
+//! The eventfd is nonblocking in both directions: `wake` never stalls a
+//! worker (a saturated counter already guarantees a pending wakeup), and
+//! `drain` spins only until the counter is empty.
+
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsFd, BorrowedFd};
+
+use crate::sys;
+
+/// An eventfd-based wakeup channel. Clone-free by design: share it via
+/// `Arc`.
+#[derive(Debug)]
+pub struct Waker {
+    // File gives us Read/Write over the fd via &self, and closes on drop.
+    fd: File,
+}
+
+impl Waker {
+    /// A fresh `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)` waker.
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            fd: File::from(sys::eventfd_create()?),
+        })
+    }
+
+    /// Wakes the reactor. Idempotent between drains: repeated wakes
+    /// accumulate into one readiness report. Never blocks — a counter at
+    /// `u64::MAX - 1` (WouldBlock) already means a wakeup is pending.
+    pub fn wake(&self) {
+        let one = 1u64.to_ne_bytes();
+        match (&self.fd).write(&one) {
+            Ok(_) => {}
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {}
+            // An eventfd write can otherwise only fail on EINTR; the next
+            // wake (or the saturated counter) covers us.
+            Err(_) => {}
+        }
+    }
+
+    /// Clears pending wakeups so the next `wake` makes the fd readable
+    /// again. Call from the reactor when its token fires.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        loop {
+            match (&self.fd).read(&mut buf) {
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+impl AsFd for Waker {
+    fn as_fd(&self) -> BorrowedFd<'_> {
+        self.fd.as_fd()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::poller::{Events, Interest, Poller};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn wake_makes_poller_return_and_drain_resets() {
+        let waker = Waker::new().unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(waker.as_fd(), 42, Interest::READABLE).unwrap();
+        let mut events = Events::with_capacity(4);
+
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "no wake yet");
+
+        waker.wake();
+        waker.wake(); // coalesces
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+
+        waker.drain();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(10)))
+            .unwrap();
+        assert!(events.is_empty(), "drained waker must go quiet");
+    }
+
+    #[test]
+    fn wake_from_another_thread_unblocks_wait() {
+        let waker = Arc::new(Waker::new().unwrap());
+        let poller = Poller::new().unwrap();
+        poller.add(waker.as_fd(), 0, Interest::READABLE).unwrap();
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            remote.wake();
+        });
+        let mut events = Events::with_capacity(4);
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(!events.is_empty(), "cross-thread wake must end the wait");
+        handle.join().unwrap();
+    }
+}

@@ -431,7 +431,13 @@ impl Registry {
 
     /// Gets or creates an unlabeled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
-        match self.get_or_insert(name, help, Kind::Gauge, &[], || {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Gets or creates a gauge with the given label set (e.g. one
+    /// `mahif_connections{state=…}` cell per connection phase).
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, Kind::Gauge, labels, || {
             Handle::Gauge(Arc::new(Gauge::new()))
         }) {
             Handle::Gauge(g) => g,
@@ -650,6 +656,26 @@ mod tests {
         l1.add(2);
         l2.add(3);
         assert_eq!(registry.counter_value("mahif_labeled_total"), 5);
+    }
+
+    #[test]
+    fn labeled_gauges_render_one_sample_per_label_set() {
+        let registry = Registry::new();
+        let idle = registry.gauge_with("mahif_connections", "h", &[("state", "idle")]);
+        let active = registry.gauge_with("mahif_connections", "h", &[("state", "active")]);
+        idle.set(12);
+        active.set(3);
+        let again = registry.gauge_with("mahif_connections", "h", &[("state", "idle")]);
+        assert_eq!(again.get(), 12, "same label set yields the same cell");
+        let text = registry.render();
+        assert!(
+            text.contains("mahif_connections{state=\"idle\"} 12"),
+            "{text}"
+        );
+        assert!(
+            text.contains("mahif_connections{state=\"active\"} 3"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -264,6 +264,76 @@ pub fn read_head<R: BufRead>(reader: &mut R) -> Result<Option<RequestHead>, Http
     }))
 }
 
+/// Attempts to parse one request head out of an accumulating buffer (the
+/// reactor's per-connection read buffer). Returns:
+///
+/// * `Ok(Some((head, consumed)))` — a complete head occupies
+///   `buf[..consumed]` (leading stray CRLFs included); the body, if any,
+///   begins at `consumed`.
+/// * `Ok(None)` — the head is not complete yet; read more bytes.
+/// * `Err(Malformed)` — the bytes can never become a valid head (includes
+///   exceeding [`MAX_HEAD_BYTES`] without a terminator, so a slow-dribble
+///   or newline-free client cannot grow the buffer without bound).
+///
+/// Parsing itself is delegated to [`read_head`] over the complete slice,
+/// so buffered and streaming callers enforce identical strictness.
+pub fn parse_head_buffered(buf: &[u8]) -> Result<Option<(RequestHead, usize)>, HttpError> {
+    // Skip the stray empty lines read_head tolerates before the request
+    // line — they must not satisfy the head-terminator search below.
+    let mut start = 0usize;
+    loop {
+        match buf[start..] {
+            [b'\r', b'\n', ..] => start += 2,
+            [b'\n', ..] => start += 1,
+            // A lone CR could still become CRLF; wait for the next byte.
+            [b'\r'] => return incomplete(buf.len()),
+            _ => break,
+        }
+    }
+    if start >= buf.len() {
+        return incomplete(buf.len());
+    }
+    // The head ends at the first empty line after the request line:
+    // "\n\r\n" or "\n\n" (read_head accepts bare-LF line endings).
+    let rest = &buf[start..];
+    let mut end = None;
+    for (i, _) in rest.iter().enumerate().filter(|(_, &b)| b == b'\n') {
+        match rest[i + 1..] {
+            [b'\n', ..] => {
+                end = Some(start + i + 2);
+                break;
+            }
+            [b'\r', b'\n', ..] => {
+                end = Some(start + i + 3);
+                break;
+            }
+            _ => {}
+        }
+    }
+    let Some(end) = end else {
+        return incomplete(buf.len());
+    };
+    if end > MAX_HEAD_BYTES {
+        return Err(HttpError::Malformed("request head exceeds the 64 KiB cap"));
+    }
+    let mut slice = &buf[..end];
+    match read_head(&mut slice)? {
+        Some(head) => Ok(Some((head, end))),
+        // Unreachable in practice (a nonempty line exists), but harmless.
+        None => Ok(None),
+    }
+}
+
+/// Incomplete-head verdict for [`parse_head_buffered`]: still waiting —
+/// unless the buffer already blew the head cap with no terminator in
+/// sight.
+fn incomplete(buffered: usize) -> Result<Option<(RequestHead, usize)>, HttpError> {
+    if buffered >= MAX_HEAD_BYTES {
+        return Err(HttpError::Malformed("request head exceeds the 64 KiB cap"));
+    }
+    Ok(None)
+}
+
 /// Reads exactly `len` body bytes into a UTF-8 string.
 pub fn read_body_string<R: BufRead>(reader: &mut R, len: usize) -> Result<String, HttpError> {
     let mut body = vec![0u8; len];
@@ -639,6 +709,54 @@ mod tests {
         assert_eq!(head.request_id, None);
         let head = head_of("GET /x HTTP/1.1\r\n\r\n").unwrap().unwrap();
         assert_eq!(head.request_id, None);
+    }
+
+    #[test]
+    fn buffered_head_parse_tracks_completeness_exactly() {
+        let raw = b"POST /histories/retail/batch HTTP/1.1\r\nContent-Length: 4\r\n\r\nbodyGET /next HTTP/1.1\r\n\r\n";
+        // Every strict prefix that lacks the blank line is incomplete.
+        let head_len = raw.windows(4).position(|w| w == b"\r\n\r\n").unwrap() + 4;
+        for cut in 0..head_len {
+            assert!(
+                parse_head_buffered(&raw[..cut]).unwrap().is_none(),
+                "cut at {cut} must be incomplete"
+            );
+        }
+        let (head, consumed) = parse_head_buffered(raw).unwrap().unwrap();
+        assert_eq!(consumed, head_len);
+        assert_eq!(head.path, "/histories/retail/batch");
+        assert_eq!(head.content_length, 4);
+        // The body and the pipelined follow-up sit beyond `consumed`,
+        // untouched.
+        assert_eq!(&raw[consumed..consumed + 4], b"body");
+    }
+
+    #[test]
+    fn buffered_head_parse_skips_stray_crlf_and_rejects_oversize() {
+        let (head, consumed) = parse_head_buffered(b"\r\n\r\nGET /after HTTP/1.1\r\n\r\n")
+            .unwrap()
+            .unwrap();
+        assert_eq!(head.path, "/after");
+        assert_eq!(consumed, 4 + "GET /after HTTP/1.1\r\n\r\n".len());
+        // Pure CRLFs with no request line yet: still waiting.
+        assert!(parse_head_buffered(b"\r\n\r\n").unwrap().is_none());
+        assert!(parse_head_buffered(b"\r\n\r").unwrap().is_none());
+        // A newline-free flood can never become a head: reject at the cap
+        // instead of buffering forever.
+        let flood = vec![b'a'; MAX_HEAD_BYTES];
+        assert!(matches!(
+            parse_head_buffered(&flood).unwrap_err(),
+            HttpError::Malformed(m) if m.contains("64 KiB")
+        ));
+        // Same verdict as the streaming parser for strict-framing
+        // violations once the head is complete.
+        assert!(matches!(
+            parse_head_buffered(
+                b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody"
+            )
+            .unwrap_err(),
+            HttpError::Malformed(m) if m.contains("duplicate Content-Length")
+        ));
     }
 
     #[test]

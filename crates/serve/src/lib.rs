@@ -7,19 +7,21 @@
 //!
 //! The layer is deliberately **std-only** (the build environment has no
 //! registry access, so no tokio/hyper/serde): a hand-rolled HTTP/1.1
-//! server over `std::net::TcpListener` with **persistent connections on a
-//! bounded worker pool** — each worker loops `read → dispatch → respond`
-//! on one socket until `Connection: close`, the keep-alive idle timeout,
-//! or the per-connection request cap, and answers pipelined requests in
-//! order. Registration bodies are decoded **incrementally** (a bounded
-//! JSON pull parser straight off the socket) under their own body cap, a
-//! minimal [`json`] codec carries the wire format, and a semaphore-style
-//! [`AdmissionController`] bounds concurrent batch *requests* (429 +
-//! `Retry-After` beyond the queue) — permits are per-request, so a parked
-//! keep-alive connection never holds an execution slot. Per-batch
-//! [`mahif::Budget`]s ride inside request bodies and are enforced by the
-//! session core's admit → plan → execute lifecycle, surfacing as
-//! structured 422 responses.
+//! server with a **readiness-driven connection reactor** — one thread
+//! owns every socket through an epoll poller and a timer wheel (the
+//! `mahif-net` crate), frames requests from nonblocking reads, and hands
+//! complete requests to a fixed worker pool that is a **pure CPU pool**
+//! (decode → execute → render; workers never touch a socket). Persistent
+//! connections scale with fds, not threads: thousands of idle keep-alive
+//! connections cost buffers only, pipelined requests are answered in
+//! order, and keep-alive idle, header-read (slow-loris), and stall
+//! deadlines are reactor-enforced. A minimal [`json`] codec carries the
+//! wire format, and a semaphore-style [`AdmissionController`] bounds
+//! concurrent batch *requests* (429 + `Retry-After` beyond the queue) —
+//! permits are per-request, so a parked keep-alive connection never holds
+//! an execution slot. Per-batch [`mahif::Budget`]s ride inside request
+//! bodies and are enforced by the session core's admit → plan → execute
+//! lifecycle, surfacing as structured 422 responses.
 //!
 //! ```no_run
 //! use std::sync::Arc;
@@ -39,6 +41,7 @@
 pub mod admission;
 pub mod http;
 pub mod json;
+pub(crate) mod reactor;
 pub mod server;
 pub mod wire;
 
@@ -48,5 +51,6 @@ pub use json::{Json, JsonError, PullParser};
 pub use server::{ServeConfig, Server, ServerHandle};
 pub use wire::{
     decode_batch, decode_register, decode_register_stream, encode_delta, encode_error,
-    encode_response, encode_session_stats, status_for, BatchRequest, RegisterRequest, WireError,
+    encode_response, encode_session_stats, status_for, BatchRequest, ConnectionsSnapshot,
+    RegisterRequest, WireError,
 };

@@ -1,49 +1,53 @@
-//! The HTTP server: worker pool, connection lifecycle, routing, handlers.
+//! The HTTP server: reactor-driven connection handling, a pure-CPU worker
+//! pool, routing, handlers.
 //!
 //! A [`Server`] binds a `TcpListener` over one shared `Arc<Session>` — the
 //! concurrent service core — and answers:
 //!
 //! | route | effect |
 //! |---|---|
-//! | `POST /histories/{name}` | register a database + history (201), body **streamed** |
+//! | `POST /histories/{name}` | register a database + history (201) |
 //! | `DELETE /histories/{name}` | unregister it (200) |
 //! | `POST /histories/{name}/batch` | answer a scenario batch (200), admission-gated (429 on overload) |
-//! | `GET /stats` | the session's consistent counter snapshot + admission state |
+//! | `GET /stats` | the session's consistent counter snapshot + admission + connection state |
 //! | `GET /metrics` | the metrics registry in Prometheus text exposition format |
 //! | `GET /debug/slow` | the slow-query ring: recent over-threshold request traces |
-//! | `GET /healthz` | liveness (200 as long as the accept loop runs) + uptime/build info |
+//! | `GET /healthz` | liveness (200 as long as the reactor runs) + uptime/build info |
 //!
-//! **Connections are persistent.** Accepted sockets go onto a bounded
-//! queue drained by a fixed pool of [`ServeConfig::workers`] threads (no
-//! spawn-per-accept); each worker loops `read_head → dispatch →
-//! write_response` on one socket until the client sends
-//! `Connection: close`, the keep-alive idle timeout expires, or
-//! [`ServeConfig::max_requests_per_connection`] is reached — HTTP/1.1
-//! keep-alive semantics, including pipelined requests already buffered in
-//! the connection's reader (answered in order). A parked keep-alive
-//! connection holds a worker thread but **never** an admission slot:
-//! permits are acquired per request and released with the response.
+//! **One reactor thread owns every socket.** Accepted connections are
+//! registered with an epoll poller (see the private `reactor` module and the
+//! `mahif-net` crate); the reactor accumulates bytes per connection under
+//! level-triggered readiness until the strict framing layer yields a
+//! complete head + body, then hands the decoded request to a fixed pool
+//! of [`ServeConfig::workers`] threads as a CPU job — decode, execute,
+//! render — whose finished bytes queue back through write-readiness,
+//! partial-write safe. A parked keep-alive connection therefore costs one
+//! fd and its buffers: **no thread, no admission slot**. Concurrent
+//! connections are bounded by [`ServeConfig::max_connections`] (shed with
+//! a 503), not by the worker count, and HTTP/1.1 semantics are preserved:
+//! default keep-alive, `Connection: close`, pipelined requests answered
+//! strictly in order, [`ServeConfig::max_requests_per_connection`].
+//!
+//! **Timeouts are reactor-enforced deadlines** on a coarse timer wheel:
+//! [`ServeConfig::keep_alive_timeout`] between requests,
+//! [`ServeConfig::header_read_timeout`] from a request's first byte to
+//! its complete head (fixed — a slow-loris dribble cannot extend it), and
+//! [`ServeConfig::io_timeout`] as a progress deadline on body reads and
+//! response writes.
 //!
 //! **Every request is traced.** The request clock starts when its first
-//! byte is available (idle keep-alive time never pollutes the trace), the
-//! id comes from a safe client `X-Request-Id` or is generated, and the
-//! handler records `parse` / `queue` / `read` / `decode` / `encode` /
+//! byte arrives (idle keep-alive time never pollutes the trace), the id
+//! comes from a safe client `X-Request-Id` or is generated, and the
+//! worker records `parse` / `queue` / `read` / `decode` / `encode` /
 //! `write` spans directly while the engine's own `PhaseTimings` are
 //! grafted in afterwards (`plan.*`, `execute.*` — see
 //! [`mahif::Response::trace_spans`]). Responses carry `X-Request-Id` and
 //! `Server-Timing` headers built from the same spans; requests at or over
 //! [`ServeConfig::slow_threshold`] are retained in the `/debug/slow`
 //! ring, and [`ServeConfig::access_log`] emits one stderr line per
-//! request.
-//!
-//! Registration bodies are decoded **incrementally** (a bounded JSON pull
-//! parser over a `Take` of the connection reader), under their own
-//! [`ServeConfig::max_register_body_bytes`] cap — distinct from the
-//! buffered-route cap and from the 64 KiB request-head cap — so multi-MB
-//! datasets never exist as a body string plus a JSON tree. Error paths
-//! that leave a declared body unread either drain it (small bodies) or
-//! close the connection, so the next pipelined request is never parsed
-//! out of leftover body bytes.
+//! request. Metrics and logs are recorded *before* a response is handed
+//! to the reactor, so a client holding an answer can already see it in
+//! `/metrics`.
 //!
 //! Batch execution is gated by the [`AdmissionController`]: at most
 //! `max_in_flight_batches` execute concurrently, at most
@@ -52,41 +56,40 @@
 //! enforced by the session's admit → plan → execute lifecycle, surfacing
 //! as structured 422 responses.
 
-use std::collections::VecDeque;
-use std::io::{self, BufRead, BufReader, Read};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use mahif::{Budget, Session};
+use mahif_net::Waker;
 use mahif_obs::{Counter, Gauge, Registry, SlowEntry, SlowLog, Trace};
 
 use crate::admission::AdmissionController;
-use crate::http::{
-    drain_body, read_body_string, read_head, write_continue, write_response, ConnectionDirective,
-    HttpError, RequestHead,
-};
+use crate::http::{write_response, ConnectionDirective, RequestHead};
 use crate::json::Json;
-use crate::wire;
+use crate::reactor::{self, Job};
+use crate::wire::{self, ConnectionsSnapshot};
 
 /// Largest unread body the server will drain to keep a connection alive
 /// after an error response; anything bigger closes the connection instead
 /// (hanging up is cheaper than reading megabytes nobody wants).
-const DRAIN_CAP: u64 = 256 * 1024;
+pub(crate) const DRAIN_CAP: u64 = 256 * 1024;
 
 /// Server tunables.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Worker threads draining the connection queue. Each worker serves
-    /// one connection at a time, many requests per connection.
+    /// Worker threads executing decoded requests (a pure CPU pool — no
+    /// worker ever blocks on a socket, so this bounds concurrent request
+    /// *execution*, not concurrent connections).
     pub workers: usize,
-    /// Accepted connections allowed to wait for a worker; beyond this the
-    /// accept loop answers 503 and hangs up (bounded backlog).
-    pub max_pending_connections: usize,
+    /// Most connections the reactor will hold open at once; accepts
+    /// beyond this are shed with a best-effort 503 and a hangup.
+    pub max_connections: usize,
     /// Engine-heavy requests (batches *and* registrations) allowed to
     /// execute concurrently.
     pub max_in_flight_batches: usize,
@@ -96,18 +99,22 @@ pub struct ServeConfig {
     /// Largest accepted request body on buffered routes (batches), in
     /// bytes (413 beyond).
     pub max_body_bytes: usize,
-    /// Largest accepted `POST /histories/{name}` body, in bytes. A
-    /// separate (much larger) cap than `max_body_bytes`: registration
-    /// bodies are decoded incrementally off the socket, so the cap bounds
-    /// wire traffic, not a resident buffer.
+    /// Largest accepted `POST /histories/{name}` body, in bytes — a
+    /// separate (much larger) cap than `max_body_bytes`, sized for
+    /// dataset uploads.
     pub max_register_body_bytes: usize,
-    /// Per-connection socket read/write timeout *within* a request: a
-    /// client that stalls mid-request (slowloris) loses its worker after
-    /// this long instead of pinning it forever.
+    /// Progress deadline *within* a request: a connection that makes no
+    /// body-read or response-write progress for this long is closed.
     pub io_timeout: Duration,
     /// How long a keep-alive connection may sit idle *between* requests
-    /// before the server closes it.
+    /// before the reactor closes it.
     pub keep_alive_timeout: Duration,
+    /// Deadline from a request's **first byte** to its complete head.
+    /// Fixed, not per-byte: a slow-loris client dribbling one header
+    /// byte at a time is cut off after this long no matter how steadily
+    /// it dribbles. Distinct from (and typically much longer than) the
+    /// between-requests `keep_alive_timeout`.
+    pub header_read_timeout: Duration,
     /// Requests served on one connection before the server closes it
     /// (bounds per-connection resource drift; clamped to at least 1).
     pub max_requests_per_connection: usize,
@@ -139,13 +146,14 @@ impl Default for ServeConfig {
         ServeConfig {
             addr: "127.0.0.1:0".to_string(),
             workers: 8,
-            max_pending_connections: 128,
+            max_connections: 10_000,
             max_in_flight_batches: 4,
             max_queued_batches: 16,
             max_body_bytes: 16 * 1024 * 1024,
             max_register_body_bytes: 256 * 1024 * 1024,
             io_timeout: Duration::from_secs(30),
             keep_alive_timeout: Duration::from_secs(5),
+            header_read_timeout: Duration::from_secs(10),
             max_requests_per_connection: 256,
             max_histories: 64,
             budget_ceiling: Budget::unlimited()
@@ -164,15 +172,22 @@ impl Default for ServeConfig {
 /// path is lock-free; only the per-`(route, status)` request counter
 /// lookup takes the registry's short-lived family lock.
 #[derive(Debug)]
-struct ServeMetrics {
+pub(crate) struct ServeMetrics {
     registry: Arc<Registry>,
-    queue_seconds: Arc<mahif_obs::Histogram>,
-    request_seconds: Arc<mahif_obs::Histogram>,
-    connections_total: Arc<Counter>,
-    connections_active: Arc<Gauge>,
-    connections_shed_total: Arc<Counter>,
-    admission_in_flight: Arc<Gauge>,
-    admission_queued: Arc<Gauge>,
+    pub(crate) queue_seconds: Arc<mahif_obs::Histogram>,
+    pub(crate) request_seconds: Arc<mahif_obs::Histogram>,
+    pub(crate) connections_total: Arc<Counter>,
+    pub(crate) connections_active: Arc<Gauge>,
+    pub(crate) connections_shed_total: Arc<Counter>,
+    /// `mahif_connections{state=...}`: the reactor's per-phase gauges.
+    pub(crate) conn_idle: Arc<Gauge>,
+    pub(crate) conn_active: Arc<Gauge>,
+    pub(crate) conn_writing: Arc<Gauge>,
+    pub(crate) reactor_wakeups_total: Arc<Counter>,
+    pub(crate) reactor_timer_expirations_total: Arc<Counter>,
+    pub(crate) epoll_wait_seconds: Arc<mahif_obs::Histogram>,
+    pub(crate) admission_in_flight: Arc<Gauge>,
+    pub(crate) admission_queued: Arc<Gauge>,
 }
 
 impl ServeMetrics {
@@ -193,11 +208,39 @@ impl ServeMetrics {
             connections_total: registry.counter("mahif_connections_total", "Connections accepted"),
             connections_active: registry.gauge(
                 "mahif_connections_active",
-                "Connections currently held by worker threads",
+                "Connections currently open on the reactor",
             ),
             connections_shed_total: registry.counter(
                 "mahif_connections_shed_total",
-                "Connections shed with 503 because the backlog was full",
+                "Connections shed with 503 because the open-connection cap was reached",
+            ),
+            conn_idle: registry.gauge_with(
+                "mahif_connections",
+                "Open connections by reactor state",
+                &[("state", "idle")],
+            ),
+            conn_active: registry.gauge_with(
+                "mahif_connections",
+                "Open connections by reactor state",
+                &[("state", "active")],
+            ),
+            conn_writing: registry.gauge_with(
+                "mahif_connections",
+                "Open connections by reactor state",
+                &[("state", "writing")],
+            ),
+            reactor_wakeups_total: registry.counter(
+                "mahif_reactor_wakeups_total",
+                "Times the reactor's epoll_wait returned (events, wake, or timer)",
+            ),
+            reactor_timer_expirations_total: registry.counter(
+                "mahif_reactor_timer_expirations_total",
+                "Connections closed by a validated deadline (idle, header-read, or stall)",
+            ),
+            epoll_wait_seconds: registry.histogram(
+                "mahif_reactor_epoll_wait_seconds",
+                "Time the reactor blocked in epoll_wait per wakeup",
+                &buckets,
             ),
             admission_in_flight: registry.gauge(
                 "mahif_admission_in_flight",
@@ -211,7 +254,7 @@ impl ServeMetrics {
     }
 
     /// Bumps `mahif_requests_total{route,status}`.
-    fn record_request(&self, route: &str, status: u16) {
+    pub(crate) fn record_request(&self, route: &str, status: u16) {
         let status = status.to_string();
         self.registry
             .counter_with(
@@ -221,92 +264,44 @@ impl ServeMetrics {
             )
             .inc();
     }
+
+    /// The connection-state mirror `/stats` serves — read from the same
+    /// adopted gauge cells `/metrics` scrapes, so the two views agree.
+    fn connections_snapshot(&self) -> ConnectionsSnapshot {
+        ConnectionsSnapshot {
+            open: self.connections_active.get(),
+            idle: self.conn_idle.get(),
+            active: self.conn_active.get(),
+            writing: self.conn_writing.get(),
+        }
+    }
 }
 
-/// State every worker shares.
+/// State the reactor and every worker share.
 #[derive(Debug)]
-struct Shared {
-    session: Arc<Session>,
-    admission: Arc<AdmissionController>,
-    config: ServeConfig,
+pub(crate) struct Shared {
+    pub(crate) session: Arc<Session>,
+    pub(crate) admission: Arc<AdmissionController>,
+    pub(crate) config: ServeConfig,
     /// Serializes the `max_histories` capacity check with the registration
     /// it guards: without it, concurrent registrations could each pass the
     /// check and overshoot the bound together.
-    registry_gate: Mutex<()>,
-    registry: Arc<Registry>,
-    metrics: ServeMetrics,
-    slow: Arc<SlowLog>,
-    started: Instant,
+    pub(crate) registry_gate: Mutex<()>,
+    pub(crate) registry: Arc<Registry>,
+    pub(crate) metrics: ServeMetrics,
+    pub(crate) slow: Arc<SlowLog>,
+    pub(crate) started: Instant,
 }
 
-/// The bounded handoff between the accept loop and the worker pool.
-#[derive(Debug)]
-struct ConnQueue {
-    state: Mutex<QueueState>,
-    available: Condvar,
-    capacity: usize,
-}
-
-#[derive(Debug, Default)]
-struct QueueState {
-    conns: VecDeque<TcpStream>,
-    closed: bool,
-}
-
-impl ConnQueue {
-    fn new(capacity: usize) -> Arc<ConnQueue> {
-        Arc::new(ConnQueue {
-            state: Mutex::new(QueueState::default()),
-            available: Condvar::new(),
-            capacity: capacity.max(1),
-        })
-    }
-
-    /// Enqueues a connection, or hands it back when the backlog is full
-    /// (the accept loop then sheds it with a 503).
-    fn push(&self, conn: TcpStream) -> Result<(), TcpStream> {
-        let mut state = self.state.lock().expect("connection queue poisoned");
-        if state.closed || state.conns.len() >= self.capacity {
-            return Err(conn);
-        }
-        state.conns.push_back(conn);
-        drop(state);
-        self.available.notify_one();
-        Ok(())
-    }
-
-    /// Blocks for the next connection; `None` once the queue is closed
-    /// and drained (worker exit signal).
-    fn pop(&self) -> Option<TcpStream> {
-        let mut state = self.state.lock().expect("connection queue poisoned");
-        loop {
-            if let Some(conn) = state.conns.pop_front() {
-                return Some(conn);
-            }
-            if state.closed {
-                return None;
-            }
-            state = self
-                .available
-                .wait(state)
-                .expect("connection queue poisoned");
-        }
-    }
-
-    fn close(&self) {
-        self.state.lock().expect("connection queue poisoned").closed = true;
-        self.available.notify_all();
-    }
-}
-
-/// A bound (not yet serving) server. [`Server::spawn`] starts the accept
-/// loop on a background thread and returns the [`ServerHandle`] used to
-/// reach and stop it.
+/// A bound (not yet serving) server. [`Server::spawn`] starts the reactor
+/// on a background thread and returns the [`ServerHandle`] used to reach
+/// and stop it.
 #[derive(Debug)]
 pub struct Server {
     listener: TcpListener,
     shared: Arc<Shared>,
     shutdown: Arc<AtomicBool>,
+    waker: Arc<Waker>,
 }
 
 impl Server {
@@ -343,6 +338,7 @@ impl Server {
                 started: Instant::now(),
             }),
             shutdown: Arc::new(AtomicBool::new(false)),
+            waker: Arc::new(Waker::new()?),
         })
     }
 
@@ -367,77 +363,24 @@ impl Server {
         Arc::clone(&self.shared.registry)
     }
 
-    /// Runs the accept loop on the calling thread until
-    /// [`ServerHandle::stop`] flips the shutdown flag. Connections are
-    /// handed to the fixed worker pool; each worker serves its connection
-    /// until close, timeout, or the per-connection request cap.
+    /// Runs the reactor on the calling thread until [`ServerHandle::stop`]
+    /// flips the shutdown flag and wakes it. Sockets never leave the
+    /// reactor; the worker pool it spawns executes decoded requests.
     pub fn serve(self) -> io::Result<()> {
         let Server {
             listener,
             shared,
             shutdown,
+            waker,
         } = self;
-        let queue = ConnQueue::new(shared.config.max_pending_connections);
-        let _workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
-            .map(|i| {
-                let queue = Arc::clone(&queue);
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || {
-                        while let Some(stream) = queue.pop() {
-                            // A connection failure (peer hung up mid-write)
-                            // only affects that connection.
-                            let _ = serve_connection(stream, &shared);
-                        }
-                    })
-                    .expect("spawn serve worker")
-            })
-            .collect();
-        for stream in listener.incoming() {
-            if shutdown.load(Ordering::SeqCst) {
-                break;
-            }
-            let stream = match stream {
-                Ok(s) => s,
-                // Transient accept errors (e.g. aborted handshake) must not
-                // kill the server.
-                Err(_) => continue,
-            };
-            let _ = stream.set_read_timeout(Some(shared.config.io_timeout));
-            let _ = stream.set_write_timeout(Some(shared.config.io_timeout));
-            // Persistent connections carry many small request/response
-            // exchanges; Nagle would hold each one hostage to the
-            // previous segment's delayed ACK.
-            let _ = stream.set_nodelay(true);
-            if let Err(mut refused) = queue.push(stream) {
-                // Backlog full: shed the connection with a best-effort 503
-                // (bounded by the write timeout) and hang up.
-                shared.metrics.connections_shed_total.inc();
-                let body = Json::obj([(
-                    "error",
-                    Json::str("server overloaded: connection backlog is full"),
-                )]);
-                let _ = write_response(
-                    &mut refused,
-                    503,
-                    &body.to_string(),
-                    &[("Retry-After", "1".to_string())],
-                    ConnectionDirective::Close,
-                );
-            }
-        }
-        // Idle workers exit on the closed queue; busy workers finish
-        // their current connection on their own time (not joined, like
-        // the in-flight handlers of the thread-per-connection era).
-        queue.close();
-        Ok(())
+        reactor::run(listener, shared, shutdown, waker)
     }
 
-    /// Starts the accept loop on a background thread.
+    /// Starts the reactor on a background thread.
     pub fn spawn(self) -> io::Result<ServerHandle> {
         let addr = self.local_addr()?;
         let shutdown = Arc::clone(&self.shutdown);
+        let waker = Arc::clone(&self.waker);
         let admission = self.admission();
         let session = self.session();
         let registry = self.registry();
@@ -447,6 +390,7 @@ impl Server {
         Ok(ServerHandle {
             addr,
             shutdown,
+            waker,
             thread,
             admission,
             session,
@@ -460,6 +404,7 @@ impl Server {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    waker: Arc<Waker>,
     thread: JoinHandle<()>,
     admission: Arc<AdmissionController>,
     session: Arc<Session>,
@@ -488,21 +433,14 @@ impl ServerHandle {
         Arc::clone(&self.registry)
     }
 
-    /// Stops the accept loop and joins the server thread. In-flight
-    /// connections finish on their worker threads.
+    /// Stops the reactor (interrupting its `epoll_wait`) and joins its
+    /// thread. Open connections are dropped; workers busy on a request
+    /// finish it on their own time.
     pub fn stop(self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with one last connection.
-        let _ = TcpStream::connect(self.addr);
+        self.waker.wake();
         let _ = self.thread.join();
     }
-}
-
-/// Whether the connection survives the request just answered.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum AfterResponse {
-    Keep,
-    Close,
 }
 
 /// A response body plus its representation: the routes speak JSON except
@@ -544,8 +482,8 @@ impl Reply {
     }
 }
 
-/// Per-request observability state, owned by the connection loop and
-/// threaded through the handlers: the trace, the metrics route label, the
+/// Per-request observability state, owned by the worker and threaded
+/// through the handlers: the trace, the metrics route label, the
 /// admission wait (when the route is gated), and the engine-side shape of
 /// the work for the slow log.
 #[derive(Debug)]
@@ -556,6 +494,25 @@ struct RequestCtx {
     scenarios: usize,
     groups: usize,
     solver_calls: u64,
+}
+
+impl RequestCtx {
+    /// Begins a request's context from its parsed head, clocked at its
+    /// first byte.
+    fn begin(head: &RequestHead, started: Instant) -> RequestCtx {
+        let id = head
+            .request_id
+            .clone()
+            .unwrap_or_else(mahif_obs::request_id);
+        RequestCtx {
+            trace: Trace::begin_at(id, format!("{} {}", head.method, head.path), started),
+            route: route_label(head),
+            queue: None,
+            scenarios: 0,
+            groups: 0,
+            solver_calls: 0,
+        }
+    }
 }
 
 /// The route label used in `mahif_requests_total{route=...}` — a closed
@@ -575,135 +532,65 @@ fn route_label(head: &RequestHead) -> &'static str {
     }
 }
 
-/// `set_read_timeout` rejects zero durations; clamp operator input.
-fn nonzero(d: Duration) -> Duration {
-    d.max(Duration::from_millis(1))
-}
-
-/// Serves one connection to completion (connection gauge bracketing
-/// around the actual loop).
-fn serve_connection(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    shared.metrics.connections_total.inc();
-    shared.metrics.connections_active.add(1);
-    let result = serve_requests(stream, shared);
-    shared.metrics.connections_active.sub(1);
-    result
-}
-
-/// The connection loop: many requests, one worker.
-fn serve_requests(stream: TcpStream, shared: &Shared) -> io::Result<()> {
-    let mut writer = stream.try_clone()?;
-    let mut reader = BufReader::new(stream);
-    let max_requests = shared.config.max_requests_per_connection.max(1);
-    let mut served = 0usize;
-    loop {
-        // Idle wait between requests runs under the keep-alive timeout —
-        // but only when nothing is already buffered: pipelined requests
-        // are answered immediately without touching the socket. `fill_buf`
-        // *peeks* for the first byte without consuming it, so the request
-        // clock below starts when the request starts arriving and the
-        // `parse` span never includes keep-alive idle time.
-        if reader.buffer().is_empty() {
-            let _ = reader
-                .get_ref()
-                .set_read_timeout(Some(nonzero(shared.config.keep_alive_timeout)));
-            match reader.fill_buf() {
-                // Clean close: the peer finished the connection.
-                Ok([]) => return Ok(()),
-                Ok(_) => {}
-                // Idle timeout or peer loss: nothing to answer.
-                Err(_) => return Ok(()),
-            }
-            // In-request reads (the rest of the head, the body) run under
-            // the tighter io timeout.
-            let _ = reader
-                .get_ref()
-                .set_read_timeout(Some(nonzero(shared.config.io_timeout)));
-        }
-        let started = Instant::now();
-        let head = match read_head(&mut reader) {
-            Ok(Some(head)) => head,
-            // Clean close, timeout, or peer loss: nothing to answer.
-            Ok(None) | Err(HttpError::Io(_)) => return Ok(()),
-            Err(HttpError::Malformed(what)) => {
-                // Framing can no longer be trusted — answer (best effort)
-                // and close; continuing would misparse what follows.
-                shared.metrics.record_request("malformed", 400);
-                let body = Json::obj([("error", Json::str(format!("malformed request: {what}")))]);
-                let _ = write_response(
-                    &mut writer,
+/// Executes one fully-framed request on a worker thread and renders the
+/// complete response bytes. The returned flag is `close`: whether the
+/// reactor must hang up after writing them.
+///
+/// The request body arrives as the byte slice the reactor buffered —
+/// workers never touch a socket. Registration bodies run through the same
+/// incremental pull decoder as before (bounding the decoded *tree*, not
+/// the wire bytes, which the reactor already capped per-route).
+pub(crate) fn process_job(job: Job, shared: &Shared) -> (Vec<u8>, bool) {
+    let Job {
+        bytes,
+        head_len,
+        head,
+        started,
+        parse,
+        read,
+        keep_hint,
+        remaining,
+        ..
+    } = job;
+    let mut ctx = RequestCtx::begin(&head, started);
+    ctx.trace.add_span("parse", Duration::ZERO, parse);
+    if head.content_length > 0 {
+        ctx.trace.add_span("read", parse, read);
+    }
+    let body = &bytes[head_len..];
+    let is_register = {
+        let segments = head.segments();
+        head.method == "POST" && segments.len() == 2 && segments[0] == "histories"
+    };
+    let (reply, keep) = if is_register {
+        register_reply(&head, body, shared, &mut ctx, keep_hint)
+    } else {
+        match std::str::from_utf8(body) {
+            // The bytes arrived (framing is intact) but are not UTF-8.
+            Err(_) => (
+                Reply::json(
                     400,
-                    &body.to_string(),
-                    &[],
-                    ConnectionDirective::Close,
-                );
-                return Ok(());
-            }
-            Err(HttpError::BodyTooLarge { .. }) => {
-                unreachable!("read_head does not size bodies")
-            }
-        };
-        let parse = started.elapsed();
-        let id = head
-            .request_id
-            .clone()
-            .unwrap_or_else(mahif_obs::request_id);
-        let mut ctx = RequestCtx {
-            trace: Trace::begin_at(id, format!("{} {}", head.method, head.path), started),
-            route: route_label(&head),
-            queue: None,
-            scenarios: 0,
-            groups: 0,
-            solver_calls: 0,
-        };
-        ctx.trace.add_span("parse", Duration::ZERO, parse);
-        served += 1;
-        let remaining = max_requests - served;
-        // HTTP/1.1 default keep-alive unless the client said close; the
-        // request cap turns the last allowed response into a close.
-        let keep_hint = head.keep_alive && remaining > 0;
-        match handle_request(
-            &head,
-            &mut reader,
-            &mut writer,
-            keep_hint,
-            remaining,
-            shared,
-            &mut ctx,
-        )? {
-            AfterResponse::Keep => {}
-            AfterResponse::Close => return Ok(()),
+                    Json::obj([("error", Json::str("malformed request: body is not UTF-8"))]),
+                ),
+                keep_hint,
+            ),
+            Ok(body) => (route(&head, body, shared, &mut ctx), keep_hint),
         }
-    }
+    };
+    render_response(reply, keep, remaining, shared, &mut ctx)
 }
 
-/// Decides whether the connection can stay alive when a request's body
-/// was rejected before being read: drain small bodies to restore framing,
-/// close on anything else. With `Expect: 100-continue` and no interim
-/// response sent, the body may never arrive — draining would hang, so the
-/// connection closes instead.
-fn settle_unread_body<R: BufRead>(reader: &mut R, unread: u64, expect_continue: bool) -> bool {
-    if unread == 0 {
-        return true;
-    }
-    if expect_continue || unread > DRAIN_CAP {
-        return false;
-    }
-    drain_body(reader, unread).is_ok()
-}
-
-/// Writes the response — with connection headers, `X-Request-Id`, and a
-/// `Server-Timing` built from the request's spans — records the request
-/// in the metrics/access-log/slow-log sinks, and reports the connection's
-/// fate.
-fn respond(
-    writer: &mut TcpStream,
+/// Renders the full response — status line, connection headers,
+/// `X-Request-Id`, a `Server-Timing` built from the request's spans —
+/// into a byte buffer for the reactor to write, and records the request
+/// in the metrics/access-log/slow-log sinks. Returns `(bytes, close)`.
+fn render_response(
     reply: Reply,
     keep: bool,
     remaining: usize,
     shared: &Shared,
     ctx: &mut RequestCtx,
-) -> io::Result<AfterResponse> {
+) -> (Vec<u8>, bool) {
     let Reply {
         status,
         payload,
@@ -723,7 +610,7 @@ fn respond(
     }
     extra.push(("X-Request-Id", ctx.trace.id().to_string()));
     // The header is built before the `write` span exists (it describes
-    // the very write that carries it), so `write` appears only in the
+    // the serialization that carries it), so `write` appears only in the
     // slow log's copy of the trace.
     extra.push(("Server-Timing", ctx.trace.server_timing()));
     let directive = if keep {
@@ -734,8 +621,11 @@ fn respond(
     } else {
         ConnectionDirective::Close
     };
-    let result = ctx.trace.time("write", || {
-        write_response(writer, status, &body, &extra, directive)
+    let mut out = Vec::with_capacity(body.len() + 256);
+    ctx.trace.time("write", || {
+        // Serialization into memory cannot fail; the socket write is the
+        // reactor's, under its own stall deadline.
+        let _ = write_response(&mut out, status, &body, &extra, directive);
     });
     let total = ctx.trace.elapsed();
     shared.metrics.record_request(ctx.route, status);
@@ -764,81 +654,67 @@ fn respond(
         ctx.groups,
         ctx.solver_calls,
     ));
-    result?;
-    Ok(if keep {
-        AfterResponse::Keep
-    } else {
-        AfterResponse::Close
-    })
+    (out, !keep)
 }
 
-/// Handles one request on the connection: route-aware body caps, the
-/// streaming registration path, buffered dispatch for everything else.
-fn handle_request(
+/// Renders the reactor-side 413 for a declared body over its route's cap
+/// — fully traced and recorded like any worker response, just never
+/// occupying a worker.
+pub(crate) fn render_body_too_large(
     head: &RequestHead,
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut TcpStream,
-    keep_hint: bool,
+    cap: usize,
+    keep: bool,
     remaining: usize,
     shared: &Shared,
-    ctx: &mut RequestCtx,
-) -> io::Result<AfterResponse> {
-    let is_register = {
-        let segments = head.segments();
-        head.method == "POST" && segments.len() == 2 && segments[0] == "histories"
-    };
-    // Per-route body cap: registrations stream under their own (larger)
-    // limit; buffered routes materialize the body, so theirs is tighter.
-    let cap = if is_register {
-        shared.config.max_register_body_bytes
-    } else {
-        shared.config.max_body_bytes
-    };
-    if head.content_length > cap {
-        let body = Json::obj([(
-            "error",
-            Json::str(format!(
-                "body of {} bytes exceeds the {cap}-byte limit",
-                head.content_length
-            )),
-        )]);
-        let keep = keep_hint
-            && settle_unread_body(reader, head.content_length as u64, head.expect_continue);
-        return respond(writer, Reply::json(413, body), keep, remaining, shared, ctx);
-    }
-    if is_register {
-        return handle_register(head, reader, writer, keep_hint, remaining, shared, ctx);
-    }
-    // Buffered path: commit to the body (interim response first if the
-    // client is holding it back), then dispatch.
-    if head.expect_continue && head.content_length > 0 {
-        write_continue(writer)?;
-    }
-    let body = if head.content_length > 0 {
-        ctx.trace
-            .time("read", || read_body_string(reader, head.content_length))
-    } else {
-        read_body_string(reader, head.content_length)
-    };
-    let body = match body {
-        Ok(body) => body,
-        // The bytes arrived (framing is intact) but are not UTF-8.
-        Err(HttpError::Malformed(what)) => {
-            let body = Json::obj([("error", Json::str(format!("malformed request: {what}")))]);
-            return respond(
-                writer,
-                Reply::json(400, body),
-                keep_hint,
-                remaining,
-                shared,
-                ctx,
-            );
-        }
-        // Short read: the declared body never arrived; close silently.
-        Err(_) => return Ok(AfterResponse::Close),
-    };
-    let reply = route(head, &body, shared, ctx);
-    respond(writer, reply, keep_hint, remaining, shared, ctx)
+    started: Instant,
+    parse: Duration,
+) -> Vec<u8> {
+    let mut ctx = RequestCtx::begin(head, started);
+    ctx.trace.add_span("parse", Duration::ZERO, parse);
+    let body = Json::obj([(
+        "error",
+        Json::str(format!(
+            "body of {} bytes exceeds the {cap}-byte limit",
+            head.content_length
+        )),
+    )]);
+    render_response(Reply::json(413, body), keep, remaining, shared, &mut ctx).0
+}
+
+/// Renders the reactor-side 400 for an untrustworthy request head.
+/// Framing can no longer be trusted, so the response always closes; like
+/// the pre-reactor path it carries no request id or timing headers (there
+/// is no request to speak of), only the `(route="malformed", 400)`
+/// metrics sample.
+pub(crate) fn render_malformed(what: &str, shared: &Shared) -> Vec<u8> {
+    shared.metrics.record_request("malformed", 400);
+    let body = Json::obj([("error", Json::str(format!("malformed request: {what}")))]);
+    let mut out = Vec::new();
+    let _ = write_response(
+        &mut out,
+        400,
+        &body.to_string(),
+        &[],
+        ConnectionDirective::Close,
+    );
+    out
+}
+
+/// Renders the 503 an over-cap connection is shed with.
+pub(crate) fn render_overloaded_close() -> Vec<u8> {
+    let body = Json::obj([(
+        "error",
+        Json::str("server overloaded: too many open connections"),
+    )]);
+    let mut out = Vec::new();
+    let _ = write_response(
+        &mut out,
+        503,
+        &body.to_string(),
+        &[("Retry-After", "1".to_string())],
+        ConnectionDirective::Close,
+    );
+    out
 }
 
 /// The 429 body for a shed request.
@@ -865,121 +741,97 @@ fn admit_traced(shared: &Shared, ctx: &mut RequestCtx) -> Option<crate::admissio
     permit
 }
 
-/// `POST /histories/{name}`: admission and capacity are checked *before*
-/// the body is read — a shed registration never transfers its (possibly
-/// huge) dataset — then the body streams through the incremental decoder
-/// straight into the relation store.
-fn handle_register(
+/// `POST /histories/{name}`: admission and capacity are checked before
+/// any engine work — a shed registration costs its wire transfer but no
+/// decode or execution — then the buffered body runs through the
+/// incremental decoder straight into the relation store. The whole body
+/// is in memory either way (the reactor framed it), so keeping the
+/// connection never requires draining.
+fn register_reply(
     head: &RequestHead,
-    reader: &mut BufReader<TcpStream>,
-    writer: &mut TcpStream,
-    keep_hint: bool,
-    remaining: usize,
+    body: &[u8],
     shared: &Shared,
     ctx: &mut RequestCtx,
-) -> io::Result<AfterResponse> {
+    keep_hint: bool,
+) -> (Reply, bool) {
     let name = head.segments()[1].to_string();
     // The execution permit is held only while engine work (body decode +
     // history execution) runs, and released *before* the response is
-    // written — so the slot is observably free the moment the client has
+    // rendered — so the slot is observably free the moment the client has
     // its answer, and a parked connection never pins one.
-    let (reply, keep) = {
-        // Registration is engine-heavy (it executes the whole history), so
-        // it shares the batches' admission gate — acquired before the body
-        // is read, so shedding never transfers the dataset.
-        let _permit = match admit_traced(shared, ctx) {
-            Some(permit) => permit,
-            None => {
-                let keep = keep_hint
-                    && settle_unread_body(reader, head.content_length as u64, head.expect_continue);
-                return respond(
-                    writer,
-                    Reply::json(429, overloaded(&shared.admission)).retry(1),
-                    keep,
-                    remaining,
-                    shared,
-                    ctx,
-                );
-            }
-        };
-        // Check-then-register must be atomic, or concurrent registrations
-        // could each pass the capacity check and overshoot `max_histories`
-        // together.
-        let _registry = shared.registry_gate.lock().expect("registry gate poisoned");
-        if shared.session.len() >= shared.config.max_histories {
-            let body = Json::obj([
-                (
-                    "error",
-                    Json::str(format!(
-                        "registry full: {} histories are registered (limit {}); DELETE one first",
-                        shared.session.len(),
-                        shared.config.max_histories
-                    )),
+    let _permit = match admit_traced(shared, ctx) {
+        Some(permit) => permit,
+        None => {
+            return (
+                Reply::json(429, overloaded(&shared.admission)).retry(1),
+                keep_hint,
+            )
+        }
+    };
+    // Check-then-register must be atomic, or concurrent registrations
+    // could each pass the capacity check and overshoot `max_histories`
+    // together.
+    let _registry = shared.registry_gate.lock().expect("registry gate poisoned");
+    if shared.session.len() >= shared.config.max_histories {
+        let body = Json::obj([
+            (
+                "error",
+                Json::str(format!(
+                    "registry full: {} histories are registered (limit {}); DELETE one first",
+                    shared.session.len(),
+                    shared.config.max_histories
+                )),
+            ),
+            (
+                "max_histories",
+                Json::Int(shared.config.max_histories as i64),
+            ),
+        ]);
+        return (Reply::json(429, body), keep_hint);
+    }
+    let mut body_reader = body;
+    let decoded = ctx
+        .trace
+        .time("decode", || wire::decode_register_stream(&mut body_reader));
+    match decoded {
+        Err(e) => (
+            Reply::json(e.status, wire::encode_wire_error(&e)),
+            keep_hint,
+        ),
+        Ok(decoded) => {
+            // A successful decode consumed exactly the declared body (the
+            // pull parser requires EOF). Describe the registration from
+            // the decoded request itself — a post-register lookup could
+            // race a concurrent DELETE of the same name.
+            let statements = decoded.history.len();
+            let initial_tuples = decoded.initial.total_tuples();
+            // Timed without `Trace::time`: a closure returning the full
+            // `Result<_, mahif::Error>` trips result_large_err.
+            let exec_start = ctx.trace.elapsed();
+            let registered =
+                shared
+                    .session
+                    .register(name.to_string(), decoded.initial, decoded.history);
+            let exec_end = ctx.trace.elapsed();
+            ctx.trace
+                .add_span("execute", exec_start, exec_end.saturating_sub(exec_start));
+            match registered {
+                Err(e) => (
+                    Reply::json(wire::status_for(&e), wire::encode_error(&e)),
+                    keep_hint,
                 ),
-                (
-                    "max_histories",
-                    Json::Int(shared.config.max_histories as i64),
-                ),
-            ]);
-            let keep = keep_hint
-                && settle_unread_body(reader, head.content_length as u64, head.expect_continue);
-            (Reply::json(429, body), keep)
-        } else {
-            // The server wants the body now: release the client's
-            // 100-continue hold and stream-decode straight off the socket.
-            if head.expect_continue && head.content_length > 0 {
-                write_continue(writer)?;
-            }
-            let mut body_reader = (&mut *reader).take(head.content_length as u64);
-            let decoded = ctx
-                .trace
-                .time("decode", || wire::decode_register_stream(&mut body_reader));
-            match decoded {
-                Err(e) => {
-                    // The decoder stopped mid-body; restore framing (or
-                    // give up the connection) before answering.
-                    let unread = body_reader.limit();
-                    let keep = keep_hint && settle_unread_body(reader, unread, false);
-                    (Reply::json(e.status, wire::encode_wire_error(&e)), keep)
-                }
-                Ok(decoded) => {
-                    // A successful decode consumed exactly the declared
-                    // body (the pull parser requires EOF), so framing is
-                    // intact. Describe the registration from the decoded
-                    // request itself — a post-register lookup could race a
-                    // concurrent DELETE of the same name.
-                    let statements = decoded.history.len();
-                    let initial_tuples = decoded.initial.total_tuples();
-                    // Timed without `Trace::time`: a closure returning the
-                    // full `Result<_, mahif::Error>` trips result_large_err.
-                    let exec_start = ctx.trace.elapsed();
-                    let registered =
-                        shared
-                            .session
-                            .register(name.to_string(), decoded.initial, decoded.history);
-                    let exec_end = ctx.trace.elapsed();
-                    ctx.trace
-                        .add_span("execute", exec_start, exec_end.saturating_sub(exec_start));
-                    match registered {
-                        Err(e) => (
-                            Reply::json(wire::status_for(&e), wire::encode_error(&e)),
-                            keep_hint,
-                        ),
-                        Ok(_) => {
-                            let body = Json::obj([
-                                ("history", Json::str(name)),
-                                ("statements", Json::Int(statements as i64)),
-                                ("versions", Json::Int(statements as i64 + 1)),
-                                ("initial_tuples", Json::Int(initial_tuples as i64)),
-                            ]);
-                            (Reply::json(201, body), keep_hint)
-                        }
-                    }
+                Ok(_) => {
+                    let body = Json::obj([
+                        ("history", Json::str(name)),
+                        ("statements", Json::Int(statements as i64)),
+                        ("versions", Json::Int(statements as i64 + 1)),
+                        ("initial_tuples", Json::Int(initial_tuples as i64)),
+                    ]);
+                    (Reply::json(201, body), keep_hint)
                 }
             }
         }
-    };
-    respond(writer, reply, keep, remaining, shared, ctx)
+    }
 }
 
 /// Encodes one slow-log entry (spans as `{name, start_ms, dur_ms}`).
@@ -1029,10 +881,15 @@ fn route(head: &RequestHead, body: &str, shared: &Shared, ctx: &mut RequestCtx) 
         ("GET", ["stats"]) => {
             // The same consistent snapshot `Session::stats` returns — the
             // serve layer adds no second read path over the counters —
-            // plus the admission controller's current state.
+            // plus the admission controller's and the reactor's current
+            // state.
             Reply::json(
                 200,
-                wire::encode_session_stats(&session.stats(), &shared.admission.snapshot()),
+                wire::encode_session_stats(
+                    &session.stats(),
+                    &shared.admission.snapshot(),
+                    &shared.metrics.connections_snapshot(),
+                ),
             )
         }
         ("GET", ["metrics"]) => {

@@ -589,11 +589,30 @@ pub fn encode_response(response: &Response) -> Json {
     ])
 }
 
+/// The reactor's connection-state mirror served under `"connections"` in
+/// `GET /stats` — sampled from the same gauge cells `/metrics` renders as
+/// `mahif_connections{state=...}`, so the two endpoints agree.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnectionsSnapshot {
+    /// Connections currently open on the reactor.
+    pub open: i64,
+    /// Parked between requests under the keep-alive deadline.
+    pub idle: i64,
+    /// Receiving a request or executing one on a worker.
+    pub active: i64,
+    /// Flushing a response.
+    pub writing: i64,
+}
+
 /// Encodes the session counter snapshot plus the admission controller's
-/// current state for `GET /stats`. The admission numbers are the same
-/// live cells `/metrics` scrapes (the shed counter is adopted into the
-/// registry), so the two endpoints agree.
-pub fn encode_session_stats(stats: &SessionStats, admission: &AdmissionSnapshot) -> Json {
+/// and connection reactor's current state for `GET /stats`. The admission
+/// numbers are the same live cells `/metrics` scrapes (the shed counter
+/// is adopted into the registry), so the two endpoints agree.
+pub fn encode_session_stats(
+    stats: &SessionStats,
+    admission: &AdmissionSnapshot,
+    connections: &ConnectionsSnapshot,
+) -> Json {
     Json::obj([
         ("histories", Json::Int(stats.histories as i64)),
         (
@@ -624,6 +643,15 @@ pub fn encode_session_stats(stats: &SessionStats, admission: &AdmissionSnapshot)
                 ("max_in_flight", Json::Int(admission.max_in_flight as i64)),
                 ("max_queued", Json::Int(admission.max_queued as i64)),
                 ("shed_total", Json::Int(admission.shed_total as i64)),
+            ]),
+        ),
+        (
+            "connections",
+            Json::obj([
+                ("open", Json::Int(connections.open)),
+                ("idle", Json::Int(connections.idle)),
+                ("active", Json::Int(connections.active)),
+                ("writing", Json::Int(connections.writing)),
             ]),
         ),
     ])

@@ -1,0 +1,263 @@
+//! Reactor-specific regression tests: connection concurrency decoupled
+//! from the worker count, and the fixed header-read deadline (slow-loris
+//! defense). These are exactly the behaviors the old one-thread-per-
+//! connection server could not provide — idle keep-alive connections
+//! used to pin workers, and the per-read idle timeout reset on every
+//! dribbled header byte.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mahif::Session;
+use mahif_serve::{Json, ServeConfig, Server, ServerHandle};
+use mahif_workload::serve_load::http_post;
+
+/// The running example of Figure 1 as a registration body.
+const REGISTER_BODY: &str = r#"{
+  "relations": [
+    {"name": "Order",
+     "attributes": [
+       {"name": "ID", "type": "int"},
+       {"name": "Customer", "type": "str"},
+       {"name": "Country", "type": "str"},
+       {"name": "Price", "type": "int"},
+       {"name": "ShippingFee", "type": "int"}
+     ],
+     "tuples": [
+       [11, "Susan", "UK", 20, 5],
+       [12, "Alex", "UK", 50, 5],
+       [13, "Jack", "US", 60, 3],
+       [14, "Mark", "US", 30, 4]
+     ]}
+  ],
+  "history": [
+    "UPDATE Order SET ShippingFee = 0 WHERE Price >= 50",
+    "UPDATE Order SET ShippingFee = ShippingFee + 5 WHERE Country = 'UK' AND Price <= 100"
+  ]
+}"#;
+
+fn batch_body(threshold: i64) -> String {
+    format!(
+        r#"{{"scenarios": [{{"name": "t{threshold}", "whatif": "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= {threshold}"}}]}}"#,
+    )
+}
+
+fn start_server(config: ServeConfig) -> (ServerHandle, String) {
+    let session = Arc::new(Session::new());
+    let server = Server::bind(session, config).expect("bind ephemeral port");
+    let handle = server.spawn().expect("spawn server");
+    let addr = handle.addr().to_string();
+    (handle, addr)
+}
+
+fn raw_socket(addr: &str) -> BufReader<TcpStream> {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    BufReader::new(stream)
+}
+
+/// Renders a request without a `Connection` header (HTTP/1.1 keep-alive).
+fn render(method: &str, path: &str, body: &str) -> String {
+    format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    )
+}
+
+fn send(conn: &mut BufReader<TcpStream>, raw: &str) {
+    let stream = conn.get_mut();
+    stream.write_all(raw.as_bytes()).expect("send request");
+    stream.flush().expect("flush request");
+}
+
+/// Reads one full response: status, lowercased headers, body.
+fn read_reply(conn: &mut BufReader<TcpStream>) -> (u16, HashMap<String, String>, String) {
+    let mut status_line = String::new();
+    assert!(
+        conn.read_line(&mut status_line).expect("status line") > 0,
+        "connection closed before a status line"
+    );
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("malformed status line {status_line:?}"));
+    let mut headers = HashMap::new();
+    loop {
+        let mut line = String::new();
+        conn.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            headers.insert(name.trim().to_ascii_lowercase(), value.trim().to_string());
+        }
+    }
+    let len: usize = headers
+        .get("content-length")
+        .and_then(|v| v.parse().ok())
+        .expect("responses always declare Content-Length");
+    let mut body = vec![0u8; len];
+    conn.read_exact(&mut body).expect("body");
+    (
+        status,
+        headers,
+        String::from_utf8(body).expect("UTF-8 body"),
+    )
+}
+
+/// True once the peer has closed: the next read reports EOF (or the
+/// reset a close-with-unread-bytes turns into).
+fn closed_by_peer(conn: &mut BufReader<TcpStream>) -> bool {
+    let mut byte = [0u8; 1];
+    match conn.read(&mut byte) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) => matches!(
+            e.kind(),
+            ErrorKind::ConnectionReset | ErrorKind::BrokenPipe | ErrorKind::UnexpectedEof
+        ),
+    }
+}
+
+/// Far more idle keep-alive connections than worker threads, all parked
+/// mid-session, while a separate set of active clients hammers batches:
+/// under the old thread-per-connection design the idle connections would
+/// pin every worker and starve the actives forever; under the reactor
+/// they cost an fd each and everyone is served.
+#[test]
+fn idle_connections_beyond_the_worker_count_do_not_starve_active_clients() {
+    let (handle, addr) = start_server(ServeConfig {
+        workers: 2,
+        keep_alive_timeout: Duration::from_secs(30),
+        ..Default::default()
+    });
+    assert_eq!(
+        http_post(&addr, "/histories/retail", REGISTER_BODY)
+            .unwrap()
+            .status,
+        201
+    );
+
+    // workers + N idle connections, each proven live with one request
+    // before parking.
+    const IDLE: usize = 30;
+    let mut parked = Vec::with_capacity(IDLE);
+    for _ in 0..IDLE {
+        let mut conn = raw_socket(&addr);
+        send(&mut conn, &render("GET", "/healthz", ""));
+        let (status, _, body) = read_reply(&mut conn);
+        assert_eq!(status, 200, "{body}");
+        parked.push(conn);
+    }
+
+    // 8 concurrent active clients, several batches each — all of them
+    // must be answered while the 30 idle connections stay parked.
+    let active: Vec<_> = (0..8)
+        .map(|client| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut conn = raw_socket(&addr);
+                for round in 0..4 {
+                    let body = batch_body(20 + client * 4 + round);
+                    send(&mut conn, &render("POST", "/histories/retail/batch", &body));
+                    let (status, _, body) = read_reply(&mut conn);
+                    assert_eq!(status, 200, "active client starved: {body}");
+                }
+            })
+        })
+        .collect();
+    for worker in active {
+        worker.join().expect("active client panicked");
+    }
+
+    // The parked connections are still alive and still served.
+    for conn in parked.iter_mut() {
+        send(conn, &render("GET", "/healthz", ""));
+        let (status, _, body) = read_reply(conn);
+        assert_eq!(status, 200, "parked connection died: {body}");
+    }
+
+    // The observability mirror agrees: /stats counts the open
+    // connections from the same gauge cells /metrics renders.
+    let mut conn = raw_socket(&addr);
+    send(&mut conn, &render("GET", "/stats", ""));
+    let (status, _, body) = read_reply(&mut conn);
+    assert_eq!(status, 200, "{body}");
+    let stats = Json::parse(&body).expect("stats is JSON");
+    let connections = stats.get("connections").expect("stats has connections");
+    let open = match connections.get("open") {
+        Some(Json::Int(n)) => *n,
+        other => panic!("connections.open missing: {other:?}"),
+    };
+    assert!(
+        open >= (IDLE + 1) as i64,
+        "expected at least {} open connections, stats says {open}",
+        IDLE + 1
+    );
+    drop(parked);
+    handle.stop();
+}
+
+/// The header-read deadline is fixed at the request's first byte: a
+/// client dribbling header bytes forever is cut off after
+/// `header_read_timeout`, no matter how steadily it dribbles. (The old
+/// loop reset its socket timeout on every successful read, so a
+/// one-byte-per-interval loris held its worker indefinitely.)
+#[test]
+fn slow_loris_header_dribble_is_cut_off_at_the_deadline() {
+    let (handle, addr) = start_server(ServeConfig {
+        header_read_timeout: Duration::from_millis(200),
+        keep_alive_timeout: Duration::from_secs(10),
+        ..Default::default()
+    });
+
+    // A stalled partial head is dropped silently once the deadline hits.
+    let mut stalled = raw_socket(&addr);
+    send(&mut stalled, "GET /he");
+    let started = Instant::now();
+    assert!(
+        closed_by_peer(&mut stalled),
+        "partial head held the connection open past the deadline"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "close took {:?}, expected ~200ms",
+        started.elapsed()
+    );
+
+    // Steady dribble: one byte per tick never completes the head, and the
+    // deadline is anchored at the FIRST byte — progress does not extend
+    // it. The connection must be gone long before the dribble could
+    // finish a real request line.
+    let mut dribble = raw_socket(&addr);
+    for chunk in "GET /healthz HTTP/1.1\r\n".as_bytes() {
+        if dribble.get_mut().write_all(&[*chunk]).is_err() {
+            break; // already reset — even better
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+    assert!(
+        closed_by_peer(&mut dribble),
+        "dribbled head bytes kept extending the header-read deadline"
+    );
+
+    // The deadline starts at the first byte, not at accept: a connection
+    // that sits silent longer than header_read_timeout (but under the
+    // keep-alive timeout) and then sends a full request is still served.
+    let mut patient = raw_socket(&addr);
+    std::thread::sleep(Duration::from_millis(400));
+    send(&mut patient, &render("GET", "/healthz", ""));
+    let (status, _, body) = read_reply(&mut patient);
+    assert_eq!(
+        status, 200,
+        "pre-first-byte idle time must not count against the header deadline: {body}"
+    );
+    handle.stop();
+}

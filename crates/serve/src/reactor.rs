@@ -55,8 +55,8 @@ use mahif_net::{read_available, Events, Interest, Poller, TimerWheel, Waker, Wri
 
 use crate::http::{parse_head_buffered, write_continue, HttpError, RequestHead, MAX_HEAD_BYTES};
 use crate::server::{
-    process_job, render_body_too_large, render_malformed, render_overloaded_close, Shared,
-    DRAIN_CAP,
+    process_job, render_body_too_large, render_malformed, render_overloaded_close,
+    render_worker_panic, Shared, DRAIN_CAP,
 };
 
 /// Token for the listening socket (never a valid slab index).
@@ -317,6 +317,12 @@ pub(crate) fn run(
 }
 
 /// The worker loop: pure CPU — decode, execute, render — no sockets.
+///
+/// A panicking handler must not kill the worker (the pool would shrink
+/// permanently) or strand its connection (reads are masked and no
+/// deadline is armed while a worker owns the request, so nothing would
+/// ever reap it). The unwind is caught here and turned into a closing
+/// 500 completion.
 fn worker_loop(
     queue: &JobQueue,
     completions: &Mutex<Vec<Completion>>,
@@ -330,7 +336,9 @@ fn worker_loop(
         // `process_job`, *before* the completion is queued — so by the
         // time a client holds the response, `/metrics` and `/debug/slow`
         // already reflect it.
-        let (bytes, close) = process_job(job, shared);
+        let (bytes, close) =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| process_job(job, shared)))
+                .unwrap_or_else(|_| (render_worker_panic(shared), true));
         completions
             .lock()
             .expect("completion queue poisoned")
@@ -529,7 +537,9 @@ impl Reactor {
                     self.arm(conn, token, deadline);
                 }
                 Phase::Head => match parse_head_buffered(&conn.rbuf) {
-                    Err(HttpError::Malformed(what)) => return self.reject_malformed(conn, what),
+                    Err(HttpError::Malformed(what)) => {
+                        return self.reject_malformed(token, conn, what)
+                    }
                     // read_head reports I/O through its reader; the
                     // buffered parser never constructs other kinds.
                     Err(_) => return Fate::Gone,
@@ -543,7 +553,11 @@ impl Reactor {
                             Ok(st) if st.read > 0 => continue,
                             Ok(st) if st.eof => {
                                 // Head cut off mid-line: best-effort 400.
-                                return self.reject_malformed(conn, "connection closed mid-line");
+                                return self.reject_malformed(
+                                    token,
+                                    conn,
+                                    "connection closed mid-line",
+                                );
                             }
                             Ok(_) => return Fate::Keep,
                         }
@@ -590,7 +604,7 @@ impl Reactor {
                     conn.rbuf.drain(..take);
                     *drain -= take as u64;
                     if *drain == 0 {
-                        match self.finish_response(conn) {
+                        match self.finish_response(token, conn) {
                             Finish::Closed => return Fate::Gone,
                             Finish::NextRequest => continue,
                             Finish::Pending => return Fate::Keep,
@@ -607,7 +621,7 @@ impl Reactor {
                             // it and close once the response is out.
                             *drain = 0;
                             *close_after = true;
-                            match self.finish_response(conn) {
+                            match self.finish_response(token, conn) {
                                 Finish::Closed => return Fate::Gone,
                                 Finish::NextRequest | Finish::Pending => return Fate::Keep,
                             }
@@ -741,8 +755,11 @@ impl Reactor {
         self.flush(token, conn)
     }
 
-    /// Answers a 400 for an untrustworthy request head and closes.
-    fn reject_malformed(&mut self, conn: &mut Conn, what: &str) -> Fate {
+    /// Answers a 400 for an untrustworthy request head and closes once
+    /// it is delivered. The flush rides the normal write-readiness path
+    /// under the io stall deadline, so a momentarily-full socket buffer
+    /// delays the diagnostic instead of dropping it.
+    fn reject_malformed(&mut self, token: usize, conn: &mut Conn, what: &str) -> Fate {
         let bytes = render_malformed(what, &self.shared);
         conn.rbuf.clear();
         conn.wq.push(bytes, Tag::Response { close: true });
@@ -754,10 +771,9 @@ impl Reactor {
                 written: false,
             },
         );
-        // Best-effort: if the socket cannot take it now, give up (the
-        // old blocking path behaved the same under its write timeout).
-        let _ = conn.wq.flush(&mut conn.stream);
-        Fate::Gone
+        let deadline = Instant::now() + self.io_timeout();
+        self.arm(conn, token, deadline);
+        self.flush(token, conn)
     }
 
     /// Hands a fully-buffered request to the worker pool and masks reads
@@ -818,7 +834,7 @@ impl Reactor {
             }
             return Fate::Keep;
         }
-        match self.finish_response(conn) {
+        match self.finish_response(token, conn) {
             Finish::Closed => Fate::Gone,
             Finish::Pending => Fate::Keep,
             // Pipelined bytes may already be buffered; parse them now —
@@ -836,7 +852,7 @@ impl Reactor {
     /// Checks whether a `Respond` phase is fully settled (response
     /// written, drain done, queue empty) and if so starts the next
     /// request's keep-alive wait.
-    fn finish_response(&mut self, conn: &mut Conn) -> Finish {
+    fn finish_response(&mut self, token: usize, conn: &mut Conn) -> Finish {
         let Phase::Respond {
             close_after,
             drain,
@@ -852,7 +868,8 @@ impl Reactor {
             return Finish::Closed;
         }
         self.transition(conn, Phase::Idle);
-        conn.deadline = Some(Instant::now() + self.keep_alive());
+        let deadline = Instant::now() + self.keep_alive();
+        self.arm(conn, token, deadline);
         Finish::NextRequest
     }
 

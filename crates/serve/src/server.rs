@@ -700,6 +700,24 @@ pub(crate) fn render_malformed(what: &str, shared: &Shared) -> Vec<u8> {
     out
 }
 
+/// Renders the 500 a worker answers with after `process_job` panics.
+/// The handler's state is unknowable mid-panic, so the response always
+/// closes; like the malformed 400 it carries no request id or timing
+/// headers, only the `(route="panic", 500)` metrics sample.
+pub(crate) fn render_worker_panic(shared: &Shared) -> Vec<u8> {
+    shared.metrics.record_request("panic", 500);
+    let body = Json::obj([("error", Json::str("internal server error"))]);
+    let mut out = Vec::new();
+    let _ = write_response(
+        &mut out,
+        500,
+        &body.to_string(),
+        &[],
+        ConnectionDirective::Close,
+    );
+    out
+}
+
 /// Renders the 503 an over-cap connection is shed with.
 pub(crate) fn render_overloaded_close() -> Vec<u8> {
     let body = Json::obj([(

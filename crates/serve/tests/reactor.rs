@@ -205,6 +205,74 @@ fn idle_connections_beyond_the_worker_count_do_not_starve_active_clients() {
     handle.stop();
 }
 
+/// Finishing a response must actually arm the keep-alive deadline on the
+/// timer wheel — assigning `conn.deadline` alone leaves enforcement to
+/// whatever stale wheel entries happen to exist. The two observable
+/// failure modes: with a large `io_timeout` the idle connection is reaped
+/// far later than the advertised `Keep-Alive` timeout, and with
+/// `io_timeout` below the keep-alive timeout the stale entry pops early,
+/// validates as not-due, and is consumed — the silent client then leaks
+/// forever and eventually exhausts `max_connections`.
+/// Serves two requests 150 ms apart (so every accept-era wheel entry has
+/// already popped and been consumed as not-due), parks the connection,
+/// and asserts the reap lands near the keep-alive timeout. Returns how
+/// long the reap took after the last response.
+fn reap_after_two_requests(config: ServeConfig) -> Duration {
+    let (handle, addr) = start_server(config);
+    let mut conn = raw_socket(&addr);
+    for _ in 0..2 {
+        send(&mut conn, &render("GET", "/healthz", ""));
+        let (status, headers, body) = read_reply(&mut conn);
+        assert_eq!(status, 200, "{body}");
+        assert!(
+            headers.contains_key("keep-alive"),
+            "response should advertise the keep-alive timeout"
+        );
+        std::thread::sleep(Duration::from_millis(150));
+    }
+    let started = Instant::now();
+    assert!(
+        closed_by_peer(&mut conn),
+        "idle connection was never reaped (leaked past the 10s read timeout)"
+    );
+    let elapsed = started.elapsed();
+    handle.stop();
+    elapsed
+}
+
+#[test]
+fn idle_connection_after_a_response_is_reaped_at_the_keep_alive_timeout() {
+    // io stall and header-read deadlines far above keep-alive: no stale
+    // wheel entry can stand in for the missing keep-alive entry, so a
+    // reap near 300ms proves `finish_response` scheduled one itself
+    // (rather than the idle client lingering until ~io_timeout).
+    let elapsed = reap_after_two_requests(ServeConfig {
+        keep_alive_timeout: Duration::from_millis(300),
+        io_timeout: Duration::from_secs(30),
+        header_read_timeout: Duration::from_secs(30),
+        ..Default::default()
+    });
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "idle reap took {elapsed:?}, advertised timeout is 300ms"
+    );
+
+    // io stall and header-read deadlines *below* keep-alive: every stale
+    // entry pops and is consumed before the keep-alive deadline is due,
+    // so only a freshly scheduled entry can ever reap the connection —
+    // without one it leaks forever and counts against max_connections.
+    let elapsed = reap_after_two_requests(ServeConfig {
+        keep_alive_timeout: Duration::from_millis(400),
+        io_timeout: Duration::from_millis(100),
+        header_read_timeout: Duration::from_millis(100),
+        ..Default::default()
+    });
+    assert!(
+        elapsed < Duration::from_secs(3),
+        "idle reap took {elapsed:?}, advertised timeout is 400ms"
+    );
+}
+
 /// The header-read deadline is fixed at the request's first byte: a
 /// client dribbling header bytes forever is cut off after
 /// `header_read_timeout`, no matter how steadily it dribbles. (The old

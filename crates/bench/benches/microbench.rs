@@ -149,8 +149,14 @@ fn bench_batch_scenarios(c: &mut Criterion) {
     const K: usize = 8;
     let (dataset, workload) = setup();
     let sweep = workload.sweep_variants(K);
-    let session =
-        Session::with_history("bench", dataset.database.clone(), workload.history.clone()).unwrap();
+    // Cache-disabled session: criterion re-runs the same sweep every
+    // iteration, and the point of this comparison is batching vs a
+    // sequential loop — with the provisioning cache on, iterations 2+ of
+    // both variants would measure cache hits instead.
+    let session = Session::with_config(mahif::SessionConfig::disabled());
+    session
+        .register("bench", dataset.database.clone(), workload.history.clone())
+        .unwrap();
 
     let mut group = c.benchmark_group("batch_scenarios");
     group.sample_size(10);
@@ -203,8 +209,20 @@ fn bench_batch_group_plan(c: &mut Criterion) {
     // would bury the reenactment difference the group plans change.
     let dataset = Dataset::generate(DatasetKind::Taxi, 5_000, 7);
     let workload = WorkloadSpec::default().with_updates(12).generate(&dataset);
-    let session =
-        Session::with_history("bench", dataset.database.clone(), workload.history.clone()).unwrap();
+    // Cache-disabled for the same reason as `batch_scenarios`: the shared
+    // variant would otherwise answer iterations 2+ from the provisioning
+    // cache (the ablation variant is cache-ineligible), turning the
+    // group-plan comparison into a cache benchmark.
+    let session = Session::with_config(mahif::SessionConfig::disabled());
+    session
+        .register("bench", dataset.database.clone(), workload.history.clone())
+        .unwrap();
+    println!(
+        "environment: cores={} (effective parallelism of the mt cases)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
 
     let mut group = c.benchmark_group("batch_group_plan");
     group.sample_size(10);
@@ -241,6 +259,39 @@ fn bench_batch_group_plan(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_provisioning(c: &mut Criterion) {
+    // The provisioning cache's best case: the identical k=8 sweep repeated
+    // against one session. `cold` answers on a cache-disabled session
+    // (slice + plan rebuilt every iteration); `warm` answers on a default
+    // session whose first run provisioned the plan, so every iteration is
+    // a cache hit that drops straight into group-plan answering. The
+    // answers are byte-identical (tests/provisioning.rs).
+    const K: usize = 8;
+    let (dataset, workload) = setup();
+    let sweep = workload.sweep_variants(K);
+    let run = |session: &Session| {
+        session
+            .on("bench")
+            .method(Method::ReenactPsDs)
+            .run_batch(sweep.iter().map(|(name, m)| (name.clone(), m.clone())))
+            .unwrap()
+    };
+
+    let cold_session = Session::with_config(mahif::SessionConfig::disabled());
+    cold_session
+        .register("bench", dataset.database.clone(), workload.history.clone())
+        .unwrap();
+    let warm_session =
+        Session::with_history("bench", dataset.database.clone(), workload.history.clone()).unwrap();
+    run(&warm_session); // provision the plan once, outside the timing loop
+
+    let mut group = c.benchmark_group("provisioning");
+    group.sample_size(10);
+    group.bench_function("cold_k8", |b| b.iter(|| run(&cold_session)));
+    group.bench_function("warm_k8", |b| b.iter(|| run(&warm_session)));
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_reenactment,
@@ -249,6 +300,7 @@ criterion_group!(
     bench_delta,
     bench_end_to_end,
     bench_batch_scenarios,
-    bench_batch_group_plan
+    bench_batch_group_plan,
+    bench_provisioning
 );
 criterion_main!(benches);

@@ -181,10 +181,16 @@ pub fn answer_normalized(
 /// same for all members. A singleton group keeps the member's own
 /// (possibly asymmetric) conditions, so single queries behave exactly as
 /// before.
+///
+/// A plan owns everything it needs (its `EngineConfig` is cloned at build
+/// time), so it can outlive the request that built it — the session's
+/// cross-request provisioning cache (see `crate::provision`) stores plans
+/// and answers later requests from them via
+/// [`answer_cached`](Self::answer_cached).
 #[derive(Debug)]
-pub struct GroupPlan<'a> {
+pub struct GroupPlan {
     method: Method,
-    config: &'a EngineConfig,
+    config: EngineConfig,
     slice_duration: Duration,
     solver_calls: usize,
     statements_total: usize,
@@ -226,7 +232,14 @@ pub struct GroupPlan<'a> {
     relation_timings: Vec<Duration>,
 }
 
-impl<'a> GroupPlan<'a> {
+// Cached plans are shared across request threads on one `Arc<Session>`.
+// Compile-time regression guard.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<GroupPlan>();
+};
+
+impl GroupPlan {
     /// Builds the plan for a slice-sharing group.
     ///
     /// `members` are the group's normalized queries: all must share the
@@ -243,13 +256,13 @@ impl<'a> GroupPlan<'a> {
     /// `ErrorKind::BudgetExceeded` instead of reenacting every relation
     /// first.
     pub fn build(
-        members: &[&'a NormalizedWhatIf],
+        members: &[&NormalizedWhatIf],
         slice: &ProgramSliceResult,
         versioned: &VersionedDatabase,
         method: Method,
-        config: &'a EngineConfig,
+        config: &EngineConfig,
         deadline: Option<Deadline>,
-    ) -> Result<GroupPlan<'a>, MahifError> {
+    ) -> Result<GroupPlan, MahifError> {
         let first = members
             .first()
             .ok_or_else(|| MahifError::from(mahif_slicing::SlicingError::EmptyScenarioGroup))?;
@@ -257,7 +270,7 @@ impl<'a> GroupPlan<'a> {
         if first.modified_positions.is_empty() {
             return Ok(GroupPlan {
                 method,
-                config,
+                config: config.clone(),
                 slice_duration: Duration::default(),
                 solver_calls: 0,
                 statements_total,
@@ -418,7 +431,7 @@ impl<'a> GroupPlan<'a> {
 
         Ok(GroupPlan {
             method,
-            config,
+            config: config.clone(),
             slice_duration: slice.duration,
             solver_calls: slice.solver_calls,
             statements_total,
@@ -456,7 +469,35 @@ impl<'a> GroupPlan<'a> {
         member: &NormalizedWhatIf,
         versioned: &VersionedDatabase,
     ) -> Result<WhatIfAnswer, MahifError> {
-        let solo = self.group_size == 1;
+        self.answer_member(member, versioned, self.group_size == 1)
+    }
+
+    /// Answers one member from a *reused* plan: the delta is byte-identical
+    /// to [`answer_in_group`](Self::answer_in_group), but the shared phases
+    /// are never folded into the member's answer — a cross-request cache
+    /// hit did not slice, derive conditions or reenact the original side,
+    /// so re-attributing that work (even for a singleton plan) would
+    /// overstate what the request actually did. [`EngineStats::shared_work`]
+    /// is set so consumers know the shared cost lives elsewhere.
+    pub fn answer_cached(
+        &self,
+        member: &NormalizedWhatIf,
+        versioned: &VersionedDatabase,
+    ) -> Result<WhatIfAnswer, MahifError> {
+        self.answer_member(member, versioned, false)
+    }
+
+    /// The member-specific half of the engine; `fold_shared` re-attributes
+    /// the plan's shared phases (slice, conditions, original reenactment)
+    /// to this answer — exact single-query behavior for freshly built
+    /// singleton plans.
+    fn answer_member(
+        &self,
+        member: &NormalizedWhatIf,
+        versioned: &VersionedDatabase,
+        fold_shared: bool,
+    ) -> Result<WhatIfAnswer, MahifError> {
+        let solo = fold_shared;
         let mut timings = PhaseTimings::default();
         let mut stats = EngineStats {
             statements_total: self.statements_total,
@@ -500,7 +541,7 @@ impl<'a> GroupPlan<'a> {
                 &schema,
                 &cond,
                 db,
-                self.config,
+                &self.config,
             )?);
         }
         timings.execution = start.elapsed();
@@ -566,6 +607,36 @@ impl<'a> GroupPlan<'a> {
     /// The execution method the plan was built for.
     pub fn method(&self) -> Method {
         self.method
+    }
+
+    /// The relations the plan's cached original-side results cover, sorted.
+    /// The provisioning cache records these per entry so a future
+    /// streaming-append path can invalidate exactly the plans whose
+    /// dependencies an appended statement touches.
+    pub fn relations(&self) -> &[String] {
+        &self.relations
+    }
+
+    /// A rough estimate of the plan's resident size in bytes (cached
+    /// relation tuples dominate). Used by the provisioning cache's byte
+    /// budget; deliberately cheap and approximate, not an allocator count.
+    pub fn approx_bytes(&self) -> usize {
+        // A stored tuple is a Vec of values plus per-tuple bookkeeping;
+        // 64 bytes is a deliberately generous per-tuple charge so the byte
+        // budget errs toward evicting early rather than blowing the cap.
+        const TUPLE_COST: usize = 64;
+        let cached_tuples: usize = self
+            .original_results
+            .iter()
+            .map(Relation::len)
+            .sum::<usize>()
+            + self
+                .filtered_base
+                .iter()
+                .flatten()
+                .map(Database::total_tuples)
+                .sum::<usize>();
+        1024 + cached_tuples * TUPLE_COST + self.kept_positions.len() * 16
     }
 
     /// The shared original-side reenactment time per relation, in the

@@ -106,6 +106,7 @@ pub mod error;
 pub mod impact;
 pub mod mahif;
 mod pool;
+pub mod provision;
 pub mod request;
 pub mod response;
 pub mod session;
@@ -117,6 +118,7 @@ pub use error::{BudgetBreach, Error, ErrorKind, MahifError, Phase};
 pub use impact::{impact_of, GroupImpact, ImpactReport, ImpactSpec};
 #[allow(deprecated)]
 pub use mahif::Mahif;
+pub use provision::{CachedPlan, PlanCache, PlanKey, Provisioned, SessionConfig};
 pub use request::{ScenarioSpec, WhatIfRequest};
 pub use response::{batch_trace_spans, BatchStats, Response, ScenarioResponse};
 pub use session::{sweep, RegisteredHistory, Session, SessionMetrics, SessionStats};

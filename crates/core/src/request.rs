@@ -88,6 +88,7 @@ pub(crate) struct RequestParts {
     pub config: EngineConfig,
     pub parallelism: usize,
     pub no_slice_sharing: bool,
+    pub no_plan_cache: bool,
     pub impact: Option<ImpactSpec>,
 }
 
@@ -107,6 +108,7 @@ pub struct WhatIfRequest<'s> {
     config: EngineConfig,
     parallelism: usize,
     no_slice_sharing: bool,
+    no_plan_cache: bool,
     impact: Option<ImpactSpec>,
     /// Whether `run_batch` was the terminal call: an empty batch is then a
     /// reportable error, not an implicit empty single query.
@@ -128,6 +130,7 @@ impl<'s> WhatIfRequest<'s> {
             config: EngineConfig::default(),
             parallelism: 0,
             no_slice_sharing: false,
+            no_plan_cache: false,
             impact: None,
             batched: false,
             deferred: None,
@@ -223,6 +226,15 @@ impl<'s> WhatIfRequest<'s> {
     /// (ablation; the answers are identical either way).
     pub fn without_slice_sharing(mut self) -> Self {
         self.no_slice_sharing = true;
+        self
+    }
+
+    /// Opts this request out of the session's cross-request provisioning
+    /// cache: no cached plan is reused and no plan built for this request
+    /// is cached (the answers are identical either way; see
+    /// `mahif::provision`).
+    pub fn without_plan_cache(mut self) -> Self {
+        self.no_plan_cache = true;
         self
     }
 
@@ -329,6 +341,7 @@ impl<'s> WhatIfRequest<'s> {
             config: self.config,
             parallelism: self.parallelism,
             no_slice_sharing: self.no_slice_sharing,
+            no_plan_cache: self.no_plan_cache,
             impact: self.impact,
         })
     }

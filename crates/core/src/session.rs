@@ -68,6 +68,7 @@
 //! ```
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
@@ -82,6 +83,7 @@ use crate::config::{Deadline, EngineConfig, Method};
 use crate::engine::{answer_normalized, answer_what_if, compute_program_slice, GroupPlan};
 use crate::error::{BudgetBreach, Error, ErrorKind, Phase};
 use crate::pool::{collect_results, resolve_parallelism, run_indexed};
+use crate::provision::{CachedPlan, PlanKey, Provisioned, SessionConfig};
 use crate::request::{RequestParts, ScenarioSpec, WhatIfRequest};
 use crate::response::{BatchStats, Response, ScenarioResponse};
 use crate::stats::WhatIfAnswer;
@@ -93,6 +95,12 @@ pub struct RegisteredHistory {
     name: String,
     history: History,
     versioned: VersionedDatabase,
+    /// Provisioning state precomputed at registration (see
+    /// [`crate::provision`]): per-statement dependency summaries plus the
+    /// history's cross-request plan cache. Lives on the registered state —
+    /// an unregister/re-register replaces it wholesale (and bumps the
+    /// session's generation), so a stale plan can never be served.
+    provisioned: Provisioned,
 }
 
 impl RegisteredHistory {
@@ -119,6 +127,12 @@ impl RegisteredHistory {
     /// The current database state `H(D)`.
     pub fn current_state(&self) -> &Database {
         self.versioned.current()
+    }
+
+    /// The provisioning state precomputed at registration: dependency
+    /// summaries plus the history's cross-request plan cache.
+    pub fn provisioned(&self) -> &Provisioned {
+        &self.provisioned
     }
 }
 
@@ -170,6 +184,14 @@ impl Counters {
             original_reenactments: v.original_reenactments,
             refined_slices: v.refined_slices,
             delta_tuples_deduped: v.delta_tuples_deduped,
+            // Filled from the live metric cells by `Session::stats` — the
+            // plan-cache values are mutated at cache-lookup/insert time on
+            // the lock-free monitoring path, so `/stats` and `/metrics`
+            // read the very same cells.
+            plan_cache_hits: 0,
+            plan_cache_misses: 0,
+            plan_cache_evictions: 0,
+            plan_cache_entries: 0,
         }
     }
 }
@@ -213,6 +235,21 @@ pub struct SessionStats {
     /// Annotated delta tuples deduplicated across batch answers (identical
     /// relation deltas stored once; see `mahif_history::DeltaInterner`).
     pub delta_tuples_deduped: u64,
+    /// Provisioning-cache lookups that reused a cached [`crate::GroupPlan`]
+    /// — the group (or single scenario) skipped program slicing and plan
+    /// building entirely. Unlike the request counters above, the four
+    /// plan-cache values read the same atomic cells as `/metrics` (they are
+    /// recorded at lookup/insert time, including for requests that later
+    /// fail), so both endpoints agree by construction.
+    pub plan_cache_hits: u64,
+    /// Provisioning-cache lookups that found no certified plan to reuse.
+    pub plan_cache_misses: u64,
+    /// Cached plans evicted by the per-history LRU bounds (see
+    /// [`crate::SessionConfig`]).
+    pub plan_cache_evictions: u64,
+    /// Plans currently cached across registered histories (approximate
+    /// while an unregister races an in-flight request's insert).
+    pub plan_cache_entries: u64,
 }
 
 /// The session's always-on telemetry mirror: lock-cheap atomic counters
@@ -243,6 +280,18 @@ pub struct SessionMetrics {
     /// Per-request execution latency (reenactment + diffing, including
     /// group-plan building).
     pub execute_seconds: Arc<mahif_obs::Histogram>,
+    /// Provisioning-cache plan reuses, mirrored into
+    /// [`SessionStats::plan_cache_hits`].
+    pub plan_cache_hits: Arc<mahif_obs::Counter>,
+    /// Provisioning-cache lookups without a reusable plan, mirrored into
+    /// [`SessionStats::plan_cache_misses`].
+    pub plan_cache_misses: Arc<mahif_obs::Counter>,
+    /// Cached plans evicted by the LRU bounds, mirrored into
+    /// [`SessionStats::plan_cache_evictions`].
+    pub plan_cache_evictions: Arc<mahif_obs::Counter>,
+    /// Plans currently cached across registered histories (gauge), mirrored
+    /// into [`SessionStats::plan_cache_entries`].
+    pub plan_cache_entries: Arc<mahif_obs::Gauge>,
 }
 
 impl Default for SessionMetrics {
@@ -255,6 +304,10 @@ impl Default for SessionMetrics {
             delta_tuples_deduped: Arc::new(mahif_obs::Counter::new()),
             plan_seconds: Arc::new(mahif_obs::Histogram::latency()),
             execute_seconds: Arc::new(mahif_obs::Histogram::latency()),
+            plan_cache_hits: Arc::new(mahif_obs::Counter::new()),
+            plan_cache_misses: Arc::new(mahif_obs::Counter::new()),
+            plan_cache_evictions: Arc::new(mahif_obs::Counter::new()),
+            plan_cache_entries: Arc::new(mahif_obs::Gauge::new()),
         }
     }
 }
@@ -299,6 +352,26 @@ impl SessionMetrics {
             "Per-request execution latency (reenactment + diffing), seconds",
             Arc::clone(&self.execute_seconds),
         );
+        registry.adopt_counter(
+            "mahif_plan_cache_hits_total",
+            "Provisioning-cache lookups that reused a cached group plan",
+            Arc::clone(&self.plan_cache_hits),
+        );
+        registry.adopt_counter(
+            "mahif_plan_cache_misses_total",
+            "Provisioning-cache lookups without a certified plan to reuse",
+            Arc::clone(&self.plan_cache_misses),
+        );
+        registry.adopt_counter(
+            "mahif_plan_cache_evictions_total",
+            "Cached plans evicted by the provisioning cache's LRU bounds",
+            Arc::clone(&self.plan_cache_evictions),
+        );
+        registry.adopt_gauge(
+            "mahif_plan_cache_entries",
+            "Plans currently cached across registered histories",
+            Arc::clone(&self.plan_cache_entries),
+        );
     }
 }
 
@@ -310,6 +383,13 @@ pub struct Session {
     histories: RwLock<Vec<Arc<RegisteredHistory>>>,
     counters: Counters,
     metrics: SessionMetrics,
+    /// Provisioning knobs (plan-cache bounds); fixed at construction.
+    config: SessionConfig,
+    /// Monotonic registration generation, bumped by every `register` and
+    /// baked into every plan-cache key: a plan provisioned for an earlier
+    /// registration under the same name can never match after a
+    /// re-register.
+    generations: AtomicU64,
 }
 
 // The whole point of the service core: one `Arc<Session>` shared across
@@ -325,13 +405,31 @@ impl Clone for Session {
     /// an independent session — later registrations and requests on one are
     /// not visible on the other.
     fn clone(&self) -> Self {
+        // The telemetry mirror starts fresh: metric handles may be adopted
+        // into a registry, and a clone sharing them would double-count.
+        // `/stats` consistency comes from `counters` — except the four
+        // plan-cache values, which live in the metric cells; seed the fresh
+        // cells with their current values so the clone's `stats()` matches
+        // the original's at clone time.
+        let metrics = SessionMetrics::default();
+        metrics
+            .plan_cache_hits
+            .add(self.metrics.plan_cache_hits.get());
+        metrics
+            .plan_cache_misses
+            .add(self.metrics.plan_cache_misses.get());
+        metrics
+            .plan_cache_evictions
+            .add(self.metrics.plan_cache_evictions.get());
+        metrics
+            .plan_cache_entries
+            .set(self.metrics.plan_cache_entries.get());
         Session {
             histories: RwLock::new(self.registry().clone()),
             counters: self.counters.clone(),
-            // The telemetry mirror starts fresh: metric handles may be
-            // adopted into a registry, and a clone sharing them would
-            // double-count. `/stats` consistency comes from `counters`.
-            metrics: SessionMetrics::default(),
+            metrics,
+            config: self.config,
+            generations: AtomicU64::new(self.generations.load(Ordering::Relaxed)),
         }
     }
 }
@@ -347,6 +445,7 @@ struct AdmittedRequest {
     config: EngineConfig,
     threads: usize,
     no_slice_sharing: bool,
+    no_plan_cache: bool,
     impact: Option<crate::impact::ImpactSpec>,
     deadline: Option<Deadline>,
 }
@@ -396,13 +495,35 @@ enum PlannedWork {
         slices: Vec<Arc<ProgramSliceResult>>,
         refined: Vec<Option<Arc<ProgramSliceResult>>>,
         share: bool,
+        /// Provisioning-cache hits, parallel to `groups.groups` when
+        /// `share`, else to the scenarios. A hit group's slice was *not*
+        /// computed this request (it comes from the cached entry), and its
+        /// members answer from the cached plan in phase 3.
+        cached: Vec<Option<Arc<CachedPlan>>>,
     },
 }
 
 impl Session {
-    /// Creates an empty session.
+    /// Creates an empty session with default provisioning knobs (the plan
+    /// cache enabled with the [`SessionConfig`] defaults).
     pub fn new() -> Self {
         Session::default()
+    }
+
+    /// Creates an empty session with explicit provisioning knobs.
+    /// [`SessionConfig::disabled`] turns the cross-request plan cache off
+    /// entirely — every request plans from scratch, the pre-provisioning
+    /// behavior (benchmark baselines use this to measure the cold path).
+    pub fn with_config(config: SessionConfig) -> Self {
+        Session {
+            config,
+            ..Session::default()
+        }
+    }
+
+    /// The session's provisioning configuration.
+    pub fn config(&self) -> SessionConfig {
+        self.config
     }
 
     /// Convenience constructor: a session with one registered history.
@@ -453,6 +574,12 @@ impl Session {
                 .in_phase(Phase::Register)
                 .on_history(name.clone())
         })?;
+        // Provision the history while still outside the lock: the
+        // generation is globally monotonic (never reused even across racing
+        // registrations), and the dependency summaries are a single pass
+        // over the statements.
+        let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
+        let provisioned = Provisioned::build(&history, generation, self.config);
         let mut histories = self.histories.write().expect("history registry poisoned");
         if histories.iter().any(|h| h.name == name) {
             return Err(duplicate(name));
@@ -461,6 +588,7 @@ impl Session {
             name,
             history,
             versioned,
+            provisioned,
         }));
         // Commit the counter while still holding the registry write lock so
         // a concurrent `stats()` sees the new history and its version chain
@@ -477,7 +605,13 @@ impl Session {
         let mut histories = self.histories.write().expect("history registry poisoned");
         match histories.iter().position(|h| h.name == name) {
             Some(idx) => {
-                histories.remove(idx);
+                let removed = histories.remove(idx);
+                // The removed history's cached plans leave the session with
+                // it (in-flight requests may briefly keep the detached
+                // state alive via their own `Arc`).
+                self.metrics
+                    .plan_cache_entries
+                    .sub(removed.provisioned.cache().len() as i64);
                 Ok(())
             }
             None => Err(Error::new(ErrorKind::UnknownHistory(name.to_string()))
@@ -529,7 +663,15 @@ impl Session {
     /// half-committed request.
     pub fn stats(&self) -> SessionStats {
         let histories = self.registry();
-        self.counters.snapshot(histories.len())
+        let mut stats = self.counters.snapshot(histories.len());
+        // The plan-cache values come from the live metric cells (the same
+        // atomics `/metrics` scrapes), so the two observability surfaces
+        // agree by construction.
+        stats.plan_cache_hits = self.metrics.plan_cache_hits.get();
+        stats.plan_cache_misses = self.metrics.plan_cache_misses.get();
+        stats.plan_cache_evictions = self.metrics.plan_cache_evictions.get();
+        stats.plan_cache_entries = self.metrics.plan_cache_entries.get().max(0) as u64;
+        stats
     }
 
     /// The session's always-on telemetry mirror (see [`SessionMetrics`]):
@@ -570,6 +712,7 @@ impl Session {
             config,
             parallelism,
             no_slice_sharing,
+            no_plan_cache,
             impact,
         } = parts;
         let registered = self.history(&history)?;
@@ -615,9 +758,22 @@ impl Session {
             config,
             threads,
             no_slice_sharing,
+            no_plan_cache,
             impact,
             deadline,
         })
+    }
+
+    /// Whether a request may use the cross-request provisioning cache.
+    /// Ablation modes (`no_slice_sharing`, the greedy slicer,
+    /// `disable_group_reenactment`) exist to measure the uncached engine,
+    /// so they bypass the cache entirely; `Naive` never reaches here.
+    fn cache_eligible(&self, req: &AdmittedRequest) -> bool {
+        self.config.cache_enabled()
+            && !req.no_plan_cache
+            && !req.no_slice_sharing
+            && !req.config.use_greedy_slicer
+            && !req.config.disable_group_reenactment
     }
 
     /// Phase 2: planning. Normalizes, groups and slices the scenarios (for
@@ -671,9 +827,83 @@ impl Session {
             && method.uses_program_slicing()
             && !no_slice_sharing
             && !config.use_greedy_slicer;
-        let (slices, contexts): (Vec<Arc<ProgramSliceResult>>, Vec<SymbolicGroupContext>) = if share
-        {
+
+        // Cross-request provisioning: look up cached plans *before*
+        // slicing — a hit reuses the entry's certified slice here and its
+        // `GroupPlan` in phase 3, skipping `program_slice_multi` and
+        // `GroupPlan::build` entirely. The key is a cheap filter;
+        // `PlanCache::lookup` then verifies the original history, the
+        // positions and every member's certification by full structural
+        // equality, so a plan is only ever reused for queries it was built
+        // for.
+        let cache_on = self.cache_eligible(req);
+        let provisioned = registered.provisioned();
+        let cached: Vec<Option<Arc<CachedPlan>>> = if !cache_on {
+            vec![
+                None;
+                if share {
+                    groups.groups.len()
+                } else {
+                    normalized.len()
+                }
+            ]
+        } else if share {
+            groups
+                .groups
+                .iter()
+                .map(|group| {
+                    let members: Vec<&History> = group
+                        .members
+                        .iter()
+                        .map(|&i| &normalized[i].modified)
+                        .collect();
+                    let key =
+                        PlanKey::new(provisioned.generation(), method, &group.positions, config);
+                    provisioned
+                        .cache()
+                        .lookup(&key, &group.original, &group.positions, &members)
+                })
+                .collect()
+        } else {
+            normalized
+                .iter()
+                .map(|n| {
+                    let key = PlanKey::new(
+                        provisioned.generation(),
+                        method,
+                        &n.modified_positions,
+                        config,
+                    );
+                    provisioned.cache().lookup(
+                        &key,
+                        &n.original,
+                        &n.modified_positions,
+                        &[&n.modified],
+                    )
+                })
+                .collect()
+        };
+        let hits = cached.iter().filter(|c| c.is_some()).count();
+        if cache_on {
+            self.metrics.plan_cache_hits.add(hits as u64);
+            self.metrics
+                .plan_cache_misses
+                .add((cached.len() - hits) as u64);
+        }
+
+        let (slices, contexts): (
+            Vec<Arc<ProgramSliceResult>>,
+            Vec<Option<SymbolicGroupContext>>,
+        ) = if share {
             let computed = run_indexed(groups.groups.len(), threads, |g| {
+                // A provisioned hit reuses the cached group slice. No
+                // symbolic context is kept in the cache, so members of hit
+                // groups skip refinement — refinement never changes
+                // answers, only per-member cost, and a hit already skipped
+                // the work refinement would trim.
+                if let Some(entry) = &cached[g] {
+                    return Ok((Arc::clone(entry.slice()), None));
+                }
                 let group = &groups.groups[g];
                 // Borrow each member's modified history from the
                 // normalization results instead of cloning it into the
@@ -690,12 +920,15 @@ impl Session {
                     registered.versioned.initial(),
                     &config.slicing(),
                 )
-                .map(|(slice, ctx)| (Arc::new(slice), ctx))
+                .map(|(slice, ctx)| (Arc::new(slice), Some(ctx)))
                 .map_err(|e| req.group_context(Error::from(e), Phase::ProgramSlicing, &groups, g))
             });
             collect_results(computed)?.into_iter().unzip()
         } else {
             let computed = run_indexed(normalized.len(), threads, |i| {
+                if let Some(entry) = &cached[i] {
+                    return Ok(Arc::clone(entry.slice()));
+                }
                 compute_program_slice(
                     &normalized[i],
                     registered.versioned.initial(),
@@ -707,11 +940,11 @@ impl Session {
             });
             (collect_results(computed)?, Vec::new())
         };
+        // Only slices actually computed this request count as work; hit
+        // groups reuse a slice computed by an earlier request.
+        stats.slice_groups = cached.len() - hits;
         if share {
-            stats.slice_groups = groups.groups.len();
             stats.shared_slice_hits = scenarios.len() - groups.groups.len();
-        } else {
-            stats.slice_groups = slices.len();
         }
         req.check_deadline(Phase::ProgramSlicing)?;
 
@@ -736,6 +969,12 @@ impl Session {
                 {
                     return Ok(None);
                 }
+                // Members of provisioned-hit groups answer from the cached
+                // plan; the hit skipped slicing, so there is no symbolic
+                // context to refine against (and nothing left to save).
+                let Some(context) = &contexts[g] else {
+                    return Ok(None);
+                };
                 req.check_deadline(Phase::ProgramSlicing)?;
                 refine_slice_for_variant(
                     &normalized[i].original,
@@ -744,7 +983,7 @@ impl Session {
                     registered.versioned.initial(),
                     &config.slicing(),
                     &slices[g],
-                    &contexts[g],
+                    context,
                 )
                 .map(|r| {
                     (r.kept_positions.len() < slices[g].kept_positions.len()).then(|| Arc::new(r))
@@ -762,7 +1001,16 @@ impl Session {
         // stays false) — so they are not added here; refinement
         // *wall-clock* still falls inside `stats.slicing`, which times the
         // phase, not member attributions.
-        stats.solver_calls = slices.iter().map(|s| s.solver_calls).sum::<usize>();
+        // Hit groups spent no solver calls this request — their slice's
+        // bill was paid by the request that built the cached plan — so a
+        // warm request passes a solver budget its cold twin may breach:
+        // the budget bounds actual spend.
+        stats.solver_calls = slices
+            .iter()
+            .zip(cached.iter())
+            .filter(|(_, c)| c.is_none())
+            .map(|(s, _)| s.solver_calls)
+            .sum::<usize>();
         stats.slicing = slice_start.elapsed();
         if let Some(limit) = config.budget.max_solver_calls {
             if stats.solver_calls > limit {
@@ -784,6 +1032,7 @@ impl Session {
             slices,
             refined,
             share,
+            cached,
         })
     }
 
@@ -800,6 +1049,7 @@ impl Session {
         let registered = &req.registered;
         let scenarios = &req.scenarios;
         let (method, config, threads) = (req.method, &req.config, req.threads);
+        let cache_on = self.cache_eligible(&req);
 
         let answers: Vec<WhatIfAnswer> = match &planned {
             PlannedWork::Naive => {
@@ -831,6 +1081,7 @@ impl Session {
                 slices,
                 refined,
                 share,
+                cached,
             } => {
                 // Group execution plans: the original-side reenactment is
                 // identical across a group's members, so compute it once
@@ -843,14 +1094,19 @@ impl Session {
                     // The execution phase covers plan building (the groups'
                     // shared reenactment work) plus member answering.
                     let exec_start = Instant::now();
-                    // Build plans only for groups with at least one member
-                    // that was not refined away; a fully refined group
-                    // would never use its plan's cached original-side
+                    // Build plans only for cache-miss groups with at least
+                    // one member that was not refined away; a hit group
+                    // answers from its cached plan, and a fully refined
+                    // group would never use its plan's cached original-side
                     // results.
                     let needs_plan: Vec<bool> = groups
                         .groups
                         .iter()
-                        .map(|g| g.members.iter().any(|&i| refined[i].is_none()))
+                        .enumerate()
+                        .map(|(g, group)| {
+                            cached[g].is_none()
+                                && group.members.iter().any(|&i| refined[i].is_none())
+                        })
                         .collect();
                     let plan_results = run_indexed(groups.groups.len(), threads, |g| {
                         if !needs_plan[g] {
@@ -873,20 +1129,64 @@ impl Session {
                         .map_err(|e| req.group_context(e, Phase::Execution, groups, g))
                     });
                     let plans = collect_results(plan_results)?;
+                    // One handle per group: the provisioned hit, or the
+                    // freshly built plan wrapped with its certification
+                    // metadata and — when caching is on — inserted into
+                    // the history's cache for later requests. A racing
+                    // request that inserted an equivalent entry first wins
+                    // ties; this request still answers from its own plan.
+                    let provisioned = registered.provisioned();
+                    let handles: Vec<Option<Arc<CachedPlan>>> = plans
+                        .into_iter()
+                        .enumerate()
+                        .map(|(g, plan)| match (&cached[g], plan) {
+                            (Some(entry), _) => Some(Arc::clone(entry)),
+                            (None, Some(plan)) => {
+                                let group = &groups.groups[g];
+                                let entry = Arc::new(CachedPlan::new(
+                                    PlanKey::new(
+                                        provisioned.generation(),
+                                        method,
+                                        &group.positions,
+                                        config,
+                                    ),
+                                    group.original.clone(),
+                                    &group.positions,
+                                    group
+                                        .members
+                                        .iter()
+                                        .map(|&i| normalized[i].modified.clone())
+                                        .collect(),
+                                    Arc::clone(&slices[g]),
+                                    plan,
+                                ));
+                                if cache_on {
+                                    self.record_insert(
+                                        provisioned.cache().insert(Arc::clone(&entry)),
+                                    );
+                                }
+                                Some(entry)
+                            }
+                            (None, None) => None,
+                        })
+                        .collect();
                     // Singleton groups fold their shared work into the
                     // member's own answer (exact single-query behavior), so
                     // only multi-member plans report shared work at the
-                    // batch level.
-                    stats.group_reenactment = plans
+                    // batch level — and only *freshly built* ones: a hit
+                    // group's shared reenactment happened in an earlier
+                    // request, so a warm batch adds nothing here.
+                    let fresh_multi: Vec<&GroupPlan> = handles
                         .iter()
-                        .flatten()
+                        .zip(cached.iter())
+                        .filter(|(_, c)| c.is_none())
+                        .filter_map(|(h, _)| h.as_deref())
+                        .map(CachedPlan::plan)
                         .filter(|p| p.group_size() > 1)
-                        .map(|p| p.shared_duration())
-                        .sum();
-                    stats.original_reenactments = plans
+                        .collect();
+                    stats.group_reenactment = fresh_multi.iter().map(|p| p.shared_duration()).sum();
+                    stats.original_reenactments = fresh_multi
                         .iter()
-                        .flatten()
-                        .filter(|p| p.group_size() > 1)
                         .map(|p| p.original_reenactments())
                         .sum::<usize>();
                     // Per-relation breakdown of the shared reenactment,
@@ -894,7 +1194,7 @@ impl Session {
                     // plans' own orders already are).
                     let mut by_relation: std::collections::BTreeMap<String, Duration> =
                         std::collections::BTreeMap::new();
-                    for plan in plans.iter().flatten().filter(|p| p.group_size() > 1) {
+                    for plan in &fresh_multi {
                         for (relation, duration) in plan.relation_timings() {
                             *by_relation.entry(relation.to_string()).or_default() += duration;
                         }
@@ -903,6 +1203,7 @@ impl Session {
 
                     let answers = self.run_pool(threads, scenarios, |i| {
                         req.check_deadline(Phase::Execution)?;
+                        let g = groups.scenario_group[i];
                         match &refined[i] {
                             // A refined member answers solo with its own
                             // smaller slice (its original-side reenactment
@@ -915,10 +1216,23 @@ impl Session {
                                 method,
                                 config,
                             ),
-                            None => plans[groups.scenario_group[i]]
-                                .as_ref()
-                                .expect("a plan is built for every group with unrefined members")
-                                .answer_in_group(&normalized[i], &registered.versioned),
+                            None => {
+                                let entry = handles[g]
+                                    .as_ref()
+                                    .expect("a plan exists for every group with unrefined members");
+                                if cached[g].is_some() {
+                                    // Cross-request hit: byte-identical
+                                    // delta, shared phases never folded
+                                    // (this request did not perform them).
+                                    entry
+                                        .plan()
+                                        .answer_cached(&normalized[i], &registered.versioned)
+                                } else {
+                                    entry
+                                        .plan()
+                                        .answer_in_group(&normalized[i], &registered.versioned)
+                                }
+                            }
                         }
                         .map_err(|e| req.context(e, Phase::Execution, &scenarios[i]))
                     })?;
@@ -928,8 +1242,52 @@ impl Session {
                     let cache: Option<SliceCache> =
                         share.then(|| SliceCache::new(groups, slices.clone()));
                     let exec_start = Instant::now();
+                    let provisioned = registered.provisioned();
                     let answers = self.run_pool(threads, scenarios, |i| {
                         req.check_deadline(Phase::Execution)?;
+                        // The per-scenario provisioning scope: single
+                        // queries and non-program-slicing methods reach
+                        // here (caching is never eligible alongside the
+                        // ablation flags, so `share` is false whenever
+                        // `cache_on` holds).
+                        if cache_on {
+                            if let Some(entry) = &cached[i] {
+                                return entry
+                                    .plan()
+                                    .answer_cached(&normalized[i], &registered.versioned)
+                                    .map_err(|e| req.context(e, Phase::Execution, &scenarios[i]));
+                            }
+                            // Miss: build the singleton plan — exactly what
+                            // `answer_normalized` does internally — answer
+                            // from it, and provision it for later requests.
+                            let entry = Arc::new(CachedPlan::new(
+                                PlanKey::new(
+                                    provisioned.generation(),
+                                    method,
+                                    &normalized[i].modified_positions,
+                                    config,
+                                ),
+                                normalized[i].original.clone(),
+                                &normalized[i].modified_positions,
+                                vec![normalized[i].modified.clone()],
+                                Arc::clone(&slices[i]),
+                                GroupPlan::build(
+                                    &[&normalized[i]],
+                                    &slices[i],
+                                    &registered.versioned,
+                                    method,
+                                    config,
+                                    req.deadline,
+                                )
+                                .map_err(|e| req.context(e, Phase::Execution, &scenarios[i]))?,
+                            ));
+                            let answer = entry
+                                .plan()
+                                .answer_in_group(&normalized[i], &registered.versioned)
+                                .map_err(|e| req.context(e, Phase::Execution, &scenarios[i]))?;
+                            self.record_insert(provisioned.cache().insert(entry));
+                            return Ok(answer);
+                        }
                         let slice = match (&refined[i], &cache) {
                             // Refinement composes with the no-group-plan
                             // ablation: a refined member still answers with
@@ -1044,6 +1402,21 @@ impl Session {
             })
             .collect();
         Ok(Response::new(req.history, req.method, scenarios, stats))
+    }
+
+    /// Records a plan-cache insert's outcome into the monitoring cells
+    /// (entry gauge and eviction counter). Lock-free: called from worker
+    /// threads on the execution path.
+    fn record_insert(&self, outcome: crate::provision::InsertOutcome) {
+        if outcome.inserted {
+            self.metrics.plan_cache_entries.add(1);
+        }
+        if outcome.evicted > 0 {
+            self.metrics
+                .plan_cache_evictions
+                .add(outcome.evicted as u64);
+            self.metrics.plan_cache_entries.sub(outcome.evicted as i64);
+        }
     }
 
     /// Runs `answer` for every scenario on the worker pool, converting

@@ -445,6 +445,17 @@ impl Registry {
         }
     }
 
+    /// Adopts an existing gauge under `name` (get-or-adopt, mirroring
+    /// [`adopt_counter`](Self::adopt_counter)): another subsystem's live
+    /// cell — e.g. the session's plan-cache entry gauge — is scraped
+    /// directly instead of being mirrored into a registry-owned copy.
+    pub fn adopt_gauge(&self, name: &str, help: &str, gauge: Arc<Gauge>) -> Arc<Gauge> {
+        match self.get_or_insert(name, help, Kind::Gauge, &[], || Handle::Gauge(gauge)) {
+            Handle::Gauge(g) => g,
+            _ => unreachable!("kind checked by get_or_insert"),
+        }
+    }
+
     /// Gets or creates an unlabeled histogram over `bounds` (seconds).
     /// The bounds of an existing histogram are kept.
     pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {

@@ -256,7 +256,11 @@ impl<'a> ScenarioSet<'a> {
     /// Answers every scenario by funneling the whole set into
     /// [`Session::execute`]: normalization is shared, scenario groups share
     /// one program slice each, the registered version chain is borrowed
-    /// (never cloned), and scenarios run in parallel.
+    /// (never cloned), and scenarios run in parallel. Re-answering the same
+    /// (or an overlapping) set against an unchanged history additionally
+    /// reuses the session's provisioning cache (`mahif::provision`), which
+    /// skips slicing and plan construction entirely — the interactive
+    /// re-run-the-sweep loop this batch API exists for.
     pub fn answer_all_configured(
         &self,
         method: Method,
@@ -412,6 +416,32 @@ mod tests {
         assert_eq!(batch.stats.shared_slice_hits, 1);
         // Answers still match singles.
         for (scenario, answer) in set.scenarios().iter().zip(&batch.answers) {
+            let reference = single(&session, scenario.modifications(), Method::ReenactPsDs);
+            assert_eq!(answer.answer.delta, reference.delta, "{}", scenario.name());
+        }
+    }
+
+    #[test]
+    fn repeated_answer_all_hits_the_provisioning_cache() {
+        let session = session();
+        let set = sweep_set(&session, &[55, 60, 65, 70, 75]);
+        let first = set.answer_all(Method::ReenactPsDs).unwrap();
+        assert_eq!(session.stats().plan_cache_hits, 0);
+        // The interactive re-run: same set, same history — answered from
+        // the provisioned plan, byte-identically.
+        let second = set.answer_all(Method::ReenactPsDs).unwrap();
+        assert!(session.stats().plan_cache_hits > 0);
+        for (a, b) in first.answers.iter().zip(&second.answers) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.answer.delta, b.answer.delta);
+        }
+        // An overlapping subset of the provisioned sweep also hits: the
+        // group plan certifies each member individually.
+        let subset = sweep_set(&session, &[60, 70]);
+        let hits_before = session.stats().plan_cache_hits;
+        let sub = subset.answer_all(Method::ReenactPsDs).unwrap();
+        assert!(session.stats().plan_cache_hits > hits_before);
+        for (answer, scenario) in sub.answers.iter().zip(subset.scenarios()) {
             let reference = single(&session, scenario.modifications(), Method::ReenactPsDs);
             assert_eq!(answer.answer.delta, reference.delta, "{}", scenario.name());
         }

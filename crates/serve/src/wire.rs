@@ -635,6 +635,22 @@ pub fn encode_session_stats(
             "delta_tuples_deduped",
             Json::Int(stats.delta_tuples_deduped as i64),
         ),
+        // The provisioning cache (see `mahif::provision`): these read the
+        // very cells `/metrics` exposes as `mahif_plan_cache_*`, so the two
+        // endpoints agree by construction.
+        ("plan_cache_hits", Json::Int(stats.plan_cache_hits as i64)),
+        (
+            "plan_cache_misses",
+            Json::Int(stats.plan_cache_misses as i64),
+        ),
+        (
+            "plan_cache_evictions",
+            Json::Int(stats.plan_cache_evictions as i64),
+        ),
+        (
+            "plan_cache_entries",
+            Json::Int(stats.plan_cache_entries as i64),
+        ),
         (
             "admission",
             Json::obj([

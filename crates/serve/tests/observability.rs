@@ -438,6 +438,63 @@ fn stats_and_metrics_agree_on_admission_state() {
 }
 
 #[test]
+fn stats_and_metrics_agree_on_plan_cache() {
+    let (handle, addr) = start_server(ServeConfig::default());
+    let mut client = HttpClient::new(&addr);
+    assert_eq!(
+        client
+            .request("POST", "/histories/retail", Some(REGISTER_BODY), false)
+            .unwrap()
+            .status,
+        201
+    );
+    // The same sweep twice on one keep-alive connection: the first run
+    // misses and provisions a plan, the second hits it.
+    let body = sweep_body();
+    for _ in 0..2 {
+        let reply = client
+            .request("POST", "/histories/retail/batch", Some(&body), false)
+            .unwrap();
+        assert_eq!(reply.status, 200, "{}", reply.body);
+    }
+
+    let stats = client.request("GET", "/stats", None, false).unwrap();
+    assert_eq!(stats.status, 200);
+    let stats = Json::parse(&stats.body).unwrap();
+    let hits = stats.get("plan_cache_hits").and_then(Json::as_i64).unwrap();
+    let misses = stats
+        .get("plan_cache_misses")
+        .and_then(Json::as_i64)
+        .unwrap();
+    let entries = stats
+        .get("plan_cache_entries")
+        .and_then(Json::as_i64)
+        .unwrap();
+    let evictions = stats
+        .get("plan_cache_evictions")
+        .and_then(Json::as_i64)
+        .unwrap();
+    assert_eq!(
+        (hits, misses, entries, evictions),
+        (1, 1, 1, 0),
+        "cold sweep misses once and provisions one group plan; warm sweep hits it"
+    );
+
+    // /metrics reads the very same cells.
+    let scrape = client.request("GET", "/metrics", None, false).unwrap();
+    assert_eq!(scrape.status, 200);
+    for line in [
+        format!("mahif_plan_cache_hits_total {hits}"),
+        format!("mahif_plan_cache_misses_total {misses}"),
+        format!("mahif_plan_cache_evictions_total {evictions}"),
+        format!("mahif_plan_cache_entries {entries}"),
+    ] {
+        assert!(scrape.body.contains(&line), "{line}\n{}", scrape.body);
+    }
+    handle.stop();
+}
+
+#[test]
 fn healthz_reports_uptime_and_build_info() {
     let (handle, addr) = start_server(ServeConfig::default());
     let reply = http_get(&addr, "/healthz").unwrap();

@@ -69,6 +69,39 @@ pub fn group_scenarios(normalized: &[NormalizedWhatIf]) -> ScenarioGroups {
     }
 }
 
+/// The canonical form of a modified-position set: sorted ascending with
+/// duplicates removed. Two position sets that canonicalize equal describe
+/// the same modification sites, so cross-request cache keys are built over
+/// this form — a request listing positions in a different order (or twice)
+/// still finds the plan certified for them.
+pub fn canonical_positions(positions: &[usize]) -> Vec<usize> {
+    let mut canonical = positions.to_vec();
+    canonical.sort_unstable();
+    canonical.dedup();
+    canonical
+}
+
+/// A stable 64-bit hash (FNV-1a) over the canonical position set.
+///
+/// This is a *filter*, never an identity: cache lookups use it to skip
+/// non-matching entries cheaply, then verify the positions — and the
+/// histories they index into — by full structural equality, the same
+/// never-hash-alone rule [`group_scenarios`] follows. The function is
+/// deterministic across processes (no per-process seed), so recorded keys
+/// stay comparable.
+pub fn position_set_hash(positions: &[usize]) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = FNV_OFFSET;
+    for &p in canonical_positions(positions).iter() {
+        for byte in (p as u64).to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(FNV_PRIME);
+        }
+    }
+    hash
+}
+
 /// Computed program slices, one per group, addressable per query.
 #[derive(Debug, Clone)]
 pub struct SliceCache {
@@ -156,6 +189,20 @@ mod tests {
         let groups = group_scenarios(&[a, b, c]);
         assert_eq!(groups.groups.len(), 2);
         assert_eq!(groups.scenario_group, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn canonical_positions_sort_and_dedup() {
+        assert_eq!(canonical_positions(&[3, 1, 2, 1]), vec![1, 2, 3]);
+        assert_eq!(canonical_positions(&[]), Vec::<usize>::new());
+        // Equal canonical sets hash equal regardless of input order …
+        assert_eq!(
+            position_set_hash(&[3, 1, 2]),
+            position_set_hash(&[1, 2, 3, 2])
+        );
+        // … and different sets (almost surely) differ.
+        assert_ne!(position_set_hash(&[1, 2, 3]), position_set_hash(&[1, 2, 4]));
+        assert_ne!(position_set_hash(&[]), position_set_hash(&[0]));
     }
 
     #[test]

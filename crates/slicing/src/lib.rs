@@ -37,7 +37,10 @@ pub use data::{
 pub use domains::domains_for_relation;
 pub use error::SlicingError;
 pub use greedy::{greedy_slice, GreedyConfig};
-pub use groups::{group_scenarios, ScenarioGroup, ScenarioGroups, SliceCache};
+pub use groups::{
+    canonical_positions, group_scenarios, position_set_hash, ScenarioGroup, ScenarioGroups,
+    SliceCache,
+};
 pub use multi::{
     program_slice_multi, program_slice_multi_with_context, refine_slice_for_variant,
     SymbolicGroupContext,

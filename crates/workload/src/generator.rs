@@ -324,6 +324,12 @@ impl GeneratedWorkload {
     /// adjustment amount offset by `v` — `k` hypotheticals over the same
     /// history that differ only in a constant, the shape a scenario batch
     /// engine shares the most work on. Variant labels are `"adjust+{amount}"`.
+    ///
+    /// Deterministic and prefix-stable: `sweep_variants(j)` is exactly the
+    /// first `j` elements of `sweep_variants(k)` for any `j <= k`. The
+    /// repeated-sweep bench phases lean on this — a smaller sweep's members
+    /// are certified by the plan a larger sweep provisioned, so overlapping
+    /// batches hit the session's plan cache.
     pub fn sweep_variants(&self, k: usize) -> Vec<(String, ModificationSet)> {
         (0..k)
             .map(|v| {
@@ -481,6 +487,9 @@ mod tests {
             let modified = m.apply(&w.history).unwrap();
             assert!(modified.execute(&ds.database).is_ok());
         }
+        // Prefix stability (documented contract): a smaller sweep is the
+        // larger sweep's prefix, so overlapping batches can share plans.
+        assert_eq!(w.sweep_variants(2), variants[..2]);
     }
 
     #[test]

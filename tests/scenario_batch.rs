@@ -71,12 +71,19 @@ fn k8_sweep_matches_singles_across_methods() {
     ))
     .unwrap();
     assert_eq!(set.len(), 8);
-    for method in Method::all() {
-        assert_batch_matches_singles(&session, "retail", &set, method);
-    }
+    // The cold batch first: the stats assert the within-batch sharing the
+    // paper promises, which only the first run of a sweep performs — later
+    // identical batches answer from the session's provisioning cache.
     let batch = set.answer_all(Method::ReenactPsDs).unwrap();
     assert_eq!(batch.stats.slice_groups, 1, "a sweep shares one slice");
     assert_eq!(batch.stats.shared_slice_hits, 7);
+    for method in Method::all() {
+        assert_batch_matches_singles(&session, "retail", &set, method);
+    }
+    // The equivalence loop re-ran the sweep warm (and its singles hit the
+    // sweep's certified plans), so the provisioning cache demonstrably
+    // served byte-identical answers above.
+    assert!(session.stats().plan_cache_hits > 0);
 }
 
 /// Scenarios over *different* positions and modification kinds (replace,
@@ -120,13 +127,15 @@ fn heterogeneous_batch_matches_singles_across_methods() {
         ]),
     ))
     .unwrap();
-    for method in Method::all() {
-        assert_batch_matches_singles(&session, "retail", &set, method);
-    }
+    // Cold first: within-batch sharing stats are a first-run property (a
+    // warm batch reuses cached plans and computes no slice at all).
     let batch = set.answer_all(Method::ReenactPsDs).unwrap();
     // The two u1 replacements share a group; the others are singletons.
     assert_eq!(batch.stats.slice_groups, 4);
     assert_eq!(batch.stats.shared_slice_hits, 1);
+    for method in Method::all() {
+        assert_batch_matches_singles(&session, "retail", &set, method);
+    }
 }
 
 /// Batches over a history that *contains inserts* must survive the group
@@ -186,14 +195,15 @@ fn insert_history_batches_match_singles_across_methods() {
         ),
     ))
     .unwrap();
-    for method in Method::all() {
-        assert_batch_matches_singles(&session, "retail", &set, method);
-    }
-    // The sweep's group still shares one original-side reenactment, and the
-    // disable-insert-split ablation agrees too.
+    // Cold first: the sweep's group shares one original-side reenactment —
+    // a first-run property, since a warm batch reuses cached plans.
     let batch = set.answer_all(Method::ReenactPsDs).unwrap();
     assert_eq!(batch.stats.slice_groups, 3);
     assert_eq!(batch.stats.original_reenactments, 3);
+    for method in Method::all() {
+        assert_batch_matches_singles(&session, "retail", &set, method);
+    }
+    // The disable-insert-split ablation agrees too.
     let no_split = set
         .answer_all_configured(
             Method::ReenactPsDs,
@@ -309,12 +319,14 @@ fn generated_workload_sweep_matches_singles() {
     for (name, mods) in workload.sweep_variants(6) {
         set.add(Scenario::new(name, mods)).unwrap();
     }
-    for method in [Method::Naive, Method::ReenactDs, Method::ReenactPsDs] {
-        assert_batch_matches_singles(&session, "taxi", &set, method);
-    }
+    // Cold first (within-batch sharing is a first-run property; warm
+    // batches answer from the provisioning cache).
     let batch = set.answer_all(Method::ReenactPsDs).unwrap();
     assert_eq!(batch.stats.slice_groups, 1);
     assert_eq!(batch.stats.shared_slice_hits, 5);
+    for method in [Method::Naive, Method::ReenactDs, Method::ReenactPsDs] {
+        assert_batch_matches_singles(&session, "taxi", &set, method);
+    }
 }
 
 /// Ranking sanity over the generated sweep: a larger surcharge moves the

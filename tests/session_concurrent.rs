@@ -201,3 +201,202 @@ fn concurrent_batches_match_sequential_and_stats_stay_consistent() {
         );
     }
 }
+
+/// A history with the same shape as the running example but different
+/// contents (u2 adds 9 instead of 5), so the same sweep answers
+/// differently — the teeth of the stale-plan check below.
+fn alternate_history() -> Vec<Statement> {
+    let mut statements = running_example_history();
+    statements[1] = Statement::update(
+        "Order",
+        SetClause::single("ShippingFee", add(attr("ShippingFee"), lit(9))),
+        and(eq(attr("Country"), slit("UK")), le(attr("Price"), lit(100))),
+    );
+    statements
+}
+
+/// Registry churn racing *cached* batch execution on one `Arc<Session>`:
+///
+/// * worker threads hammer the same sweep against a stable history, so
+///   every batch after each worker's first is answered from the
+///   provisioning cache — all answers must stay byte-identical to a cold
+///   reference;
+/// * a churn thread re-registers a second history name with *alternating
+///   contents* and answers the same sweep cold + warm each generation —
+///   the warm (cache-hit) answers must match the generation's own
+///   contents, so a stale plan surviving re-registration is caught as a
+///   wrong-bytes failure;
+/// * a watcher samples `stats()` throughout: the plan-cache counters must
+///   be monotonic and never torn (`hits + misses` only ever grows by whole
+///   lookups).
+#[test]
+fn registry_churn_races_cached_batches_without_stale_plans() {
+    const HOT_BATCHES: usize = 8;
+    const CHURN_GENERATIONS: usize = 6;
+    let fixed_thresholds = [41i64, 55, 65];
+    let run_fixed = |session: &Session, history: &str| -> Response {
+        session
+            .on(history)
+            .method(Method::ReenactPsDs)
+            .run_batch(sweep("t", 0, fixed_thresholds, |t| threshold(*t)))
+            .expect("fixed sweep succeeds")
+    };
+    let assert_same = |got: &Response, want: &Response, context: &str| {
+        assert_eq!(got.len(), want.len(), "{context}");
+        for (a, b) in got.scenarios.iter().zip(&want.scenarios) {
+            assert_eq!(
+                a.answer.delta, b.answer.delta,
+                "{context}: scenario {}",
+                a.name
+            );
+        }
+    };
+
+    // Cold references: one per contents variant, on fresh sessions.
+    let reference_original = {
+        let s = Session::with_history(
+            "retail",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap();
+        run_fixed(&s, "retail")
+    };
+    let reference_alternate = {
+        let s = Session::with_history(
+            "flux",
+            running_example_database(),
+            History::new(alternate_history()),
+        )
+        .unwrap();
+        run_fixed(&s, "flux")
+    };
+    // The stale-plan check needs the two variants to disagree.
+    assert!(reference_original
+        .scenarios
+        .iter()
+        .zip(&reference_alternate.scenarios)
+        .any(|(a, b)| a.answer.delta != b.answer.delta));
+
+    let session = Arc::new(
+        Session::with_history(
+            "retail",
+            running_example_database(),
+            History::new(running_example_history()),
+        )
+        .unwrap(),
+    );
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let samples = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..WORKERS)
+            .map(|_| {
+                let session = Arc::clone(&session);
+                scope.spawn(move || {
+                    (0..HOT_BATCHES)
+                        .map(|_| run_fixed(&session, "retail"))
+                        .collect::<Vec<Response>>()
+                })
+            })
+            .collect();
+        let churn = {
+            let session = Arc::clone(&session);
+            let reference_original = &reference_original;
+            let reference_alternate = &reference_alternate;
+            scope.spawn(move || {
+                for generation in 0..CHURN_GENERATIONS {
+                    let statements = if generation % 2 == 0 {
+                        alternate_history()
+                    } else {
+                        running_example_history()
+                    };
+                    session
+                        .register("flux", running_example_database(), History::new(statements))
+                        .expect("churn registration succeeds");
+                    // Cold, then warm from the cache: both must answer with
+                    // *this* generation's contents.
+                    let cold = run_fixed(&session, "flux");
+                    let warm = run_fixed(&session, "flux");
+                    let want = if generation % 2 == 0 {
+                        &reference_alternate
+                    } else {
+                        &reference_original
+                    };
+                    assert_same(&cold, want, &format!("flux generation {generation}, cold"));
+                    assert_same(
+                        &warm,
+                        want,
+                        &format!("flux generation {generation}, warm (stale plan?)"),
+                    );
+                    session.unregister("flux").expect("churn unregistration");
+                }
+            })
+        };
+        let watcher = {
+            let session = Arc::clone(&session);
+            let stop = Arc::clone(&stop);
+            scope.spawn(move || {
+                let mut samples: Vec<SessionStats> = Vec::new();
+                while !stop.load(std::sync::atomic::Ordering::SeqCst) {
+                    samples.push(session.stats());
+                    std::thread::yield_now();
+                }
+                samples.push(session.stats());
+                samples
+            })
+        };
+        let answers: Vec<Vec<Response>> = workers
+            .into_iter()
+            .map(|w| w.join().expect("worker panicked"))
+            .collect();
+        churn.join().expect("churn thread panicked");
+        stop.store(true, std::sync::atomic::Ordering::SeqCst);
+        let samples = watcher.join().expect("watcher panicked");
+
+        // Every hot-path answer — cached or not — equals the cold reference.
+        for (worker, batches) in answers.iter().enumerate() {
+            for (batch, response) in batches.iter().enumerate() {
+                assert_same(
+                    response,
+                    &reference_original,
+                    &format!("retail worker {worker} batch {batch}"),
+                );
+            }
+        }
+        samples
+    });
+
+    // Final accounting. Each sweep is one slice-sharing group, hence one
+    // cache lookup: every lookup is a hit or a miss, never lost or torn.
+    let stats = session.stats();
+    let retail_lookups = (WORKERS * HOT_BATCHES) as u64;
+    let flux_lookups = 2 * CHURN_GENERATIONS as u64;
+    assert_eq!(
+        stats.plan_cache_hits + stats.plan_cache_misses,
+        retail_lookups + flux_lookups,
+        "{stats:?}"
+    );
+    // A worker can only miss before the first insert lands; afterwards the
+    // shared entry serves everyone. Each flux generation misses cold and
+    // hits warm.
+    assert!(
+        stats.plan_cache_misses <= WORKERS as u64 + CHURN_GENERATIONS as u64,
+        "{stats:?}"
+    );
+    assert!(
+        stats.plan_cache_hits >= (WORKERS * (HOT_BATCHES - 1)) as u64 + CHURN_GENERATIONS as u64,
+        "{stats:?}"
+    );
+    // Flux is unregistered: only retail's plan remains provisioned.
+    assert_eq!(stats.plan_cache_entries, 1, "{stats:?}");
+
+    // The watcher never saw the cache counters move backwards.
+    for pair in samples.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        assert!(b.plan_cache_hits >= a.plan_cache_hits, "{a:?} -> {b:?}");
+        assert!(b.plan_cache_misses >= a.plan_cache_misses, "{a:?} -> {b:?}");
+        assert!(
+            b.plan_cache_evictions >= a.plan_cache_evictions,
+            "{a:?} -> {b:?}"
+        );
+    }
+}

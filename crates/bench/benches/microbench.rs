@@ -259,6 +259,75 @@ fn bench_batch_group_plan(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_columnar(c: &mut Criterion) {
+    // The columnar reenactment path vs the `without_columnar()` row-path
+    // ablation: a k ∈ {8, 32} sweep at the `batch_group_plan` scale,
+    // answered with reenactment-dominated methods (R and R+DS) where the
+    // per-tuple evaluator is the bottleneck the typed columns remove.
+    // Identical per-scenario deltas both ways (tests/columnar_equiv.rs);
+    // the numbers are recorded in the `columnar` phase of
+    // `BENCH_batch.json` at the repo root.
+    let dataset = Dataset::generate(DatasetKind::Taxi, 5_000, 7);
+    let workload = WorkloadSpec::default().with_updates(12).generate(&dataset);
+    // Cache-disabled so every iteration reenacts instead of answering from
+    // a provisioned plan (and the ablation stays comparable — it would be
+    // cache-ineligible anyway).
+    let session = Session::with_config(mahif::SessionConfig::disabled());
+    session
+        .register("bench", dataset.database.clone(), workload.history.clone())
+        .unwrap();
+    println!(
+        "environment: cores={} parallelism=1 (single worker isolates the evaluator difference)",
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+
+    let mut group = c.benchmark_group("columnar");
+    group.sample_size(10);
+    for method in [Method::Reenact, Method::ReenactDs] {
+        let tag = match method {
+            Method::Reenact => "r",
+            _ => "r_ds",
+        };
+        for k in [8usize, 32] {
+            let sweep = workload.sweep_variants(k);
+            let run = |columnar: bool| {
+                let request = session.on("bench").method(method).parallelism(1);
+                let request = if columnar {
+                    request
+                } else {
+                    request.without_columnar()
+                };
+                request
+                    .run_batch(sweep.iter().map(|(name, m)| (name.clone(), m.clone())))
+                    .unwrap()
+            };
+            // A quick self-check outside criterion's loops: the grep-able
+            // `columnar ok:` line CI asserts on, from one warm pair.
+            let warm = run(true);
+            assert!(warm.stats.columnar_batches > 0);
+            let start = std::time::Instant::now();
+            let cold = run(true);
+            let columnar_time = start.elapsed();
+            let start = std::time::Instant::now();
+            let row = run(false);
+            let row_time = start.elapsed();
+            assert_eq!(row.stats.columnar_batches, 0);
+            println!(
+                "columnar ok: {:.2}x speedup ({tag}_k{k}_1t, {} batches, {} vectorized predicates, {} fallbacks)",
+                row_time.as_secs_f64() / columnar_time.as_secs_f64(),
+                cold.stats.columnar_batches,
+                cold.stats.vectorized_predicates,
+                cold.stats.row_fallbacks,
+            );
+            group.bench_function(format!("columnar_{tag}_k{k}_1t"), |b| b.iter(|| run(true)));
+            group.bench_function(format!("row_{tag}_k{k}_1t"), |b| b.iter(|| run(false)));
+        }
+    }
+    group.finish();
+}
+
 fn bench_provisioning(c: &mut Criterion) {
     // The provisioning cache's best case: the identical k=8 sweep repeated
     // against one session. `cold` answers on a cache-disabled session
@@ -301,6 +370,7 @@ criterion_group!(
     bench_end_to_end,
     bench_batch_scenarios,
     bench_batch_group_plan,
+    bench_columnar,
     bench_provisioning
 );
 criterion_main!(benches);

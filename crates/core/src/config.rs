@@ -299,6 +299,12 @@ pub struct EngineConfig {
     /// relation)` (ablation / pre-group-plan baseline; the answers are
     /// identical either way).
     pub disable_group_reenactment: bool,
+    /// Disable the columnar reenactment path: every per-relation reenactment
+    /// then runs tuple-at-a-time through the row evaluator, as before the
+    /// columnar data plane existed (ablation / byte-identity baseline; the
+    /// answers are identical either way, since the columnar path falls back
+    /// to the row path for anything it cannot reproduce exactly).
+    pub disable_columnar: bool,
     /// When to refine a member's program slice below the group's certified
     /// union slice (cheaply, reusing the group's symbolic context) and
     /// answer the member with its own smaller slice. Pays a few extra
@@ -367,6 +373,7 @@ mod tests {
         assert!(!c.use_greedy_slicer);
         assert!(!c.disable_insert_split);
         assert!(!c.skip_compression_constraint);
+        assert!(!c.disable_columnar);
         assert_eq!(c.refine, RefinePolicy::auto());
         assert!(c.budget.is_unlimited());
     }

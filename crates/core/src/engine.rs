@@ -22,12 +22,13 @@ use mahif_history::{
     naive_what_if, DatabaseDelta, History, NormalizedWhatIf, RelationDelta, WhatIfRef,
 };
 use mahif_query::{evaluate, filter_relation};
+use mahif_reenact::columnar::reenact_side_columnar;
 use mahif_reenact::split::{split_reenactment, SplitReenactment};
 use mahif_slicing::{
     apply_data_slicing, data_slicing_conditions, data_slicing_conditions_multi, greedy_slice,
     program_slice, DataSlicingConditions, GreedyConfig, ProgramSliceResult,
 };
-use mahif_storage::{Database, Relation, VersionedDatabase};
+use mahif_storage::{ColumnarRelation, Database, Relation, VersionedDatabase};
 
 use crate::config::{Deadline, EngineConfig, Method};
 use crate::error::MahifError;
@@ -187,6 +188,20 @@ pub fn answer_normalized(
 /// cross-request provisioning cache (see `crate::provision`) stores plans
 /// and answers later requests from them via
 /// [`answer_cached`](Self::answer_cached).
+/// Work counters for the columnar reenactment path, threaded through
+/// [`reenact_side`] so one call site can attribute the work to either the
+/// plan's shared original-side phase or a member's answer.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct ColumnarCounters {
+    /// Per-relation reenactments answered batch-at-a-time.
+    pub batches: usize,
+    /// Flat predicate/projection programs evaluated vectorized.
+    pub predicates: usize,
+    /// Attempted columnar reenactments that declined and re-ran on the row
+    /// path (not counted when the path is disabled by configuration).
+    pub fallbacks: usize,
+}
+
 #[derive(Debug)]
 pub struct GroupPlan {
     method: Method,
@@ -216,6 +231,18 @@ pub struct GroupPlan {
     /// or when an `INSERT ... SELECT` is in play (its branches must read
     /// unfiltered base relations).
     filtered_base: Vec<Option<Database>>,
+    /// Columnar encoding of each relation's reenactment base (parallel to
+    /// `relations`), built once at plan time so neither the shared phase
+    /// nor any of the k members re-encodes the stored tuples. Follows the
+    /// same source as the row path: the pre-filtered shadow relation when
+    /// one was materialized, the stored relation otherwise. `None` when the
+    /// relation has a mixed-type column (no typed encoding) or the columnar
+    /// path is disabled by configuration.
+    columnar_base: Vec<Option<ColumnarRelation>>,
+    /// Columnar-path work counters of the shared original-side phase,
+    /// folded into the answer for singleton groups (like the shared
+    /// timings) and reported at the batch level otherwise.
+    shared_columnar: ColumnarCounters,
     /// Original-side reenactment result per relation (parallel to
     /// `relations`) — the shared half of phase 3, computed once.
     original_results: Vec<Relation>,
@@ -282,6 +309,8 @@ impl GroupPlan {
                 symmetric: true,
                 relations: Vec::new(),
                 filtered_base: Vec::new(),
+                columnar_base: Vec::new(),
+                shared_columnar: ColumnarCounters::default(),
                 original_results: Vec::new(),
                 original_matching: Vec::new(),
                 total_tuples: 0,
@@ -389,11 +418,37 @@ impl GroupPlan {
             }
         }
 
+        // Encode each relation's reenactment base into typed columns once
+        // for the whole group — the shared phase and every member consume
+        // the same immutable batch (its columns are `Arc`-shared, so a
+        // member's reenactment never copies untouched attributes). The
+        // source mirrors the row path's choice: the shadow relation when
+        // one was materialized, the stored relation otherwise.
+        let columnar_base: Vec<Option<ColumnarRelation>> = relations
+            .iter()
+            .zip(filtered_base.iter())
+            .map(|(relation, shadow)| {
+                if config.disable_columnar {
+                    return Ok(None);
+                }
+                let rel = match shadow {
+                    Some(shadow) => shadow.relation(relation)?,
+                    None => base_db.relation(relation)?,
+                };
+                Ok(rel.to_columnar())
+            })
+            .collect::<Result<_, MahifError>>()?;
+
         // Phase 3a: the original-side reenactment, once per relation for the
         // whole group.
+        let mut shared_columnar = ColumnarCounters::default();
         let mut original_results = Vec::with_capacity(relations.len());
         let mut relation_timings = Vec::with_capacity(relations.len());
-        for (relation, shadow) in relations.iter().zip(filtered_base.iter()) {
+        for ((relation, shadow), cbase) in relations
+            .iter()
+            .zip(filtered_base.iter())
+            .zip(columnar_base.iter())
+        {
             if let Some(deadline) = &deadline {
                 deadline.check()?;
             }
@@ -411,6 +466,8 @@ impl GroupPlan {
                 &cond,
                 db,
                 config,
+                cbase.as_ref(),
+                &mut shared_columnar,
             )?);
             relation_timings.push(relation_start.elapsed());
         }
@@ -443,6 +500,8 @@ impl GroupPlan {
             symmetric,
             relations,
             filtered_base,
+            columnar_base,
+            shared_columnar,
             original_results,
             original_matching,
             total_tuples,
@@ -519,6 +578,9 @@ impl GroupPlan {
             timings.data_slicing = self.shared_data_slicing;
             stats.solver_calls = self.solver_calls;
             stats.original_reenactments = self.relations.len();
+            stats.columnar_batches = self.shared_columnar.batches;
+            stats.vectorized_predicates = self.shared_columnar.predicates;
+            stats.row_fallbacks = self.shared_columnar.fallbacks;
         }
 
         let base_db = versioned.initial();
@@ -527,8 +589,14 @@ impl GroupPlan {
         // Phase 3b: the member's modified-side reenactment, over the plan's
         // pre-filtered base relations where materialized.
         let start = Instant::now();
+        let mut member_columnar = ColumnarCounters::default();
         let mut modified_results = Vec::with_capacity(self.relations.len());
-        for (relation, shadow) in self.relations.iter().zip(self.filtered_base.iter()) {
+        for ((relation, shadow), cbase) in self
+            .relations
+            .iter()
+            .zip(self.filtered_base.iter())
+            .zip(self.columnar_base.iter())
+        {
             let schema = base_db.relation(relation)?.schema.clone();
             let (db, cond) = match shadow {
                 Some(shadow) => (shadow, Expr::true_()),
@@ -542,8 +610,13 @@ impl GroupPlan {
                 &cond,
                 db,
                 &self.config,
+                cbase.as_ref(),
+                &mut member_columnar,
             )?);
         }
+        stats.columnar_batches += member_columnar.batches;
+        stats.vectorized_predicates += member_columnar.predicates;
+        stats.row_fallbacks += member_columnar.fallbacks;
         timings.execution = start.elapsed();
         if solo {
             timings.execution += self.shared_reenactment;
@@ -604,6 +677,14 @@ impl GroupPlan {
         self.shared_data_slicing + self.shared_reenactment
     }
 
+    /// Columnar-path work counters of the plan's shared original-side
+    /// phase. Like `shared_duration`, these are reported at the batch
+    /// level for multi-member groups (a singleton group folds them into
+    /// its member's answer instead).
+    pub(crate) fn shared_columnar(&self) -> ColumnarCounters {
+        self.shared_columnar
+    }
+
     /// The execution method the plan was built for.
     pub fn method(&self) -> Method {
         self.method
@@ -636,7 +717,13 @@ impl GroupPlan {
                 .flatten()
                 .map(Database::total_tuples)
                 .sum::<usize>();
-        1024 + cached_tuples * TUPLE_COST + self.kept_positions.len() * 16
+        let columnar_bytes: usize = self
+            .columnar_base
+            .iter()
+            .flatten()
+            .map(ColumnarRelation::approx_bytes)
+            .sum();
+        1024 + cached_tuples * TUPLE_COST + columnar_bytes + self.kept_positions.len() * 16
     }
 
     /// The shared original-side reenactment time per relation, in the
@@ -665,6 +752,13 @@ fn count_matching(rel: &Relation, cond: &Expr) -> Result<usize, MahifError> {
 /// no-insert branch reenacts the *sliced* history over the filtered stored
 /// relation, the insert branches reenact the *unsliced* suffix over each
 /// insert's own small input, and the results are unioned).
+///
+/// The columnar fast path is tried first when a typed encoding of the base
+/// relation is available (`columnar_base`, or an ad-hoc encoding when the
+/// caller has none): it produces tuple-for-tuple the same relation as the
+/// row path or declines (`None`), in which case the row path below runs
+/// unchanged — so every error the row evaluator would report still
+/// surfaces, and `disable_columnar` is a pure ablation switch.
 #[allow(clippy::too_many_arguments)]
 fn reenact_side(
     sliced: &History,
@@ -674,6 +768,8 @@ fn reenact_side(
     condition: &Expr,
     base_db: &Database,
     config: &EngineConfig,
+    columnar_base: Option<&ColumnarRelation>,
+    counters: &mut ColumnarCounters,
 ) -> Result<Relation, MahifError> {
     let has_inserts = full_tail.statements().iter().any(|s| {
         s.relation() == relation
@@ -683,6 +779,33 @@ fn reenact_side(
                     | mahif_history::Statement::InsertQuery { .. }
             )
     });
+    // The inline-insert ablation (`disable_insert_split` with inserts in
+    // play) reenacts the full suffix through the query evaluator; the
+    // columnar path only mirrors the split shape, so it stands aside there
+    // rather than counting a fallback.
+    if !(config.disable_columnar || (has_inserts && config.disable_insert_split)) {
+        let owned;
+        let cbase = match columnar_base {
+            Some(c) => Some(c),
+            None => {
+                owned = base_db
+                    .relation(relation)
+                    .ok()
+                    .and_then(Relation::to_columnar);
+                owned.as_ref()
+            }
+        };
+        match cbase.and_then(|cb| {
+            reenact_side_columnar(sliced, full_tail, relation, schema, condition, base_db, cb)
+        }) {
+            Some(outcome) => {
+                counters.batches += 1;
+                counters.predicates += outcome.vectorized_predicates;
+                return Ok(outcome.relation);
+            }
+            None => counters.fallbacks += 1,
+        }
+    }
     if !has_inserts {
         let query = apply_data_slicing(sliced, relation, schema, condition);
         return Ok(evaluate(&query, base_db)?);

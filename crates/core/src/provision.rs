@@ -131,15 +131,20 @@ impl PlanKey {
 /// plan spends nothing. The refine policy is included because it decides
 /// which members bypass the plan (and whether the slicing pass must keep
 /// symbolic contexts), so requests differing in it must not share entries.
+/// The columnar toggle is included because a plan bakes its config into
+/// member answering (and carries the columnar-encoded bases): an ablation
+/// request must not be answered through a columnar-enabled cached plan, or
+/// the flag would stop isolating the path it ablates.
 fn plan_shape_fingerprint(config: &EngineConfig) -> String {
     format!(
-        "compression={:?} solver={:?} greedy={} insert_split={} compression_constraint={} refine={:?}",
+        "compression={:?} solver={:?} greedy={} insert_split={} compression_constraint={} refine={:?} columnar={}",
         config.compression,
         config.solver,
         config.use_greedy_slicer,
         !config.disable_insert_split,
         !config.skip_compression_constraint,
         config.refine,
+        !config.disable_columnar,
     )
 }
 
@@ -714,6 +719,13 @@ mod tests {
         assert_ne!(
             plan_shape_fingerprint(&base),
             plan_shape_fingerprint(&refine)
+        );
+        let mut row_only = base.clone();
+        row_only.disable_columnar = true;
+        assert_ne!(
+            plan_shape_fingerprint(&base),
+            plan_shape_fingerprint(&row_only),
+            "the columnar ablation must not reuse columnar-enabled plans"
         );
     }
 }

@@ -248,6 +248,15 @@ impl<'s> WhatIfRequest<'s> {
         self
     }
 
+    /// Disables the columnar reenactment path: every per-relation
+    /// reenactment then runs tuple-at-a-time through the row evaluator
+    /// (ablation / byte-identity baseline; the answers are identical
+    /// either way).
+    pub fn without_columnar(mut self) -> Self {
+        self.config.disable_columnar = true;
+        self
+    }
+
     /// Forces per-member slice refinement for every multi-member group: a
     /// group member whose own slice is smaller than the group's certified
     /// union slice is re-sliced cheaply (reusing the group's symbolic

@@ -59,6 +59,19 @@ pub struct BatchStats {
     /// request's answers (scenarios with identical relation deltas share
     /// one allocation; see `mahif_history::DeltaInterner`).
     pub delta_tuples_deduped: usize,
+    /// Per-relation reenactments the request answered on the columnar
+    /// path (batch-at-a-time over typed columns): the shared original-side
+    /// phase of freshly built multi-member plans plus every member's
+    /// modified-side work. Byte-identical results either way — see
+    /// `EngineConfig::disable_columnar` for the ablation.
+    pub columnar_batches: usize,
+    /// Flat predicate/projection programs evaluated vectorized by those
+    /// columnar reenactments.
+    pub vectorized_predicates: usize,
+    /// Per-relation reenactments that attempted the columnar path but fell
+    /// back to the row evaluator (inexpressible statement or predicate,
+    /// mixed-type column, or a runtime fault the row path must reproduce).
+    pub row_fallbacks: usize,
     /// Wall-clock time normalizing and grouping the scenarios.
     pub normalize: Duration,
     /// Wall-clock time of the slicing phase: computing the (shared or

@@ -192,6 +192,9 @@ impl Counters {
             plan_cache_misses: 0,
             plan_cache_evictions: 0,
             plan_cache_entries: 0,
+            columnar_batches: 0,
+            vectorized_predicates: 0,
+            row_fallbacks: 0,
         }
     }
 }
@@ -250,6 +253,18 @@ pub struct SessionStats {
     /// Plans currently cached across registered histories (approximate
     /// while an unregister races an in-flight request's insert).
     pub plan_cache_entries: u64,
+    /// Per-relation reenactments answered on the columnar path
+    /// (batch-at-a-time over typed columns). Like the plan-cache values,
+    /// the three columnar counters read the same atomic cells as
+    /// `/metrics`, so both endpoints agree by construction.
+    pub columnar_batches: u64,
+    /// Flat predicate/projection programs evaluated vectorized by those
+    /// columnar reenactments.
+    pub vectorized_predicates: u64,
+    /// Per-relation reenactments that attempted the columnar path but fell
+    /// back to the row evaluator (inexpressible statement or predicate,
+    /// mixed-type column, or a runtime fault the row path must reproduce).
+    pub row_fallbacks: u64,
 }
 
 /// The session's always-on telemetry mirror: lock-cheap atomic counters
@@ -292,6 +307,15 @@ pub struct SessionMetrics {
     /// Plans currently cached across registered histories (gauge), mirrored
     /// into [`SessionStats::plan_cache_entries`].
     pub plan_cache_entries: Arc<mahif_obs::Gauge>,
+    /// Per-relation reenactments answered on the columnar path, mirrored
+    /// into [`SessionStats::columnar_batches`].
+    pub columnar_batches: Arc<mahif_obs::Counter>,
+    /// Vectorized predicate/projection programs evaluated, mirrored into
+    /// [`SessionStats::vectorized_predicates`].
+    pub vectorized_predicates: Arc<mahif_obs::Counter>,
+    /// Columnar attempts that fell back to the row evaluator, mirrored
+    /// into [`SessionStats::row_fallbacks`].
+    pub row_fallbacks: Arc<mahif_obs::Counter>,
 }
 
 impl Default for SessionMetrics {
@@ -308,6 +332,9 @@ impl Default for SessionMetrics {
             plan_cache_misses: Arc::new(mahif_obs::Counter::new()),
             plan_cache_evictions: Arc::new(mahif_obs::Counter::new()),
             plan_cache_entries: Arc::new(mahif_obs::Gauge::new()),
+            columnar_batches: Arc::new(mahif_obs::Counter::new()),
+            vectorized_predicates: Arc::new(mahif_obs::Counter::new()),
+            row_fallbacks: Arc::new(mahif_obs::Counter::new()),
         }
     }
 }
@@ -372,6 +399,21 @@ impl SessionMetrics {
             "Plans currently cached across registered histories",
             Arc::clone(&self.plan_cache_entries),
         );
+        registry.adopt_counter(
+            "mahif_columnar_batches_total",
+            "Per-relation reenactments answered on the columnar path",
+            Arc::clone(&self.columnar_batches),
+        );
+        registry.adopt_counter(
+            "mahif_vectorized_predicates_total",
+            "Predicate/projection programs evaluated vectorized over columns",
+            Arc::clone(&self.vectorized_predicates),
+        );
+        registry.adopt_counter(
+            "mahif_row_fallbacks_total",
+            "Columnar reenactment attempts that fell back to the row evaluator",
+            Arc::clone(&self.row_fallbacks),
+        );
     }
 }
 
@@ -424,6 +466,13 @@ impl Clone for Session {
         metrics
             .plan_cache_entries
             .set(self.metrics.plan_cache_entries.get());
+        metrics
+            .columnar_batches
+            .add(self.metrics.columnar_batches.get());
+        metrics
+            .vectorized_predicates
+            .add(self.metrics.vectorized_predicates.get());
+        metrics.row_fallbacks.add(self.metrics.row_fallbacks.get());
         Session {
             histories: RwLock::new(self.registry().clone()),
             counters: self.counters.clone(),
@@ -564,6 +613,14 @@ impl Session {
         if self.registry().iter().any(|h| h.name == name) {
             return Err(duplicate(name));
         }
+        // Intern repeated string values across the registered state before
+        // materializing the version chain: the version snapshots, the
+        // columnar string pools and every reenactment result built from
+        // them then share one allocation per distinct string instead of
+        // re-cloning it per tuple. Equality, hashing and ordering are
+        // untouched (see `mahif_storage::StringInterner`).
+        let mut initial = initial;
+        mahif_storage::StringInterner::new().intern_database(&mut initial);
         // Materialize the version chain outside the registry lock — it is
         // the expensive part, and other threads' requests must not stall on
         // it. The authoritative duplicate check runs again under the write
@@ -671,6 +728,11 @@ impl Session {
         stats.plan_cache_misses = self.metrics.plan_cache_misses.get();
         stats.plan_cache_evictions = self.metrics.plan_cache_evictions.get();
         stats.plan_cache_entries = self.metrics.plan_cache_entries.get().max(0) as u64;
+        // So do the columnar-path counters: one cell each, read here and
+        // scraped by `/metrics`.
+        stats.columnar_batches = self.metrics.columnar_batches.get();
+        stats.vectorized_predicates = self.metrics.vectorized_predicates.get();
+        stats.row_fallbacks = self.metrics.row_fallbacks.get();
         stats
     }
 
@@ -1189,6 +1251,16 @@ impl Session {
                         .iter()
                         .map(|p| p.original_reenactments())
                         .sum::<usize>();
+                    // The shared original-side phase of those same fresh
+                    // multi-member plans is also where their columnar work
+                    // happened (singleton plans fold it into the member's
+                    // answer, summed below with the rest).
+                    for plan in &fresh_multi {
+                        let shared = plan.shared_columnar();
+                        stats.columnar_batches += shared.batches;
+                        stats.vectorized_predicates += shared.predicates;
+                        stats.row_fallbacks += shared.fallbacks;
+                    }
                     // Per-relation breakdown of the shared reenactment,
                     // merged across plans (sorted by relation name — the
                     // plans' own orders already are).
@@ -1318,6 +1390,14 @@ impl Session {
             .iter()
             .map(|a| a.stats.original_reenactments)
             .sum::<usize>();
+        // Columnar-path work of the member answers themselves (modified-side
+        // reenactments everywhere, plus the folded shared phase of solo
+        // answers and singleton plans).
+        for answer in &answers {
+            stats.columnar_batches += answer.stats.columnar_batches;
+            stats.vectorized_predicates += answer.stats.vectorized_predicates;
+            stats.row_fallbacks += answer.stats.row_fallbacks;
+        }
 
         // Share the storage of identical answers across the batch (the
         // base-plus-diff representation of a sweep's deltas): equal
@@ -1382,6 +1462,13 @@ impl Session {
         self.metrics
             .delta_tuples_deduped
             .add(stats.delta_tuples_deduped as u64);
+        self.metrics
+            .columnar_batches
+            .add(stats.columnar_batches as u64);
+        self.metrics
+            .vectorized_predicates
+            .add(stats.vectorized_predicates as u64);
+        self.metrics.row_fallbacks.add(stats.row_fallbacks as u64);
         self.metrics
             .plan_seconds
             .observe_duration(stats.normalize + stats.slicing);

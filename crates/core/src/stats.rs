@@ -71,6 +71,17 @@ pub struct EngineStats {
     /// `BatchStats::group_reenactment`, `BatchStats::solver_calls`) —
     /// summing member timings no longer overstates the batch cost.
     pub shared_work: bool,
+    /// Number of per-relation reenactments answered on the columnar path
+    /// (batch-at-a-time over typed columns instead of tuple-at-a-time).
+    pub columnar_batches: usize,
+    /// Number of flat predicate/projection programs evaluated vectorized by
+    /// those columnar reenactments.
+    pub vectorized_predicates: usize,
+    /// Number of per-relation reenactments that attempted the columnar path
+    /// but fell back to the row evaluator (inexpressible statement or
+    /// predicate, mixed-type column, or a runtime arithmetic fault the row
+    /// path must reproduce).
+    pub row_fallbacks: usize,
 }
 
 impl EngineStats {

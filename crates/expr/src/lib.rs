@@ -32,6 +32,7 @@ pub mod simplify;
 pub mod subst;
 pub mod types;
 pub mod value;
+pub mod vector;
 
 pub use error::ExprError;
 pub use eval::{eval_condition, eval_expr, Bindings, MapBindings};

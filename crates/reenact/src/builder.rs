@@ -22,6 +22,17 @@ pub fn reenact_statement(
     if statement.relation() != relation {
         return input;
     }
+    // A statement whose predicate is constant-false touches no tuples:
+    // reenacting it as σ_{¬false} (or an identity projection) would make the
+    // evaluator re-clone every tuple of the input for nothing. Scenario
+    // normalization pads histories with exactly such `Statement::no_op`s, so
+    // pass the input through unchanged instead.
+    if statement
+        .condition()
+        .is_some_and(mahif_expr::Expr::is_false)
+    {
+        return input;
+    }
     match statement {
         Statement::Update { set, cond, .. } => {
             let items = schema

@@ -540,6 +540,12 @@ fn encode_batch_stats(stats: &BatchStats) -> Json {
             "delta_tuples_deduped",
             Json::Int(stats.delta_tuples_deduped as i64),
         ),
+        ("columnar_batches", Json::Int(stats.columnar_batches as i64)),
+        (
+            "vectorized_predicates",
+            Json::Int(stats.vectorized_predicates as i64),
+        ),
+        ("row_fallbacks", Json::Int(stats.row_fallbacks as i64)),
         ("normalize_ms", millis(stats.normalize)),
         ("slicing_ms", millis(stats.slicing)),
         ("group_reenactment_ms", millis(stats.group_reenactment)),
@@ -651,6 +657,14 @@ pub fn encode_session_stats(
             "plan_cache_entries",
             Json::Int(stats.plan_cache_entries as i64),
         ),
+        // The columnar reenactment path: same single-cell contract as the
+        // plan-cache values above.
+        ("columnar_batches", Json::Int(stats.columnar_batches as i64)),
+        (
+            "vectorized_predicates",
+            Json::Int(stats.vectorized_predicates as i64),
+        ),
+        ("row_fallbacks", Json::Int(stats.row_fallbacks as i64)),
         (
             "admission",
             Json::obj([

@@ -495,6 +495,71 @@ fn stats_and_metrics_agree_on_plan_cache() {
 }
 
 #[test]
+fn stats_and_metrics_agree_on_columnar_counters() {
+    let (handle, addr) = start_server(ServeConfig::default());
+    let mut client = HttpClient::new(&addr);
+    assert_eq!(
+        client
+            .request("POST", "/histories/retail", Some(REGISTER_BODY), false)
+            .unwrap()
+            .status,
+        201
+    );
+    let reply = client
+        .request(
+            "POST",
+            "/histories/retail/batch",
+            Some(&sweep_body()),
+            false,
+        )
+        .unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    // The batch answer reports its own columnar work: every UPDATE of the
+    // retail history compiles, so the sweep answers on the columnar path.
+    let response = Json::parse(&reply.body).unwrap();
+    let request_batches = response
+        .get("stats")
+        .and_then(|s| s.get("columnar_batches"))
+        .and_then(Json::as_i64)
+        .unwrap();
+    let request_predicates = response
+        .get("stats")
+        .and_then(|s| s.get("vectorized_predicates"))
+        .and_then(Json::as_i64)
+        .unwrap();
+    assert!(request_batches > 0, "{}", reply.body);
+    assert!(request_predicates > 0, "{}", reply.body);
+
+    let stats = client.request("GET", "/stats", None, false).unwrap();
+    assert_eq!(stats.status, 200);
+    let stats = Json::parse(&stats.body).unwrap();
+    let batches = stats
+        .get("columnar_batches")
+        .and_then(Json::as_i64)
+        .unwrap();
+    let predicates = stats
+        .get("vectorized_predicates")
+        .and_then(Json::as_i64)
+        .unwrap();
+    let fallbacks = stats.get("row_fallbacks").and_then(Json::as_i64).unwrap();
+    assert_eq!(batches, request_batches);
+    assert_eq!(predicates, request_predicates);
+    assert_eq!(fallbacks, 0, "every retail statement vectorizes");
+
+    // /metrics reads the very same cells.
+    let scrape = client.request("GET", "/metrics", None, false).unwrap();
+    assert_eq!(scrape.status, 200);
+    for line in [
+        format!("mahif_columnar_batches_total {batches}"),
+        format!("mahif_vectorized_predicates_total {predicates}"),
+        format!("mahif_row_fallbacks_total {fallbacks}"),
+    ] {
+        assert!(scrape.body.contains(&line), "{line}\n{}", scrape.body);
+    }
+    handle.stop();
+}
+
+#[test]
 fn healthz_reports_uptime_and_build_info() {
     let (handle, addr) = start_server(ServeConfig::default());
     let reply = http_get(&addr, "/healthz").unwrap();

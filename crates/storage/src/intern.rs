@@ -1,0 +1,166 @@
+//! String value interning: deduplicate repeated `Value::Str` payloads behind
+//! shared `Arc<str>`s.
+//!
+//! `Value::str` allocates a fresh `Arc<str>` per call, so a 100k-row relation
+//! whose `Country` column holds twenty distinct countries carries 100k
+//! separate heap strings. Registration runs every relation (and every
+//! `INSERT`ed tuple of the history) through a [`StringInterner`] so equal
+//! strings share one allocation — smaller resident size, pointer-level
+//! sharing with the columnar string pool, and faster equality in the common
+//! `Arc::ptr_eq` case.
+//!
+//! Interning is invisible to semantics: `Value`'s `Eq`/`Hash`/`total_cmp` are
+//! content-based (see the regression test), so interned and non-interned
+//! representations agree everywhere tuples are compared, hashed, or sorted.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use mahif_expr::Value;
+
+use crate::database::Database;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// Deduplicates `Arc<str>` payloads of [`Value::Str`] in place.
+#[derive(Debug, Default)]
+pub struct StringInterner {
+    set: HashSet<Arc<str>>,
+}
+
+impl StringInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Canonical shared `Arc` for `s` (first sighting becomes canonical).
+    pub fn canonical(&mut self, s: &Arc<str>) -> Arc<str> {
+        if let Some(existing) = self.set.get(s) {
+            Arc::clone(existing)
+        } else {
+            self.set.insert(Arc::clone(s));
+            Arc::clone(s)
+        }
+    }
+
+    /// Rewrite a value's string payload to the canonical `Arc`.
+    pub fn intern_value(&mut self, v: &mut Value) {
+        if let Value::Str(s) = v {
+            *s = self.canonical(s);
+        }
+    }
+
+    /// Intern every value of a tuple.
+    pub fn intern_tuple(&mut self, t: &mut Tuple) {
+        for v in &mut t.values {
+            self.intern_value(v);
+        }
+    }
+
+    /// Intern every tuple of a relation.
+    pub fn intern_relation(&mut self, r: &mut Relation) {
+        for t in r.tuples_mut() {
+            self.intern_tuple(t);
+        }
+    }
+
+    /// Intern every relation of a database.
+    pub fn intern_database(&mut self, db: &mut Database) {
+        for name in db.relation_names() {
+            if let Ok(r) = db.relation_mut(&name) {
+                self.intern_relation(r);
+            }
+        }
+    }
+
+    /// Number of distinct strings seen.
+    pub fn distinct(&self) -> usize {
+        self.set.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{Attribute, Schema};
+    use mahif_expr::DataType;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of<T: Hash>(t: &T) -> u64 {
+        let mut h = DefaultHasher::new();
+        t.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn interning_shares_allocations_without_changing_semantics() {
+        let schema = Schema::shared(
+            "t",
+            vec![
+                Attribute::new("id", DataType::Int),
+                Attribute::new("country", DataType::Str),
+            ],
+        );
+        let mut r = Relation::empty(schema);
+        for i in 0..4 {
+            // Each Value::str allocates a fresh Arc<str>.
+            r.insert_values([Value::int(i), Value::str("UK")]).unwrap();
+            r.insert_values([Value::int(i), Value::str("US")]).unwrap();
+        }
+        let before = r.clone();
+
+        let mut interner = StringInterner::new();
+        let mut interned = r;
+        interner.intern_relation(&mut interned);
+        assert_eq!(interner.distinct(), 2);
+
+        // Pointer-level sharing across tuples after interning…
+        let arcs: Vec<&Arc<str>> = interned
+            .iter()
+            .filter_map(|t| match &t.values[1] {
+                Value::Str(s) => Some(s),
+                _ => None,
+            })
+            .collect();
+        assert!(arcs
+            .iter()
+            .any(|a| Arc::ptr_eq(a, arcs[0]) && !std::ptr::eq(*a, arcs[0])));
+        let uk: Vec<&Arc<str>> = arcs.iter().copied().filter(|a| &***a == "UK").collect();
+        assert!(uk.windows(2).all(|w| Arc::ptr_eq(w[0], w[1])));
+
+        // …while Eq, Hash, and total_cmp all agree with the pre-interning
+        // representation, tuple by tuple.
+        assert_eq!(interned, before);
+        for (a, b) in interned.iter().zip(before.iter()) {
+            assert_eq!(a, b);
+            assert_eq!(hash_of(a), hash_of(b));
+            assert_eq!(a.total_cmp(b), std::cmp::Ordering::Equal);
+        }
+        // Sorted order (the delta path's comparator) is unchanged too.
+        assert_eq!(interned.sorted_tuples(), before.sorted_tuples());
+    }
+
+    #[test]
+    fn database_interning_covers_all_relations() {
+        let schema_a = Schema::shared("a", vec![Attribute::new("s", DataType::Str)]);
+        let schema_b = Schema::shared("b", vec![Attribute::new("s", DataType::Str)]);
+        let mut db = Database::new();
+        let mut ra = Relation::empty(schema_a);
+        ra.insert_values([Value::str("shared")]).unwrap();
+        let mut rb = Relation::empty(schema_b);
+        rb.insert_values([Value::str("shared")]).unwrap();
+        db.add_relation(ra).unwrap();
+        db.add_relation(rb).unwrap();
+
+        let mut interner = StringInterner::new();
+        interner.intern_database(&mut db);
+        assert_eq!(interner.distinct(), 1);
+        let get = |name: &str| match &db.relation(name).unwrap().iter().next().unwrap().values[0] {
+            Value::Str(s) => Arc::clone(s),
+            _ => unreachable!(),
+        };
+        assert!(Arc::ptr_eq(&get("a"), &get("b")));
+    }
+}

@@ -16,15 +16,19 @@
 //!
 //! Query evaluation (b) lives in `mahif-query`.
 
+pub mod columnar;
 pub mod database;
 pub mod error;
+pub mod intern;
 pub mod relation;
 pub mod schema;
 pub mod tuple;
 pub mod versioned;
 
+pub use columnar::ColumnarRelation;
 pub use database::Database;
 pub use error::StorageError;
+pub use intern::StringInterner;
 pub use relation::Relation;
 pub use schema::{Attribute, Schema, SchemaRef};
 pub use tuple::{Tuple, TupleBindings};

@@ -59,8 +59,14 @@ impl Relation {
     }
 
     /// Iterator over tuples.
-    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+    pub fn iter(&self) -> std::slice::Iter<'_, Tuple> {
         self.tuples.iter()
+    }
+
+    /// Mutable iterator over tuples (values only — arity cannot change
+    /// through an iterator), used by in-place string interning.
+    pub fn tuples_mut(&mut self) -> impl Iterator<Item = &mut Tuple> {
+        self.tuples.iter_mut()
     }
 
     /// Appends a tuple, validating arity.

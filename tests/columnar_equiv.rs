@@ -1,0 +1,310 @@
+//! Property-based equivalence of the columnar reenactment path: for
+//! randomly generated NULL-heavy databases, histories and modifications,
+//! the default (columnar) configuration and the `without_columnar()`
+//! ablation must produce **byte-identical** deltas under every execution
+//! method. The generator deliberately mixes vectorizable statements with
+//! ones the columnar path must decline (string-typed predicates over
+//! NULL-heavy columns, inserts, arithmetic that can fault), so both the
+//! fast path and its row fallback are exercised against each other.
+
+use proptest::prelude::*;
+
+use mahif::{Method, Session};
+use mahif_expr::builder::*;
+use mahif_expr::Value;
+use mahif_history::{History, Modification, ModificationSet, SetClause, Statement};
+use mahif_storage::{Attribute, Database, Relation, Schema, Tuple};
+
+/// A generated statement over `R(K int, V int-or-null, C str)`.
+#[derive(Debug, Clone)]
+enum GenStatement {
+    /// `UPDATE R SET V = V + delta WHERE lo <= K AND K < hi` — NULL `V`s
+    /// stay NULL through the arithmetic (Kleene semantics both paths).
+    UpdateByKey { lo: i64, hi: i64, delta: i64 },
+    /// `UPDATE R SET V = value WHERE C = tag` — a string predicate over
+    /// the interned column.
+    UpdateByTag { tag: char, value: i64 },
+    /// `UPDATE R SET V = NULL WHERE V >= threshold` — introduces fresh
+    /// NULLs mid-history (and a `Const(Null)` SET expression, whose
+    /// inferred column type both paths must agree on).
+    UpdateToNull { threshold: i64 },
+    /// `DELETE FROM R WHERE V < threshold` — NULL `V`s survive (the
+    /// condition is not FALSE for them... it is NULL, and the reenacted
+    /// `σ_{¬θ}` keeps exactly the rows where θ is FALSE).
+    DeleteByValue { threshold: i64 },
+    /// `INSERT INTO R VALUES (k, v-or-null, tag)` — forces the
+    /// insert-split around the columnar trunk.
+    Insert { k: i64, v: Option<i64>, tag: char },
+}
+
+impl GenStatement {
+    fn to_statement(&self) -> Statement {
+        match self {
+            GenStatement::UpdateByKey { lo, hi, delta } => Statement::update(
+                "R",
+                SetClause::single("V", add(attr("V"), lit(*delta))),
+                and(ge(attr("K"), lit(*lo)), lt(attr("K"), lit(*hi))),
+            ),
+            GenStatement::UpdateByTag { tag, value } => Statement::update(
+                "R",
+                SetClause::single("V", lit(*value)),
+                eq(attr("C"), slit(tag.to_string())),
+            ),
+            GenStatement::UpdateToNull { threshold } => Statement::update(
+                "R",
+                SetClause::single("V", null()),
+                ge(attr("V"), lit(*threshold)),
+            ),
+            GenStatement::DeleteByValue { threshold } => {
+                Statement::delete("R", lt(attr("V"), lit(*threshold)))
+            }
+            GenStatement::Insert { k, v, tag } => Statement::insert_values(
+                "R",
+                Tuple::new(vec![
+                    Value::Int(*k),
+                    v.map_or(Value::Null, Value::Int),
+                    Value::from(tag.to_string()),
+                ]),
+            ),
+        }
+    }
+}
+
+fn arb_statement() -> impl Strategy<Value = GenStatement> {
+    prop_oneof![
+        (0i64..20, 1i64..10, -5i64..10).prop_map(|(lo, len, delta)| GenStatement::UpdateByKey {
+            lo,
+            hi: lo + len,
+            delta,
+        }),
+        (0u8..3, 0i64..50).prop_map(|(t, value)| GenStatement::UpdateByTag {
+            tag: char::from(b'a' + t),
+            value,
+        }),
+        (20i64..45).prop_map(|threshold| GenStatement::UpdateToNull { threshold }),
+        (0i64..25).prop_map(|threshold| GenStatement::DeleteByValue { threshold }),
+        // A negative `v` encodes a NULL insert value (the shim has no
+        // `prop::option`).
+        (30i64..40, -10i64..50, 0u8..3).prop_map(|(k, v, t)| GenStatement::Insert {
+            k,
+            v: (v >= 0).then_some(v),
+            tag: char::from(b'a' + t),
+        }),
+    ]
+}
+
+fn arb_history() -> impl Strategy<Value = Vec<GenStatement>> {
+    prop::collection::vec(arb_statement(), 1..8)
+}
+
+/// The database `R(K, V, C)` with keys `0..rows`, roughly every third `V`
+/// NULL, and `C` cycling over three repeated tags (so the interner and the
+/// columnar string pool both see heavy repetition).
+fn database(rows: usize, values: &[i64]) -> Database {
+    let schema = Schema::shared(
+        "R",
+        vec![
+            Attribute::int("K"),
+            Attribute::int("V"),
+            Attribute::str("C"),
+        ],
+    );
+    let mut relation = Relation::empty(schema);
+    for k in 0..rows {
+        let raw = values[k % values.len()];
+        let v = if raw % 3 == 0 {
+            Value::Null
+        } else {
+            Value::Int(raw.rem_euclid(50))
+        };
+        let tag = char::from(b'a' + (k % 3) as u8);
+        relation
+            .insert(Tuple::new(vec![
+                Value::Int(k as i64),
+                v,
+                Value::from(tag.to_string()),
+            ]))
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.add_relation(relation).unwrap();
+    db
+}
+
+/// Answers `modifications` twice per method — columnar on (the default)
+/// and off — and demands byte-identical deltas.
+fn check_flag_both_ways(
+    db: &Database,
+    statements: &[GenStatement],
+    modifications: ModificationSet,
+) -> Result<(), TestCaseError> {
+    let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
+    let session = Session::with_history("prop", db.clone(), history).expect("history executes");
+    for method in Method::all() {
+        let columnar = session
+            .on("prop")
+            .modifications(modifications.clone())
+            .method(method)
+            .run()
+            .expect("columnar what-if succeeds")
+            .into_answer();
+        let row = session
+            .on("prop")
+            .modifications(modifications.clone())
+            .method(method)
+            .without_columnar()
+            .run()
+            .expect("row what-if succeeds")
+            .into_answer();
+        prop_assert_eq!(
+            &columnar.delta,
+            &row.delta,
+            "columnar and row paths disagree under method {}",
+            method.label()
+        );
+        prop_assert_eq!(
+            row.stats.columnar_batches + row.stats.row_fallbacks,
+            0,
+            "the ablation must never touch the columnar path"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Replacing a random statement: the columnar path and the row path
+    /// answer identically for every method, NULLs and strings included.
+    #[test]
+    fn replacement_deltas_are_byte_identical(
+        statements in arb_history(),
+        replacement in arb_statement(),
+        position_seed in 0usize..8,
+        values in prop::collection::vec(-20i64..60, 4..10),
+    ) {
+        let db = database(25, &values);
+        let position = position_seed % statements.len();
+        let modifications = ModificationSet::new(vec![Modification::replace(
+            position,
+            replacement.to_statement(),
+        )]);
+        check_flag_both_ways(&db, &statements, modifications)?;
+    }
+
+    /// Deleting and inserting statements (pads histories with no-ops,
+    /// which the columnar trunk must skip exactly like the row path).
+    #[test]
+    fn structural_modification_deltas_are_byte_identical(
+        statements in arb_history(),
+        inserted in arb_statement(),
+        seed_a in 0usize..8,
+        seed_b in 0usize..9,
+        values in prop::collection::vec(-20i64..60, 4..10),
+    ) {
+        let db = database(25, &values);
+        let modifications = if seed_a % 2 == 0 {
+            ModificationSet::new(vec![Modification::delete(seed_a % statements.len())])
+        } else {
+            ModificationSet::new(vec![Modification::insert(
+                seed_b % (statements.len() + 1),
+                inserted.to_statement(),
+            )])
+        };
+        check_flag_both_ways(&db, &statements, modifications)?;
+    }
+
+    /// Grouped sweeps: a k-scenario batch answered with the columnar path
+    /// on and off — same grouping, same shared plan shape — must produce
+    /// byte-identical deltas for every member. This cross-checks the
+    /// shared original-side phase, the group plan's member answering and
+    /// the solo paths against the row evaluator.
+    #[test]
+    fn grouped_batches_are_byte_identical(
+        statements in arb_history(),
+        replacements in prop::collection::vec(arb_statement(), 2..4),
+        position_seed in 0usize..8,
+        values in prop::collection::vec(-20i64..60, 4..10),
+    ) {
+        let db = database(25, &values);
+        let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
+        let session =
+            Session::with_history("prop", db, history).expect("history executes");
+        let position = position_seed % statements.len();
+        let scenarios: Vec<(String, ModificationSet)> = replacements
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                (
+                    format!("s{i}"),
+                    ModificationSet::single_replace(position, r.to_statement()),
+                )
+            })
+            .collect();
+        let columnar = session
+            .on("prop")
+            .run_batch(scenarios.clone())
+            .expect("columnar batch succeeds");
+        let row = session
+            .on("prop")
+            .without_columnar()
+            .run_batch(scenarios.clone())
+            .expect("row batch succeeds");
+        for (name, _) in &scenarios {
+            prop_assert_eq!(
+                &columnar.get(name).unwrap().answer.delta,
+                &row.get(name).unwrap().answer.delta,
+                "scenario {} statements {:?} replacements {:?} position {}",
+                name,
+                &statements,
+                &replacements,
+                position
+            );
+        }
+    }
+}
+
+/// A non-random regression guard: a history whose statements all vectorize
+/// reports its work through the columnar counters, and the ablation
+/// reproduces the delta with the counters dark.
+#[test]
+fn vectorizable_history_reports_columnar_work() {
+    let db = database(25, &[3, 7, 11, 42]);
+    let statements = [
+        GenStatement::UpdateByKey {
+            lo: 0,
+            hi: 10,
+            delta: 5,
+        },
+        GenStatement::DeleteByValue { threshold: 8 },
+    ];
+    let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
+    let session = Session::with_history("prop", db, history).unwrap();
+    let modifications = ModificationSet::single_replace(
+        0,
+        GenStatement::UpdateByKey {
+            lo: 0,
+            hi: 10,
+            delta: 9,
+        }
+        .to_statement(),
+    );
+    let columnar = session
+        .on("prop")
+        .modifications(modifications.clone())
+        .run()
+        .unwrap()
+        .into_answer();
+    assert!(columnar.stats.columnar_batches > 0);
+    assert!(columnar.stats.vectorized_predicates > 0);
+    assert_eq!(columnar.stats.row_fallbacks, 0);
+    let row = session
+        .on("prop")
+        .modifications(modifications)
+        .without_columnar()
+        .run()
+        .unwrap()
+        .into_answer();
+    assert_eq!(columnar.delta, row.delta);
+    assert_eq!(row.stats.columnar_batches, 0);
+}

@@ -1,0 +1,202 @@
+//! Structured static-analysis rejections.
+
+use std::fmt;
+
+/// A static-analysis rejection: the scenario (or request) is malformed with
+/// respect to the registered history's schema and inferred types, detected
+/// **before** any slicing or reenactment runs. The serve layer maps these to
+/// HTTP 400 with the offending relation/attribute named in the body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AnalysisError {
+    /// A scenario statement targets a relation the registered database does
+    /// not contain.
+    UnknownRelation {
+        /// The unknown relation name.
+        relation: String,
+    },
+    /// An expression references an attribute its relation does not have.
+    UnknownAttribute {
+        /// The relation the statement runs against.
+        relation: String,
+        /// The unknown attribute name.
+        attribute: String,
+    },
+    /// An operator is applied to an expression whose inferred type cannot
+    /// satisfy it (e.g. arithmetic over a TEXT attribute) — at runtime this
+    /// would fault mid-reenactment as a type mismatch.
+    TypeMismatch {
+        /// The relation the statement runs against.
+        relation: String,
+        /// The closest named attribute involved, when one exists.
+        attribute: Option<String>,
+        /// The operator or context that failed (`+`, `AND`, `SET V`, …).
+        context: String,
+        /// What the operator requires.
+        expected: String,
+        /// The inferred static type that was found instead.
+        found: String,
+    },
+    /// A statement's WHERE clause cannot evaluate to a boolean.
+    NotACondition {
+        /// The relation the statement runs against.
+        relation: String,
+        /// The inferred static type of the condition.
+        found: String,
+    },
+    /// An inserted tuple's arity does not match the relation's schema.
+    ArityMismatch {
+        /// The relation the statement runs against.
+        relation: String,
+        /// The schema arity.
+        expected: usize,
+        /// The tuple arity.
+        found: usize,
+    },
+    /// An inserted tuple's value cannot inhabit its column's type.
+    ValueTypeMismatch {
+        /// The relation the statement runs against.
+        relation: String,
+        /// The column the value is inserted into.
+        attribute: String,
+        /// The column's declared type.
+        expected: String,
+        /// The value's type.
+        found: String,
+    },
+    /// A modification references a statement position outside the (already
+    /// partially modified) history.
+    PositionOutOfBounds {
+        /// The referenced 0-based position.
+        position: usize,
+        /// The history length the position was checked against.
+        length: usize,
+    },
+    /// A scenario expression contains an unbound parameter variable —
+    /// statement evaluation has no bindings, so this would fault at runtime.
+    UnboundVariable {
+        /// The variable name.
+        variable: String,
+    },
+}
+
+impl AnalysisError {
+    /// The relation involved, when the rejection names one.
+    pub fn relation(&self) -> Option<&str> {
+        match self {
+            AnalysisError::UnknownRelation { relation }
+            | AnalysisError::UnknownAttribute { relation, .. }
+            | AnalysisError::TypeMismatch { relation, .. }
+            | AnalysisError::NotACondition { relation, .. }
+            | AnalysisError::ArityMismatch { relation, .. }
+            | AnalysisError::ValueTypeMismatch { relation, .. } => Some(relation),
+            _ => None,
+        }
+    }
+
+    /// The attribute involved, when the rejection names one.
+    pub fn attribute(&self) -> Option<&str> {
+        match self {
+            AnalysisError::UnknownAttribute { attribute, .. }
+            | AnalysisError::ValueTypeMismatch { attribute, .. } => Some(attribute),
+            AnalysisError::TypeMismatch { attribute, .. } => attribute.as_deref(),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for AnalysisError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AnalysisError::UnknownRelation { relation } => {
+                write!(f, "unknown relation {relation}")
+            }
+            AnalysisError::UnknownAttribute {
+                relation,
+                attribute,
+            } => write!(f, "relation {relation} has no attribute {attribute}"),
+            AnalysisError::TypeMismatch {
+                relation,
+                attribute,
+                context,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context} on {relation}: expected {expected}, found {found}"
+                )?;
+                if let Some(attr) = attribute {
+                    write!(f, " (attribute {attr})")?;
+                }
+                Ok(())
+            }
+            AnalysisError::NotACondition { relation, found } => {
+                write!(
+                    f,
+                    "WHERE clause on {relation} is not a condition: inferred type {found}, expected BOOL"
+                )
+            }
+            AnalysisError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "insert into {relation} has {found} values, schema has {expected} attributes"
+            ),
+            AnalysisError::ValueTypeMismatch {
+                relation,
+                attribute,
+                expected,
+                found,
+            } => write!(
+                f,
+                "insert into {relation}.{attribute} expects {expected}, got {found}"
+            ),
+            AnalysisError::PositionOutOfBounds { position, length } => write!(
+                f,
+                "modification position {position} out of bounds for history of length {length}"
+            ),
+            AnalysisError::UnboundVariable { variable } => {
+                write!(f, "unbound parameter variable {variable}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AnalysisError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_and_display() {
+        let e = AnalysisError::UnknownAttribute {
+            relation: "Order".into(),
+            attribute: "Freight".into(),
+        };
+        assert_eq!(e.relation(), Some("Order"));
+        assert_eq!(e.attribute(), Some("Freight"));
+        assert!(e.to_string().contains("Freight"));
+
+        let e = AnalysisError::PositionOutOfBounds {
+            position: 7,
+            length: 3,
+        };
+        assert_eq!(e.relation(), None);
+        assert_eq!(e.attribute(), None);
+        assert!(e.to_string().contains('7'));
+
+        let e = AnalysisError::TypeMismatch {
+            relation: "Order".into(),
+            attribute: Some("Customer".into()),
+            context: "+".into(),
+            expected: "INT".into(),
+            found: "TEXT".into(),
+        };
+        assert_eq!(e.attribute(), Some("Customer"));
+        assert!(e.to_string().contains("expected INT"));
+    }
+}

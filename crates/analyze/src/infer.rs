@@ -1,0 +1,511 @@
+//! Static type and nullability inference over statement expressions.
+//!
+//! The inference mirrors `mahif_expr::eval` exactly — it computes, for every
+//! expression, the set of data types the runtime value may have
+//! ([`TypeInfo`]) and rejects precisely the shapes the evaluator would fault
+//! on (arithmetic over non-INT operands, `AND`/`OR`/`NOT` over non-BOOL
+//! operands, unbound attributes and parameter variables). Comparisons,
+//! `IS NULL` and `IF .. THEN .. ELSE` conditions are total at runtime and
+//! therefore never rejected, only typed.
+
+use std::collections::BTreeMap;
+
+use mahif_expr::{DataType, Expr, TypeInfo};
+use mahif_history::Statement;
+use mahif_storage::{Database, SchemaRef};
+
+use crate::error::AnalysisError;
+
+/// The inferred per-attribute types of one relation.
+#[derive(Debug, Clone)]
+pub struct RelationTypes {
+    /// The relation's declared schema.
+    pub schema: SchemaRef,
+    /// Inferred [`TypeInfo`] per attribute, in schema order.
+    pub attrs: Vec<TypeInfo>,
+    /// True once an `INSERT … SELECT` wrote query-derived rows: inference
+    /// gives up on the relation and every attribute reads as
+    /// [`TypeInfo::any`].
+    pub tainted: bool,
+}
+
+impl RelationTypes {
+    /// The inferred type of `attr`, when the schema has it.
+    pub fn attribute(&self, attr: &str) -> Option<TypeInfo> {
+        self.schema.index_of(attr).map(|i| self.attrs[i])
+    }
+}
+
+/// Inferred types for every relation of a database, evolved statement by
+/// statement over a history.
+#[derive(Debug, Clone, Default)]
+pub struct TypeEnv {
+    /// Per-relation types, keyed by relation name.
+    pub relations: BTreeMap<String, RelationTypes>,
+}
+
+impl TypeEnv {
+    /// Seeds the environment from a database instance: each attribute
+    /// starts at its declared type, widened by the types and NULLs actually
+    /// present in the initial data.
+    pub fn from_database(db: &Database) -> TypeEnv {
+        let mut relations = BTreeMap::new();
+        for (name, relation) in db.iter() {
+            let schema = relation.schema.clone();
+            let mut attrs: Vec<TypeInfo> = schema
+                .attributes
+                .iter()
+                .map(|a| TypeInfo::of(a.dtype))
+                .collect();
+            for tuple in relation.iter() {
+                for (i, info) in attrs.iter_mut().enumerate() {
+                    match tuple.value(i).and_then(|v| v.data_type()) {
+                        Some(dt) => info.types = info.types.union(dt.into()),
+                        None => info.nullable = true,
+                    }
+                }
+            }
+            relations.insert(
+                name.clone(),
+                RelationTypes {
+                    schema,
+                    attrs,
+                    tainted: false,
+                },
+            );
+        }
+        TypeEnv { relations }
+    }
+
+    /// The types of `relation`, when registered.
+    pub fn relation(&self, relation: &str) -> Option<&RelationTypes> {
+        self.relations.get(relation)
+    }
+}
+
+/// The first attribute referenced by `expr`, used to name the offending
+/// attribute in rejections.
+fn principal_attr(expr: &Expr) -> Option<String> {
+    expr.attrs().into_iter().next()
+}
+
+/// Infers the static type of `expr` evaluated against rows of `rel`,
+/// rejecting exactly the shapes `eval_expr` would fault on.
+pub fn infer_expr(
+    expr: &Expr,
+    relation: &str,
+    rel: &RelationTypes,
+) -> Result<TypeInfo, AnalysisError> {
+    match expr {
+        Expr::Attr(name) => {
+            if rel.tainted {
+                return Ok(TypeInfo::any());
+            }
+            rel.attribute(name)
+                .ok_or_else(|| AnalysisError::UnknownAttribute {
+                    relation: relation.to_string(),
+                    attribute: name.clone(),
+                })
+        }
+        // Statement evaluation binds no parameter variables; any `Var` left
+        // after substitution faults at runtime.
+        Expr::Var(name) => Err(AnalysisError::UnboundVariable {
+            variable: name.clone(),
+        }),
+        Expr::Const(v) => Ok(match v.data_type() {
+            Some(dt) => TypeInfo::of(dt),
+            None => TypeInfo::null(),
+        }),
+        Expr::Arith { op, left, right } => {
+            let l = infer_expr(left, relation, rel)?;
+            let r = infer_expr(right, relation, rel)?;
+            for (side, ty) in [(&**left, l), (&**right, r)] {
+                if !ty.at_most(DataType::Int) {
+                    return Err(AnalysisError::TypeMismatch {
+                        relation: relation.to_string(),
+                        attribute: principal_attr(side),
+                        context: op.symbol().to_string(),
+                        expected: DataType::Int.to_string(),
+                        found: ty.to_string(),
+                    });
+                }
+            }
+            Ok(TypeInfo {
+                // NULL-only operands make the result NULL-only.
+                types: if l.types.is_empty() || r.types.is_empty() {
+                    mahif_expr::TypeSet::EMPTY
+                } else {
+                    DataType::Int.into()
+                },
+                nullable: l.nullable || r.nullable,
+            })
+        }
+        // `sql_cmp` is total (cross-type comparisons order by type rank), so
+        // comparisons never fault; NULL operands yield NULL.
+        Expr::Cmp { left, right, .. } => {
+            let l = infer_expr(left, relation, rel)?;
+            let r = infer_expr(right, relation, rel)?;
+            Ok(TypeInfo {
+                types: DataType::Bool.into(),
+                nullable: l.nullable || r.nullable || l.types.is_empty() || r.types.is_empty(),
+            })
+        }
+        Expr::And(l, r) | Expr::Or(l, r) => {
+            let op = if matches!(expr, Expr::And(..)) {
+                "AND"
+            } else {
+                "OR"
+            };
+            let lt = infer_expr(l, relation, rel)?;
+            let rt = infer_expr(r, relation, rel)?;
+            // Kleene AND/OR evaluate both operands eagerly and fault on any
+            // non-BOOL non-NULL value.
+            for (side, ty) in [(&**l, lt), (&**r, rt)] {
+                if !ty.at_most(DataType::Bool) {
+                    return Err(AnalysisError::TypeMismatch {
+                        relation: relation.to_string(),
+                        attribute: principal_attr(side),
+                        context: op.to_string(),
+                        expected: DataType::Bool.to_string(),
+                        found: ty.to_string(),
+                    });
+                }
+            }
+            Ok(TypeInfo {
+                types: DataType::Bool.into(),
+                nullable: lt.nullable || rt.nullable || lt.types.is_empty() || rt.types.is_empty(),
+            })
+        }
+        Expr::Not(e) => {
+            let ty = infer_expr(e, relation, rel)?;
+            if !ty.at_most(DataType::Bool) {
+                return Err(AnalysisError::TypeMismatch {
+                    relation: relation.to_string(),
+                    attribute: principal_attr(e),
+                    context: "NOT".to_string(),
+                    expected: DataType::Bool.to_string(),
+                    found: ty.to_string(),
+                });
+            }
+            Ok(TypeInfo {
+                types: DataType::Bool.into(),
+                nullable: ty.nullable || ty.types.is_empty(),
+            })
+        }
+        Expr::IsNull(e) => {
+            infer_expr(e, relation, rel)?;
+            Ok(TypeInfo::of(DataType::Bool))
+        }
+        Expr::IfThenElse {
+            cond,
+            then_branch,
+            else_branch,
+        } => {
+            // The runtime treats any non-TRUE condition (NULL included, but
+            // also non-boolean values) as "take the else branch" — the
+            // condition itself never faults beyond its own sub-expressions.
+            infer_expr(cond, relation, rel)?;
+            let t = infer_expr(then_branch, relation, rel)?;
+            let e = infer_expr(else_branch, relation, rel)?;
+            Ok(t.join(e))
+        }
+    }
+}
+
+/// Strictly checks a scenario statement against the environment: unknown
+/// relations/attributes, non-boolean conditions, ill-typed SET expressions
+/// and inserted values, and unbound parameter variables are rejected. A
+/// statement that passes cannot raise a type error when reenacted (value
+/// errors — division by zero, overflow — remain possible where arithmetic
+/// is present).
+pub fn check_statement(statement: &Statement, env: &TypeEnv) -> Result<(), AnalysisError> {
+    let relation = statement.relation();
+    let rel = env
+        .relation(relation)
+        .ok_or_else(|| AnalysisError::UnknownRelation {
+            relation: relation.to_string(),
+        })?;
+    if rel.tainted {
+        // Query-derived rows put the relation beyond static reach; checking
+        // against `any()` types would reject valid statements, so accept
+        // best-effort.
+        return Ok(());
+    }
+    match statement {
+        Statement::Update { set, cond, .. } => {
+            check_condition(cond, relation, rel)?;
+            for attr in set.modified_attributes() {
+                let declared =
+                    rel.schema
+                        .attribute(&attr)
+                        .ok_or_else(|| AnalysisError::UnknownAttribute {
+                            relation: relation.to_string(),
+                            attribute: attr.clone(),
+                        })?;
+                let expr = set.expr_for(&attr).expect("attribute comes from the set");
+                let ty = infer_expr(expr, relation, rel)?;
+                if !ty.at_most(declared.dtype) {
+                    return Err(AnalysisError::TypeMismatch {
+                        relation: relation.to_string(),
+                        attribute: Some(attr.clone()),
+                        context: format!("SET {attr}"),
+                        expected: declared.dtype.to_string(),
+                        found: ty.to_string(),
+                    });
+                }
+            }
+            Ok(())
+        }
+        Statement::Delete { cond, .. } => check_condition(cond, relation, rel),
+        Statement::InsertValues { tuple, .. } => {
+            if tuple.arity() != rel.schema.arity() {
+                return Err(AnalysisError::ArityMismatch {
+                    relation: relation.to_string(),
+                    expected: rel.schema.arity(),
+                    found: tuple.arity(),
+                });
+            }
+            for (i, attribute) in rel.schema.attributes.iter().enumerate() {
+                let value = tuple.value(i).expect("arity was checked");
+                if let Some(dt) = value.data_type() {
+                    if dt != attribute.dtype {
+                        return Err(AnalysisError::ValueTypeMismatch {
+                            relation: relation.to_string(),
+                            attribute: attribute.name.clone(),
+                            expected: attribute.dtype.to_string(),
+                            found: dt.to_string(),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        }
+        Statement::InsertQuery { query, .. } => {
+            for read in query.referenced_relations() {
+                if env.relation(&read).is_none() {
+                    return Err(AnalysisError::UnknownRelation { relation: read });
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+/// Checks a WHERE clause: it must infer to BOOL (or NULL), matching
+/// `eval_condition`'s fault condition.
+fn check_condition(cond: &Expr, relation: &str, rel: &RelationTypes) -> Result<(), AnalysisError> {
+    let ty = infer_expr(cond, relation, rel)?;
+    if !ty.at_most(DataType::Bool) {
+        return Err(AnalysisError::NotACondition {
+            relation: relation.to_string(),
+            found: ty.to_string(),
+        });
+    }
+    Ok(())
+}
+
+/// Evolves the environment past `statement`, best-effort: inference
+/// failures taint rather than error, because registered histories already
+/// executed successfully and must never be rejected retroactively.
+pub fn evolve_statement(statement: &Statement, env: &mut TypeEnv) {
+    let relation = statement.relation().to_string();
+    // SET expressions read the pre-update environment.
+    let snapshot = match env.relation(&relation) {
+        Some(rel) => rel.clone(),
+        None => return,
+    };
+    match statement {
+        Statement::Update { set, cond, .. } => {
+            // A condition that is literally TRUE rewrites every row: the
+            // written type replaces the old one (strong update). Any other
+            // condition may leave rows untouched, so old and new join.
+            let strong = cond.is_true();
+            let rel = env.relations.get_mut(&relation).expect("snapshot exists");
+            for attr in set.modified_attributes() {
+                let Some(i) = snapshot.schema.index_of(&attr) else {
+                    continue;
+                };
+                let expr = set.expr_for(&attr).expect("attribute comes from the set");
+                let written =
+                    infer_expr(expr, &relation, &snapshot).unwrap_or_else(|_| TypeInfo::any());
+                rel.attrs[i] = if strong {
+                    written
+                } else {
+                    rel.attrs[i].join(written)
+                };
+            }
+        }
+        Statement::Delete { .. } => {}
+        Statement::InsertValues { tuple, .. } => {
+            let rel = env.relations.get_mut(&relation).expect("snapshot exists");
+            for (i, info) in rel.attrs.iter_mut().enumerate() {
+                match tuple.value(i).and_then(|v| v.data_type()) {
+                    Some(dt) => info.types = info.types.union(dt.into()),
+                    None => info.nullable = true,
+                }
+            }
+        }
+        Statement::InsertQuery { .. } => {
+            let rel = env.relations.get_mut(&relation).expect("snapshot exists");
+            rel.tainted = true;
+            for info in rel.attrs.iter_mut() {
+                *info = TypeInfo::any();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_expr::Value;
+    use mahif_history::SetClause;
+    use mahif_storage::{Attribute, Relation, Schema, Tuple};
+
+    fn env() -> TypeEnv {
+        let schema = Schema::shared(
+            "R",
+            vec![
+                Attribute::int("K"),
+                Attribute::int("V"),
+                Attribute::str("C"),
+            ],
+        );
+        let mut relation = Relation::empty(schema);
+        relation
+            .insert(Tuple::new(vec![
+                Value::Int(1),
+                Value::Null,
+                Value::from("a".to_string()),
+            ]))
+            .unwrap();
+        let mut db = Database::new();
+        db.add_relation(relation).unwrap();
+        TypeEnv::from_database(&db)
+    }
+
+    #[test]
+    fn nullability_is_inferred_from_data() {
+        let env = env();
+        let rel = env.relation("R").unwrap();
+        assert!(!rel.attribute("K").unwrap().nullable);
+        assert!(rel.attribute("V").unwrap().nullable);
+        assert!(rel.attribute("V").unwrap().at_most(DataType::Int));
+    }
+
+    #[test]
+    fn arithmetic_over_text_is_rejected() {
+        let env = env();
+        let rel = env.relation("R").unwrap();
+        let err = infer_expr(&add(attr("C"), lit(1)), "R", rel).unwrap_err();
+        assert!(matches!(
+            err,
+            AnalysisError::TypeMismatch { ref attribute, .. } if attribute.as_deref() == Some("C")
+        ));
+    }
+
+    #[test]
+    fn unknown_attribute_and_unbound_var_are_rejected() {
+        let env = env();
+        let rel = env.relation("R").unwrap();
+        assert!(matches!(
+            infer_expr(&attr("Missing"), "R", rel).unwrap_err(),
+            AnalysisError::UnknownAttribute { ref attribute, .. } if attribute == "Missing"
+        ));
+        assert!(matches!(
+            infer_expr(&var("x"), "R", rel).unwrap_err(),
+            AnalysisError::UnboundVariable { .. }
+        ));
+    }
+
+    #[test]
+    fn mixed_ite_is_typed_as_a_union_but_rejected_under_arithmetic() {
+        let env = env();
+        let rel = env.relation("R").unwrap();
+        let mixed = ite(ge(attr("K"), lit(0)), lit(1), slit("x"));
+        // Mixed branches are legal on their own …
+        let ty = infer_expr(&mixed, "R", rel).unwrap();
+        assert!(!ty.at_most(DataType::Int));
+        // … but cannot feed arithmetic, which would fault per-row.
+        assert!(infer_expr(&add(mixed, lit(1)), "R", rel).is_err());
+    }
+
+    #[test]
+    fn null_literal_writes_are_accepted() {
+        let env = env();
+        let update = Statement::update("R", SetClause::single("V", null()), Expr::true_());
+        check_statement(&update, &env).unwrap();
+    }
+
+    #[test]
+    fn non_boolean_condition_is_rejected() {
+        let env = env();
+        let update = Statement::update("R", SetClause::single("V", lit(1)), lit(5));
+        assert!(matches!(
+            check_statement(&update, &env).unwrap_err(),
+            AnalysisError::NotACondition { .. }
+        ));
+    }
+
+    #[test]
+    fn insert_arity_and_type_are_checked() {
+        let env = env();
+        let short = Statement::insert_values("R", Tuple::new(vec![Value::Int(1)]));
+        assert!(matches!(
+            check_statement(&short, &env).unwrap_err(),
+            AnalysisError::ArityMismatch {
+                expected: 3,
+                found: 1,
+                ..
+            }
+        ));
+        let wrong = Statement::insert_values(
+            "R",
+            Tuple::new(vec![
+                Value::Int(1),
+                Value::from("oops".to_string()),
+                Value::from("a".to_string()),
+            ]),
+        );
+        assert!(matches!(
+            check_statement(&wrong, &env).unwrap_err(),
+            AnalysisError::ValueTypeMismatch { ref attribute, .. } if attribute == "V"
+        ));
+    }
+
+    #[test]
+    fn strong_updates_narrow_and_weak_updates_widen() {
+        let mut e = env();
+        // Weak update writing NULL: V stays INT but nullable.
+        evolve_statement(
+            &Statement::update("R", SetClause::single("V", null()), ge(attr("K"), lit(0))),
+            &mut e,
+        );
+        assert!(e.relation("R").unwrap().attribute("V").unwrap().nullable);
+        // Strong update (TRUE condition) writing a literal: V becomes
+        // non-nullable again.
+        evolve_statement(
+            &Statement::update("R", SetClause::single("V", lit(3)), Expr::true_()),
+            &mut e,
+        );
+        let v = e.relation("R").unwrap().attribute("V").unwrap();
+        assert!(!v.nullable);
+        assert!(v.at_most(DataType::Int));
+    }
+
+    #[test]
+    fn insert_query_taints_the_relation() {
+        let mut e = env();
+        evolve_statement(
+            &Statement::insert_query("R", mahif_query::Query::scan("R")),
+            &mut e,
+        );
+        let rel = e.relation("R").unwrap();
+        assert!(rel.tainted);
+        // Tainted relations are beyond static reach: strict statement
+        // checks accept best-effort instead of rejecting against `any()`.
+        let statement = Statement::delete("R", ge(add(attr("C"), lit(1)), lit(0)));
+        assert!(check_statement(&statement, &e).is_ok());
+    }
+}

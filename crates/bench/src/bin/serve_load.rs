@@ -384,6 +384,55 @@ fn main() {
         stats.requests, stats.scenarios_answered, stats.slices_computed, stats.slices_shared
     );
 
+    // --- Static-analysis phase: the admission gate under the same roof. -
+    // One batch with an unknown attribute must die at admission as a 400
+    // (never reaching the engine), and one identity replacement must be
+    // proven independent and answered as an empty delta with no
+    // reenactment. Both outcomes land in the session counters the CI
+    // grep reads off the summary line below.
+    let reply = http_post(
+        &addr,
+        "/histories/retail/batch",
+        r#"{"scenarios": [{"name": "typo", "whatif": "REPLACE STATEMENT 1 WITH UPDATE Order SET Freight = 0 WHERE Price >= 60"}]}"#,
+    )
+    .expect("analyzer rejection request");
+    assert_eq!(
+        reply.status, 400,
+        "unknown attribute must 400: {}",
+        reply.body
+    );
+    assert!(
+        reply.body.contains("Freight"),
+        "the rejection must name the attribute: {}",
+        reply.body
+    );
+    let reply = http_post(
+        &addr,
+        "/histories/retail/batch",
+        r#"{"scenarios": [{"name": "identity", "whatif": "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Price >= 50"}]}"#,
+    )
+    .expect("analyzer no-op request");
+    assert_eq!(reply.status, 200, "identity no-op must 200: {}", reply.body);
+    assert!(
+        reply.body.contains(r#""tuples": 0"#) || reply.body.contains(r#""tuples":0"#),
+        "a proven no-op answers the empty delta: {}",
+        reply.body
+    );
+    let analyzer = handle.session().stats();
+    assert!(
+        analyzer.analyzer_rejections >= 1,
+        "rejection was not counted"
+    );
+    assert!(
+        analyzer.analyzer_noop_proofs >= 1,
+        "no-op proof was not counted"
+    );
+    // Grep-able by the CI smoke step.
+    println!(
+        "analyze ok: rejections={} noop_proofs={}",
+        analyzer.analyzer_rejections, analyzer.analyzer_noop_proofs
+    );
+
     // --- Server-side observability cross-check. -------------------------
     // Scrape /metrics over the wire (the endpoint must serve parseable
     // Prometheus text under load), then read the same registry in-process

@@ -11,6 +11,8 @@
 //! runtimes scale with `U`, `D`, `T`, `M`) are the reproduction target, not
 //! the absolute numbers.
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use mahif::{EngineConfig, Method, Session, WhatIfAnswer};

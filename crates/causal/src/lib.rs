@@ -22,6 +22,8 @@
 //! statements with no-ops, so they never shift the positions the user's own
 //! modifications refer to.
 
+#![forbid(unsafe_code)]
+
 pub mod policy;
 
 pub use policy::{augment, plan, CascadePlan, CascadeRule, DependencyPolicy, RemovedParent};

@@ -305,6 +305,12 @@ pub struct EngineConfig {
     /// answers are identical either way, since the columnar path falls back
     /// to the row path for anything it cannot reproduce exactly).
     pub disable_columnar: bool,
+    /// Disable the static analyzer's admission checks and no-op proofs:
+    /// scenarios are then neither pre-validated against the inferred types
+    /// (type errors surface mid-execution instead of as admission
+    /// rejections) nor short-circuited when provably independent (ablation /
+    /// byte-identity baseline; proven no-ops answer identically either way).
+    pub disable_analyzer: bool,
     /// When to refine a member's program slice below the group's certified
     /// union slice (cheaply, reusing the group's symbolic context) and
     /// answer the member with its own smaller slice. Pays a few extra
@@ -374,6 +380,7 @@ mod tests {
         assert!(!c.disable_insert_split);
         assert!(!c.skip_compression_constraint);
         assert!(!c.disable_columnar);
+        assert!(!c.disable_analyzer);
         assert_eq!(c.refine, RefinePolicy::auto());
         assert!(c.budget.is_unlimited());
     }

@@ -10,6 +10,7 @@
 use std::fmt;
 use std::time::Duration;
 
+use mahif_analyze::AnalysisError;
 use mahif_expr::ExprError;
 use mahif_history::HistoryError;
 use mahif_query::QueryError;
@@ -120,6 +121,11 @@ pub enum ErrorKind {
     Expr(ExprError),
     /// Underlying symbolic-execution error.
     Symbolic(SymbolicError),
+    /// The static analyzer rejected the request before any engine work: an
+    /// unknown relation/attribute, a type-mismatched predicate or a
+    /// malformed parameter substitution (a client mistake, not an engine
+    /// fault — HTTP 400 at the serve layer).
+    Analysis(AnalysisError),
     /// A what-if script did not parse.
     InvalidWhatIfScript(ParseError),
     /// A request named a history that was never registered.
@@ -149,6 +155,7 @@ impl fmt::Display for ErrorKind {
             ErrorKind::Slicing(e) => write!(f, "slicing error: {e}"),
             ErrorKind::Expr(e) => write!(f, "expression error: {e}"),
             ErrorKind::Symbolic(e) => write!(f, "symbolic execution error: {e}"),
+            ErrorKind::Analysis(e) => write!(f, "static analysis rejected the request: {e}"),
             ErrorKind::InvalidWhatIfScript(e) => write!(f, "invalid what-if script: {e}"),
             ErrorKind::UnknownHistory(name) => {
                 write!(f, "no history named '{name}' is registered")
@@ -262,6 +269,7 @@ wrap_error!(QueryError, Query);
 wrap_error!(SlicingError, Slicing);
 wrap_error!(ExprError, Expr);
 wrap_error!(SymbolicError, Symbolic);
+wrap_error!(AnalysisError, Analysis);
 wrap_error!(ParseError, InvalidWhatIfScript);
 
 /// Legacy name of [`Error`], kept so code written against the pre-`Session`

@@ -94,6 +94,7 @@
 //! (`"R+PS+DS".parse::<Method>()`), so CLI and serving layers can name
 //! methods exactly as the figures do.
 
+#![forbid(unsafe_code)]
 // The unified `Error` carries its phase/scenario/history context inline,
 // which makes the `Err` variant larger than clippy's 128-byte heuristic.
 // What-if error paths are cold (registration or per-request failures), so
@@ -118,6 +119,8 @@ pub use error::{BudgetBreach, Error, ErrorKind, MahifError, Phase};
 pub use impact::{impact_of, GroupImpact, ImpactReport, ImpactSpec};
 #[allow(deprecated)]
 pub use mahif::Mahif;
+pub use mahif_analyze::{AnalysisError, HistoryAnalysis};
+pub use mahif_query::QueryError;
 pub use provision::{CachedPlan, PlanCache, PlanKey, Provisioned, SessionConfig};
 pub use request::{ScenarioSpec, WhatIfRequest};
 pub use response::{batch_trace_spans, BatchStats, Response, ScenarioResponse};

@@ -42,8 +42,10 @@ use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
+use mahif_analyze::HistoryAnalysis;
 use mahif_history::{History, Statement};
 use mahif_slicing::{canonical_positions, position_set_hash, ProgramSliceResult};
+use mahif_storage::Database;
 
 use crate::config::{EngineConfig, Method};
 use crate::engine::GroupPlan;
@@ -435,13 +437,24 @@ pub struct Provisioned {
     insert_positions: Vec<usize>,
     /// Relation → positions of the statements writing it, ascending.
     by_relation: BTreeMap<String, Vec<usize>>,
+    /// The static analysis of the registered chain over the initial
+    /// database: inferred attribute types, dependency graph, liveness.
+    /// Computed once here, consulted on every admitted request (shared so
+    /// session clones never re-analyze).
+    analysis: Arc<HistoryAnalysis>,
     cache: PlanCache,
 }
 
 impl Provisioned {
-    /// Precomputes the provisioning state for `history`, registered as
-    /// generation `generation`, with the cache bounded by `limits`.
-    pub fn build(history: &History, generation: u64, limits: SessionConfig) -> Self {
+    /// Precomputes the provisioning state for `history` over `initial`,
+    /// registered as generation `generation`, with the cache bounded by
+    /// `limits`.
+    pub fn build(
+        initial: &Database,
+        history: &History,
+        generation: u64,
+        limits: SessionConfig,
+    ) -> Self {
         let mut statement_relations = Vec::with_capacity(history.len());
         let mut insert_positions = Vec::new();
         let mut by_relation: BTreeMap<String, Vec<usize>> = BTreeMap::new();
@@ -464,8 +477,16 @@ impl Provisioned {
             statement_relations,
             insert_positions,
             by_relation,
+            analysis: Arc::new(HistoryAnalysis::build(initial, history)),
             cache: PlanCache::new(limits),
         }
+    }
+
+    /// The static analysis of the registered chain (types, dependency
+    /// graph, liveness) — the artifact admission checks and no-op proofs
+    /// run against.
+    pub fn analysis(&self) -> &HistoryAnalysis {
+        &self.analysis
     }
 
     /// The monotonic registration generation this state belongs to. Bumped
@@ -510,7 +531,12 @@ mod tests {
 
     fn provisioned() -> Provisioned {
         let history = History::new(running_example_history());
-        Provisioned::build(&history, 1, SessionConfig::default())
+        Provisioned::build(
+            &running_example_database(),
+            &history,
+            1,
+            SessionConfig::default(),
+        )
     }
 
     fn threshold(t: i64) -> Statement {
@@ -589,8 +615,12 @@ mod tests {
                 mahif_expr::Value::int(2),
             ]),
         ));
-        let with_insert =
-            Provisioned::build(&History::new(statements), 2, SessionConfig::default());
+        let with_insert = Provisioned::build(
+            &running_example_database(),
+            &History::new(statements),
+            2,
+            SessionConfig::default(),
+        );
         assert_eq!(with_insert.insert_positions(), &[3]);
     }
 

@@ -257,6 +257,16 @@ impl<'s> WhatIfRequest<'s> {
         self
     }
 
+    /// Disables the static analyzer's admission checks and no-op proofs
+    /// for this request: scenarios are neither pre-validated against the
+    /// inferred attribute types nor short-circuited when provably
+    /// independent (ablation / byte-identity baseline; proven no-ops
+    /// answer identically either way).
+    pub fn without_analyzer(mut self) -> Self {
+        self.config.disable_analyzer = true;
+        self
+    }
+
     /// Forces per-member slice refinement for every multi-member group: a
     /// group member whose own slice is smaller than the group's certified
     /// union slice is re-sliced cheaply (reusing the group's symbolic

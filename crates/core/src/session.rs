@@ -72,7 +72,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
-use mahif_history::{DeltaInterner, History, ModificationSet, NormalizedWhatIf, WhatIfRef};
+use mahif_history::{
+    DatabaseDelta, DeltaInterner, History, ModificationSet, NormalizedWhatIf, WhatIfRef,
+};
 use mahif_slicing::{
     group_scenarios, program_slice_multi_with_context, refine_slice_for_variant,
     ProgramSliceResult, ScenarioGroups, SliceCache, SymbolicGroupContext,
@@ -86,7 +88,7 @@ use crate::pool::{collect_results, resolve_parallelism, run_indexed};
 use crate::provision::{CachedPlan, PlanKey, Provisioned, SessionConfig};
 use crate::request::{RequestParts, ScenarioSpec, WhatIfRequest};
 use crate::response::{BatchStats, Response, ScenarioResponse};
-use crate::stats::WhatIfAnswer;
+use crate::stats::{EngineStats, PhaseTimings, WhatIfAnswer};
 
 /// One history registered with a [`Session`]: the statement log plus the
 /// version chain materialized at registration.
@@ -195,6 +197,8 @@ impl Counters {
             columnar_batches: 0,
             vectorized_predicates: 0,
             row_fallbacks: 0,
+            analyzer_rejections: 0,
+            analyzer_noop_proofs: 0,
         }
     }
 }
@@ -265,6 +269,16 @@ pub struct SessionStats {
     /// back to the row evaluator (inexpressible statement or predicate,
     /// mixed-type column, or a runtime fault the row path must reproduce).
     pub row_fallbacks: u64,
+    /// Requests rejected at admission by the static analyzer (unknown
+    /// relation/attribute, type-mismatched predicate, malformed parameter
+    /// substitution). Rejected requests never reach the success-path
+    /// counter commit, so this value lives in the same atomic cell
+    /// `/metrics` scrapes — the two endpoints agree by construction.
+    pub analyzer_rejections: u64,
+    /// Scenarios proven independent by the static analyzer and answered as
+    /// an empty delta without slicing or reenactment (byte-identical to
+    /// the full answer). Reads the same atomic cell as `/metrics`.
+    pub analyzer_noop_proofs: u64,
 }
 
 /// The session's always-on telemetry mirror: lock-cheap atomic counters
@@ -316,6 +330,12 @@ pub struct SessionMetrics {
     /// Columnar attempts that fell back to the row evaluator, mirrored
     /// into [`SessionStats::row_fallbacks`].
     pub row_fallbacks: Arc<mahif_obs::Counter>,
+    /// Requests rejected at admission by the static analyzer, mirrored
+    /// into [`SessionStats::analyzer_rejections`].
+    pub analyzer_rejections: Arc<mahif_obs::Counter>,
+    /// Scenarios proven independent and answered as empty deltas without
+    /// engine work, mirrored into [`SessionStats::analyzer_noop_proofs`].
+    pub analyzer_noop_proofs: Arc<mahif_obs::Counter>,
 }
 
 impl Default for SessionMetrics {
@@ -335,6 +355,8 @@ impl Default for SessionMetrics {
             columnar_batches: Arc::new(mahif_obs::Counter::new()),
             vectorized_predicates: Arc::new(mahif_obs::Counter::new()),
             row_fallbacks: Arc::new(mahif_obs::Counter::new()),
+            analyzer_rejections: Arc::new(mahif_obs::Counter::new()),
+            analyzer_noop_proofs: Arc::new(mahif_obs::Counter::new()),
         }
     }
 }
@@ -414,6 +436,16 @@ impl SessionMetrics {
             "Columnar reenactment attempts that fell back to the row evaluator",
             Arc::clone(&self.row_fallbacks),
         );
+        registry.adopt_counter(
+            "mahif_analyzer_rejections_total",
+            "Requests rejected at admission by the static analyzer",
+            Arc::clone(&self.analyzer_rejections),
+        );
+        registry.adopt_counter(
+            "mahif_analyzer_noop_proofs_total",
+            "Scenarios proven independent and answered without engine work",
+            Arc::clone(&self.analyzer_noop_proofs),
+        );
     }
 }
 
@@ -473,6 +505,12 @@ impl Clone for Session {
             .vectorized_predicates
             .add(self.metrics.vectorized_predicates.get());
         metrics.row_fallbacks.add(self.metrics.row_fallbacks.get());
+        metrics
+            .analyzer_rejections
+            .add(self.metrics.analyzer_rejections.get());
+        metrics
+            .analyzer_noop_proofs
+            .add(self.metrics.analyzer_noop_proofs.get());
         Session {
             histories: RwLock::new(self.registry().clone()),
             counters: self.counters.clone(),
@@ -490,6 +528,11 @@ struct AdmittedRequest {
     registered: Arc<RegisteredHistory>,
     history: String,
     scenarios: Vec<ScenarioSpec>,
+    /// Scenarios the static analyzer proved independent at admission, with
+    /// their original position in the request's scenario order. They skip
+    /// planning and execution entirely and rejoin the answer stream as
+    /// empty deltas in phase 3.
+    noops: Vec<(usize, ScenarioSpec)>,
     method: Method,
     config: EngineConfig,
     threads: usize,
@@ -633,10 +676,11 @@ impl Session {
         })?;
         // Provision the history while still outside the lock: the
         // generation is globally monotonic (never reused even across racing
-        // registrations), and the dependency summaries are a single pass
-        // over the statements.
+        // registrations), and the dependency summaries and static analysis
+        // (type inference, def-use graph, liveness) are single passes over
+        // the statements.
         let generation = self.generations.fetch_add(1, Ordering::Relaxed) + 1;
-        let provisioned = Provisioned::build(&history, generation, self.config);
+        let provisioned = Provisioned::build(&initial, &history, generation, self.config);
         let mut histories = self.histories.write().expect("history registry poisoned");
         if histories.iter().any(|h| h.name == name) {
             return Err(duplicate(name));
@@ -733,6 +777,11 @@ impl Session {
         stats.columnar_batches = self.metrics.columnar_batches.get();
         stats.vectorized_predicates = self.metrics.vectorized_predicates.get();
         stats.row_fallbacks = self.metrics.row_fallbacks.get();
+        // And the analyzer counters: rejections happen on requests that
+        // never reach the success-path commit, so both values live in the
+        // metric cells.
+        stats.analyzer_rejections = self.metrics.analyzer_rejections.get();
+        stats.analyzer_noop_proofs = self.metrics.analyzer_noop_proofs.get();
         stats
     }
 
@@ -753,7 +802,9 @@ impl Session {
         let parts = request.into_parts()?;
         let admitted = self.admit(parts)?;
         let mut stats = BatchStats {
-            scenarios: admitted.scenarios.len(),
+            // Proven no-ops are answered, so they count as scenarios of
+            // the batch even though they skip planning and execution.
+            scenarios: admitted.scenarios.len() + admitted.noops.len(),
             threads: admitted.threads,
             ..Default::default()
         };
@@ -809,6 +860,43 @@ impl Session {
                 );
             }
         }
+        // The static analyzer's admission pass (skipped only under the
+        // `disable_analyzer` ablation). First strict pre-validation: a
+        // scenario the registration-time type inference proves would fault
+        // mid-execution — unknown relation/attribute, type-mismatched
+        // predicate, unbound parameter variable, out-of-bounds position —
+        // is rejected here as a structured `ErrorKind::Analysis` before
+        // any engine work. Then no-op proofs: a scenario whose
+        // modifications provably cannot change the final state is
+        // partitioned out and answered as an empty delta in phase 3,
+        // skipping normalization, slicing and reenactment entirely.
+        let mut scenarios = scenarios;
+        let mut noops = Vec::new();
+        if !config.disable_analyzer {
+            let analysis = registered.provisioned().analysis();
+            for s in &scenarios {
+                if let Err(e) = analysis.validate(s.modifications()) {
+                    self.metrics.analyzer_rejections.inc();
+                    return Err(Error::from(e)
+                        .in_phase(Phase::Admission)
+                        .for_scenario(s.name().to_string())
+                        .on_history(history));
+                }
+            }
+            let mut kept = Vec::with_capacity(scenarios.len());
+            for (position, s) in scenarios.into_iter().enumerate() {
+                if analysis.prove_noop(s.modifications()) {
+                    noops.push((position, s));
+                } else {
+                    kept.push(s);
+                }
+            }
+            scenarios = kept;
+            // Recorded at proof time like the plan-cache counters (i.e.
+            // even if the surviving scenarios later breach the budget), so
+            // `/stats` and `/metrics` read the same cell.
+            self.metrics.analyzer_noop_proofs.add(noops.len() as u64);
+        }
         let threads = resolve_parallelism(parallelism, scenarios.len());
         let deadline = config.budget.start_clock();
         Ok(AdmittedRequest {
@@ -816,6 +904,7 @@ impl Session {
             registered,
             history,
             scenarios,
+            noops,
             method,
             config,
             threads,
@@ -1104,7 +1193,7 @@ impl Session {
     /// impact reports and commits the work counters.
     fn execute_planned(
         &self,
-        req: AdmittedRequest,
+        mut req: AdmittedRequest,
         planned: PlannedWork,
         mut stats: BatchStats,
     ) -> Result<Response, Error> {
@@ -1383,6 +1472,41 @@ impl Session {
             }
         };
 
+        // Statically proven no-ops rejoin the answer stream here, at their
+        // original request positions, as empty answers: the analyzer
+        // certified the delta empty (`DatabaseDelta::default()`, exactly
+        // what the full pipeline returns for them — only non-empty
+        // relation deltas are ever stored), and no engine phase ran, so
+        // every timing and work counter is zero. Downstream phases —
+        // interning, impact, the response zip — treat them exactly like
+        // executed answers.
+        let total = req.scenarios.len() + req.noops.len();
+        let mut specs: Vec<ScenarioSpec> = Vec::with_capacity(total);
+        let mut merged: Vec<WhatIfAnswer> = Vec::with_capacity(total);
+        let mut executed = std::mem::take(&mut req.scenarios).into_iter().zip(answers);
+        let mut noops = std::mem::take(&mut req.noops).into_iter().peekable();
+        for position in 0..total {
+            match noops.peek() {
+                Some(&(p, _)) if p == position => {
+                    let (_, spec) = noops.next().expect("peeked entry exists");
+                    specs.push(spec);
+                    merged.push(WhatIfAnswer {
+                        delta: DatabaseDelta::default(),
+                        timings: PhaseTimings::default(),
+                        stats: EngineStats::default(),
+                    });
+                }
+                _ => {
+                    let (spec, answer) = executed
+                        .next()
+                        .expect("one executed answer per non-noop scenario");
+                    specs.push(spec);
+                    merged.push(answer);
+                }
+            }
+        }
+        let answers = merged;
+
         // Scenarios answered outside a shared plan (solo paths, refined
         // members) report their own original-side reenactments; add them to
         // the plans' once-per-group count.
@@ -1419,7 +1543,7 @@ impl Session {
             None => vec![None; answers.len()],
             Some(spec) => answers
                 .iter()
-                .zip(scenarios)
+                .zip(&specs)
                 .map(|(answer, s)| {
                     answer
                         .impact(spec)
@@ -1436,7 +1560,7 @@ impl Session {
         // observes half of them.
         self.counters.commit(|c| {
             c.requests += 1;
-            c.scenarios_answered += scenarios.len() as u64;
+            c.scenarios_answered += specs.len() as u64;
             c.slices_computed += stats.slice_groups as u64;
             c.slices_shared += stats.shared_slice_hits as u64;
             c.original_reenactments += stats.original_reenactments as u64;
@@ -1451,7 +1575,7 @@ impl Session {
         // slice's kept-statement count each, so the total reflects work
         // actually reenacted per scenario.
         self.metrics.requests.inc();
-        self.metrics.scenarios_answered.add(scenarios.len() as u64);
+        self.metrics.scenarios_answered.add(specs.len() as u64);
         self.metrics.solver_calls.add(stats.solver_calls as u64);
         self.metrics.statements_reenacted.add(
             answers
@@ -1477,8 +1601,7 @@ impl Session {
             .observe_duration(stats.execution);
 
         stats.total = req.total_start.elapsed();
-        let scenarios = req
-            .scenarios
+        let scenarios = specs
             .into_iter()
             .zip(answers)
             .zip(reports)

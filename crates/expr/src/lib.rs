@@ -24,6 +24,8 @@
 //! * simplification / constant folding ([`simplify()`]),
 //! * a small builder DSL ([`builder`]) and pretty printing.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod error;
 pub mod eval;
@@ -39,5 +41,5 @@ pub use eval::{eval_condition, eval_expr, Bindings, MapBindings};
 pub use expr::{ArithOp, CmpOp, Expr, ExprRef};
 pub use simplify::simplify;
 pub use subst::{substitute_attrs, substitute_vars, SubstMap};
-pub use types::DataType;
+pub use types::{DataType, TypeInfo, TypeSet};
 pub use value::Value;

@@ -1,4 +1,12 @@
-//! Attribute data types.
+//! Attribute data types and the static type/nullability lattice.
+//!
+//! [`DataType`] is the runtime notion (every non-NULL [`Value`](crate::Value)
+//! has exactly one). [`TypeSet`] and [`TypeInfo`] form the *static* lattice
+//! the analyzer (`mahif-analyze`) infers over: an expression's static type is
+//! the **set** of data types it may evaluate to plus a nullability bit,
+//! because mixed-branch `IF .. THEN .. ELSE` expressions legitimately produce
+//! different types per row without erroring at runtime. Joins are unions;
+//! `NULL` is the bottom element (empty set, nullable).
 
 use std::fmt;
 
@@ -37,6 +45,168 @@ impl fmt::Display for DataType {
     }
 }
 
+/// A set of [`DataType`]s, the carrier of the static type lattice (a
+/// three-bit bitmask; ⊥ = the empty set, ⊤ = all three types).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TypeSet(u8);
+
+impl TypeSet {
+    const BITS: [(DataType, u8); 3] = [
+        (DataType::Int, 0b001),
+        (DataType::Str, 0b010),
+        (DataType::Bool, 0b100),
+    ];
+
+    /// The empty set (the static type of `NULL`).
+    pub const EMPTY: TypeSet = TypeSet(0);
+    /// All three data types (the taint / unknown element).
+    pub const ANY: TypeSet = TypeSet(0b111);
+
+    fn bit(dt: DataType) -> u8 {
+        Self::BITS
+            .iter()
+            .find(|(d, _)| *d == dt)
+            .map(|(_, b)| *b)
+            .unwrap_or(0)
+    }
+
+    /// The singleton set `{dt}`.
+    pub fn just(dt: DataType) -> TypeSet {
+        TypeSet(Self::bit(dt))
+    }
+
+    /// Whether `dt` is a member.
+    pub fn contains(self, dt: DataType) -> bool {
+        self.0 & Self::bit(dt) != 0
+    }
+
+    /// Set union (the lattice join).
+    pub fn union(self, other: TypeSet) -> TypeSet {
+        TypeSet(self.0 | other.0)
+    }
+
+    /// True when no type is possible (`NULL`-only expressions).
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// True when every member of `self` is a member of `other`.
+    pub fn is_subset(self, other: TypeSet) -> bool {
+        self.0 & !other.0 == 0
+    }
+
+    /// True when `self` is empty or exactly `{dt}` — i.e. every non-NULL
+    /// value this expression produces has type `dt`.
+    pub fn at_most(self, dt: DataType) -> bool {
+        self.is_subset(TypeSet::just(dt))
+    }
+
+    /// The member types, in declaration order.
+    pub fn members(self) -> impl Iterator<Item = DataType> {
+        Self::BITS
+            .into_iter()
+            .filter(move |(_, b)| self.0 & b != 0)
+            .map(|(d, _)| d)
+    }
+}
+
+impl From<DataType> for TypeSet {
+    fn from(dt: DataType) -> Self {
+        TypeSet::just(dt)
+    }
+}
+
+impl fmt::Display for TypeSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_empty() {
+            return write!(f, "NULL");
+        }
+        for (i, dt) in self.members().enumerate() {
+            if i > 0 {
+                write!(f, "|")?;
+            }
+            write!(f, "{dt}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The static type of an expression or attribute: which data types it may
+/// produce, and whether it may produce `NULL`. Forms a lattice under
+/// [`join`](TypeInfo::join) with `NULL` (empty set, nullable) at the bottom
+/// of the type component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TypeInfo {
+    /// The data types a non-NULL result may have.
+    pub types: TypeSet,
+    /// Whether the result may be `NULL`.
+    pub nullable: bool,
+}
+
+impl TypeInfo {
+    /// A definitely-non-NULL value of exactly type `dt`.
+    pub fn of(dt: DataType) -> TypeInfo {
+        TypeInfo {
+            types: TypeSet::just(dt),
+            nullable: false,
+        }
+    }
+
+    /// A possibly-NULL value of type `dt`.
+    pub fn nullable(dt: DataType) -> TypeInfo {
+        TypeInfo {
+            types: TypeSet::just(dt),
+            nullable: true,
+        }
+    }
+
+    /// The static type of the `NULL` literal.
+    pub fn null() -> TypeInfo {
+        TypeInfo {
+            types: TypeSet::EMPTY,
+            nullable: true,
+        }
+    }
+
+    /// The taint element: any type, possibly NULL (used when inference must
+    /// give up, e.g. behind an `INSERT ... SELECT`).
+    pub fn any() -> TypeInfo {
+        TypeInfo {
+            types: TypeSet::ANY,
+            nullable: true,
+        }
+    }
+
+    /// The lattice join: union of possible types, or of nullability.
+    pub fn join(self, other: TypeInfo) -> TypeInfo {
+        TypeInfo {
+            types: self.types.union(other.types),
+            nullable: self.nullable || other.nullable,
+        }
+    }
+
+    /// Marks the value as possibly NULL.
+    pub fn or_null(mut self) -> TypeInfo {
+        self.nullable = true;
+        self
+    }
+
+    /// True when every non-NULL value has type `dt` (NULL-only included).
+    pub fn at_most(self, dt: DataType) -> bool {
+        self.types.at_most(dt)
+    }
+}
+
+impl fmt::Display for TypeInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.types)?;
+        if self.nullable && !self.types.is_empty() {
+            write!(f, "?")?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,5 +225,42 @@ mod tests {
         assert_eq!(DataType::Int.to_string(), "INT");
         assert_eq!(DataType::Str.to_string(), "TEXT");
         assert_eq!(DataType::Bool.to_string(), "BOOL");
+    }
+
+    #[test]
+    fn type_set_lattice() {
+        let int = TypeSet::just(DataType::Int);
+        let str_ = TypeSet::just(DataType::Str);
+        assert!(int.contains(DataType::Int));
+        assert!(!int.contains(DataType::Str));
+        assert!(TypeSet::EMPTY.is_empty());
+        assert!(TypeSet::EMPTY.is_subset(int));
+        assert!(int.is_subset(TypeSet::ANY));
+        assert!(!TypeSet::ANY.is_subset(int));
+        let both = int.union(str_);
+        assert!(both.contains(DataType::Int) && both.contains(DataType::Str));
+        assert!(int.at_most(DataType::Int));
+        assert!(!both.at_most(DataType::Int));
+        assert_eq!(both.members().count(), 2);
+        assert_eq!(TypeSet::EMPTY.to_string(), "NULL");
+        assert_eq!(both.to_string(), "INT|TEXT");
+    }
+
+    #[test]
+    fn type_info_join_and_display() {
+        let int = TypeInfo::of(DataType::Int);
+        assert_eq!(int.to_string(), "INT");
+        assert_eq!(TypeInfo::nullable(DataType::Int).to_string(), "INT?");
+        assert_eq!(TypeInfo::null().to_string(), "NULL");
+        // NULL is the bottom of the type component: joining it only adds
+        // nullability.
+        let joined = int.join(TypeInfo::null());
+        assert_eq!(joined, TypeInfo::nullable(DataType::Int));
+        assert!(joined.at_most(DataType::Int));
+        let mixed = int.join(TypeInfo::of(DataType::Bool));
+        assert!(!mixed.at_most(DataType::Int));
+        assert!(!mixed.nullable);
+        assert_eq!(TypeInfo::any().types, TypeSet::ANY);
+        assert_eq!(int.or_null(), TypeInfo::nullable(DataType::Int));
     }
 }

@@ -18,6 +18,8 @@
 //! * [`naive`] — Algorithm 1, the baseline that copies the database and
 //!   executes the modified history directly.
 
+#![forbid(unsafe_code)]
+
 pub mod delta;
 pub mod error;
 pub mod history;

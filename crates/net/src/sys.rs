@@ -74,6 +74,8 @@ fn cvt(ret: i32) -> io::Result<i32> {
 
 /// `epoll_create1(EPOLL_CLOEXEC)` as an owned fd.
 pub fn epoll_create() -> io::Result<OwnedFd> {
+    // SAFETY: FFI call with no pointer arguments; the kernel rejects
+    // bad flags with EINVAL, which `cvt` surfaces as an error.
     let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
     // SAFETY: a successful epoll_create1 returns a fresh fd we own.
     Ok(unsafe { OwnedFd::from_raw_fd(fd) })
@@ -88,6 +90,9 @@ pub fn epoll_ctl_op(
     event: &mut EpollEvent,
 ) -> io::Result<()> {
     use std::os::fd::AsRawFd;
+    // SAFETY: `event` is a live `&mut EpollEvent` (repr(C), matching the
+    // kernel struct), valid for the duration of the call; the fds are
+    // plain integers the kernel validates.
     cvt(unsafe { epoll_ctl(epfd.as_raw_fd(), op, fd, event) })?;
     Ok(())
 }
@@ -101,6 +106,9 @@ pub fn epoll_wait_events(
     timeout_ms: i32,
 ) -> io::Result<usize> {
     use std::os::fd::AsRawFd;
+    // SAFETY: the pointer/length pair comes from a live `&mut [EpollEvent]`
+    // slice; the kernel writes at most `events.len()` entries into it and
+    // reads nothing.
     let n = cvt(unsafe {
         epoll_wait(
             epfd.as_raw_fd(),
@@ -114,6 +122,8 @@ pub fn epoll_wait_events(
 
 /// `eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)` as an owned fd.
 pub fn eventfd_create() -> io::Result<OwnedFd> {
+    // SAFETY: FFI call with no pointer arguments; bad flags come back as
+    // EINVAL through `cvt`.
     let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
     // SAFETY: a successful eventfd returns a fresh fd we own.
     Ok(unsafe { OwnedFd::from_raw_fd(fd) })
@@ -125,6 +135,8 @@ pub fn nofile_limit() -> io::Result<Rlimit> {
         rlim_cur: 0,
         rlim_max: 0,
     };
+    // SAFETY: `rlim` is a live, writable `Rlimit` (repr(C), both fields
+    // 64-bit as the kernel ABI expects); the kernel writes both fields.
     cvt(unsafe { getrlimit(RLIMIT_NOFILE, &mut rlim) })?;
     Ok(rlim)
 }
@@ -132,6 +144,7 @@ pub fn nofile_limit() -> io::Result<Rlimit> {
 /// Sets `RLIMIT_NOFILE` (the soft limit may be raised up to the hard
 /// limit without privilege).
 pub fn set_nofile_limit(rlim: Rlimit) -> io::Result<()> {
+    // SAFETY: `rlim` is a live `Rlimit` (repr(C)) the kernel only reads.
     cvt(unsafe { setrlimit(RLIMIT_NOFILE, &rlim) })?;
     Ok(())
 }

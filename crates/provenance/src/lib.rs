@@ -19,6 +19,8 @@
 //! Explanations answer the follow-up question every what-if result raises:
 //! *why* is this tuple different under the hypothetical history?
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod explain;
 pub mod trace;

@@ -20,6 +20,8 @@
 //!   used by the impact-analysis layer to answer the paper's motivating
 //!   "how would revenue change" question over a what-if delta.
 
+#![forbid(unsafe_code)]
+
 pub mod aggregate;
 pub mod ast;
 pub mod catalog;

@@ -22,6 +22,8 @@
 //! suffix of the history over the tuples contributed by each insert. The left
 //! branch is what program slicing is applied to.
 
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod columnar;
 pub mod split;

@@ -74,6 +74,14 @@ impl BatchConfig {
         self
     }
 
+    /// Disables the static analyzer's admission pre-validation and no-op
+    /// proofs (ablation / byte-identity baseline; proven no-ops answer
+    /// identically either way).
+    pub fn without_analyzer(mut self) -> Self {
+        self.engine.disable_analyzer = true;
+        self
+    }
+
     /// Forces per-member refinement of the group's union slice for every
     /// multi-member group — the explicit override over the default
     /// `mahif::RefinePolicy::Auto` cost model (see

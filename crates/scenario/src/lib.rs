@@ -69,6 +69,7 @@
 //! assert_eq!(ranking.best().unwrap().name, "threshold/65");
 //! ```
 
+#![forbid(unsafe_code)]
 // `ScenarioError` wraps the unified `mahif::Error` (which carries its
 // context inline); error paths are cold, see the same allow in `mahif`.
 #![allow(clippy::result_large_err)]

@@ -38,6 +38,8 @@
 //! for the framing rules (strict `Content-Length`, smuggling defenses),
 //! and `README.md` for a `curl` walkthrough.
 
+#![forbid(unsafe_code)]
+
 pub mod admission;
 pub mod http;
 pub mod json;

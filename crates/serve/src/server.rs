@@ -971,6 +971,9 @@ fn route(head: &RequestHead, body: &str, shared: &Shared, ctx: &mut RequestCtx) 
                     if !batch.group_reenactment {
                         req = req.without_group_reenactment();
                     }
+                    if !batch.analyzer {
+                        req = req.without_analyzer();
+                    }
                     if let Some(spec) = batch.impact {
                         req = req.impact(spec);
                     }

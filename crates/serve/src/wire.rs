@@ -317,6 +317,9 @@ pub struct BatchRequest {
     pub slice_sharing: bool,
     /// Group-reenactment ablation: `false` disables group plans.
     pub group_reenactment: bool,
+    /// Static-analyzer ablation: `false` disables admission pre-validation
+    /// and no-op proofs.
+    pub analyzer: bool,
 }
 
 /// Decodes a batch body:
@@ -431,6 +434,7 @@ pub fn decode_batch(body: &str) -> Result<BatchRequest, WireError> {
     };
     let slice_sharing = decode_flag(&doc, "slice_sharing", true)?;
     let group_reenactment = decode_flag(&doc, "group_reenactment", true)?;
+    let analyzer = decode_flag(&doc, "analyzer", true)?;
     Ok(BatchRequest {
         scenarios,
         method,
@@ -440,6 +444,7 @@ pub fn decode_batch(body: &str) -> Result<BatchRequest, WireError> {
         refine,
         slice_sharing,
         group_reenactment,
+        analyzer,
     })
 }
 
@@ -665,6 +670,17 @@ pub fn encode_session_stats(
             Json::Int(stats.vectorized_predicates as i64),
         ),
         ("row_fallbacks", Json::Int(stats.row_fallbacks as i64)),
+        // The static analyzer: same single-cell contract again —
+        // rejections happen on requests that never commit counters, so
+        // both endpoints read the analyzer's atomic cells.
+        (
+            "analyzer_rejections",
+            Json::Int(stats.analyzer_rejections as i64),
+        ),
+        (
+            "analyzer_noop_proofs",
+            Json::Int(stats.analyzer_noop_proofs as i64),
+        ),
         (
             "admission",
             Json::obj([
@@ -703,7 +719,17 @@ pub fn status_for(error: &Error) -> u16 {
         ErrorKind::UnknownMethod(_)
         | ErrorKind::InvalidWhatIfScript(_)
         | ErrorKind::EmptyRequest
-        | ErrorKind::DuplicateScenario(_) => 400,
+        | ErrorKind::DuplicateScenario(_)
+        | ErrorKind::Analysis(_) => 400,
+        // Expression and storage faults — unknown attributes, type
+        // mismatches, arity errors — are always triggered by the
+        // client-supplied scripts, even when they only surface
+        // mid-reenactment (e.g. with the analyzer disabled): 422, never a
+        // 500 blaming the server. Query errors wrapping the same two
+        // faults get the same treatment; the structural query variants
+        // (union compatibility, ambiguous joins) stay engine bugs.
+        ErrorKind::Expr(_) | ErrorKind::Storage(_) => 422,
+        ErrorKind::Query(mahif::QueryError::Expr(_) | mahif::QueryError::Storage(_)) => 422,
         _ => match error.phase {
             Some(Phase::Register | Phase::Build | Phase::Admission | Phase::Normalize) => 422,
             _ => 500,
@@ -727,6 +753,7 @@ fn kind_slug(kind: &ErrorKind) -> &'static str {
         ErrorKind::EmptyRequest => "empty_request",
         ErrorKind::BudgetExceeded(_) => "budget_exceeded",
         ErrorKind::WorkerPanicked => "worker_panicked",
+        ErrorKind::Analysis(_) => "analysis",
         _ => "other",
     }
 }
@@ -747,6 +774,16 @@ pub fn encode_error(error: &Error) -> Json {
     }
     if let Some(history) = &error.history {
         fields.push(("history".to_string(), Json::str(history.clone())));
+    }
+    if let ErrorKind::Analysis(analysis) = &error.kind {
+        // Surface the offending relation/attribute as structured fields,
+        // so clients fix the scenario without parsing message text.
+        if let Some(relation) = analysis.relation() {
+            fields.push(("relation".to_string(), Json::str(relation)));
+        }
+        if let Some(attribute) = analysis.attribute() {
+            fields.push(("attribute".to_string(), Json::str(attribute)));
+        }
     }
     if let ErrorKind::BudgetExceeded(breach) = &error.kind {
         use mahif::BudgetBreach;

@@ -273,11 +273,21 @@ fn wire_mistakes_answer_4xx_not_5xx() {
     assert_eq!(reply.status, 422, "{}", reply.body);
     assert!(reply.body.contains("registration failed"), "{}", reply.body);
 
-    // ... and a what-if script naming a statement the history lacks.
+    // ... and a what-if script naming a statement the history lacks —
+    // the static analyzer catches this at admission (400); with the
+    // analyzer ablated the engine rejects it at normalize (422). Either
+    // way, never a 5xx.
     let reply = http_post(
         &addr,
         "/histories/retail/batch",
         r#"{"scenarios": [{"whatif": "DROP STATEMENT 99"}]}"#,
+    )
+    .unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    let reply = http_post(
+        &addr,
+        "/histories/retail/batch",
+        r#"{"analyzer": false, "scenarios": [{"whatif": "DROP STATEMENT 99"}]}"#,
     )
     .unwrap();
     assert_eq!(reply.status, 422, "{}", reply.body);
@@ -300,6 +310,90 @@ fn wire_mistakes_answer_4xx_not_5xx() {
             .unwrap()
             .status,
         405
+    );
+
+    handle.stop();
+}
+
+/// Acceptance for the static analyzer over the wire: an unknown attribute
+/// answers 400 at admission with the attribute named as a structured field;
+/// a provably independent scenario is answered as an empty delta without
+/// engine work and counted in `/stats`; and `"analyzer": false` restores
+/// the pre-analyzer contract (the same mistake surfaces mid-execution as a
+/// 422 engine error instead).
+#[test]
+fn analyzer_rejects_and_proves_noops_over_tcp() {
+    let (handle, addr) = start_server(ServeConfig::default());
+    let created = http_post(&addr, "/histories/retail", REGISTER_BODY).unwrap();
+    assert_eq!(created.status, 201, "{}", created.body);
+
+    // Unknown attribute: rejected at admission, before any reenactment.
+    let freight = r#"{"scenarios": [{"name": "freight",
+        "whatif": "REPLACE STATEMENT 1 WITH UPDATE Order SET Freight = 0 WHERE Price >= 50"}]}"#;
+    let reply = http_post(&addr, "/histories/retail/batch", freight).unwrap();
+    assert_eq!(reply.status, 400, "{}", reply.body);
+    let body = Json::parse(&reply.body).unwrap();
+    assert_eq!(body.get("kind").and_then(Json::as_str), Some("analysis"));
+    assert_eq!(body.get("relation").and_then(Json::as_str), Some("Order"));
+    assert_eq!(
+        body.get("attribute").and_then(Json::as_str),
+        Some("Freight"),
+        "the 400 must name the offending attribute: {}",
+        reply.body
+    );
+    assert_eq!(body.get("scenario").and_then(Json::as_str), Some("freight"));
+
+    // With the analyzer ablated an unknown-attribute *read* reaches the
+    // engine and fails mid-reenactment: a 422 engine error, never a 500.
+    // (An unknown-attribute *write* is worse: the engine silently ignores
+    // it and answers 200 with a wrong delta — which is why admission-time
+    // analysis is the default.)
+    let ablated = r#"{"analyzer": false, "scenarios": [{"name": "freight",
+        "whatif": "REPLACE STATEMENT 1 WITH UPDATE Order SET ShippingFee = 0 WHERE Freight >= 50"}]}"#;
+    let reply = http_post(&addr, "/histories/retail/batch", ablated).unwrap();
+    assert_eq!(reply.status, 422, "{}", reply.body);
+
+    // An identity replacement is proven independent and answered as an
+    // empty delta — no reenactment, delta byte-identical to the full run.
+    let identity = format!(
+        r#"{{"scenarios": [{{"name": "identity", "whatif": "{}"}}]}}"#,
+        whatif(50)
+    );
+    let reply = http_post(&addr, "/histories/retail/batch", &identity).unwrap();
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let served = Json::parse(&reply.body).unwrap();
+    let scenario = served
+        .get("scenarios")
+        .and_then(Json::as_array)
+        .and_then(<[Json]>::first)
+        .unwrap();
+    assert_eq!(
+        scenario.get("name").and_then(Json::as_str),
+        Some("identity")
+    );
+    let delta = scenario.get("delta").unwrap();
+    assert_eq!(
+        delta.get("tuples").and_then(Json::as_i64),
+        Some(0),
+        "a proven no-op answers the empty delta: {}",
+        reply.body
+    );
+
+    // Both analyzer outcomes are visible in the stats snapshot.
+    let stats = http_get(&addr, "/stats").unwrap();
+    assert_eq!(stats.status, 200, "{}", stats.body);
+    let stats = Json::parse(&stats.body).unwrap();
+    assert_eq!(
+        stats.get("analyzer_rejections").and_then(Json::as_i64),
+        Some(1),
+        "{}",
+        stats
+    );
+    assert_eq!(
+        stats.get("analyzer_noop_proofs").and_then(Json::as_i64),
+        Some(1),
+        "{}",
+        stats
     );
 
     handle.stop();

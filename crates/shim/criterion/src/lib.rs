@@ -9,6 +9,8 @@
 //! per-iteration times are printed in a `name ... time: [..]` line similar
 //! to criterion's. There are no plots, baselines or statistical tests.
 
+#![forbid(unsafe_code)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;

@@ -9,6 +9,8 @@
 //! failures are reproducible run-over-run. There is **no shrinking** — a
 //! failing case reports the case number and the assertion message only.
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 use std::ops::Range;
 use std::sync::Arc;

@@ -8,6 +8,8 @@
 //! value streams of the real `rand` crate; everything downstream only relies
 //! on determinism per seed, not on specific values.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Pseudo-random number generators.

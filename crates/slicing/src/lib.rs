@@ -22,6 +22,8 @@
 //! statements are not excluded, so the answer of the what-if query is always
 //! exactly `Δ(H(D), H[M](D))`.
 
+#![forbid(unsafe_code)]
+
 pub mod data;
 pub mod domains;
 pub mod error;
@@ -29,6 +31,7 @@ pub mod greedy;
 pub mod groups;
 pub mod multi;
 pub mod program;
+pub mod summaries;
 
 pub use data::{
     apply_data_slicing, data_slicing_conditions, data_slicing_conditions_multi,
@@ -46,3 +49,4 @@ pub use multi::{
     SymbolicGroupContext,
 };
 pub use program::{program_slice, ProgramSliceResult, ProgramSlicingConfig};
+pub use summaries::{statement_summaries, statement_summary, StatementKind, StatementSummary};

@@ -1,0 +1,147 @@
+//! Exported per-statement dependency summaries.
+//!
+//! Program slicing (this crate) and the static analyzer (`mahif-analyze`)
+//! both reason about which attributes a statement *reads* and *writes*.
+//! Slicing consumes that information symbolically (through trajectories and
+//! the solver); the analyzer consumes it syntactically, at registration
+//! time, to build a def-use graph and prove statements dead or shadowed.
+//! This module is the shared, cheap-to-compute syntactic form.
+
+use std::collections::BTreeSet;
+
+use mahif_history::{History, Statement};
+
+/// The coarse kind of a history statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StatementKind {
+    /// `UPDATE … SET … WHERE …` — modifies named attributes in place.
+    Update,
+    /// `DELETE … WHERE …` — removes whole rows.
+    Delete,
+    /// `INSERT … VALUES (…)` — adds one literal row.
+    InsertValues,
+    /// `INSERT … SELECT …` — adds query-derived rows (not tuple
+    /// independent; reads other relations).
+    InsertQuery,
+}
+
+/// Syntactic read/write summary of one history statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementSummary {
+    /// 0-based position in the history.
+    pub position: usize,
+    /// The relation the statement modifies.
+    pub relation: String,
+    /// The statement kind.
+    pub kind: StatementKind,
+    /// Attributes of `relation` the statement reads (condition and SET
+    /// expressions). `INSERT … SELECT` reads are tracked per relation in
+    /// [`query_relations`](Self::query_relations) instead.
+    pub reads: BTreeSet<String>,
+    /// Attributes of `relation` the statement writes. Empty for deletes and
+    /// inserts, which affect whole rows (see [`whole_row`](Self::whole_row)).
+    pub writes: BTreeSet<String>,
+    /// True when the statement adds or removes whole rows (deletes and
+    /// inserts) rather than updating attributes in place.
+    pub whole_row: bool,
+    /// Relations read by an `INSERT … SELECT` query (empty otherwise).
+    pub query_relations: Vec<String>,
+}
+
+impl StatementSummary {
+    /// True when the statement may read attribute `attr` of `relation`.
+    pub fn reads_attribute(&self, relation: &str, attr: &str) -> bool {
+        (self.relation == relation && self.reads.contains(attr))
+            || self.query_relations.iter().any(|r| r == relation)
+    }
+}
+
+/// Computes the summary of `statement` at `position`.
+pub fn statement_summary(position: usize, statement: &Statement) -> StatementSummary {
+    let relation = statement.relation().to_string();
+    let mut reads = BTreeSet::new();
+    let mut writes = BTreeSet::new();
+    let mut query_relations = Vec::new();
+    let (kind, whole_row) = match statement {
+        Statement::Update { set, cond, .. } => {
+            reads.extend(cond.attrs());
+            for attr in set.modified_attributes() {
+                if let Some(expr) = set.expr_for(&attr) {
+                    reads.extend(expr.attrs());
+                }
+                writes.insert(attr);
+            }
+            (StatementKind::Update, false)
+        }
+        Statement::Delete { cond, .. } => {
+            reads.extend(cond.attrs());
+            (StatementKind::Delete, true)
+        }
+        Statement::InsertValues { .. } => (StatementKind::InsertValues, true),
+        Statement::InsertQuery { query, .. } => {
+            query_relations = query.referenced_relations();
+            (StatementKind::InsertQuery, true)
+        }
+    };
+    StatementSummary {
+        position,
+        relation,
+        kind,
+        reads,
+        writes,
+        whole_row,
+        query_relations,
+    }
+}
+
+/// Computes summaries for every statement of `history`.
+pub fn statement_summaries(history: &History) -> Vec<StatementSummary> {
+    history
+        .statements()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| statement_summary(i, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mahif_expr::builder::*;
+    use mahif_expr::Expr;
+    use mahif_history::statement::running_example_history;
+    use mahif_history::SetClause;
+
+    #[test]
+    fn running_example_summaries() {
+        let history = History::new(running_example_history());
+        let summaries = statement_summaries(&history);
+        assert_eq!(summaries.len(), history.len());
+        // u1: UPDATE Order SET ShippingFee = 0 WHERE Price >= 50.
+        let u1 = &summaries[0];
+        assert_eq!(u1.relation, "Order");
+        assert_eq!(u1.kind, StatementKind::Update);
+        assert!(u1.reads.contains("Price"));
+        assert!(u1.writes.contains("ShippingFee"));
+        assert!(!u1.whole_row);
+        // u2 reads ShippingFee — the def-use edge that keeps u2 in u1's
+        // slice.
+        assert!(summaries[1].reads_attribute("Order", "ShippingFee"));
+    }
+
+    #[test]
+    fn delete_and_insert_are_whole_row() {
+        let delete = Statement::delete("R", lt(attr("V"), lit(3)));
+        let s = statement_summary(4, &delete);
+        assert_eq!(s.position, 4);
+        assert_eq!(s.kind, StatementKind::Delete);
+        assert!(s.whole_row);
+        assert_eq!(s.reads.iter().collect::<Vec<_>>(), vec!["V"]);
+        assert!(s.writes.is_empty());
+
+        let update = Statement::update("R", SetClause::single("V", lit(1)), Expr::true_());
+        let s = statement_summary(0, &update);
+        assert!(!s.whole_row);
+        assert_eq!(s.writes.iter().collect::<Vec<_>>(), vec!["V"]);
+    }
+}

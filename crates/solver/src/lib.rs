@@ -29,6 +29,8 @@
 //! global condition), and a quantifier-free *condition* to test for
 //! satisfiability.
 
+#![forbid(unsafe_code)]
+
 pub mod domain;
 pub mod interval;
 pub mod milp;

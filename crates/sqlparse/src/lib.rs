@@ -21,6 +21,8 @@
 //! assert_eq!(history.len(), 2);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod lexer;
 pub mod parser;

@@ -16,6 +16,8 @@
 //!
 //! Query evaluation (b) lives in `mahif-query`.
 
+#![forbid(unsafe_code)]
+
 pub mod columnar;
 pub mod database;
 pub mod error;

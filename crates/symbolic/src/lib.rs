@@ -17,6 +17,8 @@
 //!   grouped range constraints `Φ_D` (Section 8.3.1), which over-approximate
 //!   the set of tuples in the database.
 
+#![forbid(unsafe_code)]
+
 pub mod compress;
 pub mod error;
 pub mod vctable;

@@ -22,6 +22,8 @@
 //! range of the same size, which reproduces the selectivity structure the
 //! paper's experiments rely on.
 
+#![forbid(unsafe_code)]
+
 pub mod dataset;
 pub mod generator;
 pub mod serve_load;

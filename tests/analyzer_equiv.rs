@@ -1,0 +1,402 @@
+//! The static analyzer's two contracts, tested end to end through the
+//! session funnel:
+//!
+//! * **Acceptance soundness** — a batch the analyzer admits never hits a
+//!   type fault during execution: for randomly generated (often ill-typed)
+//!   modifications, a request either fails at admission with
+//!   `ErrorKind::Analysis` or executes to completion, and an accepted
+//!   request answers byte-identically with the analyzer on and off.
+//! * **No-op proof identity** — every scenario the analyzer short-circuits
+//!   as provably independent (identity replacement, vacuous statement,
+//!   shadowed write) returns a delta byte-identical to the full,
+//!   un-short-circuited answer, observable via
+//!   `SessionStats::analyzer_noop_proofs`.
+
+use proptest::prelude::*;
+
+use mahif::{ErrorKind, Method, Session};
+use mahif_expr::builder::*;
+use mahif_expr::{Expr, Value};
+use mahif_history::statement::{running_example_database, running_example_history};
+use mahif_history::{History, Modification, ModificationSet, SetClause, Statement};
+use mahif_storage::{Attribute, Database, Relation, Schema, Tuple};
+
+fn retail_session() -> Session {
+    Session::with_history(
+        "retail",
+        running_example_database(),
+        History::new(running_example_history()),
+    )
+    .unwrap()
+}
+
+/// A history whose last statement unconditionally overwrites ShippingFee:
+/// any replacement of statement 0 that only rewrites ShippingFee (from
+/// non-divergent inputs, unread in between) is statically a no-op.
+fn shadowed_fee_session() -> Session {
+    let history = History::new(vec![
+        Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(1)),
+            ge(attr("Price"), lit(50)),
+        ),
+        Statement::update(
+            "Order",
+            SetClause::single("Price", lit(100)),
+            eq(attr("Country"), slit("UK")),
+        ),
+        Statement::update(
+            "Order",
+            SetClause::single("ShippingFee", lit(0)),
+            Expr::true_(),
+        ),
+    ]);
+    Session::with_history("retail", running_example_database(), history).unwrap()
+}
+
+/// Acceptance criterion: a batch containing a statically-independent
+/// scenario short-circuits it (`analyzer_noop_proofs` ≥ 1) and the
+/// returned delta is byte-identical to the un-short-circuited answer.
+#[test]
+fn proven_noop_is_byte_identical_to_full_answer() {
+    let session = shadowed_fee_session();
+    let replacement = Statement::update(
+        "Order",
+        SetClause::single("ShippingFee", lit(2)),
+        ge(attr("Price"), lit(60)),
+    );
+    let mods = ModificationSet::single_replace(0, replacement);
+
+    let short = session
+        .on("retail")
+        .named("shadowed")
+        .modifications(mods.clone())
+        .run()
+        .unwrap();
+    assert!(
+        session.stats().analyzer_noop_proofs >= 1,
+        "the shadowed replacement must be proven independent, stats: {:?}",
+        session.stats()
+    );
+
+    let full = session
+        .on("retail")
+        .named("shadowed")
+        .modifications(mods)
+        .without_analyzer()
+        .run()
+        .unwrap();
+    assert_eq!(
+        short.delta(),
+        full.delta(),
+        "short-circuited and full answers must be byte-identical"
+    );
+    assert!(
+        short.delta().is_empty(),
+        "the proof certifies an empty delta"
+    );
+}
+
+/// An identity replacement and a vacuous insert are both proven no-ops;
+/// mixed into a batch with a live scenario they are answered in place, at
+/// their original positions, and count as answered scenarios.
+#[test]
+fn noops_rejoin_the_batch_at_their_positions() {
+    let session = retail_session();
+    let original_u1 = running_example_history().remove(0);
+    let live = Statement::update(
+        "Order",
+        SetClause::single("ShippingFee", lit(0)),
+        ge(attr("Price"), lit(60)),
+    );
+    let scenarios = vec![
+        (
+            "identity".to_string(),
+            ModificationSet::single_replace(0, original_u1),
+        ),
+        (
+            "live".to_string(),
+            ModificationSet::single_replace(0, live.clone()),
+        ),
+        (
+            "vacuous-insert".to_string(),
+            ModificationSet::new(vec![Modification::insert(
+                1,
+                Statement::update(
+                    "Order",
+                    SetClause::single("ShippingFee", lit(9)),
+                    Expr::false_(),
+                ),
+            )]),
+        ),
+    ];
+    let batch = session.on("retail").run_batch(scenarios).unwrap();
+    assert_eq!(batch.stats.scenarios, 3);
+    assert_eq!(session.stats().analyzer_noop_proofs, 2);
+    assert_eq!(session.stats().scenarios_answered, 3);
+    // Positions and names are preserved across the partition/merge.
+    let names: Vec<&str> = batch.scenarios.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, ["identity", "live", "vacuous-insert"]);
+    assert!(batch.get("identity").unwrap().answer.delta.is_empty());
+    assert!(batch.get("vacuous-insert").unwrap().answer.delta.is_empty());
+    // The live scenario's answer matches its solo run.
+    let solo = session
+        .on("retail")
+        .modifications(ModificationSet::single_replace(0, live))
+        .run()
+        .unwrap();
+    assert_eq!(&batch.get("live").unwrap().answer.delta, solo.delta());
+}
+
+/// Acceptance criterion: a scenario referencing an unknown attribute is
+/// rejected at admission with the attribute named, before any engine work.
+#[test]
+fn unknown_attribute_is_rejected_at_admission() {
+    let session = retail_session();
+    let err = session
+        .on("retail")
+        .named("typo")
+        .replace(
+            0,
+            Statement::update(
+                "Order",
+                SetClause::single("Freight", lit(0)),
+                ge(attr("Price"), lit(50)),
+            ),
+        )
+        .run()
+        .unwrap_err();
+    let mahif::Error { kind, .. } = &err;
+    match kind {
+        ErrorKind::Analysis(analysis) => {
+            assert_eq!(analysis.attribute(), Some("Freight"));
+            assert_eq!(analysis.relation(), Some("Order"));
+        }
+        other => panic!("expected an analysis rejection, got {other:?}"),
+    }
+    let text = err.to_string();
+    assert!(text.contains("admission failed"), "{text}");
+    assert!(text.contains("Freight"), "{text}");
+    assert!(text.contains("scenario 'typo'"), "{text}");
+    assert_eq!(session.stats().analyzer_rejections, 1);
+    // Nothing was planned or executed for the rejected request.
+    assert_eq!(session.stats().requests, 0);
+    assert_eq!(session.stats().scenarios_answered, 0);
+}
+
+/// Type-mismatched predicates (arithmetic over a TEXT attribute) are
+/// likewise structured admission rejections, not mid-execution faults.
+#[test]
+fn ill_typed_predicate_is_rejected_at_admission() {
+    let session = retail_session();
+    let err = session
+        .on("retail")
+        .replace(
+            0,
+            Statement::update(
+                "Order",
+                SetClause::single("ShippingFee", add(attr("Customer"), lit(1))),
+                ge(attr("Price"), lit(50)),
+            ),
+        )
+        .run()
+        .unwrap_err();
+    assert!(matches!(err.kind, ErrorKind::Analysis(_)), "{err:?}");
+    assert!(err.to_string().contains("Customer"), "{err}");
+}
+
+// ------------------------------------------------------- property testing
+
+/// A generated statement over `R(K int, V int, C str)`. The `IllTyped*`
+/// variants are deliberately invalid — the property is that the analyzer
+/// catches them at admission instead of letting execution fault.
+#[derive(Debug, Clone)]
+enum GenStatement {
+    UpdateByKey {
+        lo: i64,
+        hi: i64,
+        delta: i64,
+    },
+    UpdateByTag {
+        tag: char,
+        value: i64,
+    },
+    DeleteByValue {
+        threshold: i64,
+    },
+    Insert {
+        k: i64,
+        v: i64,
+        tag: char,
+    },
+    /// `SET V = C + 1` — arithmetic over the TEXT attribute.
+    IllTypedArith,
+    /// `WHERE X >= 0` on SET — references an attribute `R` does not have.
+    UnknownAttribute,
+    /// Vacuous: `SET V = value WHERE FALSE`.
+    Vacuous {
+        value: i64,
+    },
+}
+
+impl GenStatement {
+    fn to_statement(&self) -> Statement {
+        match self {
+            GenStatement::UpdateByKey { lo, hi, delta } => Statement::update(
+                "R",
+                SetClause::single("V", add(attr("V"), lit(*delta))),
+                and(ge(attr("K"), lit(*lo)), lt(attr("K"), lit(*hi))),
+            ),
+            GenStatement::UpdateByTag { tag, value } => Statement::update(
+                "R",
+                SetClause::single("V", lit(*value)),
+                eq(attr("C"), slit(tag.to_string())),
+            ),
+            GenStatement::DeleteByValue { threshold } => {
+                Statement::delete("R", lt(attr("V"), lit(*threshold)))
+            }
+            GenStatement::Insert { k, v, tag } => Statement::insert_values(
+                "R",
+                Tuple::new(vec![
+                    Value::Int(*k),
+                    Value::Int(*v),
+                    Value::from(tag.to_string()),
+                ]),
+            ),
+            GenStatement::IllTypedArith => Statement::update(
+                "R",
+                SetClause::single("V", add(attr("C"), lit(1))),
+                ge(attr("K"), lit(0)),
+            ),
+            GenStatement::UnknownAttribute => {
+                Statement::update("R", SetClause::single("V", lit(0)), ge(attr("X"), lit(0)))
+            }
+            GenStatement::Vacuous { value } => {
+                Statement::update("R", SetClause::single("V", lit(*value)), Expr::false_())
+            }
+        }
+    }
+}
+
+/// Well-typed statements only — histories must register successfully.
+fn arb_history_statement() -> impl Strategy<Value = GenStatement> {
+    prop_oneof![
+        (0i64..20, 1i64..10, -5i64..10).prop_map(|(lo, len, delta)| GenStatement::UpdateByKey {
+            lo,
+            hi: lo + len,
+            delta,
+        }),
+        (0u8..3, 0i64..50).prop_map(|(t, value)| GenStatement::UpdateByTag {
+            tag: char::from(b'a' + t),
+            value,
+        }),
+        (0i64..25).prop_map(|threshold| GenStatement::DeleteByValue { threshold }),
+        (30i64..40, 0i64..50, 0u8..3).prop_map(|(k, v, t)| GenStatement::Insert {
+            k,
+            v,
+            tag: char::from(b'a' + t),
+        }),
+    ]
+}
+
+/// Replacement statements include the ill-typed and vacuous variants.
+fn arb_replacement() -> impl Strategy<Value = GenStatement> {
+    prop_oneof![
+        arb_history_statement(),
+        Just(GenStatement::IllTypedArith),
+        Just(GenStatement::UnknownAttribute),
+        (0i64..50).prop_map(|value| GenStatement::Vacuous { value }),
+    ]
+}
+
+fn database(rows: usize, values: &[i64]) -> Database {
+    let schema = Schema::shared(
+        "R",
+        vec![
+            Attribute::int("K"),
+            Attribute::int("V"),
+            Attribute::str("C"),
+        ],
+    );
+    let mut relation = Relation::empty(schema);
+    for k in 0..rows {
+        let v = values[k % values.len()].rem_euclid(50);
+        let tag = char::from(b'a' + (k % 3) as u8);
+        relation
+            .insert(Tuple::new(vec![
+                Value::Int(k as i64),
+                Value::Int(v),
+                Value::from(tag.to_string()),
+            ]))
+            .unwrap();
+    }
+    let mut db = Database::new();
+    db.add_relation(relation).unwrap();
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Acceptance soundness + no-op identity in one property: a request
+    /// either fails at admission as `ErrorKind::Analysis` (never as a
+    /// mid-execution type fault), or executes — and then the analyzer
+    /// ablation answers byte-identically, proven no-ops included.
+    #[test]
+    fn accepted_requests_execute_and_match_the_ablation(
+        statements in prop::collection::vec(arb_history_statement(), 1..8),
+        replacement in arb_replacement(),
+        position_seed in 0usize..8,
+        identity_seed in 0u8..2,
+        values in prop::collection::vec(-20i64..60, 4..10),
+    ) {
+        let db = database(25, &values);
+        let history = History::new(statements.iter().map(|s| s.to_statement()).collect());
+        let session =
+            Session::with_history("prop", db, history).expect("history executes");
+        let position = position_seed % statements.len();
+        // Half the cases replace a statement with itself — the identity
+        // proof must fire and still answer byte-identically (empty).
+        let replacement = if identity_seed == 0 {
+            statements[position].clone()
+        } else {
+            replacement
+        };
+        let mods = ModificationSet::single_replace(position, replacement.to_statement());
+        for method in Method::all() {
+            let analyzed = session
+                .on("prop")
+                .modifications(mods.clone())
+                .method(method)
+                .run();
+            match analyzed {
+                Err(e) => {
+                    // The strictness contract: an inadmissible scenario is
+                    // a structured analysis rejection at admission, never
+                    // an execution-phase type fault.
+                    prop_assert!(
+                        matches!(e.kind, ErrorKind::Analysis(_)),
+                        "expected an admission rejection, got {:?}",
+                        e
+                    );
+                }
+                Ok(response) => {
+                    let full = session
+                        .on("prop")
+                        .modifications(mods.clone())
+                        .method(method)
+                        .without_analyzer()
+                        .run()
+                        .expect("the ablation executes whatever the analyzer admitted")
+                        .into_answer();
+                    prop_assert_eq!(
+                        response.delta(),
+                        &full.delta,
+                        "analyzer-on and analyzer-off answers disagree under method {}",
+                        method.label()
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Workspace self-lint: the unsafe-code audit CI runs as a plain test.
+//!
+//! The whole engine is safe Rust; the single sanctioned exception is
+//! `mahif-net`, whose raw syscall shim (`crates/net/src/sys.rs`) binds
+//! `epoll`/`eventfd`/`rlimit` against the C library `std` already links.
+//! This test pins that boundary so it cannot drift silently:
+//!
+//! * every crate except `mahif-net` carries `#![forbid(unsafe_code)]`
+//!   in its `lib.rs`, so new unsafe code is a compile error there;
+//! * `forbid` does not reach integration tests, benches or examples, so
+//!   the scanner additionally walks every `.rs` file outside
+//!   `crates/net` and fails on any `unsafe` token in code;
+//! * inside `crates/net`, every `unsafe` block must be justified by a
+//!   `// SAFETY:` comment within the six preceding lines.
+//!
+//! The token scan is word-boundary aware (an identifier like
+//! `unsafe_ones` does not trip it) and ignores line comments, so prose
+//! about unsafety stays legal.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every directory under `crates/` (one level of nesting for the
+/// `crates/shim/*` offline stand-ins) that holds a `Cargo.toml`.
+fn crate_dirs() -> Vec<PathBuf> {
+    let mut dirs = Vec::new();
+    let mut stack = vec![repo_root().join("crates")];
+    while let Some(dir) = stack.pop() {
+        for entry in fs::read_dir(&dir).expect("read crates dir") {
+            let path = entry.expect("dir entry").path();
+            if !path.is_dir() {
+                continue;
+            }
+            if path.join("Cargo.toml").is_file() {
+                dirs.push(path);
+            } else {
+                stack.push(path);
+            }
+        }
+    }
+    dirs.sort();
+    assert!(dirs.len() >= 20, "crate walk broke: found {dirs:?}");
+    dirs
+}
+
+/// All `.rs` files under `dir`, recursively.
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&dir) else {
+            continue;
+        };
+        for entry in entries {
+            let path = entry.expect("dir entry").path();
+            if path.is_dir() {
+                stack.push(path);
+            } else if path.extension().is_some_and(|e| e == "rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+/// Does `line` use the `unsafe` keyword in code? Word-boundary matched
+/// (so `unsafe_ones` is fine) with line comments stripped (so prose
+/// about unsafety is fine).
+fn uses_unsafe_keyword(line: &str) -> bool {
+    let code = match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    };
+    let bytes = code.as_bytes();
+    let is_word = |b: u8| b.is_ascii_alphanumeric() || b == b'_';
+    let mut from = 0;
+    while let Some(i) = code[from..].find("unsafe").map(|i| i + from) {
+        let before_ok = i == 0 || !is_word(bytes[i - 1]);
+        let end = i + "unsafe".len();
+        let after_ok = end == bytes.len() || !is_word(bytes[end]);
+        if before_ok && after_ok {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+/// Every crate except `mahif-net` forbids unsafe code at the crate root.
+#[test]
+fn every_crate_but_net_forbids_unsafe_code() {
+    let mut missing = Vec::new();
+    for dir in crate_dirs() {
+        if dir.file_name().is_some_and(|n| n == "net") {
+            continue;
+        }
+        let lib = dir.join("src/lib.rs");
+        let source =
+            fs::read_to_string(&lib).unwrap_or_else(|e| panic!("read {}: {e}", lib.display()));
+        if !source.contains("#![forbid(unsafe_code)]") {
+            missing.push(lib);
+        }
+    }
+    assert!(
+        missing.is_empty(),
+        "crates missing #![forbid(unsafe_code)] in lib.rs: {missing:#?}"
+    );
+}
+
+/// `forbid` in `lib.rs` does not cover tests/benches/binaries, so scan
+/// every `.rs` file outside `crates/net` for the keyword too.
+#[test]
+fn no_unsafe_code_outside_the_net_syscall_shim() {
+    let root = repo_root();
+    let mut offenders = Vec::new();
+    for dir in ["crates", "src", "tests", "benches", "examples"] {
+        for file in rust_files(&root.join(dir)) {
+            // The shim itself and this scanner (whose string literals
+            // name the keyword) are the two sanctioned exceptions.
+            if file.starts_with(root.join("crates/net")) || file == root.join("tests/lint.rs") {
+                continue;
+            }
+            let source = fs::read_to_string(&file)
+                .unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+            for (number, line) in source.lines().enumerate() {
+                if uses_unsafe_keyword(line) {
+                    offenders.push(format!(
+                        "{}:{}: {}",
+                        file.display(),
+                        number + 1,
+                        line.trim()
+                    ));
+                }
+            }
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "unsafe code outside crates/net — move it behind the audited \
+         syscall shim or justify extending the exception:\n{offenders:#?}"
+    );
+}
+
+/// Inside `crates/net`, every `unsafe` block carries a `// SAFETY:`
+/// justification within the six preceding lines.
+#[test]
+fn net_unsafe_blocks_are_safety_annotated() {
+    let net = repo_root().join("crates/net");
+    let mut unjustified = Vec::new();
+    let mut audited = 0usize;
+    for file in rust_files(&net) {
+        let source =
+            fs::read_to_string(&file).unwrap_or_else(|e| panic!("read {}: {e}", file.display()));
+        let lines: Vec<&str> = source.lines().collect();
+        for (number, line) in lines.iter().enumerate() {
+            if !uses_unsafe_keyword(line) {
+                continue;
+            }
+            audited += 1;
+            let window = &lines[number.saturating_sub(6)..=number];
+            if !window
+                .iter()
+                .any(|l| l.trim_start().starts_with("// SAFETY:"))
+            {
+                unjustified.push(format!(
+                    "{}:{}: {}",
+                    file.display(),
+                    number + 1,
+                    line.trim()
+                ));
+            }
+        }
+    }
+    assert!(
+        audited >= 6,
+        "the syscall shim's unsafe blocks went missing"
+    );
+    assert!(
+        unjustified.is_empty(),
+        "unsafe without a // SAFETY: comment in the six lines above:\n{unjustified:#?}"
+    );
+}

@@ -218,9 +218,17 @@ proptest! {
             .filter(|g| !g.positions.is_empty())
             .count();
         for method in Method::all() {
+            // The analyzer ablation keeps the derived grouping exact: with
+            // the analyzer on, a replacement that normalizes to no
+            // positions (equal to the original) is proven a no-op at
+            // admission and never reaches planning, shrinking
+            // `slice_groups` below the expectation. The singles below stay
+            // on the default path, so the delta comparison also
+            // cross-checks analyzer-on against analyzer-off answers.
             let batch = session
                 .on("prop")
                 .method(method)
+                .without_analyzer()
                 .run_batch(scenarios.clone())
                 .expect("batch succeeds");
             // One original reenactment per non-empty group (the single

@@ -168,8 +168,10 @@ fn unknown_history_names_the_history() {
     assert!(err.to_string().contains("history 'warehouse'"), "{}", err);
 }
 
-/// An out-of-range modification position surfaces the wrapped history
-/// error with normalization-phase context and the scenario name.
+/// An out-of-range modification position is rejected by the static
+/// analyzer at admission, naming the scenario; with the analyzer disabled
+/// the wrapped history error still surfaces with normalization-phase
+/// context, so neither path panics the engine.
 #[test]
 fn out_of_range_position_names_scenario_and_phase() {
     let session = retail_session();
@@ -180,15 +182,29 @@ fn out_of_range_position_names_scenario_and_phase() {
         .method(Method::ReenactPsDs)
         .run()
         .unwrap_err();
-    assert!(matches!(err.kind, ErrorKind::History(_)), "{err:?}");
+    assert!(matches!(err.kind, ErrorKind::Analysis(_)), "{err:?}");
     let text = err.to_string();
     assert!(text.contains("scenario 'too-far'"), "{text}");
     assert!(text.contains("history 'retail'"), "{text}");
+    assert!(text.contains("admission failed"), "{text}");
+    // Under the analyzer ablation the pre-analyzer contract holds: the
+    // wrapped history error surfaces from normalization instead.
+    let err = session
+        .on("retail")
+        .named("too-far")
+        .replace(99, threshold(60))
+        .method(Method::ReenactPsDs)
+        .without_analyzer()
+        .run()
+        .unwrap_err();
+    assert!(matches!(err.kind, ErrorKind::History(_)), "{err:?}");
+    assert!(err.to_string().contains("scenario 'too-far'"), "{err}");
     // The naive path reports the same unified error kind.
     let naive_err = session
         .on("retail")
         .replace(99, threshold(60))
         .method(Method::Naive)
+        .without_analyzer()
         .run()
         .unwrap_err();
     assert!(matches!(naive_err.kind, ErrorKind::History(_)));
